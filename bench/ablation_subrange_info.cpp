@@ -1,0 +1,114 @@
+// Ablation: complete (CIrHLd) vs approximate (CAvgLoad) load information in
+// the sub-range determination (§2.3, Fig 2-B vs 2-C).
+//
+// "The scheme is more accurate when the load information is available at
+// the granularity of IrH values." This bench quantifies that on (a) the
+// paper's worked example, (b) iterated balancing of synthetic skewed loads,
+// and (c) a full cloud simulation with per-IrH tracking on/off.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/beacon_ring.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace cachecloud;
+
+namespace {
+
+// Realized per-point loads of `ring` under a fixed per-IrH load vector.
+util::OnlineStats realized(const core::BeaconRing& ring,
+                           const std::vector<double>& loads) {
+  std::vector<double> per_point(ring.members().size(), 0.0);
+  for (std::size_t i = 0; i < ring.ranges().size(); ++i) {
+    for (std::uint32_t k = ring.ranges()[i].lo; k <= ring.ranges()[i].hi;
+         ++k) {
+      per_point[i] += loads[k];
+    }
+  }
+  return util::summarize(per_point);
+}
+
+void iterated_ring(bool track_per_irh) {
+  constexpr std::uint32_t kIrhGen = 1000;
+  util::Rng rng(4242);
+  std::vector<double> loads(kIrhGen);
+  for (std::uint32_t k = 0; k < kIrhGen; ++k) {
+    loads[k] = 1000.0 /
+               std::pow(static_cast<double>(rng.next_below(kIrhGen)) + 1.0,
+                        0.9);
+  }
+
+  core::BeaconRing::Config config;
+  config.irh_gen = kIrhGen;
+  config.track_per_irh = track_per_irh;
+  core::BeaconRing ring({0, 1}, {1.0, 1.0}, config);
+
+  std::printf("  %-12s", track_per_irh ? "complete:" : "approximate:");
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (std::uint32_t k = 0; k < kIrhGen; ++k) ring.record_load(k, loads[k]);
+    const util::OnlineStats stats = realized(ring, loads);
+    std::printf(" %5.3f", stats.max_to_mean_ratio());
+    ring.rebalance();
+  }
+  std::printf("  (max/mean per cycle)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.5);
+
+  bench::print_header(
+      "Ablation — sub-range determination with complete vs approximate "
+      "per-IrH load information",
+      "§2.3 / Figure 2-B vs 2-C");
+
+  // (a) The paper's worked example: loads 135,175,100,60,30 | 25,50,75,50,100.
+  {
+    const std::vector<double> loads{135, 175, 100, 60, 30,
+                                    25,  50,  75,  50, 100};
+    for (const bool complete : {true, false}) {
+      core::BeaconRing::Config config;
+      config.irh_gen = 10;
+      config.track_per_irh = complete;
+      core::BeaconRing ring({0, 1}, {1.0, 1.0}, config);
+      for (std::uint32_t k = 0; k < 10; ++k) ring.record_load(k, loads[k]);
+      ring.rebalance();
+      const util::OnlineStats stats = realized(ring, loads);
+      std::printf("paper example, %-12s loads %3.0f / %3.0f (paper: %s)\n",
+                  complete ? "complete:" : "approximate:", stats.max(),
+                  stats.sum() - stats.max(),
+                  complete ? "410/390" : "one value shifted");
+    }
+  }
+
+  // (b) Iterated balancing on a skewed synthetic ring.
+  std::printf("\niterated 2-point ring, Zipf-0.9 load over 1000 IrH values:\n");
+  iterated_ring(true);
+  iterated_ring(false);
+
+  // (c) Full cloud simulation with tracking on/off.
+  std::printf("\nfull cloud (10 caches, 5x2 rings, Zipf-0.9 trace):\n");
+  const trace::Trace trace =
+      trace::generate_zipf_trace(bench::zipf_config(scale));
+  for (const bool complete : {true, false}) {
+    core::CloudConfig config =
+        bench::make_cloud_config(bench::CloudSetup{}, 10);
+    config.placement = "beacon";
+    config.track_per_irh = complete;
+    core::CacheCloud cloud(config, trace);
+    sim::SimConfig sim_config;
+    sim_config.metrics_start_sec = 2.0 * 3600.0;
+    const sim::SimResult result =
+        sim::run_simulation(cloud, trace, sim_config);
+    const auto stats = result.metrics.beacon_load_stats();
+    std::printf("  %-12s CoV=%.3f max/mean=%.3f records moved=%zu\n",
+                complete ? "complete:" : "approximate:",
+                stats.coefficient_of_variation(), stats.max_to_mean_ratio(),
+                result.records_transferred);
+  }
+  return 0;
+}

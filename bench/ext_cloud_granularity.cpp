@@ -1,0 +1,67 @@
+// Extension: how should an edge network of fixed size be partitioned into
+// cache clouds?
+//
+// §1 poses this as an open design question ("these caches need to be
+// organized into cooperative groups such that the cooperation ... is
+// effective and beneficial"). With 40 caches total, this bench sweeps the
+// partition — 1x40, 2x20, 4x10, 8x5, 40x1 — and reports the trade-off:
+// bigger clouds serve more requests inside the network and cost the origin
+// fewer update messages; smaller clouds bound cooperation overhead and
+// blast radius.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/edge_network.hpp"
+
+using namespace cachecloud;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.5);
+
+  bench::print_header(
+      "Extension — cloud granularity: one edge network, five partitions",
+      "the cache-cloud construction question of §1");
+
+  constexpr std::uint32_t kTotalCaches = 40;
+  trace::SydneyTraceConfig tc = bench::sydney_placement_config(scale, kTotalCaches);
+  const trace::Trace trace = trace::generate_sydney_trace(tc);
+  std::printf("trace: %zu docs, %zu requests, %zu updates, %u caches\n\n",
+              trace.num_docs(), trace.request_count(), trace.update_count(),
+              kTotalCaches);
+
+  std::printf("%-12s %14s %16s %14s %12s\n", "partition", "in-net hit",
+              "origin msg/min", "wan MB/min", "intra MB/min");
+  const std::uint32_t cloud_counts[] = {1, 2, 4, 8, 40};
+  for (const std::uint32_t clouds : cloud_counts) {
+    sim::EdgeNetworkConfig config;
+    config.num_clouds = clouds;
+    config.cloud = bench::make_cloud_config(bench::CloudSetup{},
+                                            kTotalCaches / clouds);
+    config.cloud.placement = "utility";
+    if (clouds == kTotalCaches) {
+      // Single-cache "clouds" cannot cooperate at all.
+      config.cloud.cooperative = false;
+    }
+    const sim::EdgeNetworkResult result =
+        sim::run_edge_network(config, trace);
+
+    std::uint64_t intra = 0;
+    for (const auto& metrics : result.per_cloud) {
+      intra += metrics.data_bytes_intra;
+    }
+    const double minutes = trace.duration() / 60.0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%ux%u", clouds,
+                  kTotalCaches / clouds);
+    std::printf("%-12s %13.1f%% %16.1f %14.2f %12.2f\n", label,
+                100.0 * result.in_network_hit_rate(),
+                static_cast<double>(result.origin_messages) / minutes,
+                static_cast<double>(result.origin_wan_bytes) / 1e6 / minutes,
+                static_cast<double>(intra) / 1e6 / minutes);
+  }
+  std::printf("\n(bigger clouds absorb more misses and cost the origin "
+              "fewer per-cloud update messages, at the price of more "
+              "intra-cloud traffic and larger cooperation domains)\n");
+  return 0;
+}

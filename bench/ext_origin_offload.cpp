@@ -1,0 +1,61 @@
+// Extension: how much does cooperation offload the origin server?
+//
+// §1 motivates cache clouds with two origin-side benefits: fewer misses
+// reach the remote server, and consistency costs one update message per
+// cloud instead of one per holder. The paper's simulator has an "edge
+// network without cooperation" configuration but no figure for it; this
+// bench supplies the comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cachecloud;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.5);
+
+  bench::print_header(
+      "Extension — origin-server offload from cooperation",
+      "the two §1 claims; 'edge network without cooperation' baseline of §4");
+
+  const trace::Trace base =
+      trace::generate_sydney_trace(bench::sydney_placement_config(scale));
+
+  std::printf("%-10s %-16s %14s %14s %12s\n", "upd/min", "architecture",
+              "origin msg/min", "wan MB/min", "local hit");
+  for (const double rate : {10.0, bench::kObservedUpdateRate, 1000.0}) {
+    const trace::Trace trace = base.with_update_rate(rate, 81);
+    const double minutes = trace.duration() / 60.0;
+
+    struct Arch {
+      const char* name;
+      bool cooperative;
+      core::CloudConfig::Hashing hashing;
+    };
+    const Arch archs[] = {
+        {"no cooperation", false, core::CloudConfig::Hashing::Static},
+        {"coop static", true, core::CloudConfig::Hashing::Static},
+        {"coop dynamic", true, core::CloudConfig::Hashing::Dynamic},
+    };
+    for (const Arch& arch : archs) {
+      core::CloudConfig config =
+          bench::make_cloud_config(bench::CloudSetup{}, 10);
+      config.placement = "adhoc";  // isolate the cooperation effect
+      config.cooperative = arch.cooperative;
+      config.hashing = arch.hashing;
+      core::CacheCloud cloud(config, trace);
+      const sim::SimResult result = sim::run_simulation(cloud, trace);
+      std::printf("%-10.0f %-16s %14.1f %14.2f %11.1f%%\n", rate, arch.name,
+                  static_cast<double>(result.metrics.origin_messages) /
+                      minutes,
+                  static_cast<double>(result.metrics.data_bytes_wan) / 1e6 /
+                      minutes,
+                  100.0 * result.metrics.local_hit_rate());
+    }
+  }
+  std::printf("\n(cooperation cuts origin messages both by absorbing misses "
+              "in the cloud and by sending one update message per cloud "
+              "instead of one per holder)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7: percentage of the trace's documents stored per cache, as the
+// document update rate is swept (Sydney dataset, unlimited disk, DsCC off).
+//
+// Paper's shape: ad hoc stores ~100% at every rate; beacon-point placement
+// stores ~10% (1/N); utility-based placement stores a large fraction at low
+// update rates and sheds documents as updates grow more expensive.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cachecloud;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 1.0);
+
+  bench::print_header(
+      "Fig 7 — % of documents stored per cache vs update rate "
+      "(Sydney, unlimited disk, DsCC off)",
+      "ICDCS'05 Figure 7");
+
+  const trace::Trace base =
+      trace::generate_sydney_trace(bench::sydney_placement_config(scale));
+  std::printf("trace: %zu docs, %zu requests, observed update rate %.0f/min\n",
+              base.num_docs(), base.request_count(),
+              bench::kObservedUpdateRate);
+
+  std::printf("\n%-12s %10s %10s %10s\n", "upd/min", "adhoc", "utility",
+              "beacon");
+  for (const double rate : bench::kUpdateRates) {
+    const trace::Trace trace = base.with_update_rate(rate, 77);
+    double row[3] = {0, 0, 0};
+    const char* policies[3] = {"adhoc", "utility", "beacon"};
+    for (int p = 0; p < 3; ++p) {
+      bench::CloudSetup setup;
+      setup.placement = policies[p];
+      core::CacheCloud cloud(make_cloud_config(setup, 10), trace);
+      (void)sim::run_simulation(cloud, trace);
+      row[p] = bench::mean_percent_docs_stored(cloud, trace.num_docs());
+    }
+    const char* marker = rate == bench::kObservedUpdateRate
+                             ? "   <- observed update rate"
+                             : "";
+    std::printf("%-12.0f %9.1f%% %9.1f%% %9.1f%%%s\n", rate, row[0], row[1],
+                row[2], marker);
+  }
+  std::printf("\n(paper: adhoc ~100%%, beacon ~10%%, utility decreasing "
+              "with update rate)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// MD5, URL hashing, beacon resolution under each scheme, sub-range
+// determination, Zipf sampling and the document store.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/document_store.hpp"
+#include "cache/replacement.hpp"
+#include "core/assigner.hpp"
+#include "core/subrange.hpp"
+#include "core/url_hash.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+using namespace cachecloud;
+
+namespace {
+
+void BM_Md5(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::md5(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HashUrl(benchmark::State& state) {
+  const std::string url = "/sydney/event/swimming/heat7/results.html";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hash_url(url));
+  }
+}
+BENCHMARK(BM_HashUrl);
+
+std::vector<core::UrlHash> test_hashes(int n) {
+  std::vector<core::UrlHash> hashes;
+  hashes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    hashes.push_back(core::hash_url("/doc/" + std::to_string(i)));
+  }
+  return hashes;
+}
+
+std::vector<core::CacheId> ids(std::uint32_t n) {
+  std::vector<core::CacheId> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+void BM_StaticResolve(benchmark::State& state) {
+  const core::StaticHashAssigner assigner(
+      ids(static_cast<std::uint32_t>(state.range(0))));
+  const auto hashes = test_hashes(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.beacon_of(hashes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_StaticResolve)->Arg(10)->Arg(50);
+
+void BM_ConsistentResolve(benchmark::State& state) {
+  const core::ConsistentHashAssigner assigner(
+      ids(static_cast<std::uint32_t>(state.range(0))), 64);
+  const auto hashes = test_hashes(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.beacon_of(hashes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ConsistentResolve)->Arg(10)->Arg(50);
+
+void BM_DynamicResolve(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::DynamicHashAssigner::Config config;
+  config.ring_size = 2;
+  const core::DynamicHashAssigner assigner(ids(n),
+                                           std::vector<double>(n, 1.0),
+                                           config);
+  const auto hashes = test_hashes(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.beacon_of(hashes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_DynamicResolve)->Arg(10)->Arg(50);
+
+// Cost of one sub-range determination for a ring of the given size — the
+// "cost and complexity of the sub-range determination process" the paper
+// weighs against ring size (§2.3).
+void BM_DetermineSubranges(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kIrhGen = 1000;
+  util::Rng rng(1);
+  std::vector<double> caps(m, 1.0);
+  const auto ranges = core::initial_subranges(caps, kIrhGen);
+  std::vector<core::PointLoad> points(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    points[i].capability = 1.0;
+    points[i].range = ranges[i];
+    points[i].per_irh.resize(ranges[i].length());
+    for (double& v : points[i].per_irh) {
+      v = rng.next_double() * 10.0;
+      points[i].cycle_load += v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::determine_subranges(points, kIrhGen));
+  }
+}
+BENCHMARK(BM_DetermineSubranges)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const util::ZipfSampler sampler(
+      static_cast<std::size_t>(state.range(0)), 0.9);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(25'000)->Arg(58'000);
+
+void BM_DocumentStorePutGet(benchmark::State& state) {
+  cache::DocumentStore store(10ull << 20, cache::make_policy("lru"));
+  util::Rng rng(5);
+  double now = 0.0;
+  for (auto _ : state) {
+    const auto doc = static_cast<trace::DocId>(rng.next_below(4096));
+    now += 0.001;
+    if (rng.next_bool(0.3)) {
+      benchmark::DoNotOptimize(store.put(doc, 2048, 1, now));
+    } else {
+      benchmark::DoNotOptimize(store.get(doc, now));
+    }
+  }
+}
+BENCHMARK(BM_DocumentStorePutGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

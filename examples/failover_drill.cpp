@@ -1,0 +1,128 @@
+// Failure drill: beacon-point failure and hashing-scheme resilience.
+//
+//   $ ./failover_drill
+//
+// Uses the discrete-event engine to interleave a request workload with a
+// cache failure on one timeline, then compares how each beacon-assignment
+// scheme re-maps ownership:
+//   - dynamic hashing merges the failed point's sub-range into its ring
+//     neighbour (bounded, enumerable ownership moves),
+//   - consistent hashing moves only the failed node's arcs,
+//   - static hashing re-maps almost the whole document space (mod N-1).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/generators.hpp"
+
+using namespace cachecloud;
+
+namespace {
+
+// Fraction of documents whose beacon changed when `victim` failed.
+double remap_fraction(core::CloudConfig::Hashing hashing,
+                      const trace::Trace& trace, trace::CacheId victim) {
+  core::CloudConfig config;
+  config.num_caches = 6;
+  config.hashing = hashing;
+  config.ring_size = 2;
+  config.placement = "adhoc";
+  core::CacheCloud cloud(config, trace);
+
+  std::map<trace::DocId, trace::CacheId> before;
+  for (trace::DocId d = 0; d < trace.num_docs(); ++d) {
+    before[d] = cloud.beacon_of_doc(d);
+  }
+  cloud.fail_cache(victim);
+  std::size_t moved = 0;
+  std::size_t survivors = 0;
+  for (trace::DocId d = 0; d < trace.num_docs(); ++d) {
+    if (before[d] == victim) continue;  // had to move, any scheme
+    ++survivors;
+    if (cloud.beacon_of_doc(d) != before[d]) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(survivors);
+}
+
+}  // namespace
+
+int main() {
+  trace::ZipfTraceConfig workload;
+  workload.num_docs = 3'000;
+  workload.num_caches = 6;
+  workload.duration_sec = 600.0;
+  workload.requests_per_sec = 30.0;
+  workload.updates_per_minute = 30.0;
+  const trace::Trace trace = trace::generate_zipf_trace(workload);
+
+  // --- Part 1: live failure on the event timeline -------------------
+  core::CloudConfig config;
+  config.num_caches = 6;
+  config.hashing = core::CloudConfig::Hashing::Dynamic;
+  config.ring_size = 2;
+  config.cycle_sec = 120.0;
+  config.placement = "utility";
+  core::CacheCloud cloud(config, trace);
+
+  sim::EventQueue timeline;
+  std::uint64_t served = 0, skipped = 0, misses = 0;
+  const trace::CacheId victim = 3;
+  bool victim_down = false;
+
+  timeline.schedule_at(300.0, [&] {
+    std::printf("t=300s: cache %u fails — its sub-range merges into the "
+                "ring neighbour, holder records purged\n",
+                victim);
+    const auto moves = cloud.fail_cache(victim);
+    for (const auto& move : moves) {
+      std::printf("  ring %u: IrH [%u, %u] re-assigned %u -> %u\n", move.ring,
+                  move.values.lo, move.values.hi, move.from, move.to);
+    }
+    victim_down = true;
+  });
+  for (const trace::Event& event : trace.events()) {
+    timeline.schedule_at(event.time, [&, event] {
+      cloud.maybe_end_cycle(event.time);
+      if (event.type == trace::EventType::Update) {
+        cloud.handle_update(event.doc, event.time);
+        return;
+      }
+      if (victim_down && event.cache == victim) {
+        ++skipped;  // this edge location is dark; clients go elsewhere
+        return;
+      }
+      const auto outcome =
+          cloud.handle_request(event.cache, event.doc, event.time);
+      ++served;
+      if (outcome.kind == core::RequestKind::GroupMiss) ++misses;
+    });
+  }
+  timeline.run();
+  std::printf("timeline done: %llu requests served, %llu at the dark site, "
+              "%llu origin fetches — the cloud kept answering throughout\n\n",
+              static_cast<unsigned long long>(served),
+              static_cast<unsigned long long>(skipped),
+              static_cast<unsigned long long>(misses));
+
+  // --- Part 2: ownership churn per hashing scheme --------------------
+  std::printf("ownership moved among surviving documents when one of 6 "
+              "caches fails:\n");
+  const struct {
+    const char* name;
+    core::CloudConfig::Hashing hashing;
+  } schemes[] = {
+      {"dynamic (beacon rings)", core::CloudConfig::Hashing::Dynamic},
+      {"consistent hashing", core::CloudConfig::Hashing::Consistent},
+      {"static hashing", core::CloudConfig::Hashing::Static},
+  };
+  for (const auto& scheme : schemes) {
+    std::printf("  %-24s %5.1f%%\n", scheme.name,
+                100.0 * remap_fraction(scheme.hashing, trace, victim));
+  }
+  std::printf("\n(dynamic and consistent hashing move only the failed "
+              "node's share; static hashing reshuffles nearly everything)\n");
+  return 0;
+}

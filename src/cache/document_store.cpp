@@ -1,0 +1,196 @@
+#include "cache/document_store.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cachecloud::cache {
+
+DocumentStore::DocumentStore(std::uint64_t capacity_bytes,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
+  if (!policy_) {
+    throw std::invalid_argument("DocumentStore: policy must not be null");
+  }
+}
+
+void DocumentStore::make_room(std::uint64_t needed,
+                              std::vector<DocId>& evicted) {
+  while (capacity_bytes_ - used_ < needed) {
+    const DocId victim = policy_->victim();
+    const auto it = docs_.find(victim);
+    if (it == docs_.end()) {
+      throw std::logic_error("DocumentStore: policy victim not in store");
+    }
+    used_ -= it->second.size_bytes;
+    total_access_count_ -= it->second.access_count;
+    policy_->on_erase(victim);
+    docs_.erase(it);
+    evicted.push_back(victim);
+  }
+}
+
+// Resizes an existing document. The old copy is detached first so that the
+// eviction scan can never pick the document being resized (which would
+// invalidate the caller's view of it). Returns false when the new size can
+// never fit; the document is then gone from the store.
+bool DocumentStore::resize_existing(DocId id, std::uint64_t new_size,
+                                    std::vector<DocId>& evicted) {
+  const auto it = docs_.find(id);
+  StoredDoc saved = it->second;
+  const std::uint64_t old_size = saved.size_bytes;
+
+  if (new_size <= old_size) {
+    used_ -= old_size - new_size;
+    it->second.size_bytes = new_size;
+    return true;
+  }
+
+  if (!unlimited()) {
+    if (new_size > capacity_bytes_) {
+      erase(id);
+      return false;
+    }
+    // Detach, make room, re-attach with history intact.
+    used_ -= old_size;
+    total_access_count_ -= saved.access_count;
+    policy_->on_erase(id);
+    docs_.erase(it);
+    make_room(new_size, evicted);
+
+    saved.size_bytes = new_size;
+    docs_.emplace(id, saved);
+    used_ += new_size;
+    total_access_count_ += saved.access_count;
+    policy_->on_insert(id, DocMeta{new_size, saved.last_access});
+  } else {
+    it->second.size_bytes = new_size;
+    used_ += new_size - old_size;
+  }
+  bytes_written_ += new_size - old_size;
+  return true;
+}
+
+PutResult DocumentStore::put(DocId id, std::uint64_t size_bytes,
+                             std::uint64_t version, double now) {
+  PutResult result;
+
+  if (docs_.count(id) > 0) {
+    if (!resize_existing(id, size_bytes, result.evicted)) {
+      return result;  // grew beyond the disk and was dropped
+    }
+    StoredDoc& doc = docs_.at(id);
+    doc.version = std::max(doc.version, version);
+    doc.last_access = now;
+    doc.validated_at = now;
+    ++doc.access_count;
+    ++total_access_count_;
+    policy_->on_access(id, DocMeta{size_bytes, now});
+    result.stored = true;
+    return result;
+  }
+
+  if (!unlimited()) {
+    if (size_bytes > capacity_bytes_) return result;  // cannot ever fit
+    make_room(size_bytes, result.evicted);
+  }
+
+  StoredDoc doc;
+  doc.id = id;
+  doc.size_bytes = size_bytes;
+  doc.version = version;
+  doc.stored_at = now;
+  doc.last_access = now;
+  doc.validated_at = now;
+  doc.access_count = 1;
+  docs_.emplace(id, doc);
+  used_ += size_bytes;
+  bytes_written_ += size_bytes;
+  ++total_access_count_;
+  policy_->on_insert(id, DocMeta{size_bytes, now});
+  result.stored = true;
+  return result;
+}
+
+std::optional<StoredDoc> DocumentStore::get(DocId id, double now) {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return std::nullopt;
+  StoredDoc& doc = it->second;
+  doc.last_access = now;
+  ++doc.access_count;
+  ++total_access_count_;
+  policy_->on_access(id, DocMeta{doc.size_bytes, now});
+  return doc;
+}
+
+const StoredDoc* DocumentStore::peek(DocId id) const {
+  const auto it = docs_.find(id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+bool DocumentStore::apply_update(DocId id, std::uint64_t version,
+                                 std::uint64_t size_bytes, double now,
+                                 std::vector<DocId>* evicted) {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  if (version <= it->second.version) return true;  // stale or duplicate push
+
+  std::vector<DocId> local;
+  const std::uint64_t old_size = it->second.size_bytes;
+  if (size_bytes != old_size) {
+    if (!resize_existing(id, size_bytes, local)) {
+      // Grew beyond the whole disk: the copy is dropped.
+      local.push_back(id);
+      if (evicted) {
+        evicted->insert(evicted->end(), local.begin(), local.end());
+      }
+      return true;
+    }
+  } else {
+    // Same-size rewrite still writes the body.
+    bytes_written_ += size_bytes;
+  }
+  docs_.at(id).version = version;
+  docs_.at(id).validated_at = now;
+  if (evicted) evicted->insert(evicted->end(), local.begin(), local.end());
+  return true;
+}
+
+bool DocumentStore::touch_validated(DocId id, double now) {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  it->second.validated_at = now;
+  return true;
+}
+
+bool DocumentStore::erase(DocId id) {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  used_ -= it->second.size_bytes;
+  total_access_count_ -= it->second.access_count;
+  policy_->on_erase(id);
+  docs_.erase(it);
+  return true;
+}
+
+double DocumentStore::expected_residence_sec(double now) const noexcept {
+  if (unlimited()) return std::numeric_limits<double>::infinity();
+  if (now <= 0.0 || bytes_written_ == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double churn_rate =
+      static_cast<double>(bytes_written_) / now;  // bytes per second
+  return static_cast<double>(capacity_bytes_) / churn_rate;
+}
+
+double DocumentStore::mean_access_count() const noexcept {
+  if (docs_.empty()) return 0.0;
+  return static_cast<double>(total_access_count_) /
+         static_cast<double>(docs_.size());
+}
+
+void DocumentStore::for_each(
+    const std::function<void(const StoredDoc&)>& fn) const {
+  for (const auto& [_, doc] : docs_) fn(doc);
+}
+
+}  // namespace cachecloud::cache

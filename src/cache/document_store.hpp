@@ -1,0 +1,113 @@
+// Byte-accounted document store of a single edge cache.
+//
+// Stores document *metadata* (id, size, version, access history); bodies are
+// opaque to the simulation and only materialized by the distribution layer
+// (src/node/). Capacity 0 means unlimited disk (the Fig 7/8 setting);
+// otherwise the configured ReplacementPolicy evicts documents until the new
+// one fits (Fig 9 uses LRU on 5% disk).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::cache {
+
+struct StoredDoc {
+  DocId id = 0;
+  std::uint64_t size_bytes = 0;
+  std::uint64_t version = 0;
+  double stored_at = 0.0;
+  double last_access = 0.0;
+  // When the copy was last known fresh: set on insert, refresh and update,
+  // and bumped by touch_validated() after a successful TTL revalidation.
+  double validated_at = 0.0;
+  std::uint64_t access_count = 0;
+};
+
+struct PutResult {
+  bool stored = false;
+  // Documents evicted to make room, in eviction order. The caller (the
+  // cloud's placement layer) must deregister these from the directory.
+  std::vector<DocId> evicted;
+};
+
+class DocumentStore {
+ public:
+  // capacity_bytes == 0 means unlimited.
+  DocumentStore(std::uint64_t capacity_bytes,
+                std::unique_ptr<ReplacementPolicy> policy);
+
+  // Inserts or refreshes a document. A document larger than the whole disk
+  // is not stored (stored == false, nothing evicted). Re-putting an existing
+  // document refreshes its version/size and counts as an access.
+  PutResult put(DocId id, std::uint64_t size_bytes, std::uint64_t version,
+                double now);
+
+  // Access for reading; bumps recency/frequency. Returns nullopt on miss.
+  std::optional<StoredDoc> get(DocId id, double now);
+
+  // Read-only lookup with no policy side effects.
+  [[nodiscard]] const StoredDoc* peek(DocId id) const;
+  [[nodiscard]] bool contains(DocId id) const { return peek(id) != nullptr; }
+
+  // Applies a pushed update: new version (and possibly size). Returns false
+  // if the document is not cached here. A size increase may evict others;
+  // evictions are appended to `evicted` if provided.
+  bool apply_update(DocId id, std::uint64_t version, std::uint64_t size_bytes,
+                    double now, std::vector<DocId>* evicted = nullptr);
+
+  // Marks the copy as known-fresh at `now` (successful TTL revalidation).
+  // Returns false if the document is not cached here.
+  bool touch_validated(DocId id, double now);
+
+  // Explicit removal (e.g. placement decided against keeping it).
+  bool erase(DocId id);
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t doc_count() const noexcept { return docs_.size(); }
+  [[nodiscard]] bool unlimited() const noexcept { return capacity_bytes_ == 0; }
+
+  // Cumulative bytes ever written into the store (inserts + growth). The
+  // DsCC utility component derives the expected residence time of a new copy
+  // from the byte-churn rate: residence ≈ capacity / churn-rate.
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  // Expected residence time in seconds given observed churn since t=0;
+  // +infinity for unlimited stores or stores with no churn.
+  [[nodiscard]] double expected_residence_sec(double now) const noexcept;
+
+  // Mean access count over currently cached documents (AFC normalizer).
+  [[nodiscard]] double mean_access_count() const noexcept;
+
+  // Visits every stored document (unspecified order).
+  void for_each(const std::function<void(const StoredDoc&)>& fn) const;
+
+ private:
+  // Evicts until `needed` bytes fit; appends victims. Precondition:
+  // needed <= capacity.
+  void make_room(std::uint64_t needed, std::vector<DocId>& evicted);
+  // Changes an existing document's size, evicting others as needed; false
+  // means it could never fit and was dropped. Precondition: id is stored.
+  bool resize_existing(DocId id, std::uint64_t new_size,
+                       std::vector<DocId>& evicted);
+
+  std::uint64_t capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<DocId, StoredDoc> docs_;
+  std::uint64_t used_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t total_access_count_ = 0;  // sum over cached docs
+};
+
+}  // namespace cachecloud::cache

@@ -1,0 +1,119 @@
+// Replacement policies for the edge-cache document store.
+//
+// The paper's limited-disk experiment (Fig 9) uses LRU; LFU and GDSF
+// (Greedy-Dual-Size-Frequency, the cost-aware family of Cao & Irani [3],
+// which the related-work section cites) are provided for the replacement
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "trace/trace.hpp"
+
+namespace cachecloud::cache {
+
+using trace::DocId;
+
+// Everything a policy may consult when ranking victims.
+struct DocMeta {
+  std::uint64_t size_bytes = 0;
+  double now = 0.0;  // time of the triggering operation
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_insert(DocId id, const DocMeta& meta) = 0;
+  virtual void on_access(DocId id, const DocMeta& meta) = 0;
+  virtual void on_erase(DocId id) = 0;
+  // The next victim under this policy. Precondition: at least one document
+  // is tracked. Does not remove it; the store calls on_erase afterwards.
+  [[nodiscard]] virtual DocId victim() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Least-recently-used. O(1) per operation.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(DocId id, const DocMeta& meta) override;
+  void on_access(DocId id, const DocMeta& meta) override;
+  void on_erase(DocId id) override;
+  [[nodiscard]] DocId victim() const override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] std::string name() const override { return "lru"; }
+
+ private:
+  std::list<DocId> order_;  // front = most recent
+  std::unordered_map<DocId, std::list<DocId>::iterator> index_;
+};
+
+// Least-frequently-used with LRU tie-break. O(log n) per operation.
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(DocId id, const DocMeta& meta) override;
+  void on_access(DocId id, const DocMeta& meta) override;
+  void on_erase(DocId id) override;
+  [[nodiscard]] DocId victim() const override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] std::string name() const override { return "lfu"; }
+
+ private:
+  struct Key {
+    std::uint64_t count;
+    std::uint64_t tick;  // monotone access stamp for LRU tie-break
+    DocId id;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  void reinsert(DocId id, std::uint64_t count);
+
+  std::set<Key> ranked_;
+  std::unordered_map<DocId, Key> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+// Greedy-Dual-Size-Frequency: priority = inflation + frequency / size.
+// Evicts the lowest priority; the evicted priority inflates future entries,
+// which ages out stale-but-small documents. O(log n) per operation.
+class GdsfPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(DocId id, const DocMeta& meta) override;
+  void on_access(DocId id, const DocMeta& meta) override;
+  void on_erase(DocId id) override;
+  [[nodiscard]] DocId victim() const override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] std::string name() const override { return "gdsf"; }
+
+ private:
+  struct Key {
+    double priority;
+    std::uint64_t tick;
+    DocId id;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t frequency = 0;
+    std::uint64_t size_bytes = 0;
+  };
+  void rank(DocId id, Entry& e);
+
+  std::set<Key> ranked_;
+  std::unordered_map<DocId, Entry> entries_;
+  double inflation_ = 0.0;
+  std::uint64_t tick_ = 0;
+};
+
+// Factory by name ("lru", "lfu", "gdsf"); throws std::invalid_argument on
+// unknown names.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(
+    const std::string& name);
+
+}  // namespace cachecloud::cache

@@ -1,0 +1,185 @@
+#include "core/assigner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace cachecloud::core {
+namespace {
+
+std::uint32_t log2_hops(std::size_t n) noexcept {
+  std::uint32_t hops = 1;
+  while ((std::size_t{1} << hops) < n) ++hops;
+  return std::max<std::uint32_t>(hops, 1);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- static
+
+StaticHashAssigner::StaticHashAssigner(std::vector<CacheId> caches)
+    : caches_(std::move(caches)) {
+  if (caches_.empty()) {
+    throw std::invalid_argument("StaticHashAssigner: no caches");
+  }
+}
+
+BeaconTarget StaticHashAssigner::beacon_of(const UrlHash& hash) const {
+  // "hash the document's URL to one of the edge caches" — one modulo, one
+  // direct hop.
+  return BeaconTarget{caches_[hash.irh_word % caches_.size()], 1};
+}
+
+std::vector<OwnershipMove> StaticHashAssigner::remove_cache(CacheId cache) {
+  const auto it = std::find(caches_.begin(), caches_.end(), cache);
+  if (it == caches_.end()) {
+    throw std::invalid_argument("StaticHashAssigner: unknown cache");
+  }
+  if (caches_.size() == 1) {
+    throw std::invalid_argument("StaticHashAssigner: cannot remove last cache");
+  }
+  caches_.erase(it);
+  // The modulus changed: almost every document's beacon moved. The scheme
+  // cannot enumerate the moves compactly — this is exactly its documented
+  // resilience weakness.
+  return {};
+}
+
+// --------------------------------------------------------- consistent
+
+ConsistentHashAssigner::ConsistentHashAssigner(std::vector<CacheId> caches,
+                                               std::uint32_t virtual_nodes)
+    : num_caches_(caches.size()), virtual_nodes_(virtual_nodes) {
+  if (caches.empty()) {
+    throw std::invalid_argument("ConsistentHashAssigner: no caches");
+  }
+  if (virtual_nodes_ == 0) {
+    throw std::invalid_argument("ConsistentHashAssigner: virtual_nodes == 0");
+  }
+  circle_.reserve(caches.size() * virtual_nodes_);
+  for (const CacheId cache : caches) {
+    for (std::uint32_t v = 0; v < virtual_nodes_; ++v) {
+      const std::uint64_t position = util::mix64(
+          util::hash_combine(static_cast<std::uint64_t>(cache) + 1, v));
+      circle_.push_back(Point{position, cache});
+    }
+  }
+  std::sort(circle_.begin(), circle_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position < b.position;
+            });
+  rebuild_hops();
+}
+
+void ConsistentHashAssigner::rebuild_hops() {
+  // Distributed successor lookup (finger-table walk a la Chord): O(log n)
+  // hops on average. This is the "might take up to log(n) timesteps" cost
+  // §2.1 attributes to consistent hashing.
+  discovery_hops_ = log2_hops(num_caches_);
+}
+
+BeaconTarget ConsistentHashAssigner::beacon_of(const UrlHash& hash) const {
+  const std::uint64_t position = hash.irh_word;
+  auto it = std::lower_bound(circle_.begin(), circle_.end(), position,
+                             [](const Point& p, std::uint64_t v) {
+                               return p.position < v;
+                             });
+  if (it == circle_.end()) it = circle_.begin();  // wrap around
+  return BeaconTarget{it->cache, discovery_hops_};
+}
+
+std::vector<OwnershipMove> ConsistentHashAssigner::remove_cache(CacheId cache) {
+  const std::size_t before = circle_.size();
+  std::erase_if(circle_, [cache](const Point& p) { return p.cache == cache; });
+  if (circle_.size() == before) {
+    throw std::invalid_argument("ConsistentHashAssigner: unknown cache");
+  }
+  if (circle_.empty()) {
+    throw std::invalid_argument(
+        "ConsistentHashAssigner: cannot remove last cache");
+  }
+  --num_caches_;
+  rebuild_hops();
+  // Ownership moves only to circle successors; affected documents are those
+  // of the removed arcs. Enumerating them needs the document set, which the
+  // assigner does not hold; the cloud handles this via its directory.
+  return {};
+}
+
+// ------------------------------------------------------------ dynamic
+
+DynamicHashAssigner::DynamicHashAssigner(
+    const std::vector<CacheId>& caches, const std::vector<double>& capabilities,
+    const Config& config)
+    : config_(config) {
+  if (caches.empty()) {
+    throw std::invalid_argument("DynamicHashAssigner: no caches");
+  }
+  if (caches.size() != capabilities.size()) {
+    throw std::invalid_argument(
+        "DynamicHashAssigner: caches/capabilities size mismatch");
+  }
+  if (config_.ring_size == 0) {
+    throw std::invalid_argument("DynamicHashAssigner: ring_size == 0");
+  }
+
+  const BeaconRing::Config ring_config{config_.irh_gen, config_.track_per_irh};
+  std::size_t i = 0;
+  while (i < caches.size()) {
+    std::size_t end = std::min(i + config_.ring_size, caches.size());
+    // A trailing remainder smaller than ring_size joins the last full ring
+    // instead of forming an undersized one.
+    const std::size_t remaining_after = caches.size() - end;
+    if (remaining_after > 0 && remaining_after < config_.ring_size) {
+      end = caches.size();
+    }
+    rings_.emplace_back(
+        std::vector<CacheId>(caches.begin() + static_cast<std::ptrdiff_t>(i),
+                             caches.begin() + static_cast<std::ptrdiff_t>(end)),
+        std::vector<double>(
+            capabilities.begin() + static_cast<std::ptrdiff_t>(i),
+            capabilities.begin() + static_cast<std::ptrdiff_t>(end)),
+        ring_config);
+    i = end;
+  }
+}
+
+BeaconTarget DynamicHashAssigner::beacon_of(const UrlHash& hash) const {
+  const std::uint32_t ring_id = hash.ring(num_rings());
+  const std::uint32_t irh = hash.irh(config_.irh_gen);
+  // Two-step resolution, both local table walks: one direct hop.
+  return BeaconTarget{rings_[ring_id].resolve(irh), 1};
+}
+
+void DynamicHashAssigner::record_load(const UrlHash& hash, double amount) {
+  rings_[hash.ring(num_rings())].record_load(hash.irh(config_.irh_gen),
+                                             amount);
+}
+
+std::vector<OwnershipMove> DynamicHashAssigner::end_cycle() {
+  std::vector<OwnershipMove> moves;
+  for (std::uint32_t r = 0; r < num_rings(); ++r) {
+    for (const BeaconRing::Move& m : rings_[r].rebalance()) {
+      moves.push_back(OwnershipMove{m.from, m.to, r, m.values});
+    }
+  }
+  return moves;
+}
+
+std::vector<OwnershipMove> DynamicHashAssigner::remove_cache(CacheId cache) {
+  for (std::uint32_t r = 0; r < num_rings(); ++r) {
+    const auto& members = rings_[r].members();
+    if (std::find(members.begin(), members.end(), cache) != members.end()) {
+      std::vector<OwnershipMove> moves;
+      for (const BeaconRing::Move& m : rings_[r].remove_member(cache)) {
+        moves.push_back(OwnershipMove{m.from, m.to, r, m.values});
+      }
+      return moves;
+    }
+  }
+  throw std::invalid_argument("DynamicHashAssigner: unknown cache");
+}
+
+}  // namespace cachecloud::core

@@ -1,0 +1,135 @@
+// Beacon-point assignment schemes (§2.1-2.2).
+//
+// Three ways to decide which cache in a cloud is the beacon point of a
+// document:
+//   - StaticHashAssigner: random hash of the URL onto the cache list — the
+//     paper's "static hashing" baseline;
+//   - ConsistentHashAssigner: caches and URLs on a hash circle, document
+//     owned by its successor — the consistent-hashing baseline, whose
+//     *distributed* beacon discovery costs O(log n) hops;
+//   - DynamicHashAssigner: the paper's contribution — beacon rings with
+//     periodically re-balanced intra-ring sub-ranges.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/beacon_ring.hpp"
+#include "core/url_hash.hpp"
+
+namespace cachecloud::core {
+
+struct BeaconTarget {
+  CacheId beacon = 0;
+  // Network hops a cache (or the origin) spends discovering the beacon
+  // point. Direct-mapping schemes resolve in 1 hop; distributed successor
+  // lookup on the consistent-hash circle takes O(log n).
+  std::uint32_t discovery_hops = 1;
+};
+
+// A contiguous block of document ownership that moved between two caches —
+// the new owner must fetch the corresponding lookup records.
+struct OwnershipMove {
+  CacheId from = 0;
+  CacheId to = 0;
+  std::uint32_t ring = 0;  // beacon ring id; 0 for non-ring schemes
+  SubRange values;         // IrH values whose ownership moved
+};
+
+class BeaconAssigner {
+ public:
+  virtual ~BeaconAssigner() = default;
+
+  [[nodiscard]] virtual BeaconTarget beacon_of(const UrlHash& hash) const = 0;
+
+  // Accounts lookup/update work against the scheme's balancing state.
+  // No-op for schemes without feedback.
+  virtual void record_load(const UrlHash& hash, double amount) {
+    (void)hash; (void)amount;
+  }
+
+  // Ends a balancing cycle; returns ownership moves (empty for schemes that
+  // never move ownership).
+  virtual std::vector<OwnershipMove> end_cycle() { return {}; }
+
+  // Removes a failed cache from the scheme. Returns the ownership moves the
+  // scheme can enumerate (static hashing remaps globally and returns empty).
+  virtual std::vector<OwnershipMove> remove_cache(CacheId cache) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class StaticHashAssigner final : public BeaconAssigner {
+ public:
+  explicit StaticHashAssigner(std::vector<CacheId> caches);
+
+  [[nodiscard]] BeaconTarget beacon_of(const UrlHash& hash) const override;
+  std::vector<OwnershipMove> remove_cache(CacheId cache) override;
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  std::vector<CacheId> caches_;
+};
+
+class ConsistentHashAssigner final : public BeaconAssigner {
+ public:
+  // virtual_nodes: circle points per cache (Karger-style replication).
+  ConsistentHashAssigner(std::vector<CacheId> caches,
+                         std::uint32_t virtual_nodes = 32);
+
+  [[nodiscard]] BeaconTarget beacon_of(const UrlHash& hash) const override;
+  std::vector<OwnershipMove> remove_cache(CacheId cache) override;
+  [[nodiscard]] std::string name() const override { return "consistent"; }
+
+  [[nodiscard]] std::size_t circle_size() const noexcept {
+    return circle_.size();
+  }
+
+ private:
+  void rebuild_hops();
+
+  struct Point {
+    std::uint64_t position;
+    CacheId cache;
+  };
+  std::vector<Point> circle_;  // sorted by position
+  std::size_t num_caches_;
+  std::uint32_t virtual_nodes_;
+  std::uint32_t discovery_hops_ = 1;
+};
+
+class DynamicHashAssigner final : public BeaconAssigner {
+ public:
+  struct Config {
+    std::uint32_t ring_size = 2;  // beacon points per ring (>= 1)
+    std::uint32_t irh_gen = 1000;
+    bool track_per_irh = true;
+  };
+
+  // Caches are chunked into rings of `ring_size` in the given order; a
+  // remainder smaller than ring_size joins the last ring.
+  DynamicHashAssigner(const std::vector<CacheId>& caches,
+                      const std::vector<double>& capabilities,
+                      const Config& config);
+
+  [[nodiscard]] BeaconTarget beacon_of(const UrlHash& hash) const override;
+  void record_load(const UrlHash& hash, double amount) override;
+  std::vector<OwnershipMove> end_cycle() override;
+  std::vector<OwnershipMove> remove_cache(CacheId cache) override;
+  [[nodiscard]] std::string name() const override { return "dynamic"; }
+
+  [[nodiscard]] std::uint32_t num_rings() const noexcept {
+    return static_cast<std::uint32_t>(rings_.size());
+  }
+  [[nodiscard]] const BeaconRing& ring(std::uint32_t i) const {
+    return rings_.at(i);
+  }
+
+ private:
+  std::vector<BeaconRing> rings_;
+  Config config_;
+};
+
+}  // namespace cachecloud::core

@@ -1,0 +1,168 @@
+#include "core/beacon_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachecloud::core {
+
+BeaconRing::BeaconRing(std::vector<CacheId> members,
+                       std::vector<double> capabilities, const Config& config)
+    : config_(config),
+      members_(std::move(members)),
+      capabilities_(std::move(capabilities)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("BeaconRing: must have at least one member");
+  }
+  if (members_.size() != capabilities_.size()) {
+    throw std::invalid_argument(
+        "BeaconRing: members/capabilities size mismatch");
+  }
+  if (config_.irh_gen < members_.size()) {
+    throw std::invalid_argument("BeaconRing: irh_gen smaller than ring size");
+  }
+  ranges_ = initial_subranges(capabilities_, config_.irh_gen);
+  reset_cycle();
+}
+
+void BeaconRing::reset_cycle() {
+  cycle_loads_.assign(members_.size(), 0.0);
+  if (config_.track_per_irh) {
+    irh_loads_.assign(config_.irh_gen, 0.0);
+  } else {
+    irh_loads_.clear();
+  }
+}
+
+std::size_t BeaconRing::resolve_index(std::uint32_t irh) const {
+  if (irh >= config_.irh_gen) {
+    throw std::out_of_range("BeaconRing::resolve: irh out of range");
+  }
+  // Ranges are consecutive and sorted; binary-search the first range whose
+  // hi >= irh. Ring sizes are small (2-10), but clouds may configure one big
+  // ring, so keep it logarithmic.
+  const auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), irh,
+      [](const SubRange& r, std::uint32_t v) { return r.hi < v; });
+  return static_cast<std::size_t>(it - ranges_.begin());
+}
+
+CacheId BeaconRing::resolve(std::uint32_t irh) const {
+  return members_[resolve_index(irh)];
+}
+
+void BeaconRing::record_load(std::uint32_t irh, double amount) {
+  const std::size_t idx = resolve_index(irh);
+  cycle_loads_[idx] += amount;
+  if (config_.track_per_irh) irh_loads_[irh] += amount;
+}
+
+std::vector<BeaconRing::Move> BeaconRing::diff_ranges(
+    const std::vector<SubRange>& before, const std::vector<SubRange>& after,
+    const std::vector<CacheId>& before_members) const {
+  std::vector<Move> moves;
+  std::size_t bi = 0;
+  std::size_t ai = 0;
+  std::uint32_t pos = 0;
+  while (pos < config_.irh_gen) {
+    while (before[bi].hi < pos) ++bi;
+    while (after[ai].hi < pos) ++ai;
+    const std::uint32_t span_hi = std::min(before[bi].hi, after[ai].hi);
+    const CacheId old_owner = before_members[bi];
+    const CacheId new_owner = members_[ai];
+    if (old_owner != new_owner) {
+      // Coalesce with the previous move when it is contiguous and has the
+      // same endpoints.
+      if (!moves.empty() && moves.back().from == old_owner &&
+          moves.back().to == new_owner && moves.back().values.hi + 1 == pos) {
+        moves.back().values.hi = span_hi;
+      } else {
+        moves.push_back(Move{old_owner, new_owner, SubRange{pos, span_hi}});
+      }
+    }
+    pos = span_hi + 1;
+  }
+  return moves;
+}
+
+std::vector<BeaconRing::Move> BeaconRing::rebalance() {
+  std::vector<PointLoad> points(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    points[i].capability = capabilities_[i];
+    points[i].range = ranges_[i];
+    points[i].cycle_load = cycle_loads_[i];
+    if (config_.track_per_irh) {
+      points[i].per_irh.assign(irh_loads_.begin() + ranges_[i].lo,
+                               irh_loads_.begin() + ranges_[i].hi + 1);
+    }
+  }
+  std::vector<SubRange> next = determine_subranges(points, config_.irh_gen);
+  std::vector<Move> moves = diff_ranges(ranges_, next, members_);
+  ranges_ = std::move(next);
+  reset_cycle();
+  return moves;
+}
+
+std::vector<BeaconRing::Move> BeaconRing::remove_member(CacheId cache) {
+  const auto it = std::find(members_.begin(), members_.end(), cache);
+  if (it == members_.end()) {
+    throw std::invalid_argument("BeaconRing::remove_member: not a member");
+  }
+  if (members_.size() == 1) {
+    throw std::invalid_argument(
+        "BeaconRing::remove_member: cannot remove the last member");
+  }
+  const auto idx = static_cast<std::size_t>(it - members_.begin());
+  const SubRange freed = ranges_[idx];
+  // Merge into the predecessor when one exists, else the successor; both
+  // keep the partition contiguous.
+  const std::size_t heir = idx > 0 ? idx - 1 : idx + 1;
+  const CacheId heir_cache = members_[heir];
+  if (idx > 0) {
+    ranges_[heir].hi = freed.hi;
+  } else {
+    ranges_[heir].lo = freed.lo;
+  }
+
+  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(idx));
+  capabilities_.erase(capabilities_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // Loads of the failed member are lost with it; start a fresh cycle so the
+  // next re-balance is not skewed by a half-observed cycle.
+  reset_cycle();
+  return {Move{cache, heir_cache, freed}};
+}
+
+std::vector<BeaconRing::Move> BeaconRing::add_member(CacheId cache,
+                                                     double capability) {
+  if (capability <= 0.0) {
+    throw std::invalid_argument("BeaconRing::add_member: capability <= 0");
+  }
+  if (std::find(members_.begin(), members_.end(), cache) != members_.end()) {
+    throw std::invalid_argument("BeaconRing::add_member: already a member");
+  }
+  // Split the widest sub-range; the newcomer takes its upper half and sits
+  // directly after the donor in ring order, keeping ranges consecutive.
+  std::size_t widest = 0;
+  for (std::size_t i = 1; i < ranges_.size(); ++i) {
+    if (ranges_[i].length() > ranges_[widest].length()) widest = i;
+  }
+  if (ranges_[widest].length() < 2) {
+    throw std::invalid_argument(
+        "BeaconRing::add_member: no sub-range left to split");
+  }
+  const SubRange donor = ranges_[widest];
+  const std::uint32_t mid = donor.lo + donor.length() / 2;
+  ranges_[widest] = SubRange{donor.lo, mid - 1};
+  const SubRange taken{mid, donor.hi};
+  const CacheId donor_cache = members_[widest];
+
+  const auto pos = static_cast<std::ptrdiff_t>(widest) + 1;
+  members_.insert(members_.begin() + pos, cache);
+  capabilities_.insert(capabilities_.begin() + pos, capability);
+  ranges_.insert(ranges_.begin() + pos, taken);
+  reset_cycle();
+  return {Move{donor_cache, cache, taken}};
+}
+
+}  // namespace cachecloud::core

@@ -1,0 +1,99 @@
+// A beacon ring: the unit of dynamic load balancing (§2.2-2.3).
+//
+// Each ring owns a disjoint slice of the document space (documents whose
+// ring hash equals this ring's id) and divides its intra-ring hash space
+// among its member beacon points. Load observed during a cycle drives the
+// next cycle's sub-range assignment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/subrange.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::core {
+
+using trace::CacheId;
+
+class BeaconRing {
+ public:
+  struct Config {
+    std::uint32_t irh_gen = 1000;
+    // Track per-IrH-value load (CIrHLd). When false, re-balancing uses the
+    // CAvgLoad uniform approximation (paper Fig 2-C).
+    bool track_per_irh = true;
+  };
+
+  // members / capabilities: the beacon points in ring order. Capabilities
+  // must be positive.
+  BeaconRing(std::vector<CacheId> members, std::vector<double> capabilities,
+             const Config& config);
+
+  // The beacon point currently owning this IrH value.
+  [[nodiscard]] CacheId resolve(std::uint32_t irh) const;
+  [[nodiscard]] std::size_t resolve_index(std::uint32_t irh) const;
+
+  // Accounts one unit (or `amount`) of lookup/update work for the IrH value.
+  void record_load(std::uint32_t irh, double amount = 1.0);
+
+  // A contiguous IrH interval whose ownership changed in a re-balance; the
+  // new owner must obtain the lookup records of these values from the old
+  // owner ("Beacon points that have been assigned new IrH values obtain
+  // lookup records of the documents belonging to the new IrH values from
+  // their current beacon points").
+  struct Move {
+    CacheId from = 0;
+    CacheId to = 0;
+    SubRange values;
+  };
+
+  // Ends the current cycle: computes next-cycle sub-ranges from the observed
+  // loads, clears the accumulators, and reports the ownership moves.
+  std::vector<Move> rebalance();
+
+  // Failure handling: removes a member; its sub-range merges into the ring
+  // neighbour (predecessor if any, else successor). Returns the moves.
+  // Throws std::invalid_argument if the cache is not a member or it is the
+  // last member.
+  std::vector<Move> remove_member(CacheId cache);
+
+  // Adds a member at the end of the ring order with the given capability.
+  // It receives a slice of the currently largest sub-range.
+  std::vector<Move> add_member(CacheId cache, double capability);
+
+  [[nodiscard]] const std::vector<CacheId>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] const std::vector<SubRange>& ranges() const noexcept {
+    return ranges_;
+  }
+  [[nodiscard]] const std::vector<double>& capabilities() const noexcept {
+    return capabilities_;
+  }
+  // Load accumulated by each member in the current (unfinished) cycle.
+  [[nodiscard]] const std::vector<double>& cycle_loads() const noexcept {
+    return cycle_loads_;
+  }
+  [[nodiscard]] std::uint32_t irh_gen() const noexcept { return config_.irh_gen; }
+  [[nodiscard]] bool tracks_per_irh() const noexcept {
+    return config_.track_per_irh;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Move> diff_ranges(
+      const std::vector<SubRange>& before, const std::vector<SubRange>& after,
+      const std::vector<CacheId>& before_members) const;
+  void reset_cycle();
+
+  Config config_;
+  std::vector<CacheId> members_;
+  std::vector<double> capabilities_;
+  std::vector<SubRange> ranges_;
+  std::vector<double> cycle_loads_;          // per member
+  std::vector<double> irh_loads_;            // per IrH value (if tracked)
+};
+
+}  // namespace cachecloud::core

@@ -1,0 +1,369 @@
+#include "core/cloud.hpp"
+
+#include <stdexcept>
+
+namespace cachecloud::core {
+namespace {
+
+std::unique_ptr<BeaconAssigner> make_assigner(const CloudConfig& config,
+                                              const std::vector<CacheId>& ids,
+                                              const std::vector<double>& caps) {
+  switch (config.hashing) {
+    case CloudConfig::Hashing::Static:
+      return std::make_unique<StaticHashAssigner>(ids);
+    case CloudConfig::Hashing::Consistent:
+      return std::make_unique<ConsistentHashAssigner>(ids,
+                                                      config.virtual_nodes);
+    case CloudConfig::Hashing::Dynamic: {
+      DynamicHashAssigner::Config dyn;
+      dyn.ring_size = config.ring_size;
+      dyn.irh_gen = config.irh_gen;
+      dyn.track_per_irh = config.track_per_irh;
+      return std::make_unique<DynamicHashAssigner>(ids, caps, dyn);
+    }
+  }
+  throw std::invalid_argument("CacheCloud: unknown hashing scheme");
+}
+
+}  // namespace
+
+CacheCloud::CacheCloud(const CloudConfig& config, const trace::Trace& trace)
+    : config_(config) {
+  if (config_.num_caches == 0) {
+    throw std::invalid_argument("CacheCloud: num_caches must be > 0");
+  }
+  std::vector<double> caps = config_.capabilities;
+  if (caps.empty()) {
+    caps.assign(config_.num_caches, 1.0);
+  } else if (caps.size() != config_.num_caches) {
+    throw std::invalid_argument(
+        "CacheCloud: capabilities size must match num_caches");
+  }
+  config_.capabilities = caps;
+
+  std::vector<CacheId> ids(config_.num_caches);
+  for (std::uint32_t i = 0; i < config_.num_caches; ++i) ids[i] = i;
+
+  stores_.reserve(config_.num_caches);
+  for (std::uint32_t i = 0; i < config_.num_caches; ++i) {
+    stores_.push_back(std::make_unique<cache::DocumentStore>(
+        config_.per_cache_capacity_bytes,
+        cache::make_policy(config_.replacement)));
+  }
+  assigner_ = make_assigner(config_, ids, caps);
+  placement_ = make_placement(config_.placement, config_.utility);
+
+  const auto& catalog = trace.catalog();
+  hashes_.reserve(catalog.size());
+  sizes_.reserve(catalog.size());
+  for (const auto& doc : catalog) {
+    hashes_.push_back(hash_url(doc.url));
+    sizes_.push_back(doc.size_bytes);
+  }
+  versions_.assign(catalog.size(), 1);
+  failed_.assign(config_.num_caches, false);
+
+  update_monitors_.assign(catalog.size(),
+                          util::RateEstimator(config_.monitor_half_life_sec));
+  request_monitors_.assign(config_.num_caches,
+                           util::RateEstimator(config_.monitor_half_life_sec));
+  next_cycle_at_ = config_.cycle_sec;
+}
+
+PlacementContext CacheCloud::build_context(CacheId cache, DocId doc,
+                                           double now, CacheId beacon) const {
+  PlacementContext ctx;
+  ctx.cache = cache;
+  ctx.doc = doc;
+  ctx.now = now;
+  ctx.is_beacon = cache == beacon;
+
+  const auto monitor = access_monitors_.find(monitor_key(cache, doc));
+  ctx.access_rate =
+      monitor == access_monitors_.end() ? 0.0 : monitor->second.rate(now);
+  ctx.update_rate = update_monitors_[doc].rate(now);
+
+  const cache::DocumentStore& local = *stores_[cache];
+  const double cache_rate = request_monitors_[cache].rate(now);
+  ctx.mean_access_rate_at_cache =
+      local.doc_count() > 0
+          ? cache_rate / static_cast<double>(local.doc_count())
+          : 0.0;
+
+  const LookupDirectory::Record* record = directory_.find(doc);
+  ctx.cloud_copies = record ? record->holders.size() : 0;
+  ctx.residence_sec = local.expected_residence_sec(now);
+  return ctx;
+}
+
+void CacheCloud::note_eviction(CacheId cache,
+                               const std::vector<DocId>& evicted) {
+  for (const DocId doc : evicted) {
+    directory_.remove_holder(doc, cache);
+  }
+}
+
+RequestOutcome CacheCloud::handle_request(CacheId at, DocId doc, double now) {
+  if (at >= config_.num_caches) {
+    throw std::out_of_range("CacheCloud::handle_request: bad cache id");
+  }
+  if (failed_[at]) {
+    throw std::invalid_argument(
+        "CacheCloud::handle_request: cache has failed");
+  }
+  if (doc >= hashes_.size()) {
+    throw std::out_of_range("CacheCloud::handle_request: bad doc id");
+  }
+
+  // Monitors observe every request, hit or miss.
+  access_monitors_
+      .try_emplace(monitor_key(at, doc),
+                   util::RateEstimator(config_.monitor_half_life_sec))
+      .first->second.record(now);
+  request_monitors_[at].record(now);
+
+  RequestOutcome outcome;
+  outcome.requester = at;
+  outcome.doc_bytes = sizes_[doc];
+
+  if (const auto local = stores_[at]->get(doc, now)) {
+    if (config_.consistency == CloudConfig::Consistency::Ttl) {
+      if (now - local->validated_at > config_.ttl_sec) {
+        // Expired: revalidate with the origin.
+        if (local->version >= versions_[doc]) {
+          stores_[at]->touch_validated(doc, now);
+          outcome.kind = RequestKind::LocalHit;
+          outcome.revalidated = true;
+          return outcome;
+        }
+        // Stale: refetch the current version from the origin.
+        stores_[at]->apply_update(doc, versions_[doc], sizes_[doc], now);
+        directory_.set_version(doc, versions_[doc]);
+        outcome.kind = RequestKind::GroupMiss;
+        outcome.refetched = true;
+        return outcome;
+      }
+      // Within TTL: served blind — possibly stale.
+      outcome.stale_served = local->version < versions_[doc];
+    }
+    outcome.kind = RequestKind::LocalHit;
+    return outcome;
+  }
+
+  if (!config_.cooperative) {
+    // No cooperation: the miss goes straight to the origin. The copy is
+    // still registered so the origin can push updates to it (origin-side
+    // holder registry, as CDN invalidation services keep).
+    outcome.kind = RequestKind::GroupMiss;
+    const PlacementContext ctx = build_context(at, doc, now, /*beacon=*/at);
+    if (placement_->store_at_requester(ctx)) {
+      cache::PutResult put =
+          stores_[at]->put(doc, sizes_[doc], versions_[doc], now);
+      if (put.stored) {
+        outcome.stored = true;
+        directory_.add_holder(doc, at);
+        note_eviction(at, put.evicted);
+        outcome.evicted_at_requester = std::move(put.evicted);
+      }
+    }
+    return outcome;
+  }
+
+  // Local miss: resolve the beacon point and consult its lookup record.
+  const UrlHash& hash = hashes_[doc];
+  const BeaconTarget target = assigner_->beacon_of(hash);
+  assigner_->record_load(hash, 1.0);
+  outcome.beacon = target.beacon;
+  outcome.discovery_hops = target.discovery_hops;
+
+  const LookupDirectory::Record* record = directory_.find(doc);
+  std::optional<CacheId> source;
+  if (record) {
+    outcome.holders_seen = static_cast<std::uint32_t>(record->holders.size());
+    for (const CacheId holder : record->holders) {
+      if (holder != at && !failed_[holder]) {
+        source = holder;
+        break;
+      }
+    }
+  }
+
+  std::uint64_t version = versions_[doc];
+  if (source) {
+    outcome.kind = RequestKind::CloudHit;
+    outcome.source = source;
+    // Serving the copy counts as an access at the holder. Under TTL
+    // consistency the holder's copy — and hence the served version — may
+    // lag the origin.
+    const auto held = stores_[*source]->get(doc, now);
+    if (config_.consistency == CloudConfig::Consistency::Ttl && held) {
+      version = held->version;
+      outcome.stale_served = version < versions_[doc];
+    }
+  } else {
+    outcome.kind = RequestKind::GroupMiss;
+  }
+
+  // Placement decision for the retrieved copy.
+  const PlacementContext ctx = build_context(at, doc, now, target.beacon);
+  if (placement_->store_at_requester(ctx)) {
+    cache::PutResult put = stores_[at]->put(doc, sizes_[doc], version, now);
+    if (put.stored) {
+      outcome.stored = true;
+      directory_.add_holder(doc, at);
+      directory_.set_version(doc, version);
+      note_eviction(at, put.evicted);
+      outcome.evicted_at_requester = std::move(put.evicted);
+    }
+  }
+
+  // Beacon-point placement keeps the cloud's single copy at the beacon.
+  if (outcome.kind == RequestKind::GroupMiss &&
+      placement_->replicate_to_beacon_on_group_miss() &&
+      target.beacon != at && !failed_[target.beacon] &&
+      !stores_[target.beacon]->contains(doc)) {
+    cache::PutResult put =
+        stores_[target.beacon]->put(doc, sizes_[doc], version, now);
+    if (put.stored) {
+      outcome.replicated_to_beacon = true;
+      directory_.add_holder(doc, target.beacon);
+      directory_.set_version(doc, version);
+      note_eviction(target.beacon, put.evicted);
+      outcome.evicted_at_beacon = std::move(put.evicted);
+    }
+  }
+
+  return outcome;
+}
+
+UpdateOutcome CacheCloud::handle_update(DocId doc, double now) {
+  if (doc >= hashes_.size()) {
+    throw std::out_of_range("CacheCloud::handle_update: bad doc id");
+  }
+  update_monitors_[doc].record(now);
+  const std::uint64_t version = ++versions_[doc];
+
+  if (config_.consistency == CloudConfig::Consistency::Ttl) {
+    // TTL consistency: the origin records the new version and sends
+    // nothing; caches keep serving their copies until expiry.
+    UpdateOutcome outcome;
+    outcome.pushed = false;
+    outcome.discovery_hops = 0;
+    outcome.doc_bytes = sizes_[doc];
+    return outcome;
+  }
+
+  if (!config_.cooperative) {
+    // The origin pushes the new version to every holder individually.
+    UpdateOutcome outcome;
+    outcome.discovery_hops = 0;  // no beacon involved
+    outcome.doc_bytes = sizes_[doc];
+    if (const LookupDirectory::Record* record = directory_.find(doc)) {
+      const std::vector<CacheId> holders = record->holders;
+      for (const CacheId holder : holders) {
+        if (failed_[holder]) continue;
+        std::vector<DocId> evicted;
+        stores_[holder]->apply_update(doc, version, sizes_[doc], now,
+                                      &evicted);
+        note_eviction(holder, evicted);
+        outcome.holders.push_back(holder);
+      }
+      directory_.set_version(doc, version);
+    }
+    return outcome;
+  }
+
+  const UrlHash& hash = hashes_[doc];
+  const BeaconTarget target = assigner_->beacon_of(hash);
+
+  UpdateOutcome outcome;
+  outcome.beacon = target.beacon;
+  outcome.discovery_hops = target.discovery_hops;
+  outcome.doc_bytes = sizes_[doc];
+
+  const LookupDirectory::Record* record = directory_.find(doc);
+  if (record) {
+    // Copy: apply_update may drop documents and mutate the directory.
+    const std::vector<CacheId> holders = record->holders;
+    for (const CacheId holder : holders) {
+      if (failed_[holder]) continue;
+      // The holder re-evaluates the copy's worth now that its consistency
+      // cost has materialized; utility placement may decide to drop it
+      // rather than pay for the refresh.
+      PlacementContext ctx = build_context(holder, doc, now, target.beacon);
+      if (ctx.cloud_copies > 0) --ctx.cloud_copies;  // exclude the copy itself
+      if (!placement_->keep_on_update(ctx)) {
+        stores_[holder]->erase(doc);
+        directory_.remove_holder(doc, holder);
+        outcome.dropped.push_back(holder);
+        continue;
+      }
+      std::vector<DocId> evicted;
+      stores_[holder]->apply_update(doc, version, sizes_[doc], now, &evicted);
+      note_eviction(holder, evicted);
+      outcome.holders.push_back(holder);
+    }
+    directory_.set_version(doc, version);
+  }
+  // The beacon point's update work is the notification it receives plus the
+  // propagation fan-out to every holder ("load due to document lookup and
+  // update propagation", §2.3) — a hot, widely replicated document costs its
+  // beacon point more than a cold one.
+  assigner_->record_load(
+      hash, 1.0 + static_cast<double>(outcome.holders.size() +
+                                      outcome.dropped.size()));
+  return outcome;
+}
+
+std::optional<CycleOutcome> CacheCloud::maybe_end_cycle(double now) {
+  if (!config_.cooperative) return std::nullopt;  // nothing to re-balance
+  if (config_.cycle_sec <= 0.0 || now < next_cycle_at_) return std::nullopt;
+  while (next_cycle_at_ <= now) next_cycle_at_ += config_.cycle_sec;
+  return end_cycle_now();
+}
+
+CycleOutcome CacheCloud::end_cycle_now() {
+  CycleOutcome outcome;
+  outcome.moves = assigner_->end_cycle();
+  if (outcome.moves.empty()) return outcome;
+
+  // Count the lookup records that change owner: documents with a directory
+  // record whose (ring, IrH) falls into a moved block.
+  const auto* dynamic = dynamic_cast<const DynamicHashAssigner*>(assigner_.get());
+  if (dynamic) {
+    for (DocId doc = 0; doc < hashes_.size(); ++doc) {
+      if (!directory_.find(doc)) continue;
+      const std::uint32_t ring = hashes_[doc].ring(dynamic->num_rings());
+      const std::uint32_t irh = hashes_[doc].irh(config_.irh_gen);
+      for (const OwnershipMove& move : outcome.moves) {
+        if (move.ring == ring && move.values.contains(irh)) {
+          ++outcome.records_transferred;
+          break;
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<OwnershipMove> CacheCloud::fail_cache(CacheId cache) {
+  if (cache >= config_.num_caches) {
+    throw std::out_of_range("CacheCloud::fail_cache: bad cache id");
+  }
+  if (failed_[cache]) {
+    throw std::invalid_argument("CacheCloud::fail_cache: already failed");
+  }
+  failed_[cache] = true;
+  directory_.remove_cache(cache);
+  return assigner_->remove_cache(cache);
+}
+
+UtilityBreakdown CacheCloud::utility_of(CacheId cache, DocId doc,
+                                        double now) const {
+  const BeaconTarget target = assigner_->beacon_of(hashes_.at(doc));
+  const PlacementContext ctx = build_context(cache, doc, now, target.beacon);
+  UtilityConfig weights = config_.utility;
+  return compute_utility(ctx, weights);
+}
+
+}  // namespace cachecloud::core

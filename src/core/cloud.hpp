@@ -1,0 +1,207 @@
+// CacheCloud: a cooperative group of edge caches (§2).
+//
+// Ties together the beacon-point assignment scheme (static / consistent /
+// dynamic hashing), the lookup directory, the per-cache document stores and
+// the placement policy, and executes the document lookup and update
+// protocols:
+//
+//   request at cache c for document d:
+//     local hit  -> serve;
+//     otherwise  -> resolve d's beacon point, fetch the holder list,
+//                   retrieve from a holder (cloud hit) or from the origin
+//                   server (group miss), then let the placement policy
+//                   decide whether the retrieved copy is kept.
+//
+//   update of d at the origin:
+//     origin resolves d's beacon point per cloud and sends one update
+//     message; the beacon point pushes the new version to every current
+//     holder.
+//
+// All outcomes carry enough detail for the simulator to account network
+// traffic, latency and per-beacon-point load exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/document_store.hpp"
+#include "core/assigner.hpp"
+#include "core/directory.hpp"
+#include "core/placement.hpp"
+#include "core/url_hash.hpp"
+#include "trace/trace.hpp"
+#include "util/rate.hpp"
+
+namespace cachecloud::core {
+
+struct CloudConfig {
+  std::uint32_t num_caches = 10;
+  std::uint64_t per_cache_capacity_bytes = 0;  // 0 = unlimited disk
+  std::string replacement = "lru";
+
+  // When false, the caches do not cooperate at all — the paper's "edge
+  // network without cooperation" baseline (§4): every local miss goes
+  // straight to the origin server, and the origin must push each update to
+  // every holder individually instead of sending one message per cloud.
+  bool cooperative = true;
+
+  enum class Hashing { Static, Consistent, Dynamic };
+  Hashing hashing = Hashing::Dynamic;
+  // Dynamic hashing parameters (§2.2-2.3).
+  std::uint32_t ring_size = 2;
+  std::uint32_t irh_gen = 1000;
+  bool track_per_irh = true;
+  double cycle_sec = 3600.0;
+  // Consistent hashing parameter.
+  std::uint32_t virtual_nodes = 32;
+
+  std::string placement = "utility";  // adhoc | beacon | utility
+  UtilityConfig utility;
+
+  // Consistency mechanism. Push is the paper's: the origin sends the new
+  // version to the beacon point which fans it out. Ttl is the weaker
+  // mechanism of earlier cooperative-cache work (§5): copies are served
+  // without contact for `ttl_sec` after their last validation, then
+  // revalidated at the origin — cheap, but stale copies can be served.
+  enum class Consistency { Push, Ttl };
+  Consistency consistency = Consistency::Push;
+  double ttl_sec = 300.0;
+
+  // Half-life of the EWMA request/update monitors feeding the utility
+  // function.
+  double monitor_half_life_sec = 900.0;
+  // Per-cache capability (Cp); empty means all 1.0.
+  std::vector<double> capabilities;
+};
+
+enum class RequestKind { LocalHit, CloudHit, GroupMiss };
+
+struct RequestOutcome {
+  RequestKind kind = RequestKind::LocalHit;
+  CacheId requester = 0;
+  CacheId beacon = 0;                 // resolved beacon (not set on local hit)
+  std::uint32_t discovery_hops = 0;   // 0 on local hit
+  std::optional<CacheId> source;      // holder served from, on cloud hit
+  std::uint32_t holders_seen = 0;     // holder-list length in the lookup reply
+  std::uint64_t doc_bytes = 0;
+  bool stored = false;                // requester kept the copy
+  bool replicated_to_beacon = false;  // beacon-point policy push after miss
+  // TTL consistency only:
+  bool stale_served = false;   // copy served although the origin has newer
+  bool revalidated = false;    // origin contacted; copy was still current
+  bool refetched = false;      // origin contacted; copy was stale, refetched
+  std::vector<DocId> evicted_at_requester;
+  std::vector<DocId> evicted_at_beacon;
+};
+
+struct UpdateOutcome {
+  CacheId beacon = 0;
+  // False under TTL consistency: the origin records the new version but
+  // sends nothing; caches discover it on revalidation.
+  bool pushed = true;
+  std::uint32_t discovery_hops = 1;
+  std::vector<CacheId> holders;  // caches the new version was pushed to
+  // Holders that re-evaluated the copy's utility on this update and dropped
+  // it instead of refreshing (utility placement only).
+  std::vector<CacheId> dropped;
+  std::uint64_t doc_bytes = 0;
+};
+
+struct CycleOutcome {
+  std::vector<OwnershipMove> moves;
+  std::size_t records_transferred = 0;  // lookup records handed over
+};
+
+class CacheCloud {
+ public:
+  // The trace supplies the document catalog (URLs and sizes); its events are
+  // not consumed here.
+  CacheCloud(const CloudConfig& config, const trace::Trace& trace);
+
+  RequestOutcome handle_request(CacheId at, DocId doc, double now);
+  UpdateOutcome handle_update(DocId doc, double now);
+
+  // Runs the sub-range determination when the cycle is due; returns the
+  // outcome of the re-balance that ran, if any.
+  std::optional<CycleOutcome> maybe_end_cycle(double now);
+  CycleOutcome end_cycle_now();
+
+  // Fails a cache: removes it from the assignment scheme and purges its
+  // holder records. Requests can no longer be issued at it.
+  std::vector<OwnershipMove> fail_cache(CacheId cache);
+  [[nodiscard]] bool is_failed(CacheId cache) const {
+    return failed_.at(cache);
+  }
+
+  [[nodiscard]] const CloudConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t num_caches() const noexcept {
+    return config_.num_caches;
+  }
+  [[nodiscard]] const cache::DocumentStore& store(CacheId cache) const {
+    return *stores_.at(cache);
+  }
+  [[nodiscard]] cache::DocumentStore& store(CacheId cache) {
+    return *stores_.at(cache);
+  }
+  [[nodiscard]] const LookupDirectory& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] const BeaconAssigner& assigner() const noexcept {
+    return *assigner_;
+  }
+  [[nodiscard]] const PlacementPolicy& placement() const noexcept {
+    return *placement_;
+  }
+  [[nodiscard]] std::uint64_t doc_version(DocId doc) const {
+    return versions_.at(doc);
+  }
+  [[nodiscard]] std::uint64_t doc_bytes(DocId doc) const {
+    return sizes_.at(doc);
+  }
+  [[nodiscard]] const UrlHash& doc_hash(DocId doc) const {
+    return hashes_.at(doc);
+  }
+  [[nodiscard]] CacheId beacon_of_doc(DocId doc) const {
+    return assigner_->beacon_of(hashes_.at(doc)).beacon;
+  }
+
+  // Diagnostic: the utility breakdown the placement policy would see for
+  // (cache, doc) right now.
+  [[nodiscard]] UtilityBreakdown utility_of(CacheId cache, DocId doc,
+                                            double now) const;
+
+ private:
+  [[nodiscard]] PlacementContext build_context(CacheId cache, DocId doc,
+                                               double now,
+                                               CacheId beacon) const;
+  void note_eviction(CacheId cache, const std::vector<DocId>& evicted);
+  [[nodiscard]] static std::uint64_t monitor_key(CacheId cache,
+                                                 DocId doc) noexcept {
+    return (static_cast<std::uint64_t>(cache) << 32) | doc;
+  }
+
+  CloudConfig config_;
+  std::vector<std::unique_ptr<cache::DocumentStore>> stores_;
+  std::unique_ptr<BeaconAssigner> assigner_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  LookupDirectory directory_;
+
+  std::vector<UrlHash> hashes_;         // per doc
+  std::vector<std::uint64_t> sizes_;    // per doc
+  std::vector<std::uint64_t> versions_; // per doc, origin-side truth
+  std::vector<bool> failed_;
+
+  // Monitors feeding the utility components.
+  mutable std::unordered_map<std::uint64_t, util::RateEstimator>
+      access_monitors_;  // (cache, doc) -> request rate
+  std::vector<util::RateEstimator> update_monitors_;   // per doc
+  std::vector<util::RateEstimator> request_monitors_;  // per cache, all docs
+
+  double next_cycle_at_ = 0.0;
+};
+
+}  // namespace cachecloud::core

@@ -1,0 +1,70 @@
+#include "core/directory.hpp"
+
+#include <algorithm>
+
+namespace cachecloud::core {
+
+void LookupDirectory::add_holder(DocId doc, CacheId cache) {
+  Record& record = records_[doc];
+  const auto it =
+      std::lower_bound(record.holders.begin(), record.holders.end(), cache);
+  if (it == record.holders.end() || *it != cache) {
+    record.holders.insert(it, cache);
+  }
+}
+
+bool LookupDirectory::remove_holder(DocId doc, CacheId cache) {
+  const auto rec_it = records_.find(doc);
+  if (rec_it == records_.end()) return false;
+  auto& holders = rec_it->second.holders;
+  const auto it = std::lower_bound(holders.begin(), holders.end(), cache);
+  if (it == holders.end() || *it != cache) return false;
+  holders.erase(it);
+  if (holders.empty()) records_.erase(rec_it);
+  return true;
+}
+
+std::size_t LookupDirectory::remove_cache(CacheId cache) {
+  std::size_t touched = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    auto& holders = it->second.holders;
+    const auto h =
+        std::lower_bound(holders.begin(), holders.end(), cache);
+    if (h != holders.end() && *h == cache) {
+      holders.erase(h);
+      ++touched;
+    }
+    if (holders.empty()) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return touched;
+}
+
+void LookupDirectory::set_version(DocId doc, std::uint64_t version) {
+  const auto it = records_.find(doc);
+  if (it != records_.end()) {
+    it->second.version = std::max(it->second.version, version);
+  }
+}
+
+const LookupDirectory::Record* LookupDirectory::find(DocId doc) const {
+  const auto it = records_.find(doc);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t LookupDirectory::holder_count(DocId doc) const {
+  const Record* record = find(doc);
+  return record ? record->holders.size() : 0;
+}
+
+bool LookupDirectory::is_holder(DocId doc, CacheId cache) const {
+  const Record* record = find(doc);
+  if (!record) return false;
+  return std::binary_search(record->holders.begin(), record->holders.end(),
+                            cache);
+}
+
+}  // namespace cachecloud::core

@@ -1,0 +1,51 @@
+// Lookup records: which caches of the cloud currently hold each document.
+//
+// Conceptually each beacon point maintains the records of the documents it
+// is responsible for; the in-process implementation keeps one table for the
+// whole cloud and derives ownership from the assigner. The distribution
+// layer (src/node/) partitions the same structure physically.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cachecloud::core {
+
+using trace::CacheId;
+using trace::DocId;
+
+class LookupDirectory {
+ public:
+  struct Record {
+    std::uint64_t version = 0;
+    // Small sorted set; clouds have at most a few dozen caches.
+    std::vector<CacheId> holders;
+  };
+
+  // Registers `cache` as a holder. Idempotent.
+  void add_holder(DocId doc, CacheId cache);
+  // Deregisters; removes the record entirely when it has no holders left
+  // and version information is no longer interesting. Returns true if the
+  // holder was present.
+  bool remove_holder(DocId doc, CacheId cache);
+  // Drops every record naming `cache` (cache failure). Returns the number
+  // of records touched.
+  std::size_t remove_cache(CacheId cache);
+
+  void set_version(DocId doc, std::uint64_t version);
+
+  [[nodiscard]] const Record* find(DocId doc) const;
+  [[nodiscard]] std::size_t holder_count(DocId doc) const;
+  [[nodiscard]] bool is_holder(DocId doc, CacheId cache) const;
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  std::unordered_map<DocId, Record> records_;
+};
+
+}  // namespace cachecloud::core

@@ -1,0 +1,92 @@
+#include "core/placement.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cachecloud::core {
+namespace {
+
+// Guarded ratio a / (a + b) that degrades to 0.5 ("no evidence either way")
+// when both terms vanish, and handles infinities: inf/(inf+x) -> 1,
+// x/(x+inf) -> 0, inf/(inf+inf) -> 0.5.
+double ratio(double a, double b) noexcept {
+  const bool a_inf = std::isinf(a);
+  const bool b_inf = std::isinf(b);
+  if (a_inf && b_inf) return 0.5;
+  if (a_inf) return 1.0;
+  if (b_inf) return 0.0;
+  const double total = a + b;
+  return total > 0.0 ? a / total : 0.5;
+}
+
+}  // namespace
+
+UtilityBreakdown compute_utility(const PlacementContext& ctx,
+                                 const UtilityConfig& config) {
+  UtilityBreakdown out;
+
+  // CMC: the copy pays for itself when it is read more often than it is
+  // invalidated; frequent updates mean frequent consistency pushes.
+  out.cmc = ratio(ctx.access_rate, ctx.update_rate);
+
+  // AFC: how hot this document is relative to what the cache already holds.
+  out.afc = ratio(ctx.access_rate, ctx.mean_access_rate_at_cache);
+
+  // DAC: marginal availability gain of one more copy in the cloud.
+  out.dac = 1.0 / (1.0 + static_cast<double>(ctx.cloud_copies));
+
+  // DsCC: will the new copy live long enough to be used again? Under disk
+  // contention the copy's expected residence (disk ÷ churn rate) is
+  // compared with its expected re-access interval (1/access-rate): a copy
+  // likely to be evicted before its next access only churns the disk and
+  // displaces more valuable documents. Unlimited disks (residence = +inf)
+  // have no contention and score 1.
+  const double reaccess_sec = ctx.access_rate > 0.0
+                                  ? 1.0 / ctx.access_rate
+                                  : std::numeric_limits<double>::infinity();
+  out.dscc = ratio(ctx.residence_sec, reaccess_sec);
+
+  const double weight_total = config.w_consistency +
+                              config.w_access_frequency +
+                              config.w_availability + config.w_disk_contention;
+  if (weight_total <= 0.0) {
+    throw std::invalid_argument("compute_utility: all weights are zero");
+  }
+  out.utility = (config.w_consistency * out.cmc +
+                 config.w_access_frequency * out.afc +
+                 config.w_availability * out.dac +
+                 config.w_disk_contention * out.dscc) /
+                weight_total;
+  return out;
+}
+
+UtilityPlacement::UtilityPlacement(const UtilityConfig& config)
+    : config_(config) {
+  const double total = config.w_consistency + config.w_access_frequency +
+                       config.w_availability + config.w_disk_contention;
+  if (total <= 0.0) {
+    throw std::invalid_argument("UtilityPlacement: all weights are zero");
+  }
+  if (config.threshold < 0.0 || config.threshold > 1.0) {
+    throw std::invalid_argument("UtilityPlacement: threshold outside [0,1]");
+  }
+}
+
+bool UtilityPlacement::store_at_requester(const PlacementContext& ctx) {
+  return compute_utility(ctx, config_).utility > config_.threshold;
+}
+
+bool UtilityPlacement::keep_on_update(const PlacementContext& ctx) {
+  return compute_utility(ctx, config_).utility > config_.threshold;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(
+    const std::string& name, const UtilityConfig& utility_config) {
+  if (name == "adhoc") return std::make_unique<AdHocPlacement>();
+  if (name == "beacon") return std::make_unique<BeaconPointPlacement>();
+  if (name == "utility") return std::make_unique<UtilityPlacement>(utility_config);
+  throw std::invalid_argument("unknown placement policy: " + name);
+}
+
+}  // namespace cachecloud::core

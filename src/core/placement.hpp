@@ -1,0 +1,127 @@
+// Document placement policies (§3).
+//
+// On every miss the retrieving cache decides whether the fetched copy is
+// worth keeping. The paper compares:
+//   - ad hoc placement: store at every cache that saw a request;
+//   - beacon-point placement: store only at the document's beacon point;
+//   - utility-based placement: store iff a weighted benefit/cost score
+//     exceeds a threshold. The four components are formulated in DESIGN.md
+//     §3.4 (the paper defers the math to its technical report [11], which
+//     is not publicly available).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cachecloud::core {
+
+using trace::CacheId;
+using trace::DocId;
+
+// Everything a policy may consult, gathered by the cloud at miss time.
+struct PlacementContext {
+  CacheId cache = 0;
+  DocId doc = 0;
+  double now = 0.0;
+  bool is_beacon = false;  // requesting cache is the document's beacon point
+
+  double access_rate = 0.0;   // of this doc at this cache (1/s, EWMA)
+  double update_rate = 0.0;   // of this doc at the origin (1/s, EWMA)
+  double mean_access_rate_at_cache = 0.0;  // across docs cached here
+  std::size_t cloud_copies = 0;            // current holders in the cloud
+  // Expected residence time of a new copy at this cache (seconds;
+  // +inf for unlimited disks): capacity / byte-churn rate.
+  double residence_sec = 0.0;
+};
+
+struct UtilityConfig {
+  // Weights of the four components; the paper sets each active component to
+  // 1/(number of active components). A weight of 0 turns a component off.
+  double w_consistency = 1.0 / 3.0;   // CMC
+  double w_access_frequency = 1.0 / 3.0;  // AFC
+  double w_availability = 1.0 / 3.0;  // DAC
+  double w_disk_contention = 0.0;     // DsCC (off in the unlimited-disk runs)
+  double threshold = 0.5;             // UtilThreshold
+};
+
+struct UtilityBreakdown {
+  double cmc = 0.0;
+  double afc = 0.0;
+  double dac = 0.0;
+  double dscc = 0.0;
+  double utility = 0.0;  // weighted sum, normalized by the weight total
+};
+
+// Pure scoring function; exposed separately so tests can pin each
+// component's behaviour.
+[[nodiscard]] UtilityBreakdown compute_utility(const PlacementContext& ctx,
+                                               const UtilityConfig& config);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Should the requesting cache keep the copy it just retrieved?
+  [[nodiscard]] virtual bool store_at_requester(
+      const PlacementContext& ctx) = 0;
+
+  // After a *group* miss (document fetched from the origin), should a copy
+  // additionally be pushed to the document's beacon point? Only the
+  // beacon-point policy wants this: it keeps exactly one copy per cloud, at
+  // the beacon.
+  [[nodiscard]] virtual bool replicate_to_beacon_on_group_miss() const {
+    return false;
+  }
+
+  // When an update is pushed to a holder, should the holder keep (and
+  // refresh) its copy, or drop it? Utility-based placement re-evaluates the
+  // copy's worth at this point — an update is exactly the moment its
+  // consistency-maintenance cost materializes — which is what lets the
+  // fraction of stored documents track the update rate (paper Fig 7).
+  // The other policies always keep.
+  [[nodiscard]] virtual bool keep_on_update(const PlacementContext& ctx) {
+    (void)ctx;
+    return true;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class AdHocPlacement final : public PlacementPolicy {
+ public:
+  bool store_at_requester(const PlacementContext&) override { return true; }
+  [[nodiscard]] std::string name() const override { return "adhoc"; }
+};
+
+class BeaconPointPlacement final : public PlacementPolicy {
+ public:
+  bool store_at_requester(const PlacementContext& ctx) override {
+    return ctx.is_beacon;
+  }
+  [[nodiscard]] bool replicate_to_beacon_on_group_miss() const override {
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "beacon"; }
+};
+
+class UtilityPlacement final : public PlacementPolicy {
+ public:
+  explicit UtilityPlacement(const UtilityConfig& config);
+
+  bool store_at_requester(const PlacementContext& ctx) override;
+  bool keep_on_update(const PlacementContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "utility"; }
+  [[nodiscard]] const UtilityConfig& config() const noexcept { return config_; }
+
+ private:
+  UtilityConfig config_;
+};
+
+// Factory by name ("adhoc", "beacon", "utility").
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement(
+    const std::string& name, const UtilityConfig& utility_config = {});
+
+}  // namespace cachecloud::core

@@ -1,0 +1,166 @@
+#include "core/subrange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace cachecloud::core {
+namespace {
+
+void validate(std::span<const PointLoad> points, std::uint32_t irh_gen) {
+  if (points.empty()) {
+    throw std::invalid_argument("determine_subranges: no beacon points");
+  }
+  if (irh_gen < points.size()) {
+    throw std::invalid_argument(
+        "determine_subranges: irh_gen smaller than point count");
+  }
+  std::uint32_t expected_lo = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointLoad& p = points[i];
+    if (p.capability <= 0.0) {
+      throw std::invalid_argument("determine_subranges: capability <= 0");
+    }
+    if (p.cycle_load < 0.0) {
+      throw std::invalid_argument("determine_subranges: negative load");
+    }
+    if (p.range.lo != expected_lo || p.range.hi < p.range.lo ||
+        p.range.hi >= irh_gen) {
+      throw std::invalid_argument(
+          "determine_subranges: ranges do not partition [0, irh_gen) at point " +
+          std::to_string(i));
+    }
+    if (!p.per_irh.empty() && p.per_irh.size() != p.range.length()) {
+      throw std::invalid_argument(
+          "determine_subranges: per_irh size mismatch at point " +
+          std::to_string(i));
+    }
+    expected_lo = p.range.hi + 1;
+  }
+  if (expected_lo != irh_gen) {
+    throw std::invalid_argument(
+        "determine_subranges: ranges do not cover [0, irh_gen)");
+  }
+}
+
+// Boundaries proportional to cumulative capability, each range non-empty.
+std::vector<SubRange> capability_split(std::span<const double> capabilities,
+                                       std::uint32_t irh_gen) {
+  const std::size_t n = capabilities.size();
+  double total_cap = 0.0;
+  for (const double c : capabilities) total_cap += c;
+
+  std::vector<SubRange> out(n);
+  std::uint32_t next_lo = 0;
+  double cap_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cap_acc += capabilities[i];
+    std::uint32_t hi;
+    if (i + 1 == n) {
+      hi = irh_gen - 1;
+    } else {
+      const auto ideal = static_cast<std::uint32_t>(
+          std::round(static_cast<double>(irh_gen) * cap_acc / total_cap));
+      const std::uint32_t min_hi = next_lo;                         // >= 1 value
+      const std::uint32_t max_hi =
+          irh_gen - 1 - static_cast<std::uint32_t>(n - 1 - i);      // leave room
+      hi = std::clamp(ideal == 0 ? 0 : ideal - 1, min_hi, max_hi);
+    }
+    out[i] = SubRange{next_lo, hi};
+    next_lo = hi + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SubRange> initial_subranges(std::span<const double> capabilities,
+                                        std::uint32_t irh_gen) {
+  if (capabilities.empty()) {
+    throw std::invalid_argument("initial_subranges: no beacon points");
+  }
+  if (irh_gen < capabilities.size()) {
+    throw std::invalid_argument(
+        "initial_subranges: irh_gen smaller than point count");
+  }
+  for (const double c : capabilities) {
+    if (c <= 0.0) {
+      throw std::invalid_argument("initial_subranges: capability <= 0");
+    }
+  }
+  return capability_split(capabilities, irh_gen);
+}
+
+std::vector<SubRange> determine_subranges(std::span<const PointLoad> points,
+                                          std::uint32_t irh_gen) {
+  validate(points, irh_gen);
+  const std::size_t n = points.size();
+
+  // Reconstruct the per-IrH-value load vector over the whole ring, using
+  // CIrHLd where available and the CAvgLoad uniform approximation otherwise.
+  std::vector<double> load(irh_gen, 0.0);
+  double total_load = 0.0;
+  double total_cap = 0.0;
+  for (const PointLoad& p : points) {
+    total_cap += p.capability;
+    total_load += p.cycle_load;
+    if (!p.per_irh.empty()) {
+      for (std::uint32_t k = 0; k < p.range.length(); ++k) {
+        load[p.range.lo + k] = p.per_irh[k];
+      }
+    } else {
+      const double avg =
+          p.cycle_load / static_cast<double>(p.range.length());
+      for (std::uint32_t k = p.range.lo; k <= p.range.hi; ++k) {
+        load[k] = avg;
+      }
+    }
+  }
+
+  if (total_load <= 0.0) {
+    // Nothing observed: fall back to the capability-proportional split.
+    std::vector<double> caps(n);
+    for (std::size_t i = 0; i < n; ++i) caps[i] = points[i].capability;
+    return capability_split(caps, irh_gen);
+  }
+
+  // Walk the ring once. Point i's boundary lands where the cumulative load
+  // first meets its cumulative fair share; the deviation is carried to the
+  // next point, which matches the paper's surplus/deficit neighbour shifts.
+  std::vector<SubRange> out(n);
+  std::uint32_t next_lo = 0;
+  double cum_load = 0.0;
+  double cap_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cap_acc += points[i].capability;
+    if (i + 1 == n) {
+      out[i] = SubRange{next_lo, irh_gen - 1};
+      break;
+    }
+    const double target = total_load * cap_acc / total_cap;
+    const std::uint32_t min_hi = next_lo;
+    const std::uint32_t max_hi =
+        irh_gen - 1 - static_cast<std::uint32_t>(n - 1 - i);
+
+    std::uint32_t hi = min_hi;
+    double cum = cum_load + load[hi];
+    while (hi < max_hi && cum < target) {
+      // Include the next value only if that brings us closer to the target
+      // than stopping here (half-step rule keeps boundaries unbiased).
+      const double with_next = cum + load[hi + 1];
+      if (std::abs(with_next - target) <= std::abs(cum - target)) {
+        ++hi;
+        cum = with_next;
+      } else {
+        break;
+      }
+    }
+    out[i] = SubRange{next_lo, hi};
+    next_lo = hi + 1;
+    cum_load = cum;
+  }
+  return out;
+}
+
+}  // namespace cachecloud::core

@@ -1,0 +1,61 @@
+// Sub-range determination for one beacon ring (§2.3).
+//
+// Every cycle, a beacon ring re-divides the intra-ring hash space
+// [0, IrHGen) into consecutive non-overlapping sub-ranges — one per beacon
+// point — so that each point's expected load in the next cycle is
+// proportional to its capability. Points with a load surplus shed trailing
+// IrH values to their ring successor; points with a deficit acquire leading
+// values from it. Walking the points in ring order while tracking the
+// cumulative fair share implements exactly that neighbour-shifting scan.
+//
+// This is a pure function: it takes the observed loads and produces the new
+// partition, so it can be property-tested exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cachecloud::core {
+
+// Inclusive IrH interval [lo, hi].
+struct SubRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  [[nodiscard]] std::uint32_t length() const noexcept { return hi - lo + 1; }
+  [[nodiscard]] bool contains(std::uint32_t irh) const noexcept {
+    return irh >= lo && irh <= hi;
+  }
+  friend bool operator==(const SubRange&, const SubRange&) = default;
+};
+
+struct PointLoad {
+  double capability = 1.0;  // Cp: relative power of the hosting machine
+  SubRange range;           // current cycle's sub-range
+  double cycle_load = 0.0;  // CAvgLoad: lookups+updates handled this cycle
+  // Optional CIrHLd: load per IrH value of `range` (size == range.length()).
+  // Empty means unavailable; the algorithm then approximates each value's
+  // load by cycle_load / range.length() (the paper's Fig 2-C variant).
+  std::vector<double> per_irh;
+};
+
+// Computes the sub-ranges for the next cycle.
+//
+// Preconditions (checked, std::invalid_argument):
+//   - points is non-empty and its ranges partition [0, irh_gen) in order;
+//   - capabilities are positive; loads are non-negative;
+//   - per_irh, when present, has exactly range.length() entries;
+//   - irh_gen >= points.size() (every point must receive >= 1 value).
+//
+// Postconditions (tested): the result partitions [0, irh_gen) in order with
+// non-empty ranges; if total load is zero, ranges are proportional to
+// capability.
+[[nodiscard]] std::vector<SubRange> determine_subranges(
+    std::span<const PointLoad> points, std::uint32_t irh_gen);
+
+// Equal split of [0, irh_gen) used for cycle 0, weighted by capability.
+[[nodiscard]] std::vector<SubRange> initial_subranges(
+    std::span<const double> capabilities, std::uint32_t irh_gen);
+
+}  // namespace cachecloud::core

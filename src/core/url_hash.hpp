@@ -1,0 +1,34 @@
+// Document-to-hash-value mapping (§2.2).
+//
+// The paper derives both hash coordinates of a document from the MD5 digest
+// of its URL: the *beacon ring* id (`MD5(url) mod R`) and the *intra-ring
+// hash value* IrH (`MD5(url) mod IrHGen`). We take the two values from
+// different 64-bit words of the digest so they are statistically
+// independent even when R divides IrHGen.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/md5.hpp"
+
+namespace cachecloud::core {
+
+struct UrlHash {
+  std::uint64_t ring_word = 0;  // drives beacon-ring selection
+  std::uint64_t irh_word = 0;   // drives the intra-ring hash value
+
+  [[nodiscard]] std::uint32_t ring(std::uint32_t num_rings) const noexcept {
+    return static_cast<std::uint32_t>(ring_word % num_rings);
+  }
+  [[nodiscard]] std::uint32_t irh(std::uint32_t irh_gen) const noexcept {
+    return static_cast<std::uint32_t>(irh_word % irh_gen);
+  }
+};
+
+[[nodiscard]] inline UrlHash hash_url(std::string_view url) noexcept {
+  const util::Md5Digest digest = util::md5(url);
+  return UrlHash{digest.word64(0), digest.word64(1)};
+}
+
+}  // namespace cachecloud::core

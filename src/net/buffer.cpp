@@ -1,0 +1,96 @@
+#include "net/buffer.hpp"
+
+#include <cstring>
+
+namespace cachecloud::net {
+
+namespace {
+// The protocol never carries strings or blobs anywhere near this large; the
+// cap bounds memory allocation on malformed input.
+constexpr std::uint32_t kMaxFieldBytes = 64u * 1024 * 1024;
+}  // namespace
+
+void BufferWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BufferWriter::str(std::string_view s) {
+  if (s.size() > kMaxFieldBytes) {
+    throw std::invalid_argument("BufferWriter::str: field too large");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void BufferWriter::blob(const std::vector<std::uint8_t>& data) {
+  if (data.size() > kMaxFieldBytes) {
+    throw std::invalid_argument("BufferWriter::blob: field too large");
+  }
+  u32(static_cast<std::uint32_t>(data.size()));
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void BufferReader::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw DecodeError("truncated message: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(size_ - pos_));
+  }
+}
+
+std::uint64_t BufferReader::read_le(int width) {
+  need(static_cast<std::size_t>(width));
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(width);
+  return v;
+}
+
+std::uint8_t BufferReader::u8() {
+  return static_cast<std::uint8_t>(read_le(1));
+}
+std::uint16_t BufferReader::u16() {
+  return static_cast<std::uint16_t>(read_le(2));
+}
+std::uint32_t BufferReader::u32() {
+  return static_cast<std::uint32_t>(read_le(4));
+}
+std::uint64_t BufferReader::u64() { return read_le(8); }
+
+double BufferReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BufferReader::str() {
+  const std::uint32_t len = u32();
+  if (len > kMaxFieldBytes) throw DecodeError("string field too large");
+  need(len);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::vector<std::uint8_t> BufferReader::blob() {
+  const std::uint32_t len = u32();
+  if (len > kMaxFieldBytes) throw DecodeError("blob field too large");
+  need(len);
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+void BufferReader::expect_end() const {
+  if (pos_ != size_) {
+    throw DecodeError("trailing bytes in message: " +
+                      std::to_string(size_ - pos_));
+  }
+}
+
+}  // namespace cachecloud::net

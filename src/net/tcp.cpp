@@ -1,0 +1,283 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace cachecloud::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Socket
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a boundary
+      throw NetError("connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::write_frame(const Frame& frame) {
+  if (!valid()) throw NetError("write on closed socket");
+  if (frame.payload.size() > kMaxFrameBytes) {
+    throw NetError("frame too large to send");
+  }
+  std::uint8_t header[6];
+  const auto len = static_cast<std::uint32_t>(frame.payload.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  header[4] = static_cast<std::uint8_t>(frame.type);
+  header[5] = static_cast<std::uint8_t>(frame.type >> 8);
+  send_all(header, sizeof(header));
+  if (!frame.payload.empty()) {
+    send_all(frame.payload.data(), frame.payload.size());
+  }
+}
+
+std::optional<Frame> Socket::read_frame() {
+  if (!valid()) throw NetError("read on closed socket");
+  std::uint8_t header[6];
+  if (!recv_all(header, sizeof(header))) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) throw NetError("oversized frame");
+  Frame frame;
+  frame.type = static_cast<std::uint16_t>(header[4]) |
+               static_cast<std::uint16_t>(header[5] << 8);
+  frame.payload.resize(len);
+  if (len > 0 && !recv_all(frame.payload.data(), len)) {
+    throw NetError("connection closed mid-message");
+  }
+  return frame;
+}
+
+void Socket::set_recv_timeout(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+// --------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    errno = err;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    errno = err;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    errno = err;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket TcpListener::accept() {
+  while (!shut_.load(std::memory_order_acquire)) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(client);
+    }
+    if (errno == EINTR) continue;
+    if (shut_.load(std::memory_order_acquire)) break;
+    throw_errno("accept");
+  }
+  return Socket();
+}
+
+void TcpListener::shutdown() noexcept {
+  if (!shut_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Socket connect_local(std::uint16_t port, double timeout_sec) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Socket socket(fd);
+  if (timeout_sec > 0.0) socket.set_recv_timeout(timeout_sec);
+  return socket;
+}
+
+// ----------------------------------------------------------- TcpServer
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("TcpServer: null handler");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Kick connection threads out of blocking reads. fds are deregistered
+    // before they are closed, so no recycled descriptor can appear here.
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load()) {
+    Socket socket;
+    try {
+      socket = listener_.accept();
+    } catch (const NetError&) {
+      break;
+    }
+    if (!socket.valid()) break;
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back(
+        [this, s = std::move(socket)]() mutable { serve(std::move(s)); });
+  }
+}
+
+void TcpServer::serve(Socket socket) {
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.push_back(socket.fd());
+  }
+  try {
+    while (!stopping_.load()) {
+      std::optional<Frame> request = socket.read_frame();
+      if (!request) break;  // peer closed
+      socket.write_frame(handler_(*request));
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure (bad frame, handler error, reset): drop the
+    // connection; the server keeps running.
+  }
+  const std::lock_guard<std::mutex> lock(conns_mutex_);
+  std::erase(conn_fds_, socket.fd());
+  // Socket closes after deregistration, so stop() never touches a
+  // recycled descriptor.
+}
+
+// ----------------------------------------------------------- TcpClient
+
+TcpClient::TcpClient(std::uint16_t port, double timeout_sec)
+    : socket_(connect_local(port, timeout_sec)) {}
+
+Frame TcpClient::call(const Frame& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  socket_.write_frame(request);
+  std::optional<Frame> reply = socket_.read_frame();
+  if (!reply) throw NetError("server closed connection before replying");
+  return std::move(*reply);
+}
+
+}  // namespace cachecloud::net

@@ -1,0 +1,136 @@
+// Framed TCP transport: blocking sockets, one frame = [u32 len][u16 type][payload].
+//
+// Deliberately simple ("standard sockets"): RAII socket wrapper, a
+// listener, a threaded request/response server and a blocking client. The
+// node layer builds the cache-cloud wire protocol on top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cachecloud::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Frames larger than this are rejected on read (malformed/hostile peer).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+// RAII wrapper over a connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  // Blocking frame I/O. read_frame returns nullopt on clean EOF at a frame
+  // boundary; throws NetError on mid-frame EOF or I/O failure.
+  void write_frame(const Frame& frame);
+  [[nodiscard]] std::optional<Frame> read_frame();
+
+  // Receive timeout for subsequent reads (0 = no timeout).
+  void set_recv_timeout(double seconds);
+
+  void close() noexcept;
+
+ private:
+  void send_all(const void* data, std::size_t len);
+  // Returns false on EOF before any byte; throws on partial reads.
+  bool recv_all(void* data, std::size_t len);
+
+  int fd_ = -1;
+};
+
+// Listening socket on 127.0.0.1. Port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  // Blocks until a connection arrives; returns an invalid Socket if the
+  // listener has been shut down.
+  [[nodiscard]] Socket accept();
+  // Unblocks pending/future accept() calls.
+  void shutdown() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> shut_{false};
+};
+
+[[nodiscard]] Socket connect_local(std::uint16_t port,
+                                   double timeout_sec = 5.0);
+
+// Request/response server: for every inbound frame the handler produces the
+// reply frame. One thread per connection; connections are served until the
+// peer closes or the server stops.
+class TcpServer {
+ public:
+  using Handler = std::function<Frame(const Frame&)>;
+
+  // port 0 = ephemeral. The handler runs on connection threads and must be
+  // thread-safe. A handler exception closes that connection only.
+  TcpServer(std::uint16_t port, Handler handler);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(Socket socket);
+
+  TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mutex_;
+  std::vector<int> conn_fds_;  // live connection fds, for shutdown on stop
+};
+
+// Blocking RPC client with a single connection; call() is serialized so the
+// client can be shared across threads.
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0);
+
+  [[nodiscard]] Frame call(const Frame& request);
+
+ private:
+  std::mutex mutex_;
+  Socket socket_;
+};
+
+}  // namespace cachecloud::net

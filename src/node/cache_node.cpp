@@ -1,0 +1,634 @@
+#include "node/cache_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cache/replacement.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::node {
+
+CacheNode::CacheNode(NodeId id, const NodeConfig& config)
+    : id_(id),
+      config_(config),
+      start_(std::chrono::steady_clock::now()),
+      store_(config.capacity_bytes, cache::make_policy(config.replacement)),
+      request_monitor_(config.monitor_half_life_sec),
+      rings_(config.num_caches, config.ring_size, config.irh_gen),
+      placement_(core::make_placement(config.placement, config.utility)) {
+  if (id_ >= config_.num_caches) {
+    throw std::invalid_argument("CacheNode: id outside cluster");
+  }
+  server_ = std::make_unique<net::TcpServer>(
+      0, [this](const net::Frame& f) { return handle(f); });
+}
+
+CacheNode::~CacheNode() { stop(); }
+
+void CacheNode::stop() {
+  if (server_) server_->stop();
+}
+
+void CacheNode::set_endpoints(const Endpoints& endpoints) {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  if (endpoints.cache_ports.size() != config_.num_caches) {
+    throw std::invalid_argument("CacheNode: endpoint table size mismatch");
+  }
+  endpoints_ = endpoints;
+  endpoints_set_ = true;
+  peers_.clear();
+}
+
+double CacheNode::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+trace::DocId CacheNode::intern(const std::string& url) {
+  const auto [it, inserted] =
+      url_to_doc_.try_emplace(url, static_cast<trace::DocId>(doc_to_url_.size()));
+  if (inserted) doc_to_url_.push_back(url);
+  return it->second;
+}
+
+net::Frame CacheNode::peer_call(NodeId peer, const net::Frame& request) {
+  net::TcpClient* client = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    if (!endpoints_set_) {
+      throw net::NetError("CacheNode: endpoints not configured");
+    }
+    auto& slot = peers_[peer];
+    if (!slot) {
+      const std::uint16_t port = peer == kOriginId
+                                     ? endpoints_.origin_port
+                                     : endpoints_.cache_ports.at(peer);
+      slot = std::make_unique<net::TcpClient>(port);
+    }
+    client = slot.get();
+  }
+  try {
+    return client->call(request);
+  } catch (const net::NetError&) {
+    // Drop the broken connection so the next call reconnects.
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    peers_.erase(peer);
+    throw;
+  }
+}
+
+void CacheNode::record_beacon_load(std::uint32_t ring, std::uint32_t irh,
+                                   double amount) {
+  auto& loads = irh_loads_[ring];
+  if (loads.empty()) loads.assign(config_.irh_gen, 0.0);
+  loads[irh] += amount;
+}
+
+core::PlacementContext CacheNode::make_context(const std::string& url,
+                                               trace::DocId doc,
+                                               std::size_t cloud_copies,
+                                               bool is_beacon, double at) {
+  (void)url;
+  core::PlacementContext ctx;
+  ctx.cache = id_;
+  ctx.doc = doc;
+  ctx.now = at;
+  ctx.is_beacon = is_beacon;
+  const auto access = access_monitors_.find(doc);
+  ctx.access_rate = access == access_monitors_.end()
+                        ? 0.0
+                        : access->second.rate(at);
+  const auto update = update_monitors_.find(doc);
+  ctx.update_rate = update == update_monitors_.end()
+                        ? 0.0
+                        : update->second.rate(at);
+  ctx.mean_access_rate_at_cache =
+      store_.doc_count() > 0
+          ? request_monitor_.rate(at) / static_cast<double>(store_.doc_count())
+          : 0.0;
+  ctx.cloud_copies = cloud_copies;
+  ctx.residence_sec = store_.expected_residence_sec(at);
+  return ctx;
+}
+
+bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
+                           const std::vector<std::uint8_t>& body,
+                           std::uint64_t version) {
+  std::vector<std::string> evicted_urls;
+  bool stored = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    cache::PutResult put = store_.put(doc, body.size(), version, now());
+    stored = put.stored;
+    if (stored) bodies_[url] = body;
+    for (const trace::DocId victim : put.evicted) {
+      const std::string& victim_url = doc_to_url_.at(victim);
+      bodies_.erase(victim_url);
+      evicted_urls.push_back(victim_url);
+    }
+  }
+  // Deregister evicted documents at their beacon points (outside the lock).
+  for (const std::string& victim_url : evicted_urls) {
+    const RingView::Target target = rings_.resolve(victim_url);
+    DeregisterHolder dereg;
+    dereg.url = victim_url;
+    dereg.node = id_;
+    try {
+      (void)peer_call(target.beacon, dereg.encode());
+    } catch (const std::exception& e) {
+      CC_LOG(Warn) << "node " << id_ << ": dereg of " << victim_url
+                   << " at beacon " << target.beacon << " failed: " << e.what();
+    }
+  }
+  return stored;
+}
+
+// --------------------------------------------------------------- get
+
+CacheNode::GetResult CacheNode::get(const std::string& url) {
+  const double at = now();
+  const RingView::Target target = rings_.resolve(url);
+  trace::DocId doc;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.gets;
+    doc = intern(url);
+    access_monitors_
+        .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
+        .first->second.record(at);
+    request_monitor_.record(at);
+
+    if (store_.get(doc, at).has_value()) {
+      ++counters_.local_hits;
+      GetResult result;
+      result.body = bodies_.at(url);
+      result.version = store_.peek(doc)->version;
+      result.source = GetResult::Source::Local;
+      return result;
+    }
+  }
+
+  // Local miss: consult the beacon point.
+  LookupReq lookup;
+  lookup.url = url;
+  const LookupResp resp =
+      LookupResp::decode(peer_call(target.beacon, lookup.encode()));
+
+  GetResult result;
+  bool fetched = false;
+  std::size_t copies = 0;
+  if (resp.found) {
+    copies = resp.holders.size();
+    for (const NodeId holder : resp.holders) {
+      if (holder == id_) continue;
+      FetchReq fetch;
+      fetch.url = url;
+      try {
+        const FetchResp body =
+            FetchResp::decode(peer_call(holder, fetch.encode()));
+        if (body.found) {
+          result.body = body.body;
+          result.version = body.version;
+          result.source = GetResult::Source::Cloud;
+          fetched = true;
+          break;
+        }
+      } catch (const std::exception& e) {
+        CC_LOG(Warn) << "node " << id_ << ": fetch of " << url
+                     << " from holder " << holder << " failed: " << e.what();
+      }
+    }
+  }
+  if (!fetched) {
+    FetchReq fetch;
+    fetch.url = url;
+    const FetchResp body =
+        FetchResp::decode(peer_call(kOriginId, fetch.encode()));
+    if (!body.found) {
+      throw std::runtime_error("origin does not know document " + url);
+    }
+    result.body = body.body;
+    result.version = body.version;
+    result.source = GetResult::Source::Origin;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (result.source == GetResult::Source::Cloud) {
+      ++counters_.cloud_hits;
+    } else {
+      ++counters_.origin_fetches;
+    }
+  }
+
+  // Placement decision for the fetched copy.
+  bool want_store;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const core::PlacementContext ctx =
+        make_context(url, doc, copies, target.beacon == id_, at);
+    want_store = placement_->store_at_requester(ctx);
+  }
+  if (want_store && store_copy(url, doc, result.body, result.version)) {
+    result.stored = true;
+    RegisterHolder reg;
+    reg.url = url;
+    reg.node = id_;
+    reg.version = result.version;
+    (void)peer_call(target.beacon, reg.encode());
+  }
+
+  // Beacon-point placement: after an origin fetch, push the single cloud
+  // copy to the document's beacon point.
+  if (result.source == GetResult::Source::Origin &&
+      placement_->replicate_to_beacon_on_group_miss() &&
+      target.beacon != id_) {
+    UpdatePush push;
+    push.url = url;
+    push.version = result.version;
+    push.body = result.body;
+    (void)peer_call(target.beacon, push.encode(MsgType::Propagate));
+    RegisterHolder reg;
+    reg.url = url;
+    reg.node = target.beacon;
+    reg.version = result.version;
+    (void)peer_call(target.beacon, reg.encode());
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- handlers
+
+net::Frame CacheNode::handle(const net::Frame& request) {
+  try {
+    switch (static_cast<MsgType>(request.type)) {
+      case MsgType::LookupReq: return handle_lookup(request);
+      case MsgType::RegisterHolder: return handle_register(request);
+      case MsgType::DeregisterHolder: return handle_deregister(request);
+      case MsgType::FetchReq: return handle_fetch(request);
+      case MsgType::UpdatePush: return handle_update_push(request);
+      case MsgType::Propagate: return handle_propagate(request);
+      case MsgType::LoadQuery: return handle_load_query(request);
+      case MsgType::RangeAnnounce: return handle_range_announce(request);
+      case MsgType::HandoffCmd: return handle_handoff_cmd(request);
+      case MsgType::RecordHandoff: return handle_record_handoff(request);
+      case MsgType::ReplicaSync: return handle_replica_sync(request);
+      case MsgType::PromoteReplicas: return handle_promote_replicas(request);
+      case MsgType::Ping: return Ack{}.encode();
+      default: break;
+    }
+    Ack nack;
+    nack.ok = false;
+    nack.error = "unsupported message type " + std::to_string(request.type);
+    return nack.encode();
+  } catch (const std::exception& e) {
+    Ack nack;
+    nack.ok = false;
+    nack.error = e.what();
+    return nack.encode();
+  }
+}
+
+net::Frame CacheNode::handle_lookup(const net::Frame& request) {
+  const LookupReq req = LookupReq::decode(request);
+  const RingView::Target target = rings_.resolve(req.url);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  ++counters_.lookups_served;
+  record_beacon_load(target.ring, target.irh, 1.0);
+
+  LookupResp resp;
+  const auto it = directory_.find(req.url);
+  if (it != directory_.end() && !it->second.holders.empty()) {
+    resp.found = true;
+    resp.version = it->second.version;
+    resp.holders = it->second.holders;
+  }
+  return resp.encode();
+}
+
+net::Frame CacheNode::handle_register(const net::Frame& request) {
+  const RegisterHolder req = RegisterHolder::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  DirectoryRecord& record = directory_[req.url];
+  record.version = std::max(record.version, req.version);
+  const auto it = std::lower_bound(record.holders.begin(),
+                                   record.holders.end(), req.node);
+  if (it == record.holders.end() || *it != req.node) {
+    record.holders.insert(it, req.node);
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_deregister(const net::Frame& request) {
+  const DeregisterHolder req = DeregisterHolder::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = directory_.find(req.url);
+  if (it != directory_.end()) {
+    std::erase(it->second.holders, req.node);
+    if (it->second.holders.empty()) directory_.erase(it);
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_fetch(const net::Frame& request) {
+  const FetchReq req = FetchReq::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  FetchResp resp;
+  const auto it = bodies_.find(req.url);
+  if (it != bodies_.end()) {
+    const auto doc_it = url_to_doc_.find(req.url);
+    if (doc_it != url_to_doc_.end()) {
+      if (const auto doc = store_.get(doc_it->second, now())) {
+        resp.found = true;
+        resp.version = doc->version;
+        resp.body = it->second;
+      }
+    }
+  }
+  return resp.encode();
+}
+
+net::Frame CacheNode::handle_update_push(const net::Frame& request) {
+  const UpdatePush push = UpdatePush::decode(request);
+  const RingView::Target target = rings_.resolve(push.url);
+
+  std::vector<NodeId> holders;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.updates_served;
+    const trace::DocId doc = intern(push.url);
+    update_monitors_
+        .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
+        .first->second.record(now());
+    const auto it = directory_.find(push.url);
+    if (it != directory_.end()) {
+      it->second.version = std::max(it->second.version, push.version);
+      holders = it->second.holders;
+    }
+    record_beacon_load(target.ring, target.irh,
+                       1.0 + static_cast<double>(holders.size()));
+  }
+
+  // Fan the new version out to every holder (including ourselves if we
+  // hold a copy — handled via the same local path below for symmetry).
+  std::vector<NodeId> dropped;
+  for (const NodeId holder : holders) {
+    try {
+      net::Frame reply;
+      if (holder == id_) {
+        reply = handle_propagate(push.encode(MsgType::Propagate));
+      } else {
+        reply = peer_call(holder, push.encode(MsgType::Propagate));
+      }
+      const PropagateResp resp = PropagateResp::decode(reply);
+      if (!resp.kept) dropped.push_back(holder);
+    } catch (const std::exception& e) {
+      CC_LOG(Warn) << "node " << id_ << ": propagate of " << push.url
+                   << " to holder " << holder << " failed: " << e.what();
+    }
+  }
+  if (!dropped.empty()) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = directory_.find(push.url);
+    if (it != directory_.end()) {
+      for (const NodeId node : dropped) std::erase(it->second.holders, node);
+      if (it->second.holders.empty()) directory_.erase(it);
+    }
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_propagate(const net::Frame& request) {
+  const UpdatePush push = UpdatePush::decode(request);
+  const double at = now();
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  ++counters_.propagates_received;
+  const trace::DocId doc = intern(push.url);
+  update_monitors_
+      .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
+      .first->second.record(at);
+
+  PropagateResp resp;
+  if (!store_.contains(doc)) {
+    // Not a holder (e.g. beacon-placement push of a fresh copy): the
+    // placement policy decides whether to adopt it.
+    const RingView::Target target = rings_.resolve(push.url);
+    const core::PlacementContext ctx =
+        make_context(push.url, doc, 0, target.beacon == id_, at);
+    if (placement_->replicate_to_beacon_on_group_miss() &&
+        target.beacon == id_) {
+      // Accept unconditionally: we are the designated single holder. A put
+      // into an unlimited store cannot fail; bounded stores may still
+      // reject an oversized body.
+      if (store_.put(doc, push.body.size(), push.version, at).stored) {
+        bodies_[push.url] = push.body;
+        resp.kept = true;
+      }
+    } else if (placement_->store_at_requester(ctx)) {
+      if (store_.put(doc, push.body.size(), push.version, at).stored) {
+        bodies_[push.url] = push.body;
+        resp.kept = true;
+      }
+    }
+    return resp.encode();
+  }
+
+  const core::PlacementContext ctx =
+      make_context(push.url, doc, 1,
+                   rings_.resolve(push.url).beacon == id_, at);
+  if (placement_->keep_on_update(ctx)) {
+    store_.apply_update(doc, push.version, push.body.size(), at);
+    bodies_[push.url] = push.body;
+    resp.kept = true;
+  } else {
+    store_.erase(doc);
+    bodies_.erase(push.url);
+    ++counters_.drops_on_update;
+    resp.kept = false;
+  }
+  return resp.encode();
+}
+
+net::Frame CacheNode::handle_load_query(const net::Frame& request) {
+  (void)LoadQuery::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  LoadReport report;
+  report.node = id_;
+  report.capability = 1.0;
+  for (const std::uint32_t ring : rings_.rings_of(id_)) {
+    RingLoadReport entry;
+    entry.ring = ring;
+    entry.range = rings_.range_of(ring, id_);
+    const auto it = irh_loads_.find(ring);
+    entry.per_irh.assign(entry.range.length(), 0.0);
+    if (it != irh_loads_.end()) {
+      for (std::uint32_t k = 0; k < entry.range.length(); ++k) {
+        entry.per_irh[k] = it->second[entry.range.lo + k];
+        entry.cycle_load += entry.per_irh[k];
+      }
+    }
+    report.rings.push_back(std::move(entry));
+  }
+  // Reporting ends the accounting cycle.
+  irh_loads_.clear();
+  return report.encode();
+}
+
+net::Frame CacheNode::handle_range_announce(const net::Frame& request) {
+  const RangeAnnounce announce = RangeAnnounce::decode(request);
+  rings_.apply(announce);
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_handoff_cmd(const net::Frame& request) {
+  const HandoffCmd cmd = HandoffCmd::decode(request);
+
+  RecordHandoff handoff;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto it = directory_.begin(); it != directory_.end();) {
+      const core::UrlHash hash = core::hash_url(it->first);
+      const std::uint32_t ring = hash.ring(rings_.num_rings());
+      const std::uint32_t irh = hash.irh(config_.irh_gen);
+      if (ring == cmd.ring && cmd.values.contains(irh)) {
+        HandoffRecord record;
+        record.url = it->first;
+        record.version = it->second.version;
+        record.holders = it->second.holders;
+        handoff.records.push_back(std::move(record));
+        it = directory_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!handoff.records.empty()) {
+    const Ack ack = Ack::decode(peer_call(cmd.target, handoff.encode()));
+    if (!ack.ok) {
+      throw std::runtime_error("record handoff rejected: " + ack.error);
+    }
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_record_handoff(const net::Frame& request) {
+  const RecordHandoff handoff = RecordHandoff::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const HandoffRecord& record : handoff.records) {
+    DirectoryRecord& mine = directory_[record.url];
+    mine.version = std::max(mine.version, record.version);
+    for (const NodeId holder : record.holders) {
+      const auto it =
+          std::lower_bound(mine.holders.begin(), mine.holders.end(), holder);
+      if (it == mine.holders.end() || *it != holder) {
+        mine.holders.insert(it, holder);
+      }
+    }
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_replica_sync(const net::Frame& request) {
+  const RecordHandoff sync = RecordHandoff::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const HandoffRecord& record : sync.records) {
+    DirectoryRecord replica;
+    replica.version = record.version;
+    replica.holders = record.holders;
+    replica_directory_[record.url] = std::move(replica);
+  }
+  return Ack{}.encode();
+}
+
+net::Frame CacheNode::handle_promote_replicas(const net::Frame& request) {
+  const PromoteReplicas cmd = PromoteReplicas::decode(request);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (auto it = replica_directory_.begin();
+       it != replica_directory_.end();) {
+    const core::UrlHash hash = core::hash_url(it->first);
+    const std::uint32_t ring = hash.ring(rings_.num_rings());
+    const std::uint32_t irh = hash.irh(config_.irh_gen);
+    if (ring != cmd.ring || !cmd.values.contains(irh)) {
+      ++it;
+      continue;
+    }
+    DirectoryRecord promoted = it->second;
+    // The failed node's copies died with it.
+    std::erase(promoted.holders, cmd.failed_node);
+    if (!promoted.holders.empty()) {
+      DirectoryRecord& mine = directory_[it->first];
+      mine.version = std::max(mine.version, promoted.version);
+      for (const NodeId holder : promoted.holders) {
+        const auto pos = std::lower_bound(mine.holders.begin(),
+                                          mine.holders.end(), holder);
+        if (pos == mine.holders.end() || *pos != holder) {
+          mine.holders.insert(pos, holder);
+        }
+      }
+    }
+    it = replica_directory_.erase(it);
+  }
+  return Ack{}.encode();
+}
+
+void CacheNode::sync_replicas() {
+  // Snapshot my records per ring under the lock, then ship without it.
+  std::unordered_map<std::uint32_t, RecordHandoff> per_ring;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& [url, record] : directory_) {
+      const core::UrlHash hash = core::hash_url(url);
+      HandoffRecord entry;
+      entry.url = url;
+      entry.version = record.version;
+      entry.holders = record.holders;
+      per_ring[hash.ring(rings_.num_rings())].records.push_back(
+          std::move(entry));
+    }
+  }
+  for (const std::uint32_t ring : rings_.rings_of(id_)) {
+    const auto it = per_ring.find(ring);
+    if (it == per_ring.end()) continue;
+    const net::Frame frame = it->second.encode(MsgType::ReplicaSync);
+    const RangeAnnounce snapshot = rings_.snapshot();
+    for (const RangeEntry& peer : snapshot.rings.at(ring)) {
+      if (peer.owner == id_) continue;
+      try {
+        (void)peer_call(peer.owner, frame);
+      } catch (const std::exception& e) {
+        CC_LOG(Warn) << "node " << id_ << ": replica sync to " << peer.owner
+                     << " failed: " << e.what();
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- introspection
+
+std::size_t CacheNode::cached_docs() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return store_.doc_count();
+}
+
+bool CacheNode::has_cached(const std::string& url) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return bodies_.count(url) > 0;
+}
+
+std::size_t CacheNode::directory_records() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return directory_.size();
+}
+
+std::size_t CacheNode::replica_records() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return replica_directory_.size();
+}
+
+CacheNode::Counters CacheNode::counters() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return counters_;
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,163 @@
+// A runnable edge cache node: document store + beacon-point role + client
+// API, speaking the wire protocol over TCP.
+//
+// Each node is simultaneously
+//   - an edge cache serving application get() calls,
+//   - the beacon point for the documents whose (ring, IrH) it owns
+//     (lookup records, update propagation, load accounting), and
+//   - a peer that serves document bodies to other caches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/document_store.hpp"
+#include "core/placement.hpp"
+#include "net/tcp.hpp"
+#include "node/protocol.hpp"
+#include "node/ring_view.hpp"
+#include "util/rate.hpp"
+
+namespace cachecloud::node {
+
+struct NodeConfig {
+  std::uint32_t num_caches = 4;
+  std::uint32_t ring_size = 2;
+  std::uint32_t irh_gen = 100;
+  std::string placement = "adhoc";  // adhoc | beacon | utility
+  core::UtilityConfig utility;
+  std::uint64_t capacity_bytes = 0;  // 0 = unlimited
+  std::string replacement = "lru";
+  double monitor_half_life_sec = 60.0;
+};
+
+// Endpoint table distributed to every node before traffic starts.
+struct Endpoints {
+  std::vector<std::uint16_t> cache_ports;  // indexed by NodeId
+  std::uint16_t origin_port = 0;
+};
+
+class CacheNode {
+ public:
+  CacheNode(NodeId id, const NodeConfig& config);
+  ~CacheNode();
+  CacheNode(const CacheNode&) = delete;
+  CacheNode& operator=(const CacheNode&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
+
+  // Must be called (with every node's final port) before any get() or
+  // peer-dependent handling.
+  void set_endpoints(const Endpoints& endpoints);
+
+  // ---- application-facing API -------------------------------------
+  struct GetResult {
+    std::vector<std::uint8_t> body;
+    std::uint64_t version = 0;
+    enum class Source { Local, Cloud, Origin } source = Source::Local;
+    bool stored = false;
+  };
+  // Executes the full lookup protocol: local store -> beacon lookup ->
+  // holder fetch or origin fetch -> placement decision -> registration.
+  [[nodiscard]] GetResult get(const std::string& url);
+
+  // Lazily mirrors this node's lookup records to its beacon-ring peers
+  // (the §2.3 failure-resilience extension). Call periodically — e.g. at
+  // cycle boundaries; the coordinator's failover relies on it.
+  void sync_replicas();
+
+  // ---- introspection ----------------------------------------------
+  [[nodiscard]] std::size_t cached_docs() const;
+  [[nodiscard]] std::size_t replica_records() const;
+  [[nodiscard]] bool has_cached(const std::string& url) const;
+  [[nodiscard]] std::size_t directory_records() const;
+  [[nodiscard]] const RingView& ring_view() const noexcept { return rings_; }
+  struct Counters {
+    std::uint64_t gets = 0;
+    std::uint64_t local_hits = 0;
+    std::uint64_t cloud_hits = 0;
+    std::uint64_t origin_fetches = 0;
+    std::uint64_t lookups_served = 0;
+    std::uint64_t updates_served = 0;
+    std::uint64_t propagates_received = 0;
+    std::uint64_t drops_on_update = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  void stop();
+
+ private:
+  struct DirectoryRecord {
+    std::uint64_t version = 0;
+    std::vector<NodeId> holders;
+  };
+
+  [[nodiscard]] net::Frame handle(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_lookup(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_register(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_deregister(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_fetch(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_update_push(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_propagate(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_load_query(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_range_announce(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_handoff_cmd(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_record_handoff(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_replica_sync(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_promote_replicas(const net::Frame& request);
+
+  // Sends a request to a peer cache (or the origin with id kOriginId) and
+  // returns the reply. Never call while holding state_mutex_.
+  [[nodiscard]] net::Frame peer_call(NodeId peer, const net::Frame& request);
+
+  [[nodiscard]] double now() const;
+  [[nodiscard]] trace::DocId intern(const std::string& url);
+  void record_beacon_load(std::uint32_t ring, std::uint32_t irh,
+                          double amount);
+  [[nodiscard]] core::PlacementContext make_context(
+      const std::string& url, trace::DocId doc, std::size_t cloud_copies,
+      bool is_beacon, double at);
+  // Store a body locally; handles eviction dereg messages. Returns true if
+  // stored. Callers must NOT hold state_mutex_.
+  bool store_copy(const std::string& url, trace::DocId doc,
+                  const std::vector<std::uint8_t>& body,
+                  std::uint64_t version);
+
+  const NodeId id_;
+  const NodeConfig config_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex state_mutex_;
+  cache::DocumentStore store_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> bodies_;
+  std::unordered_map<std::string, DirectoryRecord> directory_;
+  // Lazily replicated copies of ring peers' lookup records; promoted to
+  // `directory_` entries when a failed peer's sub-range is inherited.
+  std::unordered_map<std::string, DirectoryRecord> replica_directory_;
+  std::unordered_map<std::string, trace::DocId> url_to_doc_;
+  std::vector<std::string> doc_to_url_;
+  std::unordered_map<trace::DocId, util::RateEstimator> access_monitors_;
+  std::unordered_map<trace::DocId, util::RateEstimator> update_monitors_;
+  util::RateEstimator request_monitor_;
+  // Per-ring per-IrH load accounting for rings this node belongs to.
+  std::unordered_map<std::uint32_t, std::vector<double>> irh_loads_;
+  Counters counters_;
+
+  RingView rings_;
+  std::unique_ptr<core::PlacementPolicy> placement_;
+
+  std::mutex peers_mutex_;
+  Endpoints endpoints_;
+  bool endpoints_set_ = false;
+  std::unordered_map<NodeId, std::unique_ptr<net::TcpClient>> peers_;
+
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+}  // namespace cachecloud::node

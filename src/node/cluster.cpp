@@ -1,0 +1,35 @@
+#include "node/cluster.hpp"
+
+namespace cachecloud::node {
+
+Cluster::Cluster(const NodeConfig& config) : config_(config) {
+  origin_ = std::make_unique<OriginNode>(config_);
+  caches_.reserve(config_.num_caches);
+  for (NodeId id = 0; id < config_.num_caches; ++id) {
+    caches_.push_back(std::make_unique<CacheNode>(id, config_));
+  }
+
+  Endpoints endpoints;
+  endpoints.origin_port = origin_->port();
+  endpoints.cache_ports.reserve(caches_.size());
+  for (const auto& cache : caches_) {
+    endpoints.cache_ports.push_back(cache->port());
+  }
+  origin_->set_endpoints(endpoints);
+  for (const auto& cache : caches_) {
+    cache->set_endpoints(endpoints);
+  }
+}
+
+Cluster::~Cluster() { stop_all(); }
+
+void Cluster::crash(NodeId id) { caches_.at(id)->stop(); }
+
+void Cluster::stop_all() {
+  for (const auto& cache : caches_) {
+    if (cache) cache->stop();
+  }
+  if (origin_) origin_->stop();
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,42 @@
+// In-process cluster harness: origin + N cache nodes on loopback TCP.
+//
+// Used by the integration tests and the distributed example. All nodes run
+// real servers on ephemeral ports; the harness wires the endpoint tables
+// and provides convenience accessors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/cache_node.hpp"
+#include "node/origin_node.hpp"
+
+namespace cachecloud::node {
+
+class Cluster {
+ public:
+  explicit Cluster(const NodeConfig& config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] OriginNode& origin() noexcept { return *origin_; }
+  [[nodiscard]] CacheNode& cache(NodeId id) { return *caches_.at(id); }
+  [[nodiscard]] std::uint32_t num_caches() const noexcept {
+    return static_cast<std::uint32_t>(caches_.size());
+  }
+
+  // Stops a cache node's server (simulated crash). Peers will see
+  // connection failures when they talk to it.
+  void crash(NodeId id);
+
+  void stop_all();
+
+ private:
+  NodeConfig config_;
+  std::unique_ptr<OriginNode> origin_;
+  std::vector<std::unique_ptr<CacheNode>> caches_;
+};
+
+}  // namespace cachecloud::node

@@ -1,0 +1,319 @@
+#include "node/origin_node.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::node {
+
+OriginNode::OriginNode(const NodeConfig& config)
+    : config_(config),
+      rings_(config.num_caches, config.ring_size, config.irh_gen) {
+  server_ = std::make_unique<net::TcpServer>(
+      0, [this](const net::Frame& f) { return handle(f); });
+}
+
+OriginNode::~OriginNode() { stop(); }
+
+void OriginNode::stop() {
+  if (server_) server_->stop();
+}
+
+void OriginNode::set_endpoints(const Endpoints& endpoints) {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  if (endpoints.cache_ports.size() != config_.num_caches) {
+    throw std::invalid_argument("OriginNode: endpoint table size mismatch");
+  }
+  endpoints_ = endpoints;
+  endpoints_set_ = true;
+  peers_.clear();
+}
+
+net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
+  net::TcpClient* client = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    if (!endpoints_set_) {
+      throw net::NetError("OriginNode: endpoints not configured");
+    }
+    auto& slot = peers_[node];
+    if (!slot) {
+      slot = std::make_unique<net::TcpClient>(endpoints_.cache_ports.at(node));
+    }
+    client = slot.get();
+  }
+  try {
+    return client->call(request);
+  } catch (const net::NetError&) {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    peers_.erase(node);
+    throw;
+  }
+}
+
+std::vector<std::uint8_t> OriginNode::make_body(const std::string& url,
+                                                std::uint64_t version,
+                                                std::size_t size) {
+  std::vector<std::uint8_t> body(size);
+  std::uint64_t state =
+      util::hash_combine(util::fnv1a64(url), version);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = util::mix64(state);
+    body[i] = static_cast<std::uint8_t>(state);
+  }
+  return body;
+}
+
+void OriginNode::add_document(const std::string& url, std::size_t size) {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Document doc;
+  doc.version = 1;
+  doc.size = size;
+  documents_[url] = doc;
+}
+
+std::uint64_t OriginNode::version_of(const std::string& url) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = documents_.find(url);
+  if (it == documents_.end()) {
+    throw std::invalid_argument("OriginNode: unknown document " + url);
+  }
+  return it->second.version;
+}
+
+std::uint64_t OriginNode::publish_update(const std::string& url) {
+  std::uint64_t version;
+  std::size_t size;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = documents_.find(url);
+    if (it == documents_.end()) {
+      throw std::invalid_argument("OriginNode: unknown document " + url);
+    }
+    version = ++it->second.version;
+    size = it->second.size;
+  }
+
+  // One update message per cloud: resolve the beacon point and push.
+  const RingView::Target target = rings_.resolve(url);
+  UpdatePush push;
+  push.url = url;
+  push.version = version;
+  push.body = make_body(url, version, size);
+  const Ack ack = Ack::decode(call_cache(target.beacon, push.encode()));
+  if (!ack.ok) {
+    CC_LOG(Warn) << "origin: update push of " << url << " rejected: "
+                 << ack.error;
+  }
+  return version;
+}
+
+OriginNode::RebalanceSummary OriginNode::run_rebalance_cycle() {
+  // Gather load reports from every cache node.
+  std::vector<LoadReport> reports;
+  reports.reserve(config_.num_caches);
+  for (NodeId node = 0; node < config_.num_caches; ++node) {
+    reports.push_back(
+        LoadReport::decode(call_cache(node, LoadQuery{}.encode())));
+  }
+
+  const RangeAnnounce current = rings_.snapshot();
+  RangeAnnounce next = current;
+  RebalanceSummary summary;
+  std::vector<HandoffCmd> handoffs;
+
+  for (std::uint32_t ring = 0; ring < current.rings.size(); ++ring) {
+    const auto& members = current.rings[ring];
+    std::vector<core::PointLoad> points(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      points[i].capability = 1.0;
+      points[i].range = members[i].range;
+      // Find the member's report entry for this ring.
+      for (const LoadReport& report : reports) {
+        if (report.node != members[i].owner) continue;
+        points[i].capability = report.capability;
+        for (const RingLoadReport& entry : report.rings) {
+          if (entry.ring == ring) {
+            points[i].cycle_load = entry.cycle_load;
+            points[i].per_irh = entry.per_irh;
+          }
+        }
+      }
+      // A node that reported a different (stale) range for this ring keeps
+      // the coordinator's view; uniform approximation then applies.
+      if (!points[i].per_irh.empty() &&
+          points[i].per_irh.size() != points[i].range.length()) {
+        points[i].per_irh.clear();
+      }
+    }
+
+    const auto new_ranges =
+        core::determine_subranges(points, config_.irh_gen);
+    bool changed = false;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (new_ranges[i] != members[i].range) changed = true;
+      next.rings[ring][i].range = new_ranges[i];
+    }
+    if (!changed) continue;
+    ++summary.rings_changed;
+
+    // Hand-off commands: for every IrH interval that changed owner, the old
+    // owner ships its records to the new owner. Walk the two partitions.
+    std::size_t bi = 0;
+    std::size_t ai = 0;
+    std::uint32_t pos = 0;
+    while (pos < config_.irh_gen) {
+      while (members[bi].range.hi < pos) ++bi;
+      while (new_ranges[ai].hi < pos) ++ai;
+      const std::uint32_t span_hi =
+          std::min(members[bi].range.hi, new_ranges[ai].hi);
+      if (members[bi].owner != next.rings[ring][ai].owner) {
+        HandoffCmd cmd;
+        cmd.ring = ring;
+        cmd.values = core::SubRange{pos, span_hi};
+        cmd.target = next.rings[ring][ai].owner;
+        // Issue to the losing node below, after the announce.
+        handoffs.push_back(cmd);
+        // Remember who loses it (same index bi).
+        handoffs.back().values = core::SubRange{pos, span_hi};
+      }
+      pos = span_hi + 1;
+    }
+  }
+
+  // Commit locally, announce to every node, then order the hand-offs.
+  rings_.apply(next);
+  for (NodeId node = 0; node < config_.num_caches; ++node) {
+    const Ack ack =
+        Ack::decode(call_cache(node, next.encode()));
+    if (!ack.ok) {
+      CC_LOG(Warn) << "origin: range announce to node " << node
+                   << " rejected: " << ack.error;
+    }
+  }
+  for (const HandoffCmd& cmd : handoffs) {
+    // The loser is whoever owned cmd.values under `current`.
+    NodeId loser = kOriginId;
+    for (const RangeEntry& entry : current.rings[cmd.ring]) {
+      if (entry.range.contains(cmd.values.lo)) {
+        loser = entry.owner;
+        break;
+      }
+    }
+    if (loser == kOriginId || loser == cmd.target) continue;
+    const Ack ack = Ack::decode(call_cache(loser, cmd.encode()));
+    if (!ack.ok) {
+      CC_LOG(Warn) << "origin: handoff cmd to node " << loser
+                   << " rejected: " << ack.error;
+    }
+    ++summary.handoffs;
+  }
+  return summary;
+}
+
+OriginNode::FailoverSummary OriginNode::handle_node_failure(NodeId failed) {
+  const RangeAnnounce current = rings_.snapshot();
+  FailoverSummary summary;
+  bool found = false;
+  RangeAnnounce next = current;
+
+  for (std::uint32_t ring = 0; ring < current.rings.size() && !found;
+       ++ring) {
+    const auto& members = current.rings[ring];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].owner != failed) continue;
+      if (members.size() == 1) {
+        throw std::invalid_argument(
+            "OriginNode: cannot fail over a ring's last member");
+      }
+      // Merge into the predecessor when one exists, else the successor —
+      // both keep the partition contiguous (mirrors BeaconRing's rule).
+      const std::size_t heir_index = i > 0 ? i - 1 : i + 1;
+      summary.heir = members[heir_index].owner;
+      summary.ring = ring;
+      summary.inherited = members[i].range;
+
+      auto& ring_next = next.rings[ring];
+      if (i > 0) {
+        ring_next[heir_index].range.hi = members[i].range.hi;
+      } else {
+        ring_next[heir_index].range.lo = members[i].range.lo;
+      }
+      ring_next.erase(ring_next.begin() + static_cast<std::ptrdiff_t>(i));
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("OriginNode: unknown node in failover");
+  }
+
+  rings_.apply(next);
+  for (NodeId node = 0; node < config_.num_caches; ++node) {
+    if (node == failed) continue;
+    try {
+      const Ack ack = Ack::decode(call_cache(node, next.encode()));
+      if (!ack.ok) {
+        CC_LOG(Warn) << "origin: failover announce to node " << node
+                     << " rejected: " << ack.error;
+      }
+    } catch (const std::exception& e) {
+      CC_LOG(Warn) << "origin: failover announce to node " << node
+                   << " failed: " << e.what();
+    }
+  }
+
+  PromoteReplicas promote;
+  promote.ring = summary.ring;
+  promote.values = summary.inherited;
+  promote.failed_node = failed;
+  const Ack ack =
+      Ack::decode(call_cache(summary.heir, promote.encode()));
+  if (!ack.ok) {
+    CC_LOG(Warn) << "origin: replica promotion at node " << summary.heir
+                 << " rejected: " << ack.error;
+  }
+  return summary;
+}
+
+std::uint64_t OriginNode::origin_fetches() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return origin_fetches_;
+}
+
+net::Frame OriginNode::handle(const net::Frame& request) {
+  try {
+    switch (static_cast<MsgType>(request.type)) {
+      case MsgType::FetchReq: {
+        const FetchReq req = FetchReq::decode(request);
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        FetchResp resp;
+        const auto it = documents_.find(req.url);
+        if (it != documents_.end()) {
+          ++origin_fetches_;
+          resp.found = true;
+          resp.version = it->second.version;
+          resp.body = make_body(req.url, it->second.version, it->second.size);
+        }
+        return resp.encode();
+      }
+      case MsgType::Ping:
+        return Ack{}.encode();
+      default:
+        break;
+    }
+    Ack nack;
+    nack.ok = false;
+    nack.error = "origin: unsupported message type " +
+                 std::to_string(request.type);
+    return nack.encode();
+  } catch (const std::exception& e) {
+    Ack nack;
+    nack.ok = false;
+    nack.error = e.what();
+    return nack.encode();
+  }
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,98 @@
+// The origin server node, doubling as the cloud coordinator.
+//
+// Serves authoritative document bodies, publishes updates to each
+// document's beacon point (one message per cloud, as the paper prescribes),
+// and periodically runs the sub-range determination cycle: it gathers load
+// reports from every cache node, recomputes the partition with
+// core::determine_subranges, announces the new assignment and orders the
+// lookup-record hand-offs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "node/cache_node.hpp"  // NodeConfig, Endpoints
+#include "node/protocol.hpp"
+#include "node/ring_view.hpp"
+
+namespace cachecloud::node {
+
+class OriginNode {
+ public:
+  explicit OriginNode(const NodeConfig& config);
+  ~OriginNode();
+  OriginNode(const OriginNode&) = delete;
+  OriginNode& operator=(const OriginNode&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
+  void set_endpoints(const Endpoints& endpoints);
+  void stop();
+
+  // ---- authoritative content --------------------------------------
+  // Registers a document; its body is deterministic filler of `size` bytes
+  // derived from (url, version).
+  void add_document(const std::string& url, std::size_t size);
+  [[nodiscard]] std::uint64_t version_of(const std::string& url) const;
+
+  // Bumps the document's version and pushes it to its beacon point.
+  // Returns the new version.
+  std::uint64_t publish_update(const std::string& url);
+
+  // ---- coordinator -------------------------------------------------
+  struct RebalanceSummary {
+    std::size_t rings_changed = 0;
+    std::size_t handoffs = 0;  // HandoffCmds issued
+  };
+  // One sub-range determination cycle across all rings.
+  RebalanceSummary run_rebalance_cycle();
+
+  // Fails a cache node over: merges its sub-range into a ring neighbour,
+  // announces the new assignment to the survivors and promotes the heir's
+  // lazily-replicated lookup records (§2.3's resilience extension).
+  // The failed node's server may already be unreachable. Throws
+  // std::invalid_argument if the node is its ring's last member.
+  struct FailoverSummary {
+    NodeId heir = 0;
+    std::uint32_t ring = 0;
+    core::SubRange inherited;
+  };
+  FailoverSummary handle_node_failure(NodeId failed);
+
+  [[nodiscard]] const RingView& ring_view() const noexcept { return rings_; }
+  [[nodiscard]] std::uint64_t origin_fetches() const;
+
+  // Deterministic body for (url, version); exposed so tests can verify
+  // end-to-end payload integrity.
+  [[nodiscard]] static std::vector<std::uint8_t> make_body(
+      const std::string& url, std::uint64_t version, std::size_t size);
+
+ private:
+  struct Document {
+    std::uint64_t version = 1;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] net::Frame handle(const net::Frame& request);
+  [[nodiscard]] net::Frame call_cache(NodeId node, const net::Frame& request);
+
+  const NodeConfig config_;
+  mutable std::mutex state_mutex_;
+  std::unordered_map<std::string, Document> documents_;
+  std::uint64_t origin_fetches_ = 0;
+
+  RingView rings_;
+
+  std::mutex peers_mutex_;
+  Endpoints endpoints_;
+  bool endpoints_set_ = false;
+  std::unordered_map<NodeId, std::unique_ptr<net::TcpClient>> peers_;
+
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+}  // namespace cachecloud::node

@@ -1,0 +1,355 @@
+#include "node/protocol.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+net::Frame make_frame(MsgType type, net::BufferWriter&& writer) {
+  net::Frame frame;
+  frame.type = static_cast<std::uint16_t>(type);
+  frame.payload = writer.take();
+  return frame;
+}
+
+}  // namespace
+
+void expect_type(const net::Frame& frame, MsgType expected) {
+  if (frame.type != static_cast<std::uint16_t>(expected)) {
+    throw net::DecodeError("unexpected message type " +
+                           std::to_string(frame.type) + ", expected " +
+                           std::to_string(static_cast<int>(expected)));
+  }
+}
+
+// ----------------------------------------------------------- lookup
+
+net::Frame LookupReq::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  return make_frame(MsgType::LookupReq, std::move(w));
+}
+
+LookupReq LookupReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::LookupReq);
+  net::BufferReader r(frame.payload);
+  LookupReq msg;
+  msg.url = r.str();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame LookupResp::encode() const {
+  net::BufferWriter w;
+  w.u8(found ? 1 : 0);
+  w.u64(version);
+  w.u32(static_cast<std::uint32_t>(holders.size()));
+  for (const NodeId h : holders) w.u32(h);
+  return make_frame(MsgType::LookupResp, std::move(w));
+}
+
+LookupResp LookupResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::LookupResp);
+  net::BufferReader r(frame.payload);
+  LookupResp msg;
+  msg.found = r.u8() != 0;
+  msg.version = r.u64();
+  const std::uint32_t n = r.u32();
+  msg.holders.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) msg.holders.push_back(r.u32());
+  r.expect_end();
+  return msg;
+}
+
+// ------------------------------------------------- holder registration
+
+net::Frame RegisterHolder::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  w.u32(node);
+  w.u64(version);
+  return make_frame(MsgType::RegisterHolder, std::move(w));
+}
+
+RegisterHolder RegisterHolder::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::RegisterHolder);
+  net::BufferReader r(frame.payload);
+  RegisterHolder msg;
+  msg.url = r.str();
+  msg.node = r.u32();
+  msg.version = r.u64();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame DeregisterHolder::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  w.u32(node);
+  return make_frame(MsgType::DeregisterHolder, std::move(w));
+}
+
+DeregisterHolder DeregisterHolder::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::DeregisterHolder);
+  net::BufferReader r(frame.payload);
+  DeregisterHolder msg;
+  msg.url = r.str();
+  msg.node = r.u32();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame Ack::encode() const {
+  net::BufferWriter w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  return make_frame(MsgType::Ack, std::move(w));
+}
+
+Ack Ack::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::Ack);
+  net::BufferReader r(frame.payload);
+  Ack msg;
+  msg.ok = r.u8() != 0;
+  msg.error = r.str();
+  r.expect_end();
+  return msg;
+}
+
+// -------------------------------------------------------------- fetch
+
+net::Frame FetchReq::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  return make_frame(MsgType::FetchReq, std::move(w));
+}
+
+FetchReq FetchReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::FetchReq);
+  net::BufferReader r(frame.payload);
+  FetchReq msg;
+  msg.url = r.str();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame FetchResp::encode() const {
+  net::BufferWriter w;
+  w.u8(found ? 1 : 0);
+  w.u64(version);
+  w.blob(body);
+  return make_frame(MsgType::FetchResp, std::move(w));
+}
+
+FetchResp FetchResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::FetchResp);
+  net::BufferReader r(frame.payload);
+  FetchResp msg;
+  msg.found = r.u8() != 0;
+  msg.version = r.u64();
+  msg.body = r.blob();
+  r.expect_end();
+  return msg;
+}
+
+// ------------------------------------------------------------- update
+
+net::Frame UpdatePush::encode(MsgType type) const {
+  net::BufferWriter w;
+  w.str(url);
+  w.u64(version);
+  w.blob(body);
+  return make_frame(type, std::move(w));
+}
+
+UpdatePush UpdatePush::decode(const net::Frame& frame) {
+  if (frame.type != static_cast<std::uint16_t>(MsgType::UpdatePush) &&
+      frame.type != static_cast<std::uint16_t>(MsgType::Propagate)) {
+    throw net::DecodeError("unexpected message type for UpdatePush");
+  }
+  net::BufferReader r(frame.payload);
+  UpdatePush msg;
+  msg.url = r.str();
+  msg.version = r.u64();
+  msg.body = r.blob();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame PropagateResp::encode() const {
+  net::BufferWriter w;
+  w.u8(kept ? 1 : 0);
+  return make_frame(MsgType::PropagateResp, std::move(w));
+}
+
+PropagateResp PropagateResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::PropagateResp);
+  net::BufferReader r(frame.payload);
+  PropagateResp msg;
+  msg.kept = r.u8() != 0;
+  r.expect_end();
+  return msg;
+}
+
+// ---------------------------------------------------------- balancing
+
+net::Frame LoadQuery::encode() const {
+  return make_frame(MsgType::LoadQuery, net::BufferWriter{});
+}
+
+LoadQuery LoadQuery::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::LoadQuery);
+  net::BufferReader r(frame.payload);
+  r.expect_end();
+  return LoadQuery{};
+}
+
+net::Frame LoadReport::encode() const {
+  net::BufferWriter w;
+  w.u32(node);
+  w.f64(capability);
+  w.u32(static_cast<std::uint32_t>(rings.size()));
+  for (const RingLoadReport& ring : rings) {
+    w.u32(ring.ring);
+    w.u32(ring.range.lo);
+    w.u32(ring.range.hi);
+    w.f64(ring.cycle_load);
+    w.u32(static_cast<std::uint32_t>(ring.per_irh.size()));
+    for (const double v : ring.per_irh) w.f64(v);
+  }
+  return make_frame(MsgType::LoadReport, std::move(w));
+}
+
+LoadReport LoadReport::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::LoadReport);
+  net::BufferReader r(frame.payload);
+  LoadReport msg;
+  msg.node = r.u32();
+  msg.capability = r.f64();
+  const std::uint32_t nrings = r.u32();
+  msg.rings.reserve(nrings);
+  for (std::uint32_t i = 0; i < nrings; ++i) {
+    RingLoadReport ring;
+    ring.ring = r.u32();
+    ring.range.lo = r.u32();
+    ring.range.hi = r.u32();
+    ring.cycle_load = r.f64();
+    const std::uint32_t nvals = r.u32();
+    ring.per_irh.reserve(nvals);
+    for (std::uint32_t k = 0; k < nvals; ++k) ring.per_irh.push_back(r.f64());
+    msg.rings.push_back(std::move(ring));
+  }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame RangeAnnounce::encode() const {
+  net::BufferWriter w;
+  w.u32(static_cast<std::uint32_t>(rings.size()));
+  for (const auto& ring : rings) {
+    w.u32(static_cast<std::uint32_t>(ring.size()));
+    for (const RangeEntry& entry : ring) {
+      w.u32(entry.range.lo);
+      w.u32(entry.range.hi);
+      w.u32(entry.owner);
+    }
+  }
+  return make_frame(MsgType::RangeAnnounce, std::move(w));
+}
+
+RangeAnnounce RangeAnnounce::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::RangeAnnounce);
+  net::BufferReader r(frame.payload);
+  RangeAnnounce msg;
+  const std::uint32_t nrings = r.u32();
+  msg.rings.resize(nrings);
+  for (std::uint32_t i = 0; i < nrings; ++i) {
+    const std::uint32_t n = r.u32();
+    msg.rings[i].reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      RangeEntry entry;
+      entry.range.lo = r.u32();
+      entry.range.hi = r.u32();
+      entry.owner = r.u32();
+      msg.rings[i].push_back(entry);
+    }
+  }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame HandoffCmd::encode() const {
+  net::BufferWriter w;
+  w.u32(ring);
+  w.u32(values.lo);
+  w.u32(values.hi);
+  w.u32(target);
+  return make_frame(MsgType::HandoffCmd, std::move(w));
+}
+
+HandoffCmd HandoffCmd::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::HandoffCmd);
+  net::BufferReader r(frame.payload);
+  HandoffCmd msg;
+  msg.ring = r.u32();
+  msg.values.lo = r.u32();
+  msg.values.hi = r.u32();
+  msg.target = r.u32();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame RecordHandoff::encode(MsgType type) const {
+  net::BufferWriter w;
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const HandoffRecord& record : records) {
+    w.str(record.url);
+    w.u64(record.version);
+    w.u32(static_cast<std::uint32_t>(record.holders.size()));
+    for (const NodeId h : record.holders) w.u32(h);
+  }
+  return make_frame(type, std::move(w));
+}
+
+RecordHandoff RecordHandoff::decode(const net::Frame& frame) {
+  if (frame.type != static_cast<std::uint16_t>(MsgType::RecordHandoff) &&
+      frame.type != static_cast<std::uint16_t>(MsgType::ReplicaSync)) {
+    throw net::DecodeError("unexpected message type for RecordHandoff");
+  }
+  net::BufferReader r(frame.payload);
+  RecordHandoff msg;
+  const std::uint32_t n = r.u32();
+  msg.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HandoffRecord record;
+    record.url = r.str();
+    record.version = r.u64();
+    const std::uint32_t nh = r.u32();
+    record.holders.reserve(nh);
+    for (std::uint32_t k = 0; k < nh; ++k) record.holders.push_back(r.u32());
+    msg.records.push_back(std::move(record));
+  }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame PromoteReplicas::encode() const {
+  net::BufferWriter w;
+  w.u32(ring);
+  w.u32(values.lo);
+  w.u32(values.hi);
+  w.u32(failed_node);
+  return make_frame(MsgType::PromoteReplicas, std::move(w));
+}
+
+PromoteReplicas PromoteReplicas::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::PromoteReplicas);
+  net::BufferReader r(frame.payload);
+  PromoteReplicas msg;
+  msg.ring = r.u32();
+  msg.values.lo = r.u32();
+  msg.values.hi = r.u32();
+  msg.failed_node = r.u32();
+  r.expect_end();
+  return msg;
+}
+
+}  // namespace cachecloud::node

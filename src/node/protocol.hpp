@@ -1,0 +1,187 @@
+// Wire protocol of the distributed cache cloud (src/node/).
+//
+// Message structs with explicit encode/decode to net::Frame. The protocol
+// implements the paper's lookup and update flows plus the coordinator-driven
+// sub-range re-balancing:
+//
+//   client GET at a cache node:
+//     Lookup(beacon) -> Fetch(holder | origin) -> RegisterHolder(beacon)
+//   origin update:
+//     UpdatePush(beacon) -> Propagate(holder...) [holders may drop]
+//   re-balance cycle (coordinator):
+//     LoadQuery(every node) -> determine_subranges -> RangeAnnounce(all)
+//     -> HandoffCmd(losing beacon) -> RecordHandoff(gaining beacon)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/subrange.hpp"
+#include "net/buffer.hpp"
+#include "net/tcp.hpp"
+
+namespace cachecloud::node {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kOriginId = 0xFFFFFFFFu;
+
+enum class MsgType : std::uint16_t {
+  LookupReq = 1,
+  LookupResp = 2,
+  RegisterHolder = 3,
+  DeregisterHolder = 4,
+  Ack = 5,
+  FetchReq = 6,
+  FetchResp = 7,
+  UpdatePush = 8,     // origin -> beacon point (new version of a document)
+  Propagate = 9,      // beacon point -> holder
+  PropagateResp = 10, // holder -> beacon: kept or dropped
+  LoadQuery = 11,
+  LoadReport = 12,
+  RangeAnnounce = 13,
+  HandoffCmd = 14,
+  RecordHandoff = 15,
+  Ping = 16,
+  // Failure resilience (§2.3's lazy-replication extension): beacon points
+  // lazily copy their lookup records to their ring peers; after a beacon
+  // failure the coordinator promotes the heir's replicas.
+  ReplicaSync = 17,
+  PromoteReplicas = 18,
+};
+
+struct LookupReq {
+  std::string url;
+  [[nodiscard]] net::Frame encode() const;
+  static LookupReq decode(const net::Frame& frame);
+};
+
+struct LookupResp {
+  bool found = false;
+  std::uint64_t version = 0;
+  std::vector<NodeId> holders;
+  [[nodiscard]] net::Frame encode() const;
+  static LookupResp decode(const net::Frame& frame);
+};
+
+struct RegisterHolder {
+  std::string url;
+  NodeId node = 0;
+  std::uint64_t version = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static RegisterHolder decode(const net::Frame& frame);
+};
+
+struct DeregisterHolder {
+  std::string url;
+  NodeId node = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static DeregisterHolder decode(const net::Frame& frame);
+};
+
+struct Ack {
+  bool ok = true;
+  std::string error;
+  [[nodiscard]] net::Frame encode() const;
+  static Ack decode(const net::Frame& frame);
+};
+
+struct FetchReq {
+  std::string url;
+  [[nodiscard]] net::Frame encode() const;
+  static FetchReq decode(const net::Frame& frame);
+};
+
+struct FetchResp {
+  bool found = false;
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> body;
+  [[nodiscard]] net::Frame encode() const;
+  static FetchResp decode(const net::Frame& frame);
+};
+
+struct UpdatePush {
+  std::string url;
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> body;
+  [[nodiscard]] net::Frame encode(MsgType type = MsgType::UpdatePush) const;
+  static UpdatePush decode(const net::Frame& frame);
+};
+
+struct PropagateResp {
+  bool kept = false;  // false: holder dropped the copy (utility placement)
+  [[nodiscard]] net::Frame encode() const;
+  static PropagateResp decode(const net::Frame& frame);
+};
+
+struct LoadQuery {
+  [[nodiscard]] net::Frame encode() const;
+  static LoadQuery decode(const net::Frame& frame);
+};
+
+// One entry per ring the reporting node is a member of.
+struct RingLoadReport {
+  std::uint32_t ring = 0;
+  core::SubRange range;          // the node's current sub-range
+  double cycle_load = 0.0;       // CAvgLoad since the last query
+  std::vector<double> per_irh;   // CIrHLd, one per value of `range`
+};
+
+struct LoadReport {
+  NodeId node = 0;
+  double capability = 1.0;
+  std::vector<RingLoadReport> rings;
+  [[nodiscard]] net::Frame encode() const;
+  static LoadReport decode(const net::Frame& frame);
+};
+
+struct RangeEntry {
+  core::SubRange range;
+  NodeId owner = 0;
+};
+
+struct RangeAnnounce {
+  // ranges[r] lists the sub-range assignment of ring r in ring order.
+  std::vector<std::vector<RangeEntry>> rings;
+  [[nodiscard]] net::Frame encode() const;
+  static RangeAnnounce decode(const net::Frame& frame);
+};
+
+struct HandoffCmd {
+  std::uint32_t ring = 0;
+  core::SubRange values;
+  NodeId target = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static HandoffCmd decode(const net::Frame& frame);
+};
+
+struct HandoffRecord {
+  std::string url;
+  std::uint64_t version = 0;
+  std::vector<NodeId> holders;
+};
+
+struct RecordHandoff {
+  std::vector<HandoffRecord> records;
+  // RecordHandoff moves ownership; ReplicaSync lazily mirrors the sender's
+  // records into the receiver's replica store (replace semantics).
+  [[nodiscard]] net::Frame encode(
+      MsgType type = MsgType::RecordHandoff) const;
+  static RecordHandoff decode(const net::Frame& frame);
+};
+
+// Orders the receiving node to promote its replicas of the given IrH block
+// to authoritative lookup records, dropping `failed_node` from every holder
+// list on the way.
+struct PromoteReplicas {
+  std::uint32_t ring = 0;
+  core::SubRange values;
+  NodeId failed_node = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static PromoteReplicas decode(const net::Frame& frame);
+};
+
+// Throws net::DecodeError if the frame's type does not match `expected`.
+void expect_type(const net::Frame& frame, MsgType expected);
+
+}  // namespace cachecloud::node

@@ -1,0 +1,111 @@
+#include "node/ring_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/subrange.hpp"
+
+namespace cachecloud::node {
+
+RingView::RingView(std::uint32_t num_nodes, std::uint32_t ring_size,
+                   std::uint32_t irh_gen)
+    : irh_gen_(irh_gen) {
+  if (num_nodes == 0 || ring_size == 0) {
+    throw std::invalid_argument("RingView: empty cluster or zero ring size");
+  }
+  std::uint32_t i = 0;
+  while (i < num_nodes) {
+    std::uint32_t end = std::min(i + ring_size, num_nodes);
+    const std::uint32_t remaining = num_nodes - end;
+    if (remaining > 0 && remaining < ring_size) end = num_nodes;
+
+    const std::uint32_t members = end - i;
+    const std::vector<double> caps(members, 1.0);
+    const auto ranges = core::initial_subranges(caps, irh_gen_);
+    std::vector<RangeEntry> ring(members);
+    for (std::uint32_t k = 0; k < members; ++k) {
+      ring[k] = RangeEntry{ranges[k], i + k};
+    }
+    rings_.push_back(std::move(ring));
+    i = end;
+  }
+}
+
+RingView::Target RingView::resolve(std::string_view url) const {
+  return resolve(core::hash_url(url));
+}
+
+RingView::Target RingView::resolve(const core::UrlHash& hash) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Target target;
+  target.ring = hash.ring(static_cast<std::uint32_t>(rings_.size()));
+  target.irh = hash.irh(irh_gen_);
+  for (const RangeEntry& entry : rings_[target.ring]) {
+    if (entry.range.contains(target.irh)) {
+      target.beacon = entry.owner;
+      return target;
+    }
+  }
+  throw std::logic_error("RingView: sub-ranges do not cover irh " +
+                         std::to_string(target.irh));
+}
+
+void RingView::apply(const RangeAnnounce& announce) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (announce.rings.size() != rings_.size()) {
+    throw std::invalid_argument("RingView::apply: ring count mismatch");
+  }
+  // Validate each ring partitions [0, irh_gen) before committing.
+  for (const auto& ring : announce.rings) {
+    std::uint32_t expected_lo = 0;
+    for (const RangeEntry& entry : ring) {
+      if (entry.range.lo != expected_lo || entry.range.hi < entry.range.lo ||
+          entry.range.hi >= irh_gen_) {
+        throw std::invalid_argument(
+            "RingView::apply: announced ranges are not a partition");
+      }
+      expected_lo = entry.range.hi + 1;
+    }
+    if (expected_lo != irh_gen_) {
+      throw std::invalid_argument(
+          "RingView::apply: announced ranges do not cover the space");
+    }
+  }
+  rings_ = announce.rings;
+}
+
+RangeAnnounce RingView::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RangeAnnounce announce;
+  announce.rings = rings_;
+  return announce;
+}
+
+std::uint32_t RingView::num_rings() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::uint32_t>(rings_.size());
+}
+
+std::vector<std::uint32_t> RingView::rings_of(NodeId node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < rings_.size(); ++r) {
+    for (const RangeEntry& entry : rings_[r]) {
+      if (entry.owner == node) {
+        out.push_back(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+core::SubRange RingView::range_of(std::uint32_t ring, NodeId node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const RangeEntry& entry : rings_.at(ring)) {
+    if (entry.owner == node) return entry.range;
+  }
+  throw std::invalid_argument("RingView::range_of: node owns no sub-range");
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,52 @@
+// A node's thread-safe view of the cloud's beacon-ring assignment.
+//
+// Every cache node and the origin keep one of these; the coordinator's
+// RangeAnnounce messages replace ring assignments atomically. Resolution is
+// the paper's two-step process: MD5 ring hash, then the intra-ring
+// sub-range table.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/url_hash.hpp"
+#include "node/protocol.hpp"
+
+namespace cachecloud::node {
+
+class RingView {
+ public:
+  // Nodes 0..num_nodes-1 are chunked into rings of ring_size in id order
+  // (a trailing remainder joins the last ring), each ring's hash space
+  // split evenly — the same initial layout DynamicHashAssigner uses.
+  RingView(std::uint32_t num_nodes, std::uint32_t ring_size,
+           std::uint32_t irh_gen);
+
+  struct Target {
+    std::uint32_t ring = 0;
+    std::uint32_t irh = 0;
+    NodeId beacon = 0;
+  };
+  [[nodiscard]] Target resolve(std::string_view url) const;
+  [[nodiscard]] Target resolve(const core::UrlHash& hash) const;
+
+  void apply(const RangeAnnounce& announce);
+  [[nodiscard]] RangeAnnounce snapshot() const;
+
+  [[nodiscard]] std::uint32_t num_rings() const;
+  [[nodiscard]] std::uint32_t irh_gen() const noexcept { return irh_gen_; }
+  // Rings the given node currently owns a sub-range in.
+  [[nodiscard]] std::vector<std::uint32_t> rings_of(NodeId node) const;
+  // The node's sub-range within a ring; throws if it owns none.
+  [[nodiscard]] core::SubRange range_of(std::uint32_t ring,
+                                        NodeId node) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<RangeEntry>> rings_;
+  std::uint32_t irh_gen_;
+};
+
+}  // namespace cachecloud::node

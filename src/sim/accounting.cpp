@@ -1,0 +1,156 @@
+#include "sim/accounting.hpp"
+
+#include <algorithm>
+
+namespace cachecloud::sim {
+
+Accounting::Accounting(std::uint32_t num_caches, const NetworkModel& net,
+                       double metrics_start_sec, bool collect_latency)
+    : num_caches_(num_caches),
+      net_(net),
+      metrics_start_sec_(metrics_start_sec),
+      collect_latency_(collect_latency),
+      metrics_(num_caches) {}
+
+void Accounting::on_request(const core::RequestOutcome& outcome, double now) {
+  if (now < metrics_start_sec_) return;
+  ++metrics_.requests;
+  if (outcome.stale_served) ++metrics_.stale_hits;
+
+  double latency = 0.0;
+  switch (outcome.kind) {
+    case core::RequestKind::LocalHit:
+      ++metrics_.local_hits;
+      latency = net_.local_service_sec;
+      if (outcome.revalidated) {
+        // If-Modified-Since round trip to the origin, answered 304.
+        ++metrics_.revalidations;
+        ++metrics_.origin_messages;
+        metrics_.control_bytes += 2 * net_.control_msg_bytes;
+        latency += net_.wan_rtt_sec;
+      }
+      break;
+    case core::RequestKind::CloudHit: {
+      ++metrics_.cloud_hits;
+      account_lookup(outcome);
+      // Fetch from the holder: request + body over the intra-cloud link.
+      const std::uint64_t wire = net_.document_wire_bytes(outcome.doc_bytes);
+      metrics_.control_bytes += net_.control_msg_bytes;
+      metrics_.data_bytes_intra += wire;
+      latency = discovery_latency(outcome) + net_.intra_rtt_sec +
+                net_.intra_transfer_sec(wire);
+      break;
+    }
+    case core::RequestKind::GroupMiss: {
+      ++metrics_.group_misses;
+      ++metrics_.origin_messages;  // the origin serves this fetch
+      if (outcome.refetched) ++metrics_.ttl_refetches;
+      // Without cooperation (discovery_hops == 0) there is no beacon
+      // lookup: the miss goes straight to the origin.
+      if (outcome.discovery_hops > 0) account_lookup(outcome);
+      const std::uint64_t wire = net_.document_wire_bytes(outcome.doc_bytes);
+      metrics_.control_bytes += net_.control_msg_bytes;
+      metrics_.data_bytes_wan += wire;
+      latency = discovery_latency(outcome) + net_.wan_rtt_sec +
+                net_.wan_transfer_sec(wire);
+      break;
+    }
+  }
+
+  if (outcome.stored) ++metrics_.stored_copies;
+  if (outcome.replicated_to_beacon) {
+    ++metrics_.stored_copies;
+    // The requester forwards the body to the beacon point.
+    metrics_.data_bytes_intra += net_.document_wire_bytes(outcome.doc_bytes);
+  }
+  account_evictions(outcome.evicted_at_requester);
+  account_evictions(outcome.evicted_at_beacon);
+
+  if (collect_latency_) metrics_.request_latency_sec.add(latency);
+}
+
+void Accounting::on_update(const core::UpdateOutcome& outcome, double now) {
+  if (now < metrics_start_sec_) return;
+  ++metrics_.updates;
+
+  if (!outcome.pushed) return;  // TTL consistency: nothing sent
+
+  if (outcome.discovery_hops == 0) {
+    // No cooperation: the origin pushes the body to every holder
+    // individually over the WAN — no beacon point shares the cost.
+    const std::uint64_t wire = net_.document_wire_bytes(outcome.doc_bytes);
+    for (std::size_t i = 0; i < outcome.holders.size(); ++i) {
+      metrics_.control_bytes += net_.control_msg_bytes;
+      metrics_.data_bytes_wan += wire;
+      metrics_.update_push_bytes += wire;
+    }
+    metrics_.origin_messages += outcome.holders.size();
+    return;
+  }
+  // Update work at the beacon point: the notification plus the
+  // propagation fan-out (one message per holder, kept or dropped).
+  metrics_.beacon_updates[outcome.beacon] +=
+      1.0 + static_cast<double>(outcome.holders.size() +
+                                outcome.dropped.size());
+
+  // The origin notifies the beacon point (control, WAN side) — one
+  // message per cloud, however many holders there are.
+  ++metrics_.origin_messages;
+  metrics_.control_bytes += net_.control_msg_bytes * outcome.discovery_hops;
+  // The beacon notifies every holder; holders that drop their copy answer
+  // with a deregistration and never receive the body.
+  metrics_.control_bytes +=
+      net_.control_msg_bytes *
+      (outcome.holders.size() + 2 * outcome.dropped.size());
+  metrics_.evictions += outcome.dropped.size();
+
+  if (outcome.holders.empty()) return;
+  const std::uint64_t wire = net_.document_wire_bytes(outcome.doc_bytes);
+  // Body travels origin -> beacon once, then beacon -> each keeping holder
+  // other than itself inside the cloud.
+  metrics_.data_bytes_wan += wire;
+  metrics_.update_push_bytes += wire;
+  for (const core::CacheId holder : outcome.holders) {
+    if (holder == outcome.beacon) continue;
+    metrics_.data_bytes_intra += wire;
+    metrics_.update_push_bytes += wire;
+  }
+}
+
+void Accounting::on_cycle(const core::CycleOutcome& outcome, double now) {
+  ++rebalances_;
+  records_transferred_ += outcome.records_transferred;
+  if (now < metrics_start_sec_ || outcome.moves.empty()) return;
+  // New sub-range assignment announced to every cache and the origin.
+  metrics_.control_bytes += net_.control_msg_bytes * (num_caches_ + 1);
+  metrics_.record_transfer_bytes +=
+      outcome.records_transferred * net_.lookup_record_bytes;
+}
+
+CloudMetrics Accounting::finish(double duration) {
+  metrics_.measured_sec = std::max(0.0, duration - metrics_start_sec_);
+  return std::move(metrics_);
+}
+
+void Accounting::account_lookup(const core::RequestOutcome& outcome) {
+  metrics_.beacon_lookups[outcome.beacon] += 1.0;
+  // Beacon discovery: one control message per hop, plus the holder list
+  // in the reply.
+  metrics_.control_bytes += net_.control_msg_bytes * outcome.discovery_hops;
+  metrics_.control_bytes += net_.control_msg_bytes +
+                            net_.holder_entry_bytes * outcome.holders_seen;
+}
+
+double Accounting::discovery_latency(
+    const core::RequestOutcome& outcome) const {
+  // Each discovery hop plus the lookup reply is an intra-cloud round trip.
+  return net_.intra_rtt_sec * outcome.discovery_hops;
+}
+
+void Accounting::account_evictions(const std::vector<core::DocId>& evicted) {
+  // Every eviction deregisters the holder at the document's beacon point.
+  metrics_.evictions += evicted.size();
+  metrics_.control_bytes += net_.control_msg_bytes * evicted.size();
+}
+
+}  // namespace cachecloud::sim

@@ -1,0 +1,52 @@
+// Network/latency/load accounting shared by the single-cloud simulator and
+// the multi-cloud edge network.
+//
+// Translates protocol outcomes (RequestOutcome / UpdateOutcome /
+// CycleOutcome) into CloudMetrics under a NetworkModel. One instance per
+// cloud.
+#pragma once
+
+#include "core/cloud.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network_model.hpp"
+
+namespace cachecloud::sim {
+
+class Accounting {
+ public:
+  Accounting(std::uint32_t num_caches, const NetworkModel& net,
+             double metrics_start_sec = 0.0, bool collect_latency = true);
+
+  void on_request(const core::RequestOutcome& outcome, double now);
+  void on_update(const core::UpdateOutcome& outcome, double now);
+  void on_cycle(const core::CycleOutcome& outcome, double now);
+
+  // Finalizes the measurement window and hands the metrics out.
+  [[nodiscard]] CloudMetrics finish(double duration);
+
+  [[nodiscard]] std::size_t rebalances() const noexcept {
+    return rebalances_;
+  }
+  [[nodiscard]] std::size_t records_transferred() const noexcept {
+    return records_transferred_;
+  }
+  [[nodiscard]] const CloudMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  void account_lookup(const core::RequestOutcome& outcome);
+  [[nodiscard]] double discovery_latency(
+      const core::RequestOutcome& outcome) const;
+  void account_evictions(const std::vector<core::DocId>& evicted);
+
+  std::uint32_t num_caches_;
+  NetworkModel net_;
+  double metrics_start_sec_;
+  bool collect_latency_;
+  CloudMetrics metrics_;
+  std::size_t rebalances_ = 0;
+  std::size_t records_transferred_ = 0;
+};
+
+}  // namespace cachecloud::sim

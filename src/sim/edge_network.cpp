@@ -1,0 +1,84 @@
+#include "sim/edge_network.hpp"
+
+#include <stdexcept>
+
+namespace cachecloud::sim {
+
+EdgeNetwork::EdgeNetwork(const EdgeNetworkConfig& config,
+                         const trace::Trace& trace)
+    : config_(config) {
+  if (config_.num_clouds == 0) {
+    throw std::invalid_argument("EdgeNetwork: num_clouds must be > 0");
+  }
+  clouds_.reserve(config_.num_clouds);
+  accounts_.reserve(config_.num_clouds);
+  for (std::uint32_t i = 0; i < config_.num_clouds; ++i) {
+    clouds_.push_back(
+        std::make_unique<core::CacheCloud>(config_.cloud, trace));
+    accounts_.emplace_back(config_.cloud.num_caches, config_.net,
+                           config_.metrics_start_sec,
+                           /*collect_latency=*/false);
+  }
+}
+
+core::RequestOutcome EdgeNetwork::handle_request(trace::CacheId global_cache,
+                                                 trace::DocId doc,
+                                                 double now) {
+  const std::uint32_t cloud_id = global_cache / config_.cloud.num_caches;
+  const trace::CacheId local = global_cache % config_.cloud.num_caches;
+  if (cloud_id >= clouds_.size()) {
+    throw std::out_of_range("EdgeNetwork: cache id outside the network");
+  }
+  const core::RequestOutcome outcome =
+      clouds_[cloud_id]->handle_request(local, doc, now);
+  accounts_[cloud_id].on_request(outcome, now);
+  return outcome;
+}
+
+void EdgeNetwork::handle_update(trace::DocId doc, double now) {
+  // "It sends a document update message to these beacon points (one for
+  // each cloud), which in turn communicate it to the caches in their cache
+  // clouds" — every cloud processes the update independently.
+  for (std::uint32_t i = 0; i < clouds_.size(); ++i) {
+    const core::UpdateOutcome outcome = clouds_[i]->handle_update(doc, now);
+    accounts_[i].on_update(outcome, now);
+  }
+}
+
+void EdgeNetwork::maybe_end_cycles(double now) {
+  for (std::uint32_t i = 0; i < clouds_.size(); ++i) {
+    if (const auto cycle = clouds_[i]->maybe_end_cycle(now)) {
+      accounts_[i].on_cycle(*cycle, now);
+    }
+  }
+}
+
+EdgeNetworkResult EdgeNetwork::finish(double duration) {
+  EdgeNetworkResult result;
+  result.per_cloud.reserve(clouds_.size());
+  for (auto& account : accounts_) {
+    result.per_cloud.push_back(account.finish(duration));
+    const CloudMetrics& metrics = result.per_cloud.back();
+    result.origin_messages += metrics.origin_messages;
+    result.origin_wan_bytes += metrics.data_bytes_wan;
+    result.total_requests += metrics.requests;
+    result.served_within_clouds += metrics.local_hits + metrics.cloud_hits;
+  }
+  return result;
+}
+
+EdgeNetworkResult run_edge_network(const EdgeNetworkConfig& config,
+                                   const trace::Trace& trace) {
+  EdgeNetwork network(config, trace);
+  for (const trace::Event& event : trace.events()) {
+    network.maybe_end_cycles(event.time);
+    if (event.type == trace::EventType::Request) {
+      network.handle_request(event.cache, event.doc, event.time);
+    } else {
+      network.handle_update(event.doc, event.time);
+    }
+  }
+  return network.finish(trace.duration());
+}
+
+}  // namespace cachecloud::sim

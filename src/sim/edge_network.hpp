@@ -1,0 +1,78 @@
+// The full edge cache network: multiple cache clouds sharing one origin
+// server ("Cooperative EC Grid", the paper's framing in [11] and §1).
+//
+// The clouds are disjoint cooperation domains (formed, in the paper, by the
+// landmark-clustering of [12]); the origin resolves each document's beacon
+// point *per cloud* and sends one update message per cloud. This layer
+// routes a single trace across the clouds — trace cache id `i` is cache
+// `i % caches_per_cloud` of cloud `i / caches_per_cloud` — and aggregates
+// per-cloud and origin-side metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "sim/accounting.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network_model.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::sim {
+
+struct EdgeNetworkConfig {
+  std::uint32_t num_clouds = 4;
+  // Per-cloud configuration; its num_caches is the cloud size.
+  core::CloudConfig cloud;
+  NetworkModel net;
+  double metrics_start_sec = 0.0;
+};
+
+struct EdgeNetworkResult {
+  std::vector<CloudMetrics> per_cloud;
+  // Origin-side totals across all clouds.
+  std::uint64_t origin_messages = 0;
+  std::uint64_t origin_wan_bytes = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t served_within_clouds = 0;  // local + cloud hits
+
+  [[nodiscard]] double in_network_hit_rate() const noexcept {
+    return total_requests > 0
+               ? static_cast<double>(served_within_clouds) /
+                     static_cast<double>(total_requests)
+               : 0.0;
+  }
+};
+
+class EdgeNetwork {
+ public:
+  // The trace must reference caches [0, num_clouds * cloud.num_caches).
+  EdgeNetwork(const EdgeNetworkConfig& config, const trace::Trace& trace);
+
+  // Routes one request from the trace-global cache id.
+  core::RequestOutcome handle_request(trace::CacheId global_cache,
+                                      trace::DocId doc, double now);
+  // Publishes one update: the origin notifies each cloud's beacon point.
+  void handle_update(trace::DocId doc, double now);
+  void maybe_end_cycles(double now);
+
+  [[nodiscard]] std::uint32_t num_clouds() const noexcept {
+    return static_cast<std::uint32_t>(clouds_.size());
+  }
+  [[nodiscard]] core::CacheCloud& cloud(std::uint32_t i) {
+    return *clouds_.at(i);
+  }
+
+  [[nodiscard]] EdgeNetworkResult finish(double duration);
+
+ private:
+  EdgeNetworkConfig config_;
+  std::vector<std::unique_ptr<core::CacheCloud>> clouds_;
+  std::vector<Accounting> accounts_;  // one per cloud
+};
+
+// Convenience driver mirroring run_simulation.
+[[nodiscard]] EdgeNetworkResult run_edge_network(
+    const EdgeNetworkConfig& config, const trace::Trace& trace);
+
+}  // namespace cachecloud::sim

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cachecloud::sim {
+
+void EventQueue::schedule_at(double at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue: empty action");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay, Action action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the action must be moved out via a copy of
+  // the entry — keep entries cheap.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.at;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= horizon) {
+    step();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+}  // namespace cachecloud::sim

@@ -1,0 +1,56 @@
+// Generic discrete-event engine.
+//
+// A minimal but complete DES core: schedule closures at absolute or relative
+// simulated times, run until drained or until a horizon. Determinism: events
+// with equal timestamps fire in scheduling order (stable sequence numbers).
+// Used by the failure-injection tests and the failover example to interleave
+// workload, crashes and re-balancing cycles on one timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cachecloud::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `at` (must be >= now()).
+  void schedule_at(double at, Action action);
+  // Schedules `action` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Action action);
+
+  // Runs events until the queue is empty. Returns events executed.
+  std::size_t run();
+  // Runs events with time <= horizon; now() ends up at min(horizon, last
+  // event time). Returns events executed.
+  std::size_t run_until(double horizon);
+  // Executes just the next event, if any. Returns true if one ran.
+  bool step();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    double at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cachecloud::sim

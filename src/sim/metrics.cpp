@@ -1,0 +1,77 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cachecloud::sim {
+
+std::vector<double> CloudMetrics::beacon_load_per_minute() const {
+  std::vector<double> out(beacon_lookups.size(), 0.0);
+  const double minutes = measured_sec > 0.0 ? measured_sec / 60.0 : 1.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (beacon_lookups[i] + beacon_updates[i]) / minutes;
+  }
+  return out;
+}
+
+util::OnlineStats CloudMetrics::beacon_load_stats() const {
+  const std::vector<double> loads = beacon_load_per_minute();
+  return util::summarize(loads);
+}
+
+double CloudMetrics::local_hit_rate() const noexcept {
+  return requests > 0
+             ? static_cast<double>(local_hits) / static_cast<double>(requests)
+             : 0.0;
+}
+
+double CloudMetrics::cloud_hit_rate() const noexcept {
+  return requests > 0 ? static_cast<double>(local_hits + cloud_hits) /
+                            static_cast<double>(requests)
+                      : 0.0;
+}
+
+std::uint64_t CloudMetrics::total_network_bytes() const noexcept {
+  return control_bytes + data_bytes_intra + data_bytes_wan +
+         record_transfer_bytes;
+}
+
+double CloudMetrics::network_mb_per_minute() const noexcept {
+  if (measured_sec <= 0.0) return 0.0;
+  const double mb = static_cast<double>(total_network_bytes()) / 1.0e6;
+  return mb / (measured_sec / 60.0);
+}
+
+std::string CloudMetrics::summary() const {
+  std::ostringstream out;
+  out << "requests=" << requests << " local_hit=" << util::format_double(
+             100.0 * local_hit_rate(), 1)
+      << "% cloud_hit=" << util::format_double(100.0 * cloud_hit_rate(), 1)
+      << "% misses=" << group_misses << " updates=" << updates
+      << " stored=" << stored_copies << " evictions=" << evictions << "\n";
+  const util::OnlineStats loads = beacon_load_stats();
+  out << "beacon load/min: mean=" << util::format_double(loads.mean(), 1)
+      << " max=" << util::format_double(loads.max(), 1)
+      << " cov=" << util::format_double(loads.coefficient_of_variation(), 3)
+      << " max/mean=" << util::format_double(loads.max_to_mean_ratio(), 3)
+      << "\n";
+  out << "network: total=" << util::format_bytes(total_network_bytes())
+      << " (intra=" << util::format_bytes(data_bytes_intra)
+      << ", wan=" << util::format_bytes(data_bytes_wan)
+      << ", control=" << util::format_bytes(control_bytes)
+      << ", update-push=" << util::format_bytes(update_push_bytes)
+      << ", records=" << util::format_bytes(record_transfer_bytes) << ")"
+      << " rate=" << util::format_double(network_mb_per_minute(), 2)
+      << " MB/min\n";
+  if (request_latency_sec.count() > 0) {
+    out << "latency: mean=" << util::format_double(
+               request_latency_sec.mean() * 1000.0, 2)
+        << "ms max=" << util::format_double(
+               request_latency_sec.max() * 1000.0, 2)
+        << "ms\n";
+  }
+  return out.str();
+}
+
+}  // namespace cachecloud::sim

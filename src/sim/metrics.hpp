@@ -1,0 +1,69 @@
+// Metrics collected by a simulation run — everything the paper's figures
+// report, and a few extras (hit classes, latency) for the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace cachecloud::sim {
+
+struct CloudMetrics {
+  // --- request/update accounting ---
+  std::uint64_t requests = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t cloud_hits = 0;
+  std::uint64_t group_misses = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t stored_copies = 0;    // placement said yes
+  std::uint64_t evictions = 0;
+  // Messages the origin server handles (fetches served + update messages
+  // sent). Cooperation's second headline benefit (§1) is cutting this:
+  // one update message per cloud instead of one per holder.
+  std::uint64_t origin_messages = 0;
+  // TTL consistency only:
+  std::uint64_t stale_hits = 0;      // requests served a stale version
+  std::uint64_t revalidations = 0;   // origin contacted, copy still fresh
+  std::uint64_t ttl_refetches = 0;   // origin contacted, copy replaced
+
+  // --- beacon-point load: lookups + updates handled per cache (§4.1) ---
+  std::vector<double> beacon_lookups;  // indexed by CacheId
+  std::vector<double> beacon_updates;
+
+  // --- network traffic (bytes) ---
+  std::uint64_t control_bytes = 0;        // protocol messages
+  std::uint64_t data_bytes_intra = 0;     // cache-to-cache document bodies
+  std::uint64_t data_bytes_wan = 0;       // origin <-> cloud document bodies
+  std::uint64_t update_push_bytes = 0;    // consistency-maintenance share
+  std::uint64_t record_transfer_bytes = 0;  // re-balance hand-offs
+
+  // --- latency ---
+  util::OnlineStats request_latency_sec;
+
+  // --- measurement window ---
+  double measured_sec = 0.0;
+
+  CloudMetrics() = default;
+  explicit CloudMetrics(std::size_t num_caches)
+      : beacon_lookups(num_caches, 0.0), beacon_updates(num_caches, 0.0) {}
+
+  // Combined per-beacon-point load (lookups + updates), in operations per
+  // minute — the paper's Y axis in Figs 3-4.
+  [[nodiscard]] std::vector<double> beacon_load_per_minute() const;
+  // Load-balance summary over the beacon points.
+  [[nodiscard]] util::OnlineStats beacon_load_stats() const;
+
+  [[nodiscard]] double local_hit_rate() const noexcept;
+  [[nodiscard]] double cloud_hit_rate() const noexcept;  // cumulative in-cloud
+  [[nodiscard]] std::uint64_t total_network_bytes() const noexcept;
+  // Total cloud network load in MB per minute — the paper's Y axis in
+  // Figs 8-9 ("Mbs transferred per unit time").
+  [[nodiscard]] double network_mb_per_minute() const noexcept;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace cachecloud::sim

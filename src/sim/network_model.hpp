@@ -1,0 +1,41 @@
+// Parametric network cost model of an edge cache cloud.
+//
+// The paper's clouds contain caches "in close network proximity" talking to
+// a distant origin server; we model that as two link classes (intra-cloud
+// and WAN) with configurable RTT and bandwidth, plus message-size constants
+// for the control traffic of the lookup/update protocols. Experiments
+// measure *bytes moved* (Figs 8-9) and use latency only descriptively, so
+// absolute constants only scale results, never reorder schemes.
+#pragma once
+
+#include <cstdint>
+
+namespace cachecloud::sim {
+
+struct NetworkModel {
+  // --- message sizes (bytes) ---
+  std::uint64_t control_msg_bytes = 64;     // lookup req, update notify, dereg
+  std::uint64_t holder_entry_bytes = 8;     // per holder in a lookup response
+  std::uint64_t transfer_header_bytes = 128;  // around each document body
+  std::uint64_t lookup_record_bytes = 32;   // per record moved on re-balance
+
+  // --- link characteristics ---
+  double intra_rtt_sec = 0.010;  // cache <-> cache within the cloud
+  double wan_rtt_sec = 0.100;    // cloud <-> origin server
+  double intra_bandwidth_bps = 100e6;  // bits per second
+  double wan_bandwidth_bps = 20e6;
+  double local_service_sec = 0.001;  // serving a local hit
+
+  [[nodiscard]] double intra_transfer_sec(std::uint64_t bytes) const noexcept {
+    return static_cast<double>(bytes) * 8.0 / intra_bandwidth_bps;
+  }
+  [[nodiscard]] double wan_transfer_sec(std::uint64_t bytes) const noexcept {
+    return static_cast<double>(bytes) * 8.0 / wan_bandwidth_bps;
+  }
+  [[nodiscard]] std::uint64_t document_wire_bytes(
+      std::uint64_t body_bytes) const noexcept {
+    return body_bytes + transfer_header_bytes;
+  }
+};
+
+}  // namespace cachecloud::sim

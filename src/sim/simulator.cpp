@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include "sim/accounting.hpp"
+
+namespace cachecloud::sim {
+
+SimResult run_simulation(core::CacheCloud& cloud, const trace::Trace& trace,
+                         const SimConfig& config) {
+  Accounting accounting(cloud.num_caches(), config.net,
+                        config.metrics_start_sec, config.collect_latency);
+
+  for (const trace::Event& event : trace.events()) {
+    if (const auto cycle = cloud.maybe_end_cycle(event.time)) {
+      accounting.on_cycle(*cycle, event.time);
+    }
+    if (event.type == trace::EventType::Request) {
+      const core::RequestOutcome outcome =
+          cloud.handle_request(event.cache, event.doc, event.time);
+      accounting.on_request(outcome, event.time);
+    } else {
+      const core::UpdateOutcome outcome =
+          cloud.handle_update(event.doc, event.time);
+      accounting.on_update(outcome, event.time);
+    }
+  }
+
+  SimResult result;
+  result.rebalances = accounting.rebalances();
+  result.records_transferred = accounting.records_transferred();
+  result.metrics = accounting.finish(trace.duration());
+  return result;
+}
+
+}  // namespace cachecloud::sim

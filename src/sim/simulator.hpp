@@ -1,0 +1,33 @@
+// Trace-driven simulation of one cache cloud (§4).
+//
+// Feeds a request/update trace through a CacheCloud and accounts network
+// traffic, per-beacon-point load and latency under the NetworkModel. This
+// is the harness behind every figure of the paper's evaluation.
+#pragma once
+
+#include "core/cloud.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network_model.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::sim {
+
+struct SimConfig {
+  NetworkModel net;
+  // Events before this time still execute (cache warm-up) but are excluded
+  // from the metrics.
+  double metrics_start_sec = 0.0;
+  bool collect_latency = true;
+};
+
+struct SimResult {
+  CloudMetrics metrics;
+  std::size_t rebalances = 0;
+  std::size_t records_transferred = 0;
+};
+
+[[nodiscard]] SimResult run_simulation(core::CacheCloud& cloud,
+                                       const trace::Trace& trace,
+                                       const SimConfig& config = {});
+
+}  // namespace cachecloud::sim

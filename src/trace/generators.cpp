@@ -1,0 +1,257 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cachecloud::trace {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<DocumentInfo> make_catalog(std::size_t num_docs,
+                                       const char* url_prefix, double size_mu,
+                                       double size_sigma, util::Rng& rng) {
+  std::vector<DocumentInfo> catalog;
+  catalog.reserve(num_docs);
+  for (std::size_t i = 0; i < num_docs; ++i) {
+    DocumentInfo d;
+    d.url = std::string(url_prefix) + std::to_string(i) + ".html";
+    // Clamp sizes to a sane web-document range: 256 B .. 4 MiB.
+    const double raw = rng.next_lognormal(size_mu, size_sigma);
+    d.size_bytes = static_cast<std::uint64_t>(
+        std::clamp(raw, 256.0, 4.0 * 1024 * 1024));
+    catalog.push_back(std::move(d));
+  }
+  return catalog;
+}
+
+// A fixed pseudo-random permutation of 0..n-1 so that popularity rank is not
+// trivially correlated with document id / URL.
+std::vector<DocId> make_rank_to_doc(std::size_t n, util::Rng& rng) {
+  std::vector<DocId> perm(n);
+  std::iota(perm.begin(), perm.end(), DocId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Trace generate_zipf_trace(const ZipfTraceConfig& config) {
+  if (config.num_docs == 0) {
+    throw std::invalid_argument("generate_zipf_trace: num_docs must be > 0");
+  }
+  if (config.num_caches == 0) {
+    throw std::invalid_argument("generate_zipf_trace: num_caches must be > 0");
+  }
+  util::Rng rng(config.seed);
+  auto catalog = make_catalog(config.num_docs, config.url_prefix.c_str(), config.size_mu,
+                              config.size_sigma, rng);
+  const auto rank_to_doc = make_rank_to_doc(config.num_docs, rng);
+  // Updates follow their own Zipf ranking, independent of the request
+  // ranking: read-hot and write-hot documents overlap but are not
+  // identical, as in real dynamic-content sites. (A shared ranking would
+  // make every document's access/update ratio a constant, degenerating the
+  // placement decision.)
+  const auto update_rank_to_doc = make_rank_to_doc(config.num_docs, rng);
+
+  const util::ZipfSampler request_sampler(config.num_docs,
+                                          config.request_alpha);
+  const util::ZipfSampler update_sampler(config.num_docs, config.update_alpha);
+
+  std::vector<Event> events;
+  const auto expected =
+      static_cast<std::size_t>(config.duration_sec * config.requests_per_sec +
+                               config.duration_sec * config.updates_per_minute /
+                                   60.0) +
+      16;
+  events.reserve(expected);
+
+  double t = rng.next_exponential(config.requests_per_sec);
+  while (t < config.duration_sec) {
+    Event e;
+    e.time = t;
+    e.type = EventType::Request;
+    e.doc = rank_to_doc[request_sampler.sample(rng)];
+    e.cache = static_cast<CacheId>(rng.next_below(config.num_caches));
+    events.push_back(e);
+    t += rng.next_exponential(config.requests_per_sec);
+  }
+
+  const double update_rate_sec = config.updates_per_minute / 60.0;
+  if (update_rate_sec > 0.0) {
+    t = rng.next_exponential(update_rate_sec);
+    while (t < config.duration_sec) {
+      Event e;
+      e.time = t;
+      e.type = EventType::Update;
+      e.doc = update_rank_to_doc[update_sampler.sample(rng)];
+      events.push_back(e);
+      t += rng.next_exponential(update_rate_sec);
+    }
+  }
+
+  Trace trace(std::move(catalog), std::move(events));
+  trace.sort_events();
+  trace.validate();
+  return trace;
+}
+
+Trace generate_sydney_trace(const SydneyTraceConfig& config) {
+  if (config.num_docs == 0) {
+    throw std::invalid_argument("generate_sydney_trace: num_docs must be > 0");
+  }
+  if (config.num_caches == 0) {
+    throw std::invalid_argument("generate_sydney_trace: num_caches must be > 0");
+  }
+  if (config.hot_set_size >= config.num_docs) {
+    throw std::invalid_argument(
+        "generate_sydney_trace: hot_set_size must be < num_docs");
+  }
+  if (config.front_docs >= config.num_docs) {
+    throw std::invalid_argument(
+        "generate_sydney_trace: front_docs must be < num_docs");
+  }
+  if (config.front_fraction + config.hot_request_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_sydney_trace: front + hot fractions exceed 1");
+  }
+  util::Rng rng(config.seed);
+  auto catalog = make_catalog(config.num_docs, config.url_prefix.c_str(), config.size_mu,
+                              config.size_sigma, rng);
+  const auto rank_to_doc = make_rank_to_doc(config.num_docs, rng);
+
+  const util::ZipfSampler backbone(config.num_docs, config.popularity_alpha);
+  const util::ZipfSampler front_sampler(
+      std::max<std::size_t>(config.front_docs, 1), config.front_alpha);
+  const util::ZipfSampler hot_sampler(
+      std::max<std::size_t>(config.hot_set_size, 1), 0.6);
+  const std::size_t update_docs =
+      std::min(std::max<std::size_t>(config.update_hot_docs, 1),
+               config.num_docs);
+  const util::ZipfSampler update_sampler(update_docs, config.update_alpha);
+
+  // Per-cache request weights: edge locations see different client
+  // populations; a mild skew (lognormal weights) mimics that.
+  std::vector<double> cache_cdf(config.num_caches);
+  {
+    double acc = 0.0;
+    for (auto& w : cache_cdf) {
+      acc += rng.next_lognormal(0.0, 0.35);
+      w = acc;
+    }
+    for (auto& w : cache_cdf) w /= acc;
+    cache_cdf.back() = 1.0;
+  }
+  const auto pick_cache = [&](util::Rng& r) {
+    const double u = r.next_double();
+    const auto it = std::lower_bound(cache_cdf.begin(), cache_cdf.end(), u);
+    return static_cast<CacheId>(it - cache_cdf.begin());
+  };
+
+  // Diurnal intensity: cosine day curve with the trough at t = 0 (midnight).
+  const auto intensity = [&](double t) {
+    const double phase = 2.0 * kPi * t / (24.0 * 3600.0);
+    const double day = 0.5 * (1.0 - std::cos(phase));  // 0 at midnight, 1 midday
+    return config.peak_requests_per_sec *
+           (config.base_fraction + (1.0 - config.base_fraction) * day);
+  };
+
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(
+      config.duration_sec * config.peak_requests_per_sec * 0.7 +
+      config.duration_sec * config.updates_per_minute / 60.0));
+
+  // Requests: time-sliced non-homogeneous Poisson (1-minute slices).
+  const double slice = 60.0;
+  for (double start = 0.0; start < config.duration_sec; start += slice) {
+    const double len = std::min(slice, config.duration_sec - start);
+    const double mid = start + len / 2.0;
+    const double lambda = intensity(mid) * len;
+    const std::uint64_t count = rng.next_poisson(lambda);
+    // The live-event window active during this slice.
+    const auto rotation = static_cast<std::size_t>(
+        mid / config.hot_rotation_period_sec);
+    const std::size_t hot_base =
+        (rotation * config.hot_set_size) %
+        (config.num_docs - config.hot_set_size);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      Event e;
+      e.time = start + rng.next_double() * len;
+      e.type = EventType::Request;
+      std::size_t rank;
+      const double mix = rng.next_double();
+      if (mix < config.front_fraction) {
+        // Front pages live at the head of the popularity ranking.
+        rank = front_sampler.sample(rng);
+      } else if (mix < config.front_fraction + config.hot_request_fraction) {
+        rank = hot_base + hot_sampler.sample(rng);
+      } else {
+        rank = backbone.sample(rng);
+      }
+      e.doc = rank_to_doc[rank];
+      e.cache = pick_cache(rng);
+      events.push_back(e);
+    }
+  }
+
+  // Updates: homogeneous Poisson over scoreboard-like documents. These are
+  // drawn from the *popular* end of the ranking (live pages change often),
+  // which couples update load to request load as in the real trace.
+  const double update_rate_sec = config.updates_per_minute / 60.0;
+  if (update_rate_sec > 0.0) {
+    double t = rng.next_exponential(update_rate_sec);
+    while (t < config.duration_sec) {
+      Event e;
+      e.time = t;
+      e.type = EventType::Update;
+      e.doc = rank_to_doc[update_sampler.sample(rng)];
+      events.push_back(e);
+      t += rng.next_exponential(update_rate_sec);
+    }
+  }
+
+  Trace trace(std::move(catalog), std::move(events));
+  trace.sort_events();
+  trace.validate();
+  return trace;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_docs = trace.num_docs();
+  stats.requests = trace.request_count();
+  stats.updates = trace.update_count();
+  stats.duration_sec = trace.duration();
+  stats.total_bytes = trace.total_catalog_bytes();
+  if (stats.duration_sec > 0.0) {
+    stats.requests_per_minute =
+        static_cast<double>(stats.requests) / stats.duration_sec * 60.0;
+    stats.updates_per_minute =
+        static_cast<double>(stats.updates) / stats.duration_sec * 60.0;
+  }
+
+  std::vector<std::size_t> per_doc(trace.num_docs(), 0);
+  for (const auto& e : trace.events()) {
+    if (e.type == EventType::Request) ++per_doc[e.doc];
+  }
+  std::sort(per_doc.begin(), per_doc.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(per_doc.size() / 100, 1);
+  std::size_t top_sum = 0;
+  for (std::size_t i = 0; i < top && i < per_doc.size(); ++i) {
+    top_sum += per_doc[i];
+  }
+  if (stats.requests > 0) {
+    stats.top1pct_request_share =
+        static_cast<double>(top_sum) / static_cast<double>(stats.requests);
+  }
+  return stats;
+}
+
+}  // namespace cachecloud::trace

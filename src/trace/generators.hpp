@@ -1,0 +1,92 @@
+// Workload generators for the two datasets of the paper's evaluation.
+//
+// 1. Zipf dataset ("Zipf-0.9"): 25,000 unique documents; both accesses and
+//    invalidations Zipf-distributed with configurable skew (§4: parameter
+//    0.9 for Figs 3, 7-9; swept 0→0.99 for Fig 6).
+// 2. Sydney dataset: the paper uses a proprietary 24-hour access/update
+//    trace of the IBM 2000 Sydney Olympics site. That trace is not publicly
+//    available, so `SydneyTraceConfig` synthesizes a stand-in with the same
+//    statistical character the experiments exploit: strong but less extreme
+//    popularity skew than Zipf-0.9, diurnal request intensity, a rotating
+//    "live event" hot set, and an update stream concentrated on a small set
+//    of frequently-changing (scoreboard-like) documents. See DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cachecloud::trace {
+
+struct ZipfTraceConfig {
+  std::size_t num_docs = 25'000;
+  CacheId num_caches = 10;
+  double duration_sec = 3600.0;
+  double requests_per_sec = 200.0;    // cloud-wide request arrival rate
+  double updates_per_minute = 195.0;  // origin-side update rate
+  double request_alpha = 0.9;
+  double update_alpha = 0.9;
+  // Document body sizes: lognormal (median ≈ e^mu bytes).
+  double size_mu = 9.0;     // median ≈ 8.1 KiB
+  double size_sigma = 1.0;
+  // URL prefix for the synthetic catalog. Salting this (e.g. per trial)
+  // re-rolls every document's hash placement, letting harnesses average
+  // over beacon-assignment luck.
+  std::string url_prefix = "/zipf/doc";
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Trace generate_zipf_trace(const ZipfTraceConfig& config);
+
+struct SydneyTraceConfig {
+  std::size_t num_docs = 58'000;
+  CacheId num_caches = 10;
+  double duration_sec = 24.0 * 3600.0;
+  // Request intensity follows a day curve between
+  // base_fraction*peak (night) and peak (mid-day).
+  double peak_requests_per_sec = 15.0;
+  double base_fraction = 0.25;
+  // Stable popularity backbone.
+  double popularity_alpha = 0.75;
+  // Persistent "front pages" (home page, medal tally, schedules): a small
+  // fixed set that stays scorching all day. These are what random (static)
+  // beacon assignment collides on and dynamic hashing isolates.
+  std::size_t front_docs = 10;
+  double front_fraction = 0.28;
+  double front_alpha = 0.3;
+  // A rotating hot set models live events: every rotation period a new
+  // window of documents receives `hot_request_fraction` of all requests.
+  std::size_t hot_set_size = 400;
+  double hot_request_fraction = 0.15;
+  double hot_rotation_period_sec = 4.0 * 3600.0;
+  // Updates concentrate on scoreboard-like documents.
+  double updates_per_minute = 195.0;
+  std::size_t update_hot_docs = 5'000;
+  double update_alpha = 0.7;
+  double size_mu = 9.2;
+  double size_sigma = 1.1;
+  // See ZipfTraceConfig::url_prefix.
+  std::string url_prefix = "/sydney/doc";
+  std::uint64_t seed = 2;
+};
+
+[[nodiscard]] Trace generate_sydney_trace(const SydneyTraceConfig& config);
+
+// Summary statistics used by tests and the EXPERIMENTS.md shape report.
+struct TraceStats {
+  std::size_t num_docs = 0;
+  std::size_t requests = 0;
+  std::size_t updates = 0;
+  double duration_sec = 0.0;
+  double requests_per_minute = 0.0;
+  double updates_per_minute = 0.0;
+  // Fraction of requests landing on the top 1% most-requested documents —
+  // a scale-free skew measure.
+  double top1pct_request_share = 0.0;
+  std::uint64_t total_bytes = 0;
+};
+
+[[nodiscard]] TraceStats compute_stats(const Trace& trace);
+
+}  // namespace cachecloud::trace

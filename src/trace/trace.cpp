@@ -1,0 +1,206 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/zipf.hpp"
+
+namespace cachecloud::trace {
+
+Trace::Trace(std::vector<DocumentInfo> catalog, std::vector<Event> events)
+    : catalog_(std::move(catalog)), events_(std::move(events)) {}
+
+double Trace::duration() const noexcept {
+  return events_.empty() ? 0.0 : events_.back().time;
+}
+
+std::uint64_t Trace::total_catalog_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& d : catalog_) total += d.size_bytes;
+  return total;
+}
+
+std::size_t Trace::request_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [](const Event& e) {
+        return e.type == EventType::Request;
+      }));
+}
+
+std::size_t Trace::update_count() const noexcept {
+  return events_.size() - request_count();
+}
+
+CacheId Trace::num_caches() const noexcept {
+  CacheId max_id = 0;
+  bool any = false;
+  for (const auto& e : events_) {
+    if (e.type == EventType::Request) {
+      max_id = std::max(max_id, e.cache);
+      any = true;
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+void Trace::sort_events() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+void Trace::validate() const {
+  double prev = -1.0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.time < prev) {
+      throw std::invalid_argument("trace events out of order at index " +
+                                  std::to_string(i));
+    }
+    prev = e.time;
+    if (e.doc >= catalog_.size()) {
+      throw std::invalid_argument("trace event " + std::to_string(i) +
+                                  " references doc " + std::to_string(e.doc) +
+                                  " outside catalog of size " +
+                                  std::to_string(catalog_.size()));
+    }
+  }
+}
+
+Trace Trace::with_update_rate(double updates_per_minute,
+                              std::uint64_t seed) const {
+  if (updates_per_minute < 0.0) {
+    throw std::invalid_argument("with_update_rate: negative rate");
+  }
+  // Empirical per-document update weights from the existing update stream.
+  std::vector<double> weight(catalog_.size(), 0.0);
+  double total_weight = 0.0;
+  for (const auto& e : events_) {
+    if (e.type == EventType::Update) {
+      weight[e.doc] += 1.0;
+      total_weight += 1.0;
+    }
+  }
+  if (total_weight == 0.0) {
+    weight.assign(catalog_.size(), 1.0);
+    total_weight = static_cast<double>(catalog_.size());
+  }
+  std::vector<double> cdf(weight.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    acc += weight[i] / total_weight;
+    cdf[i] = acc;
+  }
+  if (!cdf.empty()) cdf.back() = 1.0;
+
+  std::vector<Event> events;
+  events.reserve(events_.size());
+  for (const auto& e : events_) {
+    if (e.type == EventType::Request) events.push_back(e);
+  }
+
+  util::Rng rng(seed);
+  const double rate_per_sec = updates_per_minute / 60.0;
+  const double horizon = duration();
+  if (rate_per_sec > 0.0 && horizon > 0.0) {
+    double t = rng.next_exponential(rate_per_sec);
+    while (t < horizon) {
+      const double u = rng.next_double();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      Event e;
+      e.time = t;
+      e.type = EventType::Update;
+      e.doc = static_cast<DocId>(it - cdf.begin());
+      events.push_back(e);
+      t += rng.next_exponential(rate_per_sec);
+    }
+  }
+
+  Trace out(catalog_, std::move(events));
+  out.sort_events();
+  return out;
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "# cachecloud-trace v1\n";
+  for (const auto& d : trace.catalog()) {
+    out << "D " << d.url << " " << d.size_bytes << "\n";
+  }
+  out.precision(9);
+  for (const auto& e : trace.events()) {
+    if (e.type == EventType::Request) {
+      out << "E " << e.time << " R " << e.doc << " " << e.cache << "\n";
+    } else {
+      out << "E " << e.time << " U " << e.doc << "\n";
+    }
+  }
+}
+
+Trace read_trace(std::istream& in) {
+  std::vector<DocumentInfo> catalog;
+  std::vector<Event> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'D') {
+      DocumentInfo d;
+      fields >> d.url >> d.size_bytes;
+      if (fields.fail()) {
+        throw std::invalid_argument("bad catalog record at line " +
+                                    std::to_string(line_no));
+      }
+      catalog.push_back(std::move(d));
+    } else if (tag == 'E') {
+      Event e;
+      char kind = 0;
+      fields >> e.time >> kind;
+      if (kind == 'R') {
+        e.type = EventType::Request;
+        fields >> e.doc >> e.cache;
+      } else if (kind == 'U') {
+        e.type = EventType::Update;
+        fields >> e.doc;
+      } else {
+        throw std::invalid_argument("bad event kind at line " +
+                                    std::to_string(line_no));
+      }
+      if (fields.fail()) {
+        throw std::invalid_argument("bad event record at line " +
+                                    std::to_string(line_no));
+      }
+      events.push_back(e);
+    } else {
+      throw std::invalid_argument("unknown record tag '" + std::string(1, tag) +
+                                  "' at line " + std::to_string(line_no));
+    }
+  }
+  Trace trace(std::move(catalog), std::move(events));
+  trace.validate();
+  return trace;
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_trace(out, trace);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_trace(in);
+}
+
+}  // namespace cachecloud::trace

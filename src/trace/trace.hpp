@@ -1,0 +1,97 @@
+// Trace model for the trace-driven evaluation.
+//
+// A trace is a document catalog plus a time-ordered stream of events:
+//   - Request events: an edge cache receives a client request for a document.
+//   - Update events: the origin server produces a new version of a document
+//     (a "dynamic document" changed) and must push it to the edge network.
+//
+// The paper drives its simulator from exactly such pairs of request/update
+// streams ("Each cache in the cache cloud receives requests continuously
+// according to a request-trace file, and the server continuously reads from
+// an update trace file", §4).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cachecloud::trace {
+
+using DocId = std::uint32_t;
+using CacheId = std::uint32_t;
+
+enum class EventType : std::uint8_t { Request, Update };
+
+struct Event {
+  double time = 0.0;  // seconds from trace start
+  EventType type = EventType::Request;
+  DocId doc = 0;
+  CacheId cache = 0;  // receiving edge cache; meaningful for requests only
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+struct DocumentInfo {
+  std::string url;
+  std::uint64_t size_bytes = 0;
+
+  friend bool operator==(const DocumentInfo&, const DocumentInfo&) = default;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<DocumentInfo> catalog, std::vector<Event> events);
+
+  [[nodiscard]] const std::vector<DocumentInfo>& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const DocumentInfo& doc(DocId id) const {
+    return catalog_.at(id);
+  }
+  [[nodiscard]] std::size_t num_docs() const noexcept {
+    return catalog_.size();
+  }
+  // End time of the last event; 0 for an empty trace.
+  [[nodiscard]] double duration() const noexcept;
+  [[nodiscard]] std::uint64_t total_catalog_bytes() const noexcept;
+  [[nodiscard]] std::size_t request_count() const noexcept;
+  [[nodiscard]] std::size_t update_count() const noexcept;
+  // Largest cache id referenced by any request, plus one (0 if none).
+  [[nodiscard]] CacheId num_caches() const noexcept;
+
+  // Stable-sorts events by time. Generators call this before returning.
+  void sort_events();
+
+  // Validation: events sorted, doc ids within catalog. Throws
+  // std::invalid_argument describing the first violation.
+  void validate() const;
+
+  // Returns a copy of this trace with the update events replaced by a
+  // Poisson stream at `updates_per_minute`, drawn over the same documents
+  // with the same per-document update popularity as the original update
+  // stream (empirical distribution; falls back to uniform if the original
+  // has no updates). Used by the Fig 7-9 update-rate sweeps.
+  [[nodiscard]] Trace with_update_rate(double updates_per_minute,
+                                       std::uint64_t seed) const;
+
+ private:
+  std::vector<DocumentInfo> catalog_;
+  std::vector<Event> events_;
+};
+
+// Plain-text trace format, one record per line:
+//   # comments and blank lines ignored
+//   D <url> <size_bytes>               (catalog entry, ids assigned in order)
+//   E <time> R <doc_id> <cache_id>     (request)
+//   E <time> U <doc_id>                (update)
+void write_trace(std::ostream& out, const Trace& trace);
+[[nodiscard]] Trace read_trace(std::istream& in);
+void write_trace_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+}  // namespace cachecloud::trace

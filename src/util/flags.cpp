@@ -1,0 +1,108 @@
+#include "util/flags.hpp"
+
+#include <stdexcept>
+
+namespace cachecloud::util {
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (arg.empty()) {  // bare "--": everything after is positional
+      for (int j = i + 1; j < argc; ++j) positional_.emplace_back(argv[j]);
+      break;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (starts_with(arg, "no-")) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` if the next token is not a flag; else boolean true.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              std::string default_value) const {
+  return raw(name).value_or(std::move(default_value));
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cachecloud::util

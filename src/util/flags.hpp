@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--no-name`. Unknown flags are an error so experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cachecloud::util {
+
+class Flags {
+ public:
+  // Parses argv. Throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  // Typed getters with defaults. Throws std::invalid_argument if the value
+  // does not parse as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string default_value) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value) const;
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool default_value) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  // Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  // Names seen on the command line that were never queried — lets mains
+  // reject typos: call after all get_*() calls.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace cachecloud::util

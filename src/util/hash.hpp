@@ -1,0 +1,36 @@
+// Small non-cryptographic hash helpers used throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cachecloud::util {
+
+// SplitMix64 finalizer — a strong 64-bit integer mixer. Good enough to
+// derive independent-looking streams from sequential ids.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over bytes; fast string hash for hash tables and the consistent
+// hashing circle (where we want a hash other than MD5 to keep baselines
+// honest about their own cost profile).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Combines two 64-bit hashes (boost::hash_combine flavor, 64-bit constants).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace cachecloud::util

@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace cachecloud::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* basename_of(const char* path) noexcept {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << log_level_name(level) << " " << basename_of(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  (void)level_;
+}
+
+}  // namespace detail
+}  // namespace cachecloud::util

@@ -1,0 +1,49 @@
+// Tiny leveled logger. Thread-safe, writes to stderr.
+//
+// Usage: CC_LOG(Info) << "re-balanced ring " << ring_id;
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace cachecloud::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();  // emits the accumulated line
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+}  // namespace detail
+}  // namespace cachecloud::util
+
+#define CC_LOG(severity)                                                     \
+  if (!::cachecloud::util::detail::log_enabled(                              \
+          ::cachecloud::util::LogLevel::severity)) {                         \
+  } else                                                                     \
+    ::cachecloud::util::detail::LogMessage(                                  \
+        ::cachecloud::util::LogLevel::severity, __FILE__, __LINE__)

@@ -1,0 +1,164 @@
+#include "util/md5.hpp"
+
+#include <cstring>
+
+namespace cachecloud::util {
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|) (RFC 1321 §3.4).
+constexpr std::array<std::uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::uint32_t rotl(std::uint32_t x, std::uint32_t n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::uint32_t Md5Digest::word32(std::size_t i) const noexcept {
+  return load_le32(bytes.data() + 4 * (i % 4));
+}
+
+std::uint64_t Md5Digest::word64(std::size_t i) const noexcept {
+  const std::size_t base = 8 * (i % 2);
+  return static_cast<std::uint64_t>(load_le32(bytes.data() + base)) |
+         (static_cast<std::uint64_t>(load_le32(bytes.data() + base + 4)) << 32);
+}
+
+std::string Md5Digest::to_hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out[2 * i] = kHex[bytes[i] >> 4];
+    out[2 * i + 1] = kHex[bytes[i] & 0xF];
+  }
+  return out;
+}
+
+void Md5::reset() noexcept {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Md5::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5Digest Md5::finish() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  // Padding: 0x80, then zeros until 56 mod 64, then the 64-bit length.
+  static constexpr std::uint8_t kPadByte = 0x80;
+  update(&kPadByte, 1);
+  static constexpr std::uint8_t kZero = 0x00;
+  while (buffer_len_ != 56) update(&kZero, 1);
+
+  std::array<std::uint8_t, 8> len_le{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  update(len_le.data(), len_le.size());
+
+  Md5Digest digest;
+  for (std::size_t i = 0; i < 4; ++i) {
+    store_le32(digest.bytes.data() + 4 * i, state_[i]);
+  }
+  return digest;
+}
+
+void Md5::process_block(const std::uint8_t* block) noexcept {
+  std::array<std::uint32_t, 16> m;
+  for (std::size_t i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+Md5Digest md5(std::string_view s) noexcept {
+  Md5 ctx;
+  ctx.update(s);
+  return ctx.finish();
+}
+
+}  // namespace cachecloud::util

@@ -1,0 +1,55 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper derives both the beacon-ring id and the intra-ring hash (IrH)
+// value of a document from the MD5 digest of its URL, so the library carries
+// its own dependency-free implementation. This is *not* a cryptographic
+// building block here — it is a stable, well-distributed hash of URLs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cachecloud::util {
+
+// 128-bit MD5 digest. `words[i]` exposes the digest as four little-endian
+// 32-bit words (A, B, C, D of RFC 1321), convenient for deriving several
+// independent hash values from one digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  [[nodiscard]] std::uint32_t word32(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t word64(std::size_t i) const noexcept;
+  // Lowercase hex string, e.g. "9e107d9d372bb6826bd81d3542a419d6".
+  [[nodiscard]] std::string to_hex() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+// Incremental MD5 context: update() any number of times, then finish().
+class Md5 {
+ public:
+  Md5() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::string_view s) noexcept { update(s.data(), s.size()); }
+  // Finalizes and returns the digest. The context must be reset() before any
+  // further update().
+  [[nodiscard]] Md5Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t total_len_ = 0;          // bytes fed so far
+  std::array<std::uint8_t, 64> buffer_{};  // partial block
+  std::size_t buffer_len_ = 0;
+};
+
+// One-shot convenience.
+[[nodiscard]] Md5Digest md5(std::string_view s) noexcept;
+
+}  // namespace cachecloud::util

@@ -1,0 +1,54 @@
+// Exponentially-decayed event-rate estimator.
+//
+// The utility-based placement scheme needs recent access and update rates
+// for a document ("request and update patterns of the document collected
+// through continued monitoring in the recent time duration", §3.1). An
+// exponentially-weighted counter gives exactly that with O(1) state.
+#pragma once
+
+#include <cmath>
+
+namespace cachecloud::util {
+
+class RateEstimator {
+ public:
+  // half_life_sec: time for a past event's weight to halve.
+  explicit RateEstimator(double half_life_sec = 600.0) noexcept
+      : lambda_(std::log(2.0) / half_life_sec) {}
+
+  void record(double now, double weight = 1.0) noexcept {
+    decay_to(now);
+    weighted_count_ += weight;
+  }
+
+  // Estimated event rate (events per second) as of `now`.
+  [[nodiscard]] double rate(double now) const noexcept {
+    const double dt = now - last_time_;
+    const double decayed =
+        dt > 0.0 ? weighted_count_ * std::exp(-lambda_ * dt) : weighted_count_;
+    return decayed * lambda_;
+  }
+
+  [[nodiscard]] double half_life() const noexcept {
+    return std::log(2.0) / lambda_;
+  }
+
+  void reset() noexcept {
+    weighted_count_ = 0.0;
+    last_time_ = 0.0;
+  }
+
+ private:
+  void decay_to(double now) noexcept {
+    if (now > last_time_) {
+      weighted_count_ *= std::exp(-lambda_ * (now - last_time_));
+      last_time_ = now;
+    }
+  }
+
+  double lambda_;
+  double weighted_count_ = 0.0;
+  double last_time_ = 0.0;
+};
+
+}  // namespace cachecloud::util

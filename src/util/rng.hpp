@@ -1,0 +1,117 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All generators in the library take an explicit seed so that traces,
+// simulations and tests are exactly reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace cachecloud::util {
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Expand the single seed through SplitMix64, as the authors recommend.
+    for (auto& word : s_) {
+      seed = mix64(seed);
+      word = seed;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection-free approximation (bias < 2^-64 * bound,
+  // negligible for workload synthesis).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  // Bernoulli trial with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  // Exponential with the given rate (events per unit time).
+  double next_exponential(double rate) noexcept {
+    // 1 - U avoids log(0).
+    return -std::log(1.0 - next_double()) / rate;
+  }
+
+  // Lognormal with parameters of the underlying normal distribution.
+  double next_lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * next_gaussian());
+  }
+
+  // Poisson-distributed count with the given mean. Knuth's method for small
+  // means, normal approximation for large ones (workload synthesis does not
+  // need exact tails there).
+  std::uint64_t next_poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      double product = next_double();
+      std::uint64_t count = 0;
+      while (product > limit) {
+        ++count;
+        product *= next_double();
+      }
+      return count;
+    }
+    const double approx = mean + std::sqrt(mean) * next_gaussian();
+    return approx <= 0.0 ? 0 : static_cast<std::uint64_t>(approx + 0.5);
+  }
+
+  // Standard normal via Box–Muller (cached second value).
+  double next_gaussian() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 1.0 - next_double();
+    double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace cachecloud::util

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cachecloud::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::coefficient_of_variation() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double OnlineStats::max_to_mean_ratio() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? max() / m : 0.0;
+}
+
+OnlineStats summarize(std::span<const double> values) noexcept {
+  OnlineStats s;
+  for (const double v : values) s.add(v);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (buckets == 0) throw std::invalid_argument("Histogram: buckets must be > 0");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (seen + c >= target && c > 0) {
+      const double frac = (target - seen) / c;
+      return bucket_lo(i) + frac * width_;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream out;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    out << bucket_lo(i) << "\t" << counts_[i] << "\t"
+        << std::string(bar, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cachecloud::util

@@ -1,0 +1,78 @@
+// Online and batch statistics used by the load-balancing evaluation.
+//
+// The paper quantifies load balance by the coefficient of variation
+// (stddev / mean) of per-beacon-point loads and by the ratio of the heaviest
+// load to the mean load (Figs 3-6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cachecloud::util {
+
+// Welford's online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Population variance (divide by n), matching the paper's CoV definition
+  // over the complete set of beacon points.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  // stddev / mean; 0 when the mean is 0.
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+  // max / mean; 0 when the mean is 0.
+  [[nodiscard]] double max_to_mean_ratio() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch helpers over a value vector (loads of the beacon points).
+[[nodiscard]] OnlineStats summarize(std::span<const double> values) noexcept;
+
+// Fixed-width bucket histogram for latency/size distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  // Linear-interpolated quantile estimate, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cachecloud::util

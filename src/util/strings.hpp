@@ -1,0 +1,28 @@
+// String helpers shared by the trace format, wire protocol and harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cachecloud::util {
+
+// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+// Human-readable byte count, e.g. "1.5 MiB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+// Fixed-precision double, e.g. format_double(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_double(double v, int precision);
+
+// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+}  // namespace cachecloud::util

@@ -1,0 +1,38 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// The paper's synthetic workloads draw both document accesses and document
+// invalidations from Zipf distributions with parameters between 0 and 0.99
+// (Figs 3, 6). P(rank k) ∝ 1 / (k+1)^alpha; alpha = 0 degenerates to the
+// uniform distribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cachecloud::util {
+
+class ZipfSampler {
+ public:
+  // n: number of ranks; alpha: skew parameter (>= 0).
+  // Precomputes the CDF once (O(n)); each sample is a binary search
+  // (O(log n)).
+  ZipfSampler(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  // Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+  // Draws a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1
+};
+
+}  // namespace cachecloud::util

@@ -1,0 +1,245 @@
+#include "cache/document_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "cache/replacement.hpp"
+
+namespace cachecloud::cache {
+namespace {
+
+std::unique_ptr<DocumentStore> make_store(std::uint64_t capacity,
+                                          const std::string& policy = "lru") {
+  return std::make_unique<DocumentStore>(capacity, make_policy(policy));
+}
+
+TEST(DocumentStoreTest, PutGetPeek) {
+  auto store = make_store(0);
+  const auto result = store->put(1, 100, 1, 0.0);
+  EXPECT_TRUE(result.stored);
+  EXPECT_TRUE(result.evicted.empty());
+  EXPECT_TRUE(store->contains(1));
+  EXPECT_EQ(store->used_bytes(), 100u);
+  EXPECT_EQ(store->doc_count(), 1u);
+
+  const auto doc = store->get(1, 5.0);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->size_bytes, 100u);
+  EXPECT_EQ(doc->version, 1u);
+  EXPECT_EQ(doc->access_count, 2u);  // put + get
+  EXPECT_DOUBLE_EQ(doc->last_access, 5.0);
+
+  EXPECT_EQ(store->peek(2), nullptr);
+  EXPECT_FALSE(store->get(2, 6.0).has_value());
+}
+
+TEST(DocumentStoreTest, LruEvictionOrder) {
+  auto store = make_store(300);
+  store->put(1, 100, 1, 0.0);
+  store->put(2, 100, 1, 1.0);
+  store->put(3, 100, 1, 2.0);
+  // Touch doc 1 so doc 2 becomes the LRU victim.
+  store->get(1, 3.0);
+  const auto result = store->put(4, 100, 1, 4.0);
+  EXPECT_TRUE(result.stored);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 2u);
+  EXPECT_TRUE(store->contains(1));
+  EXPECT_FALSE(store->contains(2));
+}
+
+TEST(DocumentStoreTest, EvictsMultipleToFit) {
+  auto store = make_store(300);
+  store->put(1, 100, 1, 0.0);
+  store->put(2, 100, 1, 1.0);
+  store->put(3, 100, 1, 2.0);
+  // 250 bytes into a full 300-byte disk: 100+100 freed is not enough, so a
+  // third eviction is required.
+  const auto result = store->put(4, 250, 1, 3.0);
+  EXPECT_TRUE(result.stored);
+  EXPECT_EQ(result.evicted.size(), 3u);
+  EXPECT_LE(store->used_bytes(), 300u);
+  EXPECT_EQ(store->used_bytes(), 250u);
+}
+
+TEST(DocumentStoreTest, OversizedDocumentRejected) {
+  auto store = make_store(100);
+  const auto result = store->put(1, 500, 1, 0.0);
+  EXPECT_FALSE(result.stored);
+  EXPECT_TRUE(result.evicted.empty());
+  EXPECT_EQ(store->doc_count(), 0u);
+}
+
+TEST(DocumentStoreTest, RePutRefreshesInsteadOfDuplicating) {
+  auto store = make_store(0);
+  store->put(1, 100, 1, 0.0);
+  const auto result = store->put(1, 100, 2, 1.0);
+  EXPECT_TRUE(result.stored);
+  EXPECT_EQ(store->doc_count(), 1u);
+  EXPECT_EQ(store->peek(1)->version, 2u);
+  EXPECT_EQ(store->peek(1)->access_count, 2u);
+}
+
+TEST(DocumentStoreTest, ApplyUpdateBumpsVersionAndBytes) {
+  auto store = make_store(0);
+  store->put(1, 100, 1, 0.0);
+  const std::uint64_t written_before = store->bytes_written();
+  EXPECT_TRUE(store->apply_update(1, 2, 100, 1.0));
+  EXPECT_EQ(store->peek(1)->version, 2u);
+  EXPECT_GT(store->bytes_written(), written_before);
+  // Stale pushes are ignored but reported as "document present".
+  EXPECT_TRUE(store->apply_update(1, 2, 100, 2.0));
+  EXPECT_EQ(store->peek(1)->version, 2u);
+  // Missing documents are reported.
+  EXPECT_FALSE(store->apply_update(9, 3, 50, 3.0));
+}
+
+TEST(DocumentStoreTest, ApplyUpdateGrowthCanEvict) {
+  auto store = make_store(300, "lru");
+  store->put(1, 100, 1, 0.0);
+  store->put(2, 100, 1, 1.0);
+  store->put(3, 100, 1, 2.0);
+  std::vector<DocId> evicted;
+  EXPECT_TRUE(store->apply_update(3, 2, 250, 3.0, &evicted));
+  EXPECT_FALSE(evicted.empty());
+  EXPECT_LE(store->used_bytes(), 300u);
+  EXPECT_EQ(store->peek(3)->size_bytes, 250u);
+}
+
+TEST(DocumentStoreTest, ApplyUpdateBeyondDiskDropsDocument) {
+  auto store = make_store(300);
+  store->put(1, 100, 1, 0.0);
+  std::vector<DocId> evicted;
+  EXPECT_TRUE(store->apply_update(1, 2, 1000, 1.0, &evicted));
+  EXPECT_FALSE(store->contains(1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+}
+
+TEST(DocumentStoreTest, EraseAccounting) {
+  auto store = make_store(0);
+  store->put(1, 100, 1, 0.0);
+  store->put(2, 50, 1, 0.0);
+  EXPECT_TRUE(store->erase(1));
+  EXPECT_FALSE(store->erase(1));
+  EXPECT_EQ(store->used_bytes(), 50u);
+  EXPECT_EQ(store->doc_count(), 1u);
+}
+
+TEST(DocumentStoreTest, ResidenceEstimate) {
+  auto unlimited = make_store(0);
+  unlimited->put(1, 100, 1, 0.0);
+  EXPECT_TRUE(std::isinf(unlimited->expected_residence_sec(10.0)));
+
+  auto bounded = make_store(1000);
+  bounded->put(1, 100, 1, 0.0);
+  // 100 bytes written in 10 seconds -> churn 10 B/s -> residence 100 s.
+  EXPECT_NEAR(bounded->expected_residence_sec(10.0), 100.0, 1e-9);
+}
+
+TEST(DocumentStoreTest, RequiresPolicy) {
+  EXPECT_THROW(DocumentStore(0, nullptr), std::invalid_argument);
+}
+
+TEST(DocumentStoreTest, ForEachVisitsAll) {
+  auto store = make_store(0);
+  store->put(1, 10, 1, 0.0);
+  store->put(2, 20, 1, 0.0);
+  std::set<DocId> seen;
+  store->for_each([&](const StoredDoc& d) { seen.insert(d.id); });
+  EXPECT_EQ(seen, (std::set<DocId>{1, 2}));
+}
+
+// ------------------------------------------------------- policies
+
+TEST(ReplacementPolicyTest, FactoryNames) {
+  EXPECT_EQ(make_policy("lru")->name(), "lru");
+  EXPECT_EQ(make_policy("lfu")->name(), "lfu");
+  EXPECT_EQ(make_policy("gdsf")->name(), "gdsf");
+  EXPECT_THROW(make_policy("fifo"), std::invalid_argument);
+}
+
+TEST(ReplacementPolicyTest, LfuEvictsColdest) {
+  auto store = make_store(300, "lfu");
+  store->put(1, 100, 1, 0.0);
+  store->put(2, 100, 1, 1.0);
+  store->put(3, 100, 1, 2.0);
+  store->get(1, 3.0);
+  store->get(1, 4.0);
+  store->get(3, 5.0);
+  const auto result = store->put(4, 100, 1, 6.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 2u);  // only one access
+}
+
+TEST(ReplacementPolicyTest, GdsfPrefersEvictingLargeCold) {
+  auto store = make_store(1000, "gdsf");
+  store->put(1, 800, 1, 0.0);  // large, cold
+  store->put(2, 100, 1, 1.0);  // small
+  const auto result = store->put(3, 500, 1, 2.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 1u);
+}
+
+TEST(ReplacementPolicyTest, PoliciesRejectProtocolMisuse) {
+  for (const char* name : {"lru", "lfu", "gdsf"}) {
+    auto policy = make_policy(name);
+    EXPECT_THROW(policy->victim(), std::logic_error) << name;
+    EXPECT_THROW(policy->on_access(1, {}), std::logic_error) << name;
+    EXPECT_THROW(policy->on_erase(1), std::logic_error) << name;
+    policy->on_insert(1, DocMeta{10, 0.0});
+    EXPECT_THROW(policy->on_insert(1, DocMeta{10, 0.0}), std::logic_error)
+        << name;
+    EXPECT_EQ(policy->victim(), 1u) << name;
+  }
+}
+
+// Parameterized property: under any policy the store never exceeds its
+// capacity and victim bookkeeping stays consistent through a random
+// workload.
+class PolicySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicySweep, CapacityInvariantUnderRandomWorkload) {
+  auto store = make_store(5'000, GetParam());
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int i = 0; i < 5'000; ++i) {
+    const DocId doc = static_cast<DocId>(next() % 200);
+    const double now = static_cast<double>(i);
+    switch (next() % 4) {
+      case 0:
+      case 1:
+        store->put(doc, 50 + next() % 500, 1 + i, now);
+        break;
+      case 2:
+        store->get(doc, now);
+        break;
+      case 3:
+        store->apply_update(doc, 1 + static_cast<std::uint64_t>(i),
+                            50 + next() % 500, now);
+        break;
+    }
+    ASSERT_LE(store->used_bytes(), 5'000u);
+    // used_bytes must equal the sum over stored docs.
+    std::uint64_t total = 0;
+    std::size_t count = 0;
+    store->for_each([&](const StoredDoc& d) {
+      total += d.size_bytes;
+      ++count;
+    });
+    ASSERT_EQ(total, store->used_bytes());
+    ASSERT_EQ(count, store->doc_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values("lru", "lfu", "gdsf"));
+
+}  // namespace
+}  // namespace cachecloud::cache

@@ -1,0 +1,175 @@
+#include "core/assigner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/url_hash.hpp"
+#include "util/stats.hpp"
+
+namespace cachecloud::core {
+namespace {
+
+std::vector<CacheId> ids(std::uint32_t n) {
+  std::vector<CacheId> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+UrlHash doc_hash(int i) {
+  return hash_url("/doc/" + std::to_string(i) + ".html");
+}
+
+TEST(UrlHashTest, RingAndIrhAreIndependentWords) {
+  const UrlHash h = hash_url("/some/url");
+  EXPECT_EQ(h.ring(4), h.ring_word % 4);
+  EXPECT_EQ(h.irh(1000), h.irh_word % 1000);
+  // Deterministic.
+  const UrlHash again = hash_url("/some/url");
+  EXPECT_EQ(h.ring_word, again.ring_word);
+  EXPECT_EQ(h.irh_word, again.irh_word);
+}
+
+TEST(StaticAssignerTest, DeterministicAndSingleHop) {
+  StaticHashAssigner assigner(ids(10));
+  const UrlHash h = doc_hash(1);
+  const BeaconTarget a = assigner.beacon_of(h);
+  const BeaconTarget b = assigner.beacon_of(h);
+  EXPECT_EQ(a.beacon, b.beacon);
+  EXPECT_EQ(a.discovery_hops, 1u);
+  EXPECT_LT(a.beacon, 10u);
+}
+
+TEST(StaticAssignerTest, SpreadsUrlsAcrossCaches) {
+  StaticHashAssigner assigner(ids(10));
+  std::map<CacheId, int> counts;
+  for (int i = 0; i < 10'000; ++i) ++counts[assigner.beacon_of(doc_hash(i)).beacon];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [cache, count] : counts) {
+    EXPECT_NEAR(count, 1000, 250) << "cache " << cache;
+  }
+}
+
+TEST(StaticAssignerTest, RemoveCacheRemaps) {
+  StaticHashAssigner assigner(ids(3));
+  assigner.remove_cache(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(assigner.beacon_of(doc_hash(i)).beacon, 1u);
+  }
+  EXPECT_THROW(assigner.remove_cache(99), std::invalid_argument);
+}
+
+TEST(ConsistentAssignerTest, LogNHopsAndDeterminism) {
+  ConsistentHashAssigner assigner(ids(10), 16);
+  const BeaconTarget t = assigner.beacon_of(doc_hash(5));
+  EXPECT_EQ(t.discovery_hops, 4u);  // ceil(log2(10))
+  EXPECT_EQ(assigner.beacon_of(doc_hash(5)).beacon, t.beacon);
+  EXPECT_EQ(assigner.circle_size(), 160u);
+}
+
+TEST(ConsistentAssignerTest, UniformishDistribution) {
+  ConsistentHashAssigner assigner(ids(10), 64);
+  std::map<CacheId, double> counts;
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[assigner.beacon_of(doc_hash(i)).beacon];
+  }
+  std::vector<double> loads;
+  for (const auto& [_, c] : counts) loads.push_back(c);
+  const auto stats = util::summarize(loads);
+  // Virtual nodes keep the URL spread reasonably even.
+  EXPECT_LT(stats.coefficient_of_variation(), 0.35);
+}
+
+TEST(ConsistentAssignerTest, RemoveCacheOnlyMovesItsDocuments) {
+  ConsistentHashAssigner assigner(ids(5), 32);
+  std::map<int, CacheId> before;
+  for (int i = 0; i < 2000; ++i) before[i] = assigner.beacon_of(doc_hash(i)).beacon;
+  assigner.remove_cache(2);
+  int moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const CacheId now = assigner.beacon_of(doc_hash(i)).beacon;
+    EXPECT_NE(now, 2u);
+    if (before[i] != 2 && now != before[i]) ++moved;
+  }
+  // Consistent hashing's defining property: documents of surviving caches
+  // do not move.
+  EXPECT_EQ(moved, 0);
+}
+
+TEST(DynamicAssignerTest, RingChunkingAndRemainder) {
+  DynamicHashAssigner::Config config;
+  config.ring_size = 2;
+  DynamicHashAssigner even(ids(10), std::vector<double>(10, 1.0), config);
+  EXPECT_EQ(even.num_rings(), 5u);
+
+  // 7 caches with ring_size 3: last ring absorbs the single remainder.
+  config.ring_size = 3;
+  DynamicHashAssigner odd(ids(7), std::vector<double>(7, 1.0), config);
+  EXPECT_EQ(odd.num_rings(), 2u);
+  EXPECT_EQ(odd.ring(0).members().size(), 3u);
+  EXPECT_EQ(odd.ring(1).members().size(), 4u);
+}
+
+TEST(DynamicAssignerTest, BeaconIsRingMember) {
+  DynamicHashAssigner::Config config;
+  config.ring_size = 2;
+  DynamicHashAssigner assigner(ids(10), std::vector<double>(10, 1.0), config);
+  for (int i = 0; i < 1000; ++i) {
+    const UrlHash h = doc_hash(i);
+    const CacheId beacon = assigner.beacon_of(h).beacon;
+    const auto& members = assigner.ring(h.ring(5)).members();
+    EXPECT_NE(std::find(members.begin(), members.end(), beacon),
+              members.end());
+    EXPECT_EQ(assigner.beacon_of(h).discovery_hops, 1u);
+  }
+}
+
+TEST(DynamicAssignerTest, LoadFeedbackShiftsAssignment) {
+  DynamicHashAssigner::Config config;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  DynamicHashAssigner assigner(ids(2), std::vector<double>(2, 1.0), config);
+
+  // Hammer the first beacon point's range only.
+  for (int i = 0; i < 500; ++i) {
+    const UrlHash h = doc_hash(i);
+    if (assigner.beacon_of(h).beacon == 0) {
+      assigner.record_load(h, 1.0);
+    }
+  }
+  const auto moves = assigner.end_cycle();
+  ASSERT_FALSE(moves.empty());
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+}
+
+TEST(DynamicAssignerTest, RemoveCacheKeepsResolution) {
+  DynamicHashAssigner::Config config;
+  config.ring_size = 2;
+  DynamicHashAssigner assigner(ids(4), std::vector<double>(4, 1.0), config);
+  const auto moves = assigner.remove_cache(1);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 1u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(assigner.beacon_of(doc_hash(i)).beacon, 1u);
+  }
+  EXPECT_THROW(assigner.remove_cache(42), std::invalid_argument);
+}
+
+TEST(DynamicAssignerTest, RejectsBadConfig) {
+  DynamicHashAssigner::Config config;
+  config.ring_size = 0;
+  EXPECT_THROW(
+      DynamicHashAssigner(ids(4), std::vector<double>(4, 1.0), config),
+      std::invalid_argument);
+  config.ring_size = 2;
+  EXPECT_THROW(
+      DynamicHashAssigner(ids(4), std::vector<double>(3, 1.0), config),
+      std::invalid_argument);
+  EXPECT_THROW(DynamicHashAssigner({}, {}, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::core

@@ -1,0 +1,154 @@
+#include "core/beacon_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cachecloud::core {
+namespace {
+
+BeaconRing::Config small_config() {
+  BeaconRing::Config config;
+  config.irh_gen = 10;
+  config.track_per_irh = true;
+  return config;
+}
+
+TEST(BeaconRingTest, ConstructionSplitsEvenly) {
+  const BeaconRing ring({7, 9}, {1.0, 1.0}, small_config());
+  EXPECT_EQ(ring.ranges()[0], (SubRange{0, 4}));
+  EXPECT_EQ(ring.ranges()[1], (SubRange{5, 9}));
+  EXPECT_EQ(ring.resolve(0), 7u);
+  EXPECT_EQ(ring.resolve(4), 7u);
+  EXPECT_EQ(ring.resolve(5), 9u);
+  EXPECT_EQ(ring.resolve(9), 9u);
+}
+
+TEST(BeaconRingTest, RejectsBadConstruction) {
+  EXPECT_THROW(BeaconRing({}, {}, small_config()), std::invalid_argument);
+  EXPECT_THROW(BeaconRing({1}, {1.0, 1.0}, small_config()),
+               std::invalid_argument);
+  BeaconRing::Config tiny;
+  tiny.irh_gen = 1;
+  EXPECT_THROW(BeaconRing({1, 2}, {1.0, 1.0}, tiny), std::invalid_argument);
+}
+
+TEST(BeaconRingTest, ResolveRejectsOutOfRange) {
+  const BeaconRing ring({0, 1}, {1.0, 1.0}, small_config());
+  EXPECT_THROW((void)ring.resolve(10), std::out_of_range);
+}
+
+TEST(BeaconRingTest, RebalanceMovesValuesAndReportsMoves) {
+  BeaconRing ring({0, 1}, {1.0, 1.0}, small_config());
+  // Paper Fig 2 loads.
+  const double loads[] = {135, 175, 100, 60, 30, 25, 50, 75, 50, 100};
+  for (std::uint32_t k = 0; k < 10; ++k) ring.record_load(k, loads[k]);
+  EXPECT_DOUBLE_EQ(ring.cycle_loads()[0], 500.0);
+  EXPECT_DOUBLE_EQ(ring.cycle_loads()[1], 300.0);
+
+  const auto moves = ring.rebalance();
+  EXPECT_EQ(ring.ranges()[0], (SubRange{0, 2}));
+  EXPECT_EQ(ring.ranges()[1], (SubRange{3, 9}));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+  EXPECT_EQ(moves[0].values, (SubRange{3, 4}));
+  // Accumulators reset after the cycle.
+  EXPECT_DOUBLE_EQ(ring.cycle_loads()[0], 0.0);
+  EXPECT_DOUBLE_EQ(ring.cycle_loads()[1], 0.0);
+}
+
+TEST(BeaconRingTest, RebalanceWithoutLoadKeepsCapabilitySplit) {
+  BeaconRing ring({0, 1}, {1.0, 1.0}, small_config());
+  const auto moves = ring.rebalance();
+  EXPECT_TRUE(moves.empty());
+  EXPECT_EQ(ring.ranges()[0], (SubRange{0, 4}));
+}
+
+TEST(BeaconRingTest, ApproximateModeStillBalances) {
+  BeaconRing::Config config;
+  config.irh_gen = 10;
+  config.track_per_irh = false;
+  BeaconRing ring({0, 1}, {1.0, 1.0}, config);
+  const double loads[] = {135, 175, 100, 60, 30, 25, 50, 75, 50, 100};
+  for (std::uint32_t k = 0; k < 10; ++k) ring.record_load(k, loads[k]);
+  ring.rebalance();
+  // Fig 2-C: only one value moves under the CAvgLoad approximation.
+  EXPECT_EQ(ring.ranges()[0], (SubRange{0, 3}));
+}
+
+TEST(BeaconRingTest, RemoveMemberMergesRangeIntoPredecessor) {
+  BeaconRing ring({4, 5, 6}, {1.0, 1.0, 1.0}, small_config());
+  const auto before = ring.ranges();
+  const auto moves = ring.remove_member(5);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 5u);
+  EXPECT_EQ(moves[0].to, 4u);
+  EXPECT_EQ(moves[0].values, before[1]);
+  ASSERT_EQ(ring.members().size(), 2u);
+  EXPECT_EQ(ring.ranges()[0].lo, 0u);
+  EXPECT_EQ(ring.ranges()[0].hi, before[1].hi);
+  EXPECT_EQ(ring.ranges()[1].hi, 9u);
+}
+
+TEST(BeaconRingTest, RemoveFirstMemberMergesIntoSuccessor) {
+  BeaconRing ring({4, 5}, {1.0, 1.0}, small_config());
+  const auto moves = ring.remove_member(4);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].to, 5u);
+  EXPECT_EQ(ring.ranges()[0], (SubRange{0, 9}));
+}
+
+TEST(BeaconRingTest, RemoveRejectsUnknownAndLast) {
+  BeaconRing ring({4, 5}, {1.0, 1.0}, small_config());
+  EXPECT_THROW(ring.remove_member(99), std::invalid_argument);
+  ring.remove_member(4);
+  EXPECT_THROW(ring.remove_member(5), std::invalid_argument);
+}
+
+TEST(BeaconRingTest, AddMemberSplitsWidestRange) {
+  BeaconRing ring({4, 5}, {1.0, 1.0}, small_config());
+  const auto moves = ring.add_member(6, 1.0);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].to, 6u);
+  ASSERT_EQ(ring.members().size(), 3u);
+  // Partition invariant still holds.
+  std::uint32_t expected_lo = 0;
+  for (const auto& r : ring.ranges()) {
+    EXPECT_EQ(r.lo, expected_lo);
+    expected_lo = r.hi + 1;
+  }
+  EXPECT_EQ(expected_lo, 10u);
+}
+
+TEST(BeaconRingTest, AddMemberRejectsDuplicatesAndBadCapability) {
+  BeaconRing ring({4, 5}, {1.0, 1.0}, small_config());
+  EXPECT_THROW(ring.add_member(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(ring.add_member(6, 0.0), std::invalid_argument);
+}
+
+// Repeated rebalances under a skewed, drifting load keep the partition
+// valid and converge the loads.
+TEST(BeaconRingTest, ManyCyclesKeepInvariant) {
+  BeaconRing::Config config;
+  config.irh_gen = 200;
+  BeaconRing ring({0, 1, 2, 3}, {1.0, 1.0, 1.0, 1.0}, config);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Hotspot drifts across the hash space.
+    const std::uint32_t hot = static_cast<std::uint32_t>(cycle * 10 % 200);
+    for (std::uint32_t k = 0; k < 200; ++k) {
+      ring.record_load(k, k == hot ? 500.0 : 1.0);
+    }
+    ring.rebalance();
+    std::uint32_t expected_lo = 0;
+    for (const auto& r : ring.ranges()) {
+      ASSERT_EQ(r.lo, expected_lo);
+      ASSERT_GE(r.hi, r.lo);
+      expected_lo = r.hi + 1;
+    }
+    ASSERT_EQ(expected_lo, 200u);
+  }
+}
+
+}  // namespace
+}  // namespace cachecloud::core

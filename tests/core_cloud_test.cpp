@@ -1,0 +1,276 @@
+#include "core/cloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/generators.hpp"
+
+namespace cachecloud::core {
+namespace {
+
+trace::Trace small_trace() {
+  trace::ZipfTraceConfig config;
+  config.num_docs = 100;
+  config.num_caches = 4;
+  config.duration_sec = 60.0;
+  config.requests_per_sec = 5.0;
+  config.updates_per_minute = 10.0;
+  config.seed = 5;
+  return trace::generate_zipf_trace(config);
+}
+
+CloudConfig base_config() {
+  CloudConfig config;
+  config.num_caches = 4;
+  config.hashing = CloudConfig::Hashing::Dynamic;
+  config.ring_size = 2;
+  config.placement = "adhoc";
+  config.cycle_sec = 30.0;
+  return config;
+}
+
+TEST(CacheCloudTest, FirstRequestMissesThenHitsLocally) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(base_config(), t);
+
+  const RequestOutcome first = cloud.handle_request(0, 7, 1.0);
+  EXPECT_EQ(first.kind, RequestKind::GroupMiss);
+  EXPECT_TRUE(first.stored);  // ad hoc stores everywhere
+  EXPECT_EQ(first.doc_bytes, t.doc(7).size_bytes);
+  EXPECT_TRUE(cloud.directory().is_holder(7, 0));
+
+  const RequestOutcome second = cloud.handle_request(0, 7, 2.0);
+  EXPECT_EQ(second.kind, RequestKind::LocalHit);
+  EXPECT_FALSE(second.stored);
+}
+
+TEST(CacheCloudTest, CloudHitFromAnotherCache) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(base_config(), t);
+
+  cloud.handle_request(0, 7, 1.0);
+  const RequestOutcome other = cloud.handle_request(1, 7, 2.0);
+  EXPECT_EQ(other.kind, RequestKind::CloudHit);
+  ASSERT_TRUE(other.source.has_value());
+  EXPECT_EQ(*other.source, 0u);
+  EXPECT_EQ(other.holders_seen, 1u);
+  EXPECT_EQ(other.beacon, cloud.beacon_of_doc(7));
+  EXPECT_TRUE(other.stored);
+  EXPECT_EQ(cloud.directory().holder_count(7), 2u);
+}
+
+TEST(CacheCloudTest, UpdatePushesToAllHolders) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(base_config(), t);
+  cloud.handle_request(0, 7, 1.0);
+  cloud.handle_request(1, 7, 2.0);
+  EXPECT_EQ(cloud.doc_version(7), 1u);
+
+  const UpdateOutcome update = cloud.handle_update(7, 3.0);
+  EXPECT_EQ(cloud.doc_version(7), 2u);
+  EXPECT_EQ(update.holders.size(), 2u);
+  EXPECT_EQ(update.beacon, cloud.beacon_of_doc(7));
+  // Every copy in the cloud carries the new version.
+  EXPECT_EQ(cloud.store(0).peek(7)->version, 2u);
+  EXPECT_EQ(cloud.store(1).peek(7)->version, 2u);
+}
+
+TEST(CacheCloudTest, UpdateWithNoHoldersOnlyNotifiesBeacon) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(base_config(), t);
+  const UpdateOutcome update = cloud.handle_update(3, 1.0);
+  EXPECT_TRUE(update.holders.empty());
+  EXPECT_EQ(cloud.doc_version(3), 2u);
+}
+
+TEST(CacheCloudTest, BeaconPlacementKeepsSingleCopyAtBeacon) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.placement = "beacon";
+  CacheCloud cloud(config, t);
+
+  const CacheId beacon = cloud.beacon_of_doc(7);
+  const CacheId requester = beacon == 0 ? 1 : 0;
+  const RequestOutcome miss = cloud.handle_request(requester, 7, 1.0);
+  EXPECT_EQ(miss.kind, RequestKind::GroupMiss);
+  EXPECT_FALSE(miss.stored);
+  EXPECT_TRUE(miss.replicated_to_beacon);
+  EXPECT_TRUE(cloud.store(beacon).contains(7));
+  EXPECT_FALSE(cloud.store(requester).contains(7));
+  EXPECT_EQ(cloud.directory().holder_count(7), 1u);
+
+  // Next request anywhere else is a cloud hit served by the beacon.
+  const CacheId third = 3 == beacon ? 2 : 3;
+  const RequestOutcome hit = cloud.handle_request(third, 7, 2.0);
+  EXPECT_EQ(hit.kind, RequestKind::CloudHit);
+  EXPECT_EQ(*hit.source, beacon);
+  EXPECT_FALSE(hit.stored);
+}
+
+TEST(CacheCloudTest, BeaconRequesterStoresWhenItIsTheBeacon) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.placement = "beacon";
+  CacheCloud cloud(config, t);
+  const CacheId beacon = cloud.beacon_of_doc(7);
+  const RequestOutcome miss = cloud.handle_request(beacon, 7, 1.0);
+  EXPECT_TRUE(miss.stored);
+  EXPECT_FALSE(miss.replicated_to_beacon);
+}
+
+TEST(CacheCloudTest, UtilityPlacementRespondsToUpdatePressure) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.placement = "utility";
+  config.utility.threshold = 0.5;
+  CacheCloud cloud(config, t);
+
+  // Document 7: accessed repeatedly at cache 0, never updated -> hot.
+  for (int i = 0; i < 5; ++i) {
+    cloud.handle_request(0, 7, 1.0 + i);
+  }
+  // After several accesses the utility is comfortably above threshold.
+  const UtilityBreakdown hot = cloud.utility_of(0, 7, 6.0);
+  EXPECT_GT(hot.cmc, 0.9);
+
+  // Document 8: updated constantly, requested once -> low consistency value.
+  for (int i = 0; i < 50; ++i) {
+    cloud.handle_update(8, 1.0 + i * 0.1);
+  }
+  const UtilityBreakdown churny = cloud.utility_of(0, 8, 6.0);
+  EXPECT_LT(churny.cmc, 0.1);
+}
+
+TEST(CacheCloudTest, EvictionDeregistersFromDirectory) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  // Tiny disk: every new doc evicts the previous one.
+  config.per_cache_capacity_bytes = t.doc(0).size_bytes + 64;
+  CacheCloud cloud(config, t);
+
+  const RequestOutcome first = cloud.handle_request(0, 0, 1.0);
+  if (!first.stored) GTEST_SKIP() << "doc 0 larger than the test disk";
+  trace::DocId other = 1;
+  while (other < 100 && t.doc(other).size_bytes > config.per_cache_capacity_bytes) {
+    ++other;
+  }
+  const RequestOutcome second = cloud.handle_request(0, other, 2.0);
+  if (second.stored && !second.evicted_at_requester.empty()) {
+    EXPECT_FALSE(cloud.directory().is_holder(0, 0));
+  }
+}
+
+TEST(CacheCloudTest, CycleRebalancesAndCountsRecordTransfers) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.cycle_sec = 10.0;
+  CacheCloud cloud(config, t);
+
+  // Load the cloud asymmetrically: every doc requested at every cache once,
+  // so many docs have directory records.
+  double now = 0.0;
+  for (trace::DocId d = 0; d < 50; ++d) {
+    for (CacheId c = 0; c < 4; ++c) {
+      cloud.handle_request(c, d, now);
+      now += 0.01;
+    }
+  }
+  EXPECT_FALSE(cloud.maybe_end_cycle(5.0).has_value());
+  const auto cycle = cloud.maybe_end_cycle(10.5);
+  ASSERT_TRUE(cycle.has_value());
+  // Skewed Zipf load: at least one ring should have shifted something.
+  if (!cycle->moves.empty()) {
+    EXPECT_GT(cycle->records_transferred, 0u);
+  }
+  // The next call is not due yet.
+  EXPECT_FALSE(cloud.maybe_end_cycle(10.6).has_value());
+}
+
+TEST(CacheCloudTest, StaticHashingNeverRebalances) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.hashing = CloudConfig::Hashing::Static;
+  config.cycle_sec = 1.0;
+  CacheCloud cloud(config, t);
+  for (int i = 0; i < 20; ++i) cloud.handle_request(0, i, 0.1 * i);
+  const auto cycle = cloud.maybe_end_cycle(100.0);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(cycle->moves.empty());
+  EXPECT_EQ(cycle->records_transferred, 0u);
+}
+
+TEST(CacheCloudTest, FailCacheReroutesAndPurges) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(base_config(), t);
+  cloud.handle_request(1, 7, 1.0);
+  EXPECT_TRUE(cloud.directory().is_holder(7, 1));
+
+  cloud.fail_cache(1);
+  EXPECT_TRUE(cloud.is_failed(1));
+  EXPECT_FALSE(cloud.directory().is_holder(7, 1));
+  EXPECT_THROW(cloud.handle_request(1, 7, 2.0), std::invalid_argument);
+  EXPECT_THROW(cloud.fail_cache(1), std::invalid_argument);
+
+  // Other caches keep working, and no beacon resolves to the dead cache.
+  for (trace::DocId d = 0; d < 50; ++d) {
+    EXPECT_NE(cloud.beacon_of_doc(d), 1u);
+    const RequestOutcome r = cloud.handle_request(0, d, 3.0 + d);
+    EXPECT_NE(r.kind, RequestKind::CloudHit);  // holder 1 is gone
+  }
+}
+
+TEST(CacheCloudTest, RejectsBadConfigAndIds) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.num_caches = 0;
+  EXPECT_THROW(CacheCloud(config, t), std::invalid_argument);
+
+  config = base_config();
+  config.capabilities = {1.0, 1.0};  // wrong length
+  EXPECT_THROW(CacheCloud(config, t), std::invalid_argument);
+
+  CacheCloud cloud(base_config(), t);
+  EXPECT_THROW(cloud.handle_request(99, 0, 0.0), std::out_of_range);
+  EXPECT_THROW(cloud.handle_request(0, 9999, 0.0), std::out_of_range);
+  EXPECT_THROW(cloud.handle_update(9999, 0.0), std::out_of_range);
+}
+
+// Invariant sweep across hashing schemes: the directory exactly mirrors the
+// stores after an arbitrary workload.
+class CloudSchemeSweep
+    : public ::testing::TestWithParam<CloudConfig::Hashing> {};
+
+TEST_P(CloudSchemeSweep, DirectoryMatchesStores) {
+  const trace::Trace t = small_trace();
+  CloudConfig config = base_config();
+  config.hashing = GetParam();
+  config.placement = "utility";
+  config.per_cache_capacity_bytes = 200 * 1024;
+  config.cycle_sec = 5.0;
+  CacheCloud cloud(config, t);
+
+  for (const trace::Event& e : t.events()) {
+    cloud.maybe_end_cycle(e.time);
+    if (e.type == trace::EventType::Request) {
+      cloud.handle_request(e.cache, e.doc, e.time);
+    } else {
+      cloud.handle_update(e.doc, e.time);
+    }
+  }
+
+  for (trace::DocId d = 0; d < 100; ++d) {
+    for (CacheId c = 0; c < 4; ++c) {
+      EXPECT_EQ(cloud.directory().is_holder(d, c), cloud.store(c).contains(d))
+          << "doc " << d << " cache " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CloudSchemeSweep,
+                         ::testing::Values(CloudConfig::Hashing::Static,
+                                           CloudConfig::Hashing::Consistent,
+                                           CloudConfig::Hashing::Dynamic));
+
+}  // namespace
+}  // namespace cachecloud::core

@@ -1,0 +1,202 @@
+// Tests of the consistency mechanisms (push vs TTL) and the
+// no-cooperation baseline.
+#include <gtest/gtest.h>
+
+#include "core/cloud.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace cachecloud::core {
+namespace {
+
+trace::Trace small_trace() {
+  trace::ZipfTraceConfig config;
+  config.num_docs = 50;
+  config.num_caches = 3;
+  config.duration_sec = 60.0;
+  config.requests_per_sec = 2.0;
+  config.updates_per_minute = 5.0;
+  config.seed = 77;
+  return trace::generate_zipf_trace(config);
+}
+
+CloudConfig ttl_config(double ttl_sec) {
+  CloudConfig config;
+  config.num_caches = 3;
+  config.placement = "adhoc";
+  config.ring_size = 2;
+  config.consistency = CloudConfig::Consistency::Ttl;
+  config.ttl_sec = ttl_sec;
+  return config;
+}
+
+TEST(TtlConsistencyTest, UpdatesAreNotPushed) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(ttl_config(100.0), t);
+
+  cloud.handle_request(0, 7, 1.0);
+  const UpdateOutcome update = cloud.handle_update(7, 2.0);
+  EXPECT_FALSE(update.pushed);
+  EXPECT_TRUE(update.holders.empty());
+  // The cached copy still carries the old version.
+  EXPECT_EQ(cloud.store(0).peek(7)->version, 1u);
+  EXPECT_EQ(cloud.doc_version(7), 2u);
+}
+
+TEST(TtlConsistencyTest, StaleServedWithinTtl) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(ttl_config(100.0), t);
+
+  cloud.handle_request(0, 7, 1.0);
+  cloud.handle_update(7, 2.0);
+  const RequestOutcome hit = cloud.handle_request(0, 7, 3.0);
+  EXPECT_EQ(hit.kind, RequestKind::LocalHit);
+  EXPECT_TRUE(hit.stale_served);
+  EXPECT_FALSE(hit.revalidated);
+}
+
+TEST(TtlConsistencyTest, ExpiredCopyIsRevalidatedOrRefetched) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(ttl_config(10.0), t);
+
+  cloud.handle_request(0, 7, 1.0);
+  // Expired but unchanged: revalidation, no refetch.
+  const RequestOutcome fresh = cloud.handle_request(0, 7, 20.0);
+  EXPECT_EQ(fresh.kind, RequestKind::LocalHit);
+  EXPECT_TRUE(fresh.revalidated);
+  EXPECT_FALSE(fresh.stale_served);
+
+  // Changed and expired: refetch from the origin.
+  cloud.handle_update(7, 21.0);
+  const RequestOutcome stale = cloud.handle_request(0, 7, 40.0);
+  EXPECT_EQ(stale.kind, RequestKind::GroupMiss);
+  EXPECT_TRUE(stale.refetched);
+  EXPECT_EQ(cloud.store(0).peek(7)->version, 2u);
+
+  // Fresh again after the refetch.
+  const RequestOutcome after = cloud.handle_request(0, 7, 41.0);
+  EXPECT_EQ(after.kind, RequestKind::LocalHit);
+  EXPECT_FALSE(after.stale_served);
+}
+
+TEST(TtlConsistencyTest, CloudHitCanServeStaleHolderCopy) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(ttl_config(100.0), t);
+
+  cloud.handle_request(0, 7, 1.0);
+  cloud.handle_update(7, 2.0);
+  // Cache 1 misses and fetches from holder 0, whose copy is stale.
+  const RequestOutcome hit = cloud.handle_request(1, 7, 3.0);
+  EXPECT_EQ(hit.kind, RequestKind::CloudHit);
+  EXPECT_TRUE(hit.stale_served);
+  EXPECT_EQ(cloud.store(1).peek(7)->version, 1u);
+}
+
+TEST(TtlConsistencyTest, SimAccountsStalenessAndRevalidation) {
+  const trace::Trace t = small_trace();
+  CacheCloud cloud(ttl_config(20.0), t);
+  const sim::SimResult result = sim::run_simulation(cloud, t);
+  // With 5 updates/minute and a 20 s TTL some staleness and revalidation
+  // must show up over a 60 s Zipf run.
+  EXPECT_GT(result.metrics.revalidations + result.metrics.ttl_refetches +
+                result.metrics.stale_hits,
+            0u);
+}
+
+TEST(TtlConsistencyTest, PushServesNoStaleEver) {
+  const trace::Trace t = small_trace();
+  CloudConfig config;
+  config.num_caches = 3;
+  config.ring_size = 2;
+  config.placement = "adhoc";
+  config.consistency = CloudConfig::Consistency::Push;
+  CacheCloud cloud(config, t);
+  const sim::SimResult result = sim::run_simulation(cloud, t);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+  EXPECT_EQ(result.metrics.revalidations, 0u);
+  // Every cached copy matches the origin version at the end.
+  for (trace::DocId d = 0; d < 50; ++d) {
+    for (trace::CacheId c = 0; c < 3; ++c) {
+      if (const auto* doc = cloud.store(c).peek(d)) {
+        EXPECT_EQ(doc->version, cloud.doc_version(d))
+            << "doc " << d << " cache " << c;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- no cooperation
+
+TEST(NoCooperationTest, MissesGoStraightToOrigin) {
+  const trace::Trace t = small_trace();
+  CloudConfig config;
+  config.num_caches = 3;
+  config.ring_size = 2;
+  config.placement = "adhoc";
+  config.cooperative = false;
+  CacheCloud cloud(config, t);
+
+  cloud.handle_request(0, 7, 1.0);
+  // Cache 1 cannot profit from cache 0's copy.
+  const RequestOutcome miss = cloud.handle_request(1, 7, 2.0);
+  EXPECT_EQ(miss.kind, RequestKind::GroupMiss);
+  EXPECT_EQ(miss.discovery_hops, 0u);
+  EXPECT_FALSE(miss.source.has_value());
+  EXPECT_TRUE(miss.stored);
+}
+
+TEST(NoCooperationTest, OriginPushesToEveryHolderIndividually) {
+  const trace::Trace t = small_trace();
+  CloudConfig config;
+  config.num_caches = 3;
+  config.placement = "adhoc";
+  config.cooperative = false;
+  CacheCloud cloud(config, t);
+
+  cloud.handle_request(0, 7, 1.0);
+  cloud.handle_request(1, 7, 2.0);
+  cloud.handle_request(2, 7, 3.0);
+  const UpdateOutcome update = cloud.handle_update(7, 4.0);
+  EXPECT_EQ(update.holders.size(), 3u);
+  EXPECT_EQ(update.discovery_hops, 0u);  // no beacon involved
+  for (trace::CacheId c = 0; c < 3; ++c) {
+    EXPECT_EQ(cloud.store(c).peek(7)->version, 2u);
+  }
+}
+
+TEST(NoCooperationTest, NeverRebalances) {
+  const trace::Trace t = small_trace();
+  CloudConfig config;
+  config.num_caches = 3;
+  config.cooperative = false;
+  config.cycle_sec = 1.0;
+  CacheCloud cloud(config, t);
+  cloud.handle_request(0, 1, 0.5);
+  EXPECT_FALSE(cloud.maybe_end_cycle(100.0).has_value());
+}
+
+TEST(NoCooperationTest, CooperationReducesOriginLoad) {
+  trace::ZipfTraceConfig tc;
+  tc.num_docs = 300;
+  tc.num_caches = 5;
+  tc.duration_sec = 300.0;
+  tc.requests_per_sec = 20.0;
+  tc.updates_per_minute = 60.0;
+  const trace::Trace t = trace::generate_zipf_trace(tc);
+
+  auto origin_messages = [&](bool cooperative) {
+    CloudConfig config;
+    config.num_caches = 5;
+    config.ring_size = 2;
+    config.placement = "adhoc";
+    config.cooperative = cooperative;
+    CacheCloud cloud(config, t);
+    return sim::run_simulation(cloud, t).metrics.origin_messages;
+  };
+  // The paper's two §1 claims at once: fewer misses reach the origin, and
+  // one update message per cloud instead of one per holder.
+  EXPECT_LT(origin_messages(true), origin_messages(false) / 2);
+}
+
+}  // namespace
+}  // namespace cachecloud::core

@@ -1,0 +1,63 @@
+#include "core/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cachecloud::core {
+namespace {
+
+TEST(LookupDirectoryTest, AddFindRemove) {
+  LookupDirectory dir;
+  EXPECT_EQ(dir.find(1), nullptr);
+  EXPECT_EQ(dir.holder_count(1), 0u);
+
+  dir.add_holder(1, 3);
+  dir.add_holder(1, 0);
+  dir.add_holder(1, 3);  // idempotent
+  ASSERT_NE(dir.find(1), nullptr);
+  EXPECT_EQ(dir.holder_count(1), 2u);
+  EXPECT_TRUE(dir.is_holder(1, 3));
+  EXPECT_TRUE(dir.is_holder(1, 0));
+  EXPECT_FALSE(dir.is_holder(1, 5));
+  // Holders stay sorted.
+  EXPECT_EQ(dir.find(1)->holders, (std::vector<CacheId>{0, 3}));
+
+  EXPECT_TRUE(dir.remove_holder(1, 3));
+  EXPECT_FALSE(dir.remove_holder(1, 3));
+  EXPECT_EQ(dir.holder_count(1), 1u);
+  // Removing the last holder drops the record.
+  EXPECT_TRUE(dir.remove_holder(1, 0));
+  EXPECT_EQ(dir.find(1), nullptr);
+  EXPECT_EQ(dir.record_count(), 0u);
+}
+
+TEST(LookupDirectoryTest, RemoveFromUnknownDoc) {
+  LookupDirectory dir;
+  EXPECT_FALSE(dir.remove_holder(9, 1));
+}
+
+TEST(LookupDirectoryTest, VersionTracking) {
+  LookupDirectory dir;
+  dir.set_version(1, 5);  // no record yet: ignored
+  EXPECT_EQ(dir.find(1), nullptr);
+  dir.add_holder(1, 0);
+  dir.set_version(1, 5);
+  EXPECT_EQ(dir.find(1)->version, 5u);
+  dir.set_version(1, 3);  // never regresses
+  EXPECT_EQ(dir.find(1)->version, 5u);
+}
+
+TEST(LookupDirectoryTest, RemoveCachePurgesEverywhere) {
+  LookupDirectory dir;
+  dir.add_holder(1, 0);
+  dir.add_holder(1, 2);
+  dir.add_holder(2, 2);
+  dir.add_holder(3, 1);
+  EXPECT_EQ(dir.remove_cache(2), 2u);
+  EXPECT_EQ(dir.holder_count(1), 1u);
+  EXPECT_EQ(dir.find(2), nullptr);  // record vanished with its only holder
+  EXPECT_EQ(dir.holder_count(3), 1u);
+  EXPECT_EQ(dir.remove_cache(2), 0u);  // already gone
+}
+
+}  // namespace
+}  // namespace cachecloud::core

@@ -1,0 +1,199 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cachecloud::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PlacementContext base_context() {
+  PlacementContext ctx;
+  ctx.cache = 0;
+  ctx.doc = 1;
+  ctx.now = 100.0;
+  ctx.access_rate = 1.0;
+  ctx.update_rate = 0.1;
+  ctx.mean_access_rate_at_cache = 0.5;
+  ctx.cloud_copies = 1;
+  ctx.residence_sec = 1000.0;
+  return ctx;
+}
+
+UtilityConfig equal_weights(bool with_disk) {
+  UtilityConfig config;
+  const double w = with_disk ? 0.25 : 1.0 / 3.0;
+  config.w_consistency = w;
+  config.w_access_frequency = w;
+  config.w_availability = w;
+  config.w_disk_contention = with_disk ? w : 0.0;
+  return config;
+}
+
+TEST(UtilityComponentsTest, ConsistencyDecaysWithUpdateRate) {
+  PlacementContext ctx = base_context();
+  const UtilityConfig config = equal_weights(false);
+  ctx.update_rate = 0.0;
+  const double no_updates = compute_utility(ctx, config).cmc;
+  ctx.update_rate = 1.0;
+  const double equal_rates = compute_utility(ctx, config).cmc;
+  ctx.update_rate = 100.0;
+  const double hot_updates = compute_utility(ctx, config).cmc;
+  EXPECT_DOUBLE_EQ(no_updates, 1.0);
+  EXPECT_DOUBLE_EQ(equal_rates, 0.5);
+  EXPECT_LT(hot_updates, 0.05);
+  EXPECT_GT(no_updates, equal_rates);
+  EXPECT_GT(equal_rates, hot_updates);
+}
+
+TEST(UtilityComponentsTest, AccessFrequencyRelativeToCache) {
+  PlacementContext ctx = base_context();
+  const UtilityConfig config = equal_weights(false);
+  ctx.access_rate = 2.0;
+  ctx.mean_access_rate_at_cache = 1.0;
+  EXPECT_NEAR(compute_utility(ctx, config).afc, 2.0 / 3.0, 1e-12);
+  // No evidence at all -> neutral 0.5.
+  ctx.access_rate = 0.0;
+  ctx.mean_access_rate_at_cache = 0.0;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).afc, 0.5);
+}
+
+TEST(UtilityComponentsTest, AvailabilityDecaysWithCopies) {
+  PlacementContext ctx = base_context();
+  const UtilityConfig config = equal_weights(false);
+  ctx.cloud_copies = 0;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dac, 1.0);
+  ctx.cloud_copies = 1;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dac, 0.5);
+  ctx.cloud_copies = 9;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dac, 0.1);
+}
+
+TEST(UtilityComponentsTest, DiskContentionComparesResidenceToReaccess) {
+  PlacementContext ctx = base_context();
+  const UtilityConfig config = equal_weights(true);
+  // Unlimited disk: no contention whatsoever.
+  ctx.residence_sec = kInf;
+  ctx.access_rate = 0.01;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dscc, 1.0);
+  // A copy never accessed again is pure churn.
+  ctx.residence_sec = 1000.0;
+  ctx.access_rate = 0.0;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dscc, 0.0);
+  // Residence 1000 s, re-access every 1000 s: break-even.
+  ctx.access_rate = 1.0 / 1000.0;
+  EXPECT_DOUBLE_EQ(compute_utility(ctx, config).dscc, 0.5);
+  // Hot document on the same disk: clearly worth keeping.
+  ctx.access_rate = 1.0;
+  EXPECT_NEAR(compute_utility(ctx, config).dscc, 1000.0 / 1001.0, 1e-12);
+  // Cold document on a fast-churning disk: not worth it.
+  ctx.residence_sec = 10.0;
+  ctx.access_rate = 0.001;
+  EXPECT_NEAR(compute_utility(ctx, config).dscc, 10.0 / 1010.0, 1e-12);
+}
+
+TEST(UtilityComponentsTest, WeightedSumAndNormalization) {
+  PlacementContext ctx = base_context();
+  UtilityConfig config;
+  config.w_consistency = 2.0;  // weights need not sum to 1; normalized inside
+  config.w_access_frequency = 0.0;
+  config.w_availability = 0.0;
+  config.w_disk_contention = 0.0;
+  const UtilityBreakdown u = compute_utility(ctx, config);
+  EXPECT_DOUBLE_EQ(u.utility, u.cmc);
+}
+
+TEST(UtilityComponentsTest, RejectsAllZeroWeights) {
+  UtilityConfig config;
+  config.w_consistency = config.w_access_frequency = config.w_availability =
+      config.w_disk_contention = 0.0;
+  EXPECT_THROW((void)compute_utility(base_context(), config),
+               std::invalid_argument);
+  EXPECT_THROW(UtilityPlacement{config}, std::invalid_argument);
+}
+
+TEST(UtilityPlacementTest, ThresholdGatesStorage) {
+  UtilityConfig config = equal_weights(false);
+  config.threshold = 0.5;
+  UtilityPlacement placement(config);
+
+  PlacementContext good = base_context();
+  good.update_rate = 0.0;
+  good.cloud_copies = 0;
+  EXPECT_TRUE(placement.store_at_requester(good));
+
+  PlacementContext bad = base_context();
+  bad.access_rate = 0.01;
+  bad.update_rate = 10.0;
+  bad.mean_access_rate_at_cache = 5.0;
+  bad.cloud_copies = 8;
+  EXPECT_FALSE(placement.store_at_requester(bad));
+}
+
+TEST(UtilityPlacementTest, RejectsBadThreshold) {
+  UtilityConfig config = equal_weights(false);
+  config.threshold = 1.5;
+  EXPECT_THROW(UtilityPlacement{config}, std::invalid_argument);
+}
+
+TEST(PlacementFactoryTest, NamesAndBehaviours) {
+  const auto adhoc = make_placement("adhoc");
+  const auto beacon = make_placement("beacon");
+  const auto utility = make_placement("utility");
+  EXPECT_EQ(adhoc->name(), "adhoc");
+  EXPECT_EQ(beacon->name(), "beacon");
+  EXPECT_EQ(utility->name(), "utility");
+  EXPECT_THROW(make_placement("nope"), std::invalid_argument);
+
+  PlacementContext ctx = base_context();
+  ctx.is_beacon = false;
+  EXPECT_TRUE(adhoc->store_at_requester(ctx));
+  EXPECT_FALSE(beacon->store_at_requester(ctx));
+  ctx.is_beacon = true;
+  EXPECT_TRUE(beacon->store_at_requester(ctx));
+
+  EXPECT_FALSE(adhoc->replicate_to_beacon_on_group_miss());
+  EXPECT_TRUE(beacon->replicate_to_beacon_on_group_miss());
+  EXPECT_FALSE(utility->replicate_to_beacon_on_group_miss());
+}
+
+// Monotonicity sweep: utility is non-increasing in update rate and copies,
+// non-decreasing in access rate.
+class UtilityMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilityMonotonicity, InUpdateRate) {
+  const double access = GetParam();
+  const UtilityConfig config = equal_weights(false);
+  double prev = 1.1;
+  for (double update = 0.0; update <= 10.0; update += 0.5) {
+    PlacementContext ctx = base_context();
+    ctx.access_rate = access;
+    ctx.update_rate = update;
+    const double u = compute_utility(ctx, config).utility;
+    EXPECT_LE(u, prev + 1e-12) << "access=" << access << " update=" << update;
+    prev = u;
+  }
+}
+
+TEST_P(UtilityMonotonicity, InAccessRate) {
+  const double update = GetParam();
+  const UtilityConfig config = equal_weights(false);
+  double prev = -0.1;
+  for (double access = 0.0; access <= 10.0; access += 0.5) {
+    PlacementContext ctx = base_context();
+    ctx.access_rate = access;
+    ctx.update_rate = update;
+    if (access == 0.0 && update == 0.0) continue;  // neutral special case
+    const double u = compute_utility(ctx, config).utility;
+    EXPECT_GE(u, prev - 1e-12);
+    prev = u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, UtilityMonotonicity,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0));
+
+}  // namespace
+}  // namespace cachecloud::core

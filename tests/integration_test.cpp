@@ -1,0 +1,166 @@
+// Cross-module integration tests: heterogeneous capabilities, trace file
+// round-trips through the simulator, and determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/beacon_ring.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace cachecloud {
+namespace {
+
+TEST(CapabilityTest, RingShiftsLoadTowardStrongerPoint) {
+  // One point twice as capable: after feedback cycles under uniform load it
+  // should own ~2/3 of the hash space and carry ~2/3 of the load.
+  core::BeaconRing::Config config;
+  config.irh_gen = 300;
+  core::BeaconRing ring({0, 1}, {2.0, 1.0}, config);
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (std::uint32_t k = 0; k < 300; ++k) ring.record_load(k, 1.0);
+    ring.rebalance();
+  }
+  const double share = static_cast<double>(ring.ranges()[0].length()) / 300.0;
+  EXPECT_NEAR(share, 2.0 / 3.0, 0.02);
+}
+
+TEST(CapabilityTest, CloudHonorsCapabilities) {
+  trace::ZipfTraceConfig tc;
+  tc.num_docs = 1000;
+  tc.num_caches = 4;
+  tc.duration_sec = 1200.0;
+  tc.requests_per_sec = 30.0;
+  tc.updates_per_minute = 60.0;
+  const trace::Trace trace = trace::generate_zipf_trace(tc);
+
+  core::CloudConfig config;
+  config.num_caches = 4;
+  config.hashing = core::CloudConfig::Hashing::Dynamic;
+  config.ring_size = 2;
+  config.placement = "beacon";
+  config.cycle_sec = 120.0;
+  // Cache 0 is 3x as capable as its ring partner cache 1.
+  config.capabilities = {3.0, 1.0, 1.0, 1.0};
+  core::CacheCloud cloud(config, trace);
+
+  sim::SimConfig sim_config;
+  sim_config.metrics_start_sec = 480.0;  // past the first few cycles
+  const sim::SimResult result = sim::run_simulation(cloud, trace, sim_config);
+
+  const auto loads = result.metrics.beacon_load_per_minute();
+  // Cache 0 should handle substantially more than cache 1 (target 3x;
+  // granularity and noise allowed for).
+  EXPECT_GT(loads[0], loads[1] * 1.8);
+}
+
+TEST(IntegrationTest, TraceFileRoundTripGivesIdenticalSimulation) {
+  trace::ZipfTraceConfig tc;
+  tc.num_docs = 300;
+  tc.num_caches = 4;
+  tc.duration_sec = 120.0;
+  tc.requests_per_sec = 15.0;
+  tc.updates_per_minute = 20.0;
+  const trace::Trace original = trace::generate_zipf_trace(tc);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "cachecloud_roundtrip.trace";
+  trace::write_trace_file(path.string(), original);
+  const trace::Trace loaded = trace::read_trace_file(path.string());
+  std::filesystem::remove(path);
+
+  core::CloudConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.placement = "utility";
+  config.cycle_sec = 30.0;
+
+  core::CacheCloud cloud_a(config, original);
+  core::CacheCloud cloud_b(config, loaded);
+  const sim::SimResult a = sim::run_simulation(cloud_a, original);
+  const sim::SimResult b = sim::run_simulation(cloud_b, loaded);
+
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.local_hits, b.metrics.local_hits);
+  EXPECT_EQ(a.metrics.cloud_hits, b.metrics.cloud_hits);
+  EXPECT_EQ(a.metrics.total_network_bytes(), b.metrics.total_network_bytes());
+  EXPECT_EQ(a.rebalances, b.rebalances);
+  EXPECT_EQ(a.records_transferred, b.records_transferred);
+}
+
+TEST(IntegrationTest, SimulationIsDeterministic) {
+  trace::SydneyTraceConfig tc;
+  tc.num_docs = 2000;
+  tc.num_caches = 6;
+  tc.duration_sec = 6.0 * 3600.0;
+  tc.peak_requests_per_sec = 1.0;
+  const trace::Trace trace = trace::generate_sydney_trace(tc);
+
+  auto run_once = [&] {
+    core::CloudConfig config;
+    config.num_caches = 6;
+    config.ring_size = 2;
+    config.placement = "utility";
+    core::CacheCloud cloud(config, trace);
+    return sim::run_simulation(cloud, trace);
+  };
+  const sim::SimResult a = run_once();
+  const sim::SimResult b = run_once();
+  EXPECT_EQ(a.metrics.local_hits, b.metrics.local_hits);
+  EXPECT_EQ(a.metrics.stored_copies, b.metrics.stored_copies);
+  EXPECT_EQ(a.metrics.total_network_bytes(), b.metrics.total_network_bytes());
+  EXPECT_EQ(a.metrics.beacon_load_per_minute(),
+            b.metrics.beacon_load_per_minute());
+}
+
+// The headline end-to-end property across every (hashing, placement) pair:
+// protocol invariants hold through a full mixed workload.
+class FullMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<core::CloudConfig::Hashing, const char*>> {};
+
+TEST_P(FullMatrix, HitAccountingAndDirectoryConsistency) {
+  const auto [hashing, placement] = GetParam();
+  trace::ZipfTraceConfig tc;
+  tc.num_docs = 500;
+  tc.num_caches = 5;
+  tc.duration_sec = 300.0;
+  tc.requests_per_sec = 15.0;
+  tc.updates_per_minute = 60.0;
+  const trace::Trace trace = trace::generate_zipf_trace(tc);
+
+  core::CloudConfig config;
+  config.num_caches = 5;
+  config.hashing = hashing;
+  config.ring_size = 2;
+  config.placement = placement;
+  config.per_cache_capacity_bytes = 500 * 1024;
+  config.cycle_sec = 60.0;
+  core::CacheCloud cloud(config, trace);
+  const sim::SimResult result = sim::run_simulation(cloud, trace);
+
+  EXPECT_EQ(result.metrics.local_hits + result.metrics.cloud_hits +
+                result.metrics.group_misses,
+            result.metrics.requests);
+  EXPECT_EQ(result.metrics.updates, trace.update_count());
+
+  // Directory exactly mirrors the stores.
+  for (trace::DocId d = 0; d < 500; ++d) {
+    for (trace::CacheId c = 0; c < 5; ++c) {
+      ASSERT_EQ(cloud.directory().is_holder(d, c), cloud.store(c).contains(d))
+          << "doc " << d << " cache " << c << " under " << placement;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, FullMatrix,
+    ::testing::Combine(::testing::Values(core::CloudConfig::Hashing::Static,
+                                         core::CloudConfig::Hashing::Consistent,
+                                         core::CloudConfig::Hashing::Dynamic),
+                       ::testing::Values("adhoc", "beacon", "utility")));
+
+}  // namespace
+}  // namespace cachecloud

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/tcp.hpp"
+
+namespace cachecloud::net {
+namespace {
+
+TEST(BufferTest, RoundTripAllTypes) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.str("hello world");
+  w.blob({1, 2, 3});
+
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(BufferTest, EmptyStringAndBlob) {
+  BufferWriter w;
+  w.str("");
+  w.blob({});
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(BufferTest, TruncationThrows) {
+  BufferWriter w;
+  w.u64(42);
+  {
+    BufferReader r(w.bytes().data(), 4);  // cut in half
+    EXPECT_THROW((void)r.u64(), DecodeError);
+  }
+  {
+    BufferReader r(w.bytes());
+    (void)r.u32();
+    EXPECT_THROW(r.expect_end(), DecodeError);  // trailing bytes
+  }
+}
+
+TEST(BufferTest, MalformedLengthPrefixThrows) {
+  // A string claiming 100 bytes but carrying none.
+  BufferWriter w;
+  w.u32(100);
+  BufferReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(TcpTest, EchoRoundTrip) {
+  TcpServer server(0, [](const Frame& f) {
+    Frame reply = f;
+    reply.type = static_cast<std::uint16_t>(f.type + 1);
+    return reply;
+  });
+  TcpClient client(server.port());
+
+  Frame request;
+  request.type = 7;
+  request.payload = {10, 20, 30};
+  const Frame reply = client.call(request);
+  EXPECT_EQ(reply.type, 8);
+  EXPECT_EQ(reply.payload, request.payload);
+}
+
+TEST(TcpTest, LargePayload) {
+  TcpServer server(0, [](const Frame& f) { return f; });
+  TcpClient client(server.port());
+  Frame request;
+  request.type = 1;
+  request.payload.assign(2 * 1024 * 1024, 0x5A);
+  const Frame reply = client.call(request);
+  EXPECT_EQ(reply.payload.size(), request.payload.size());
+  EXPECT_EQ(reply.payload, request.payload);
+}
+
+TEST(TcpTest, ManySequentialCallsOneConnection) {
+  std::atomic<int> served{0};
+  TcpServer server(0, [&](const Frame& f) {
+    ++served;
+    return f;
+  });
+  TcpClient client(server.port());
+  for (int i = 0; i < 200; ++i) {
+    Frame request;
+    request.type = static_cast<std::uint16_t>(i);
+    (void)client.call(request);
+  }
+  EXPECT_EQ(served.load(), 200);
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  TcpServer server(0, [](const Frame& f) { return f; });
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        TcpClient client(server.port());
+        for (int i = 0; i < 50; ++i) {
+          Frame request;
+          request.type = static_cast<std::uint16_t>(t * 100 + i);
+          request.payload.assign(static_cast<std::size_t>(i), 0xAA);
+          const Frame reply = client.call(request);
+          if (reply.type != request.type ||
+              reply.payload != request.payload) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TcpTest, ServerStopUnblocksEverything) {
+  auto server = std::make_unique<TcpServer>(0, [](const Frame& f) { return f; });
+  TcpClient client(server->port());
+  Frame request;
+  request.type = 1;
+  (void)client.call(request);
+  server->stop();  // must not hang with the client connection still open
+  EXPECT_THROW((void)client.call(request), NetError);
+}
+
+TEST(TcpTest, ConnectToDeadPortFails) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(connect_local(dead_port), NetError);
+}
+
+TEST(TcpTest, HandlerExceptionDropsConnectionNotServer) {
+  TcpServer server(0, [](const Frame& f) -> Frame {
+    if (f.type == 13) throw std::runtime_error("boom");
+    return f;
+  });
+  {
+    TcpClient bad(server.port());
+    Frame request;
+    request.type = 13;
+    EXPECT_THROW((void)bad.call(request), NetError);
+  }
+  // The server survives and accepts new connections.
+  TcpClient good(server.port());
+  Frame request;
+  request.type = 1;
+  EXPECT_EQ(good.call(request).type, 1);
+}
+
+TEST(TcpTest, EphemeralPortsAreDistinct) {
+  TcpServer a(0, [](const Frame& f) { return f; });
+  TcpServer b(0, [](const Frame& f) { return f; });
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_GT(a.port(), 0);
+}
+
+}  // namespace
+}  // namespace cachecloud::net

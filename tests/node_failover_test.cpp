@@ -1,0 +1,133 @@
+// Beacon-point failover with lazily replicated lookup records (§2.3's
+// resilience extension), over real loopback TCP.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "node/cluster.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+NodeConfig config_4() {
+  NodeConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.placement = "adhoc";
+  return config;
+}
+
+TEST(NodeFailoverTest, ReplicaSyncMirrorsRecordsToRingPeer) {
+  Cluster cluster(config_4());
+  for (int i = 0; i < 40; ++i) {
+    cluster.origin().add_document("/d" + std::to_string(i), 64);
+    (void)cluster.cache(0).get("/d" + std::to_string(i));
+  }
+  std::size_t replicas_before = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    replicas_before += cluster.cache(id).replica_records();
+  }
+  EXPECT_EQ(replicas_before, 0u);
+
+  std::size_t records_total = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    cluster.cache(id).sync_replicas();
+    records_total += cluster.cache(id).directory_records();
+  }
+  // Ring size 2: every record is mirrored to exactly one peer.
+  std::size_t replicas_after = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    replicas_after += cluster.cache(id).replica_records();
+  }
+  EXPECT_EQ(replicas_after, records_total);
+}
+
+TEST(NodeFailoverTest, HeirServesLookupsAfterBeaconCrash) {
+  Cluster cluster(config_4());
+  for (int i = 0; i < 60; ++i) {
+    cluster.origin().add_document("/d" + std::to_string(i), 64);
+  }
+  // Cache 2 and 3 hold copies; node 0 and 1 act as beacons for ring 0.
+  for (int i = 0; i < 60; ++i) {
+    (void)cluster.cache(2).get("/d" + std::to_string(i));
+    (void)cluster.cache(3).get("/d" + std::to_string(i));
+  }
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+
+  // Crash node 1 (a beacon of ring 0; also a holder) and fail it over.
+  const std::size_t heir_records_before =
+      cluster.cache(0).directory_records();
+  cluster.crash(1);
+  const auto summary = cluster.origin().handle_node_failure(1);
+  EXPECT_EQ(summary.ring, 0u);
+  EXPECT_EQ(summary.heir, 0u);
+
+  // The heir's directory grew by the promoted replicas.
+  EXPECT_GT(cluster.cache(0).directory_records(), heir_records_before);
+
+  // Every document still resolves, and documents whose beacon was the dead
+  // node are answered by the heir from replicas — no ring-0 document needs
+  // an origin refetch, because live holders (2 and 3) are still listed.
+  const std::uint64_t fetches_before = cluster.origin().origin_fetches();
+  for (int i = 0; i < 60; ++i) {
+    const auto target =
+        cluster.cache(0).ring_view().resolve("/d" + std::to_string(i));
+    EXPECT_NE(target.beacon, 1u) << "doc " << i;
+    // Request at a cache that does not hold the doc? caches 2/3 hold all.
+    const auto result = cluster.cache(2).get("/d" + std::to_string(i));
+    EXPECT_FALSE(result.body.empty());
+  }
+  EXPECT_EQ(cluster.origin().origin_fetches(), fetches_before);
+}
+
+TEST(NodeFailoverTest, PromotedRecordsDropDeadHolder) {
+  Cluster cluster(config_4());
+  cluster.origin().add_document("/solo", 64);
+  // Only node 1 holds the doc.
+  (void)cluster.cache(1).get("/solo");
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+
+  cluster.crash(1);
+  (void)cluster.origin().handle_node_failure(1);
+
+  // A request elsewhere must not chase the dead holder: the promoted
+  // record dropped node 1, so this is a clean origin fetch.
+  const auto result = cluster.cache(2).get("/solo");
+  EXPECT_EQ(result.source, CacheNode::GetResult::Source::Origin);
+  EXPECT_EQ(result.body, OriginNode::make_body("/solo", 1, 64));
+}
+
+TEST(NodeFailoverTest, UpdatesFlowThroughHeirAfterFailover) {
+  Cluster cluster(config_4());
+  for (int i = 0; i < 30; ++i) {
+    cluster.origin().add_document("/u" + std::to_string(i), 48);
+    (void)cluster.cache(2).get("/u" + std::to_string(i));
+  }
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+  cluster.crash(0);
+  (void)cluster.origin().handle_node_failure(0);
+
+  // Updates route to the new beacons and reach the surviving holder.
+  for (int i = 0; i < 30; ++i) {
+    const std::string url = "/u" + std::to_string(i);
+    cluster.origin().publish_update(url);
+    const auto result = cluster.cache(2).get(url);
+    EXPECT_EQ(result.version, 2u) << url;
+    EXPECT_EQ(result.source, CacheNode::GetResult::Source::Local) << url;
+  }
+}
+
+TEST(NodeFailoverTest, RejectsFailingLastRingMember) {
+  NodeConfig config;
+  config.num_caches = 2;
+  config.ring_size = 1;  // two rings of one member each
+  config.irh_gen = 50;
+  Cluster cluster(config);
+  cluster.crash(0);
+  EXPECT_THROW((void)cluster.origin().handle_node_failure(0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::node

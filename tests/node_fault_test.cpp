@@ -1,0 +1,112 @@
+// Adversarial/fault-injection tests of the wire layer and node handlers:
+// garbage frames, wrong message types, truncated payloads, oversized
+// frames. A node must never crash or wedge on malformed input.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "net/tcp.hpp"
+#include "node/cluster.hpp"
+#include "node/protocol.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+NodeConfig tiny_config() {
+  NodeConfig config;
+  config.num_caches = 2;
+  config.ring_size = 2;
+  config.irh_gen = 50;
+  return config;
+}
+
+TEST(NodeFaultTest, UnknownMessageTypeGetsNack) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.cache(0).port());
+  net::Frame junk;
+  junk.type = 999;
+  junk.payload = {1, 2, 3};
+  const Ack ack = Ack::decode(client.call(junk));
+  EXPECT_FALSE(ack.ok);
+  EXPECT_NE(ack.error.find("unsupported"), std::string::npos);
+}
+
+TEST(NodeFaultTest, TruncatedPayloadGetsNackNotCrash) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.cache(0).port());
+  // A LookupReq frame whose string length prefix lies.
+  net::Frame bad;
+  bad.type = static_cast<std::uint16_t>(MsgType::LookupReq);
+  bad.payload = {0xFF, 0x00, 0x00, 0x00};  // claims 255-byte string, has 0
+  const Ack ack = Ack::decode(client.call(bad));
+  EXPECT_FALSE(ack.ok);
+
+  // The node still serves good requests on a fresh connection.
+  cluster.origin().add_document("/ok", 32);
+  const auto result = cluster.cache(0).get("/ok");
+  EXPECT_FALSE(result.body.empty());
+}
+
+TEST(NodeFaultTest, RawGarbageBytesDropConnectionOnly) {
+  Cluster cluster(tiny_config());
+  {
+    net::Socket raw = net::connect_local(cluster.cache(1).port());
+    // Not even a valid frame header length — an oversized frame claim.
+    const std::uint8_t garbage[6] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00};
+    ::send(raw.fd(), garbage, sizeof(garbage), 0);
+    // The server drops the connection; reading yields EOF or an error.
+    EXPECT_THROW(
+        {
+          auto frame = raw.read_frame();
+          if (!frame) throw net::NetError("clean close");  // acceptable too
+        },
+        net::NetError);
+  }
+  cluster.origin().add_document("/still-alive", 16);
+  const auto result = cluster.cache(1).get("/still-alive");
+  EXPECT_EQ(result.body.size(), 16u);
+}
+
+TEST(NodeFaultTest, StaleRangeAnnounceRejected) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.cache(0).port());
+  // Announce with a gap in the partition: must be rejected.
+  RangeAnnounce bad;
+  bad.rings = {{RangeEntry{{0, 10}, 0}, RangeEntry{{20, 49}, 1}}};
+  const Ack ack = Ack::decode(client.call(bad.encode()));
+  EXPECT_FALSE(ack.ok);
+  // And the node keeps resolving with its previous view.
+  EXPECT_NO_THROW((void)cluster.cache(0).ring_view().resolve("/x"));
+}
+
+TEST(NodeFaultTest, WrongRingCountAnnounceRejected) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.cache(0).port());
+  RangeAnnounce bad;
+  bad.rings = {{RangeEntry{{0, 49}, 0}},
+               {RangeEntry{{0, 49}, 1}}};  // two rings, cluster has one
+  const Ack ack = Ack::decode(client.call(bad.encode()));
+  EXPECT_FALSE(ack.ok);
+}
+
+TEST(NodeFaultTest, FetchForUnknownUrlSaysNotFound) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.cache(0).port());
+  FetchReq req;
+  req.url = "/never-heard-of-it";
+  const FetchResp resp = FetchResp::decode(client.call(req.encode()));
+  EXPECT_FALSE(resp.found);
+}
+
+TEST(NodeFaultTest, OriginRejectsCacheOnlyMessages) {
+  Cluster cluster(tiny_config());
+  net::TcpClient client(cluster.origin().port());
+  LookupReq req;
+  req.url = "/x";
+  const Ack ack = Ack::decode(client.call(req.encode()));
+  EXPECT_FALSE(ack.ok);
+}
+
+}  // namespace
+}  // namespace cachecloud::node

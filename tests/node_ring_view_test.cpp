@@ -1,0 +1,105 @@
+#include "node/ring_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace cachecloud::node {
+namespace {
+
+TEST(RingViewTest, InitialChunkingMatchesDynamicAssigner) {
+  const RingView view(10, 2, 100);
+  EXPECT_EQ(view.num_rings(), 5u);
+  // Node 4 and 5 form ring 2, splitting [0, 100) in half.
+  EXPECT_EQ(view.range_of(2, 4), (core::SubRange{0, 49}));
+  EXPECT_EQ(view.range_of(2, 5), (core::SubRange{50, 99}));
+  EXPECT_THROW((void)view.range_of(2, 0), std::invalid_argument);
+}
+
+TEST(RingViewTest, RemainderJoinsLastRing) {
+  const RingView view(7, 3, 90);
+  EXPECT_EQ(view.num_rings(), 2u);
+  EXPECT_EQ(view.rings_of(6).size(), 1u);  // node 6 in ring 1
+  EXPECT_EQ(view.rings_of(6)[0], 1u);
+}
+
+TEST(RingViewTest, ResolveIsDeterministicAndInMembership) {
+  const RingView view(6, 2, 100);
+  for (int i = 0; i < 300; ++i) {
+    const std::string url = "/r/" + std::to_string(i);
+    const RingView::Target a = view.resolve(url);
+    const RingView::Target b = view.resolve(url);
+    EXPECT_EQ(a.beacon, b.beacon);
+    EXPECT_EQ(a.ring, b.ring);
+    EXPECT_LT(a.irh, 100u);
+    // The beacon belongs to the resolved ring (rings are {0,1},{2,3},{4,5}).
+    EXPECT_EQ(a.beacon / 2, a.ring);
+  }
+}
+
+TEST(RingViewTest, ApplyReplacesAssignment) {
+  RingView view(4, 2, 100);
+  RangeAnnounce announce = view.snapshot();
+  // Shift ring 0's boundary.
+  announce.rings[0][0].range = core::SubRange{0, 19};
+  announce.rings[0][1].range = core::SubRange{20, 99};
+  view.apply(announce);
+  EXPECT_EQ(view.range_of(0, 0), (core::SubRange{0, 19}));
+  EXPECT_EQ(view.range_of(0, 1), (core::SubRange{20, 99}));
+}
+
+TEST(RingViewTest, ApplyCanRemoveAMember) {
+  RingView view(4, 2, 100);
+  RangeAnnounce announce = view.snapshot();
+  announce.rings[1] = {RangeEntry{{0, 99}, 2}};  // node 3 failed over
+  view.apply(announce);
+  EXPECT_EQ(view.range_of(1, 2), (core::SubRange{0, 99}));
+  EXPECT_TRUE(view.rings_of(3).empty());
+}
+
+TEST(RingViewTest, ApplyRejectsNonPartitions) {
+  RingView view(4, 2, 100);
+  {
+    RangeAnnounce bad = view.snapshot();
+    bad.rings[0][1].range.lo = 60;  // gap
+    EXPECT_THROW(view.apply(bad), std::invalid_argument);
+  }
+  {
+    RangeAnnounce bad = view.snapshot();
+    bad.rings[0][1].range.hi = 120;  // beyond irh_gen
+    EXPECT_THROW(view.apply(bad), std::invalid_argument);
+  }
+  {
+    RangeAnnounce bad = view.snapshot();
+    bad.rings.pop_back();  // wrong ring count
+    EXPECT_THROW(view.apply(bad), std::invalid_argument);
+  }
+  // Original assignment intact after all the rejections.
+  EXPECT_EQ(view.range_of(0, 0), (core::SubRange{0, 49}));
+}
+
+TEST(RingViewTest, RejectsBadConstruction) {
+  EXPECT_THROW(RingView(0, 2, 100), std::invalid_argument);
+  EXPECT_THROW(RingView(4, 0, 100), std::invalid_argument);
+}
+
+TEST(RingViewTest, ResolutionCoversEveryIrhValue) {
+  const RingView view(6, 3, 50);
+  // Every (ring, irh) combination resolves to exactly one owner.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, NodeId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const RingView::Target t =
+        view.resolve("/cover/" + std::to_string(i) + ".html");
+    const auto key = std::make_pair(t.ring, t.irh);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      EXPECT_EQ(it->second, t.beacon);
+    } else {
+      seen[key] = t.beacon;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cachecloud::node

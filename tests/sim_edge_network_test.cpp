@@ -1,0 +1,98 @@
+#include "sim/edge_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace cachecloud::sim {
+namespace {
+
+trace::Trace grid_trace(trace::CacheId total_caches) {
+  trace::ZipfTraceConfig config;
+  config.num_docs = 400;
+  config.num_caches = total_caches;
+  config.duration_sec = 300.0;
+  config.requests_per_sec = 20.0;
+  config.updates_per_minute = 60.0;
+  config.seed = 41;
+  return trace::generate_zipf_trace(config);
+}
+
+EdgeNetworkConfig network_config(std::uint32_t clouds,
+                                 std::uint32_t caches_per_cloud) {
+  EdgeNetworkConfig config;
+  config.num_clouds = clouds;
+  config.cloud.num_caches = caches_per_cloud;
+  config.cloud.ring_size = 2;
+  config.cloud.placement = "adhoc";
+  config.cloud.cycle_sec = 60.0;
+  return config;
+}
+
+TEST(EdgeNetworkTest, RoutesRequestsToTheRightCloud) {
+  const trace::Trace t = grid_trace(8);
+  EdgeNetwork network(network_config(2, 4), t);
+
+  // Request at global cache 5 = cloud 1, local cache 1.
+  network.handle_request(5, 0, 1.0);
+  EXPECT_TRUE(network.cloud(1).store(1).contains(0));
+  EXPECT_FALSE(network.cloud(0).store(1).contains(0));
+
+  // Clouds are isolated: cloud 0's miss cannot be served by cloud 1.
+  const core::RequestOutcome outcome = network.handle_request(1, 0, 2.0);
+  EXPECT_EQ(outcome.kind, core::RequestKind::GroupMiss);
+
+  EXPECT_THROW(network.handle_request(99, 0, 3.0), std::out_of_range);
+}
+
+TEST(EdgeNetworkTest, UpdateReachesEveryCloudOnce) {
+  const trace::Trace t = grid_trace(8);
+  EdgeNetwork network(network_config(2, 4), t);
+  network.handle_request(0, 7, 1.0);  // cloud 0 holds doc 7
+  network.handle_request(4, 7, 2.0);  // cloud 1 holds doc 7
+  network.handle_update(7, 3.0);
+
+  EXPECT_EQ(network.cloud(0).doc_version(7), 2u);
+  EXPECT_EQ(network.cloud(1).doc_version(7), 2u);
+  EXPECT_EQ(network.cloud(0).store(0).peek(7)->version, 2u);
+  EXPECT_EQ(network.cloud(1).store(0).peek(7)->version, 2u);
+
+  const EdgeNetworkResult result = network.finish(3.0);
+  // Origin messages: 2 group misses + 2 update notifications (one per
+  // cloud), regardless of holder counts.
+  EXPECT_EQ(result.origin_messages, 4u);
+}
+
+TEST(EdgeNetworkTest, SingleCloudMatchesRunSimulation) {
+  const trace::Trace t = grid_trace(4);
+  EdgeNetworkConfig config = network_config(1, 4);
+  const EdgeNetworkResult grid = run_edge_network(config, t);
+
+  core::CacheCloud cloud(config.cloud, t);
+  SimConfig sim_config;
+  sim_config.net = config.net;
+  const SimResult single = run_simulation(cloud, t, sim_config);
+
+  ASSERT_EQ(grid.per_cloud.size(), 1u);
+  EXPECT_EQ(grid.per_cloud[0].requests, single.metrics.requests);
+  EXPECT_EQ(grid.per_cloud[0].local_hits, single.metrics.local_hits);
+  EXPECT_EQ(grid.per_cloud[0].cloud_hits, single.metrics.cloud_hits);
+  EXPECT_EQ(grid.per_cloud[0].total_network_bytes(),
+            single.metrics.total_network_bytes());
+  EXPECT_EQ(grid.origin_messages, single.metrics.origin_messages);
+}
+
+TEST(EdgeNetworkTest, MoreCloudsMeanMoreOriginUpdateMessages) {
+  const trace::Trace t = grid_trace(8);
+  const EdgeNetworkResult two = run_edge_network(network_config(2, 4), t);
+  const EdgeNetworkResult eight = run_edge_network(network_config(8, 1), t);
+  // One update message per cloud: splitting the same caches into more
+  // clouds multiplies the origin's consistency work.
+  EXPECT_GT(eight.origin_messages, two.origin_messages);
+  // And smaller cooperation domains serve less within the network.
+  EXPECT_LT(eight.in_network_hit_rate(), two.in_network_hit_rate() + 1e-9);
+}
+
+}  // namespace
+}  // namespace cachecloud::sim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "sim/network_model.hpp"
+
+namespace cachecloud::sim {
+namespace {
+
+TEST(NetworkModelTest, TransferTimes) {
+  NetworkModel net;
+  net.intra_bandwidth_bps = 80e6;  // 10 MB/s
+  net.wan_bandwidth_bps = 8e6;     // 1 MB/s
+  EXPECT_NEAR(net.intra_transfer_sec(10'000'000), 1.0, 1e-9);
+  EXPECT_NEAR(net.wan_transfer_sec(1'000'000), 1.0, 1e-9);
+  EXPECT_EQ(net.document_wire_bytes(1000), 1000 + net.transfer_header_bytes);
+}
+
+TEST(CloudMetricsTest, HitRates) {
+  CloudMetrics metrics(4);
+  metrics.requests = 100;
+  metrics.local_hits = 60;
+  metrics.cloud_hits = 25;
+  metrics.group_misses = 15;
+  EXPECT_DOUBLE_EQ(metrics.local_hit_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(metrics.cloud_hit_rate(), 0.85);
+}
+
+TEST(CloudMetricsTest, EmptyMetricsAreSafe) {
+  const CloudMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.local_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.network_mb_per_minute(), 0.0);
+  EXPECT_TRUE(metrics.beacon_load_per_minute().empty());
+}
+
+TEST(CloudMetricsTest, BeaconLoadPerMinute) {
+  CloudMetrics metrics(2);
+  metrics.beacon_lookups = {120.0, 60.0};
+  metrics.beacon_updates = {30.0, 0.0};
+  metrics.measured_sec = 120.0;  // 2 minutes
+  const auto loads = metrics.beacon_load_per_minute();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 75.0);
+  EXPECT_DOUBLE_EQ(loads[1], 30.0);
+  const auto stats = metrics.beacon_load_stats();
+  EXPECT_DOUBLE_EQ(stats.mean(), 52.5);
+  EXPECT_NEAR(stats.max_to_mean_ratio(), 75.0 / 52.5, 1e-12);
+}
+
+TEST(CloudMetricsTest, NetworkRollup) {
+  CloudMetrics metrics(1);
+  metrics.control_bytes = 1'000'000;
+  metrics.data_bytes_intra = 2'000'000;
+  metrics.data_bytes_wan = 3'000'000;
+  metrics.record_transfer_bytes = 500'000;
+  metrics.measured_sec = 60.0;
+  EXPECT_EQ(metrics.total_network_bytes(), 6'500'000u);
+  EXPECT_NEAR(metrics.network_mb_per_minute(), 6.5, 1e-9);
+}
+
+TEST(CloudMetricsTest, SummaryMentionsKeyNumbers) {
+  CloudMetrics metrics(2);
+  metrics.requests = 10;
+  metrics.local_hits = 5;
+  metrics.measured_sec = 60.0;
+  const std::string summary = metrics.summary();
+  EXPECT_NE(summary.find("requests=10"), std::string::npos);
+  EXPECT_NE(summary.find("local_hit=50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cachecloud::sim

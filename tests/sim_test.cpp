@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace cachecloud::sim {
+namespace {
+
+trace::Trace test_trace(double updates_per_minute = 20.0) {
+  trace::ZipfTraceConfig config;
+  config.num_docs = 300;
+  config.num_caches = 5;
+  config.duration_sec = 300.0;
+  config.requests_per_sec = 20.0;
+  config.updates_per_minute = updates_per_minute;
+  config.seed = 11;
+  return trace::generate_zipf_trace(config);
+}
+
+core::CloudConfig cloud_config(const std::string& placement) {
+  core::CloudConfig config;
+  config.num_caches = 5;
+  config.hashing = core::CloudConfig::Hashing::Dynamic;
+  config.ring_size = 2;
+  config.placement = placement;
+  config.cycle_sec = 60.0;
+  return config;
+}
+
+TEST(EventQueueTest, OrdersByTimeThenFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(1.0, [&] { order.push_back(11); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueueTest, RelativeSchedulingAndNesting) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule_in(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_in(0.5, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueueTest, RunUntilHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueTest, RejectsPastAndEmptyActions) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_at(10.0, nullptr), std::invalid_argument);
+}
+
+TEST(SimulatorTest, AccountsEveryEvent) {
+  const trace::Trace t = test_trace();
+  core::CacheCloud cloud(cloud_config("adhoc"), t);
+  const SimResult result = run_simulation(cloud, t);
+
+  EXPECT_EQ(result.metrics.requests, t.request_count());
+  EXPECT_EQ(result.metrics.updates, t.update_count());
+  EXPECT_EQ(result.metrics.local_hits + result.metrics.cloud_hits +
+                result.metrics.group_misses,
+            result.metrics.requests);
+  EXPECT_GT(result.metrics.local_hit_rate(), 0.2);  // ad hoc caches hard
+  EXPECT_GT(result.metrics.total_network_bytes(), 0u);
+  EXPECT_GT(result.metrics.request_latency_sec.count(), 0u);
+  EXPECT_NEAR(result.metrics.measured_sec, t.duration(), 1e-9);
+  EXPECT_GE(result.rebalances, 4u);  // 300 s of 60 s cycles
+}
+
+TEST(SimulatorTest, WarmupExcludedFromMetrics) {
+  const trace::Trace t = test_trace();
+  core::CacheCloud cloud(cloud_config("adhoc"), t);
+  SimConfig config;
+  config.metrics_start_sec = 150.0;
+  const SimResult result = run_simulation(cloud, t, config);
+  EXPECT_LT(result.metrics.requests, t.request_count());
+  EXPECT_NEAR(result.metrics.measured_sec, t.duration() - 150.0, 1e-9);
+}
+
+TEST(SimulatorTest, BeaconLoadsCoverAllLookupsAndUpdates) {
+  const trace::Trace t = test_trace();
+  core::CacheCloud cloud(cloud_config("utility"), t);
+  const SimResult result = run_simulation(cloud, t);
+
+  double lookups = 0.0;
+  double updates = 0.0;
+  for (std::size_t i = 0; i < result.metrics.beacon_lookups.size(); ++i) {
+    lookups += result.metrics.beacon_lookups[i];
+    updates += result.metrics.beacon_updates[i];
+  }
+  // Update work counts the notification plus the per-holder fan-out, so it
+  // is at least one unit per update event.
+  EXPECT_GE(updates, static_cast<double>(result.metrics.updates));
+  EXPECT_DOUBLE_EQ(
+      lookups, static_cast<double>(result.metrics.cloud_hits +
+                                   result.metrics.group_misses));
+}
+
+TEST(SimulatorTest, PlacementPoliciesOrderAsInPaper) {
+  const trace::Trace t = test_trace(/*updates_per_minute=*/200.0);
+
+  auto run_with = [&](const std::string& placement) {
+    core::CloudConfig config = cloud_config(placement);
+    if (placement == "utility") {
+      config.utility.threshold = 0.5;
+    }
+    core::CacheCloud cloud(config, t);
+    return run_simulation(cloud, t);
+  };
+
+  const SimResult adhoc = run_with("adhoc");
+  const SimResult beacon = run_with("beacon");
+  const SimResult utility = run_with("utility");
+
+  // Paper Fig 8 at high update rates: utility generates the least traffic;
+  // beacon placement suffers from per-request transfers.
+  EXPECT_LT(utility.metrics.total_network_bytes(),
+            adhoc.metrics.total_network_bytes());
+  EXPECT_LT(utility.metrics.total_network_bytes(),
+            beacon.metrics.total_network_bytes());
+  // Ad hoc keeps the most copies; beacon the fewest.
+  EXPECT_GT(adhoc.metrics.stored_copies, utility.metrics.stored_copies);
+  // Beacon placement: local hit rate is poor by design.
+  EXPECT_LT(beacon.metrics.local_hit_rate(), adhoc.metrics.local_hit_rate());
+}
+
+TEST(SimulatorTest, DynamicHashingBalancesBetterThanStatic) {
+  trace::ZipfTraceConfig tc;
+  tc.num_docs = 2000;
+  tc.num_caches = 10;
+  tc.duration_sec = 1800.0;
+  tc.requests_per_sec = 50.0;
+  tc.updates_per_minute = 100.0;
+  tc.seed = 21;
+  const trace::Trace t = trace::generate_zipf_trace(tc);
+
+  auto covariance_for = [&](core::CloudConfig::Hashing hashing) {
+    core::CloudConfig config;
+    config.num_caches = 10;
+    config.hashing = hashing;
+    config.ring_size = 2;
+    config.placement = "utility";
+    config.cycle_sec = 300.0;
+    core::CacheCloud cloud(config, t);
+    const SimResult result = run_simulation(cloud, t);
+    return result.metrics.beacon_load_stats().coefficient_of_variation();
+  };
+
+  const double static_cov =
+      covariance_for(core::CloudConfig::Hashing::Static);
+  const double dynamic_cov =
+      covariance_for(core::CloudConfig::Hashing::Dynamic);
+  EXPECT_LT(dynamic_cov, static_cov);
+}
+
+}  // namespace
+}  // namespace cachecloud::sim

@@ -1,0 +1,58 @@
+// Smoke tests of the CLI tools' underlying flows (generation, file IO,
+// resampling) — the same paths tools/tracegen.cpp and
+// tools/cachecloud_sim.cpp drive, exercised as a library to keep the test
+// hermetic.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/cloud.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud {
+namespace {
+
+TEST(ToolsFlowTest, GenerateWriteReadResampleSimulate) {
+  // tracegen --kind=zipf --out=...
+  trace::ZipfTraceConfig gen;
+  gen.num_docs = 200;
+  gen.num_caches = 4;
+  gen.duration_sec = 120.0;
+  gen.requests_per_sec = 10.0;
+  gen.updates_per_minute = 30.0;
+  const trace::Trace generated = trace::generate_zipf_trace(gen);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "tools_smoke.trace").string();
+  trace::write_trace_file(path, generated);
+
+  // tracegen --stats
+  const trace::TraceStats stats =
+      trace::compute_stats(trace::read_trace_file(path));
+  EXPECT_EQ(stats.num_docs, 200u);
+  EXPECT_GT(stats.requests, 0u);
+
+  // tracegen --in=... --upd-per-min=120
+  const trace::Trace resampled =
+      trace::read_trace_file(path).with_update_rate(120.0, 3);
+  trace::write_trace_file(path, resampled);
+  EXPECT_NEAR(trace::compute_stats(resampled).updates_per_minute, 120.0,
+              25.0);
+
+  // cachecloud_sim --trace=... --hashing=dynamic --placement=utility
+  const trace::Trace loaded = trace::read_trace_file(path);
+  core::CloudConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.placement = "utility";
+  core::CacheCloud cloud(config, loaded);
+  const sim::SimResult result = sim::run_simulation(cloud, loaded);
+  EXPECT_EQ(result.metrics.requests, loaded.request_count());
+
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cachecloud

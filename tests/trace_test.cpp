@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::trace {
+namespace {
+
+Trace tiny_trace() {
+  std::vector<DocumentInfo> catalog{{"/a", 100}, {"/b", 200}, {"/c", 50}};
+  std::vector<Event> events{
+      {0.5, EventType::Request, 0, 1},
+      {1.0, EventType::Update, 2, 0},
+      {1.5, EventType::Request, 1, 0},
+  };
+  return Trace(std::move(catalog), std::move(events));
+}
+
+TEST(TraceTest, BasicAccessors) {
+  const Trace t = tiny_trace();
+  EXPECT_EQ(t.num_docs(), 3u);
+  EXPECT_EQ(t.request_count(), 2u);
+  EXPECT_EQ(t.update_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.duration(), 1.5);
+  EXPECT_EQ(t.total_catalog_bytes(), 350u);
+  EXPECT_EQ(t.num_caches(), 2u);
+  EXPECT_EQ(t.doc(1).url, "/b");
+}
+
+TEST(TraceTest, ValidateCatchesProblems) {
+  {
+    Trace t({{"/a", 1}}, {{1.0, EventType::Request, 0, 0},
+                          {0.5, EventType::Request, 0, 0}});
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+  }
+  {
+    Trace t({{"/a", 1}}, {{1.0, EventType::Request, 7, 0}});
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(tiny_trace().validate());
+}
+
+TEST(TraceTest, SortStable) {
+  Trace t({{"/a", 1}}, {{2.0, EventType::Request, 0, 1},
+                        {1.0, EventType::Update, 0, 0},
+                        {1.0, EventType::Request, 0, 2}});
+  t.sort_events();
+  EXPECT_EQ(t.events()[0].type, EventType::Update);  // first 1.0 entry kept
+  EXPECT_EQ(t.events()[1].cache, 2u);
+  EXPECT_DOUBLE_EQ(t.events()[2].time, 2.0);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const Trace original = tiny_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.catalog(), original.catalog());
+  ASSERT_EQ(loaded.events().size(), original.events().size());
+  for (std::size_t i = 0; i < loaded.events().size(); ++i) {
+    EXPECT_EQ(loaded.events()[i], original.events()[i]) << "event " << i;
+  }
+}
+
+TEST(TraceIoTest, IgnoresCommentsAndBlanks) {
+  std::stringstream in("# header\n\nD /x 10\n# mid\nE 1.0 R 0 0\n");
+  const Trace t = read_trace(in);
+  EXPECT_EQ(t.num_docs(), 1u);
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  {
+    std::stringstream in("X nonsense\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("E 1.0 Z 0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("D only-url\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    // Event referencing a doc outside the catalog fails validation.
+    std::stringstream in("D /x 10\nE 1.0 R 5 0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
+TEST(WithUpdateRateTest, ReplacesUpdatesKeepsRequests) {
+  ZipfTraceConfig config;
+  config.num_docs = 200;
+  config.duration_sec = 600.0;
+  config.requests_per_sec = 10.0;
+  config.updates_per_minute = 30.0;
+  const Trace base = generate_zipf_trace(config);
+
+  const Trace swept = base.with_update_rate(120.0, 7);
+  swept.validate();
+  EXPECT_EQ(swept.request_count(), base.request_count());
+  // 120/min over 10 minutes ~ 1200 updates (Poisson).
+  EXPECT_NEAR(static_cast<double>(swept.update_count()), 1200.0, 150.0);
+
+  const Trace none = base.with_update_rate(0.0, 7);
+  EXPECT_EQ(none.update_count(), 0u);
+  EXPECT_THROW(base.with_update_rate(-1.0, 7), std::invalid_argument);
+}
+
+TEST(ZipfGeneratorTest, MatchesConfig) {
+  ZipfTraceConfig config;
+  config.num_docs = 500;
+  config.num_caches = 4;
+  config.duration_sec = 300.0;
+  config.requests_per_sec = 20.0;
+  config.updates_per_minute = 60.0;
+  const Trace t = generate_zipf_trace(config);
+  t.validate();
+  EXPECT_EQ(t.num_docs(), 500u);
+  EXPECT_LE(t.num_caches(), 4u);
+  EXPECT_NEAR(static_cast<double>(t.request_count()), 6000.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(t.update_count()), 300.0, 80.0);
+  // Determinism under the same seed.
+  const Trace again = generate_zipf_trace(config);
+  ASSERT_EQ(again.events().size(), t.events().size());
+  EXPECT_EQ(again.events()[0], t.events()[0]);
+  EXPECT_EQ(again.events().back(), t.events().back());
+}
+
+TEST(ZipfGeneratorTest, SkewGrowsWithAlpha) {
+  ZipfTraceConfig config;
+  config.num_docs = 2000;
+  config.duration_sec = 600.0;
+  config.requests_per_sec = 30.0;
+  config.updates_per_minute = 0.0;
+
+  config.request_alpha = 0.0;
+  const TraceStats uniform = compute_stats(generate_zipf_trace(config));
+  config.request_alpha = 0.9;
+  const TraceStats skewed = compute_stats(generate_zipf_trace(config));
+  EXPECT_GT(skewed.top1pct_request_share, 2.0 * uniform.top1pct_request_share);
+}
+
+TEST(ZipfGeneratorTest, RejectsBadConfig) {
+  ZipfTraceConfig config;
+  config.num_docs = 0;
+  EXPECT_THROW(generate_zipf_trace(config), std::invalid_argument);
+  config.num_docs = 10;
+  config.num_caches = 0;
+  EXPECT_THROW(generate_zipf_trace(config), std::invalid_argument);
+}
+
+TEST(SydneyGeneratorTest, ShapeProperties) {
+  SydneyTraceConfig config;
+  config.num_docs = 3000;
+  config.num_caches = 5;
+  config.duration_sec = 24.0 * 3600.0;
+  config.peak_requests_per_sec = 2.0;
+  config.updates_per_minute = 20.0;
+  const Trace t = generate_sydney_trace(config);
+  t.validate();
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.num_docs, 3000u);
+  EXPECT_GT(stats.requests, 50'000u);
+  EXPECT_NEAR(stats.updates_per_minute, 20.0, 3.0);
+  // Popularity is skewed: top 1% of documents draw a large share.
+  EXPECT_GT(stats.top1pct_request_share, 0.15);
+
+  // Diurnal shape: the midday third carries more requests than the night
+  // third.
+  std::size_t night = 0;
+  std::size_t midday = 0;
+  for (const Event& e : t.events()) {
+    if (e.type != EventType::Request) continue;
+    if (e.time < 8.0 * 3600.0) ++night;
+    if (e.time >= 8.0 * 3600.0 && e.time < 16.0 * 3600.0) ++midday;
+  }
+  EXPECT_GT(midday, night * 3 / 2);
+}
+
+TEST(SydneyGeneratorTest, RejectsBadConfig) {
+  SydneyTraceConfig config;
+  config.hot_set_size = 100;
+  config.num_docs = 50;
+  EXPECT_THROW(generate_sydney_trace(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::trace

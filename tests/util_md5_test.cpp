@@ -1,0 +1,82 @@
+#include "util/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cachecloud::util {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(md5("").to_hex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5("a").to_hex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5("abc").to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5("message digest").to_hex(),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5("abcdefghijklmnopqrstuvwxyz").to_hex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .to_hex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5("1234567890123456789012345678901234567890123456789012345678901"
+                "2345678901234567890")
+                .to_hex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, QuickBrownFox) {
+  EXPECT_EQ(md5("The quick brown fox jumps over the lazy dog").to_hex(),
+            "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5Test, IncrementalEqualsOneShot) {
+  const std::string payload(1000, 'x');
+  Md5 ctx;
+  for (std::size_t chunk = 0; chunk < payload.size(); chunk += 7) {
+    ctx.update(payload.substr(chunk, 7));
+  }
+  EXPECT_EQ(ctx.finish(), md5(payload));
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const std::string payload(len, 'b');
+    Md5 a;
+    a.update(payload);
+    Md5 b;
+    b.update(payload.substr(0, len / 2));
+    b.update(payload.substr(len / 2));
+    EXPECT_EQ(a.finish(), b.finish()) << "length " << len;
+  }
+}
+
+TEST(Md5Test, ResetReusesContext) {
+  Md5 ctx;
+  ctx.update("first message");
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(ctx.finish().to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, WordsAreLittleEndianSlices) {
+  const Md5Digest digest = md5("abc");
+  // First byte of the digest is the low byte of word 0.
+  EXPECT_EQ(digest.word32(0) & 0xFF, digest.bytes[0]);
+  EXPECT_EQ(digest.word64(0) & 0xFF, digest.bytes[0]);
+  EXPECT_EQ((digest.word64(1) >> 56) & 0xFF, digest.bytes[15]);
+  // Indices wrap instead of reading out of bounds.
+  EXPECT_EQ(digest.word32(4), digest.word32(0));
+  EXPECT_EQ(digest.word64(2), digest.word64(0));
+}
+
+TEST(Md5Test, DistinctUrlsDistinctDigests) {
+  EXPECT_NE(md5("/doc/1"), md5("/doc/2"));
+  EXPECT_NE(md5("/doc/1"), md5("/doc/1 "));
+}
+
+}  // namespace
+}  // namespace cachecloud::util

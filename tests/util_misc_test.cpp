@@ -1,0 +1,141 @@
+// Tests for flags, strings, rate estimation and hashing helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/flags.hpp"
+#include "util/hash.hpp"
+#include "util/rate.hpp"
+#include "util/strings.hpp"
+
+namespace cachecloud::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsAndSpaceForms) {
+  const Flags flags = parse({"--alpha=0.9", "--count", "42", "--name=zipf"});
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 0.9);
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+  EXPECT_EQ(flags.get_string("name", ""), "zipf");
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+}
+
+TEST(FlagsTest, Booleans) {
+  const Flags flags = parse({"--verbose", "--no-color", "--cache=off"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("color", true));
+  EXPECT_FALSE(flags.get_bool("cache", true));
+  EXPECT_TRUE(flags.get_bool("other", true));
+}
+
+TEST(FlagsTest, PositionalAndSeparator) {
+  const Flags flags = parse({"input.txt", "--x=1", "--", "--not-a-flag"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "--not-a-flag");
+  EXPECT_EQ(flags.get_int("x", 0), 1);
+}
+
+TEST(FlagsTest, TypeErrors) {
+  const Flags flags = parse({"--n=abc", "--f=1.2.3", "--b=maybe"});
+  EXPECT_THROW((void)flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_double("f", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnusedDetection) {
+  const Flags flags = parse({"--used=1", "--typo=2"});
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024ull * 1024), "3.0 MiB");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("/sydney/doc1", "/sydney/"));
+  EXPECT_FALSE(starts_with("/x", "/sydney/"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(HashTest, Mix64AndFnv) {
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(RateEstimatorTest, SteadyStreamConvergesToRate) {
+  RateEstimator estimator(10.0);  // 10 s half-life
+  // 5 events per second for 60 seconds.
+  for (int i = 0; i < 300; ++i) {
+    estimator.record(static_cast<double>(i) * 0.2);
+  }
+  EXPECT_NEAR(estimator.rate(60.0), 5.0, 0.5);
+}
+
+TEST(RateEstimatorTest, DecaysAfterSilence) {
+  RateEstimator estimator(10.0);
+  for (int i = 0; i < 100; ++i) estimator.record(i * 0.1);
+  const double active = estimator.rate(10.0);
+  const double after_one_half_life = estimator.rate(20.0);
+  const double much_later = estimator.rate(100.0);
+  EXPECT_NEAR(after_one_half_life, active / 2.0, active * 0.05);
+  EXPECT_LT(much_later, active * 0.01);
+}
+
+TEST(RateEstimatorTest, FreshEstimatorIsZero) {
+  const RateEstimator estimator(60.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(100.0), 0.0);
+}
+
+TEST(RateEstimatorTest, WeightedEvents) {
+  RateEstimator unit(30.0);
+  RateEstimator weighted(30.0);
+  for (int i = 0; i < 10; ++i) {
+    unit.record(i * 1.0);
+    unit.record(i * 1.0);
+    weighted.record(i * 1.0, 2.0);
+  }
+  EXPECT_NEAR(unit.rate(10.0), weighted.rate(10.0), 1e-9);
+}
+
+TEST(RateEstimatorTest, ResetClears) {
+  RateEstimator estimator(10.0);
+  estimator.record(1.0);
+  estimator.reset();
+  EXPECT_DOUBLE_EQ(estimator.rate(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cachecloud::util

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cachecloud::util {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_to_mean_ratio(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.4);
+  EXPECT_DOUBLE_EQ(s.max_to_mean_ratio(), 1.8);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats left;
+  OnlineStats right;
+  OnlineStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(v);
+    whole.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(SummarizeTest, SpanOverload) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const OnlineStats s = summarize(values);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_EQ(h.bucket(b), 10u);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, OverflowUnderflowCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  h.add(0.5);
+  EXPECT_EQ(h.total(), 3u);
+  std::size_t in_buckets = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) in_buckets += h.bucket(b);
+  EXPECT_EQ(in_buckets, 1u);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::util

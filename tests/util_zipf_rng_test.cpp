@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cachecloud::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  // Roughly uniform over a small bound.
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.next_below(4)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10'000, 500);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(13);
+  for (const double mean : {0.5, 5.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.next_poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 0.9), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfSampler z(1000, 0.9);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfSampler z(100, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.01, 1e-12);
+  }
+}
+
+TEST(ZipfTest, FollowsPowerLaw) {
+  // For alpha=1, pmf(0)/pmf(9) should be 10.
+  const ZipfSampler z(1000, 1.0);
+  EXPECT_NEAR(z.pmf(0) / z.pmf(9), 10.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler z(50, 0.9);
+  Rng rng(23);
+  std::vector<int> counts(50, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double expected = z.pmf(k) * n;
+    EXPECT_NEAR(counts[k], expected, expected * 0.1 + 30.0) << "rank " << k;
+  }
+}
+
+// Property sweep: samples always within range, and rank 0 is the mode for
+// any positive skew.
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, SamplesInRangeAndSkewed) {
+  const double alpha = GetParam();
+  const ZipfSampler z(200, alpha);
+  Rng rng(31);
+  std::vector<int> counts(200, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::size_t rank = z.sample(rng);
+    ASSERT_LT(rank, 200u);
+    ++counts[rank];
+  }
+  if (alpha > 0.2) {
+    EXPECT_GE(counts[0], counts[100]);
+    EXPECT_GE(counts[0], counts[199]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.7, 0.9, 0.99, 1.2));
+
+}  // namespace
+}  // namespace cachecloud::util

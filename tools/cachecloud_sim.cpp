@@ -1,0 +1,158 @@
+// cachecloud_sim — run any cache-cloud configuration over a trace and
+// report the full metric set. The general-purpose front end to the
+// simulator: every knob of CloudConfig is a flag.
+//
+//   cachecloud_sim --trace=sydney.trace [options]
+//   cachecloud_sim --synth=zipf --req-per-sec=40 [options]   # no file needed
+//
+// Cloud options:
+//   --caches=N             cloud size (default 10; synth traces honour it)
+//   --hashing=dynamic      static | consistent | dynamic
+//   --ring-size=2          beacon points per ring (dynamic)
+//   --irh-gen=1000         intra-ring hash range
+//   --cycle-sec=3600       sub-range determination period
+//   --no-per-irh           use the CAvgLoad approximation (Fig 2-C mode)
+//   --placement=utility    adhoc | beacon | utility
+//   --threshold=0.5        UtilThreshold
+//   --disk-mb=0            per-cache disk (0 = unlimited)
+//   --replacement=lru      lru | lfu | gdsf
+//   --consistency=push     push | ttl      --ttl-sec=300
+//   --no-cooperation       the paper's no-cooperation baseline
+//   --warmup-sec=0         exclude the first part from metrics
+#include <cstdio>
+#include <string>
+
+#include "core/cloud.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+#include "util/flags.hpp"
+
+using namespace cachecloud;
+
+namespace {
+
+int run(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  const auto caches = static_cast<std::uint32_t>(flags.get_int("caches", 10));
+
+  trace::Trace trace;
+  if (flags.has("trace")) {
+    trace = trace::read_trace_file(flags.get_string("trace", ""));
+  } else {
+    const std::string synth = flags.get_string("synth", "zipf");
+    if (synth == "zipf") {
+      trace::ZipfTraceConfig config;
+      config.num_caches = caches;
+      config.num_docs =
+          static_cast<std::size_t>(flags.get_int("docs", 25'000));
+      config.duration_sec = flags.get_double("duration-sec", 6.0 * 3600.0);
+      config.requests_per_sec = flags.get_double("req-per-sec", 40.0);
+      config.updates_per_minute = flags.get_double("upd-per-min", 195.0);
+      config.request_alpha = flags.get_double("alpha", 0.9);
+      trace = trace::generate_zipf_trace(config);
+    } else if (synth == "sydney") {
+      trace::SydneyTraceConfig config;
+      config.num_caches = caches;
+      config.num_docs =
+          static_cast<std::size_t>(flags.get_int("docs", 58'000));
+      config.peak_requests_per_sec =
+          flags.get_double("peak-req-per-sec", 15.0);
+      config.updates_per_minute = flags.get_double("upd-per-min", 195.0);
+      trace = trace::generate_sydney_trace(config);
+    } else {
+      std::fprintf(stderr, "cachecloud_sim: unknown --synth '%s'\n",
+                   synth.c_str());
+      return 2;
+    }
+  }
+
+  core::CloudConfig config;
+  config.num_caches = std::max(caches, trace.num_caches());
+  const std::string hashing = flags.get_string("hashing", "dynamic");
+  if (hashing == "static") {
+    config.hashing = core::CloudConfig::Hashing::Static;
+  } else if (hashing == "consistent") {
+    config.hashing = core::CloudConfig::Hashing::Consistent;
+  } else if (hashing == "dynamic") {
+    config.hashing = core::CloudConfig::Hashing::Dynamic;
+  } else {
+    std::fprintf(stderr, "cachecloud_sim: unknown --hashing '%s'\n",
+                 hashing.c_str());
+    return 2;
+  }
+  config.ring_size = static_cast<std::uint32_t>(flags.get_int("ring-size", 2));
+  config.irh_gen = static_cast<std::uint32_t>(flags.get_int("irh-gen", 1000));
+  config.cycle_sec = flags.get_double("cycle-sec", 3600.0);
+  config.track_per_irh = !flags.get_bool("no-per-irh", false);
+  config.placement = flags.get_string("placement", "utility");
+  config.utility.threshold = flags.get_double("threshold", 0.5);
+  const double disk_mb = flags.get_double("disk-mb", 0.0);
+  config.per_cache_capacity_bytes =
+      static_cast<std::uint64_t>(disk_mb * 1e6);
+  config.replacement = flags.get_string("replacement", "lru");
+  if (config.per_cache_capacity_bytes > 0) {
+    // Limited disk: turn the DsCC component on, paper Fig 9 style.
+    config.utility.w_consistency = 0.25;
+    config.utility.w_access_frequency = 0.25;
+    config.utility.w_availability = 0.25;
+    config.utility.w_disk_contention = 0.25;
+  }
+  const std::string consistency = flags.get_string("consistency", "push");
+  if (consistency == "ttl") {
+    config.consistency = core::CloudConfig::Consistency::Ttl;
+    config.ttl_sec = flags.get_double("ttl-sec", 300.0);
+  } else if (consistency != "push") {
+    std::fprintf(stderr, "cachecloud_sim: unknown --consistency '%s'\n",
+                 consistency.c_str());
+    return 2;
+  }
+  config.cooperative = !flags.get_bool("no-cooperation", false);
+
+  sim::SimConfig sim_config;
+  sim_config.metrics_start_sec = flags.get_double("warmup-sec", 0.0);
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "cachecloud_sim: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+
+  std::printf("trace: %zu docs, %zu requests, %zu updates, %.1f h\n",
+              trace.num_docs(), trace.request_count(), trace.update_count(),
+              trace.duration() / 3600.0);
+  std::printf("cloud: %u caches, %s hashing, %s placement, %s consistency%s\n",
+              config.num_caches, hashing.c_str(), config.placement.c_str(),
+              consistency.c_str(),
+              config.cooperative ? "" : ", NO cooperation");
+
+  core::CacheCloud cloud(config, trace);
+  const sim::SimResult result = sim::run_simulation(cloud, trace, sim_config);
+
+  std::printf("\n%s", result.metrics.summary().c_str());
+  std::printf("origin messages: %llu (%.1f/min)\n",
+              static_cast<unsigned long long>(result.metrics.origin_messages),
+              static_cast<double>(result.metrics.origin_messages) /
+                  (result.metrics.measured_sec / 60.0));
+  if (config.consistency == core::CloudConfig::Consistency::Ttl) {
+    std::printf("ttl: stale hits %.2f%%, %llu revalidations, %llu refetches\n",
+                100.0 * static_cast<double>(result.metrics.stale_hits) /
+                    static_cast<double>(result.metrics.requests),
+                static_cast<unsigned long long>(result.metrics.revalidations),
+                static_cast<unsigned long long>(result.metrics.ttl_refetches));
+  }
+  std::printf("re-balance cycles: %zu (records handed over: %zu)\n",
+              result.rebalances, result.records_transferred);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachecloud_sim: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,119 @@
+// tracegen — generate, inspect and transform cachecloud trace files.
+//
+//   tracegen --kind=zipf --out=zipf.trace [--docs=25000] [--alpha=0.9]
+//            [--caches=10] [--duration-sec=21600] [--req-per-sec=40]
+//            [--upd-per-min=195] [--seed=1]
+//   tracegen --kind=sydney --out=sydney.trace [--docs=58000] [--caches=10]
+//            [--peak-req-per-sec=15] [--upd-per-min=195] [--seed=2]
+//   tracegen --stats trace.trace          # print summary statistics
+//   tracegen --in=a.trace --out=b.trace --upd-per-min=500 --seed=7
+//                                          # resample the update stream
+#include <cstdio>
+#include <string>
+
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+#include "util/flags.hpp"
+
+using namespace cachecloud;
+
+namespace {
+
+void print_stats(const trace::Trace& t) {
+  const trace::TraceStats stats = trace::compute_stats(t);
+  std::printf("documents:         %zu (%.1f MB catalog)\n", stats.num_docs,
+              static_cast<double>(stats.total_bytes) / 1e6);
+  std::printf("duration:          %.1f h\n", stats.duration_sec / 3600.0);
+  std::printf("requests:          %zu (%.1f/min)\n", stats.requests,
+              stats.requests_per_minute);
+  std::printf("updates:           %zu (%.1f/min)\n", stats.updates,
+              stats.updates_per_minute);
+  std::printf("caches referenced: %u\n", t.num_caches());
+  std::printf("top-1%% docs carry: %.1f%% of requests\n",
+              100.0 * stats.top1pct_request_share);
+}
+
+int run(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  if (flags.has("stats")) {
+    std::string path = flags.get_string("stats", "");
+    if (path == "true" && !flags.positional().empty()) {
+      path = flags.positional().front();
+    }
+    if (path.empty() || path == "true") {
+      std::fprintf(stderr, "usage: tracegen --stats <file>\n");
+      return 2;
+    }
+    print_stats(trace::read_trace_file(path));
+    return 0;
+  }
+
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracegen --kind=zipf|sydney --out=<file> [options]\n"
+                 "       tracegen --in=<file> --out=<file> --upd-per-min=<r>\n"
+                 "       tracegen --stats <file>\n");
+    return 2;
+  }
+
+  trace::Trace result;
+  if (flags.has("in")) {
+    const trace::Trace base =
+        trace::read_trace_file(flags.get_string("in", ""));
+    result = base.with_update_rate(
+        flags.get_double("upd-per-min", 195.0),
+        static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  } else {
+    const std::string kind = flags.get_string("kind", "zipf");
+    if (kind == "zipf") {
+      trace::ZipfTraceConfig config;
+      config.num_docs = static_cast<std::size_t>(flags.get_int("docs", 25'000));
+      config.num_caches =
+          static_cast<trace::CacheId>(flags.get_int("caches", 10));
+      config.duration_sec = flags.get_double("duration-sec", 6.0 * 3600.0);
+      config.requests_per_sec = flags.get_double("req-per-sec", 40.0);
+      config.updates_per_minute = flags.get_double("upd-per-min", 195.0);
+      config.request_alpha = flags.get_double("alpha", 0.9);
+      config.update_alpha = flags.get_double("update-alpha", 0.9);
+      config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+      result = trace::generate_zipf_trace(config);
+    } else if (kind == "sydney") {
+      trace::SydneyTraceConfig config;
+      config.num_docs = static_cast<std::size_t>(flags.get_int("docs", 58'000));
+      config.num_caches =
+          static_cast<trace::CacheId>(flags.get_int("caches", 10));
+      config.duration_sec = flags.get_double("duration-sec", 24.0 * 3600.0);
+      config.peak_requests_per_sec =
+          flags.get_double("peak-req-per-sec", 15.0);
+      config.updates_per_minute = flags.get_double("upd-per-min", 195.0);
+      config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+      result = trace::generate_sydney_trace(config);
+    } else {
+      std::fprintf(stderr, "tracegen: unknown --kind '%s'\n", kind.c_str());
+      return 2;
+    }
+  }
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "tracegen: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+
+  trace::write_trace_file(out, result);
+  std::printf("wrote %s\n", out.c_str());
+  print_stats(result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracegen: %s\n", e.what());
+    return 1;
+  }
+}
