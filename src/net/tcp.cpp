@@ -25,7 +25,14 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
+// Wire header: [u32 len][u16 type][u64 trace_id], little-endian.
+constexpr std::size_t kFrameHeaderBytes = 14;
+
 }  // namespace
+
+std::size_t Frame::wire_bytes() const noexcept {
+  return kFrameHeaderBytes + payload.size();
+}
 
 // ------------------------------------------------------------- Socket
 
@@ -85,7 +92,7 @@ void Socket::write_frame(const Frame& frame) {
   if (frame.payload.size() > kMaxFrameBytes) {
     throw NetError("frame too large to send");
   }
-  std::uint8_t header[6];
+  std::uint8_t header[kFrameHeaderBytes];
   const auto len = static_cast<std::uint32_t>(frame.payload.size());
   header[0] = static_cast<std::uint8_t>(len);
   header[1] = static_cast<std::uint8_t>(len >> 8);
@@ -93,6 +100,9 @@ void Socket::write_frame(const Frame& frame) {
   header[3] = static_cast<std::uint8_t>(len >> 24);
   header[4] = static_cast<std::uint8_t>(frame.type);
   header[5] = static_cast<std::uint8_t>(frame.type >> 8);
+  for (int i = 0; i < 8; ++i) {
+    header[6 + i] = static_cast<std::uint8_t>(frame.trace_id >> (8 * i));
+  }
   send_all(header, sizeof(header));
   if (!frame.payload.empty()) {
     send_all(frame.payload.data(), frame.payload.size());
@@ -101,7 +111,7 @@ void Socket::write_frame(const Frame& frame) {
 
 std::optional<Frame> Socket::read_frame() {
   if (!valid()) throw NetError("read on closed socket");
-  std::uint8_t header[6];
+  std::uint8_t header[kFrameHeaderBytes];
   if (!recv_all(header, sizeof(header))) return std::nullopt;
   const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
                             (static_cast<std::uint32_t>(header[1]) << 8) |
@@ -111,6 +121,9 @@ std::optional<Frame> Socket::read_frame() {
   Frame frame;
   frame.type = static_cast<std::uint16_t>(header[4]) |
                static_cast<std::uint16_t>(header[5] << 8);
+  for (int i = 0; i < 8; ++i) {
+    frame.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
+  }
   frame.payload.resize(len);
   if (len > 0 && !recv_all(frame.payload.data(), len)) {
     throw NetError("connection closed mid-message");
@@ -203,8 +216,9 @@ Socket connect_local(std::uint16_t port, double timeout_sec) {
 
 // ----------------------------------------------------------- TcpServer
 
-TcpServer::TcpServer(std::uint16_t port, Handler handler)
-    : listener_(port), handler_(std::move(handler)) {
+TcpServer::TcpServer(std::uint16_t port, Handler handler,
+                     FrameObserver* observer)
+    : listener_(port), handler_(std::move(handler)), observer_(observer) {
   if (!handler_) throw std::invalid_argument("TcpServer: null handler");
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -255,7 +269,12 @@ void TcpServer::serve(Socket socket) {
     while (!stopping_.load()) {
       std::optional<Frame> request = socket.read_frame();
       if (!request) break;  // peer closed
-      socket.write_frame(handler_(*request));
+      if (observer_) observer_->on_frame(*request, /*inbound=*/true);
+      Frame reply = handler_(*request);
+      // Propagate the request's trace id unless the handler set its own.
+      if (reply.trace_id == 0) reply.trace_id = request->trace_id;
+      if (observer_) observer_->on_frame(reply, /*inbound=*/false);
+      socket.write_frame(reply);
     }
   } catch (const std::exception&) {
     // Connection-level failure (bad frame, handler error, reset): drop the
@@ -269,14 +288,17 @@ void TcpServer::serve(Socket socket) {
 
 // ----------------------------------------------------------- TcpClient
 
-TcpClient::TcpClient(std::uint16_t port, double timeout_sec)
-    : socket_(connect_local(port, timeout_sec)) {}
+TcpClient::TcpClient(std::uint16_t port, double timeout_sec,
+                     FrameObserver* observer)
+    : socket_(connect_local(port, timeout_sec)), observer_(observer) {}
 
 Frame TcpClient::call(const Frame& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (observer_) observer_->on_frame(request, /*inbound=*/false);
   socket_.write_frame(request);
   std::optional<Frame> reply = socket_.read_frame();
   if (!reply) throw NetError("server closed connection before replying");
+  if (observer_) observer_->on_frame(*reply, /*inbound=*/true);
   return std::move(*reply);
 }
 

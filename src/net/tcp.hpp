@@ -1,8 +1,12 @@
-// Framed TCP transport: blocking sockets, one frame = [u32 len][u16 type][payload].
+// Framed TCP transport: blocking sockets, one frame =
+// [u32 len][u16 type][u64 trace_id][payload].
 //
 // Deliberately simple ("standard sockets"): RAII socket wrapper, a
 // listener, a threaded request/response server and a blocking client. The
-// node layer builds the cache-cloud wire protocol on top.
+// node layer builds the cache-cloud wire protocol on top. trace_id is an
+// observability field (0 = untraced): the node layer stamps one id per
+// client get() and every hop propagates it, so request paths can be
+// reconstructed across nodes from Debug span logs.
 #pragma once
 
 #include <atomic>
@@ -25,7 +29,22 @@ class NetError : public std::runtime_error {
 
 struct Frame {
   std::uint16_t type = 0;
+  // Request-path trace id, propagated hop to hop; 0 means untraced.
+  std::uint64_t trace_id = 0;
   std::vector<std::uint8_t> payload;
+
+  // Bytes this frame occupies on the wire (header + payload).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept;
+};
+
+// Per-frame accounting hook for the transport. Implementations must be
+// thread-safe: the server invokes it from every connection thread.
+class FrameObserver {
+ public:
+  virtual ~FrameObserver() = default;
+  // `inbound` is from the owning endpoint's point of view: a server sees
+  // requests inbound and replies outbound; a client the reverse.
+  virtual void on_frame(const Frame& frame, bool inbound) noexcept = 0;
 };
 
 // Frames larger than this are rejected on read (malformed/hostile peer).
@@ -95,8 +114,11 @@ class TcpServer {
   using Handler = std::function<Frame(const Frame&)>;
 
   // port 0 = ephemeral. The handler runs on connection threads and must be
-  // thread-safe. A handler exception closes that connection only.
-  TcpServer(std::uint16_t port, Handler handler);
+  // thread-safe. A handler exception closes that connection only. The
+  // optional observer sees every request (inbound) and reply (outbound)
+  // frame and must outlive the server.
+  TcpServer(std::uint16_t port, Handler handler,
+            FrameObserver* observer = nullptr);
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -112,6 +134,7 @@ class TcpServer {
 
   TcpListener listener_;
   Handler handler_;
+  FrameObserver* observer_ = nullptr;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex workers_mutex_;
@@ -124,13 +147,17 @@ class TcpServer {
 // client can be shared across threads.
 class TcpClient {
  public:
-  explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0);
+  // The optional observer sees every request (outbound) and reply
+  // (inbound) frame and must outlive the client.
+  explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0,
+                     FrameObserver* observer = nullptr);
 
   [[nodiscard]] Frame call(const Frame& request);
 
  private:
   std::mutex mutex_;
   Socket socket_;
+  FrameObserver* observer_ = nullptr;
 };
 
 }  // namespace cachecloud::net

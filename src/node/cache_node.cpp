@@ -4,9 +4,27 @@
 #include <stdexcept>
 
 #include "cache/replacement.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace cachecloud::node {
+namespace {
+
+net::Frame with_trace(net::Frame frame, std::uint64_t trace_id) {
+  frame.trace_id = trace_id;
+  return frame;
+}
+
+const char* source_name(CacheNode::GetResult::Source source) {
+  switch (source) {
+    case CacheNode::GetResult::Source::Local: return "local";
+    case CacheNode::GetResult::Source::Cloud: return "cloud";
+    case CacheNode::GetResult::Source::Origin: return "origin";
+  }
+  return "?";
+}
+
+}  // namespace
 
 CacheNode::CacheNode(NodeId id, const NodeConfig& config)
     : id_(id),
@@ -19,8 +37,70 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   if (id_ >= config_.num_caches) {
     throw std::invalid_argument("CacheNode: id outside cluster");
   }
+
+  const auto hit_counter = [this](const char* hit_class) {
+    return &registry_.counter("cachecloud_gets_total",
+                              "Client get() calls served, by hit class",
+                              {{"class", hit_class}});
+  };
+  inst_.get_local = hit_counter("local");
+  inst_.get_cloud = hit_counter("cloud");
+  inst_.get_origin = hit_counter("origin");
+  inst_.placement_accept = &registry_.counter(
+      "cachecloud_placement_total",
+      "Placement decisions for fetched copies at the requester",
+      {{"decision", "accept"}});
+  inst_.placement_reject = &registry_.counter(
+      "cachecloud_placement_total",
+      "Placement decisions for fetched copies at the requester",
+      {{"decision", "reject"}});
+  inst_.evictions = &registry_.counter(
+      "cachecloud_evictions_total",
+      "Local copies evicted by the replacement policy");
+  inst_.lookups_served = &registry_.counter(
+      "cachecloud_beacon_requests_total",
+      "Requests served in the beacon-point role, by operation",
+      {{"op", "lookup"}});
+  inst_.updates_served = &registry_.counter(
+      "cachecloud_beacon_requests_total",
+      "Requests served in the beacon-point role, by operation",
+      {{"op", "update_push"}});
+  inst_.propagates_received = &registry_.counter(
+      "cachecloud_propagates_received_total",
+      "Update propagations received as a holder");
+  inst_.drops_on_update = &registry_.counter(
+      "cachecloud_drops_on_update_total",
+      "Copies dropped on update by the placement policy");
+  inst_.replica_syncs = &registry_.counter(
+      "cachecloud_replica_syncs_total",
+      "Lazy replica-sync rounds shipped to ring peers");
+  inst_.replica_sync_records = &registry_.counter(
+      "cachecloud_replica_sync_records_total",
+      "Lookup records shipped by replica syncs");
+  inst_.get_latency = &registry_.histogram(
+      "cachecloud_get_latency_seconds",
+      "End-to-end client get() latency", obs::default_latency_bounds());
+  const auto phase_hist = [this](const char* phase) {
+    return &registry_.histogram(
+        "cachecloud_get_phase_seconds",
+        "get() time spent per protocol phase (lookup RTT, holder/origin "
+        "fetch, placement + registration)",
+        obs::default_latency_bounds(), {{"phase", phase}});
+  };
+  inst_.phase_lookup = phase_hist("lookup");
+  inst_.phase_fetch = phase_hist("fetch");
+  inst_.phase_placement = phase_hist("placement");
+  inst_.cached_docs = &registry_.gauge(
+      "cachecloud_cached_docs", "Documents currently in the local store");
+  inst_.directory_records = &registry_.gauge(
+      "cachecloud_directory_records",
+      "Authoritative lookup records held as a beacon point");
+  inst_.replica_records = &registry_.gauge(
+      "cachecloud_replica_records",
+      "Lazily-replicated lookup records held for ring peers");
+
   server_ = std::make_unique<net::TcpServer>(
-      0, [this](const net::Frame& f) { return handle(f); });
+      0, [this](const net::Frame& f) { return handle(f); }, &wire_metrics_);
 }
 
 CacheNode::~CacheNode() { stop(); }
@@ -64,7 +144,7 @@ net::Frame CacheNode::peer_call(NodeId peer, const net::Frame& request) {
       const std::uint16_t port = peer == kOriginId
                                      ? endpoints_.origin_port
                                      : endpoints_.cache_ports.at(peer);
-      slot = std::make_unique<net::TcpClient>(port);
+      slot = std::make_unique<net::TcpClient>(port, 5.0, &wire_metrics_);
     }
     client = slot.get();
   }
@@ -128,6 +208,7 @@ bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
       evicted_urls.push_back(victim_url);
     }
   }
+  inst_.evictions->inc(evicted_urls.size());
   // Deregister evicted documents at their beacon points (outside the lock).
   for (const std::string& victim_url : evicted_urls) {
     const RingView::Target target = rings_.resolve(victim_url);
@@ -148,6 +229,9 @@ bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
 
 CacheNode::GetResult CacheNode::get(const std::string& url) {
   const double at = now();
+  const std::uint64_t trace_id = obs::next_trace_id();
+  obs::Span span(trace_id, "get");
+  span.tag("node", static_cast<std::uint64_t>(id_)).tag("url", url);
   const RingView::Target target = rings_.resolve(url);
   trace::DocId doc;
   {
@@ -165,15 +249,21 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       result.body = bodies_.at(url);
       result.version = store_.peek(doc)->version;
       result.source = GetResult::Source::Local;
+      inst_.get_local->inc();
+      inst_.get_latency->observe(span.elapsed_sec());
+      span.tag("class", "local");
       return result;
     }
   }
 
   // Local miss: consult the beacon point.
+  obs::Stopwatch phase;
   LookupReq lookup;
   lookup.url = url;
-  const LookupResp resp =
-      LookupResp::decode(peer_call(target.beacon, lookup.encode()));
+  const LookupResp resp = LookupResp::decode(
+      peer_call(target.beacon, with_trace(lookup.encode(), trace_id)));
+  const double lookup_sec = phase.lap_sec();
+  inst_.phase_lookup->observe(lookup_sec);
 
   GetResult result;
   bool fetched = false;
@@ -185,8 +275,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       FetchReq fetch;
       fetch.url = url;
       try {
-        const FetchResp body =
-            FetchResp::decode(peer_call(holder, fetch.encode()));
+        const FetchResp body = FetchResp::decode(
+            peer_call(holder, with_trace(fetch.encode(), trace_id)));
         if (body.found) {
           result.body = body.body;
           result.version = body.version;
@@ -203,8 +293,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   if (!fetched) {
     FetchReq fetch;
     fetch.url = url;
-    const FetchResp body =
-        FetchResp::decode(peer_call(kOriginId, fetch.encode()));
+    const FetchResp body = FetchResp::decode(
+        peer_call(kOriginId, with_trace(fetch.encode(), trace_id)));
     if (!body.found) {
       throw std::runtime_error("origin does not know document " + url);
     }
@@ -212,6 +302,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
     result.version = body.version;
     result.source = GetResult::Source::Origin;
   }
+  const double fetch_sec = phase.lap_sec();
+  inst_.phase_fetch->observe(fetch_sec);
 
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
@@ -221,6 +313,9 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       ++counters_.origin_fetches;
     }
   }
+  (result.source == GetResult::Source::Cloud ? inst_.get_cloud
+                                             : inst_.get_origin)
+      ->inc();
 
   // Placement decision for the fetched copy.
   bool want_store;
@@ -230,13 +325,14 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
         make_context(url, doc, copies, target.beacon == id_, at);
     want_store = placement_->store_at_requester(ctx);
   }
+  (want_store ? inst_.placement_accept : inst_.placement_reject)->inc();
   if (want_store && store_copy(url, doc, result.body, result.version)) {
     result.stored = true;
     RegisterHolder reg;
     reg.url = url;
     reg.node = id_;
     reg.version = result.version;
-    (void)peer_call(target.beacon, reg.encode());
+    (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
   }
 
   // Beacon-point placement: after an origin fetch, push the single cloud
@@ -248,19 +344,33 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
     push.url = url;
     push.version = result.version;
     push.body = result.body;
-    (void)peer_call(target.beacon, push.encode(MsgType::Propagate));
+    (void)peer_call(target.beacon,
+                    with_trace(push.encode(MsgType::Propagate), trace_id));
     RegisterHolder reg;
     reg.url = url;
     reg.node = target.beacon;
     reg.version = result.version;
-    (void)peer_call(target.beacon, reg.encode());
+    (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
   }
+  const double placement_sec = phase.lap_sec();
+  inst_.phase_placement->observe(placement_sec);
+  inst_.get_latency->observe(span.elapsed_sec());
+  span.tag("class", source_name(result.source))
+      .tag("beacon", static_cast<std::uint64_t>(target.beacon))
+      .phase("lookup", lookup_sec)
+      .phase("fetch", fetch_sec)
+      .phase("placement", placement_sec);
   return result;
 }
 
 // ----------------------------------------------------------- handlers
 
 net::Frame CacheNode::handle(const net::Frame& request) {
+  // One span per hop: a traced request leaves a Debug line at every node
+  // it touches, keyed by its trace id.
+  obs::Span span(request.trace_id, "handle");
+  span.tag("node", static_cast<std::uint64_t>(id_))
+      .tag("msg", std::string(msg_type_name(request.type)));
   try {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::LookupReq: return handle_lookup(request);
@@ -275,6 +385,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
       case MsgType::RecordHandoff: return handle_record_handoff(request);
       case MsgType::ReplicaSync: return handle_replica_sync(request);
       case MsgType::PromoteReplicas: return handle_promote_replicas(request);
+      case MsgType::StatsReq: return handle_stats(request);
       case MsgType::Ping: return Ack{}.encode();
       default: break;
     }
@@ -295,6 +406,7 @@ net::Frame CacheNode::handle_lookup(const net::Frame& request) {
   const RingView::Target target = rings_.resolve(req.url);
   const std::lock_guard<std::mutex> lock(state_mutex_);
   ++counters_.lookups_served;
+  inst_.lookups_served->inc();
   record_beacon_load(target.ring, target.irh, 1.0);
 
   LookupResp resp;
@@ -357,6 +469,7 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request) {
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     ++counters_.updates_served;
+    inst_.updates_served->inc();
     const trace::DocId doc = intern(push.url);
     update_monitors_
         .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
@@ -376,10 +489,12 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request) {
   for (const NodeId holder : holders) {
     try {
       net::Frame reply;
+      const net::Frame propagate =
+          with_trace(push.encode(MsgType::Propagate), request.trace_id);
       if (holder == id_) {
-        reply = handle_propagate(push.encode(MsgType::Propagate));
+        reply = handle_propagate(propagate);
       } else {
-        reply = peer_call(holder, push.encode(MsgType::Propagate));
+        reply = peer_call(holder, propagate);
       }
       const PropagateResp resp = PropagateResp::decode(reply);
       if (!resp.kept) dropped.push_back(holder);
@@ -404,6 +519,7 @@ net::Frame CacheNode::handle_propagate(const net::Frame& request) {
   const double at = now();
   const std::lock_guard<std::mutex> lock(state_mutex_);
   ++counters_.propagates_received;
+  inst_.propagates_received->inc();
   const trace::DocId doc = intern(push.url);
   update_monitors_
       .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
@@ -445,6 +561,7 @@ net::Frame CacheNode::handle_propagate(const net::Frame& request) {
     store_.erase(doc);
     bodies_.erase(push.url);
     ++counters_.drops_on_update;
+    inst_.drops_on_update->inc();
     resp.kept = false;
   }
   return resp.encode();
@@ -572,6 +689,13 @@ net::Frame CacheNode::handle_promote_replicas(const net::Frame& request) {
   return Ack{}.encode();
 }
 
+net::Frame CacheNode::handle_stats(const net::Frame& request) {
+  (void)StatsReq::decode(request);
+  StatsResp resp;
+  resp.snapshot = metrics_snapshot();
+  return resp.encode();
+}
+
 void CacheNode::sync_replicas() {
   // Snapshot my records per ring under the lock, then ship without it.
   std::unordered_map<std::uint32_t, RecordHandoff> per_ring;
@@ -590,6 +714,8 @@ void CacheNode::sync_replicas() {
   for (const std::uint32_t ring : rings_.rings_of(id_)) {
     const auto it = per_ring.find(ring);
     if (it == per_ring.end()) continue;
+    inst_.replica_syncs->inc();
+    inst_.replica_sync_records->inc(it->second.records.size());
     const net::Frame frame = it->second.encode(MsgType::ReplicaSync);
     const RangeAnnounce snapshot = rings_.snapshot();
     for (const RangeEntry& peer : snapshot.rings.at(ring)) {
@@ -629,6 +755,18 @@ std::size_t CacheNode::replica_records() const {
 CacheNode::Counters CacheNode::counters() const {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   return counters_;
+}
+
+obs::Snapshot CacheNode::metrics_snapshot() const {
+  // Gauges reflect the state at scrape time.
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    inst_.cached_docs->set(static_cast<double>(store_.doc_count()));
+    inst_.directory_records->set(static_cast<double>(directory_.size()));
+    inst_.replica_records->set(
+        static_cast<double>(replica_directory_.size()));
+  }
+  return registry_.snapshot();
 }
 
 }  // namespace cachecloud::node

@@ -21,6 +21,7 @@
 #include "net/tcp.hpp"
 #include "node/protocol.hpp"
 #include "node/ring_view.hpp"
+#include "obs/metrics.hpp"
 #include "util/rate.hpp"
 
 namespace cachecloud::node {
@@ -90,6 +91,14 @@ class CacheNode {
   };
   [[nodiscard]] Counters counters() const;
 
+  // Live metric registry: hit classes, placement decisions, per-MsgType
+  // wire traffic, get() latency with phase breakdown. Scrapeable remotely
+  // via StatsReq; gauges are refreshed on every snapshot.
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const;
+  [[nodiscard]] std::string metrics_prometheus() const {
+    return obs::to_prometheus(metrics_snapshot());
+  }
+
   void stop();
 
  private:
@@ -111,6 +120,7 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_record_handoff(const net::Frame& request);
   [[nodiscard]] net::Frame handle_replica_sync(const net::Frame& request);
   [[nodiscard]] net::Frame handle_promote_replicas(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
 
   // Sends a request to a peer cache (or the origin with id kOriginId) and
   // returns the reply. Never call while holding state_mutex_.
@@ -151,6 +161,35 @@ class CacheNode {
 
   RingView rings_;
   std::unique_ptr<core::PlacementPolicy> placement_;
+
+  // ---- observability ----------------------------------------------
+  // Hot-path instruments are pre-registered pointers: updating one is a
+  // relaxed atomic op, never a registry lock. wire_metrics_ is shared by
+  // the server and every peer client of this node.
+  obs::Registry registry_;
+  WireMetrics wire_metrics_{registry_};
+  struct Instruments {
+    obs::Counter* get_local = nullptr;
+    obs::Counter* get_cloud = nullptr;
+    obs::Counter* get_origin = nullptr;
+    obs::Counter* placement_accept = nullptr;
+    obs::Counter* placement_reject = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* lookups_served = nullptr;
+    obs::Counter* updates_served = nullptr;
+    obs::Counter* propagates_received = nullptr;
+    obs::Counter* drops_on_update = nullptr;
+    obs::Counter* replica_syncs = nullptr;
+    obs::Counter* replica_sync_records = nullptr;
+    obs::LatencyHistogram* get_latency = nullptr;
+    obs::LatencyHistogram* phase_lookup = nullptr;
+    obs::LatencyHistogram* phase_fetch = nullptr;
+    obs::LatencyHistogram* phase_placement = nullptr;
+    obs::Gauge* cached_docs = nullptr;
+    obs::Gauge* directory_records = nullptr;
+    obs::Gauge* replica_records = nullptr;
+  };
+  Instruments inst_;
 
   std::mutex peers_mutex_;
   Endpoints endpoints_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -10,8 +11,32 @@ namespace cachecloud::node {
 OriginNode::OriginNode(const NodeConfig& config)
     : config_(config),
       rings_(config.num_caches, config.ring_size, config.irh_gen) {
+  inst_.fetches_served = &registry_.counter(
+      "cachecloud_origin_fetches_total",
+      "Authoritative document fetches served by the origin",
+      {{"result", "hit"}});
+  inst_.fetch_misses = &registry_.counter(
+      "cachecloud_origin_fetches_total",
+      "Authoritative document fetches served by the origin",
+      {{"result", "miss"}});
+  inst_.updates_published = &registry_.counter(
+      "cachecloud_origin_updates_published_total",
+      "Document version bumps published by the origin");
+  inst_.update_pushes_sent = &registry_.counter(
+      "cachecloud_origin_update_pushes_total",
+      "UpdatePush messages sent to beacon points (one per cloud)");
+  inst_.rebalance_cycles = &registry_.counter(
+      "cachecloud_origin_rebalance_cycles_total",
+      "Sub-range determination cycles run by the coordinator");
+  inst_.handoffs_ordered = &registry_.counter(
+      "cachecloud_origin_handoffs_total",
+      "HandoffCmd messages issued during re-balancing");
+  inst_.documents = &registry_.gauge(
+      "cachecloud_origin_documents",
+      "Documents registered at the origin");
   server_ = std::make_unique<net::TcpServer>(
-      0, [this](const net::Frame& f) { return handle(f); });
+      0, [this](const net::Frame& f) { return handle(f); },
+      &wire_metrics_);
 }
 
 OriginNode::~OriginNode() { stop(); }
@@ -39,7 +64,8 @@ net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
     }
     auto& slot = peers_[node];
     if (!slot) {
-      slot = std::make_unique<net::TcpClient>(endpoints_.cache_ports.at(node));
+      slot = std::make_unique<net::TcpClient>(endpoints_.cache_ports.at(node),
+                                              5.0, &wire_metrics_);
     }
     client = slot.get();
   }
@@ -71,6 +97,7 @@ void OriginNode::add_document(const std::string& url, std::size_t size) {
   doc.version = 1;
   doc.size = size;
   documents_[url] = doc;
+  inst_.documents->set(static_cast<double>(documents_.size()));
 }
 
 std::uint64_t OriginNode::version_of(const std::string& url) const {
@@ -95,17 +122,26 @@ std::uint64_t OriginNode::publish_update(const std::string& url) {
     size = it->second.size;
   }
 
+  inst_.updates_published->inc();
+
   // One update message per cloud: resolve the beacon point and push.
+  const std::uint64_t trace_id = obs::next_trace_id();
+  obs::Span span(trace_id, "publish_update");
+  span.tag("node", "origin").tag("url", url).tag("version", version);
   const RingView::Target target = rings_.resolve(url);
   UpdatePush push;
   push.url = url;
   push.version = version;
   push.body = make_body(url, version, size);
-  const Ack ack = Ack::decode(call_cache(target.beacon, push.encode()));
+  net::Frame frame = push.encode();
+  frame.trace_id = trace_id;
+  inst_.update_pushes_sent->inc();
+  const Ack ack = Ack::decode(call_cache(target.beacon, frame));
   if (!ack.ok) {
     CC_LOG(Warn) << "origin: update push of " << url << " rejected: "
                  << ack.error;
   }
+  span.tag("beacon", target.beacon);
   return version;
 }
 
@@ -209,6 +245,8 @@ OriginNode::RebalanceSummary OriginNode::run_rebalance_cycle() {
     }
     ++summary.handoffs;
   }
+  inst_.rebalance_cycles->inc();
+  inst_.handoffs_ordered->inc(summary.handoffs);
   return summary;
 }
 
@@ -283,6 +321,9 @@ std::uint64_t OriginNode::origin_fetches() const {
 }
 
 net::Frame OriginNode::handle(const net::Frame& request) {
+  obs::Span span(request.trace_id, "handle");
+  span.tag("node", "origin")
+      .tag("msg", std::string(msg_type_name(request.type)));
   try {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::FetchReq: {
@@ -292,10 +333,18 @@ net::Frame OriginNode::handle(const net::Frame& request) {
         const auto it = documents_.find(req.url);
         if (it != documents_.end()) {
           ++origin_fetches_;
+          inst_.fetches_served->inc();
           resp.found = true;
           resp.version = it->second.version;
           resp.body = make_body(req.url, it->second.version, it->second.size);
+        } else {
+          inst_.fetch_misses->inc();
         }
+        return resp.encode();
+      }
+      case MsgType::StatsReq: {
+        StatsResp resp;
+        resp.snapshot = metrics_snapshot();
         return resp.encode();
       }
       case MsgType::Ping:

@@ -19,6 +19,7 @@
 #include "node/cache_node.hpp"  // NodeConfig, Endpoints
 #include "node/protocol.hpp"
 #include "node/ring_view.hpp"
+#include "obs/metrics.hpp"
 
 namespace cachecloud::node {
 
@@ -66,6 +67,15 @@ class OriginNode {
   [[nodiscard]] const RingView& ring_view() const noexcept { return rings_; }
   [[nodiscard]] std::uint64_t origin_fetches() const;
 
+  // Live metric registry: fetches served, updates published, per-cloud
+  // update fan-out, per-MsgType wire traffic. Scrapeable via StatsReq.
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+  [[nodiscard]] std::string metrics_prometheus() const {
+    return obs::to_prometheus(metrics_snapshot());
+  }
+
   // Deterministic body for (url, version); exposed so tests can verify
   // end-to-end payload integrity.
   [[nodiscard]] static std::vector<std::uint8_t> make_body(
@@ -84,6 +94,20 @@ class OriginNode {
   mutable std::mutex state_mutex_;
   std::unordered_map<std::string, Document> documents_;
   std::uint64_t origin_fetches_ = 0;
+
+  // ---- observability ----------------------------------------------
+  obs::Registry registry_;
+  WireMetrics wire_metrics_{registry_};
+  struct Instruments {
+    obs::Counter* fetches_served = nullptr;
+    obs::Counter* fetch_misses = nullptr;
+    obs::Counter* updates_published = nullptr;
+    obs::Counter* update_pushes_sent = nullptr;
+    obs::Counter* rebalance_cycles = nullptr;
+    obs::Counter* handoffs_ordered = nullptr;
+    obs::Gauge* documents = nullptr;
+  };
+  Instruments inst_;
 
   RingView rings_;
 

@@ -12,6 +12,32 @@ net::Frame make_frame(MsgType type, net::BufferWriter&& writer) {
 
 }  // namespace
 
+std::string_view msg_type_name(std::uint16_t type) noexcept {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::LookupReq: return "LookupReq";
+    case MsgType::LookupResp: return "LookupResp";
+    case MsgType::RegisterHolder: return "RegisterHolder";
+    case MsgType::DeregisterHolder: return "DeregisterHolder";
+    case MsgType::Ack: return "Ack";
+    case MsgType::FetchReq: return "FetchReq";
+    case MsgType::FetchResp: return "FetchResp";
+    case MsgType::UpdatePush: return "UpdatePush";
+    case MsgType::Propagate: return "Propagate";
+    case MsgType::PropagateResp: return "PropagateResp";
+    case MsgType::LoadQuery: return "LoadQuery";
+    case MsgType::LoadReport: return "LoadReport";
+    case MsgType::RangeAnnounce: return "RangeAnnounce";
+    case MsgType::HandoffCmd: return "HandoffCmd";
+    case MsgType::RecordHandoff: return "RecordHandoff";
+    case MsgType::Ping: return "Ping";
+    case MsgType::ReplicaSync: return "ReplicaSync";
+    case MsgType::PromoteReplicas: return "PromoteReplicas";
+    case MsgType::StatsReq: return "StatsReq";
+    case MsgType::StatsResp: return "StatsResp";
+  }
+  return "Unknown";
+}
+
 void expect_type(const net::Frame& frame, MsgType expected) {
   if (frame.type != static_cast<std::uint16_t>(expected)) {
     throw net::DecodeError("unexpected message type " +
@@ -329,6 +355,130 @@ RecordHandoff RecordHandoff::decode(const net::Frame& frame) {
   }
   r.expect_end();
   return msg;
+}
+
+// ---------------------------------------------------------- observability
+
+net::Frame StatsReq::encode() const {
+  return make_frame(MsgType::StatsReq, net::BufferWriter{});
+}
+
+StatsReq StatsReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::StatsReq);
+  net::BufferReader r(frame.payload);
+  r.expect_end();
+  return StatsReq{};
+}
+
+namespace {
+
+void write_labels(net::BufferWriter& w, const obs::Labels& labels) {
+  w.u32(static_cast<std::uint32_t>(labels.size()));
+  for (const auto& [key, value] : labels) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+obs::Labels read_labels(net::BufferReader& r) {
+  obs::Labels labels;
+  const std::uint32_t n = r.u32();
+  labels.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    labels.emplace_back(std::move(key), std::move(value));
+  }
+  return labels;
+}
+
+}  // namespace
+
+net::Frame StatsResp::encode() const {
+  net::BufferWriter w;
+  w.u32(static_cast<std::uint32_t>(snapshot.samples.size()));
+  for (const obs::SampleSnapshot& s : snapshot.samples) {
+    w.str(s.name);
+    w.str(s.help);
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    write_labels(w, s.labels);
+    w.f64(s.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    w.str(h.name);
+    w.str(h.help);
+    write_labels(w, h.labels);
+    w.u32(static_cast<std::uint32_t>(h.bounds.size()));
+    for (const double b : h.bounds) w.f64(b);
+    for (const std::uint64_t c : h.counts) w.u64(c);
+    w.f64(h.sum);
+    w.u64(h.count);
+  }
+  return make_frame(MsgType::StatsResp, std::move(w));
+}
+
+StatsResp StatsResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::StatsResp);
+  net::BufferReader r(frame.payload);
+  StatsResp msg;
+  const std::uint32_t nsamples = r.u32();
+  msg.snapshot.samples.reserve(nsamples);
+  for (std::uint32_t i = 0; i < nsamples; ++i) {
+    obs::SampleSnapshot s;
+    s.name = r.str();
+    s.help = r.str();
+    s.kind = static_cast<obs::MetricKind>(r.u8());
+    s.labels = read_labels(r);
+    s.value = r.f64();
+    msg.snapshot.samples.push_back(std::move(s));
+  }
+  const std::uint32_t nhists = r.u32();
+  msg.snapshot.histograms.reserve(nhists);
+  for (std::uint32_t i = 0; i < nhists; ++i) {
+    obs::HistogramSnapshot h;
+    h.name = r.str();
+    h.help = r.str();
+    h.labels = read_labels(r);
+    const std::uint32_t nbounds = r.u32();
+    h.bounds.reserve(nbounds);
+    for (std::uint32_t k = 0; k < nbounds; ++k) h.bounds.push_back(r.f64());
+    h.counts.reserve(nbounds + 1);
+    for (std::uint32_t k = 0; k <= nbounds; ++k) h.counts.push_back(r.u64());
+    h.sum = r.f64();
+    h.count = r.u64();
+    msg.snapshot.histograms.push_back(std::move(h));
+  }
+  r.expect_end();
+  return msg;
+}
+
+WireMetrics::WireMetrics(obs::Registry& registry) {
+  const char* dirs[2] = {"rx", "tx"};
+  for (std::size_t type = 0; type <= kMaxType; ++type) {
+    const std::string name(type == 0 ? "Unknown"
+                                     : msg_type_name(
+                                           static_cast<std::uint16_t>(type)));
+    for (std::size_t dir = 0; dir < 2; ++dir) {
+      const obs::Labels labels{{"type", name}, {"dir", dirs[dir]}};
+      slots_[type][dir].messages = &registry.counter(
+          "cachecloud_net_messages_total",
+          "Wire messages handled, by message type and direction", labels);
+      slots_[type][dir].bytes = &registry.counter(
+          "cachecloud_net_bytes_total",
+          "Wire bytes handled (header + payload), by message type and "
+          "direction",
+          labels);
+    }
+  }
+}
+
+void WireMetrics::on_frame(const net::Frame& frame, bool inbound) noexcept {
+  const std::size_t type =
+      frame.type <= kMaxType ? frame.type : 0;  // 0 = unknown bucket
+  const Pair& pair = slots_[type][inbound ? 0 : 1];
+  pair.messages->inc();
+  pair.bytes->inc(frame.wire_bytes());
 }
 
 net::Frame PromoteReplicas::encode() const {

@@ -13,13 +13,16 @@
 //     -> HandoffCmd(losing beacon) -> RecordHandoff(gaining beacon)
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/subrange.hpp"
 #include "net/buffer.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 
 namespace cachecloud::node {
 
@@ -48,7 +51,15 @@ enum class MsgType : std::uint16_t {
   // failure the coordinator promotes the heir's replicas.
   ReplicaSync = 17,
   PromoteReplicas = 18,
+  // Observability: scrape a live node's metric registry.
+  StatsReq = 19,
+  StatsResp = 20,
 };
+
+// Human-readable name of a wire message type ("LookupReq", ...); unknown
+// values render as "Unknown". Used as the `type` label of the per-message
+// wire metrics and in span logs.
+[[nodiscard]] std::string_view msg_type_name(std::uint16_t type) noexcept;
 
 struct LookupReq {
   std::string url;
@@ -179,6 +190,46 @@ struct PromoteReplicas {
   NodeId failed_node = 0;
   [[nodiscard]] net::Frame encode() const;
   static PromoteReplicas decode(const net::Frame& frame);
+};
+
+// ---------------------------------------------------------- observability
+
+struct StatsReq {
+  [[nodiscard]] net::Frame encode() const;
+  static StatsReq decode(const net::Frame& frame);
+};
+
+// A full registry snapshot: every counter/gauge sample plus histograms
+// with their bucket layout, so scrapers can re-render Prometheus text or
+// JSON (obs::to_prometheus / obs::to_json) without another round trip.
+struct StatsResp {
+  obs::Snapshot snapshot;
+  [[nodiscard]] net::Frame encode() const;
+  static StatsResp decode(const net::Frame& frame);
+};
+
+// net::FrameObserver that feeds per-MsgType message and byte counters:
+//
+//   cachecloud_net_messages_total{type="LookupReq",dir="rx"|"tx"}
+//   cachecloud_net_bytes_total{type="LookupReq",dir="rx"|"tx"}
+//
+// Counters for every known type are pre-registered at construction, so the
+// per-frame path is two relaxed fetch_adds and never takes the registry
+// lock. One instance serves a node's server and all of its peer clients.
+class WireMetrics : public net::FrameObserver {
+ public:
+  explicit WireMetrics(obs::Registry& registry);
+  void on_frame(const net::Frame& frame, bool inbound) noexcept override;
+
+ private:
+  struct Pair {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
+  static constexpr std::size_t kMaxType =
+      static_cast<std::size_t>(MsgType::StatsResp);
+  std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 
 // Throws net::DecodeError if the frame's type does not match `expected`.

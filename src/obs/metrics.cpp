@@ -1,0 +1,347 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+// Prometheus-flavoured number formatting: integers render without a
+// fractional part so counter lines stay exact and greppable.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Shared quantile math for live histograms and their snapshots: walk the
+// cumulative buckets and linearly interpolate inside the matching one,
+// exactly like util::Histogram::quantile. `counts` is per-bucket with the
+// +Inf bucket last.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::uint64_t total, double q) noexcept {
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (seen + c >= target && c > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double frac = (target - seen) / c;
+      return lo + frac * (bounds[i] - lo);
+    }
+    seen += c;
+  }
+  return bounds.back();  // +Inf bucket clamps to the largest finite bound
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------- histogram
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("LatencyHistogram: no buckets");
+  }
+  const auto dup = std::adjacent_find(
+      bounds_.begin(), bounds_.end(),
+      [](double a, double b) { return a >= b; });
+  if (dup != bounds_.end()) {
+    throw std::invalid_argument(
+        "LatencyHistogram: bounds not strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void LatencyHistogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  return bucket_quantile(bounds_, bucket_counts(), count(), q);
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+          1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0, 10.0};
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  return bucket_quantile(bounds, counts, count, q);
+}
+
+// ---------------------------------------------------------------- snapshot
+
+const SampleSnapshot* Snapshot::find(const std::string& name,
+                                     const Labels& labels) const {
+  for (const SampleSnapshot& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::find_histogram(const std::string& name,
+                                                  const Labels& labels) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name && h.labels == labels) return &h;
+  }
+  return nullptr;
+}
+
+double Snapshot::sum_of(const std::string& name) const {
+  double total = 0.0;
+  for (const SampleSnapshot& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + escape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Appends labels plus one extra pair (for histogram `le`).
+std::string render_labels_with(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return render_labels(extended);
+}
+
+// `le` bound label: fixed precision with trailing zeros trimmed, so 0.01
+// renders as "0.01" and stays stable across platforms.
+std::string format_le(double bound) {
+  std::string s = util::format_double(bound, 6);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+void header(std::ostringstream& out, std::string& last_name,
+            const std::string& name, const std::string& help,
+            MetricKind kind) {
+  if (name == last_name) return;
+  out << "# HELP " << name << " " << help << "\n";
+  out << "# TYPE " << name << " " << kind_name(kind) << "\n";
+  last_name = name;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_name;
+  for (const SampleSnapshot& s : snapshot.samples) {
+    header(out, last_name, s.name, s.help, s.kind);
+    out << s.name << render_labels(s.labels) << " " << format_value(s.value)
+        << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    header(out, last_name, h.name, h.help, MetricKind::Histogram);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out << h.name << "_bucket"
+          << render_labels_with(h.labels, "le", format_le(h.bounds[i]))
+          << " " << cumulative << "\n";
+    }
+    out << h.name << "_bucket" << render_labels_with(h.labels, "le", "+Inf")
+        << " " << h.count << "\n";
+    out << h.name << "_sum" << render_labels(h.labels) << " " << h.sum << "\n";
+    out << h.name << "_count" << render_labels(h.labels) << " " << h.count
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"samples\":[";
+  for (std::size_t i = 0; i < snapshot.samples.size(); ++i) {
+    const SampleSnapshot& s = snapshot.samples[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << escape(s.name) << "\",\"kind\":\""
+        << kind_name(s.kind) << "\",\"labels\":{";
+    for (std::size_t k = 0; k < s.labels.size(); ++k) {
+      if (k > 0) out << ",";
+      out << "\"" << escape(s.labels[k].first) << "\":\""
+          << escape(s.labels[k].second) << "\"";
+    }
+    out << "},\"value\":" << format_value(s.value) << "}";
+  }
+  out << "],\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << escape(h.name) << "\",\"labels\":{";
+    for (std::size_t k = 0; k < h.labels.size(); ++k) {
+      if (k > 0) out << ",";
+      out << "\"" << escape(h.labels[k].first) << "\":\""
+          << escape(h.labels[k].second) << "\"";
+    }
+    out << "},\"bounds\":[";
+    for (std::size_t k = 0; k < h.bounds.size(); ++k) {
+      if (k > 0) out << ",";
+      out << h.bounds[k];
+    }
+    out << "],\"counts\":[";
+    for (std::size_t k = 0; k < h.counts.size(); ++k) {
+      if (k > 0) out << ",";
+      out << h.counts[k];
+    }
+    out << "],\"sum\":" << h.sum << ",\"count\":" << h.count << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- registry
+
+Registry::Entry& Registry::get_or_create(const std::string& name,
+                                         const std::string& help,
+                                         MetricKind kind,
+                                         const Labels& labels) {
+  const std::string key = name + render_labels(labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.key == key) {
+      if (entry.kind != kind) {
+        throw std::invalid_argument("Registry: metric '" + key +
+                                    "' re-registered with a different kind");
+      }
+      return entry;
+    }
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.kind = kind;
+  entry.labels = labels;
+  entry.key = key;
+  return entry;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  return get_or_create(name, help, MetricKind::Counter, labels).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  return get_or_create(name, help, MetricKind::Gauge, labels).gauge;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  Entry& entry = get_or_create(name, help, MetricKind::Histogram, labels);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<LatencyHistogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.kind == MetricKind::Histogram) {
+      HistogramSnapshot h;
+      h.name = entry.name;
+      h.help = entry.help;
+      h.labels = entry.labels;
+      h.bounds = entry.histogram->bounds();
+      h.counts = entry.histogram->bucket_counts();
+      h.sum = entry.histogram->sum();
+      h.count = entry.histogram->count();
+      out.histograms.push_back(std::move(h));
+      continue;
+    }
+    SampleSnapshot s;
+    s.name = entry.name;
+    s.help = entry.help;
+    s.kind = entry.kind;
+    s.labels = entry.labels;
+    s.value = entry.kind == MetricKind::Counter
+                  ? static_cast<double>(entry.counter.value())
+                  : entry.gauge.value();
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  return to_prometheus(snapshot());
+}
+
+std::string Registry::json() const { return to_json(snapshot()); }
+
+}  // namespace cachecloud::obs

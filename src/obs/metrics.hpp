@@ -1,0 +1,177 @@
+// Runtime metrics for live cache-cloud nodes.
+//
+// An atomic, thread-safe registry of named metrics with Prometheus-style
+// text exposition and a JSON dump. Three metric kinds:
+//
+//   Counter          monotone u64, relaxed fetch_add on the hot path
+//   Gauge            double, set/add via CAS
+//   LatencyHistogram fixed upper-bound buckets, lock-free observe();
+//                    quantile() follows util::Histogram's linear
+//                    interpolation semantics
+//
+// Registration (name + label set) takes a mutex; the returned references
+// are stable for the registry's lifetime, so hot paths hold plain pointers
+// and never touch the lock again. A Snapshot is a plain-data copy that the
+// wire protocol (StatsResp) ships across nodes and the renderers turn into
+// Prometheus text or JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachecloud::obs {
+
+enum class MetricKind : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+// Ordered key/value pairs, rendered inside {...} in the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Cumulative-bucket histogram over explicit ascending upper bounds; an
+// implicit +Inf bucket catches overflow. observe() is wait-free apart from
+// the CAS on the running sum.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  // Per-bucket (non-cumulative) counts, bounds().size() + 1 entries; the
+  // last entry is the +Inf bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  // Linear-interpolated quantile over the bucket boundaries, q in [0, 1];
+  // mirrors util::Histogram::quantile. Values in the +Inf bucket clamp to
+  // the largest finite bound. Monotone in q.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// Bucket bounds suited to loopback/LAN request latencies (10us .. 10s).
+[[nodiscard]] std::vector<double> default_latency_bounds();
+
+// ---------------------------------------------------------------- snapshot
+
+struct SampleSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::Counter;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, last is +Inf
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+struct Snapshot {
+  std::vector<SampleSnapshot> samples;
+  std::vector<HistogramSnapshot> histograms;
+
+  // First counter/gauge sample matching (name, labels); nullptr if absent.
+  [[nodiscard]] const SampleSnapshot* find(const std::string& name,
+                                           const Labels& labels = {}) const;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      const std::string& name, const Labels& labels = {}) const;
+  // Sum of every counter/gauge sample with this name, across label sets.
+  [[nodiscard]] double sum_of(const std::string& name) const;
+};
+
+[[nodiscard]] std::string render_labels(const Labels& labels);
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+// ---------------------------------------------------------------- registry
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create by (name, labels). The help text of the first
+  // registration wins. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  LatencyHistogram& histogram(const std::string& name, const std::string& help,
+                              std::vector<double> bounds,
+                              const Labels& labels = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    Labels labels;
+    std::string key;  // name + rendered labels, the identity
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& get_or_create(const std::string& name, const std::string& help,
+                       MetricKind kind, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;  // deque: stable references across growth
+};
+
+}  // namespace cachecloud::obs

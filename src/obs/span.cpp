@@ -1,0 +1,85 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <random>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+std::uint64_t process_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  static const std::uint64_t seed = process_seed();
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::uint64_t id = util::mix64(
+      seed ^ sequence.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+Span::Span(std::uint64_t trace_id, std::string name)
+    : trace_id_(trace_id),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+Span::~Span() { finish(); }
+
+Span& Span::tag(std::string key, std::string value) {
+  tags_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Span& Span::tag(std::string key, std::uint64_t value) {
+  tags_.emplace_back(std::move(key), std::to_string(value));
+  return *this;
+}
+
+Span& Span::phase(std::string key, double seconds) {
+  tags_.emplace_back(std::move(key) + "_us",
+                     std::to_string(static_cast<long long>(seconds * 1e6)));
+  return *this;
+}
+
+double Span::elapsed_sec() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void Span::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!util::detail::log_enabled(util::LogLevel::Debug)) return;
+  const auto dur_us = static_cast<long long>(elapsed_sec() * 1e6);
+  auto line = util::detail::LogMessage(util::LogLevel::Debug, __FILE__,
+                                       __LINE__);
+  line << "trace=" << hex64(trace_id_) << " span=" << name_;
+  for (const auto& [key, value] : tags_) line << " " << key << "=" << value;
+  line << " dur_us=" << dur_us;
+}
+
+double Stopwatch::lap_sec() noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(now - start_).count();
+  start_ = now;
+  return sec;
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,63 @@
+// Request-path tracing: a lightweight span API over util::logging.
+//
+// A trace id is generated once per client-facing get() and propagated to
+// every peer in the frame header (net::Frame::trace_id). Each hop opens a
+// Span around its work; the span emits one structured line at Debug when it
+// finishes, so a slow multi-hop request can be reconstructed across nodes
+// by grepping its trace id:
+//
+//   [... DEBUG t2 span.cpp:41] trace=5f1c9a02e77b3d10 span=get node=0
+//       url=/index.html class=origin lookup_us=212 fetch_us=890 dur_us=1304
+//
+// Spans are cheap when Debug logging is off: a steady_clock read at
+// construction and an enabled check at destruction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachecloud::obs {
+
+// Process-unique, well-mixed 64-bit trace id (never 0; 0 means untraced).
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+class Span {
+ public:
+  Span(std::uint64_t trace_id, std::string name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();  // emits the line unless finish() already did
+
+  // Key/value annotations appended to the emitted line, in call order.
+  Span& tag(std::string key, std::string value);
+  Span& tag(std::string key, std::uint64_t value);
+  // Records a phase duration as `<key>_us=<microseconds>`.
+  Span& phase(std::string key, double seconds);
+
+  [[nodiscard]] double elapsed_sec() const noexcept;
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+
+  void finish();
+
+ private:
+  std::uint64_t trace_id_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> tags_;
+  bool finished_ = false;
+};
+
+// A steady-clock stopwatch for phase timing inside a span.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double lap_sec() noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cachecloud::obs

@@ -1,6 +1,8 @@
 #include "sim/accounting.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace cachecloud::sim {
 
@@ -128,6 +130,17 @@ void Accounting::on_cycle(const core::CycleOutcome& outcome, double now) {
 }
 
 CloudMetrics Accounting::finish(double duration) {
+  // Hit-class accounting must reconcile: every measured request was exactly
+  // one of local hit / cloud hit / group miss. Divergence is a bug in the
+  // outcome translation above, never a property of the workload.
+  if (!metrics_.reconciles()) {
+    throw std::logic_error(
+        "Accounting::finish: hit classes do not reconcile: requests=" +
+        std::to_string(metrics_.requests) + " != local=" +
+        std::to_string(metrics_.local_hits) + " + cloud=" +
+        std::to_string(metrics_.cloud_hits) + " + miss=" +
+        std::to_string(metrics_.group_misses));
+  }
   metrics_.measured_sec = std::max(0.0, duration - metrics_start_sec_);
   return std::move(metrics_);
 }

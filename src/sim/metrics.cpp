@@ -43,6 +43,66 @@ double CloudMetrics::network_mb_per_minute() const noexcept {
   return mb / (measured_sec / 60.0);
 }
 
+namespace {
+
+// Advance a counter to `target` (counters are monotone; exports happen
+// after the previous export's value, so the delta is never negative in
+// normal use — clamp defensively anyway).
+void set_counter(obs::Counter& counter, std::uint64_t target) {
+  const std::uint64_t current = counter.value();
+  if (target > current) counter.inc(target - current);
+}
+
+}  // namespace
+
+void CloudMetrics::export_to(obs::Registry& registry) const {
+  const std::string gets_help =
+      "Requests by hit class (shared name with live CacheNode)";
+  set_counter(registry.counter("cachecloud_gets_total", gets_help,
+                               {{"class", "local"}}),
+              local_hits);
+  set_counter(registry.counter("cachecloud_gets_total", gets_help,
+                               {{"class", "cloud"}}),
+              cloud_hits);
+  set_counter(registry.counter("cachecloud_gets_total", gets_help,
+                               {{"class", "origin"}}),
+              group_misses);
+  set_counter(registry.counter("cachecloud_evictions_total",
+                               "Local evictions (capacity or update drop)"),
+              evictions);
+  set_counter(registry.counter("cachecloud_placement_total",
+                               "Placement decisions", {{"decision", "accept"}}),
+              stored_copies);
+  set_counter(registry.counter("cachecloud_updates_total",
+                               "Origin updates applied to cloud documents"),
+              updates);
+  set_counter(registry.counter("cachecloud_origin_messages_total",
+                               "Messages handled by the origin server"),
+              origin_messages);
+  const std::string bytes_help = "Simulated network traffic by link class";
+  set_counter(registry.counter("cachecloud_sim_bytes_total", bytes_help,
+                               {{"link", "control"}}),
+              control_bytes);
+  set_counter(registry.counter("cachecloud_sim_bytes_total", bytes_help,
+                               {{"link", "intra"}}),
+              data_bytes_intra);
+  set_counter(registry.counter("cachecloud_sim_bytes_total", bytes_help,
+                               {{"link", "wan"}}),
+              data_bytes_wan);
+  registry
+      .gauge("cachecloud_local_hit_rate",
+             "Fraction of requests served from the local cache")
+      .set(local_hit_rate());
+  registry
+      .gauge("cachecloud_cloud_hit_rate",
+             "Fraction of requests served inside the cloud (cumulative)")
+      .set(cloud_hit_rate());
+  registry
+      .gauge("cachecloud_network_mb_per_minute",
+             "Total cloud network load in MB per minute")
+      .set(network_mb_per_minute());
+}
+
 std::string CloudMetrics::summary() const {
   std::ostringstream out;
   out << "requests=" << requests << " local_hit=" << util::format_double(

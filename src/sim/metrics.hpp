@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -62,6 +63,19 @@ struct CloudMetrics {
   // Total cloud network load in MB per minute — the paper's Y axis in
   // Figs 8-9 ("Mbs transferred per unit time").
   [[nodiscard]] double network_mb_per_minute() const noexcept;
+
+  // Every request is exactly one of local hit / cloud hit / group miss;
+  // divergence means an accounting bug. Checked by Accounting::finish.
+  [[nodiscard]] bool reconciles() const noexcept {
+    return requests == local_hits + cloud_hits + group_misses;
+  }
+
+  // Mirrors the request/update accounting into an obs::Registry under the
+  // SAME metric names the live nodes use (cachecloud_gets_total{class=...},
+  // cachecloud_evictions_total, ...), so simulated and live runs can be
+  // compared with one dashboard. Counters are set by delta against the
+  // registry's current values, so repeated exports are idempotent.
+  void export_to(obs::Registry& registry) const;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -9,7 +9,16 @@ SimResult run_simulation(core::CacheCloud& cloud, const trace::Trace& trace,
   Accounting accounting(cloud.num_caches(), config.net,
                         config.metrics_start_sec, config.collect_latency);
 
+  const bool ticks = config.stats_every_sec > 0.0 &&
+                     (config.stats_sink || config.registry != nullptr);
+  double next_stats = config.stats_every_sec;
+
   for (const trace::Event& event : trace.events()) {
+    while (ticks && event.time >= next_stats) {
+      if (config.stats_sink) config.stats_sink(next_stats, accounting.metrics());
+      if (config.registry) accounting.metrics().export_to(*config.registry);
+      next_stats += config.stats_every_sec;
+    }
     if (const auto cycle = cloud.maybe_end_cycle(event.time)) {
       accounting.on_cycle(*cycle, event.time);
     }
@@ -28,6 +37,7 @@ SimResult run_simulation(core::CacheCloud& cloud, const trace::Trace& trace,
   result.rebalances = accounting.rebalances();
   result.records_transferred = accounting.records_transferred();
   result.metrics = accounting.finish(trace.duration());
+  if (config.registry) result.metrics.export_to(*config.registry);
   return result;
 }
 

@@ -5,7 +5,10 @@
 // is the harness behind every figure of the paper's evaluation.
 #pragma once
 
+#include <functional>
+
 #include "core/cloud.hpp"
+#include "obs/metrics.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network_model.hpp"
 #include "trace/trace.hpp"
@@ -18,6 +21,16 @@ struct SimConfig {
   // from the metrics.
   double metrics_start_sec = 0.0;
   bool collect_latency = true;
+
+  // ---- periodic stats (tentpole observability hooks) ----------------
+  // Every `stats_every_sec` of simulated time, the running metrics are
+  // handed to `stats_sink` (if set) and exported to `registry` (if set,
+  // under the live-node metric names — see CloudMetrics::export_to). The
+  // final metrics are exported to `registry` once more at the end of the
+  // run. 0 disables periodic ticks (the final export still happens).
+  double stats_every_sec = 0.0;
+  std::function<void(double now, const CloudMetrics&)> stats_sink;
+  obs::Registry* registry = nullptr;
 };
 
 struct SimResult {

@@ -1,18 +1,43 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace cachecloud::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("CACHECLOUD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::Info;
+  return log_level_from_name(env, LogLevel::Info);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_emit_mutex;
 
 const char* basename_of(const char* path) noexcept {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
+}
+
+// "2026-08-05T12:00:00.123Z" — UTC so interleaved node logs compare.
+void format_timestamp(char* out, std::size_t size) noexcept {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  std::snprintf(out, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
 }
 
 }  // namespace
@@ -36,6 +61,28 @@ std::string_view log_level_name(LogLevel level) noexcept {
   return "?";
 }
 
+LogLevel log_level_from_name(std::string_view name,
+                             LogLevel fallback) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return fallback;
+}
+
+unsigned log_thread_id() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
 namespace detail {
 
 bool log_enabled(LogLevel level) noexcept {
@@ -45,8 +92,11 @@ bool log_enabled(LogLevel level) noexcept {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << log_level_name(level) << " " << basename_of(file) << ":"
-          << line << "] ";
+  char stamp[32];
+  format_timestamp(stamp, sizeof(stamp));
+  stream_ << "[" << stamp << " " << log_level_name(level) << " t"
+          << log_thread_id() << " " << basename_of(file) << ":" << line
+          << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -1,6 +1,16 @@
 // Tiny leveled logger. Thread-safe, writes to stderr.
 //
 // Usage: CC_LOG(Info) << "re-balanced ring " << ring_id;
+//
+// Each line carries a UTC wall-clock timestamp and a short per-process
+// thread id (t0, t1, ...) so multi-node request paths interleaved on
+// stderr can be pulled apart:
+//
+//   [2026-08-05T12:00:00.123Z INFO t3 cache_node.cpp:42] ...
+//
+// The startup level honours the CACHECLOUD_LOG_LEVEL environment variable
+// (debug | info | warn | error | off, case-insensitive); the default is
+// Info.
 #pragma once
 
 #include <mutex>
@@ -15,6 +25,11 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 [[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+// Parses a level name ("debug", "WARN", ...); `fallback` on no match.
+[[nodiscard]] LogLevel log_level_from_name(std::string_view name,
+                                           LogLevel fallback) noexcept;
+// Small sequential id of the calling thread, unique within the process.
+[[nodiscard]] unsigned log_thread_id() noexcept;
 
 namespace detail {
 

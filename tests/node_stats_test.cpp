@@ -1,0 +1,209 @@
+// End-to-end observability tests: scrape live nodes over TCP via StatsReq
+// and reconcile the counters against client-observed traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "node/cluster.hpp"
+#include "node/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+NodeConfig small_config(const std::string& placement = "adhoc") {
+  NodeConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.placement = placement;
+  return config;
+}
+
+// Scrapes a live node's metrics exactly like an external monitoring agent:
+// a raw TCP client and a StatsReq frame.
+obs::Snapshot scrape(std::uint16_t port) {
+  net::TcpClient client(port);
+  const net::Frame reply = client.call(StatsReq{}.encode());
+  EXPECT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::StatsResp));
+  return StatsResp::decode(reply).snapshot;
+}
+
+TEST(NodeStatsTest, HitClassCountersReconcileWithIssuedRequests) {
+  Cluster cluster(small_config());
+  const std::vector<std::string> urls = {"/a", "/b", "/c", "/d", "/e"};
+  for (const std::string& url : urls) {
+    cluster.origin().add_document(url, 256);
+  }
+
+  // Issue a known amount of traffic: every node requests every document
+  // twice. First rounds produce origin/cloud fetches, second rounds local
+  // hits — the scrape must account for every single one.
+  std::uint64_t issued = 0;
+  std::uint64_t client_local = 0;
+  std::uint64_t client_cloud = 0;
+  std::uint64_t client_origin = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+      for (const std::string& url : urls) {
+        const auto result = cluster.cache(id).get(url);
+        ++issued;
+        switch (result.source) {
+          case CacheNode::GetResult::Source::Local: ++client_local; break;
+          case CacheNode::GetResult::Source::Cloud: ++client_cloud; break;
+          case CacheNode::GetResult::Source::Origin: ++client_origin; break;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(issued, 2u * cluster.num_caches() * urls.size());
+
+  std::uint64_t scraped_total = 0;
+  double scraped_local = 0.0;
+  double scraped_cloud = 0.0;
+  double scraped_origin = 0.0;
+  std::uint64_t latency_count = 0;
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    const obs::Snapshot snap = scrape(cluster.cache(id).port());
+
+    // Per-node, the hit classes partition the node's own gets.
+    const double node_total = snap.sum_of("cachecloud_gets_total");
+    scraped_total += static_cast<std::uint64_t>(node_total);
+    const auto* local =
+        snap.find("cachecloud_gets_total", {{"class", "local"}});
+    const auto* cloud =
+        snap.find("cachecloud_gets_total", {{"class", "cloud"}});
+    const auto* origin =
+        snap.find("cachecloud_gets_total", {{"class", "origin"}});
+    ASSERT_NE(local, nullptr);
+    ASSERT_NE(cloud, nullptr);
+    ASSERT_NE(origin, nullptr);
+    scraped_local += local->value;
+    scraped_cloud += cloud->value;
+    scraped_origin += origin->value;
+
+    // Every get() observed the end-to-end latency histogram.
+    const auto* latency =
+        snap.find_histogram("cachecloud_get_latency_seconds");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->count, static_cast<std::uint64_t>(node_total));
+    EXPECT_GT(latency->sum, 0.0);
+    latency_count += latency->count;
+  }
+
+  // Cloud-wide, the scraped counters reconcile exactly with what the
+  // clients saw.
+  EXPECT_EQ(scraped_total, issued);
+  EXPECT_EQ(latency_count, issued);
+  EXPECT_DOUBLE_EQ(scraped_local, static_cast<double>(client_local));
+  EXPECT_DOUBLE_EQ(scraped_cloud, static_cast<double>(client_cloud));
+  EXPECT_DOUBLE_EQ(scraped_origin, static_cast<double>(client_origin));
+  EXPECT_EQ(client_local + client_cloud + client_origin, issued);
+}
+
+TEST(NodeStatsTest, WireCountersTrackPerMessageTraffic) {
+  Cluster cluster(small_config());
+  cluster.origin().add_document("/doc", 512);
+
+  (void)cluster.cache(1).get("/doc");  // origin fetch
+  (void)cluster.cache(2).get("/doc");  // lookup + peer fetch
+
+  // The requester of the cloud hit sent a LookupReq and got a LookupResp.
+  const obs::Snapshot snap = scrape(cluster.cache(2).port());
+  const auto* lookup_tx = snap.find(
+      "cachecloud_net_messages_total", {{"type", "LookupReq"}, {"dir", "tx"}});
+  const auto* resp_rx = snap.find(
+      "cachecloud_net_messages_total", {{"type", "LookupResp"}, {"dir", "rx"}});
+  ASSERT_NE(lookup_tx, nullptr);
+  ASSERT_NE(resp_rx, nullptr);
+  EXPECT_GE(lookup_tx->value, 1.0);
+  EXPECT_GE(resp_rx->value, 1.0);
+
+  // Byte counters move with the messages and include the body transfer.
+  const auto* bytes_rx = snap.find(
+      "cachecloud_net_bytes_total", {{"type", "FetchResp"}, {"dir", "rx"}});
+  ASSERT_NE(bytes_rx, nullptr);
+  EXPECT_GT(bytes_rx->value, 512.0);  // body + framing
+
+  // Phase histograms: the cloud hit went through lookup and fetch.
+  const auto* lookup_phase = snap.find_histogram(
+      "cachecloud_get_phase_seconds", {{"phase", "lookup"}});
+  const auto* fetch_phase = snap.find_histogram(
+      "cachecloud_get_phase_seconds", {{"phase", "fetch"}});
+  ASSERT_NE(lookup_phase, nullptr);
+  ASSERT_NE(fetch_phase, nullptr);
+  EXPECT_GE(lookup_phase->count, 1u);
+  EXPECT_GE(fetch_phase->count, 1u);
+}
+
+TEST(NodeStatsTest, OriginExposesFetchAndUpdateCounters) {
+  Cluster cluster(small_config());
+  cluster.origin().add_document("/live", 128);
+
+  (void)cluster.cache(0).get("/live");  // origin fetch
+  (void)cluster.origin().publish_update("/live");
+
+  const obs::Snapshot snap = scrape(cluster.origin().port());
+  const auto* fetches = snap.find("cachecloud_origin_fetches_total",
+                                  {{"result", "hit"}});
+  ASSERT_NE(fetches, nullptr);
+  EXPECT_DOUBLE_EQ(fetches->value,
+                   static_cast<double>(cluster.origin().origin_fetches()));
+  const auto* published =
+      snap.find("cachecloud_origin_updates_published_total");
+  const auto* pushes = snap.find("cachecloud_origin_update_pushes_total");
+  ASSERT_NE(published, nullptr);
+  ASSERT_NE(pushes, nullptr);
+  EXPECT_DOUBLE_EQ(published->value, 1.0);
+  // One update message per cloud, however many holders (§1's headline).
+  EXPECT_DOUBLE_EQ(pushes->value, 1.0);
+}
+
+TEST(NodeStatsTest, PrometheusEndToEnd) {
+  Cluster cluster(small_config());
+  cluster.origin().add_document("/page", 64);
+  (void)cluster.cache(3).get("/page");
+
+  // The node renders its own exposition, and a scraped snapshot renders
+  // identically structured text remotely.
+  const std::string local_text = cluster.cache(3).metrics_prometheus();
+  EXPECT_NE(local_text.find("# TYPE cachecloud_gets_total counter"),
+            std::string::npos);
+  EXPECT_NE(local_text.find("cachecloud_gets_total{class=\"origin\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      local_text.find("# TYPE cachecloud_get_latency_seconds histogram"),
+      std::string::npos);
+
+  const obs::Snapshot snap = scrape(cluster.cache(3).port());
+  const std::string remote_text = obs::to_prometheus(snap);
+  EXPECT_NE(remote_text.find("cachecloud_gets_total{class=\"origin\"} 1"),
+            std::string::npos);
+  // Gauges reflect the node's state at scrape time.
+  const auto* docs = snap.find("cachecloud_cached_docs");
+  ASSERT_NE(docs, nullptr);
+  EXPECT_DOUBLE_EQ(docs->value, 1.0);
+}
+
+TEST(NodeStatsTest, TraceIdsPropagateThroughReplies) {
+  Cluster cluster(small_config());
+  cluster.origin().add_document("/traced", 32);
+
+  // A traced request frame gets its trace id copied onto the reply, so a
+  // client can correlate request/response pairs without payload changes.
+  net::TcpClient client(cluster.cache(0).port());
+  net::Frame request = StatsReq{}.encode();
+  request.trace_id = 0xDEADBEEFCAFEF00Dull;
+  const net::Frame reply = client.call(request);
+  EXPECT_EQ(reply.trace_id, 0xDEADBEEFCAFEF00Dull);
+
+  // Untraced frames stay untraced.
+  const net::Frame untraced = client.call(StatsReq{}.encode());
+  EXPECT_EQ(untraced.trace_id, 0u);
+}
+
+}  // namespace
+}  // namespace cachecloud::node

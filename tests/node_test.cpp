@@ -80,6 +80,37 @@ TEST(ProtocolTest, AllMessagesRoundTrip) {
     EXPECT_EQ(back.records[0].holders, (std::vector<NodeId>{1, 2}));
   }
   {
+    StatsResp msg;
+    SCOPED_TRACE("StatsResp");
+    obs::SampleSnapshot sample;
+    sample.name = "cachecloud_gets_total";
+    sample.help = "Requests by hit class";
+    sample.kind = obs::MetricKind::Counter;
+    sample.labels = {{"class", "local"}};
+    sample.value = 12.0;
+    msg.snapshot.samples.push_back(sample);
+    obs::HistogramSnapshot hist;
+    hist.name = "cachecloud_get_latency_seconds";
+    hist.help = "End-to-end get latency";
+    hist.bounds = {0.001, 0.01, 0.1};
+    hist.counts = {4, 2, 1, 0};  // +Inf bucket last
+    hist.sum = 0.05;
+    hist.count = 7;
+    msg.snapshot.histograms.push_back(hist);
+    const StatsResp back = StatsResp::decode(msg.encode());
+    ASSERT_EQ(back.snapshot.samples.size(), 1u);
+    EXPECT_EQ(back.snapshot.samples[0].name, sample.name);
+    EXPECT_EQ(back.snapshot.samples[0].labels, sample.labels);
+    EXPECT_DOUBLE_EQ(back.snapshot.samples[0].value, 12.0);
+    ASSERT_EQ(back.snapshot.histograms.size(), 1u);
+    EXPECT_EQ(back.snapshot.histograms[0].bounds, hist.bounds);
+    EXPECT_EQ(back.snapshot.histograms[0].counts, hist.counts);
+    EXPECT_EQ(back.snapshot.histograms[0].count, 7u);
+    // A shipped snapshot renders the same exposition as a local one.
+    EXPECT_EQ(obs::to_prometheus(back.snapshot),
+              obs::to_prometheus(msg.snapshot));
+  }
+  {
     // Wrong-type frames are rejected.
     LookupReq msg{"/a"};
     EXPECT_THROW(FetchReq::decode(msg.encode()), net::DecodeError);

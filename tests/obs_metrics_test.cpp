@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(CounterTest, ConcurrentIncrementsLandExactly) {
+  Registry registry;
+  Counter& counter = registry.counter("test_total", "concurrent counter");
+  Gauge& gauge = registry.gauge("test_gauge", "concurrent gauge");
+  LatencyHistogram& histogram = registry.histogram(
+      "test_seconds", "concurrent histogram", {0.001, 0.01, 0.1, 1.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+        histogram.observe(0.001 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  // Sum of t*kIters*0.001*(t+1) over all threads.
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += 0.001 * static_cast<double>(t + 1) * kIters;
+  }
+  EXPECT_NEAR(histogram.sum(), expected_sum, expected_sum * 1e-9);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : histogram.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("x_total", "help", {{"k", "v"}});
+  Counter& b = registry.counter("x_total", "other help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = registry.counter("x_total", "help", {{"k", "w"}});
+  EXPECT_NE(&a, &c);
+  // Same name with a different kind is a registration bug.
+  EXPECT_THROW(registry.gauge("x_total", "help", {{"k", "v"}}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(HistogramTest, QuantilesAreMonotoneAndClamped) {
+  LatencyHistogram histogram({0.001, 0.01, 0.1, 1.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);  // empty
+
+  for (int i = 0; i < 100; ++i) {
+    histogram.observe(0.0005);  // first bucket
+    histogram.observe(0.05);    // third bucket
+  }
+  histogram.observe(50.0);  // +Inf bucket
+
+  double prev = -1.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = histogram.quantile(q);
+    EXPECT_GE(value, prev) << "quantile(" << q << ") not monotone";
+    prev = value;
+  }
+  // +Inf observations clamp to the largest finite bound.
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1.0);
+  // Half the mass is in the first bucket.
+  EXPECT_LE(histogram.quantile(0.25), 0.001);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(LatencyHistogram({}), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram({0.1, 0.1}), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram({0.2, 0.1}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- exposition
+
+TEST(ExpositionTest, PrometheusTextRoundTrip) {
+  Registry registry;
+  registry.counter("cc_requests_total", "Requests", {{"class", "local"}})
+      .inc(3);
+  registry.counter("cc_requests_total", "Requests", {{"class", "cloud"}})
+      .inc(2);
+  registry.gauge("cc_docs", "Cached documents").set(17.0);
+  LatencyHistogram& h =
+      registry.histogram("cc_latency_seconds", "Latency", {0.01, 0.1});
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const std::string text = registry.prometheus_text();
+  // HELP/TYPE headers, one per family.
+  EXPECT_NE(text.find("# HELP cc_requests_total Requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cc_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cc_docs gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cc_latency_seconds histogram"),
+            std::string::npos);
+  // Labelled samples.
+  EXPECT_NE(text.find("cc_requests_total{class=\"local\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("cc_requests_total{class=\"cloud\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cc_docs 17"), std::string::npos);
+  // Cumulative buckets with the +Inf terminator, _sum and _count.
+  EXPECT_NE(text.find("cc_latency_seconds_bucket{le=\"0.01\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cc_latency_seconds_bucket{le=\"0.1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cc_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("cc_latency_seconds_count 3"), std::string::npos);
+
+  // The snapshot carries the same numbers the text was rendered from.
+  const Snapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.sum_of("cc_requests_total"), 5.0);
+  const HistogramSnapshot* hs = snap.find_histogram("cc_latency_seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 3u);
+  EXPECT_EQ(to_prometheus(snap), text);
+}
+
+TEST(ExpositionTest, JsonDumpContainsEveryMetric) {
+  Registry registry;
+  registry.counter("a_total", "A", {{"k", "v"}}).inc(4);
+  registry.gauge("b", "B").set(2.5);
+  registry.histogram("c_seconds", "C", {0.1}).observe(0.05);
+
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(SpanTest, TraceIdsAreUniqueAndNonZero) {
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = next_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, prev);
+    prev = id;
+  }
+}
+
+}  // namespace
+}  // namespace cachecloud::obs

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "sim/accounting.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network_model.hpp"
 
@@ -65,6 +69,88 @@ TEST(CloudMetricsTest, SummaryMentionsKeyNumbers) {
   const std::string summary = metrics.summary();
   EXPECT_NE(summary.find("requests=10"), std::string::npos);
   EXPECT_NE(summary.find("local_hit=50.0%"), std::string::npos);
+}
+
+TEST(CloudMetricsTest, ReconcilesPartitionsEveryRequest) {
+  CloudMetrics metrics(2);
+  metrics.requests = 100;
+  metrics.local_hits = 60;
+  metrics.cloud_hits = 25;
+  metrics.group_misses = 15;
+  EXPECT_TRUE(metrics.reconciles());
+  ++metrics.requests;  // one request with no hit class: accounting bug
+  EXPECT_FALSE(metrics.reconciles());
+}
+
+TEST(AccountingTest, FinishReconcilesRealOutcomes) {
+  Accounting accounting(4, NetworkModel{});
+  core::RequestOutcome local;
+  local.kind = core::RequestKind::LocalHit;
+  core::RequestOutcome cloud;
+  cloud.kind = core::RequestKind::CloudHit;
+  cloud.beacon = 1;
+  cloud.discovery_hops = 1;
+  cloud.doc_bytes = 1000;
+  core::RequestOutcome miss;
+  miss.kind = core::RequestKind::GroupMiss;
+  miss.beacon = 2;
+  miss.discovery_hops = 1;
+  miss.doc_bytes = 1000;
+  accounting.on_request(local, 1.0);
+  accounting.on_request(cloud, 2.0);
+  accounting.on_request(miss, 3.0);
+  const CloudMetrics metrics = accounting.finish(10.0);
+  EXPECT_TRUE(metrics.reconciles());
+  EXPECT_EQ(metrics.requests, 3u);
+  EXPECT_EQ(metrics.local_hits + metrics.cloud_hits + metrics.group_misses,
+            3u);
+}
+
+TEST(AccountingTest, FinishAcceptsBalancedTallies) {
+  // on_request always files each measured request under exactly one hit
+  // class, so a divergence can only come from an accounting bug — which is
+  // why finish() guards it with a throw rather than a metric. An empty
+  // window (0 == 0 + 0 + 0) and normal traffic both pass the guard.
+  Accounting accounting(1, NetworkModel{});
+  EXPECT_NO_THROW(accounting.finish(1.0));
+}
+
+TEST(CloudMetricsTest, ExportToRegistrySharesLiveMetricNames) {
+  CloudMetrics metrics(2);
+  metrics.requests = 100;
+  metrics.local_hits = 60;
+  metrics.cloud_hits = 25;
+  metrics.group_misses = 15;
+  metrics.evictions = 7;
+  metrics.stored_copies = 40;
+  metrics.measured_sec = 60.0;
+
+  obs::Registry registry;
+  metrics.export_to(registry);
+  const obs::Snapshot snap = registry.snapshot();
+
+  // Hit classes land under the live CacheNode's metric name and sum to the
+  // request count.
+  EXPECT_DOUBLE_EQ(snap.sum_of("cachecloud_gets_total"), 100.0);
+  const auto* local =
+      snap.find("cachecloud_gets_total", {{"class", "local"}});
+  ASSERT_NE(local, nullptr);
+  EXPECT_DOUBLE_EQ(local->value, 60.0);
+  const auto* evictions = snap.find("cachecloud_evictions_total");
+  ASSERT_NE(evictions, nullptr);
+  EXPECT_DOUBLE_EQ(evictions->value, 7.0);
+
+  // Re-exporting the same metrics is idempotent (delta export).
+  metrics.export_to(registry);
+  EXPECT_DOUBLE_EQ(registry.snapshot().sum_of("cachecloud_gets_total"),
+                   100.0);
+
+  // A grown tally advances the counters.
+  metrics.requests += 10;
+  metrics.local_hits += 10;
+  metrics.export_to(registry);
+  EXPECT_DOUBLE_EQ(registry.snapshot().sum_of("cachecloud_gets_total"),
+                   110.0);
 }
 
 }  // namespace

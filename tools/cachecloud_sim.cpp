@@ -19,14 +19,22 @@
 //   --consistency=push     push | ttl      --ttl-sec=300
 //   --no-cooperation       the paper's no-cooperation baseline
 //   --warmup-sec=0         exclude the first part from metrics
+//
+// Observability options:
+//   --stats-every=N        print a one-line running summary every N seconds
+//                          of simulated time (0 = off)
+//   --prometheus           dump the final metrics in Prometheus text format
+//                          (same metric names live nodes expose via StatsReq)
 #include <cstdio>
 #include <string>
 
 #include "core/cloud.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
 #include "util/flags.hpp"
+#include "util/strings.hpp"
 
 using namespace cachecloud;
 
@@ -113,6 +121,35 @@ int run(int argc, char** argv) {
   sim::SimConfig sim_config;
   sim_config.metrics_start_sec = flags.get_double("warmup-sec", 0.0);
 
+  // Periodic running summary + registry sink. The registry mirrors the
+  // metric names live nodes expose, so a sim run and a live scrape can be
+  // compared side by side.
+  obs::Registry registry;
+  const double stats_every = flags.get_double("stats-every", 0.0);
+  const bool prometheus = flags.get_bool("prometheus", false);
+  if (prometheus || stats_every > 0.0) sim_config.registry = &registry;
+  if (stats_every > 0.0) {
+    sim_config.stats_every_sec = stats_every;
+    sim_config.stats_sink = [](double now, const sim::CloudMetrics& m) {
+      // measured_sec is only finalised at the end of the run, so compute
+      // the running network rate against the simulated clock directly.
+      const double mb_per_min =
+          now > 0.0
+              ? static_cast<double>(m.total_network_bytes()) / 1e6 /
+                    (now / 60.0)
+              : 0.0;
+      std::printf(
+          "[t=%8.0fs] requests=%llu local=%s%% cloud=%s%% misses=%llu "
+          "evictions=%llu net=%s MB/min\n",
+          now, static_cast<unsigned long long>(m.requests),
+          util::format_double(100.0 * m.local_hit_rate(), 1).c_str(),
+          util::format_double(100.0 * m.cloud_hit_rate(), 1).c_str(),
+          static_cast<unsigned long long>(m.group_misses),
+          static_cast<unsigned long long>(m.evictions),
+          util::format_double(mb_per_min, 2).c_str());
+    };
+  }
+
   for (const std::string& name : flags.unused()) {
     std::fprintf(stderr, "cachecloud_sim: unknown flag --%s\n", name.c_str());
     return 2;
@@ -143,6 +180,9 @@ int run(int argc, char** argv) {
   }
   std::printf("re-balance cycles: %zu (records handed over: %zu)\n",
               result.rebalances, result.records_transferred);
+  if (prometheus) {
+    std::printf("\n%s", obs::to_prometheus(registry.snapshot()).c_str());
+  }
   return 0;
 }
 
