@@ -1,0 +1,80 @@
+#include "net/fault_injector.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/tcp.hpp"
+
+namespace cachecloud::net {
+
+void FaultInjector::set_default_profile(const FaultProfile& profile) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  default_ = profile;
+}
+
+void FaultInjector::set_profile(std::uint16_t port,
+                                const FaultProfile& profile) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  per_port_[port] = profile;
+}
+
+void FaultInjector::clear_profile(std::uint16_t port) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  per_port_.erase(port);
+}
+
+void FaultInjector::clear_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  per_port_.clear();
+  default_ = FaultProfile{};
+}
+
+FaultProfile FaultInjector::profile_for_locked(std::uint16_t port) const {
+  const auto it = per_port_.find(port);
+  return it == per_port_.end() ? default_ : it->second;
+}
+
+void FaultInjector::on_connect(std::uint16_t port) {
+  bool refuse = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const FaultProfile profile = profile_for_locked(port);
+    if (profile.connect_refused > 0.0) {
+      refuse = rng_.next_bool(profile.connect_refused);
+    }
+  }
+  if (refuse) {
+    bump(Kind::ConnectRefused);
+    throw NetError("injected: connect to 127.0.0.1:" + std::to_string(port) +
+                   " refused");
+  }
+}
+
+FaultInjector::Action FaultInjector::on_frame(std::uint16_t port) {
+  double sleep_sec = 0.0;
+  Action action = Action::Deliver;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const FaultProfile profile = profile_for_locked(port);
+    // Fixed roll order keeps single-threaded runs bit-for-bit reproducible.
+    if (profile.extra_latency > 0.0 &&
+        rng_.next_bool(profile.extra_latency)) {
+      sleep_sec = profile.latency_sec;
+    }
+    if (profile.frame_drop > 0.0 && rng_.next_bool(profile.frame_drop)) {
+      action = Action::Drop;
+    } else if (profile.reset > 0.0 && rng_.next_bool(profile.reset)) {
+      action = Action::Reset;
+    }
+  }
+  if (sleep_sec > 0.0) {
+    bump(Kind::ExtraLatency);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_sec));
+  }
+  if (action == Action::Drop) bump(Kind::FrameDrop);
+  if (action == Action::Reset) bump(Kind::Reset);
+  return action;
+}
+
+}  // namespace cachecloud::net

@@ -1,0 +1,101 @@
+// Deterministic in-process fault injection for the TCP transport.
+//
+// A FaultInjector is installed on TcpClient / TcpServer (via NodeConfig in
+// the node layer) and consulted at two points:
+//
+//   on_connect(port)  before a client connect — may throw an injected
+//                     connection refusal;
+//   on_frame(port)    once per frame a client sends or a server replies —
+//                     may add latency (sleeps in place), drop the frame or
+//                     reset the connection (the caller acts on the verdict).
+//
+// Faults are keyed by the *destination* port (the server's listening port),
+// so "make node 3 flaky" is one set_profile call: its inbound client
+// traffic and its outbound replies both roll against the same profile.
+//
+// All randomness comes from one seeded util::Rng behind a mutex, with a
+// fixed roll order per frame (latency, drop, reset), so a single-threaded
+// driver replays the exact same fault sequence run to run. Counters are
+// atomics; chaos harnesses reconcile them against the resilience metrics
+// the nodes expose.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace cachecloud::net {
+
+// Per-destination fault probabilities; all default to "no faults".
+struct FaultProfile {
+  double connect_refused = 0.0;  // P(client connect attempt refused)
+  double frame_drop = 0.0;       // P(frame vanishes; the peer times out/EOFs)
+  double extra_latency = 0.0;    // P(frame delayed by latency_sec)
+  double latency_sec = 0.0;      // delay applied when latency fires
+  double reset = 0.0;            // P(connection reset instead of delivery)
+};
+
+class FaultInjector {
+ public:
+  enum class Kind : std::size_t {
+    ConnectRefused = 0,
+    FrameDrop = 1,
+    ExtraLatency = 2,
+    Reset = 3,
+  };
+  static constexpr std::size_t kKinds = 4;
+
+  // What the transport should do with the current frame.
+  enum class Action { Deliver, Drop, Reset };
+
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // The default profile applies to every port without an explicit one.
+  void set_default_profile(const FaultProfile& profile);
+  void set_profile(std::uint16_t port, const FaultProfile& profile);
+  void clear_profile(std::uint16_t port);
+  // Drops every per-port profile and zeroes the default (counters persist).
+  void clear_all();
+
+  // ---- transport hooks --------------------------------------------
+  // Throws NetError when a connect refusal is injected for `port`.
+  void on_connect(std::uint16_t port);
+  // Rolls latency (sleeping in place when it fires), then drop, then reset.
+  [[nodiscard]] Action on_frame(std::uint16_t port);
+
+  // ---- accounting --------------------------------------------------
+  [[nodiscard]] std::uint64_t count(Kind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  // Faults that surface as a peer_call failure: refusals + drops + resets
+  // (latency only slows the call down).
+  [[nodiscard]] std::uint64_t disruptions() const noexcept {
+    return count(Kind::ConnectRefused) + count(Kind::FrameDrop) +
+           count(Kind::Reset);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return disruptions() + count(Kind::ExtraLatency);
+  }
+
+ private:
+  [[nodiscard]] FaultProfile profile_for_locked(std::uint16_t port) const;
+  void bump(Kind kind) noexcept {
+    counts_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  FaultProfile default_;
+  std::unordered_map<std::uint16_t, FaultProfile> per_port_;
+  std::array<std::atomic<std::uint64_t>, kKinds> counts_{};
+};
+
+}  // namespace cachecloud::net

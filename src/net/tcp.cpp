@@ -1,14 +1,18 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+
+#include "net/fault_injector.hpp"
 
 namespace cachecloud::net {
 namespace {
@@ -197,19 +201,52 @@ void TcpListener::shutdown() noexcept {
   }
 }
 
-Socket connect_local(std::uint16_t port, double timeout_sec) {
+Socket connect_local(std::uint16_t port, double timeout_sec,
+                     FaultInjector* faults) {
+  if (faults) faults->on_connect(port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
+  Socket socket(fd);  // owns fd from here on
   sockaddr_in addr = loopback(port);
+
+  // Non-blocking connect with a poll deadline, so a black-holed peer fails
+  // within timeout_sec instead of the kernel's default (minutes).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (timeout_sec > 0.0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    errno = err;
-    throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+    if (timeout_sec <= 0.0 || errno != EINPROGRESS) {
+      throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_sec * 1e3));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) throw_errno("poll(connect)");
+    if (rc == 0) {
+      throw NetError("connect to 127.0.0.1:" + std::to_string(port) +
+                     " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+    }
+  }
+  if (timeout_sec > 0.0 && ::fcntl(fd, F_SETFL, flags) != 0) {
+    throw_errno("fcntl(F_SETFL)");
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  Socket socket(fd);
   if (timeout_sec > 0.0) socket.set_recv_timeout(timeout_sec);
   return socket;
 }
@@ -217,8 +254,11 @@ Socket connect_local(std::uint16_t port, double timeout_sec) {
 // ----------------------------------------------------------- TcpServer
 
 TcpServer::TcpServer(std::uint16_t port, Handler handler,
-                     FrameObserver* observer)
-    : listener_(port), handler_(std::move(handler)), observer_(observer) {
+                     FrameObserver* observer, FaultInjector* faults)
+    : listener_(port),
+      handler_(std::move(handler)),
+      observer_(observer),
+      faults_(faults) {
   if (!handler_) throw std::invalid_argument("TcpServer: null handler");
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -273,6 +313,12 @@ void TcpServer::serve(Socket socket) {
       Frame reply = handler_(*request);
       // Propagate the request's trace id unless the handler set its own.
       if (reply.trace_id == 0) reply.trace_id = request->trace_id;
+      if (faults_ &&
+          faults_->on_frame(port()) != FaultInjector::Action::Deliver) {
+        // Injected reply drop/reset: close without answering; the client
+        // sees EOF mid-call and treats it like any peer failure.
+        break;
+      }
       if (observer_) observer_->on_frame(reply, /*inbound=*/false);
       socket.write_frame(reply);
     }
@@ -289,11 +335,27 @@ void TcpServer::serve(Socket socket) {
 // ----------------------------------------------------------- TcpClient
 
 TcpClient::TcpClient(std::uint16_t port, double timeout_sec,
-                     FrameObserver* observer)
-    : socket_(connect_local(port, timeout_sec)), observer_(observer) {}
+                     FrameObserver* observer, FaultInjector* faults)
+    : port_(port),
+      socket_(connect_local(port, timeout_sec, faults)),
+      observer_(observer),
+      faults_(faults) {}
 
 Frame TcpClient::call(const Frame& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (faults_) {
+    switch (faults_->on_frame(port_)) {
+      case FaultInjector::Action::Deliver:
+        break;
+      case FaultInjector::Action::Drop:
+        // The request never reaches the wire; surface it immediately
+        // rather than stalling for the recv timeout a real drop causes.
+        throw NetError("injected: request frame dropped");
+      case FaultInjector::Action::Reset:
+        socket_.close();
+        throw NetError("injected: connection reset");
+    }
+  }
   if (observer_) observer_->on_frame(request, /*inbound=*/false);
   socket_.write_frame(request);
   std::optional<Frame> reply = socket_.read_frame();

@@ -22,6 +22,8 @@
 
 namespace cachecloud::net {
 
+class FaultInjector;
+
 class NetError : public std::runtime_error {
  public:
   explicit NetError(const std::string& what) : std::runtime_error(what) {}
@@ -103,8 +105,13 @@ class TcpListener {
   std::atomic<bool> shut_{false};
 };
 
+// Connects to 127.0.0.1:port. timeout_sec bounds both the connect itself
+// (non-blocking connect + poll, so a black-holed peer cannot stall the
+// caller for the kernel default) and subsequent reads; 0 = no timeout. The
+// optional injector may refuse the connect (deterministic chaos).
 [[nodiscard]] Socket connect_local(std::uint16_t port,
-                                   double timeout_sec = 5.0);
+                                   double timeout_sec = 5.0,
+                                   FaultInjector* faults = nullptr);
 
 // Request/response server: for every inbound frame the handler produces the
 // reply frame. One thread per connection; connections are served until the
@@ -116,9 +123,12 @@ class TcpServer {
   // port 0 = ephemeral. The handler runs on connection threads and must be
   // thread-safe. A handler exception closes that connection only. The
   // optional observer sees every request (inbound) and reply (outbound)
-  // frame and must outlive the server.
+  // frame and must outlive the server. The optional fault injector rolls
+  // against this server's listening port before each reply is written: an
+  // injected drop or reset closes the connection without replying.
   TcpServer(std::uint16_t port, Handler handler,
-            FrameObserver* observer = nullptr);
+            FrameObserver* observer = nullptr,
+            FaultInjector* faults = nullptr);
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -135,6 +145,7 @@ class TcpServer {
   TcpListener listener_;
   Handler handler_;
   FrameObserver* observer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex workers_mutex_;
@@ -148,16 +159,21 @@ class TcpServer {
 class TcpClient {
  public:
   // The optional observer sees every request (outbound) and reply
-  // (inbound) frame and must outlive the client.
+  // (inbound) frame and must outlive the client. The optional fault
+  // injector may refuse the connect, delay, drop or reset individual
+  // calls; every injected disruption surfaces as a NetError.
   explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0,
-                     FrameObserver* observer = nullptr);
+                     FrameObserver* observer = nullptr,
+                     FaultInjector* faults = nullptr);
 
   [[nodiscard]] Frame call(const Frame& request);
 
  private:
   std::mutex mutex_;
+  std::uint16_t port_ = 0;
   Socket socket_;
   FrameObserver* observer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace cachecloud::net

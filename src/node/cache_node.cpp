@@ -1,10 +1,14 @@
 #include "node/cache_node.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "cache/replacement.hpp"
+#include "net/fault_injector.hpp"
 #include "obs/span.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace cachecloud::node {
@@ -77,6 +81,31 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   inst_.replica_sync_records = &registry_.counter(
       "cachecloud_replica_sync_records_total",
       "Lookup records shipped by replica syncs");
+  inst_.peer_retries = &registry_.counter(
+      "cachecloud_peer_retries_total",
+      "peer_call attempts re-issued after a failure");
+  inst_.peer_failures = &registry_.counter(
+      "cachecloud_peer_call_failures_total",
+      "peer_call attempts that ended in a transport error");
+  inst_.breaker_trips = &registry_.counter(
+      "cachecloud_breaker_trips_total",
+      "Circuit-breaker transitions to open, across all peers");
+  inst_.breaker_short_circuits = &registry_.counter(
+      "cachecloud_breaker_short_circuits_total",
+      "peer_calls rejected without an attempt by an open breaker");
+  const auto degraded_counter = [this](const char* phase) {
+    return &registry_.counter(
+        "cachecloud_degraded_serves_total",
+        "get() protocol phases skipped because a beacon point was "
+        "unreachable; the request was still served",
+        {{"phase", phase}});
+  };
+  inst_.degraded_lookup = degraded_counter("lookup");
+  inst_.degraded_register = degraded_counter("register");
+  inst_.degraded_beacon_push = degraded_counter("beacon_push");
+  inst_.suspects_reported = &registry_.counter(
+      "cachecloud_suspects_reported_total",
+      "SuspectNode reports sent to the coordinator");
   inst_.get_latency = &registry_.histogram(
       "cachecloud_get_latency_seconds",
       "End-to-end client get() latency", obs::default_latency_bounds());
@@ -99,8 +128,13 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
       "cachecloud_replica_records",
       "Lazily-replicated lookup records held for ring peers");
 
+  // Per-node retry jitter seed: deterministic, distinct per node.
+  retry_ = std::make_unique<RetryPolicy>(
+      config_.retry, util::hash_combine(0xC0FFEEULL, id_));
+
   server_ = std::make_unique<net::TcpServer>(
-      0, [this](const net::Frame& f) { return handle(f); }, &wire_metrics_);
+      0, [this](const net::Frame& f) { return handle(f); }, &wire_metrics_,
+      config_.fault_injector);
 }
 
 CacheNode::~CacheNode() { stop(); }
@@ -132,29 +166,119 @@ trace::DocId CacheNode::intern(const std::string& url) {
   return it->second;
 }
 
-net::Frame CacheNode::peer_call(NodeId peer, const net::Frame& request) {
-  net::TcpClient* client = nullptr;
+CacheNode::PeerState& CacheNode::peer_state_locked(NodeId peer) {
+  auto [it, inserted] = peers_.try_emplace(peer);
+  PeerState& state = it->second;
+  if (inserted) {
+    state.breaker = std::make_shared<CircuitBreaker>(config_.breaker);
+    state.state_gauge = &registry_.gauge(
+        "cachecloud_breaker_state",
+        "Per-peer circuit-breaker state: 0 closed, 1 open, 2 half-open",
+        {{"peer", peer == kOriginId ? "origin" : std::to_string(peer)}});
+  }
+  return state;
+}
+
+std::shared_ptr<CircuitBreaker> CacheNode::breaker_for(NodeId peer) {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  return peer_state_locked(peer).breaker;
+}
+
+net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
+  std::shared_ptr<net::TcpClient> client;
   {
     const std::lock_guard<std::mutex> lock(peers_mutex_);
     if (!endpoints_set_) {
       throw net::NetError("CacheNode: endpoints not configured");
     }
-    auto& slot = peers_[peer];
-    if (!slot) {
+    PeerState& state = peer_state_locked(peer);
+    if (!state.client) {
       const std::uint16_t port = peer == kOriginId
                                      ? endpoints_.origin_port
                                      : endpoints_.cache_ports.at(peer);
-      slot = std::make_unique<net::TcpClient>(port, 5.0, &wire_metrics_);
+      state.client = std::make_shared<net::TcpClient>(
+          port, config_.retry.attempt_timeout_sec, &wire_metrics_,
+          config_.fault_injector);
     }
-    client = slot.get();
+    client = state.client;
   }
   try {
     return client->call(request);
   } catch (const net::NetError&) {
-    // Drop the broken connection so the next call reconnects.
+    // Drop the pooled connection so the next attempt reconnects; only if
+    // it is still the one we used (a concurrent failure may already have
+    // replaced it). In-flight calls hold their own shared_ptr.
     const std::lock_guard<std::mutex> lock(peers_mutex_);
-    peers_.erase(peer);
+    const auto it = peers_.find(peer);
+    if (it != peers_.end() && it->second.client == client) {
+      it->second.client.reset();
+    }
     throw;
+  }
+}
+
+bool CacheNode::note_peer_failure(NodeId peer) {
+  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  PeerState& state = peer_state_locked(peer);
+  state.state_gauge->set(breaker_state_value(state.breaker->state()));
+  const std::uint64_t trips = state.breaker->trips();
+  if (trips > state.reported_trips) {
+    inst_.breaker_trips->inc(trips - state.reported_trips);
+    state.reported_trips = trips;
+  }
+  const std::uint32_t suspect_after = config_.breaker.suspect_after_trips;
+  if (config_.auto_failover && suspect_after > 0 && peer != kOriginId &&
+      !state.suspected && trips >= suspect_after) {
+    state.suspected = true;
+    return true;
+  }
+  return false;
+}
+
+void CacheNode::report_suspect(NodeId peer) {
+  SuspectNode report;
+  report.node = peer;
+  report.reporter = id_;
+  inst_.suspects_reported->inc();
+  CC_LOG(Warn) << "node " << id_ << ": peer " << peer
+               << " suspected dead, reporting to coordinator";
+  try {
+    const Ack ack = Ack::decode(peer_call(kOriginId, report.encode()));
+    if (!ack.ok) {
+      CC_LOG(Warn) << "node " << id_ << ": suspicion of peer " << peer
+                   << " rejected: " << ack.error;
+    }
+  } catch (const std::exception& e) {
+    CC_LOG(Warn) << "node " << id_ << ": suspicion report for peer " << peer
+                 << " failed: " << e.what();
+  }
+}
+
+net::Frame CacheNode::peer_call(NodeId peer, const net::Frame& request) {
+  const std::shared_ptr<CircuitBreaker> breaker = breaker_for(peer);
+  const double start = now();
+  if (!breaker->allow(start)) {
+    inst_.breaker_short_circuits->inc();
+    throw net::NetError("peer " + std::to_string(peer) + ": circuit open");
+  }
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      net::Frame reply = peer_call_once(peer, request);
+      breaker->on_success(now());
+      return reply;
+    } catch (const net::NetError&) {
+      breaker->on_failure(now());
+      inst_.peer_failures->inc();
+      const bool suspect = note_peer_failure(peer);
+      if (suspect) report_suspect(peer);
+      const bool budget_left =
+          attempt < config_.retry.max_attempts &&
+          now() - start < config_.retry.call_deadline_sec;
+      if (!budget_left || !breaker->allow(now())) throw;
+      inst_.peer_retries->inc();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(retry_->backoff_sec(attempt)));
+    }
   }
 }
 
@@ -256,12 +380,24 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
     }
   }
 
-  // Local miss: consult the beacon point.
+  // Local miss: consult the beacon point. An unreachable beacon degrades
+  // the request instead of failing it: skip the cooperative lookup, fetch
+  // from the origin and decide placement with local knowledge only.
   obs::Stopwatch phase;
   LookupReq lookup;
   lookup.url = url;
-  const LookupResp resp = LookupResp::decode(
-      peer_call(target.beacon, with_trace(lookup.encode(), trace_id)));
+  LookupResp resp;
+  bool degraded = false;
+  try {
+    resp = LookupResp::decode(
+        peer_call(target.beacon, with_trace(lookup.encode(), trace_id)));
+  } catch (const net::NetError& e) {
+    degraded = true;
+    inst_.degraded_lookup->inc();
+    CC_LOG(Warn) << "node " << id_ << ": beacon " << target.beacon
+                 << " unreachable for " << url
+                 << ", serving degraded: " << e.what();
+  }
   const double lookup_sec = phase.lap_sec();
   inst_.phase_lookup->observe(lookup_sec);
 
@@ -328,33 +464,53 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   (want_store ? inst_.placement_accept : inst_.placement_reject)->inc();
   if (want_store && store_copy(url, doc, result.body, result.version)) {
     result.stored = true;
-    RegisterHolder reg;
-    reg.url = url;
-    reg.node = id_;
-    reg.version = result.version;
-    (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+    if (!degraded) {
+      RegisterHolder reg;
+      reg.url = url;
+      reg.node = id_;
+      reg.version = result.version;
+      try {
+        (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+      } catch (const net::NetError& e) {
+        // The copy stays local-only until the next registration refresh; an
+        // unregistered copy is a lost cloud hit, never a correctness issue.
+        inst_.degraded_register->inc();
+        CC_LOG(Warn) << "node " << id_ << ": registration of " << url
+                     << " at beacon " << target.beacon
+                     << " failed: " << e.what();
+      }
+    } else {
+      inst_.degraded_register->inc();
+    }
   }
 
   // Beacon-point placement: after an origin fetch, push the single cloud
   // copy to the document's beacon point.
-  if (result.source == GetResult::Source::Origin &&
+  if (!degraded && result.source == GetResult::Source::Origin &&
       placement_->replicate_to_beacon_on_group_miss() &&
       target.beacon != id_) {
-    UpdatePush push;
-    push.url = url;
-    push.version = result.version;
-    push.body = result.body;
-    (void)peer_call(target.beacon,
-                    with_trace(push.encode(MsgType::Propagate), trace_id));
-    RegisterHolder reg;
-    reg.url = url;
-    reg.node = target.beacon;
-    reg.version = result.version;
-    (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+    try {
+      UpdatePush push;
+      push.url = url;
+      push.version = result.version;
+      push.body = result.body;
+      (void)peer_call(target.beacon,
+                      with_trace(push.encode(MsgType::Propagate), trace_id));
+      RegisterHolder reg;
+      reg.url = url;
+      reg.node = target.beacon;
+      reg.version = result.version;
+      (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+    } catch (const net::NetError& e) {
+      inst_.degraded_beacon_push->inc();
+      CC_LOG(Warn) << "node " << id_ << ": beacon placement of " << url
+                   << " at " << target.beacon << " failed: " << e.what();
+    }
   }
   const double placement_sec = phase.lap_sec();
   inst_.phase_placement->observe(placement_sec);
   inst_.get_latency->observe(span.elapsed_sec());
+  if (degraded) span.tag("degraded", static_cast<std::uint64_t>(1));
   span.tag("class", source_name(result.source))
       .tag("beacon", static_cast<std::uint64_t>(target.beacon))
       .phase("lookup", lookup_sec)
@@ -765,6 +921,12 @@ obs::Snapshot CacheNode::metrics_snapshot() const {
     inst_.directory_records->set(static_cast<double>(directory_.size()));
     inst_.replica_records->set(
         static_cast<double>(replica_directory_.size()));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    for (const auto& [peer, state] : peers_) {
+      state.state_gauge->set(breaker_state_value(state.breaker->state()));
+    }
   }
   return registry_.snapshot();
 }

@@ -20,6 +20,7 @@
 #include "core/placement.hpp"
 #include "net/tcp.hpp"
 #include "node/protocol.hpp"
+#include "node/resilience.hpp"
 #include "node/ring_view.hpp"
 #include "obs/metrics.hpp"
 #include "util/rate.hpp"
@@ -35,6 +36,15 @@ struct NodeConfig {
   std::uint64_t capacity_bytes = 0;  // 0 = unlimited
   std::string replacement = "lru";
   double monitor_half_life_sec = 60.0;
+  // ---- resilience --------------------------------------------------
+  RetryConfig retry;
+  BreakerConfig breaker;
+  // Report repeatedly-tripping peers to the coordinator (SuspectNode), so
+  // heir promotion runs without an external handle_node_failure call.
+  bool auto_failover = true;
+  // Deterministic chaos hook, threaded into every client and server this
+  // node creates. Not owned; must outlive the node. nullptr = no faults.
+  net::FaultInjector* fault_injector = nullptr;
 };
 
 // Endpoint table distributed to every node before traffic starts.
@@ -123,8 +133,14 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
 
   // Sends a request to a peer cache (or the origin with id kOriginId) and
-  // returns the reply. Never call while holding state_mutex_.
+  // returns the reply, retrying with jittered exponential backoff behind
+  // the peer's circuit breaker. Throws net::NetError once attempts, the
+  // call deadline or the breaker give out. Never call while holding
+  // state_mutex_ or peers_mutex_.
   [[nodiscard]] net::Frame peer_call(NodeId peer, const net::Frame& request);
+  // One attempt over the pooled connection, no retry/breaker involvement.
+  [[nodiscard]] net::Frame peer_call_once(NodeId peer,
+                                          const net::Frame& request);
 
   [[nodiscard]] double now() const;
   [[nodiscard]] trace::DocId intern(const std::string& url);
@@ -181,6 +197,14 @@ class CacheNode {
     obs::Counter* drops_on_update = nullptr;
     obs::Counter* replica_syncs = nullptr;
     obs::Counter* replica_sync_records = nullptr;
+    obs::Counter* peer_retries = nullptr;
+    obs::Counter* peer_failures = nullptr;
+    obs::Counter* breaker_trips = nullptr;
+    obs::Counter* breaker_short_circuits = nullptr;
+    obs::Counter* degraded_lookup = nullptr;
+    obs::Counter* degraded_register = nullptr;
+    obs::Counter* degraded_beacon_push = nullptr;
+    obs::Counter* suspects_reported = nullptr;
     obs::LatencyHistogram* get_latency = nullptr;
     obs::LatencyHistogram* phase_lookup = nullptr;
     obs::LatencyHistogram* phase_fetch = nullptr;
@@ -191,10 +215,30 @@ class CacheNode {
   };
   Instruments inst_;
 
-  std::mutex peers_mutex_;
+  // Per-peer connection + breaker state. Clients are shared_ptr so a call
+  // in flight on one thread survives another thread dropping the pooled
+  // connection after a failure (use-after-erase race). Breakers persist
+  // across reconnects; `suspected` latches the one SuspectNode report.
+  struct PeerState {
+    std::shared_ptr<net::TcpClient> client;
+    std::shared_ptr<CircuitBreaker> breaker;
+    obs::Gauge* state_gauge = nullptr;
+    std::uint64_t reported_trips = 0;
+    bool suspected = false;
+  };
+  // Get-or-create the peer's state (client left null); takes peers_mutex_.
+  [[nodiscard]] PeerState& peer_state_locked(NodeId peer);
+  [[nodiscard]] std::shared_ptr<CircuitBreaker> breaker_for(NodeId peer);
+  // Refresh the breaker gauge, count new trips and decide (under
+  // peers_mutex_) whether this failure crosses the suspicion threshold.
+  [[nodiscard]] bool note_peer_failure(NodeId peer);
+  void report_suspect(NodeId peer);
+
+  mutable std::mutex peers_mutex_;
   Endpoints endpoints_;
   bool endpoints_set_ = false;
-  std::unordered_map<NodeId, std::unique_ptr<net::TcpClient>> peers_;
+  std::unordered_map<NodeId, PeerState> peers_;
+  std::unique_ptr<RetryPolicy> retry_;
 
   std::unique_ptr<net::TcpServer> server_;
 };

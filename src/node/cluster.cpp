@@ -2,7 +2,8 @@
 
 namespace cachecloud::node {
 
-Cluster::Cluster(const NodeConfig& config) : config_(config) {
+Cluster::Cluster(const NodeConfig& config)
+    : config_(config), crashed_(config.num_caches, false) {
   origin_ = std::make_unique<OriginNode>(config_);
   caches_.reserve(config_.num_caches);
   for (NodeId id = 0; id < config_.num_caches; ++id) {
@@ -23,7 +24,18 @@ Cluster::Cluster(const NodeConfig& config) : config_(config) {
 
 Cluster::~Cluster() { stop_all(); }
 
-void Cluster::crash(NodeId id) { caches_.at(id)->stop(); }
+void Cluster::crash(NodeId id) {
+  caches_.at(id)->stop();
+  crashed_.at(id) = true;
+}
+
+std::size_t Cluster::live_caches() const {
+  std::size_t live = 0;
+  for (const bool down : crashed_) {
+    if (!down) ++live;
+  }
+  return live;
+}
 
 void Cluster::stop_all() {
   for (const auto& cache : caches_) {

@@ -30,6 +30,10 @@ class Cluster {
   // Stops a cache node's server (simulated crash). Peers will see
   // connection failures when they talk to it.
   void crash(NodeId id);
+  [[nodiscard]] bool crashed(NodeId id) const {
+    return crashed_.at(id);
+  }
+  [[nodiscard]] std::size_t live_caches() const;
 
   void stop_all();
 
@@ -37,6 +41,7 @@ class Cluster {
   NodeConfig config_;
   std::unique_ptr<OriginNode> origin_;
   std::vector<std::unique_ptr<CacheNode>> caches_;
+  std::vector<bool> crashed_;
 };
 
 }  // namespace cachecloud::node

@@ -31,12 +31,29 @@ OriginNode::OriginNode(const NodeConfig& config)
   inst_.handoffs_ordered = &registry_.counter(
       "cachecloud_origin_handoffs_total",
       "HandoffCmd messages issued during re-balancing");
+  const auto failover_counter = [this](const char* trigger) {
+    return &registry_.counter(
+        "cachecloud_origin_failovers_total",
+        "Node failovers run by the coordinator, by trigger",
+        {{"trigger", trigger}});
+  };
+  inst_.failovers_operator = failover_counter("operator");
+  inst_.failovers_suspicion = failover_counter("suspicion");
+  inst_.suspects_received = &registry_.counter(
+      "cachecloud_origin_suspects_received_total",
+      "SuspectNode reports received from caches");
+  inst_.announce_failures = &registry_.counter(
+      "cachecloud_origin_announce_failures_total",
+      "RangeAnnounce deliveries that failed and were queued for catch-up");
+  inst_.peer_call_failures = &registry_.counter(
+      "cachecloud_origin_peer_call_failures_total",
+      "Failed calls from the origin to cache nodes (one per attempt)");
   inst_.documents = &registry_.gauge(
       "cachecloud_origin_documents",
       "Documents registered at the origin");
   server_ = std::make_unique<net::TcpServer>(
       0, [this](const net::Frame& f) { return handle(f); },
-      &wire_metrics_);
+      &wire_metrics_, config_.fault_injector);
 }
 
 OriginNode::~OriginNode() { stop(); }
@@ -56,24 +73,29 @@ void OriginNode::set_endpoints(const Endpoints& endpoints) {
 }
 
 net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
-  net::TcpClient* client = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
-    if (!endpoints_set_) {
-      throw net::NetError("OriginNode: endpoints not configured");
-    }
-    auto& slot = peers_[node];
-    if (!slot) {
-      slot = std::make_unique<net::TcpClient>(endpoints_.cache_ports.at(node),
-                                              5.0, &wire_metrics_);
-    }
-    client = slot.get();
-  }
+  std::shared_ptr<net::TcpClient> client;
   try {
+    {
+      const std::lock_guard<std::mutex> lock(peers_mutex_);
+      if (!endpoints_set_) {
+        throw net::NetError("OriginNode: endpoints not configured");
+      }
+      auto& slot = peers_[node];
+      if (!slot) {
+        slot = std::make_shared<net::TcpClient>(
+            endpoints_.cache_ports.at(node), 5.0, &wire_metrics_,
+            config_.fault_injector);
+      }
+      client = slot;
+    }
     return client->call(request);
   } catch (const net::NetError&) {
+    inst_.peer_call_failures->inc();
+    // Drop the pooled connection (only if still ours) so the next call
+    // reconnects; in-flight users hold their own reference.
     const std::lock_guard<std::mutex> lock(peers_mutex_);
-    peers_.erase(node);
+    const auto it = peers_.find(node);
+    if (it != peers_.end() && it->second == client) peers_.erase(it);
     throw;
   }
 }
@@ -146,10 +168,13 @@ std::uint64_t OriginNode::publish_update(const std::string& url) {
 }
 
 OriginNode::RebalanceSummary OriginNode::run_rebalance_cycle() {
-  // Gather load reports from every cache node.
+  // Heal any node that missed an earlier announce, then gather load
+  // reports from every surviving cache node.
+  (void)retry_pending_announces();
   std::vector<LoadReport> reports;
   reports.reserve(config_.num_caches);
   for (NodeId node = 0; node < config_.num_caches; ++node) {
+    if (node_failed(node)) continue;
     reports.push_back(
         LoadReport::decode(call_cache(node, LoadQuery{}.encode())));
   }
@@ -221,6 +246,7 @@ OriginNode::RebalanceSummary OriginNode::run_rebalance_cycle() {
   // Commit locally, announce to every node, then order the hand-offs.
   rings_.apply(next);
   for (NodeId node = 0; node < config_.num_caches; ++node) {
+    if (node_failed(node)) continue;
     const Ack ack =
         Ack::decode(call_cache(node, next.encode()));
     if (!ack.ok) {
@@ -250,7 +276,56 @@ OriginNode::RebalanceSummary OriginNode::run_rebalance_cycle() {
   return summary;
 }
 
+void OriginNode::announce_to(NodeId node, const RangeAnnounce& announce) {
+  try {
+    const Ack ack = Ack::decode(call_cache(node, announce.encode()));
+    if (!ack.ok) {
+      CC_LOG(Warn) << "origin: range announce to node " << node
+                   << " rejected: " << ack.error;
+    }
+    pending_announce_.erase(node);
+  } catch (const std::exception& e) {
+    // The node missed this assignment; remember it so a later
+    // retry_pending_announces() (or the next rebalance cycle) catches it
+    // up once it is reachable again.
+    inst_.announce_failures->inc();
+    pending_announce_.insert(node);
+    CC_LOG(Warn) << "origin: failover announce to node " << node
+                 << " failed: " << e.what();
+  }
+}
+
+std::size_t OriginNode::retry_pending_announces() {
+  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  if (pending_announce_.empty()) return 0;
+  const RangeAnnounce current = rings_.snapshot();
+  const std::vector<NodeId> pending(pending_announce_.begin(),
+                                    pending_announce_.end());
+  std::size_t caught_up = 0;
+  for (const NodeId node : pending) {
+    const std::size_t before = pending_announce_.size();
+    announce_to(node, current);
+    if (pending_announce_.size() < before) ++caught_up;
+  }
+  return caught_up;
+}
+
+bool OriginNode::node_failed(NodeId node) const {
+  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  return failed_nodes_.contains(node);
+}
+
 OriginNode::FailoverSummary OriginNode::handle_node_failure(NodeId failed) {
+  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  inst_.failovers_operator->inc();
+  return handle_node_failure_locked(failed);
+}
+
+OriginNode::FailoverSummary OriginNode::handle_node_failure_locked(
+    NodeId failed) {
+  if (failed_nodes_.contains(failed)) {
+    throw std::invalid_argument("OriginNode: node already failed over");
+  }
   const RangeAnnounce current = rings_.snapshot();
   FailoverSummary summary;
   bool found = false;
@@ -287,30 +362,29 @@ OriginNode::FailoverSummary OriginNode::handle_node_failure(NodeId failed) {
     throw std::invalid_argument("OriginNode: unknown node in failover");
   }
 
+  failed_nodes_.insert(failed);
   rings_.apply(next);
   for (NodeId node = 0; node < config_.num_caches; ++node) {
-    if (node == failed) continue;
-    try {
-      const Ack ack = Ack::decode(call_cache(node, next.encode()));
-      if (!ack.ok) {
-        CC_LOG(Warn) << "origin: failover announce to node " << node
-                     << " rejected: " << ack.error;
-      }
-    } catch (const std::exception& e) {
-      CC_LOG(Warn) << "origin: failover announce to node " << node
-                   << " failed: " << e.what();
-    }
+    if (node == failed || failed_nodes_.contains(node)) continue;
+    announce_to(node, next);
   }
 
   PromoteReplicas promote;
   promote.ring = summary.ring;
   promote.values = summary.inherited;
   promote.failed_node = failed;
-  const Ack ack =
-      Ack::decode(call_cache(summary.heir, promote.encode()));
-  if (!ack.ok) {
+  try {
+    const Ack ack = Ack::decode(call_cache(summary.heir, promote.encode()));
+    if (!ack.ok) {
+      CC_LOG(Warn) << "origin: replica promotion at node " << summary.heir
+                   << " rejected: " << ack.error;
+    }
+  } catch (const std::exception& e) {
+    // The failover itself stands (ranges are reassigned); the heir just
+    // serves the inherited sub-range without the promoted records, so
+    // affected documents fall back to origin fetches.
     CC_LOG(Warn) << "origin: replica promotion at node " << summary.heir
-                 << " rejected: " << ack.error;
+                 << " failed: " << e.what();
   }
   return summary;
 }
@@ -318,6 +392,28 @@ OriginNode::FailoverSummary OriginNode::handle_node_failure(NodeId failed) {
 std::uint64_t OriginNode::origin_fetches() const {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   return origin_fetches_;
+}
+
+net::Frame OriginNode::handle_suspect(const net::Frame& request) {
+  const SuspectNode report = SuspectNode::decode(request);
+  inst_.suspects_received->inc();
+  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  if (failed_nodes_.contains(report.node)) {
+    return Ack{}.encode();  // already failed over — idempotent
+  }
+  CC_LOG(Warn) << "origin: node " << report.node << " reported suspect by "
+               << report.reporter << ", running failover";
+  try {
+    (void)handle_node_failure_locked(report.node);
+    inst_.failovers_suspicion->inc();
+  } catch (const std::invalid_argument& e) {
+    // Unfailable (e.g. last ring member): tell the reporter, keep serving.
+    Ack nack;
+    nack.ok = false;
+    nack.error = e.what();
+    return nack.encode();
+  }
+  return Ack{}.encode();
 }
 
 net::Frame OriginNode::handle(const net::Frame& request) {
@@ -347,6 +443,8 @@ net::Frame OriginNode::handle(const net::Frame& request) {
         resp.snapshot = metrics_snapshot();
         return resp.encode();
       }
+      case MsgType::SuspectNode:
+        return handle_suspect(request);
       case MsgType::Ping:
         return Ack{}.encode();
       default:

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/tcp.hpp"
@@ -55,14 +56,24 @@ class OriginNode {
   // Fails a cache node over: merges its sub-range into a ring neighbour,
   // announces the new assignment to the survivors and promotes the heir's
   // lazily-replicated lookup records (§2.3's resilience extension).
-  // The failed node's server may already be unreachable. Throws
-  // std::invalid_argument if the node is its ring's last member.
+  // The failed node's server may already be unreachable. Survivors whose
+  // announce fails are remembered and caught up by
+  // retry_pending_announces(). Throws std::invalid_argument if the node is
+  // its ring's last member or was already failed over. Also runs
+  // automatically when a cache reports the node via SuspectNode.
   struct FailoverSummary {
     NodeId heir = 0;
     std::uint32_t ring = 0;
     core::SubRange inherited;
   };
   FailoverSummary handle_node_failure(NodeId failed);
+
+  // Re-sends the current ring assignment to nodes that missed an announce
+  // (e.g. were unreachable during a failover). Returns how many caught up.
+  // run_rebalance_cycle() calls this first, so a periodic coordinator loop
+  // heals stale views automatically.
+  std::size_t retry_pending_announces();
+  [[nodiscard]] bool node_failed(NodeId node) const;
 
   [[nodiscard]] const RingView& ring_view() const noexcept { return rings_; }
   [[nodiscard]] std::uint64_t origin_fetches() const;
@@ -88,7 +99,11 @@ class OriginNode {
   };
 
   [[nodiscard]] net::Frame handle(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_suspect(const net::Frame& request);
   [[nodiscard]] net::Frame call_cache(NodeId node, const net::Frame& request);
+  FailoverSummary handle_node_failure_locked(NodeId failed);
+  // Announce `announce` to `node`, tracking pending catch-up on failure.
+  void announce_to(NodeId node, const RangeAnnounce& announce);
 
   const NodeConfig config_;
   mutable std::mutex state_mutex_;
@@ -105,16 +120,28 @@ class OriginNode {
     obs::Counter* update_pushes_sent = nullptr;
     obs::Counter* rebalance_cycles = nullptr;
     obs::Counter* handoffs_ordered = nullptr;
+    obs::Counter* failovers_operator = nullptr;
+    obs::Counter* failovers_suspicion = nullptr;
+    obs::Counter* suspects_received = nullptr;
+    obs::Counter* announce_failures = nullptr;
+    obs::Counter* peer_call_failures = nullptr;
     obs::Gauge* documents = nullptr;
   };
   Instruments inst_;
 
   RingView rings_;
 
+  // Serializes failovers (operator calls and concurrent SuspectNode
+  // handler threads) and guards the failed/pending bookkeeping.
+  mutable std::mutex failover_mutex_;
+  std::unordered_set<NodeId> failed_nodes_;
+  std::unordered_set<NodeId> pending_announce_;
+
   std::mutex peers_mutex_;
   Endpoints endpoints_;
   bool endpoints_set_ = false;
-  std::unordered_map<NodeId, std::unique_ptr<net::TcpClient>> peers_;
+  // shared_ptr: a call in flight survives a concurrent connection drop.
+  std::unordered_map<NodeId, std::shared_ptr<net::TcpClient>> peers_;
 
   std::unique_ptr<net::TcpServer> server_;
 };

@@ -34,6 +34,7 @@ std::string_view msg_type_name(std::uint16_t type) noexcept {
     case MsgType::PromoteReplicas: return "PromoteReplicas";
     case MsgType::StatsReq: return "StatsReq";
     case MsgType::StatsResp: return "StatsResp";
+    case MsgType::SuspectNode: return "SuspectNode";
   }
   return "Unknown";
 }
@@ -353,6 +354,23 @@ RecordHandoff RecordHandoff::decode(const net::Frame& frame) {
     for (std::uint32_t k = 0; k < nh; ++k) record.holders.push_back(r.u32());
     msg.records.push_back(std::move(record));
   }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame SuspectNode::encode() const {
+  net::BufferWriter w;
+  w.u32(node);
+  w.u32(reporter);
+  return make_frame(MsgType::SuspectNode, std::move(w));
+}
+
+SuspectNode SuspectNode::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::SuspectNode);
+  net::BufferReader r(frame.payload);
+  SuspectNode msg;
+  msg.node = r.u32();
+  msg.reporter = r.u32();
   r.expect_end();
   return msg;
 }

@@ -54,6 +54,9 @@ enum class MsgType : std::uint16_t {
   // Observability: scrape a live node's metric registry.
   StatsReq = 19,
   StatsResp = 20,
+  // Resilience: a cache whose circuit breaker for a peer trips repeatedly
+  // reports it to the coordinator, which runs the failover automatically.
+  SuspectNode = 21,
 };
 
 // Human-readable name of a wire message type ("LookupReq", ...); unknown
@@ -192,6 +195,17 @@ struct PromoteReplicas {
   static PromoteReplicas decode(const net::Frame& frame);
 };
 
+// Cache -> origin: `node` looks dead from `reporter`'s data path (its
+// circuit breaker tripped suspect_after_trips times). The origin answers
+// Ack{ok} after running (or having already run) the failover, Ack{!ok} if
+// the node cannot be failed over (e.g. last ring member).
+struct SuspectNode {
+  NodeId node = 0;
+  NodeId reporter = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static SuspectNode decode(const net::Frame& frame);
+};
+
 // ---------------------------------------------------------- observability
 
 struct StatsReq {
@@ -228,7 +242,7 @@ class WireMetrics : public net::FrameObserver {
   };
   // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
   static constexpr std::size_t kMaxType =
-      static_cast<std::size_t>(MsgType::StatsResp);
+      static_cast<std::size_t>(MsgType::SuspectNode);
   std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 

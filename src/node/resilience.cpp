@@ -1,0 +1,81 @@
+#include "node/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cachecloud::node {
+
+double RetryPolicy::backoff_sec(std::uint32_t retry) {
+  if (retry == 0) return 0.0;
+  const double uncapped =
+      config_.backoff_base_sec * std::pow(2.0, static_cast<double>(retry - 1));
+  const double capped = std::min(uncapped, config_.backoff_cap_sec);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double scale =
+      1.0 - config_.jitter * rng_.next_double();  // U[1-jitter, 1]
+  return capped * scale;
+}
+
+bool CircuitBreaker::allow(double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now - opened_at_ < config_.cooldown_sec) return false;
+      state_ = State::HalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case State::HalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(double now) {
+  (void)now;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::HalfOpen) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = State::Closed;
+    }
+  }
+}
+
+void CircuitBreaker::on_failure(double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (state_ == State::HalfOpen) {
+    probe_in_flight_ = false;
+    trip_locked(now);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == State::Closed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    trip_locked(now);
+  }
+}
+
+void CircuitBreaker::trip_locked(double now) {
+  state_ = State::Open;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace cachecloud::node

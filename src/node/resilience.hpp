@@ -1,0 +1,98 @@
+// Resilience primitives for the live request path: jittered exponential
+// retry backoff and a per-peer circuit breaker.
+//
+// CacheNode wraps every peer_call in both: a failed attempt is retried
+// (bounded by attempts and a per-call deadline) with exponential backoff,
+// and consecutive failures trip the peer's breaker so subsequent calls
+// fail fast instead of burning the full timeout on a dead peer. After a
+// cooldown the breaker goes half-open and lets probe calls through; a
+// success closes it again. Repeated trips mark the peer *suspect*, which
+// feeds the coordinator's automatic failover (§2.3's resilience extension
+// driven from the data path instead of an external operator).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace cachecloud::node {
+
+struct RetryConfig {
+  std::uint32_t max_attempts = 3;     // total tries per peer_call
+  double backoff_base_sec = 0.005;    // first retry waits ~this long
+  double backoff_cap_sec = 0.1;       // exponential growth clamps here
+  double jitter = 0.5;                // each wait scaled by U[1-jitter, 1]
+  double call_deadline_sec = 2.0;     // give up retrying past this
+  double attempt_timeout_sec = 5.0;   // per-attempt connect/recv timeout
+};
+
+// Deterministic given the seed and a single-threaded caller; thread-safe.
+class RetryPolicy {
+ public:
+  RetryPolicy(const RetryConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] const RetryConfig& config() const noexcept { return config_; }
+
+  // Jittered wait before retry number `retry` (1-based: the wait between
+  // attempt N and attempt N+1 is backoff_sec(N)).
+  [[nodiscard]] double backoff_sec(std::uint32_t retry);
+
+ private:
+  const RetryConfig config_;
+  std::mutex mutex_;
+  util::Rng rng_;
+};
+
+struct BreakerConfig {
+  std::uint32_t failure_threshold = 4;    // consecutive failures to trip
+  double cooldown_sec = 1.0;              // open -> half-open delay
+  std::uint32_t half_open_successes = 1;  // probe successes to close
+  // After this many trips the peer is reported suspect to the coordinator
+  // (0 disables suspicion reporting for the peer).
+  std::uint32_t suspect_after_trips = 2;
+};
+
+// Classic closed -> open -> half-open breaker over a monotonic clock the
+// caller supplies (CacheNode passes its steady-clock seconds). Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+  // True if a call may proceed now. Transitions Open -> HalfOpen once the
+  // cooldown elapses; in half-open only one probe is admitted at a time.
+  [[nodiscard]] bool allow(double now);
+  void on_success(double now);
+  void on_failure(double now);
+
+  [[nodiscard]] State state() const;
+  // Transitions into Open so far (monotone).
+  [[nodiscard]] std::uint64_t trips() const;
+  [[nodiscard]] const BreakerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void trip_locked(double now);
+
+  const BreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::Closed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  double opened_at_ = 0.0;
+  std::uint64_t trips_ = 0;
+};
+
+// Gauge encoding of a breaker state (see docs/RESILIENCE.md): 0 closed,
+// 1 open, 2 half-open.
+[[nodiscard]] inline double breaker_state_value(
+    CircuitBreaker::State state) noexcept {
+  return static_cast<double>(state);
+}
+
+}  // namespace cachecloud::node

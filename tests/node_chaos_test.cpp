@@ -1,0 +1,213 @@
+// Deterministic chaos: a live loopback cluster under the fault injector.
+//
+// The acceptance bar for the resilience layer: with a fixed seed, one
+// crashed node and injected frame drops + latency on every cache port, every
+// client request still completes (no exception escapes CacheNode::get()),
+// the injected fault counts reconcile with the nodes' failure metrics, and
+// the suspicion path promotes the heir without any external
+// handle_node_failure call.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.hpp"
+#include "node/cluster.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+using net::FaultInjector;
+using net::FaultProfile;
+
+NodeConfig chaos_config(FaultInjector* faults) {
+  NodeConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.placement = "adhoc";
+  config.fault_injector = faults;
+  // Tight budgets keep the test fast; semantics are unchanged.
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base_sec = 0.001;
+  config.retry.backoff_cap_sec = 0.010;
+  config.retry.call_deadline_sec = 2.0;
+  config.retry.attempt_timeout_sec = 2.0;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_sec = 0.05;
+  config.breaker.suspect_after_trips = 1;
+  return config;
+}
+
+std::string doc_url(int i) { return "/doc" + std::to_string(i); }
+
+double cache_metric_sum(Cluster& cluster, const std::string& name) {
+  double sum = 0.0;
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    if (cluster.crashed(id)) continue;
+    sum += cluster.cache(id).metrics_snapshot().sum_of(name);
+  }
+  return sum;
+}
+
+TEST(NodeChaosTest, DeterministicChaosCompletesEveryRequest) {
+  FaultInjector faults(/*seed=*/20260805);
+  Cluster cluster(chaos_config(&faults));
+  constexpr int kDocs = 40;
+  for (int i = 0; i < kDocs; ++i) {
+    cluster.origin().add_document(doc_url(i), 96);
+    (void)cluster.cache(static_cast<NodeId>(i % 4)).get(doc_url(i));
+  }
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+
+  // Chaos on every cache port: 5% request/reply drops plus occasional
+  // 1ms latency. The origin port stays clean so its fetch path (the
+  // degradation fallback) cannot itself fail.
+  FaultProfile flaky;
+  flaky.frame_drop = 0.05;
+  flaky.extra_latency = 0.25;
+  flaky.latency_sec = 0.001;
+  for (NodeId id = 0; id < 4; ++id) {
+    faults.set_profile(cluster.cache(id).port(), flaky);
+  }
+  cluster.crash(1);  // no handle_node_failure call — suspicion must do it
+
+  const std::vector<NodeId> live = {0, 2, 3};
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId at = live[static_cast<std::size_t>(i) % live.size()];
+    const std::string url = doc_url(i % kDocs);
+    ASSERT_NO_THROW({
+      const auto result = cluster.cache(at).get(url);
+      EXPECT_FALSE(result.body.empty()) << url;
+      ++completed;
+    }) << "request " << i << " at node " << at;
+  }
+  EXPECT_EQ(completed, 200);
+
+  // The crashed node was reported suspect and failed over automatically.
+  EXPECT_TRUE(cluster.origin().node_failed(1));
+  const auto origin_snap = cluster.origin().metrics_snapshot();
+  const auto* suspicion = origin_snap.find(
+      "cachecloud_origin_failovers_total", {{"trigger", "suspicion"}});
+  const auto* operator_driven = origin_snap.find(
+      "cachecloud_origin_failovers_total", {{"trigger", "operator"}});
+  ASSERT_NE(suspicion, nullptr);
+  EXPECT_GE(suspicion->value, 1.0);
+  ASSERT_NE(operator_driven, nullptr);
+  EXPECT_EQ(operator_driven->value, 0.0);
+  EXPECT_GE(cache_metric_sum(cluster, "cachecloud_suspects_reported_total"),
+            1.0);
+
+  // Announces lost to injected drops are healed by the catch-up path; after
+  // that no survivor resolves any document to the dead beacon.
+  for (int round = 0; round < 20; ++round) {
+    (void)cluster.origin().retry_pending_announces();
+  }
+  for (const NodeId at : live) {
+    for (int i = 0; i < kDocs; ++i) {
+      EXPECT_NE(cluster.cache(at).ring_view().resolve(doc_url(i)).beacon, 1u)
+          << "node " << at << " doc " << i;
+    }
+  }
+
+  // Reconciliation: every injected disruption (drop/reset/refusal) surfaced
+  // as exactly one failed attempt at some caller; the crashed node adds
+  // real connection failures on top, hence >=.
+  EXPECT_GT(faults.disruptions(), 0u);
+  EXPECT_GT(faults.count(FaultInjector::Kind::ExtraLatency), 0u);
+  const double cache_failures =
+      cache_metric_sum(cluster, "cachecloud_peer_call_failures_total");
+  const double origin_failures = origin_snap.sum_of(
+      "cachecloud_origin_peer_call_failures_total");
+  EXPECT_GE(cache_failures + origin_failures,
+            static_cast<double>(faults.disruptions()));
+}
+
+TEST(NodeChaosTest, MetricsReconcileExactlyWithoutRealFailures) {
+  FaultInjector faults(/*seed=*/7);
+  NodeConfig config = chaos_config(&faults);
+  // No crash in this variant: every failed attempt must be injected, so the
+  // counts match exactly. Breakers never trip (no short-circuited calls to
+  // muddy the attempt accounting) and suspicion stays quiet.
+  config.breaker.failure_threshold = 1000;
+  config.auto_failover = false;
+  Cluster cluster(config);
+
+  constexpr int kDocs = 30;
+  for (int i = 0; i < kDocs; ++i) {
+    cluster.origin().add_document(doc_url(i), 64);
+  }
+
+  FaultProfile drops;
+  drops.frame_drop = 0.10;
+  for (NodeId id = 0; id < 4; ++id) {
+    faults.set_profile(cluster.cache(id).port(), drops);
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const NodeId at = static_cast<NodeId>(i % 4);
+    ASSERT_NO_THROW((void)cluster.cache(at).get(doc_url(i % kDocs)))
+        << "request " << i;
+  }
+
+  const double cache_failures =
+      cache_metric_sum(cluster, "cachecloud_peer_call_failures_total");
+  EXPECT_GT(faults.disruptions(), 0u);
+  EXPECT_EQ(cache_failures, static_cast<double>(faults.disruptions()));
+  EXPECT_EQ(cluster.origin().metrics_snapshot().sum_of(
+                "cachecloud_origin_peer_call_failures_total"),
+            0.0);
+  // Retries recovered some of those failed attempts in place.
+  EXPECT_GT(cache_metric_sum(cluster, "cachecloud_peer_retries_total"), 0.0);
+}
+
+TEST(NodeChaosTest, SuspicionPromotesHeirWithoutOperatorFailover) {
+  // Clean network, hard crash: the data path alone must detect the dead
+  // beacon, report it and trigger heir promotion.
+  Cluster cluster(chaos_config(nullptr));
+  constexpr int kDocs = 40;
+  for (int i = 0; i < kDocs; ++i) {
+    cluster.origin().add_document(doc_url(i), 64);
+    (void)cluster.cache(2).get(doc_url(i));
+    (void)cluster.cache(3).get(doc_url(i));
+  }
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+
+  const std::size_t heir_records_before =
+      cluster.cache(0).directory_records();
+  cluster.crash(1);
+
+  // Keep issuing requests; some hit the dead beacon, trip its breaker and
+  // report it. All of them must still be served.
+  const std::vector<NodeId> live = {0, 2, 3};
+  for (int i = 0; i < 3 * kDocs && !cluster.origin().node_failed(1); ++i) {
+    const NodeId at = live[static_cast<std::size_t>(i) % live.size()];
+    ASSERT_NO_THROW((void)cluster.cache(at).get(doc_url(i % kDocs)))
+        << "request " << i;
+  }
+
+  EXPECT_TRUE(cluster.origin().node_failed(1));
+  // Ring 0 is {0, 1}: node 0 inherits and its directory grew by the
+  // promoted replica records.
+  EXPECT_GT(cluster.cache(0).directory_records(), heir_records_before);
+  for (const NodeId at : live) {
+    for (int i = 0; i < kDocs; ++i) {
+      EXPECT_NE(cluster.cache(at).ring_view().resolve(doc_url(i)).beacon, 1u)
+          << "node " << at << " doc " << i;
+    }
+  }
+  const auto origin_snap = cluster.origin().metrics_snapshot();
+  EXPECT_GE(origin_snap.sum_of("cachecloud_origin_suspects_received_total"),
+            1.0);
+  const auto* suspicion = origin_snap.find(
+      "cachecloud_origin_failovers_total", {{"trigger", "suspicion"}});
+  ASSERT_NE(suspicion, nullptr);
+  EXPECT_GE(suspicion->value, 1.0);
+  // Degraded serves were recorded while the dead node was still a beacon.
+  EXPECT_GE(cache_metric_sum(cluster, "cachecloud_degraded_serves_total"),
+            0.0);
+}
+
+}  // namespace
+}  // namespace cachecloud::node

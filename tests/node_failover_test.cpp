@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "net/fault_injector.hpp"
 #include "node/cluster.hpp"
 
 namespace cachecloud::node {
@@ -115,6 +116,58 @@ TEST(NodeFailoverTest, UpdatesFlowThroughHeirAfterFailover) {
     const auto result = cluster.cache(2).get(url);
     EXPECT_EQ(result.version, 2u) << url;
     EXPECT_EQ(result.source, CacheNode::GetResult::Source::Local) << url;
+  }
+}
+
+TEST(NodeFailoverTest, AnnounceFailureLeavesSurvivorsConsistentThenCatchesUp) {
+  net::FaultInjector faults(/*seed=*/3);
+  NodeConfig config = config_4();
+  config.fault_injector = &faults;
+  config.auto_failover = false;
+  Cluster cluster(config);
+  for (int i = 0; i < 40; ++i) {
+    cluster.origin().add_document("/a" + std::to_string(i), 64);
+    (void)cluster.cache(2).get("/a" + std::to_string(i));
+  }
+  for (NodeId id = 0; id < 4; ++id) cluster.cache(id).sync_replicas();
+
+  // Node 3 misses the failover announce: everything sent to its port is
+  // dropped. The failover must still complete for the reachable survivors.
+  net::FaultProfile drop_all;
+  drop_all.frame_drop = 1.0;
+  faults.set_profile(cluster.cache(3).port(), drop_all);
+  cluster.crash(1);
+  const auto summary = cluster.origin().handle_node_failure(1);
+  EXPECT_EQ(summary.heir, 0u);
+  EXPECT_GE(cluster.origin().metrics_snapshot().sum_of(
+                "cachecloud_origin_announce_failures_total"),
+            1.0);
+
+  // Every ring view that heard the announce still partitions the whole
+  // IrH space [0, irh_gen) contiguously.
+  for (const NodeId at : {NodeId{0}, NodeId{2}}) {
+    const RangeAnnounce view = cluster.cache(at).ring_view().snapshot();
+    for (std::size_t ring = 0; ring < view.rings.size(); ++ring) {
+      const auto& members = view.rings[ring];
+      ASSERT_FALSE(members.empty());
+      EXPECT_EQ(members.front().range.lo, 0u) << "node " << at;
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        EXPECT_EQ(members[i].range.lo, members[i - 1].range.hi + 1)
+            << "node " << at << " ring " << ring;
+      }
+      EXPECT_EQ(members.back().range.hi, config.irh_gen - 1)
+          << "node " << at;
+    }
+  }
+
+  // The skipped node catches up once it is reachable again.
+  faults.clear_profile(cluster.cache(3).port());
+  EXPECT_EQ(cluster.origin().retry_pending_announces(), 1u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NE(
+        cluster.cache(3).ring_view().resolve("/a" + std::to_string(i)).beacon,
+        1u)
+        << "doc " << i;
   }
 }
 

@@ -1,0 +1,211 @@
+// Resilience primitives: retry backoff, circuit breaker, fault injector
+// and the transport's connect behaviour under injected faults.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "net/fault_injector.hpp"
+#include "net/tcp.hpp"
+#include "node/resilience.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+using net::FaultInjector;
+using net::FaultProfile;
+
+// ---- RetryPolicy ----------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryConfig config;
+  config.backoff_base_sec = 0.010;
+  config.backoff_cap_sec = 0.040;
+  config.jitter = 0.5;
+  RetryPolicy policy(config, /*seed=*/7);
+
+  // Wait N is base * 2^(N-1) capped, scaled by U[1-jitter, 1].
+  const std::vector<double> ceilings = {0.010, 0.020, 0.040, 0.040, 0.040};
+  for (std::size_t retry = 1; retry <= ceilings.size(); ++retry) {
+    const double wait = policy.backoff_sec(static_cast<std::uint32_t>(retry));
+    EXPECT_LE(wait, ceilings[retry - 1]) << "retry " << retry;
+    EXPECT_GE(wait, ceilings[retry - 1] * (1.0 - config.jitter))
+        << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExact) {
+  RetryConfig config;
+  config.backoff_base_sec = 0.004;
+  config.backoff_cap_sec = 1.0;
+  config.jitter = 0.0;
+  RetryPolicy policy(config, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(policy.backoff_sec(1), 0.004);
+  EXPECT_DOUBLE_EQ(policy.backoff_sec(2), 0.008);
+  EXPECT_DOUBLE_EQ(policy.backoff_sec(3), 0.016);
+}
+
+TEST(RetryPolicyTest, SameSeedSameSequence) {
+  RetryConfig config;
+  RetryPolicy a(config, 42);
+  RetryPolicy b(config, 42);
+  for (std::uint32_t retry = 1; retry <= 8; ++retry) {
+    EXPECT_DOUBLE_EQ(a.backoff_sec(retry), b.backoff_sec(retry));
+  }
+}
+
+// ---- CircuitBreaker -------------------------------------------------
+
+BreakerConfig fast_breaker() {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_sec = 1.0;
+  config.half_open_successes = 1;
+  return config;
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(fast_breaker());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  breaker.on_failure(0.0);
+  breaker.on_failure(0.1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(0.2));
+  breaker.on_failure(0.2);  // third consecutive failure trips it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow(0.3));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(fast_breaker());
+  breaker.on_failure(0.0);
+  breaker.on_failure(0.1);
+  breaker.on_success(0.2);
+  breaker.on_failure(0.3);
+  breaker.on_failure(0.4);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsSingleProbeThatCloses) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.on_failure(0.1 * i);
+  EXPECT_FALSE(breaker.allow(0.5));  // cooling down
+
+  EXPECT_TRUE(breaker.allow(1.5));  // cooldown elapsed: half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_FALSE(breaker.allow(1.6));  // only one probe in flight
+
+  breaker.on_success(1.7);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(1.8));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.on_failure(0.1 * i);
+  EXPECT_TRUE(breaker.allow(1.5));
+  breaker.on_failure(1.6);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow(1.7));   // fresh cooldown from the re-open
+  EXPECT_TRUE(breaker.allow(2.7));    // ...which eventually elapses too
+}
+
+TEST(CircuitBreakerTest, GaugeEncoding) {
+  EXPECT_DOUBLE_EQ(breaker_state_value(CircuitBreaker::State::Closed), 0.0);
+  EXPECT_DOUBLE_EQ(breaker_state_value(CircuitBreaker::State::Open), 1.0);
+  EXPECT_DOUBLE_EQ(breaker_state_value(CircuitBreaker::State::HalfOpen), 2.0);
+}
+
+// ---- FaultInjector --------------------------------------------------
+
+TEST(FaultInjectorTest, CertainFaultsFireAndAreCounted) {
+  FaultInjector faults(/*seed=*/1);
+  FaultProfile drop_all;
+  drop_all.frame_drop = 1.0;
+  faults.set_profile(9001, drop_all);
+
+  EXPECT_EQ(faults.on_frame(9001), FaultInjector::Action::Drop);
+  EXPECT_EQ(faults.on_frame(9002), FaultInjector::Action::Deliver);
+  EXPECT_EQ(faults.count(FaultInjector::Kind::FrameDrop), 1u);
+  EXPECT_EQ(faults.disruptions(), 1u);
+
+  FaultProfile refuse_all;
+  refuse_all.connect_refused = 1.0;
+  faults.set_default_profile(refuse_all);
+  EXPECT_THROW(faults.on_connect(9002), net::NetError);
+  EXPECT_EQ(faults.count(FaultInjector::Kind::ConnectRefused), 1u);
+  EXPECT_EQ(faults.disruptions(), 2u);
+
+  faults.clear_all();
+  EXPECT_NO_THROW(faults.on_connect(9002));
+  EXPECT_EQ(faults.on_frame(9001), FaultInjector::Action::Deliver);
+  EXPECT_EQ(faults.disruptions(), 2u);  // counters persist across clear_all
+}
+
+TEST(FaultInjectorTest, SameSeedSameVerdictSequence) {
+  FaultProfile flaky;
+  flaky.frame_drop = 0.3;
+  flaky.reset = 0.1;
+  FaultInjector a(/*seed=*/99);
+  FaultInjector b(/*seed=*/99);
+  a.set_default_profile(flaky);
+  b.set_default_profile(flaky);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.on_frame(1234), b.on_frame(1234)) << "frame " << i;
+  }
+  EXPECT_EQ(a.disruptions(), b.disruptions());
+  EXPECT_GT(a.disruptions(), 0u);
+}
+
+// ---- transport under injection --------------------------------------
+
+TEST(TransportFaultTest, InjectedConnectRefusalThrowsWithoutTouchingWire) {
+  FaultInjector faults(/*seed=*/5);
+  FaultProfile refuse_all;
+  refuse_all.connect_refused = 1.0;
+  faults.set_default_profile(refuse_all);
+  // No listener on the port either way — with the injector the refusal is
+  // deterministic and counted.
+  EXPECT_THROW((void)net::connect_local(1, 0.5, &faults), net::NetError);
+  EXPECT_EQ(faults.count(FaultInjector::Kind::ConnectRefused), 1u);
+}
+
+TEST(TransportFaultTest, ConnectFailureIsFastNotKernelDefault) {
+  // A closed loopback port must fail well inside the configured timeout
+  // (non-blocking connect + poll), not hang for the kernel default.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)net::connect_local(1, 1.0), net::NetError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(TransportFaultTest, InjectedDropFailsCallAndClientRecovers) {
+  net::TcpServer server(0, [](const net::Frame& f) { return f; });
+  FaultInjector faults(/*seed=*/11);
+  net::TcpClient client(server.port(), 2.0, nullptr, &faults);
+
+  net::Frame ping;
+  ping.type = 1;
+  ping.payload = {1, 2, 3};
+  const net::Frame echo = client.call(ping);
+  EXPECT_EQ(echo.payload, ping.payload);
+
+  FaultProfile drop_all;
+  drop_all.frame_drop = 1.0;
+  faults.set_profile(server.port(), drop_all);
+  EXPECT_THROW((void)client.call(ping), net::NetError);
+
+  faults.clear_all();
+  const net::Frame again = client.call(ping);
+  EXPECT_EQ(again.payload, ping.payload);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cachecloud::node

@@ -25,10 +25,26 @@
 //                          of simulated time (0 = off)
 //   --prometheus           dump the final metrics in Prometheus text format
 //                          (same metric names live nodes expose via StatsReq)
+//
+// Chaos options (--chaos switches to a live loopback cluster under the
+// deterministic fault injector instead of the discrete-event simulator):
+//   --chaos                run the chaos harness and exit non-zero on any
+//                          client-visible error or metric mismatch
+//   --chaos-seed=42        fault injector seed (fixed seed = fixed faults)
+//   --chaos-caches=4      cluster size      --chaos-docs=40
+//   --chaos-requests=400   client gets issued after faults are armed
+//   --chaos-drop=0.05      P(frame dropped) on every cache port
+//   --chaos-refuse=0       P(connect refused)  --chaos-reset=0  P(reset)
+//   --chaos-latency-ms=1   injected delay      --chaos-latency-prob=0.25
+//   --chaos-crash=1        node crashed a third of the way in (-1 = none)
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/cloud.hpp"
+#include "net/fault_injector.hpp"
+#include "node/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
@@ -40,8 +56,182 @@ using namespace cachecloud;
 
 namespace {
 
+// Live-cluster chaos smoke: warm a loopback cloud, arm the fault injector,
+// crash a node mid-run and require every remaining request to complete.
+int run_chaos(const util::Flags& flags) {
+  net::FaultInjector faults(
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed", 42)));
+
+  node::NodeConfig config;
+  config.num_caches =
+      static_cast<std::uint32_t>(flags.get_int("chaos-caches", 4));
+  config.ring_size =
+      static_cast<std::uint32_t>(flags.get_int("ring-size", 2));
+  config.irh_gen = static_cast<std::uint32_t>(flags.get_int("irh-gen", 100));
+  config.placement = flags.get_string("placement", "adhoc");
+  config.fault_injector = &faults;
+  // Tightened time constants so a short run exercises the full breaker
+  // cycle; threshold/trips stay at ratios that tolerate the injected drop
+  // rate (suspicion should single out the crashed node, not flaky peers).
+  config.retry.backoff_base_sec = 0.001;
+  config.retry.backoff_cap_sec = 0.010;
+  config.breaker.cooldown_sec = 0.05;
+  config.breaker.failure_threshold = 3;
+  config.breaker.suspect_after_trips = 2;
+
+  const int docs = flags.get_int("chaos-docs", 40);
+  const int requests = flags.get_int("chaos-requests", 400);
+  const int crash_node = flags.get_int("chaos-crash", 1);
+  net::FaultProfile profile;
+  profile.frame_drop = flags.get_double("chaos-drop", 0.05);
+  profile.connect_refused = flags.get_double("chaos-refuse", 0.0);
+  profile.reset = flags.get_double("chaos-reset", 0.0);
+  profile.latency_sec = flags.get_double("chaos-latency-ms", 1.0) / 1000.0;
+  const double latency_prob = flags.get_double("chaos-latency-prob", 0.25);
+  profile.extra_latency = profile.latency_sec > 0.0 ? latency_prob : 0.0;
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "cachecloud_sim: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+
+  node::Cluster cluster(config);
+  for (int i = 0; i < docs; ++i) {
+    const std::string url = "/chaos/" + std::to_string(i);
+    cluster.origin().add_document(url, 256);
+    (void)cluster.cache(static_cast<node::NodeId>(i) % config.num_caches)
+        .get(url);
+  }
+  for (node::NodeId id = 0; id < config.num_caches; ++id) {
+    cluster.cache(id).sync_replicas();
+  }
+
+  // Faults on every cache port; the origin stays clean so the degradation
+  // fallback (origin fetch) cannot itself fail.
+  for (node::NodeId id = 0; id < config.num_caches; ++id) {
+    faults.set_profile(cluster.cache(id).port(), profile);
+  }
+  std::printf(
+      "chaos: %u caches, %d docs, %d requests, drop=%.0f%% refuse=%.0f%% "
+      "reset=%.0f%% latency=%.0f%%x%.0fms, crash=%d, seed=%d\n",
+      config.num_caches, docs, requests, 100.0 * profile.frame_drop,
+      100.0 * profile.connect_refused, 100.0 * profile.reset,
+      100.0 * profile.extra_latency, 1000.0 * profile.latency_sec, crash_node,
+      flags.get_int("chaos-seed", 42));
+
+  const auto hit_mix = [&cluster, &config] {
+    node::CacheNode::Counters sum;
+    for (node::NodeId id = 0; id < config.num_caches; ++id) {
+      const node::CacheNode::Counters c = cluster.cache(id).counters();
+      sum.gets += c.gets;
+      sum.local_hits += c.local_hits;
+      sum.cloud_hits += c.cloud_hits;
+      sum.origin_fetches += c.origin_fetches;
+    }
+    return sum;
+  };
+  const node::CacheNode::Counters warm = hit_mix();
+
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  for (int i = 0; i < requests; ++i) {
+    if (i == requests / 3 && crash_node >= 0) {
+      std::printf("chaos: crashing node %d at request %d\n", crash_node, i);
+      cluster.crash(static_cast<node::NodeId>(crash_node));
+    }
+    // Round-robin over live caches only (a crashed node has no client
+    // API), shifted by one extra node per pass over the document set so
+    // requests land away from where warmup cached them and the
+    // cooperative cloud-fetch path stays busy.
+    node::NodeId at = static_cast<node::NodeId>(i + 1 + i / docs) %
+                      config.num_caches;
+    while (cluster.crashed(at)) at = (at + 1) % config.num_caches;
+    const std::string url = "/chaos/" + std::to_string(i % docs);
+    try {
+      const auto result = cluster.cache(at).get(url);
+      if (result.body.empty()) throw std::runtime_error("empty body");
+      ++completed;
+    } catch (const std::exception& e) {
+      ++errors;
+      std::fprintf(stderr, "chaos: CLIENT-VISIBLE ERROR at node %u: %s\n", at,
+                   e.what());
+    }
+  }
+
+  double peer_failures = 0.0;
+  double retries = 0.0;
+  double trips = 0.0;
+  double short_circuits = 0.0;
+  double degraded = 0.0;
+  double suspects = 0.0;
+  for (node::NodeId id = 0; id < config.num_caches; ++id) {
+    const obs::Snapshot snap = cluster.cache(id).metrics_snapshot();
+    peer_failures += snap.sum_of("cachecloud_peer_call_failures_total");
+    retries += snap.sum_of("cachecloud_peer_retries_total");
+    trips += snap.sum_of("cachecloud_breaker_trips_total");
+    short_circuits += snap.sum_of("cachecloud_breaker_short_circuits_total");
+    degraded += snap.sum_of("cachecloud_degraded_serves_total");
+    suspects += snap.sum_of("cachecloud_suspects_reported_total");
+  }
+  const obs::Snapshot origin_snap = cluster.origin().metrics_snapshot();
+  const double origin_failures =
+      origin_snap.sum_of("cachecloud_origin_peer_call_failures_total");
+  const double suspicion_failovers = origin_snap.sum_of(
+      "cachecloud_origin_failovers_total");
+
+  const node::CacheNode::Counters done = hit_mix();
+  const auto gets = static_cast<double>(done.gets - warm.gets);
+
+  std::printf("\nchaos report\n");
+  std::printf("  requests completed      %llu / %d\n",
+              static_cast<unsigned long long>(completed), requests);
+  if (gets > 0.0) {
+    std::printf(
+        "  hit mix (chaos phase)   local=%.1f%% cloud=%.1f%% origin=%.1f%%\n",
+        100.0 * static_cast<double>(done.local_hits - warm.local_hits) / gets,
+        100.0 * static_cast<double>(done.cloud_hits - warm.cloud_hits) / gets,
+        100.0 * static_cast<double>(done.origin_fetches - warm.origin_fetches) /
+            gets);
+  }
+  std::printf("  client-visible errors   %llu\n",
+              static_cast<unsigned long long>(errors));
+  std::printf("  injected: refused=%llu dropped=%llu delayed=%llu reset=%llu\n",
+              static_cast<unsigned long long>(
+                  faults.count(net::FaultInjector::Kind::ConnectRefused)),
+              static_cast<unsigned long long>(
+                  faults.count(net::FaultInjector::Kind::FrameDrop)),
+              static_cast<unsigned long long>(
+                  faults.count(net::FaultInjector::Kind::ExtraLatency)),
+              static_cast<unsigned long long>(
+                  faults.count(net::FaultInjector::Kind::Reset)));
+  std::printf("  failed attempts         %.0f cache + %.0f origin\n",
+              peer_failures, origin_failures);
+  std::printf("  retries                 %.0f\n", retries);
+  std::printf("  breaker trips           %.0f (short-circuited calls %.0f)\n",
+              trips, short_circuits);
+  std::printf("  degraded serves         %.0f\n", degraded);
+  std::printf("  suspects reported       %.0f (failovers run %.0f)\n",
+              suspects, suspicion_failovers);
+
+  // Every injected disruption surfaces as exactly one failed attempt at
+  // some caller; a crashed node only adds real failures on top.
+  const double disruptions = static_cast<double>(faults.disruptions());
+  const bool reconciled = peer_failures + origin_failures >= disruptions;
+  std::printf("  reconciliation          %.0f failed attempts vs %.0f "
+              "injected disruptions: %s\n",
+              peer_failures + origin_failures, disruptions,
+              reconciled ? "ok" : "MISMATCH");
+
+  if (errors > 0 || !reconciled) return 1;
+  std::printf("chaos: all %llu requests served, zero client-visible errors\n",
+              static_cast<unsigned long long>(completed));
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+
+  if (flags.get_bool("chaos", false)) return run_chaos(flags);
 
   const auto caches = static_cast<std::uint32_t>(flags.get_int("caches", 10));
 
