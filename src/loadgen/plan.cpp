@@ -1,0 +1,294 @@
+#include "loadgen/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cachecloud::loadgen {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("loadgen: " + what);
+}
+
+// Independent random streams per concern, derived from the one user seed.
+// Keeping arrivals, op kinds, document draws and cache draws on separate
+// streams means changing one knob (say, --caches) cannot perturb the
+// others' sequences.
+constexpr std::uint64_t kArrivalStream = 0x61727269766c5f31ULL;
+constexpr std::uint64_t kKindStream = 0x6b696e645f5f5f32ULL;
+constexpr std::uint64_t kDocStream = 0x646f635f5f5f5f33ULL;
+constexpr std::uint64_t kCacheStream = 0x63616368655f5f34ULL;
+
+[[nodiscard]] util::Rng derive(std::uint64_t seed, std::uint64_t stream) {
+  return util::Rng(util::mix64(seed ^ stream));
+}
+
+void validate(const WorkloadConfig& w, const ScheduleConfig& s) {
+  if (s.warmup_sec < 0.0) bad("warmup_sec must be >= 0");
+  if (s.duration_sec <= 0.0) bad("duration_sec must be > 0");
+  if (w.workload == Workload::Trace) {
+    if (w.trace_file.empty()) bad("trace workload needs --trace-file");
+    if (s.mode != Mode::Open) {
+      bad("trace workload replays recorded times; only open mode applies");
+    }
+    return;
+  }
+  if (w.num_docs == 0) bad("num_docs must be > 0");
+  if (w.num_caches == 0) bad("num_caches must be > 0");
+  if (w.update_fraction < 0.0 || w.update_fraction > 1.0) {
+    bad("update_fraction must be in [0, 1]");
+  }
+  if (s.mode == Mode::Ramp) {
+    if (s.ramp_steps < 1) bad("ramp_steps must be >= 1");
+    if (s.ramp_start <= 0.0) bad("ramp_start must be > 0");
+    const double last =
+        s.ramp_start + static_cast<double>(s.ramp_steps - 1) * s.ramp_step;
+    if (last <= 0.0) bad("ramp steps must keep the offered rate > 0");
+  } else {
+    if (s.rate <= 0.0) bad("rate must be > 0");
+  }
+  if (w.workload == Workload::Flash) {
+    if (s.mode != Mode::Open) bad("flash workload requires open mode");
+    if (w.flash_start_frac < 0.0 || w.flash_duration_frac <= 0.0 ||
+        w.flash_start_frac + w.flash_duration_frac > 1.0) {
+      bad("flash window must fit inside the measure period");
+    }
+    if (w.flash_multiplier <= 0.0) bad("flash_multiplier must be > 0");
+    if (w.flash_hot_docs == 0 || w.flash_hot_docs > w.num_docs) {
+      bad("flash_hot_docs must be in [1, num_docs]");
+    }
+    if (w.flash_hot_fraction < 0.0 || w.flash_hot_fraction > 1.0) {
+      bad("flash_hot_fraction must be in [0, 1]");
+    }
+  }
+}
+
+// Lays out the phase boundaries for synthetic workloads. Warmup (when
+// present) is phase 0 and unmeasured.
+std::vector<PhaseSpec> layout_phases(const WorkloadConfig& w,
+                                     const ScheduleConfig& s) {
+  std::vector<PhaseSpec> phases;
+  double t = 0.0;
+  const double base_rate = s.mode == Mode::Ramp ? s.ramp_start : s.rate;
+  if (s.warmup_sec > 0.0) {
+    phases.push_back({"warmup", t, t + s.warmup_sec, base_rate, false});
+    t += s.warmup_sec;
+  }
+  if (s.mode == Mode::Ramp) {
+    for (int i = 0; i < s.ramp_steps; ++i) {
+      const double rate = s.ramp_start + static_cast<double>(i) * s.ramp_step;
+      phases.push_back({"step" + std::to_string(i + 1), t, t + s.duration_sec,
+                        rate, true});
+      t += s.duration_sec;
+    }
+    return phases;
+  }
+  if (w.workload == Workload::Flash) {
+    const double pre = s.duration_sec * w.flash_start_frac;
+    const double burst = s.duration_sec * w.flash_duration_frac;
+    const double post = s.duration_sec - pre - burst;
+    if (pre > 0.0) phases.push_back({"pre_flash", t, t + pre, s.rate, true});
+    t += pre;
+    phases.push_back(
+        {"flash", t, t + burst, s.rate * w.flash_multiplier, true});
+    t += burst;
+    if (post > 1e-9) {
+      phases.push_back({"post_flash", t, t + post, s.rate, true});
+    }
+    return phases;
+  }
+  phases.push_back({"measure", t, t + s.duration_sec, s.rate, true});
+  return phases;
+}
+
+Plan build_synthetic(const WorkloadConfig& w, const ScheduleConfig& s,
+                     std::uint64_t seed) {
+  Plan plan;
+  plan.workload = w;
+  plan.schedule = s;
+  plan.seed = seed;
+  plan.phases = layout_phases(w, s);
+
+  plan.urls.reserve(w.num_docs);
+  plan.doc_bytes.assign(w.num_docs, w.doc_bytes);
+  for (std::size_t i = 0; i < w.num_docs; ++i) {
+    plan.urls.push_back(w.url_prefix + std::to_string(i));
+  }
+
+  util::Rng arrival_rng = derive(seed, kArrivalStream);
+  util::Rng kind_rng = derive(seed, kKindStream);
+  util::Rng doc_rng = derive(seed, kDocStream);
+  util::Rng cache_rng = derive(seed, kCacheStream);
+  const util::ZipfSampler popularity(w.num_docs, w.zipf_alpha);
+
+  for (std::uint16_t phase_idx = 0;
+       phase_idx < static_cast<std::uint16_t>(plan.phases.size());
+       ++phase_idx) {
+    const PhaseSpec& phase = plan.phases[phase_idx];
+    const bool in_flash = phase.name == "flash";
+    auto emit = [&](double at) {
+      PlannedOp op;
+      op.at = at;
+      op.phase = phase_idx;
+      const bool publish = kind_rng.next_bool(w.update_fraction);
+      op.kind = publish ? PlannedOp::Kind::Publish : PlannedOp::Kind::Get;
+      if (in_flash && doc_rng.next_bool(w.flash_hot_fraction)) {
+        op.doc = static_cast<std::uint32_t>(
+            doc_rng.next_below(w.flash_hot_docs));
+      } else {
+        op.doc = static_cast<std::uint32_t>(popularity.sample(doc_rng));
+      }
+      op.cache = static_cast<std::uint32_t>(cache_rng.next_below(
+          static_cast<std::uint64_t>(w.num_caches)));
+      plan.ops.push_back(op);
+    };
+    if (s.arrival == Arrival::Fixed) {
+      // First op lands exactly on the phase boundary; spacing is 1/rate,
+      // so phase k contributes floor(len * rate) + 1-ish ops and the ramp
+      // step edges are exact.
+      const double gap = 1.0 / phase.offered_rate;
+      for (std::uint64_t k = 0;; ++k) {
+        const double at = phase.start + static_cast<double>(k) * gap;
+        if (at >= phase.end) break;
+        emit(at);
+      }
+    } else {
+      double t = phase.start;
+      while (true) {
+        t += arrival_rng.next_exponential(phase.offered_rate);
+        if (t >= phase.end) break;
+        emit(t);
+      }
+    }
+  }
+  return plan;
+}
+
+Plan build_trace_replay(const WorkloadConfig& w, const ScheduleConfig& s,
+                        std::uint64_t seed) {
+  const trace::Trace tr = trace::read_trace_file(w.trace_file);
+  tr.validate();
+
+  Plan plan;
+  plan.workload = w;
+  plan.schedule = s;
+  plan.seed = seed;
+
+  plan.urls.reserve(tr.num_docs());
+  plan.doc_bytes.reserve(tr.num_docs());
+  for (const auto& doc : tr.catalog()) {
+    plan.urls.push_back(doc.url);
+    plan.doc_bytes.push_back(doc.size_bytes);
+  }
+
+  const std::uint32_t caches =
+      w.num_caches == 0 ? 1 : w.num_caches;  // map trace cache ids onto ours
+  const double window = s.warmup_sec + s.duration_sec;
+
+  std::uint64_t warmup_ops = 0;
+  std::uint64_t measure_ops = 0;
+  const bool has_warmup = s.warmup_sec > 0.0;
+  for (const auto& event : tr.events()) {
+    if (event.time >= window) break;
+    PlannedOp op;
+    op.at = event.time;
+    op.kind = event.type == trace::EventType::Update
+                  ? PlannedOp::Kind::Publish
+                  : PlannedOp::Kind::Get;
+    op.doc = event.doc;
+    op.cache = event.cache % caches;
+    const bool in_warmup = has_warmup && event.time < s.warmup_sec;
+    op.phase = static_cast<std::uint16_t>(in_warmup ? 0 : (has_warmup ? 1 : 0));
+    (in_warmup ? warmup_ops : measure_ops) += 1;
+    plan.ops.push_back(op);
+  }
+
+  if (has_warmup) {
+    plan.phases.push_back({"warmup", 0.0, s.warmup_sec,
+                           static_cast<double>(warmup_ops) / s.warmup_sec,
+                           false});
+  }
+  plan.phases.push_back({"measure", s.warmup_sec, window,
+                         static_cast<double>(measure_ops) / s.duration_sec,
+                         true});
+  return plan;
+}
+
+}  // namespace
+
+const char* workload_name(Workload w) noexcept {
+  switch (w) {
+    case Workload::Zipf:
+      return "zipf";
+    case Workload::Trace:
+      return "trace";
+    case Workload::Flash:
+      return "flash";
+  }
+  return "unknown";
+}
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::Open:
+      return "open";
+    case Mode::Closed:
+      return "closed";
+    case Mode::Ramp:
+      return "ramp";
+  }
+  return "unknown";
+}
+
+const char* arrival_name(Arrival a) noexcept {
+  switch (a) {
+    case Arrival::Poisson:
+      return "poisson";
+    case Arrival::Fixed:
+      return "fixed";
+  }
+  return "unknown";
+}
+
+Workload parse_workload(const std::string& s) {
+  if (s == "zipf") return Workload::Zipf;
+  if (s == "trace") return Workload::Trace;
+  if (s == "flash") return Workload::Flash;
+  bad("unknown workload '" + s + "' (zipf | trace | flash)");
+}
+
+Mode parse_mode(const std::string& s) {
+  if (s == "open") return Mode::Open;
+  if (s == "closed") return Mode::Closed;
+  if (s == "ramp") return Mode::Ramp;
+  bad("unknown mode '" + s + "' (open | closed | ramp)");
+}
+
+Arrival parse_arrival(const std::string& s) {
+  if (s == "poisson") return Arrival::Poisson;
+  if (s == "fixed") return Arrival::Fixed;
+  bad("unknown arrival '" + s + "' (poisson | fixed)");
+}
+
+Plan build_plan(const WorkloadConfig& workload, const ScheduleConfig& schedule,
+                std::uint64_t seed) {
+  validate(workload, schedule);
+  Plan plan = workload.workload == Workload::Trace
+                  ? build_trace_replay(workload, schedule, seed)
+                  : build_synthetic(workload, schedule, seed);
+  // Synthetic phases emit in time order already; trace events are sorted by
+  // contract. The stable sort is a cheap invariant either way.
+  std::stable_sort(plan.ops.begin(), plan.ops.end(),
+                   [](const PlannedOp& a, const PlannedOp& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,120 @@
+// Deterministic load plans for the live-cluster load generator.
+//
+// A Plan is the full, pre-materialized schedule of a benchmark run: every
+// operation with its intended start time, kind (get / publish), document
+// and target cache, plus the phase layout (warmup / measure / ramp steps /
+// flash windows). Building the plan up front from (workload, schedule,
+// seed) — instead of drawing randomness inside the send loop — is what
+// makes runs reproducible: the same seed yields a byte-identical plan
+// regardless of thread count, machine speed or how the cluster behaves.
+//
+// Intended start times are the basis of coordinated-omission-safe latency
+// measurement: the runner records each op's latency from the time the plan
+// *wanted* it sent, not from when a backed-up worker actually sent it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cachecloud::loadgen {
+
+enum class Workload : std::uint8_t { Zipf, Trace, Flash };
+enum class Mode : std::uint8_t { Open, Closed, Ramp };
+enum class Arrival : std::uint8_t { Poisson, Fixed };
+
+[[nodiscard]] const char* workload_name(Workload w) noexcept;
+[[nodiscard]] const char* mode_name(Mode m) noexcept;
+[[nodiscard]] const char* arrival_name(Arrival a) noexcept;
+// Parse the --workload / --mode / --arrival flag spellings; throws
+// std::invalid_argument on unknown values.
+[[nodiscard]] Workload parse_workload(const std::string& s);
+[[nodiscard]] Mode parse_mode(const std::string& s);
+[[nodiscard]] Arrival parse_arrival(const std::string& s);
+
+struct WorkloadConfig {
+  Workload workload = Workload::Zipf;
+  // ---- synthetic catalogs (zipf, flash) ---------------------------
+  std::size_t num_docs = 1000;
+  double zipf_alpha = 0.9;
+  std::uint64_t doc_bytes = 2048;  // registered body size per document
+  std::string url_prefix = "/bench/doc";
+  // Fraction of operations that are origin publishes (version bumps)
+  // instead of edge gets.
+  double update_fraction = 0.05;
+  // Number of edge caches gets are spread over (uniformly).
+  std::uint32_t num_caches = 4;
+  // ---- trace replay (workload=trace) ------------------------------
+  // Path to a src/trace text file; its request/update events are replayed
+  // at their recorded times (events beyond the schedule window are
+  // dropped). rate / arrival / update_fraction are ignored.
+  std::string trace_file;
+  // ---- flash crowd (workload=flash) -------------------------------
+  // A burst window inside the measure period: offered rate is multiplied
+  // by flash_multiplier and flash_hot_fraction of gets concentrate on the
+  // first flash_hot_docs documents.
+  double flash_start_frac = 0.3;     // burst start, fraction of measure
+  double flash_duration_frac = 0.3;  // burst length, fraction of measure
+  double flash_multiplier = 5.0;
+  std::size_t flash_hot_docs = 8;
+  double flash_hot_fraction = 0.9;
+};
+
+struct ScheduleConfig {
+  Mode mode = Mode::Open;
+  Arrival arrival = Arrival::Poisson;
+  double rate = 500.0;  // offered ops/sec (open and closed modes)
+  double warmup_sec = 2.0;
+  double duration_sec = 10.0;  // measure length (per step in ramp mode)
+  // ---- ramp mode ---------------------------------------------------
+  double ramp_start = 100.0;  // first step's offered rate
+  double ramp_step = 100.0;   // added per step
+  int ramp_steps = 5;
+};
+
+struct PlannedOp {
+  enum class Kind : std::uint8_t { Get, Publish };
+  double at = 0.0;  // intended start, seconds from run start
+  Kind kind = Kind::Get;
+  std::uint32_t doc = 0;    // index into Plan::urls
+  std::uint32_t cache = 0;  // target cache index (Get only)
+  std::uint16_t phase = 0;  // index into Plan::phases
+
+  friend bool operator==(const PlannedOp&, const PlannedOp&) = default;
+};
+
+struct PhaseSpec {
+  std::string name;  // "warmup", "measure", "step1", "flash", ...
+  double start = 0.0;
+  double end = 0.0;           // exclusive
+  double offered_rate = 0.0;  // ops/sec this phase asks for
+  // false for warmup: excluded from totals, reports and regression gates.
+  bool measured = true;
+
+  friend bool operator==(const PhaseSpec&, const PhaseSpec&) = default;
+};
+
+struct Plan {
+  WorkloadConfig workload;
+  ScheduleConfig schedule;
+  std::uint64_t seed = 0;
+  std::vector<PhaseSpec> phases;
+  std::vector<PlannedOp> ops;      // sorted by `at`, ties in draw order
+  std::vector<std::string> urls;   // catalog: doc index -> url
+  std::vector<std::uint64_t> doc_bytes;  // catalog body sizes, same index
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return phases.empty() ? 0.0 : phases.back().end;
+  }
+};
+
+// Builds the complete deterministic plan. Independent random streams
+// (arrivals / op kind / document / cache) are derived from `seed`, so e.g.
+// changing the cache count does not perturb which documents get drawn.
+// Throws std::invalid_argument on inconsistent configs (non-positive
+// rates, trace workload without a readable trace file, trace with ramp).
+[[nodiscard]] Plan build_plan(const WorkloadConfig& workload,
+                              const ScheduleConfig& schedule,
+                              std::uint64_t seed);
+
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,241 @@
+#include "loadgen/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace cachecloud::loadgen {
+
+namespace {
+
+// Shortest round-trippable-enough representation; %.12g keeps latency
+// numbers exact to the picosecond without trailing-zero noise.
+[[nodiscard]] std::string num(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::string num(std::uint64_t v) { return std::to_string(v); }
+[[nodiscard]] std::string num(std::int64_t v) { return std::to_string(v); }
+
+[[nodiscard]] std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Tiny indentation-aware JSON writer: callers append key/value pairs in a
+// fixed order so report diffs line up run to run.
+class Doc {
+ public:
+  void open_object() { open('{'); }
+  void open_object(const std::string& key) { open('{', key); }
+  void open_array(const std::string& key) { open('[', key); }
+  void open_array_element() { open('{'); }
+
+  void field(const std::string& key, const std::string& raw) {
+    comma();
+    indent();
+    out_ += quoted(key) + ": " + raw;
+  }
+  void str(const std::string& key, const std::string& value) {
+    field(key, quoted(value));
+  }
+  void boolean(const std::string& key, bool value) {
+    field(key, value ? "true" : "false");
+  }
+
+  void close_object() { close('}'); }
+  void close_array() { close(']'); }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char bracket, const std::string& key = {}) {
+    comma();
+    indent();
+    if (!key.empty()) out_ += quoted(key) + ": ";
+    out_ += bracket;
+    ++depth_;
+    fresh_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    out_ += '\n';
+    for (int i = 0; i < depth_; ++i) out_ += "  ";
+    out_ += bracket;
+    fresh_ = false;
+  }
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  void indent() {
+    if (depth_ > 0) {
+      out_ += '\n';
+      for (int i = 0; i < depth_; ++i) out_ += "  ";
+    }
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+std::string render_report(const Plan& plan, const RunResult& result) {
+  Doc doc;
+  doc.open_object();
+  doc.str("schema", kReportSchema);
+  doc.str("workload", workload_name(plan.workload.workload));
+  doc.str("mode", mode_name(plan.schedule.mode));
+  doc.str("arrival", arrival_name(plan.schedule.arrival));
+  doc.field("seed", num(static_cast<std::uint64_t>(plan.seed)));
+
+  doc.open_object("config");
+  doc.field("num_docs", num(static_cast<std::uint64_t>(plan.urls.size())));
+  doc.field("zipf_alpha", num(plan.workload.zipf_alpha));
+  doc.field("update_fraction", num(plan.workload.update_fraction));
+  doc.field("num_caches",
+            num(static_cast<std::uint64_t>(plan.workload.num_caches)));
+  doc.field("doc_bytes", num(plan.workload.doc_bytes));
+  doc.field("rate", num(plan.schedule.rate));
+  doc.field("warmup_sec", num(plan.schedule.warmup_sec));
+  doc.field("duration_sec", num(plan.schedule.duration_sec));
+  if (plan.schedule.mode == Mode::Ramp) {
+    doc.field("ramp_start", num(plan.schedule.ramp_start));
+    doc.field("ramp_step", num(plan.schedule.ramp_step));
+    doc.field("ramp_steps",
+              num(static_cast<std::int64_t>(plan.schedule.ramp_steps)));
+  }
+  if (!plan.workload.trace_file.empty()) {
+    doc.str("trace_file", plan.workload.trace_file);
+  }
+  doc.close_object();
+
+  doc.open_object("totals");
+  doc.field("planned", num(result.total_planned));
+  doc.field("sent", num(result.total_sent));
+  doc.field("ok", num(result.total_ok));
+  doc.field("errors", num(result.total_errors));
+  doc.field("degraded", num(result.total_degraded));
+  doc.field("wall_seconds", num(result.wall_seconds));
+  doc.close_object();
+
+  doc.open_array("phases");
+  for (const PhaseResult& phase : result.phases) {
+    doc.open_array_element();
+    doc.str("name", phase.name);
+    doc.boolean("measured", phase.measured);
+    doc.field("offered_rate", num(phase.offered_rate));
+    doc.field("duration_sec", num(phase.duration_sec));
+    doc.field("planned", num(phase.planned));
+    doc.field("sent", num(phase.sent));
+    doc.field("ok", num(phase.ok));
+    doc.field("errors", num(phase.errors));
+    doc.field("degraded", num(phase.degraded));
+    doc.field("gets", num(phase.gets));
+    doc.field("publishes", num(phase.publishes));
+    doc.field("src_local", num(phase.src_local));
+    doc.field("src_cloud", num(phase.src_cloud));
+    doc.field("src_origin", num(phase.src_origin));
+    doc.field("throughput", num(phase.throughput));
+    doc.field("latency_count", num(phase.latency_count));
+    doc.field("p50", num(phase.p50));
+    doc.field("p90", num(phase.p90));
+    doc.field("p99", num(phase.p99));
+    doc.field("p999", num(phase.p999));
+    doc.field("mean", num(phase.mean));
+    doc.close_object();
+  }
+  doc.close_array();
+
+  doc.open_array("nodes");
+  for (const NodeStats& node : result.nodes) {
+    doc.open_array_element();
+    doc.str("role", node.role);
+    doc.field("index", num(static_cast<std::uint64_t>(node.index)));
+    doc.field("port", num(static_cast<std::uint64_t>(node.port)));
+    doc.field("gets", num(node.gets));
+    doc.field("degraded", num(node.degraded));
+    doc.field("publishes", num(node.publishes));
+    doc.close_object();
+  }
+  doc.close_array();
+
+  doc.open_object("reconciliation");
+  const Reconciliation& rec = result.reconciliation;
+  doc.field("client_get_ok", num(rec.client_get_ok));
+  doc.field("client_get_errors", num(rec.client_get_errors));
+  doc.field("client_publish_ok", num(rec.client_publish_ok));
+  doc.field("client_publish_errors", num(rec.client_publish_errors));
+  doc.field("server_gets", num(rec.server_gets));
+  doc.field("server_publishes", num(rec.server_publishes));
+  doc.field("unexplained_gets", num(rec.unexplained_gets));
+  doc.field("unexplained_publishes", num(rec.unexplained_publishes));
+  doc.boolean("consistent", rec.consistent);
+  doc.close_object();
+
+  if (result.ramp.ran) {
+    doc.open_object("ramp");
+    doc.boolean("saturated", result.ramp.saturated);
+    doc.field("knee_rate", num(result.ramp.knee_rate));
+    doc.str("knee_phase", result.ramp.knee_phase);
+    doc.str("first_saturated_phase", result.ramp.first_saturated_phase);
+    doc.close_object();
+  }
+
+  doc.close_object();
+  std::string out = doc.take();
+  out += '\n';
+  return out;
+}
+
+std::string default_report_name(const Plan& plan) {
+  return std::string("BENCH_live_") +
+         workload_name(plan.workload.workload) + ".json";
+}
+
+void write_report(const std::string& path, const Plan& plan,
+                  const RunResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("loadgen: cannot write report to " + path);
+  }
+  out << render_report(plan, result);
+  if (!out) {
+    throw std::runtime_error("loadgen: failed writing report to " + path);
+  }
+}
+
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,34 @@
+// Machine-readable benchmark reports: BENCH_live_<workload>.json.
+//
+// Schema "cachecloud.bench_live.v1" — consumed by tools/bench_diff (the CI
+// perf gate) and by anyone comparing runs across commits. Everything a
+// regression check needs is in the file: the exact workload/schedule
+// config and seed (so a run is re-creatable), per-phase client-side
+// results, server-side counter deltas, and the reconciliation between the
+// two. See docs/BENCHMARKING.md for the field-by-field description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "loadgen/plan.hpp"
+#include "loadgen/runner.hpp"
+
+namespace cachecloud::loadgen {
+
+inline constexpr const char* kReportSchema = "cachecloud.bench_live.v1";
+
+// Renders the full report as a JSON document (pretty-printed, stable key
+// order — diffs between runs stay readable).
+[[nodiscard]] std::string render_report(const Plan& plan,
+                                        const RunResult& result);
+
+// "BENCH_live_<workload>.json"
+[[nodiscard]] std::string default_report_name(const Plan& plan);
+
+// Renders and writes; throws std::runtime_error if the file cannot be
+// written.
+void write_report(const std::string& path, const Plan& plan,
+                  const RunResult& result);
+
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,380 @@
+#include "loadgen/runner.hpp"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "net/tcp.hpp"
+#include "node/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace cachecloud::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_between(Clock::time_point a,
+                                     Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Per-(worker, phase) tallies. Workers write their own copy with no
+// sharing; the main thread merges after join. Only the latency histograms
+// are shared (obs::LatencyHistogram::observe is thread-safe).
+struct PhaseTally {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t src_local = 0;
+  std::uint64_t src_cloud = 0;
+  std::uint64_t src_origin = 0;
+  // Actual activity span, for closed-mode throughput.
+  double first_start = -1.0;
+  double last_end = 0.0;
+};
+
+// One worker's lazily-connected client per endpoint; a failed call drops
+// the connection so the next op reconnects fresh.
+class Endpoint {
+ public:
+  Endpoint(std::uint16_t port, double timeout) : port_(port),
+                                                 timeout_(timeout) {}
+
+  // Returns false (and resets the connection) on any network error.
+  bool call(const net::Frame& request, net::Frame& reply) {
+    try {
+      if (!client_) {
+        client_ = std::make_unique<net::TcpClient>(port_, timeout_);
+      }
+      client_->call_into(request, reply);
+      return true;
+    } catch (const net::NetError&) {
+      client_.reset();
+      return false;
+    }
+  }
+
+ private:
+  std::uint16_t port_;
+  double timeout_;
+  std::unique_ptr<net::TcpClient> client_;
+};
+
+// Scrapes one node's full metrics snapshot.
+[[nodiscard]] obs::Snapshot scrape(std::uint16_t port, double timeout) {
+  net::TcpClient client(port, timeout);
+  const net::Frame reply = client.call(node::StatsReq{}.encode());
+  return node::StatsResp::decode(reply).snapshot;
+}
+
+struct ScrapeSet {
+  std::vector<obs::Snapshot> caches;
+  obs::Snapshot origin;
+};
+
+[[nodiscard]] ScrapeSet scrape_all(const RunnerConfig& config) {
+  ScrapeSet set;
+  set.caches.reserve(config.cache_ports.size());
+  for (std::uint16_t port : config.cache_ports) {
+    set.caches.push_back(scrape(port, config.call_timeout_sec));
+  }
+  if (config.origin_port != 0) {
+    set.origin = scrape(config.origin_port, config.call_timeout_sec);
+  }
+  return set;
+}
+
+[[nodiscard]] std::uint64_t counter_delta(const obs::Snapshot& before,
+                                          const obs::Snapshot& after,
+                                          const std::string& name) {
+  const double b = before.sum_of(name);
+  const double a = after.sum_of(name);
+  return a > b ? static_cast<std::uint64_t>(a - b + 0.5) : 0;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerConfig config) : config_(std::move(config)) {
+  if (config_.cache_ports.empty()) {
+    throw std::invalid_argument("loadgen: runner needs at least one cache");
+  }
+  if (config_.threads < 1) {
+    throw std::invalid_argument("loadgen: runner needs at least one thread");
+  }
+}
+
+RunResult Runner::run(const Plan& plan) {
+  for (const PlannedOp& op : plan.ops) {
+    if (op.kind == PlannedOp::Kind::Get &&
+        op.cache >= config_.cache_ports.size()) {
+      throw std::invalid_argument(
+          "loadgen: plan targets cache index " + std::to_string(op.cache) +
+          " but only " + std::to_string(config_.cache_ports.size()) +
+          " cache ports were given");
+    }
+    if (op.kind == PlannedOp::Kind::Publish && config_.origin_port == 0) {
+      throw std::invalid_argument(
+          "loadgen: plan contains publishes but no origin port was given");
+    }
+  }
+
+  const std::size_t num_phases = plan.phases.size();
+  const int threads = config_.threads;
+  const bool open_loop = plan.schedule.mode != Mode::Closed;
+
+  // Shared per-phase latency histograms: fine log-spaced buckets so the
+  // interpolated p99/p99.9 stay close to the truth (10us .. 10s).
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> latency;
+  latency.reserve(num_phases);
+  for (std::size_t i = 0; i < num_phases; ++i) {
+    latency.push_back(std::make_unique<obs::LatencyHistogram>(
+        obs::log_spaced_bounds(1e-5, 10.0, 10)));
+  }
+
+  const ScrapeSet before = scrape_all(config_);
+
+  std::vector<std::vector<PhaseTally>> tallies(
+      static_cast<std::size_t>(threads), std::vector<PhaseTally>(num_phases));
+
+  const Clock::time_point base = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      std::vector<Endpoint> caches;
+      caches.reserve(config_.cache_ports.size());
+      for (std::uint16_t port : config_.cache_ports) {
+        caches.emplace_back(port, config_.call_timeout_sec);
+      }
+      Endpoint origin(config_.origin_port, config_.call_timeout_sec);
+
+      std::vector<PhaseTally>& mine = tallies[static_cast<std::size_t>(w)];
+      net::Frame reply;  // payload capacity reused across every call
+
+      for (std::size_t i = static_cast<std::size_t>(w); i < plan.ops.size();
+           i += static_cast<std::size_t>(threads)) {
+        const PlannedOp& op = plan.ops[i];
+        PhaseTally& tally = mine[op.phase];
+
+        Clock::time_point intended = base;
+        if (open_loop) {
+          intended += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(op.at));
+          std::this_thread::sleep_until(intended);
+        } else {
+          intended = Clock::now();
+        }
+        const double started = seconds_between(base, intended);
+        if (tally.first_start < 0.0 || started < tally.first_start) {
+          tally.first_start = started;
+        }
+
+        ++tally.sent;
+        bool ok = false;
+        if (op.kind == PlannedOp::Kind::Get) {
+          ++tally.gets;
+          const net::Frame request =
+              node::ClientGetReq{plan.urls[op.doc]}.encode();
+          if (caches[op.cache].call(request, reply)) {
+            try {
+              const node::ClientGetResp resp =
+                  node::ClientGetResp::decode(reply);
+              ok = resp.ok;
+              if (resp.degraded) ++tally.degraded;
+              if (resp.ok) {
+                switch (resp.source) {
+                  case 0:
+                    ++tally.src_local;
+                    break;
+                  case 1:
+                    ++tally.src_cloud;
+                    break;
+                  default:
+                    ++tally.src_origin;
+                    break;
+                }
+              }
+            } catch (const std::exception&) {
+              ok = false;
+            }
+          }
+        } else {
+          ++tally.publishes;
+          const net::Frame request =
+              node::ClientPublishReq{plan.urls[op.doc]}.encode();
+          if (origin.call(request, reply)) {
+            try {
+              ok = node::ClientPublishResp::decode(reply).ok;
+            } catch (const std::exception&) {
+              ok = false;
+            }
+          }
+        }
+
+        const Clock::time_point done = Clock::now();
+        if (ok) {
+          ++tally.ok;
+        } else {
+          ++tally.errors;
+        }
+        // Coordinated-omission-safe: in open modes this includes any time
+        // the op spent waiting behind a slow predecessor on this worker.
+        latency[op.phase]->observe(seconds_between(intended, done));
+        const double ended = seconds_between(base, done);
+        if (ended > tally.last_end) tally.last_end = ended;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall = seconds_between(base, Clock::now());
+
+  const ScrapeSet after = scrape_all(config_);
+
+  RunResult result;
+  result.wall_seconds = wall;
+
+  // ---- merge phase tallies ------------------------------------------
+  std::vector<std::uint64_t> planned(num_phases, 0);
+  for (const PlannedOp& op : plan.ops) ++planned[op.phase];
+
+  for (std::size_t p = 0; p < num_phases; ++p) {
+    const PhaseSpec& spec = plan.phases[p];
+    PhaseResult phase;
+    phase.name = spec.name;
+    phase.offered_rate = spec.offered_rate;
+    phase.measured = spec.measured;
+    phase.planned = planned[p];
+
+    double first = -1.0;
+    double last = 0.0;
+    for (const auto& worker : tallies) {
+      const PhaseTally& t = worker[p];
+      phase.sent += t.sent;
+      phase.ok += t.ok;
+      phase.errors += t.errors;
+      phase.degraded += t.degraded;
+      phase.gets += t.gets;
+      phase.publishes += t.publishes;
+      phase.src_local += t.src_local;
+      phase.src_cloud += t.src_cloud;
+      phase.src_origin += t.src_origin;
+      if (t.first_start >= 0.0 && (first < 0.0 || t.first_start < first)) {
+        first = t.first_start;
+      }
+      if (t.last_end > last) last = t.last_end;
+    }
+
+    phase.duration_sec = open_loop ? spec.end - spec.start
+                                   : (first >= 0.0 ? last - first : 0.0);
+    if (phase.duration_sec > 0.0) {
+      phase.throughput = static_cast<double>(phase.ok) / phase.duration_sec;
+    }
+
+    const obs::LatencyHistogram& hist = *latency[p];
+    phase.latency_count = hist.count();
+    if (phase.latency_count > 0) {
+      const std::vector<double> qs = hist.quantiles({0.5, 0.9, 0.99, 0.999});
+      phase.p50 = qs[0];
+      phase.p90 = qs[1];
+      phase.p99 = qs[2];
+      phase.p999 = qs[3];
+      phase.mean = hist.sum() / static_cast<double>(phase.latency_count);
+    }
+    result.phases.push_back(std::move(phase));
+  }
+
+  for (const PhaseResult& phase : result.phases) {
+    if (!phase.measured) continue;
+    result.total_planned += phase.planned;
+    result.total_sent += phase.sent;
+    result.total_ok += phase.ok;
+    result.total_errors += phase.errors;
+    result.total_degraded += phase.degraded;
+  }
+
+  // ---- server-side deltas -------------------------------------------
+  Reconciliation& rec = result.reconciliation;
+  for (std::size_t i = 0; i < config_.cache_ports.size(); ++i) {
+    NodeStats node;
+    node.role = "cache";
+    node.index = i;
+    node.port = config_.cache_ports[i];
+    node.gets = counter_delta(before.caches[i], after.caches[i],
+                              "cachecloud_gets_total");
+    node.degraded = counter_delta(before.caches[i], after.caches[i],
+                                  "cachecloud_degraded_serves_total");
+    rec.server_gets += node.gets;
+    result.nodes.push_back(std::move(node));
+  }
+  if (config_.origin_port != 0) {
+    NodeStats node;
+    node.role = "origin";
+    node.port = config_.origin_port;
+    node.publishes = counter_delta(
+        before.origin, after.origin,
+        "cachecloud_origin_updates_published_total");
+    rec.server_publishes = node.publishes;
+    result.nodes.push_back(std::move(node));
+  }
+
+  // ---- client-vs-server reconciliation ------------------------------
+  rec.client_get_ok = 0;
+  rec.client_get_errors = 0;
+  rec.client_publish_ok = 0;
+  rec.client_publish_errors = 0;
+  for (const PhaseResult& phase : result.phases) {
+    // The tallies don't split ok/errors by op kind, but every ok get got a
+    // source classification — recover the split from that.
+    const std::uint64_t get_ok =
+        phase.src_local + phase.src_cloud + phase.src_origin;
+    const std::uint64_t publish_ok = phase.ok - get_ok;
+    rec.client_get_ok += get_ok;
+    rec.client_get_errors += phase.gets - get_ok;
+    rec.client_publish_ok += publish_ok;
+    rec.client_publish_errors += phase.publishes - publish_ok;
+  }
+  rec.unexplained_gets =
+      static_cast<std::int64_t>(rec.server_gets) -
+      static_cast<std::int64_t>(rec.client_get_ok + rec.client_get_errors);
+  rec.unexplained_publishes =
+      static_cast<std::int64_t>(rec.server_publishes) -
+      static_cast<std::int64_t>(rec.client_publish_ok +
+                                rec.client_publish_errors);
+  const auto covered = [](std::int64_t unexplained, std::uint64_t errors) {
+    const std::uint64_t magnitude = static_cast<std::uint64_t>(
+        unexplained < 0 ? -unexplained : unexplained);
+    return magnitude <= errors;
+  };
+  rec.consistent =
+      covered(rec.unexplained_gets, rec.client_get_errors) &&
+      covered(rec.unexplained_publishes, rec.client_publish_errors);
+
+  // ---- ramp saturation ----------------------------------------------
+  if (plan.schedule.mode == Mode::Ramp) {
+    RampSummary& ramp = result.ramp;
+    ramp.ran = true;
+    for (const PhaseResult& phase : result.phases) {
+      if (!phase.measured) continue;
+      const bool step_ok =
+          phase.throughput >= config_.saturation_ratio * phase.offered_rate;
+      if (step_ok) {
+        if (phase.offered_rate >= ramp.knee_rate) {
+          ramp.knee_rate = phase.offered_rate;
+          ramp.knee_phase = phase.name;
+        }
+      } else if (!ramp.saturated) {
+        ramp.saturated = true;
+        ramp.first_saturated_phase = phase.name;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,130 @@
+// Executes a load Plan against a live cluster over real sockets.
+//
+// A pool of client threads replays the plan's operations: gets go to the
+// target cache node's ClientGetReq endpoint, publishes to the origin's
+// ClientPublishReq endpoint. In open-loop and ramp modes each op is
+// launched at its *intended* time and latency is measured from that
+// intended time — a backed-up server therefore shows its queueing delay in
+// the percentiles instead of silently suppressing load (coordinated
+// omission). Closed-loop mode issues ops back-to-back per thread and
+// measures from the actual send.
+//
+// Around the run the runner scrapes every node's metrics registry
+// (StatsReq) and reconciles the server-side deltas with the client-side
+// tallies, so a report either adds up or says exactly by how much it
+// doesn't.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/plan.hpp"
+
+namespace cachecloud::loadgen {
+
+struct RunnerConfig {
+  std::vector<std::uint16_t> cache_ports;  // indexed by PlannedOp::cache
+  std::uint16_t origin_port = 0;
+  int threads = 4;
+  double call_timeout_sec = 5.0;
+  // Saturation criterion for ramp mode: a step saturates when achieved
+  // throughput falls below this fraction of the offered rate.
+  double saturation_ratio = 0.95;
+};
+
+struct PhaseResult {
+  std::string name;
+  double offered_rate = 0.0;
+  double duration_sec = 0.0;  // spec duration (open/ramp) or actual (closed)
+  bool measured = true;
+  std::uint64_t planned = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t publishes = 0;
+  // Get-source breakdown from ClientGetResp (ok gets only).
+  std::uint64_t src_local = 0;
+  std::uint64_t src_cloud = 0;
+  std::uint64_t src_origin = 0;
+  double throughput = 0.0;  // ok / duration_sec
+  // Latency percentiles in seconds, coordinated-omission safe in open
+  // modes (measured from intended start).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double mean = 0.0;
+  std::uint64_t latency_count = 0;
+};
+
+struct NodeStats {
+  std::string role;  // "cache" | "origin"
+  std::size_t index = 0;
+  std::uint16_t port = 0;
+  // Deltas across the run.
+  std::uint64_t gets = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t publishes = 0;  // origin only
+};
+
+struct Reconciliation {
+  std::uint64_t client_get_ok = 0;
+  std::uint64_t client_get_errors = 0;
+  std::uint64_t client_publish_ok = 0;
+  std::uint64_t client_publish_errors = 0;
+  std::uint64_t server_gets = 0;       // delta over the run, all caches
+  std::uint64_t server_publishes = 0;  // delta over the run, origin
+  // server_gets - client_get_ok - client_get_errors: requests the server
+  // counted that no client accounted for (or vice versa, negative).
+  std::int64_t unexplained_gets = 0;
+  std::int64_t unexplained_publishes = 0;
+  // True when every discrepancy is covered by client-visible errors (an op
+  // that died mid-call may or may not have reached the server, so each
+  // error pardons one count of drift). With zero errors this means exact
+  // agreement.
+  bool consistent = false;
+};
+
+struct RampSummary {
+  bool ran = false;
+  bool saturated = false;
+  // Highest offered rate whose achieved throughput stayed within the
+  // saturation ratio; 0 when even the first step saturated.
+  double knee_rate = 0.0;
+  std::string knee_phase;
+  std::string first_saturated_phase;
+};
+
+struct RunResult {
+  std::vector<PhaseResult> phases;
+  // Totals over measured phases only.
+  std::uint64_t total_planned = 0;
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_ok = 0;
+  std::uint64_t total_errors = 0;
+  std::uint64_t total_degraded = 0;
+  double wall_seconds = 0.0;
+  std::vector<NodeStats> nodes;
+  Reconciliation reconciliation;
+  RampSummary ramp;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig config);
+
+  // Blocks for the full run (plan.total_seconds() plus drain time in open
+  // modes). Throws std::invalid_argument when the plan references cache
+  // indices outside cache_ports or publishes without an origin port;
+  // throws net::NetError only if the pre/post metrics scrape cannot reach
+  // a node (per-op network failures are counted, not thrown).
+  [[nodiscard]] RunResult run(const Plan& plan);
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace cachecloud::loadgen

@@ -91,12 +91,9 @@ bool Socket::recv_all(void* data, std::size_t len) {
   return true;
 }
 
-void Socket::write_frame(const Frame& frame) {
-  if (!valid()) throw NetError("write on closed socket");
-  if (frame.payload.size() > kMaxFrameBytes) {
-    throw NetError("frame too large to send");
-  }
-  std::uint8_t header[kFrameHeaderBytes];
+namespace {
+
+void encode_header(std::uint8_t* header, const Frame& frame) {
   const auto len = static_cast<std::uint32_t>(frame.payload.size());
   header[0] = static_cast<std::uint8_t>(len);
   header[1] = static_cast<std::uint8_t>(len >> 8);
@@ -107,31 +104,65 @@ void Socket::write_frame(const Frame& frame) {
   for (int i = 0; i < 8; ++i) {
     header[6 + i] = static_cast<std::uint8_t>(frame.trace_id >> (8 * i));
   }
+}
+
+}  // namespace
+
+void Socket::write_frame(const Frame& frame) {
+  if (!valid()) throw NetError("write on closed socket");
+  if (frame.payload.size() > kMaxFrameBytes) {
+    throw NetError("frame too large to send");
+  }
+  std::uint8_t header[kFrameHeaderBytes];
+  encode_header(header, frame);
   send_all(header, sizeof(header));
   if (!frame.payload.empty()) {
     send_all(frame.payload.data(), frame.payload.size());
   }
 }
 
-std::optional<Frame> Socket::read_frame() {
+void Socket::write_frame(const Frame& frame,
+                         std::vector<std::uint8_t>& scratch) {
+  if (!valid()) throw NetError("write on closed socket");
+  if (frame.payload.size() > kMaxFrameBytes) {
+    throw NetError("frame too large to send");
+  }
+  // Header + payload in one contiguous buffer: one send() instead of two,
+  // and the buffer's capacity is the caller's to reuse across frames.
+  scratch.resize(kFrameHeaderBytes + frame.payload.size());
+  encode_header(scratch.data(), frame);
+  if (!frame.payload.empty()) {
+    std::memcpy(scratch.data() + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  send_all(scratch.data(), scratch.size());
+}
+
+bool Socket::read_frame_into(Frame& out) {
   if (!valid()) throw NetError("read on closed socket");
   std::uint8_t header[kFrameHeaderBytes];
-  if (!recv_all(header, sizeof(header))) return std::nullopt;
+  if (!recv_all(header, sizeof(header))) return false;
   const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
                             (static_cast<std::uint32_t>(header[1]) << 8) |
                             (static_cast<std::uint32_t>(header[2]) << 16) |
                             (static_cast<std::uint32_t>(header[3]) << 24);
   if (len > kMaxFrameBytes) throw NetError("oversized frame");
-  Frame frame;
-  frame.type = static_cast<std::uint16_t>(header[4]) |
-               static_cast<std::uint16_t>(header[5] << 8);
+  out.type = static_cast<std::uint16_t>(header[4]) |
+             static_cast<std::uint16_t>(header[5] << 8);
+  out.trace_id = 0;
   for (int i = 0; i < 8; ++i) {
-    frame.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
+    out.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
   }
-  frame.payload.resize(len);
-  if (len > 0 && !recv_all(frame.payload.data(), len)) {
+  out.payload.resize(len);
+  if (len > 0 && !recv_all(out.payload.data(), len)) {
     throw NetError("connection closed mid-message");
   }
+  return true;
+}
+
+std::optional<Frame> Socket::read_frame() {
+  Frame frame;
+  if (!read_frame_into(frame)) return std::nullopt;
   return frame;
 }
 
@@ -342,6 +373,12 @@ TcpClient::TcpClient(std::uint16_t port, double timeout_sec,
       faults_(faults) {}
 
 Frame TcpClient::call(const Frame& request) {
+  Frame reply;
+  call_into(request, reply);
+  return reply;
+}
+
+void TcpClient::call_into(const Frame& request, Frame& reply) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (faults_) {
     switch (faults_->on_frame(port_)) {
@@ -357,11 +394,11 @@ Frame TcpClient::call(const Frame& request) {
     }
   }
   if (observer_) observer_->on_frame(request, /*inbound=*/false);
-  socket_.write_frame(request);
-  std::optional<Frame> reply = socket_.read_frame();
-  if (!reply) throw NetError("server closed connection before replying");
-  if (observer_) observer_->on_frame(*reply, /*inbound=*/true);
-  return std::move(*reply);
+  socket_.write_frame(request, send_scratch_);
+  if (!socket_.read_frame_into(reply)) {
+    throw NetError("server closed connection before replying");
+  }
+  if (observer_) observer_->on_frame(reply, /*inbound=*/true);
 }
 
 }  // namespace cachecloud::net

@@ -71,6 +71,13 @@ class Socket {
   void write_frame(const Frame& frame);
   [[nodiscard]] std::optional<Frame> read_frame();
 
+  // Allocation-light variants for hot callers. The write overload
+  // assembles header + payload into `scratch` (capacity is reused across
+  // calls) and ships one send; read_frame_into reuses `out.payload`'s
+  // capacity and returns false on clean EOF at a frame boundary.
+  void write_frame(const Frame& frame, std::vector<std::uint8_t>& scratch);
+  [[nodiscard]] bool read_frame_into(Frame& out);
+
   // Receive timeout for subsequent reads (0 = no timeout).
   void set_recv_timeout(double seconds);
 
@@ -168,12 +175,20 @@ class TcpClient {
 
   [[nodiscard]] Frame call(const Frame& request);
 
+  // Zero-copy-out variant: the reply is decoded into `reply`, whose
+  // payload capacity is reused across calls. Combined with the per-client
+  // scratch send buffer, a steady-state call makes no allocations — this
+  // is what keeps the load generator's client threads off the allocator.
+  void call_into(const Frame& request, Frame& reply);
+
  private:
   std::mutex mutex_;
   std::uint16_t port_ = 0;
   Socket socket_;
   FrameObserver* observer_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  // Send-side assembly buffer, reused by every call (guarded by mutex_).
+  std::vector<std::uint8_t> send_scratch_;
 };
 
 }  // namespace cachecloud::net

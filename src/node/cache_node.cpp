@@ -510,6 +510,7 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   const double placement_sec = phase.lap_sec();
   inst_.phase_placement->observe(placement_sec);
   inst_.get_latency->observe(span.elapsed_sec());
+  result.degraded = degraded;
   if (degraded) span.tag("degraded", static_cast<std::uint64_t>(1));
   span.tag("class", source_name(result.source))
       .tag("beacon", static_cast<std::uint64_t>(target.beacon))
@@ -542,6 +543,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
       case MsgType::ReplicaSync: return handle_replica_sync(request);
       case MsgType::PromoteReplicas: return handle_promote_replicas(request);
       case MsgType::StatsReq: return handle_stats(request);
+      case MsgType::ClientGetReq: return handle_client_get(request);
       case MsgType::Ping: return Ack{}.encode();
       default: break;
     }
@@ -849,6 +851,32 @@ net::Frame CacheNode::handle_stats(const net::Frame& request) {
   (void)StatsReq::decode(request);
   StatsResp resp;
   resp.snapshot = metrics_snapshot();
+  return resp.encode();
+}
+
+net::Frame CacheNode::handle_client_get(const net::Frame& request) {
+  // The wire face of get(): external load drivers hit this instead of the
+  // in-process API. Failures travel back as ClientGetResp{!ok} so a driver
+  // can always decode the reply it asked for.
+  const ClientGetReq req = ClientGetReq::decode(request);
+  ClientGetResp resp;
+  try {
+    const GetResult result = get(req.url);
+    resp.ok = true;
+    resp.version = result.version;
+    resp.source = static_cast<std::uint8_t>(result.source);
+    resp.degraded = result.degraded;
+    resp.body_bytes = result.body.size();
+    resp.body_hash =
+        result.body.empty()
+            ? util::fnv1a64("")
+            : util::fnv1a64(std::string_view(
+                  reinterpret_cast<const char*>(result.body.data()),
+                  result.body.size()));
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
   return resp.encode();
 }
 

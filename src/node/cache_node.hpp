@@ -73,6 +73,9 @@ class CacheNode {
     std::uint64_t version = 0;
     enum class Source { Local, Cloud, Origin } source = Source::Local;
     bool stored = false;
+    // True when a beacon was unreachable and the request was served with
+    // the cooperative lookup skipped (origin fallback).
+    bool degraded = false;
   };
   // Executes the full lookup protocol: local store -> beacon lookup ->
   // holder fetch or origin fetch -> placement decision -> registration.
@@ -131,6 +134,7 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_replica_sync(const net::Frame& request);
   [[nodiscard]] net::Frame handle_promote_replicas(const net::Frame& request);
   [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_client_get(const net::Frame& request);
 
   // Sends a request to a peer cache (or the origin with id kOriginId) and
   // returns the reply, retrying with jittered exponential backoff behind

@@ -445,6 +445,21 @@ net::Frame OriginNode::handle(const net::Frame& request) {
       }
       case MsgType::SuspectNode:
         return handle_suspect(request);
+      case MsgType::ClientPublishReq: {
+        // Wire face of publish_update() for external update drivers.
+        // Failures (unknown document, unreachable beacon) travel back as
+        // ClientPublishResp{!ok} so the driver can decode what it sent for.
+        const ClientPublishReq req = ClientPublishReq::decode(request);
+        ClientPublishResp resp;
+        try {
+          resp.version = publish_update(req.url);
+          resp.ok = true;
+        } catch (const std::exception& e) {
+          resp.ok = false;
+          resp.error = e.what();
+        }
+        return resp.encode();
+      }
       case MsgType::Ping:
         return Ack{}.encode();
       default:

@@ -35,6 +35,10 @@ std::string_view msg_type_name(std::uint16_t type) noexcept {
     case MsgType::StatsReq: return "StatsReq";
     case MsgType::StatsResp: return "StatsResp";
     case MsgType::SuspectNode: return "SuspectNode";
+    case MsgType::ClientGetReq: return "ClientGetReq";
+    case MsgType::ClientGetResp: return "ClientGetResp";
+    case MsgType::ClientPublishReq: return "ClientPublishReq";
+    case MsgType::ClientPublishResp: return "ClientPublishResp";
   }
   return "Unknown";
 }
@@ -371,6 +375,84 @@ SuspectNode SuspectNode::decode(const net::Frame& frame) {
   SuspectNode msg;
   msg.node = r.u32();
   msg.reporter = r.u32();
+  r.expect_end();
+  return msg;
+}
+
+// ------------------------------------------------------------- client API
+
+net::Frame ClientGetReq::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  return make_frame(MsgType::ClientGetReq, std::move(w));
+}
+
+ClientGetReq ClientGetReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ClientGetReq);
+  net::BufferReader r(frame.payload);
+  ClientGetReq msg;
+  msg.url = r.str();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame ClientGetResp::encode() const {
+  net::BufferWriter w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.u64(version);
+  w.u8(source);
+  w.u8(degraded ? 1 : 0);
+  w.u64(body_bytes);
+  w.u64(body_hash);
+  return make_frame(MsgType::ClientGetResp, std::move(w));
+}
+
+ClientGetResp ClientGetResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ClientGetResp);
+  net::BufferReader r(frame.payload);
+  ClientGetResp msg;
+  msg.ok = r.u8() != 0;
+  msg.error = r.str();
+  msg.version = r.u64();
+  msg.source = r.u8();
+  msg.degraded = r.u8() != 0;
+  msg.body_bytes = r.u64();
+  msg.body_hash = r.u64();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame ClientPublishReq::encode() const {
+  net::BufferWriter w;
+  w.str(url);
+  return make_frame(MsgType::ClientPublishReq, std::move(w));
+}
+
+ClientPublishReq ClientPublishReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ClientPublishReq);
+  net::BufferReader r(frame.payload);
+  ClientPublishReq msg;
+  msg.url = r.str();
+  r.expect_end();
+  return msg;
+}
+
+net::Frame ClientPublishResp::encode() const {
+  net::BufferWriter w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.u64(version);
+  return make_frame(MsgType::ClientPublishResp, std::move(w));
+}
+
+ClientPublishResp ClientPublishResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ClientPublishResp);
+  net::BufferReader r(frame.payload);
+  ClientPublishResp msg;
+  msg.ok = r.u8() != 0;
+  msg.error = r.str();
+  msg.version = r.u64();
   r.expect_end();
   return msg;
 }

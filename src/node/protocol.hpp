@@ -57,6 +57,14 @@ enum class MsgType : std::uint16_t {
   // Resilience: a cache whose circuit breaker for a peer trips repeatedly
   // reports it to the coordinator, which runs the failover automatically.
   SuspectNode = 21,
+  // Client-facing edge API, used by external load drivers: a ClientGetReq
+  // at a cache node runs the full cooperative get() flow; a
+  // ClientPublishReq at the origin bumps a document's version and pushes
+  // the update into the cloud.
+  ClientGetReq = 22,
+  ClientGetResp = 23,
+  ClientPublishReq = 24,
+  ClientPublishResp = 25,
 };
 
 // Human-readable name of a wire message type ("LookupReq", ...); unknown
@@ -206,6 +214,46 @@ struct SuspectNode {
   static SuspectNode decode(const net::Frame& frame);
 };
 
+// ------------------------------------------------------------- client API
+
+// External client GET served by a cache node over the wire (the socket
+// equivalent of CacheNode::get()). The reply ships the body size and a
+// cheap integrity check instead of the body itself: load drivers verify
+// end-to-end correctness without paying the bandwidth to echo payloads.
+struct ClientGetReq {
+  std::string url;
+  [[nodiscard]] net::Frame encode() const;
+  static ClientGetReq decode(const net::Frame& frame);
+};
+
+struct ClientGetResp {
+  bool ok = false;
+  std::string error;                // set when !ok
+  std::uint64_t version = 0;
+  std::uint8_t source = 0;          // CacheNode::GetResult::Source
+  bool degraded = false;            // served while a beacon was unreachable
+  std::uint64_t body_bytes = 0;
+  std::uint64_t body_hash = 0;      // util::fnv1a64 of the body
+  [[nodiscard]] net::Frame encode() const;
+  static ClientGetResp decode(const net::Frame& frame);
+};
+
+// External update trigger at the origin: bump `url` and push the new
+// version to its beacon point (the paper's update flow, §2.2).
+struct ClientPublishReq {
+  std::string url;
+  [[nodiscard]] net::Frame encode() const;
+  static ClientPublishReq decode(const net::Frame& frame);
+};
+
+struct ClientPublishResp {
+  bool ok = false;
+  std::string error;
+  std::uint64_t version = 0;
+  [[nodiscard]] net::Frame encode() const;
+  static ClientPublishResp decode(const net::Frame& frame);
+};
+
 // ---------------------------------------------------------- observability
 
 struct StatsReq {
@@ -242,7 +290,7 @@ class WireMetrics : public net::FrameObserver {
   };
   // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
   static constexpr std::size_t kMaxType =
-      static_cast<std::size_t>(MsgType::SuspectNode);
+      static_cast<std::size_t>(MsgType::ClientPublishResp);
   std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 

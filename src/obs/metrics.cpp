@@ -119,9 +119,36 @@ double LatencyHistogram::quantile(double q) const noexcept {
   return bucket_quantile(bounds_, bucket_counts(), count(), q);
 }
 
+std::vector<double> LatencyHistogram::quantiles(
+    const std::vector<double>& qs) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    out.push_back(bucket_quantile(bounds_, counts, total, q));
+  }
+  return out;
+}
+
 std::vector<double> default_latency_bounds() {
   return {1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
           1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0, 10.0};
+}
+
+std::vector<double> log_spaced_bounds(double lo, double hi, int per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) {
+    throw std::invalid_argument("log_spaced_bounds: need 0 < lo < hi and "
+                                "per_decade >= 1");
+  }
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  std::vector<double> bounds;
+  for (double b = lo; ; b *= step) {
+    bounds.push_back(b);
+    if (b >= hi) break;
+  }
+  return bounds;
 }
 
 double HistogramSnapshot::quantile(double q) const noexcept {

@@ -84,6 +84,16 @@ class LatencyHistogram {
   // the largest finite bound. Monotone in q.
   [[nodiscard]] double quantile(double q) const noexcept;
 
+  // Percentile convenience: p in [0, 100] (p99.9 = percentile(99.9)).
+  [[nodiscard]] double percentile(double p) const noexcept {
+    return quantile(p / 100.0);
+  }
+  // Interpolated quantiles for several q at once over ONE consistent view
+  // of the buckets — concurrent observe() calls cannot tear the result the
+  // way repeated quantile() calls can. Returns one value per input q.
+  [[nodiscard]] std::vector<double> quantiles(
+      const std::vector<double>& qs) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
@@ -93,6 +103,14 @@ class LatencyHistogram {
 
 // Bucket bounds suited to loopback/LAN request latencies (10us .. 10s).
 [[nodiscard]] std::vector<double> default_latency_bounds();
+
+// Log-spaced bounds: `per_decade` buckets per power of ten from `lo` up to
+// and including the first bound >= `hi`. Finer than the default bounds;
+// the load generator uses per_decade >= 10 so interpolated p99/p99.9 stay
+// within a few percent of the true value. Throws std::invalid_argument on
+// lo <= 0, hi <= lo or per_decade < 1.
+[[nodiscard]] std::vector<double> log_spaced_bounds(double lo, double hi,
+                                                    int per_decade);
 
 // ---------------------------------------------------------------- snapshot
 
@@ -114,6 +132,9 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
 
   [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double percentile(double p) const noexcept {
+    return quantile(p / 100.0);
+  }
 };
 
 struct Snapshot {

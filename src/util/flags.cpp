@@ -1,5 +1,8 @@
 #include "util/flags.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace cachecloud::util {
@@ -7,6 +10,32 @@ namespace {
 
 bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
+}
+
+// `--name value` consumes the next token as the value unless it looks like
+// another flag. A token like "-5", "-0.25" or "-1e3" is a negative number,
+// not a flag, so `--rate -5` and `--ramp-step -250.5` parse uniformly with
+// their `--rate=-5` spellings.
+bool looks_like_flag(const std::string& s) {
+  if (!starts_with(s, "--")) return false;
+  // "--5" / "--.5" would be a malformed flag name anyway; read it as a
+  // (redundantly-dashed) number rather than a flag.
+  return s.size() <= 2 ||
+         !(std::isdigit(static_cast<unsigned char>(s[2])) || s[2] == '.');
+}
+
+// Strict full-string parse to double; nullopt on any malformed input.
+// Accepts everything std::stod does: sign, decimals, scientific notation.
+std::optional<double> parse_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -34,7 +63,7 @@ Flags::Flags(int argc, const char* const* argv) {
       continue;
     }
     // `--name value` if the next token is not a flag; else boolean true.
-    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";
@@ -58,29 +87,35 @@ std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t default_value) const {
   const auto v = raw(name);
   if (!v) return default_value;
+  // Exact integer syntax first (full 64-bit range), then any numeric
+  // spelling with an integral value ("2e3", "2000.0", "-1.5e2"), so every
+  // number-taking flag accepts the same grammar whether it lands in
+  // get_int or get_double.
   try {
     std::size_t pos = 0;
     const std::int64_t parsed = std::stoll(*v, &pos);
-    if (pos != v->size()) throw std::invalid_argument("trailing characters");
-    return parsed;
+    if (pos == v->size()) return parsed;
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                *v + "'");
   }
+  const auto parsed = parse_number(*v);
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (parsed && std::floor(*parsed) == *parsed &&
+      std::abs(*parsed) <= kMaxExact) {
+    return static_cast<std::int64_t>(*parsed);
+  }
+  throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                              *v + "'");
 }
 
 double Flags::get_double(const std::string& name, double default_value) const {
   const auto v = raw(name);
   if (!v) return default_value;
-  try {
-    std::size_t pos = 0;
-    const double parsed = std::stod(*v, &pos);
-    if (pos != v->size()) throw std::invalid_argument("trailing characters");
-    return parsed;
-  } catch (const std::exception&) {
+  const auto parsed = parse_number(*v);
+  if (!parsed) {
     throw std::invalid_argument("flag --" + name + " expects a number, got '" +
                                 *v + "'");
   }
+  return *parsed;
 }
 
 bool Flags::get_bool(const std::string& name, bool default_value) const {

@@ -2,6 +2,9 @@
 //
 // Supports `--name=value`, `--name value` and boolean `--name` /
 // `--no-name`. Unknown flags are an error so experiment scripts fail loudly.
+// Numeric flags share one grammar across get_int and get_double: sign,
+// decimals and scientific notation all parse (`--rate -250`, `--rate=2e3`,
+// `--ramp-step -0.5`); get_int additionally requires an integral value.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,319 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace cachecloud::util {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::invalid_argument("json: " + what + " at byte " +
+                              std::to_string(pos));
+}
+
+// Recursive-descent parser over a string_view; tracks the byte offset so
+// errors point at the offending input.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return value;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail(pos_, "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail(pos_, "expected ':'");
+      ++pos_;
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    ++pos_;  // '['
+    JsonValue::Array elements;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(elements));
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_utf8(parse_hex4(), out);
+          break;
+        default:
+          fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  // BMP code point -> UTF-8. Surrogate pairs are rare in bench reports;
+  // an unpaired surrogate encodes as the replacement character.
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last || start == pos_) {
+      fail(start, "bad number");
+    }
+    return JsonValue::make_number(value);
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail(pos_, "bad literal");
+    }
+    pos_ += literal.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_error(std::string_view wanted) {
+  throw std::invalid_argument("json: value is not a " + std::string(wanted));
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_error("string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* found = find(key);
+  if (found == nullptr) {
+    throw std::invalid_argument("json: missing key '" + std::string(key) +
+                                "'");
+  }
+  return *found;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::Bool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::Number;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::String;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue out;
+  out.kind_ = Kind::Array;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue out;
+  out.kind_ = Kind::Object;
+  out.object_ = std::move(v);
+  return out;
+}
+
+}  // namespace cachecloud::util

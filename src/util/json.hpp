@@ -1,0 +1,71 @@
+// Minimal JSON tree: parse, navigate, and that is all.
+//
+// Just enough for the perf-regression tooling to read the
+// BENCH_live_*.json reports this repository writes itself (bench_diff) and
+// for tests to assert on report structure. Numbers are doubles, object
+// keys keep insertion order, duplicate keys resolve to the first match.
+// Not a general-purpose JSON library: no writer (reports are rendered
+// directly), no streaming, no comments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cachecloud::util {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  // Parses a complete JSON document (trailing junk is an error). Throws
+  // std::invalid_argument with a byte offset on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+
+  // Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  // Like find, but throws std::invalid_argument naming the missing key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  // Dotted-path convenience: number_at("phases.measure.p99") style lookup
+  // is not needed; this walks one level per call site instead.
+  [[nodiscard]] double number_at(std::string_view key) const {
+    return at(key).as_number();
+  }
+
+  // Construction (used by the parser; handy in tests).
+  JsonValue() = default;
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace cachecloud::util

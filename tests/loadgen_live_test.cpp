@@ -1,0 +1,155 @@
+// End-to-end: drive a real loopback cluster with the load generator and
+// check that the client-side tallies reconcile exactly with the servers'
+// own metrics, and that the report round-trips through the JSON parser.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "loadgen/plan.hpp"
+#include "loadgen/report.hpp"
+#include "loadgen/runner.hpp"
+#include "node/cluster.hpp"
+#include "util/json.hpp"
+
+namespace cachecloud::loadgen {
+namespace {
+
+struct LiveCluster {
+  explicit LiveCluster(std::uint32_t caches) {
+    node::NodeConfig config;
+    config.num_caches = caches;
+    cluster = std::make_unique<node::Cluster>(config);
+  }
+  ~LiveCluster() { cluster->stop_all(); }
+
+  void register_catalog(const Plan& plan) {
+    for (std::size_t i = 0; i < plan.urls.size(); ++i) {
+      cluster->origin().add_document(
+          plan.urls[i], static_cast<std::size_t>(plan.doc_bytes[i]));
+    }
+  }
+
+  [[nodiscard]] RunnerConfig runner_config(int threads) const {
+    RunnerConfig config;
+    for (node::NodeId id = 0; id < cluster->num_caches(); ++id) {
+      config.cache_ports.push_back(cluster->cache(id).port());
+    }
+    config.origin_port = cluster->origin().port();
+    config.threads = threads;
+    return config;
+  }
+
+  std::unique_ptr<node::Cluster> cluster;
+};
+
+TEST(LoadgenLive, OpenLoopRunReconcilesWithServerMetrics) {
+  WorkloadConfig workload;
+  workload.num_docs = 60;
+  workload.num_caches = 3;
+  workload.update_fraction = 0.1;
+  ScheduleConfig schedule;
+  schedule.mode = Mode::Open;
+  schedule.arrival = Arrival::Poisson;
+  schedule.rate = 400.0;
+  schedule.warmup_sec = 0.25;
+  schedule.duration_sec = 1.0;
+  const Plan plan = build_plan(workload, schedule, 42);
+
+  LiveCluster live(3);
+  live.register_catalog(plan);
+  Runner runner(live.runner_config(3));
+  const RunResult result = runner.run(plan);
+
+  // Healthy loopback cluster: everything the clients sent succeeded and
+  // the servers counted exactly the same requests.
+  EXPECT_EQ(result.total_errors, 0u);
+  EXPECT_GT(result.total_ok, 0u);
+  const Reconciliation& rec = result.reconciliation;
+  EXPECT_TRUE(rec.consistent);
+  EXPECT_EQ(rec.unexplained_gets, 0);
+  EXPECT_EQ(rec.unexplained_publishes, 0);
+  EXPECT_EQ(rec.client_get_ok + rec.client_get_errors, rec.server_gets);
+  EXPECT_EQ(rec.client_publish_ok, rec.server_publishes);
+
+  // Every planned op was sent, phase by phase.
+  ASSERT_EQ(result.phases.size(), plan.phases.size());
+  for (const PhaseResult& phase : result.phases) {
+    EXPECT_EQ(phase.sent, phase.planned) << phase.name;
+    EXPECT_EQ(phase.ok, phase.sent) << phase.name;
+    EXPECT_EQ(phase.gets + phase.publishes, phase.sent) << phase.name;
+    EXPECT_EQ(phase.latency_count, phase.sent) << phase.name;
+    if (phase.latency_count > 0) {
+      EXPECT_GT(phase.p50, 0.0) << phase.name;
+      EXPECT_LE(phase.p50, phase.p99) << phase.name;
+      EXPECT_LE(phase.p99, phase.p999) << phase.name;
+    }
+  }
+
+  // Per-node gets sum to the total and the origin delta matches.
+  std::uint64_t node_gets = 0;
+  for (const NodeStats& node : result.nodes) {
+    if (node.role == "cache") node_gets += node.gets;
+  }
+  EXPECT_EQ(node_gets, rec.server_gets);
+
+  // The rendered report parses back and carries the same numbers.
+  const util::JsonValue doc =
+      util::JsonValue::parse(render_report(plan, result));
+  EXPECT_EQ(doc.at("schema").as_string(), kReportSchema);
+  EXPECT_EQ(doc.at("workload").as_string(), "zipf");
+  EXPECT_DOUBLE_EQ(doc.at("totals").number_at("ok"),
+                   static_cast<double>(result.total_ok));
+  EXPECT_TRUE(doc.at("reconciliation").at("consistent").as_bool());
+  EXPECT_EQ(doc.at("phases").as_array().size(), result.phases.size());
+  EXPECT_EQ(default_report_name(plan), "BENCH_live_zipf.json");
+}
+
+TEST(LoadgenLive, RampRunReportsPerStepResults) {
+  WorkloadConfig workload;
+  workload.num_docs = 40;
+  workload.num_caches = 2;
+  workload.update_fraction = 0.0;
+  ScheduleConfig schedule;
+  schedule.mode = Mode::Ramp;
+  schedule.arrival = Arrival::Fixed;
+  schedule.warmup_sec = 0.2;
+  schedule.duration_sec = 0.5;
+  schedule.ramp_start = 100.0;
+  schedule.ramp_step = 100.0;
+  schedule.ramp_steps = 2;
+  const Plan plan = build_plan(workload, schedule, 17);
+
+  LiveCluster live(2);
+  live.register_catalog(plan);
+  Runner runner(live.runner_config(2));
+  const RunResult result = runner.run(plan);
+
+  EXPECT_TRUE(result.ramp.ran);
+  EXPECT_EQ(result.total_errors, 0u);
+  EXPECT_TRUE(result.reconciliation.consistent);
+  ASSERT_EQ(result.phases.size(), 3u);
+  EXPECT_EQ(result.phases[1].name, "step1");
+  EXPECT_EQ(result.phases[2].name, "step2");
+  // A loopback cluster at 100-200 ops/s is nowhere near saturation.
+  EXPECT_FALSE(result.ramp.saturated);
+  EXPECT_DOUBLE_EQ(result.ramp.knee_rate, 200.0);
+}
+
+TEST(LoadgenLive, RunnerRejectsPlansItCannotRoute) {
+  WorkloadConfig workload;
+  workload.num_docs = 10;
+  workload.num_caches = 4;  // plan spreads over 4 caches...
+  ScheduleConfig schedule;
+  schedule.warmup_sec = 0.0;
+  schedule.duration_sec = 0.5;
+  schedule.rate = 100.0;
+  const Plan plan = build_plan(workload, schedule, 3);
+
+  LiveCluster live(2);  // ...but only 2 exist
+  live.register_catalog(plan);
+  Runner runner(live.runner_config(2));
+  EXPECT_THROW((void)runner.run(plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::loadgen

@@ -1,0 +1,235 @@
+#include "loadgen/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace cachecloud::loadgen {
+namespace {
+
+WorkloadConfig small_zipf() {
+  WorkloadConfig w;
+  w.workload = Workload::Zipf;
+  w.num_docs = 50;
+  w.num_caches = 4;
+  w.update_fraction = 0.1;
+  return w;
+}
+
+ScheduleConfig open_schedule() {
+  ScheduleConfig s;
+  s.mode = Mode::Open;
+  s.arrival = Arrival::Poisson;
+  s.rate = 200.0;
+  s.warmup_sec = 1.0;
+  s.duration_sec = 4.0;
+  return s;
+}
+
+TEST(LoadgenPlan, SameSeedSameSchedule) {
+  const Plan a = build_plan(small_zipf(), open_schedule(), 7);
+  const Plan b = build_plan(small_zipf(), open_schedule(), 7);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.phases, b.phases);
+  EXPECT_EQ(a.urls, b.urls);
+}
+
+TEST(LoadgenPlan, DifferentSeedDifferentSchedule) {
+  const Plan a = build_plan(small_zipf(), open_schedule(), 7);
+  const Plan b = build_plan(small_zipf(), open_schedule(), 8);
+  EXPECT_NE(a.ops, b.ops);
+}
+
+TEST(LoadgenPlan, IntendedStartsMonotoneAndInsidePhases) {
+  const Plan plan = build_plan(small_zipf(), open_schedule(), 11);
+  ASSERT_FALSE(plan.ops.empty());
+  double prev = -1.0;
+  for (const PlannedOp& op : plan.ops) {
+    EXPECT_GE(op.at, prev);
+    prev = op.at;
+    ASSERT_LT(op.phase, plan.phases.size());
+    const PhaseSpec& phase = plan.phases[op.phase];
+    EXPECT_GE(op.at, phase.start);
+    EXPECT_LT(op.at, phase.end);
+    EXPECT_LT(op.doc, plan.urls.size());
+    EXPECT_LT(op.cache, 4u);
+  }
+  // Poisson at 200/s over 5s total: op count should be in a sane band.
+  EXPECT_GT(plan.ops.size(), 600u);
+  EXPECT_LT(plan.ops.size(), 1400u);
+}
+
+TEST(LoadgenPlan, RampPhaseBoundariesExact) {
+  ScheduleConfig s;
+  s.mode = Mode::Ramp;
+  s.arrival = Arrival::Fixed;
+  s.warmup_sec = 0.5;
+  s.duration_sec = 2.0;
+  s.ramp_start = 100.0;
+  s.ramp_step = 50.0;
+  s.ramp_steps = 3;
+  const Plan plan = build_plan(small_zipf(), s, 5);
+
+  ASSERT_EQ(plan.phases.size(), 4u);  // warmup + 3 steps
+  EXPECT_EQ(plan.phases[0].name, "warmup");
+  EXPECT_FALSE(plan.phases[0].measured);
+  EXPECT_DOUBLE_EQ(plan.phases[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(plan.phases[0].end, 0.5);
+  for (int i = 1; i <= 3; ++i) {
+    const PhaseSpec& step = plan.phases[static_cast<std::size_t>(i)];
+    EXPECT_EQ(step.name, "step" + std::to_string(i));
+    EXPECT_TRUE(step.measured);
+    EXPECT_DOUBLE_EQ(step.start, 0.5 + 2.0 * (i - 1));
+    EXPECT_DOUBLE_EQ(step.end, 0.5 + 2.0 * i);
+    EXPECT_DOUBLE_EQ(step.offered_rate, 100.0 + 50.0 * (i - 1));
+  }
+
+  // Fixed arrivals: first op of each phase lands exactly on its start and
+  // each phase contributes exactly round(len * rate) ops.
+  std::vector<std::uint64_t> counts(plan.phases.size(), 0);
+  std::vector<double> first(plan.phases.size(), -1.0);
+  for (const PlannedOp& op : plan.ops) {
+    if (first[op.phase] < 0.0) first[op.phase] = op.at;
+    ++counts[op.phase];
+  }
+  EXPECT_DOUBLE_EQ(first[1], plan.phases[1].start);
+  EXPECT_DOUBLE_EQ(first[2], plan.phases[2].start);
+  EXPECT_DOUBLE_EQ(first[3], plan.phases[3].start);
+  EXPECT_EQ(counts[1], 200u);  // 2s * 100/s
+  EXPECT_EQ(counts[2], 300u);
+  EXPECT_EQ(counts[3], 400u);
+}
+
+TEST(LoadgenPlan, FlashWorkloadSplitsMeasureAndConcentratesLoad) {
+  WorkloadConfig w = small_zipf();
+  w.workload = Workload::Flash;
+  w.flash_start_frac = 0.25;
+  w.flash_duration_frac = 0.5;
+  w.flash_multiplier = 4.0;
+  w.flash_hot_docs = 5;
+  w.flash_hot_fraction = 1.0;
+  w.update_fraction = 0.0;
+  ScheduleConfig s = open_schedule();
+  s.warmup_sec = 0.0;
+  s.duration_sec = 8.0;
+  s.arrival = Arrival::Fixed;
+  const Plan plan = build_plan(w, s, 9);
+
+  ASSERT_EQ(plan.phases.size(), 3u);
+  EXPECT_EQ(plan.phases[0].name, "pre_flash");
+  EXPECT_EQ(plan.phases[1].name, "flash");
+  EXPECT_EQ(plan.phases[2].name, "post_flash");
+  EXPECT_DOUBLE_EQ(plan.phases[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(plan.phases[1].end, 6.0);
+  EXPECT_DOUBLE_EQ(plan.phases[1].offered_rate, 800.0);
+
+  for (const PlannedOp& op : plan.ops) {
+    if (plan.phases[op.phase].name == "flash") {
+      EXPECT_LT(op.doc, 5u);  // hot_fraction = 1: every flash get is hot
+    }
+  }
+}
+
+TEST(LoadgenPlan, ClosedModePlansSameOpMixAsOpen) {
+  ScheduleConfig s = open_schedule();
+  s.mode = Mode::Closed;
+  const Plan plan = build_plan(small_zipf(), s, 13);
+  ASSERT_FALSE(plan.ops.empty());
+  std::uint64_t publishes = 0;
+  for (const PlannedOp& op : plan.ops) {
+    if (op.kind == PlannedOp::Kind::Publish) ++publishes;
+  }
+  const double frac =
+      static_cast<double>(publishes) / static_cast<double>(plan.ops.size());
+  EXPECT_NEAR(frac, 0.1, 0.05);
+}
+
+TEST(LoadgenPlan, TraceReplayPreservesEventTimesAndDocs) {
+  trace::ZipfTraceConfig config;
+  config.num_docs = 30;
+  config.num_caches = 6;
+  config.duration_sec = 5.0;
+  config.requests_per_sec = 100.0;
+  config.updates_per_minute = 60.0;
+  config.seed = 21;
+  const trace::Trace tr = trace::generate_zipf_trace(config);
+  const std::string path =
+      testing::TempDir() + "loadgen_plan_replay.trace";
+  trace::write_trace_file(path, tr);
+
+  WorkloadConfig w;
+  w.workload = Workload::Trace;
+  w.trace_file = path;
+  w.num_caches = 3;  // trace cache ids fold onto 3 live caches
+  ScheduleConfig s;
+  s.mode = Mode::Open;
+  s.warmup_sec = 1.0;
+  s.duration_sec = 3.0;
+  const Plan plan = build_plan(w, s, 1);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(plan.urls.size(), tr.num_docs());
+  ASSERT_FALSE(plan.ops.empty());
+  std::size_t i = 0;
+  for (const trace::Event& event : tr.events()) {
+    if (event.time >= 4.0) break;  // warmup + duration window
+    ASSERT_LT(i, plan.ops.size());
+    const PlannedOp& op = plan.ops[i++];
+    // The text trace format rounds times to ~10 significant digits.
+    EXPECT_NEAR(op.at, event.time, 1e-8);
+    EXPECT_EQ(op.doc, event.doc);
+    EXPECT_EQ(op.kind, event.type == trace::EventType::Update
+                           ? PlannedOp::Kind::Publish
+                           : PlannedOp::Kind::Get);
+    EXPECT_LT(op.cache, 3u);
+  }
+  EXPECT_EQ(i, plan.ops.size());
+}
+
+TEST(LoadgenPlan, RejectsInvalidConfigs) {
+  ScheduleConfig bad_rate = open_schedule();
+  bad_rate.rate = 0.0;
+  EXPECT_THROW((void)build_plan(small_zipf(), bad_rate, 1),
+               std::invalid_argument);
+
+  WorkloadConfig no_trace;
+  no_trace.workload = Workload::Trace;
+  EXPECT_THROW((void)build_plan(no_trace, open_schedule(), 1),
+               std::invalid_argument);
+
+  ScheduleConfig bad_ramp = open_schedule();
+  bad_ramp.mode = Mode::Ramp;
+  bad_ramp.ramp_start = 300.0;
+  bad_ramp.ramp_step = -200.0;
+  bad_ramp.ramp_steps = 3;  // last step would offer -100/s
+  EXPECT_THROW((void)build_plan(small_zipf(), bad_ramp, 1),
+               std::invalid_argument);
+
+  WorkloadConfig bad_flash = small_zipf();
+  bad_flash.workload = Workload::Flash;
+  bad_flash.flash_start_frac = 0.8;
+  bad_flash.flash_duration_frac = 0.5;  // window overruns the measure period
+  EXPECT_THROW((void)build_plan(bad_flash, open_schedule(), 1),
+               std::invalid_argument);
+}
+
+TEST(LoadgenPlan, NameParsersRoundTrip) {
+  EXPECT_EQ(parse_workload("zipf"), Workload::Zipf);
+  EXPECT_EQ(parse_mode("ramp"), Mode::Ramp);
+  EXPECT_EQ(parse_arrival("fixed"), Arrival::Fixed);
+  EXPECT_STREQ(workload_name(Workload::Flash), "flash");
+  EXPECT_STREQ(mode_name(Mode::Closed), "closed");
+  EXPECT_STREQ(arrival_name(Arrival::Poisson), "poisson");
+  EXPECT_THROW((void)parse_workload("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mode("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_arrival("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachecloud::loadgen

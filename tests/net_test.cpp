@@ -176,5 +176,39 @@ TEST(TcpTest, EphemeralPortsAreDistinct) {
   EXPECT_GT(a.port(), 0);
 }
 
+TEST(TcpTest, CallIntoReusesReplyBufferAcrossCalls) {
+  TcpServer server(0, [](const Frame& f) {
+    Frame reply = f;
+    reply.type = static_cast<std::uint16_t>(f.type + 1);
+    return reply;
+  });
+  TcpClient client(server.port());
+
+  Frame request;
+  request.type = 7;
+  request.payload.assign(4096, 0xAB);
+  Frame reply;
+  client.call_into(request, reply);
+  EXPECT_EQ(reply.type, 8);
+  EXPECT_EQ(reply.payload, request.payload);
+
+  // A smaller reply must not keep stale bytes and must reuse the existing
+  // allocation instead of grabbing a new one.
+  const std::uint8_t* const buffer = reply.payload.data();
+  request.type = 20;
+  request.payload.assign(16, 0xCD);
+  client.call_into(request, reply);
+  EXPECT_EQ(reply.type, 21);
+  EXPECT_EQ(reply.payload.size(), 16u);
+  EXPECT_EQ(reply.payload, request.payload);
+  EXPECT_EQ(reply.payload.data(), buffer);
+
+  // call() still round-trips identically through the scratch send path.
+  request.type = 40;
+  const Frame copied = client.call(request);
+  EXPECT_EQ(copied.type, 41);
+  EXPECT_EQ(copied.payload, request.payload);
+}
+
 }  // namespace
 }  // namespace cachecloud::net

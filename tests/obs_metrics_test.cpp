@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -154,6 +155,63 @@ TEST(ExpositionTest, JsonDumpContainsEveryMetric) {
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+// ------------------------------------------------------------- percentiles
+
+TEST(LatencyHistogramTest, LogSpacedBoundsShape) {
+  const std::vector<double> bounds = log_spaced_bounds(1e-5, 10.0, 5);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-5);
+  EXPECT_GE(bounds.back(), 10.0);
+  const double step = std::pow(10.0, 1.0 / 5.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], step, 1e-9);
+  }
+  EXPECT_THROW(log_spaced_bounds(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_spaced_bounds(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_spaced_bounds(1e-3, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LatencyHistogramTest, InterpolatedPercentilesTrackUniformData) {
+  // 1ms .. 1s uniform: percentile(p) should land near p/100 * 1s, within
+  // one log bucket of resolution (10 buckets per decade ≈ 26% width).
+  LatencyHistogram hist(log_spaced_bounds(1e-4, 10.0, 10));
+  for (int i = 1; i <= 1000; ++i) hist.observe(static_cast<double>(i) * 1e-3);
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double expected = p / 100.0;
+    EXPECT_NEAR(hist.percentile(p), expected, 0.3 * expected)
+        << "p" << p;
+  }
+  EXPECT_LT(hist.percentile(50.0), hist.percentile(99.0));
+  EXPECT_LT(hist.percentile(99.0), hist.percentile(99.9));
+}
+
+TEST(LatencyHistogramTest, BatchQuantilesMatchIndividualQueries) {
+  LatencyHistogram hist(default_latency_bounds());
+  for (int i = 0; i < 500; ++i) {
+    hist.observe(1e-4 * static_cast<double>(1 + i % 97));
+  }
+  const std::vector<double> qs = {0.0, 0.5, 0.9, 0.99, 0.999, 1.0};
+  const std::vector<double> batch = hist.quantiles(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], hist.quantile(qs[i]));
+    if (i > 0) {
+      EXPECT_GE(batch[i], batch[i - 1]);  // monotone in q
+    }
+  }
+  // Snapshot percentiles agree with the live histogram.
+  Registry registry;
+  LatencyHistogram& reg_hist =
+      registry.histogram("x_seconds", "x", default_latency_bounds());
+  reg_hist.observe(0.003);
+  reg_hist.observe(0.004);
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("x_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->percentile(99.9), reg_hist.percentile(99.9));
 }
 
 // ------------------------------------------------------------------ spans

@@ -1,0 +1,67 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cachecloud::util {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"name": "bench", "ok": true, "skip": null,
+          "rate": 2e3, "ratio": -0.5,
+          "phases": [{"p99": 0.00125}, {"p99": 0.002}]})");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "bench");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("skip").is_null());
+  EXPECT_DOUBLE_EQ(doc.number_at("rate"), 2000.0);
+  EXPECT_DOUBLE_EQ(doc.number_at("ratio"), -0.5);
+  const auto& phases = doc.at("phases").as_array();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases[0].number_at("p99"), 0.00125);
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue doc =
+      JsonValue::parse(R"({"s": "a\"b\\c\nd\tAé"})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c\nd\tA\xc3\xa9");
+}
+
+TEST(Json, FindAndAtSemantics) {
+  const JsonValue doc = JsonValue::parse(R"({"x": 1})");
+  EXPECT_NE(doc.find("x"), nullptr);
+  EXPECT_EQ(doc.find("y"), nullptr);
+  EXPECT_THROW((void)doc.at("y"), std::invalid_argument);
+  // find on a non-object is a safe nullptr, at throws.
+  EXPECT_EQ(doc.at("x").find("z"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": 1,}"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("[1, 2] trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"),
+               std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("nul"), std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("1.2.3"), std::invalid_argument);
+}
+
+TEST(Json, KindMismatchThrows) {
+  const JsonValue doc = JsonValue::parse(R"({"n": 5})");
+  EXPECT_THROW((void)doc.at("n").as_string(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("n").as_array(), std::invalid_argument);
+  EXPECT_THROW((void)doc.as_number(), std::invalid_argument);
+}
+
+TEST(Json, DuplicateKeysResolveToFirst) {
+  const JsonValue doc = JsonValue::parse(R"({"k": 1, "k": 2})");
+  EXPECT_DOUBLE_EQ(doc.number_at("k"), 1.0);
+}
+
+}  // namespace
+}  // namespace cachecloud::util

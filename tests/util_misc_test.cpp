@@ -48,6 +48,26 @@ TEST(FlagsTest, TypeErrors) {
   EXPECT_THROW((void)flags.get_bool("b", false), std::invalid_argument);
 }
 
+TEST(FlagsTest, NegativeAndFloatValuesParseUniformly) {
+  // Space and equals spellings must accept the same numeric grammar,
+  // including negatives and scientific notation (--rate / --ramp-step).
+  const Flags flags = parse({"--rate", "-250", "--ramp-step=-0.5", "--burst",
+                             "-1.5e2", "--count=2e3", "--exact=2000.0"});
+  EXPECT_EQ(flags.get_int("rate", 0), -250);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), -250.0);
+  EXPECT_DOUBLE_EQ(flags.get_double("ramp-step", 0.0), -0.5);
+  EXPECT_DOUBLE_EQ(flags.get_double("burst", 0.0), -150.0);
+  EXPECT_EQ(flags.get_int("count", 0), 2000);
+  EXPECT_EQ(flags.get_int("exact", 0), 2000);
+}
+
+TEST(FlagsTest, GetIntStillRejectsNonIntegralValues) {
+  const Flags flags = parse({"--rate=2.5", "--big=1e300"});
+  EXPECT_THROW((void)flags.get_int("rate", 0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_int("big", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+}
+
 TEST(FlagsTest, UnusedDetection) {
   const Flags flags = parse({"--used=1", "--typo=2"});
   (void)flags.get_int("used", 0);

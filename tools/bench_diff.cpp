@@ -1,0 +1,189 @@
+// Perf-regression gate: compares a candidate BENCH_live_*.json against a
+// baseline and exits non-zero when the candidate regressed.
+//
+//   bench_diff baseline.json candidate.json [--allow-errors 0]
+//       [--min-throughput-ratio 0.9] [--max-p99-factor 1.5]
+//       [--exact-counts] [--allow-inconsistent]
+//
+// Checks, in order:
+//   1. schema / workload / mode compatibility
+//   2. candidate error count <= --allow-errors (default 0)
+//   3. reconciliation.consistent (client and server tallies add up)
+//   4. per measured phase: throughput >= ratio * baseline throughput
+//   5. per measured phase: p99 <= factor * baseline p99
+//   6. with --exact-counts (same seed + config): planned/sent counts equal
+//      — catches nondeterminism in the schedule itself
+//
+// Latency factors default generous (CI runners are noisy); counts and
+// errors default strict (they are machine-independent).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace cachecloud {
+namespace {
+
+using util::JsonValue;
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Gate {
+  int failures = 0;
+
+  void check(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  }
+};
+
+[[nodiscard]] const JsonValue* find_phase(const JsonValue& report,
+                                          const std::string& name) {
+  for (const JsonValue& phase : report.at("phases").as_array()) {
+    if (phase.at("name").as_string() == name) return &phase;
+  }
+  return nullptr;
+}
+
+int run(const util::Flags& flags) {
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--allow-errors N] [--min-throughput-ratio R] "
+                 "[--max-p99-factor F] [--exact-counts] "
+                 "[--allow-inconsistent]\n");
+    return 2;
+  }
+  const std::string baseline_path = flags.positional()[0];
+  const std::string candidate_path = flags.positional()[1];
+  const auto allow_errors =
+      static_cast<std::uint64_t>(flags.get_int("allow-errors", 0));
+  const double min_throughput_ratio =
+      flags.get_double("min-throughput-ratio", 0.9);
+  const double max_p99_factor = flags.get_double("max-p99-factor", 1.5);
+  const double max_p999_factor = flags.get_double("max-p999-factor", 0.0);
+  const bool exact_counts = flags.get_bool("exact-counts", false);
+  const bool allow_inconsistent = flags.get_bool("allow-inconsistent", false);
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "bench_diff: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+
+  const JsonValue baseline = JsonValue::parse(read_file(baseline_path));
+  const JsonValue candidate = JsonValue::parse(read_file(candidate_path));
+  std::printf("bench_diff: %s vs %s\n", baseline_path.c_str(),
+              candidate_path.c_str());
+
+  Gate gate;
+  gate.check(candidate.at("schema").as_string() ==
+                 baseline.at("schema").as_string(),
+             "schema matches (" + baseline.at("schema").as_string() + ")");
+  gate.check(candidate.at("workload").as_string() ==
+                     baseline.at("workload").as_string() &&
+                 candidate.at("mode").as_string() ==
+                     baseline.at("mode").as_string(),
+             "workload/mode match");
+
+  const std::uint64_t errors =
+      static_cast<std::uint64_t>(candidate.at("totals").number_at("errors"));
+  gate.check(errors <= allow_errors,
+             "errors " + std::to_string(errors) + " <= allowed " +
+                 std::to_string(allow_errors));
+
+  if (!allow_inconsistent) {
+    gate.check(candidate.at("reconciliation").at("consistent").as_bool(),
+               "client/server reconciliation consistent");
+  }
+
+  const bool same_seed =
+      baseline.number_at("seed") == candidate.number_at("seed");
+  char line[256];
+  for (const JsonValue& base_phase : baseline.at("phases").as_array()) {
+    if (!base_phase.at("measured").as_bool()) continue;
+    const std::string name = base_phase.at("name").as_string();
+    const JsonValue* cand_phase = find_phase(candidate, name);
+    if (cand_phase == nullptr) {
+      gate.check(false, "phase '" + name + "' present in candidate");
+      continue;
+    }
+
+    const double base_tput = base_phase.number_at("throughput");
+    const double cand_tput = cand_phase->number_at("throughput");
+    std::snprintf(line, sizeof(line),
+                  "%s: throughput %.1f/s >= %.2f * baseline %.1f/s",
+                  name.c_str(), cand_tput, min_throughput_ratio, base_tput);
+    gate.check(cand_tput >= min_throughput_ratio * base_tput, line);
+
+    const double base_p99 = base_phase.number_at("p99");
+    const double cand_p99 = cand_phase->number_at("p99");
+    std::snprintf(line, sizeof(line),
+                  "%s: p99 %.3fms <= %.2f * baseline %.3fms", name.c_str(),
+                  cand_p99 * 1e3, max_p99_factor, base_p99 * 1e3);
+    gate.check(cand_p99 <= max_p99_factor * base_p99, line);
+
+    if (max_p999_factor > 0.0) {
+      const double base_p999 = base_phase.number_at("p999");
+      const double cand_p999 = cand_phase->number_at("p999");
+      std::snprintf(line, sizeof(line),
+                    "%s: p99.9 %.3fms <= %.2f * baseline %.3fms",
+                    name.c_str(), cand_p999 * 1e3, max_p999_factor,
+                    base_p999 * 1e3);
+      gate.check(cand_p999 <= max_p999_factor * base_p999, line);
+    }
+
+    if (exact_counts) {
+      if (!same_seed) {
+        gate.check(false, name + ": --exact-counts needs matching seeds");
+        continue;
+      }
+      const auto planned_base =
+          static_cast<std::uint64_t>(base_phase.number_at("planned"));
+      const auto planned_cand =
+          static_cast<std::uint64_t>(cand_phase->number_at("planned"));
+      const auto sent_base =
+          static_cast<std::uint64_t>(base_phase.number_at("sent"));
+      const auto sent_cand =
+          static_cast<std::uint64_t>(cand_phase->number_at("sent"));
+      std::snprintf(line, sizeof(line),
+                    "%s: exact counts planned %llu==%llu sent %llu==%llu",
+                    name.c_str(),
+                    static_cast<unsigned long long>(planned_base),
+                    static_cast<unsigned long long>(planned_cand),
+                    static_cast<unsigned long long>(sent_base),
+                    static_cast<unsigned long long>(sent_cand));
+      gate.check(planned_base == planned_cand && sent_base == sent_cand,
+                 line);
+    }
+  }
+
+  if (gate.failures > 0) {
+    std::printf("bench_diff: FAIL (%d check%s)\n", gate.failures,
+                gate.failures == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("bench_diff: PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cachecloud
+
+int main(int argc, char** argv) {
+  try {
+    const cachecloud::util::Flags flags(argc, argv);
+    return cachecloud::run(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,176 @@
+// Live-cluster load generator and perf-baseline harness.
+//
+// Boots an in-process cache cloud (origin + N caches on loopback, the same
+// harness the integration tests use), registers a synthetic catalog, then
+// drives traffic at it over real sockets via src/loadgen and writes a
+// machine-readable BENCH_live_<workload>.json report. Pair with
+// tools/bench_diff for the CI regression gate. See docs/BENCHMARKING.md.
+//
+//   cachecloud_loadgen --workload zipf --rate 2000 --duration 10 --seed 7
+//   cachecloud_loadgen --mode ramp --ramp-start 500 --ramp-step 500
+//       --ramp-steps 6 --duration 5
+//   cachecloud_loadgen --workload trace --trace-file zipf.trace
+//
+// Determinism: the full request schedule (arrival times, op kinds,
+// documents, target caches) is a pure function of (workload, schedule,
+// seed); --dump-schedule writes it out so two runs can be diffed.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "loadgen/plan.hpp"
+#include "loadgen/report.hpp"
+#include "loadgen/runner.hpp"
+#include "node/cluster.hpp"
+#include "util/flags.hpp"
+
+namespace cachecloud {
+namespace {
+
+void dump_schedule(const std::string& path, const loadgen::Plan& plan) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write schedule to " + path);
+  }
+  out << "# at_sec kind doc cache phase\n";
+  char line[128];
+  for (const loadgen::PlannedOp& op : plan.ops) {
+    std::snprintf(line, sizeof(line), "%.9f %c %u %u %u\n", op.at,
+                  op.kind == loadgen::PlannedOp::Kind::Get ? 'G' : 'P',
+                  op.doc, op.cache, static_cast<unsigned>(op.phase));
+    out << line;
+  }
+}
+
+int run(const util::Flags& flags) {
+  loadgen::WorkloadConfig workload;
+  workload.workload =
+      loadgen::parse_workload(flags.get_string("workload", "zipf"));
+  workload.num_docs =
+      static_cast<std::size_t>(flags.get_int("docs", 1000));
+  workload.zipf_alpha = flags.get_double("zipf-alpha", 0.9);
+  workload.doc_bytes =
+      static_cast<std::uint64_t>(flags.get_int("doc-bytes", 2048));
+  workload.update_fraction = flags.get_double("update-frac", 0.05);
+  workload.num_caches =
+      static_cast<std::uint32_t>(flags.get_int("caches", 4));
+  workload.trace_file = flags.get_string("trace-file", "");
+  workload.flash_multiplier = flags.get_double("flash-multiplier", 5.0);
+  workload.flash_hot_docs =
+      static_cast<std::size_t>(flags.get_int("flash-hot-docs", 8));
+  workload.flash_hot_fraction = flags.get_double("flash-hot-frac", 0.9);
+  workload.flash_start_frac = flags.get_double("flash-start-frac", 0.3);
+  workload.flash_duration_frac = flags.get_double("flash-duration-frac", 0.3);
+
+  loadgen::ScheduleConfig schedule;
+  schedule.mode = loadgen::parse_mode(flags.get_string("mode", "open"));
+  schedule.arrival =
+      loadgen::parse_arrival(flags.get_string("arrival", "poisson"));
+  schedule.rate = flags.get_double("rate", 500.0);
+  schedule.warmup_sec = flags.get_double("warmup", 2.0);
+  schedule.duration_sec = flags.get_double("duration", 10.0);
+  schedule.ramp_start = flags.get_double("ramp-start", 100.0);
+  schedule.ramp_step = flags.get_double("ramp-step", 100.0);
+  schedule.ramp_steps = static_cast<int>(flags.get_int("ramp-steps", 5));
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+  const std::string schedule_path = flags.get_string("dump-schedule", "");
+  const std::string placement = flags.get_string("placement", "adhoc");
+  std::string out_path = flags.get_string("out", "");
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "cachecloud_loadgen: unknown flag --%s\n",
+                 name.c_str());
+    return 2;
+  }
+
+  const loadgen::Plan plan = loadgen::build_plan(workload, schedule, seed);
+  if (out_path.empty()) out_path = loadgen::default_report_name(plan);
+  if (!schedule_path.empty()) dump_schedule(schedule_path, plan);
+
+  std::printf(
+      "loadgen: workload=%s mode=%s arrival=%s seed=%llu ops=%zu docs=%zu "
+      "caches=%u threads=%d span=%.1fs\n",
+      loadgen::workload_name(plan.workload.workload),
+      loadgen::mode_name(plan.schedule.mode),
+      loadgen::arrival_name(plan.schedule.arrival),
+      static_cast<unsigned long long>(seed), plan.ops.size(),
+      plan.urls.size(), workload.num_caches, threads, plan.total_seconds());
+
+  // Boot the cluster and register the catalog at the origin.
+  node::NodeConfig config;
+  config.num_caches = workload.num_caches;
+  config.placement = placement;
+  node::Cluster cluster(config);
+  for (std::size_t i = 0; i < plan.urls.size(); ++i) {
+    cluster.origin().add_document(plan.urls[i],
+                                  static_cast<std::size_t>(plan.doc_bytes[i]));
+  }
+
+  loadgen::RunnerConfig runner_config;
+  for (node::NodeId id = 0; id < workload.num_caches; ++id) {
+    runner_config.cache_ports.push_back(cluster.cache(id).port());
+  }
+  runner_config.origin_port = cluster.origin().port();
+  runner_config.threads = threads;
+
+  loadgen::Runner runner(runner_config);
+  const loadgen::RunResult result = runner.run(plan);
+  loadgen::write_report(out_path, plan, result);
+
+  for (const loadgen::PhaseResult& phase : result.phases) {
+    std::printf(
+        "  %-12s offered=%8.1f/s achieved=%8.1f/s ok=%llu err=%llu "
+        "degraded=%llu p50=%.3fms p99=%.3fms p99.9=%.3fms%s\n",
+        phase.name.c_str(), phase.offered_rate, phase.throughput,
+        static_cast<unsigned long long>(phase.ok),
+        static_cast<unsigned long long>(phase.errors),
+        static_cast<unsigned long long>(phase.degraded), phase.p50 * 1e3,
+        phase.p99 * 1e3, phase.p999 * 1e3,
+        phase.measured ? "" : " (warmup)");
+  }
+  const loadgen::Reconciliation& rec = result.reconciliation;
+  std::printf(
+      "reconciliation: client gets ok=%llu err=%llu server=%llu "
+      "(unexplained %+lld) | publishes ok=%llu err=%llu server=%llu "
+      "(unexplained %+lld) -> %s\n",
+      static_cast<unsigned long long>(rec.client_get_ok),
+      static_cast<unsigned long long>(rec.client_get_errors),
+      static_cast<unsigned long long>(rec.server_gets),
+      static_cast<long long>(rec.unexplained_gets),
+      static_cast<unsigned long long>(rec.client_publish_ok),
+      static_cast<unsigned long long>(rec.client_publish_errors),
+      static_cast<unsigned long long>(rec.server_publishes),
+      static_cast<long long>(rec.unexplained_publishes),
+      rec.consistent ? "CONSISTENT" : "INCONSISTENT");
+  if (result.ramp.ran) {
+    if (result.ramp.saturated) {
+      std::printf("ramp: knee at %.1f/s (%s); first saturated step %s\n",
+                  result.ramp.knee_rate, result.ramp.knee_phase.c_str(),
+                  result.ramp.first_saturated_phase.c_str());
+    } else {
+      std::printf("ramp: no saturation up to %.1f/s (%s)\n",
+                  result.ramp.knee_rate, result.ramp.knee_phase.c_str());
+    }
+  }
+  std::printf("report: %s\n", out_path.c_str());
+
+  cluster.stop_all();
+  return rec.consistent ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cachecloud
+
+int main(int argc, char** argv) {
+  try {
+    const cachecloud::util::Flags flags(argc, argv);
+    return cachecloud::run(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachecloud_loadgen: %s\n", e.what());
+    return 2;
+  }
+}
