@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/span_store.hpp"
+
 namespace cachecloud::loadgen {
 
 namespace {
@@ -176,6 +178,24 @@ std::string render_report(const Plan& plan, const RunResult& result) {
     doc.field("p99", num(phase.p99));
     doc.field("p999", num(phase.p999));
     doc.field("mean", num(phase.mean));
+    // Tracing extras appear only when the run stamped trace contexts, so
+    // untraced reports stay byte-identical to the pre-tracing schema.
+    if (phase.p99_trace != 0 || phase.p999_trace != 0 ||
+        !phase.slowest.empty()) {
+      doc.str("p99_trace", obs::hex64(phase.p99_trace));
+      doc.str("p999_trace", obs::hex64(phase.p999_trace));
+      doc.open_array("slowest");
+      for (const SlowSample& sample : phase.slowest) {
+        doc.open_array_element();
+        doc.str("trace_id", obs::hex64(sample.trace_id));
+        doc.field("latency_sec", num(sample.latency_sec));
+        doc.field("doc", num(static_cast<std::uint64_t>(sample.doc)));
+        doc.field("cache", num(static_cast<std::uint64_t>(sample.cache)));
+        doc.boolean("publish", sample.publish);
+        doc.close_object();
+      }
+      doc.close_array();
+    }
     doc.close_object();
   }
   doc.close_array();

@@ -1,5 +1,6 @@
 #include "loadgen/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <stdexcept>
@@ -8,6 +9,8 @@
 #include "net/tcp.hpp"
 #include "node/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 
 namespace cachecloud::loadgen {
 
@@ -36,7 +39,39 @@ struct PhaseTally {
   // Actual activity span, for closed-mode throughput.
   double first_start = -1.0;
   double last_end = 0.0;
+  // Slowest sampled ops this worker saw in this phase (descending
+  // latency, bounded at slowest_k); merged across workers afterwards.
+  std::vector<SlowSample> slowest;
 };
+
+// Keeps `slowest` holding the k largest-latency samples, descending.
+void note_slow(std::vector<SlowSample>& slowest, std::size_t k,
+               const SlowSample& sample) {
+  if (k == 0) return;
+  const auto pos = std::upper_bound(
+      slowest.begin(), slowest.end(), sample,
+      [](const SlowSample& a, const SlowSample& b) {
+        return a.latency_sec > b.latency_sec;
+      });
+  if (pos == slowest.end() && slowest.size() >= k) return;
+  slowest.insert(pos, sample);
+  if (slowest.size() > k) slowest.pop_back();
+}
+
+// The histogram-side twin of HistogramSnapshot::exemplar_at_or_above for a
+// standalone LatencyHistogram: the first recorded exemplar from the bucket
+// containing `value` upward.
+[[nodiscard]] std::uint64_t exemplar_at_or_above(
+    const obs::LatencyHistogram& hist, double value) {
+  const std::vector<obs::Exemplar> exemplars = hist.exemplar_snapshot();
+  const std::vector<double>& bounds = hist.bounds();
+  const std::size_t start = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  for (std::size_t i = start; i < exemplars.size(); ++i) {
+    if (exemplars[i].trace_id != 0) return exemplars[i].trace_id;
+  }
+  return 0;
+}
 
 // One worker's lazily-connected client per endpoint; a failed call drops
 // the connection so the next op reconnects fresh.
@@ -175,11 +210,21 @@ RunResult Runner::run(const Plan& plan) {
         }
 
         ++tally.sent;
+        // Client-minted trace context: the client knows the id before the
+        // request leaves, so the slowest-K lists below can name traces to
+        // pull out of the nodes' span stores afterwards.
+        std::uint64_t trace_id = 0;
+        bool sampled = false;
+        if (config_.trace_sample > 0.0) {
+          trace_id = obs::next_trace_id();
+          sampled = obs::sample_trace(trace_id, config_.trace_sample);
+        }
+        const obs::SpanContext ctx{trace_id, 0, sampled};
         bool ok = false;
         if (op.kind == PlannedOp::Kind::Get) {
           ++tally.gets;
-          const net::Frame request =
-              node::ClientGetReq{plan.urls[op.doc]}.encode();
+          const net::Frame request = node::with_trace(
+              node::ClientGetReq{plan.urls[op.doc]}.encode(), ctx);
           if (caches[op.cache].call(request, reply)) {
             try {
               const node::ClientGetResp resp =
@@ -205,8 +250,8 @@ RunResult Runner::run(const Plan& plan) {
           }
         } else {
           ++tally.publishes;
-          const net::Frame request =
-              node::ClientPublishReq{plan.urls[op.doc]}.encode();
+          const net::Frame request = node::with_trace(
+              node::ClientPublishReq{plan.urls[op.doc]}.encode(), ctx);
           if (origin.call(request, reply)) {
             try {
               ok = node::ClientPublishResp::decode(reply).ok;
@@ -224,7 +269,18 @@ RunResult Runner::run(const Plan& plan) {
         }
         // Coordinated-omission-safe: in open modes this includes any time
         // the op spent waiting behind a slow predecessor on this worker.
-        latency[op.phase]->observe(seconds_between(intended, done));
+        const double latency_sec = seconds_between(intended, done);
+        latency[op.phase]->observe(latency_sec, trace_id);
+        if (sampled) {
+          // Only sampled ops are guaranteed retrievable from the stores.
+          SlowSample sample;
+          sample.trace_id = trace_id;
+          sample.latency_sec = latency_sec;
+          sample.doc = op.doc;
+          sample.cache = op.cache;
+          sample.publish = op.kind == PlannedOp::Kind::Publish;
+          note_slow(tally.slowest, config_.slowest_k, sample);
+        }
         const double ended = seconds_between(base, done);
         if (ended > tally.last_end) tally.last_end = ended;
       }
@@ -267,6 +323,9 @@ RunResult Runner::run(const Plan& plan) {
         first = t.first_start;
       }
       if (t.last_end > last) last = t.last_end;
+      for (const SlowSample& sample : t.slowest) {
+        note_slow(phase.slowest, config_.slowest_k, sample);
+      }
     }
 
     phase.duration_sec = open_loop ? spec.end - spec.start
@@ -284,6 +343,10 @@ RunResult Runner::run(const Plan& plan) {
       phase.p99 = qs[2];
       phase.p999 = qs[3];
       phase.mean = hist.sum() / static_cast<double>(phase.latency_count);
+      if (config_.trace_sample > 0.0) {
+        phase.p99_trace = exemplar_at_or_above(hist, phase.p99);
+        phase.p999_trace = exemplar_at_or_above(hist, phase.p999);
+      }
     }
     result.phases.push_back(std::move(phase));
   }

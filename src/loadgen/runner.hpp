@@ -31,6 +31,23 @@ struct RunnerConfig {
   // Saturation criterion for ramp mode: a step saturates when achieved
   // throughput falls below this fraction of the offered rate.
   double saturation_ratio = 0.95;
+  // Distributed tracing: with trace_sample > 0 every op's request frame is
+  // stamped with a client-minted trace context (head-sampled at this
+  // probability), so the nodes' span stores hold trees the client can look
+  // up by id. 0 (the default) leaves frames unstamped — tracing is free.
+  double trace_sample = 0.0;
+  // How many of the slowest sampled ops to remember per phase.
+  std::size_t slowest_k = 5;
+};
+
+// One slow-request exemplar: the trace id the client stamped on the op,
+// so the matching tree can be pulled from a TraceDump scrape.
+struct SlowSample {
+  std::uint64_t trace_id = 0;
+  double latency_sec = 0.0;
+  std::uint32_t doc = 0;
+  std::uint32_t cache = 0;      // target cache (gets); unused for publishes
+  bool publish = false;
 };
 
 struct PhaseResult {
@@ -58,6 +75,12 @@ struct PhaseResult {
   double p999 = 0.0;
   double mean = 0.0;
   std::uint64_t latency_count = 0;
+  // Tracing extras, populated only when RunnerConfig::trace_sample > 0:
+  // the slowest sampled ops (descending latency) and the latency
+  // histogram's exemplar trace ids at/above the p99 and p99.9 estimates.
+  std::vector<SlowSample> slowest;
+  std::uint64_t p99_trace = 0;
+  std::uint64_t p999_trace = 0;
 };
 
 struct NodeStats {

@@ -29,8 +29,9 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
-// Wire header: [u32 len][u16 type][u64 trace_id], little-endian.
-constexpr std::size_t kFrameHeaderBytes = 14;
+// Wire header: [u32 len][u16 type][u64 trace_id][u64 parent_span_id]
+// [u8 flags], little-endian.
+constexpr std::size_t kFrameHeaderBytes = 23;
 
 }  // namespace
 
@@ -103,7 +104,10 @@ void encode_header(std::uint8_t* header, const Frame& frame) {
   header[5] = static_cast<std::uint8_t>(frame.type >> 8);
   for (int i = 0; i < 8; ++i) {
     header[6 + i] = static_cast<std::uint8_t>(frame.trace_id >> (8 * i));
+    header[14 + i] =
+        static_cast<std::uint8_t>(frame.parent_span_id >> (8 * i));
   }
+  header[22] = frame.flags;
 }
 
 }  // namespace
@@ -150,9 +154,13 @@ bool Socket::read_frame_into(Frame& out) {
   out.type = static_cast<std::uint16_t>(header[4]) |
              static_cast<std::uint16_t>(header[5] << 8);
   out.trace_id = 0;
+  out.parent_span_id = 0;
   for (int i = 0; i < 8; ++i) {
     out.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
+    out.parent_span_id |= static_cast<std::uint64_t>(header[14 + i])
+                          << (8 * i);
   }
+  out.flags = header[22];
   out.payload.resize(len);
   if (len > 0 && !recv_all(out.payload.data(), len)) {
     throw NetError("connection closed mid-message");
@@ -342,8 +350,13 @@ void TcpServer::serve(Socket socket) {
       if (!request) break;  // peer closed
       if (observer_) observer_->on_frame(*request, /*inbound=*/true);
       Frame reply = handler_(*request);
-      // Propagate the request's trace id unless the handler set its own.
-      if (reply.trace_id == 0) reply.trace_id = request->trace_id;
+      // Propagate the request's trace context unless the handler set its
+      // own.
+      if (reply.trace_id == 0) {
+        reply.trace_id = request->trace_id;
+        reply.parent_span_id = request->parent_span_id;
+        reply.flags = request->flags;
+      }
       if (faults_ &&
           faults_->on_frame(port()) != FaultInjector::Action::Deliver) {
         // Injected reply drop/reset: close without answering; the client

@@ -1,12 +1,14 @@
 // Framed TCP transport: blocking sockets, one frame =
-// [u32 len][u16 type][u64 trace_id][payload].
+// [u32 len][u16 type][u64 trace_id][u64 parent_span_id][u8 flags][payload].
 //
 // Deliberately simple ("standard sockets"): RAII socket wrapper, a
 // listener, a threaded request/response server and a blocking client. The
-// node layer builds the cache-cloud wire protocol on top. trace_id is an
-// observability field (0 = untraced): the node layer stamps one id per
-// client get() and every hop propagates it, so request paths can be
-// reconstructed across nodes from Debug span logs.
+// node layer builds the cache-cloud wire protocol on top. The trace
+// fields are observability-only (trace_id 0 = untraced): the node layer
+// stamps one context per client get() and every hop propagates it —
+// parent_span_id links the receiving hop's span to the sender's, and the
+// sampled flag carries the head-sampling verdict — so request paths can
+// be stitched across nodes from TraceDump scrapes or Debug span logs.
 #pragma once
 
 #include <atomic>
@@ -30,10 +32,21 @@ class NetError : public std::runtime_error {
 };
 
 struct Frame {
+  // flags bit 0: the trace's head-sampling verdict travels with it so
+  // every hop reaches the same keep/drop decision without coordination.
+  static constexpr std::uint8_t kFlagSampled = 0x01;
+
   std::uint16_t type = 0;
   // Request-path trace id, propagated hop to hop; 0 means untraced.
   std::uint64_t trace_id = 0;
+  // Span id of the sending hop's span; 0 = no parent (trace root).
+  std::uint64_t parent_span_id = 0;
+  std::uint8_t flags = 0;
   std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool sampled() const noexcept {
+    return (flags & kFlagSampled) != 0;
+  }
 
   // Bytes this frame occupies on the wire (header + payload).
   [[nodiscard]] std::size_t wire_bytes() const noexcept;

@@ -14,11 +14,6 @@
 namespace cachecloud::node {
 namespace {
 
-net::Frame with_trace(net::Frame frame, std::uint64_t trace_id) {
-  frame.trace_id = trace_id;
-  return frame;
-}
-
 const char* source_name(CacheNode::GetResult::Source source) {
   switch (source) {
     case CacheNode::GetResult::Source::Local: return "local";
@@ -37,9 +32,13 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
       store_(config.capacity_bytes, cache::make_policy(config.replacement)),
       request_monitor_(config.monitor_half_life_sec),
       rings_(config.num_caches, config.ring_size, config.irh_gen),
-      placement_(core::make_placement(config.placement, config.utility)) {
+      placement_(core::make_placement(config.placement, config.utility)),
+      node_label_("cache-" + std::to_string(id)) {
   if (id_ >= config_.num_caches) {
     throw std::invalid_argument("CacheNode: id outside cluster");
+  }
+  if (config_.trace.collect) {
+    span_store_ = std::make_unique<obs::SpanStore>(config_.trace.store);
   }
 
   const auto hit_counter = [this](const char* hit_class) {
@@ -352,10 +351,27 @@ bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
 // --------------------------------------------------------------- get
 
 CacheNode::GetResult CacheNode::get(const std::string& url) {
-  const double at = now();
   const std::uint64_t trace_id = obs::next_trace_id();
-  obs::Span span(trace_id, "get");
+  const bool sampled =
+      obs::sample_trace(trace_id, config_.trace.sample_probability);
+  return get(url, obs::SpanContext{trace_id, 0, sampled});
+}
+
+CacheNode::GetResult CacheNode::get(const std::string& url,
+                                    const obs::SpanContext& ctx) {
+  obs::Span span(ctx, "get", span_store_.get(), node_label_);
   span.tag("node", static_cast<std::uint64_t>(id_)).tag("url", url);
+  try {
+    return get_impl(url, span);
+  } catch (...) {
+    span.mark_error();
+    throw;
+  }
+}
+
+CacheNode::GetResult CacheNode::get_impl(const std::string& url,
+                                         obs::Span& span) {
+  const double at = now();
   const RingView::Target target = rings_.resolve(url);
   trace::DocId doc;
   {
@@ -374,7 +390,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       result.version = store_.peek(doc)->version;
       result.source = GetResult::Source::Local;
       inst_.get_local->inc();
-      inst_.get_latency->observe(span.elapsed_sec());
+      inst_.get_latency->observe(span.elapsed_sec(),
+                                 span_store_ ? span.trace_id() : 0);
       span.tag("class", "local");
       return result;
     }
@@ -389,8 +406,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   LookupResp resp;
   bool degraded = false;
   try {
-    resp = LookupResp::decode(
-        peer_call(target.beacon, with_trace(lookup.encode(), trace_id)));
+    resp = LookupResp::decode(peer_call(
+        target.beacon, with_trace(lookup.encode(), span.child_context())));
   } catch (const net::NetError& e) {
     degraded = true;
     inst_.degraded_lookup->inc();
@@ -411,8 +428,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       FetchReq fetch;
       fetch.url = url;
       try {
-        const FetchResp body = FetchResp::decode(
-            peer_call(holder, with_trace(fetch.encode(), trace_id)));
+        const FetchResp body = FetchResp::decode(peer_call(
+            holder, with_trace(fetch.encode(), span.child_context())));
         if (body.found) {
           result.body = body.body;
           result.version = body.version;
@@ -429,8 +446,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   if (!fetched) {
     FetchReq fetch;
     fetch.url = url;
-    const FetchResp body = FetchResp::decode(
-        peer_call(kOriginId, with_trace(fetch.encode(), trace_id)));
+    const FetchResp body = FetchResp::decode(peer_call(
+        kOriginId, with_trace(fetch.encode(), span.child_context())));
     if (!body.found) {
       throw std::runtime_error("origin does not know document " + url);
     }
@@ -470,7 +487,8 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       reg.node = id_;
       reg.version = result.version;
       try {
-        (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+        (void)peer_call(target.beacon,
+                        with_trace(reg.encode(), span.child_context()));
       } catch (const net::NetError& e) {
         // The copy stays local-only until the next registration refresh; an
         // unregistered copy is a lost cloud hit, never a correctness issue.
@@ -495,12 +513,14 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
       push.version = result.version;
       push.body = result.body;
       (void)peer_call(target.beacon,
-                      with_trace(push.encode(MsgType::Propagate), trace_id));
+                      with_trace(push.encode(MsgType::Propagate),
+                                 span.child_context()));
       RegisterHolder reg;
       reg.url = url;
       reg.node = target.beacon;
       reg.version = result.version;
-      (void)peer_call(target.beacon, with_trace(reg.encode(), trace_id));
+      (void)peer_call(target.beacon,
+                      with_trace(reg.encode(), span.child_context()));
     } catch (const net::NetError& e) {
       inst_.degraded_beacon_push->inc();
       CC_LOG(Warn) << "node " << id_ << ": beacon placement of " << url
@@ -509,9 +529,15 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
   }
   const double placement_sec = phase.lap_sec();
   inst_.phase_placement->observe(placement_sec);
-  inst_.get_latency->observe(span.elapsed_sec());
+  inst_.get_latency->observe(span.elapsed_sec(),
+                             span_store_ ? span.trace_id() : 0);
   result.degraded = degraded;
-  if (degraded) span.tag("degraded", static_cast<std::uint64_t>(1));
+  if (degraded) {
+    // Degraded serves count as errored for tail retention: they are
+    // exactly the requests an operator wants to find in the trace dump.
+    span.mark_error();
+    span.tag("degraded", static_cast<std::uint64_t>(1));
+  }
   span.tag("class", source_name(result.source))
       .tag("beacon", static_cast<std::uint64_t>(target.beacon))
       .phase("lookup", lookup_sec)
@@ -523,18 +549,31 @@ CacheNode::GetResult CacheNode::get(const std::string& url) {
 // ----------------------------------------------------------- handlers
 
 net::Frame CacheNode::handle(const net::Frame& request) {
-  // One span per hop: a traced request leaves a Debug line at every node
-  // it touches, keyed by its trace id.
-  obs::Span span(request.trace_id, "handle");
-  span.tag("node", static_cast<std::uint64_t>(id_))
-      .tag("msg", std::string(msg_type_name(request.type)));
+  // Handled before the hop span opens: ClientGetReq roots its own trace
+  // inside get() (the client-facing span IS the tree root), and scrape
+  // traffic (stats, trace dumps) must not trace itself.
+  switch (static_cast<MsgType>(request.type)) {
+    case MsgType::ClientGetReq: return handle_client_get(request);
+    case MsgType::StatsReq: return handle_stats(request);
+    case MsgType::TraceDumpReq: return handle_trace_dump(request);
+    default: break;
+  }
+  // One span per hop, named after the message and linked to the sending
+  // hop's span via the frame's trace context: a traced request leaves a
+  // Debug line — and, when collection is on, a stored span — at every
+  // node it touches.
+  obs::Span span(frame_context(request),
+                 std::string(msg_type_name(request.type)), span_store_.get(),
+                 node_label_);
+  span.tag("node", static_cast<std::uint64_t>(id_));
   try {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::LookupReq: return handle_lookup(request);
       case MsgType::RegisterHolder: return handle_register(request);
       case MsgType::DeregisterHolder: return handle_deregister(request);
       case MsgType::FetchReq: return handle_fetch(request);
-      case MsgType::UpdatePush: return handle_update_push(request);
+      case MsgType::UpdatePush:
+        return handle_update_push(request, span.child_context());
       case MsgType::Propagate: return handle_propagate(request);
       case MsgType::LoadQuery: return handle_load_query(request);
       case MsgType::RangeAnnounce: return handle_range_announce(request);
@@ -542,8 +581,6 @@ net::Frame CacheNode::handle(const net::Frame& request) {
       case MsgType::RecordHandoff: return handle_record_handoff(request);
       case MsgType::ReplicaSync: return handle_replica_sync(request);
       case MsgType::PromoteReplicas: return handle_promote_replicas(request);
-      case MsgType::StatsReq: return handle_stats(request);
-      case MsgType::ClientGetReq: return handle_client_get(request);
       case MsgType::Ping: return Ack{}.encode();
       default: break;
     }
@@ -552,6 +589,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
     nack.error = "unsupported message type " + std::to_string(request.type);
     return nack.encode();
   } catch (const std::exception& e) {
+    span.mark_error();
     Ack nack;
     nack.ok = false;
     nack.error = e.what();
@@ -619,7 +657,8 @@ net::Frame CacheNode::handle_fetch(const net::Frame& request) {
   return resp.encode();
 }
 
-net::Frame CacheNode::handle_update_push(const net::Frame& request) {
+net::Frame CacheNode::handle_update_push(const net::Frame& request,
+                                         const obs::SpanContext& ctx) {
   const UpdatePush push = UpdatePush::decode(request);
   const RingView::Target target = rings_.resolve(push.url);
 
@@ -648,7 +687,7 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request) {
     try {
       net::Frame reply;
       const net::Frame propagate =
-          with_trace(push.encode(MsgType::Propagate), request.trace_id);
+          with_trace(push.encode(MsgType::Propagate), ctx);
       if (holder == id_) {
         reply = handle_propagate(propagate);
       } else {
@@ -854,14 +893,32 @@ net::Frame CacheNode::handle_stats(const net::Frame& request) {
   return resp.encode();
 }
 
+net::Frame CacheNode::handle_trace_dump(const net::Frame& request) {
+  const TraceDumpReq req = TraceDumpReq::decode(request);
+  TraceDumpResp resp;
+  resp.node = node_label_;
+  if (span_store_) {
+    resp.spans = req.drain ? span_store_->drain() : span_store_->snapshot();
+  }
+  return resp.encode();
+}
+
 net::Frame CacheNode::handle_client_get(const net::Frame& request) {
   // The wire face of get(): external load drivers hit this instead of the
   // in-process API. Failures travel back as ClientGetResp{!ok} so a driver
-  // can always decode the reply it asked for.
+  // can always decode the reply it asked for. A client-stamped trace
+  // context on the frame is adopted as-is (the driver knows the ids of the
+  // requests it wants to find later); an unstamped frame mints one.
   const ClientGetReq req = ClientGetReq::decode(request);
   ClientGetResp resp;
   try {
-    const GetResult result = get(req.url);
+    obs::SpanContext ctx = frame_context(request);
+    if (ctx.trace_id == 0) {
+      ctx.trace_id = obs::next_trace_id();
+      ctx.sampled =
+          obs::sample_trace(ctx.trace_id, config_.trace.sample_probability);
+    }
+    const GetResult result = get(req.url, ctx);
     resp.ok = true;
     resp.version = result.version;
     resp.source = static_cast<std::uint8_t>(result.source);

@@ -23,6 +23,8 @@
 #include "node/resilience.hpp"
 #include "node/ring_view.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 #include "util/rate.hpp"
 
 namespace cachecloud::node {
@@ -36,6 +38,12 @@ struct NodeConfig {
   std::uint64_t capacity_bytes = 0;  // 0 = unlimited
   std::string replacement = "lru";
   double monitor_half_life_sec = 60.0;
+  // ---- observability -----------------------------------------------
+  // Distributed tracing: `trace.collect` allocates a per-node SpanStore
+  // scrapeable via TraceDumpReq; `trace.sample_probability` head-samples
+  // trace ids this node mints. Off by default — untraced requests pay
+  // only a clock read per span.
+  obs::TraceConfig trace;
   // ---- resilience --------------------------------------------------
   RetryConfig retry;
   BreakerConfig breaker;
@@ -79,7 +87,13 @@ class CacheNode {
   };
   // Executes the full lookup protocol: local store -> beacon lookup ->
   // holder fetch or origin fetch -> placement decision -> registration.
+  // Mints a fresh trace context (head-sampled per config.trace).
   [[nodiscard]] GetResult get(const std::string& url);
+  // Same flow under a caller-provided trace context: the root "get" span
+  // adopts ctx's trace id and parent, so client-stamped requests (wire
+  // ClientGetReq) stitch into trees the client can look up by id.
+  [[nodiscard]] GetResult get(const std::string& url,
+                              const obs::SpanContext& ctx);
 
   // Lazily mirrors this node's lookup records to its beacon-ring peers
   // (the §2.3 failure-resilience extension). Call periodically — e.g. at
@@ -112,6 +126,11 @@ class CacheNode {
     return obs::to_prometheus(metrics_snapshot());
   }
 
+  // Span store for distributed tracing; nullptr unless config.trace.collect.
+  [[nodiscard]] obs::SpanStore* span_store() noexcept {
+    return span_store_.get();
+  }
+
   void stop();
 
  private:
@@ -125,7 +144,8 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_register(const net::Frame& request);
   [[nodiscard]] net::Frame handle_deregister(const net::Frame& request);
   [[nodiscard]] net::Frame handle_fetch(const net::Frame& request);
-  [[nodiscard]] net::Frame handle_update_push(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_update_push(const net::Frame& request,
+                                              const obs::SpanContext& ctx);
   [[nodiscard]] net::Frame handle_propagate(const net::Frame& request);
   [[nodiscard]] net::Frame handle_load_query(const net::Frame& request);
   [[nodiscard]] net::Frame handle_range_announce(const net::Frame& request);
@@ -134,7 +154,10 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_replica_sync(const net::Frame& request);
   [[nodiscard]] net::Frame handle_promote_replicas(const net::Frame& request);
   [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_trace_dump(const net::Frame& request);
   [[nodiscard]] net::Frame handle_client_get(const net::Frame& request);
+  // The body of get() under an already-open root span.
+  [[nodiscard]] GetResult get_impl(const std::string& url, obs::Span& span);
 
   // Sends a request to a peer cache (or the origin with id kOriginId) and
   // returns the reply, retrying with jittered exponential backoff behind
@@ -188,6 +211,8 @@ class CacheNode {
   // the server and every peer client of this node.
   obs::Registry registry_;
   WireMetrics wire_metrics_{registry_};
+  const std::string node_label_;  // span/trace node label, "cache-<id>"
+  std::unique_ptr<obs::SpanStore> span_store_;  // null = collection off
   struct Instruments {
     obs::Counter* get_local = nullptr;
     obs::Counter* get_cloud = nullptr;

@@ -11,6 +11,9 @@ namespace cachecloud::node {
 OriginNode::OriginNode(const NodeConfig& config)
     : config_(config),
       rings_(config.num_caches, config.ring_size, config.irh_gen) {
+  if (config_.trace.collect) {
+    span_store_ = std::make_unique<obs::SpanStore>(config_.trace.store);
+  }
   inst_.fetches_served = &registry_.counter(
       "cachecloud_origin_fetches_total",
       "Authoritative document fetches served by the origin",
@@ -132,6 +135,14 @@ std::uint64_t OriginNode::version_of(const std::string& url) const {
 }
 
 std::uint64_t OriginNode::publish_update(const std::string& url) {
+  const std::uint64_t trace_id = obs::next_trace_id();
+  const bool sampled =
+      obs::sample_trace(trace_id, config_.trace.sample_probability);
+  return publish_update(url, obs::SpanContext{trace_id, 0, sampled});
+}
+
+std::uint64_t OriginNode::publish_update(const std::string& url,
+                                         const obs::SpanContext& ctx) {
   std::uint64_t version;
   std::size_t size;
   {
@@ -147,21 +158,25 @@ std::uint64_t OriginNode::publish_update(const std::string& url) {
   inst_.updates_published->inc();
 
   // One update message per cloud: resolve the beacon point and push.
-  const std::uint64_t trace_id = obs::next_trace_id();
-  obs::Span span(trace_id, "publish_update");
+  obs::Span span(ctx, "publish_update", span_store_.get(), "origin");
   span.tag("node", "origin").tag("url", url).tag("version", version);
   const RingView::Target target = rings_.resolve(url);
   UpdatePush push;
   push.url = url;
   push.version = version;
   push.body = make_body(url, version, size);
-  net::Frame frame = push.encode();
-  frame.trace_id = trace_id;
   inst_.update_pushes_sent->inc();
-  const Ack ack = Ack::decode(call_cache(target.beacon, frame));
-  if (!ack.ok) {
-    CC_LOG(Warn) << "origin: update push of " << url << " rejected: "
-                 << ack.error;
+  try {
+    const Ack ack = Ack::decode(call_cache(
+        target.beacon, with_trace(push.encode(), span.child_context())));
+    if (!ack.ok) {
+      span.mark_error();
+      CC_LOG(Warn) << "origin: update push of " << url << " rejected: "
+                   << ack.error;
+    }
+  } catch (...) {
+    span.mark_error();
+    throw;
   }
   span.tag("beacon", target.beacon);
   return version;
@@ -417,9 +432,52 @@ net::Frame OriginNode::handle_suspect(const net::Frame& request) {
 }
 
 net::Frame OriginNode::handle(const net::Frame& request) {
-  obs::Span span(request.trace_id, "handle");
-  span.tag("node", "origin")
-      .tag("msg", std::string(msg_type_name(request.type)));
+  // Handled before the hop span opens: ClientPublishReq roots (or adopts)
+  // its own trace inside publish_update(), and scrape traffic must not
+  // trace itself.
+  switch (static_cast<MsgType>(request.type)) {
+    case MsgType::StatsReq: {
+      StatsResp resp;
+      resp.snapshot = metrics_snapshot();
+      return resp.encode();
+    }
+    case MsgType::TraceDumpReq: {
+      const TraceDumpReq req = TraceDumpReq::decode(request);
+      TraceDumpResp resp;
+      resp.node = "origin";
+      if (span_store_) {
+        resp.spans =
+            req.drain ? span_store_->drain() : span_store_->snapshot();
+      }
+      return resp.encode();
+    }
+    case MsgType::ClientPublishReq: {
+      // Wire face of publish_update() for external update drivers.
+      // Failures (unknown document, unreachable beacon) travel back as
+      // ClientPublishResp{!ok} so the driver can decode what it sent for.
+      const ClientPublishReq req = ClientPublishReq::decode(request);
+      ClientPublishResp resp;
+      try {
+        obs::SpanContext ctx = frame_context(request);
+        if (ctx.trace_id == 0) {
+          ctx.trace_id = obs::next_trace_id();
+          ctx.sampled = obs::sample_trace(
+              ctx.trace_id, config_.trace.sample_probability);
+        }
+        resp.version = publish_update(req.url, ctx);
+        resp.ok = true;
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.error = e.what();
+      }
+      return resp.encode();
+    }
+    default: break;
+  }
+  obs::Span span(frame_context(request),
+                 std::string(msg_type_name(request.type)), span_store_.get(),
+                 "origin");
+  span.tag("node", "origin");
   try {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::FetchReq: {
@@ -438,28 +496,8 @@ net::Frame OriginNode::handle(const net::Frame& request) {
         }
         return resp.encode();
       }
-      case MsgType::StatsReq: {
-        StatsResp resp;
-        resp.snapshot = metrics_snapshot();
-        return resp.encode();
-      }
       case MsgType::SuspectNode:
         return handle_suspect(request);
-      case MsgType::ClientPublishReq: {
-        // Wire face of publish_update() for external update drivers.
-        // Failures (unknown document, unreachable beacon) travel back as
-        // ClientPublishResp{!ok} so the driver can decode what it sent for.
-        const ClientPublishReq req = ClientPublishReq::decode(request);
-        ClientPublishResp resp;
-        try {
-          resp.version = publish_update(req.url);
-          resp.ok = true;
-        } catch (const std::exception& e) {
-          resp.ok = false;
-          resp.error = e.what();
-        }
-        return resp.encode();
-      }
       case MsgType::Ping:
         return Ack{}.encode();
       default:
@@ -471,6 +509,7 @@ net::Frame OriginNode::handle(const net::Frame& request) {
                  std::to_string(request.type);
     return nack.encode();
   } catch (const std::exception& e) {
+    span.mark_error();
     Ack nack;
     nack.ok = false;
     nack.error = e.what();

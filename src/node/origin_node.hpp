@@ -21,6 +21,8 @@
 #include "node/protocol.hpp"
 #include "node/ring_view.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 
 namespace cachecloud::node {
 
@@ -42,8 +44,12 @@ class OriginNode {
   [[nodiscard]] std::uint64_t version_of(const std::string& url) const;
 
   // Bumps the document's version and pushes it to its beacon point.
-  // Returns the new version.
+  // Returns the new version. The no-context overload mints a fresh trace
+  // context (head-sampled per config.trace); the other adopts the
+  // caller's, so wire-driven publishes stitch to the client's trace.
   std::uint64_t publish_update(const std::string& url);
+  std::uint64_t publish_update(const std::string& url,
+                               const obs::SpanContext& ctx);
 
   // ---- coordinator -------------------------------------------------
   struct RebalanceSummary {
@@ -87,6 +93,11 @@ class OriginNode {
     return obs::to_prometheus(metrics_snapshot());
   }
 
+  // Span store for distributed tracing; nullptr unless config.trace.collect.
+  [[nodiscard]] obs::SpanStore* span_store() noexcept {
+    return span_store_.get();
+  }
+
   // Deterministic body for (url, version); exposed so tests can verify
   // end-to-end payload integrity.
   [[nodiscard]] static std::vector<std::uint8_t> make_body(
@@ -113,6 +124,7 @@ class OriginNode {
   // ---- observability ----------------------------------------------
   obs::Registry registry_;
   WireMetrics wire_metrics_{registry_};
+  std::unique_ptr<obs::SpanStore> span_store_;  // null = collection off
   struct Instruments {
     obs::Counter* fetches_served = nullptr;
     obs::Counter* fetch_misses = nullptr;

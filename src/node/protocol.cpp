@@ -39,6 +39,8 @@ std::string_view msg_type_name(std::uint16_t type) noexcept {
     case MsgType::ClientGetResp: return "ClientGetResp";
     case MsgType::ClientPublishReq: return "ClientPublishReq";
     case MsgType::ClientPublishResp: return "ClientPublishResp";
+    case MsgType::TraceDumpReq: return "TraceDumpReq";
+    case MsgType::TraceDumpResp: return "TraceDumpResp";
   }
   return "Unknown";
 }
@@ -512,6 +514,16 @@ net::Frame StatsResp::encode() const {
     w.u32(static_cast<std::uint32_t>(h.bounds.size()));
     for (const double b : h.bounds) w.f64(b);
     for (const std::uint64_t c : h.counts) w.u64(c);
+    // Only buckets that recorded an exemplar are shipped.
+    std::uint32_t nex = 0;
+    for (const obs::Exemplar& e : h.exemplars) nex += e.trace_id != 0;
+    w.u32(nex);
+    for (std::uint32_t k = 0; k < h.exemplars.size(); ++k) {
+      if (h.exemplars[k].trace_id == 0) continue;
+      w.u32(k);
+      w.f64(h.exemplars[k].value);
+      w.u64(h.exemplars[k].trace_id);
+    }
     w.f64(h.sum);
     w.u64(h.count);
   }
@@ -545,9 +557,85 @@ StatsResp StatsResp::decode(const net::Frame& frame) {
     for (std::uint32_t k = 0; k < nbounds; ++k) h.bounds.push_back(r.f64());
     h.counts.reserve(nbounds + 1);
     for (std::uint32_t k = 0; k <= nbounds; ++k) h.counts.push_back(r.u64());
+    const std::uint32_t nex = r.u32();
+    if (nex > 0) h.exemplars.resize(nbounds + 1);
+    for (std::uint32_t k = 0; k < nex; ++k) {
+      const std::uint32_t bucket = r.u32();
+      obs::Exemplar e;
+      e.value = r.f64();
+      e.trace_id = r.u64();
+      if (bucket <= nbounds) h.exemplars[bucket] = e;
+    }
     h.sum = r.f64();
     h.count = r.u64();
     msg.snapshot.histograms.push_back(std::move(h));
+  }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame TraceDumpReq::encode() const {
+  net::BufferWriter w;
+  w.u8(drain ? 1 : 0);
+  return make_frame(MsgType::TraceDumpReq, std::move(w));
+}
+
+TraceDumpReq TraceDumpReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::TraceDumpReq);
+  net::BufferReader r(frame.payload);
+  TraceDumpReq msg;
+  msg.drain = r.u8() != 0;
+  r.expect_end();
+  return msg;
+}
+
+net::Frame TraceDumpResp::encode() const {
+  net::BufferWriter w;
+  w.str(node);
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const obs::SpanRecord& span : spans) {
+    w.u64(span.trace_id);
+    w.u64(span.span_id);
+    w.u64(span.parent_span_id);
+    w.str(span.node);
+    w.str(span.name);
+    w.u64(span.start_us);
+    w.u64(span.end_us);
+    w.u8(span.error ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(span.tags.size()));
+    for (const auto& [key, value] : span.tags) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+  return make_frame(MsgType::TraceDumpResp, std::move(w));
+}
+
+TraceDumpResp TraceDumpResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::TraceDumpResp);
+  net::BufferReader r(frame.payload);
+  TraceDumpResp msg;
+  msg.node = r.str();
+  const std::uint32_t n = r.u32();
+  msg.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::SpanRecord span;
+    span.trace_id = r.u64();
+    span.span_id = r.u64();
+    span.parent_span_id = r.u64();
+    span.node = r.str();
+    span.name = r.str();
+    span.start_us = r.u64();
+    span.end_us = r.u64();
+    span.error = r.u8() != 0;
+    const std::uint32_t ntags = r.u32();
+    span.tags.reserve(ntags);
+    for (std::uint32_t k = 0; k < ntags; ++k) {
+      std::string key = r.str();
+      std::string value = r.str();
+      span.tags.emplace_back(std::move(key), std::move(value));
+    }
+    msg.spans.push_back(std::move(span));
   }
   r.expect_end();
   return msg;

@@ -23,6 +23,8 @@
 #include "net/buffer.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 
 namespace cachecloud::node {
 
@@ -65,6 +67,9 @@ enum class MsgType : std::uint16_t {
   ClientGetResp = 23,
   ClientPublishReq = 24,
   ClientPublishResp = 25,
+  // Observability: scrape a live node's span store (distributed tracing).
+  TraceDumpReq = 26,
+  TraceDumpResp = 27,
 };
 
 // Human-readable name of a wire message type ("LookupReq", ...); unknown
@@ -270,6 +275,24 @@ struct StatsResp {
   static StatsResp decode(const net::Frame& frame);
 };
 
+// Scrape a node's retained spans (mirrors StatsReq). With `drain`, the
+// returned spans are removed from the store, so periodic collectors do not
+// re-ship what they already have; without it the scrape is read-only.
+struct TraceDumpReq {
+  bool drain = false;
+  [[nodiscard]] net::Frame encode() const;
+  static TraceDumpReq decode(const net::Frame& frame);
+};
+
+// The node's retained spans plus its node label ("cache-3", "origin").
+// Nodes with collection off answer with an empty span list.
+struct TraceDumpResp {
+  std::string node;
+  std::vector<obs::SpanRecord> spans;
+  [[nodiscard]] net::Frame encode() const;
+  static TraceDumpResp decode(const net::Frame& frame);
+};
+
 // net::FrameObserver that feeds per-MsgType message and byte counters:
 //
 //   cachecloud_net_messages_total{type="LookupReq",dir="rx"|"tx"}
@@ -290,11 +313,27 @@ class WireMetrics : public net::FrameObserver {
   };
   // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
   static constexpr std::size_t kMaxType =
-      static_cast<std::size_t>(MsgType::ClientPublishResp);
+      static_cast<std::size_t>(MsgType::TraceDumpResp);
   std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 
 // Throws net::DecodeError if the frame's type does not match `expected`.
 void expect_type(const net::Frame& frame, MsgType expected);
+
+// Stamps a frame with the sending hop's trace context, so the receiving
+// hop's span links to the sender's (ctx is usually span.child_context()).
+[[nodiscard]] inline net::Frame with_trace(net::Frame frame,
+                                           const obs::SpanContext& ctx) {
+  frame.trace_id = ctx.trace_id;
+  frame.parent_span_id = ctx.parent_span_id;
+  if (ctx.sampled) frame.flags |= net::Frame::kFlagSampled;
+  return frame;
+}
+
+// The trace context a received frame carries.
+[[nodiscard]] inline obs::SpanContext frame_context(const net::Frame& frame) {
+  return obs::SpanContext{frame.trace_id, frame.parent_span_id,
+                          frame.sampled()};
+}
 
 }  // namespace cachecloud::node

@@ -1,0 +1,32 @@
+#include "node/trace_scrape.hpp"
+
+#include <utility>
+
+#include "net/tcp.hpp"
+#include "node/protocol.hpp"
+
+namespace cachecloud::node {
+
+ScrapeResult scrape_traces(const std::vector<std::uint16_t>& ports,
+                           bool drain, double timeout_sec) {
+  ScrapeResult result;
+  TraceDumpReq req;
+  req.drain = drain;
+  const net::Frame request = req.encode();
+  for (const std::uint16_t port : ports) {
+    try {
+      net::TcpClient client(port, timeout_sec);
+      TraceDumpResp resp = TraceDumpResp::decode(client.call(request));
+      ++result.nodes_scraped;
+      for (obs::SpanRecord& span : resp.spans) {
+        result.spans.push_back(std::move(span));
+      }
+    } catch (const std::exception& e) {
+      result.errors.push_back("port " + std::to_string(port) + ": " +
+                              e.what());
+    }
+  }
+  return result;
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,29 @@
+// Client side of the TraceDump wire scrape: collect the retained spans of
+// a set of live nodes (cache and origin ports alike) into one flat list,
+// ready for obs::stitch_traces. Shared by cachecloud_tracecat and the load
+// generator's post-run trace export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span_store.hpp"
+
+namespace cachecloud::node {
+
+struct ScrapeResult {
+  std::vector<obs::SpanRecord> spans;
+  // One human-readable line per node that could not be scraped (connect
+  // failure, timeout, decode error); the scrape itself never throws.
+  std::vector<std::string> errors;
+  std::size_t nodes_scraped = 0;
+};
+
+// Scrapes every port via TraceDumpReq. `drain` removes the shipped spans
+// from the nodes' stores; `timeout_sec` bounds each connection and call.
+[[nodiscard]] ScrapeResult scrape_traces(
+    const std::vector<std::uint16_t>& ports, bool drain = false,
+    double timeout_sec = 5.0);
+
+}  // namespace cachecloud::node

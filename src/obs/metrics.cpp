@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/span_store.hpp"
 #include "util/strings.hpp"
 
 namespace cachecloud::obs {
@@ -94,6 +95,7 @@ LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
   }
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
 }
 
 void LatencyHistogram::observe(double x) noexcept {
@@ -105,6 +107,37 @@ void LatencyHistogram::observe(double x) noexcept {
   while (!sum_.compare_exchange_weak(cur, cur + x,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void LatencyHistogram::observe(double x, std::uint64_t trace_id) noexcept {
+  observe(x);
+  if (trace_id == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ExemplarSlot& slot = exemplars_[static_cast<std::size_t>(it -
+                                                           bounds_.begin())];
+  // Fast reject without the lock; recheck under it (another thread may
+  // have recorded a worse observation between the load and the lock).
+  if (slot.trace.load(std::memory_order_relaxed) != 0 &&
+      x <= slot.value.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (slot.trace.load(std::memory_order_relaxed) != 0 &&
+      x <= slot.value.load(std::memory_order_relaxed)) {
+    return;
+  }
+  slot.value.store(x, std::memory_order_relaxed);
+  slot.trace.store(trace_id, std::memory_order_relaxed);
+}
+
+std::vector<Exemplar> LatencyHistogram::exemplar_snapshot() const {
+  std::vector<Exemplar> out(bounds_.size() + 1);
+  const std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].value = exemplars_[i].value.load(std::memory_order_relaxed);
+    out[i].trace_id = exemplars_[i].trace.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
@@ -153,6 +186,16 @@ std::vector<double> log_spaced_bounds(double lo, double hi, int per_decade) {
 
 double HistogramSnapshot::quantile(double q) const noexcept {
   return bucket_quantile(bounds, counts, count, q);
+}
+
+Exemplar HistogramSnapshot::exemplar_at_or_above(double value) const noexcept {
+  if (exemplars.empty()) return {};
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  for (auto i = static_cast<std::size_t>(it - bounds.begin());
+       i < exemplars.size(); ++i) {
+    if (exemplars[i].trace_id != 0) return exemplars[i];
+  }
+  return {};
 }
 
 // ---------------------------------------------------------------- snapshot
@@ -232,15 +275,26 @@ std::string to_prometheus(const Snapshot& snapshot) {
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     header(out, last_name, h.name, h.help, MetricKind::Histogram);
+    // OpenMetrics-style exemplars: `# {trace_id="<hex>"} <value>` after a
+    // bucket line links the bucket's worst observation to a trace.
+    const auto exemplar_suffix = [&h](std::size_t i) {
+      if (i >= h.exemplars.size() || h.exemplars[i].trace_id == 0) {
+        return std::string();
+      }
+      std::ostringstream ex;
+      ex << " # {trace_id=\"" << hex64(h.exemplars[i].trace_id) << "\"} "
+         << h.exemplars[i].value;
+      return ex.str();
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];
       out << h.name << "_bucket"
           << render_labels_with(h.labels, "le", format_le(h.bounds[i]))
-          << " " << cumulative << "\n";
+          << " " << cumulative << exemplar_suffix(i) << "\n";
     }
     out << h.name << "_bucket" << render_labels_with(h.labels, "le", "+Inf")
-        << " " << h.count << "\n";
+        << " " << h.count << exemplar_suffix(h.bounds.size()) << "\n";
     out << h.name << "_sum" << render_labels(h.labels) << " " << h.sum << "\n";
     out << h.name << "_count" << render_labels(h.labels) << " " << h.count
         << "\n";
@@ -283,7 +337,22 @@ std::string to_json(const Snapshot& snapshot) {
       if (k > 0) out << ",";
       out << h.counts[k];
     }
-    out << "],\"sum\":" << h.sum << ",\"count\":" << h.count << "}";
+    out << "]";
+    bool any_exemplar = false;
+    for (const Exemplar& e : h.exemplars) any_exemplar |= e.trace_id != 0;
+    if (any_exemplar) {
+      out << ",\"exemplars\":[";
+      bool first = true;
+      for (std::size_t k = 0; k < h.exemplars.size(); ++k) {
+        if (h.exemplars[k].trace_id == 0) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "{\"bucket\":" << k << ",\"value\":" << h.exemplars[k].value
+            << ",\"trace_id\":\"" << hex64(h.exemplars[k].trace_id) << "\"}";
+      }
+      out << "]";
+    }
+    out << ",\"sum\":" << h.sum << ",\"count\":" << h.count << "}";
   }
   out << "]}";
   return out.str();
@@ -347,6 +416,7 @@ Snapshot Registry::snapshot() const {
       h.labels = entry.labels;
       h.bounds = entry.histogram->bounds();
       h.counts = entry.histogram->bucket_counts();
+      h.exemplars = entry.histogram->exemplar_snapshot();
       h.sum = entry.histogram->sum();
       h.count = entry.histogram->count();
       out.histograms.push_back(std::move(h));

@@ -57,6 +57,14 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// A trace-id exemplar: the worst observation recorded in one histogram
+// bucket, linking a latency percentile to a stitchable trace. trace_id 0
+// means no exemplar was recorded for the bucket.
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t trace_id = 0;
+};
+
 // Cumulative-bucket histogram over explicit ascending upper bounds; an
 // implicit +Inf bucket catches overflow. observe() is wait-free apart from
 // the CAS on the running sum.
@@ -65,6 +73,11 @@ class LatencyHistogram {
   explicit LatencyHistogram(std::vector<double> bounds);
 
   void observe(double x) noexcept;
+  // observe() plus an exemplar: if `trace_id` is non-zero and x is the
+  // worst observation its bucket has seen, the (value, trace id) pair is
+  // kept. The fast path is two relaxed loads; the slot mutex is taken
+  // only on a new per-bucket maximum.
+  void observe(double x, std::uint64_t trace_id) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -94,9 +107,21 @@ class LatencyHistogram {
   [[nodiscard]] std::vector<double> quantiles(
       const std::vector<double>& qs) const;
 
+  // Per-bucket exemplars, bounds().size() + 1 entries (last is +Inf);
+  // trace_id 0 marks buckets without one. Pairs are read under the slot
+  // mutex, so value and trace id are always consistent.
+  [[nodiscard]] std::vector<Exemplar> exemplar_snapshot() const;
+
  private:
+  struct ExemplarSlot {
+    std::atomic<double> value{0.0};
+    std::atomic<std::uint64_t> trace{0};
+  };
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;
+  mutable std::mutex exemplar_mutex_;
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> count_{0};
 };
@@ -128,6 +153,9 @@ struct HistogramSnapshot {
   Labels labels;
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // bounds.size() + 1, last is +Inf
+  // Per-bucket trace exemplars (same layout as counts); may be empty when
+  // the producer predates exemplars or recorded none.
+  std::vector<Exemplar> exemplars;
   double sum = 0.0;
   std::uint64_t count = 0;
 
@@ -135,6 +163,10 @@ struct HistogramSnapshot {
   [[nodiscard]] double percentile(double p) const noexcept {
     return quantile(p / 100.0);
   }
+  // The exemplar explaining observations at or above `value` (e.g. a p99
+  // estimate): the first recorded exemplar from the bucket containing
+  // `value` upward. Returns trace_id 0 when none is recorded up there.
+  [[nodiscard]] Exemplar exemplar_at_or_above(double value) const noexcept;
 };
 
 struct Snapshot {

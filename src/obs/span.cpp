@@ -3,6 +3,7 @@
 #include <atomic>
 #include <random>
 
+#include "obs/span_store.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -12,16 +13,6 @@ namespace {
 std::uint64_t process_seed() {
   std::random_device rd;
   return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
-}
-
-std::string hex64(std::uint64_t v) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
-    v >>= 4;
-  }
-  return out;
 }
 
 }  // namespace
@@ -35,25 +26,41 @@ std::uint64_t next_trace_id() noexcept {
 }
 
 Span::Span(std::uint64_t trace_id, std::string name)
-    : trace_id_(trace_id),
+    : Span(SpanContext{trace_id, 0, false}, std::move(name), nullptr, {}) {}
+
+Span::Span(const SpanContext& ctx, std::string name, SpanStore* store,
+           std::string node)
+    : trace_id_(ctx.trace_id),
+      parent_span_id_(ctx.parent_span_id),
+      store_(store),
+      node_(std::move(node)),
       name_(std::move(name)),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()),
+      sampled_(ctx.sampled) {
+  // Minting the span id whenever the trace is live keeps parent links
+  // intact across hops even if this node's store happens to be off.
+  if (trace_id_ != 0) span_id_ = next_span_id();
+  enabled_ = (store_ != nullptr && trace_id_ != 0) ||
+             util::detail::log_enabled(util::LogLevel::Debug);
+}
 
 Span::~Span() { finish(); }
 
 Span& Span::tag(std::string key, std::string value) {
-  tags_.emplace_back(std::move(key), std::move(value));
+  if (enabled_) tags_.emplace_back(std::move(key), std::move(value));
   return *this;
 }
 
 Span& Span::tag(std::string key, std::uint64_t value) {
-  tags_.emplace_back(std::move(key), std::to_string(value));
+  if (enabled_) tags_.emplace_back(std::move(key), std::to_string(value));
   return *this;
 }
 
 Span& Span::phase(std::string key, double seconds) {
-  tags_.emplace_back(std::move(key) + "_us",
-                     std::to_string(static_cast<long long>(seconds * 1e6)));
+  if (enabled_) {
+    tags_.emplace_back(std::move(key) + "_us",
+                       std::to_string(static_cast<long long>(seconds * 1e6)));
+  }
   return *this;
 }
 
@@ -66,13 +73,34 @@ double Span::elapsed_sec() const noexcept {
 void Span::finish() {
   if (finished_) return;
   finished_ = true;
-  if (!util::detail::log_enabled(util::LogLevel::Debug)) return;
-  const auto dur_us = static_cast<long long>(elapsed_sec() * 1e6);
-  auto line = util::detail::LogMessage(util::LogLevel::Debug, __FILE__,
-                                       __LINE__);
-  line << "trace=" << hex64(trace_id_) << " span=" << name_;
-  for (const auto& [key, value] : tags_) line << " " << key << "=" << value;
-  line << " dur_us=" << dur_us;
+  if (!enabled_) return;
+  const double elapsed = elapsed_sec();
+  const auto dur_us = static_cast<long long>(elapsed * 1e6);
+  if (util::detail::log_enabled(util::LogLevel::Debug)) {
+    auto line = util::detail::LogMessage(util::LogLevel::Debug, __FILE__,
+                                         __LINE__);
+    line << "trace=" << hex64(trace_id_) << " span=" << name_;
+    for (const auto& [key, value] : tags_) line << " " << key << "=" << value;
+    line << " dur_us=" << dur_us;
+  }
+  if (store_ == nullptr || trace_id_ == 0) return;
+  // Head sampling keeps the trace's share; tail retention always keeps
+  // slow and errored spans so the interesting traces survive sampling.
+  if (!sampled_ && !error_ && elapsed < store_->slow_threshold_sec()) return;
+  SpanRecord record;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_span_id = parent_span_id_;
+  record.node = node_;
+  record.name = name_;
+  record.start_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          start_.time_since_epoch())
+          .count());
+  record.end_us = record.start_us + static_cast<std::uint64_t>(dur_us);
+  record.error = error_;
+  record.tags = std::move(tags_);
+  store_->add(std::move(record));
 }
 
 double Stopwatch::lap_sec() noexcept {

@@ -1,16 +1,19 @@
-// Request-path tracing: a lightweight span API over util::logging.
+// Request-path tracing: a lightweight span API over util::logging and the
+// distributed SpanStore.
 //
-// A trace id is generated once per client-facing get() and propagated to
-// every peer in the frame header (net::Frame::trace_id). Each hop opens a
-// Span around its work; the span emits one structured line at Debug when it
-// finishes, so a slow multi-hop request can be reconstructed across nodes
-// by grepping its trace id:
+// A trace context — (trace_id, parent_span_id, sampled) — is minted once
+// per client-facing get() and propagated to every peer in the frame header
+// (net::Frame). Each hop opens a Span around its work; when it finishes,
+// the span emits one structured line at Debug and, if a SpanStore is
+// attached, records itself for the TraceDump wire scrape when the trace is
+// sampled, slow (>= the store's slow threshold) or errored.
 //
 //   [... DEBUG t2 span.cpp:41] trace=5f1c9a02e77b3d10 span=get node=0
 //       url=/index.html class=origin lookup_us=212 fetch_us=890 dur_us=1304
 //
-// Spans are cheap when Debug logging is off: a steady_clock read at
-// construction and an enabled check at destruction.
+// Spans are cheap when disabled (Debug logging off AND no store attached
+// or trace id 0): one steady_clock read at construction, and tag()/phase()
+// are no-ops — untraced requests never touch the allocator.
 #pragma once
 
 #include <chrono>
@@ -21,32 +24,72 @@
 
 namespace cachecloud::obs {
 
+class SpanStore;
+
 // Process-unique, well-mixed 64-bit trace id (never 0; 0 means untraced).
 [[nodiscard]] std::uint64_t next_trace_id() noexcept;
 
+// The trace fields that travel hop to hop in the frame header.
+struct SpanContext {
+  std::uint64_t trace_id = 0;        // 0 = untraced
+  std::uint64_t parent_span_id = 0;  // span id of the sending hop; 0 = root
+  bool sampled = false;              // head-sampling verdict for this trace
+};
+
 class Span {
  public:
+  // Log-only span (no store): keeps the PR-1 behaviour.
   Span(std::uint64_t trace_id, std::string name);
+  // Collected span: `store` may be nullptr (collection off), `node` labels
+  // the records for cross-node stitching. A span id is minted whenever the
+  // trace id is non-zero, so child hops can link to this span even when
+  // this node does not record it.
+  Span(const SpanContext& ctx, std::string name, SpanStore* store,
+       std::string node);
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
-  ~Span();  // emits the line unless finish() already did
+  ~Span();  // finishes unless finish() already did
 
-  // Key/value annotations appended to the emitted line, in call order.
+  // Key/value annotations appended to the emitted line / stored record, in
+  // call order. No-ops (no allocation) when the span is disabled.
   Span& tag(std::string key, std::string value);
   Span& tag(std::string key, std::uint64_t value);
   // Records a phase duration as `<key>_us=<microseconds>`.
   Span& phase(std::string key, double seconds);
 
+  // Marks the span errored/degraded: the store always retains it (tail
+  // retention), regardless of the sampling verdict.
+  Span& mark_error() noexcept {
+    error_ = true;
+    return *this;
+  }
+
   [[nodiscard]] double elapsed_sec() const noexcept;
   [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+  [[nodiscard]] std::uint64_t span_id() const noexcept { return span_id_; }
+  // True when tags are being collected (Debug logging or an attached store
+  // with a live trace id).
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  // Context for frames this hop sends onward: same trace, this span as the
+  // parent, same sampling verdict.
+  [[nodiscard]] SpanContext child_context() const noexcept {
+    return SpanContext{trace_id_, span_id_, sampled_};
+  }
 
   void finish();
 
  private:
   std::uint64_t trace_id_;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  SpanStore* store_ = nullptr;
+  std::string node_;
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> tags_;
+  bool sampled_ = false;
+  bool error_ = false;
+  bool enabled_ = false;
   bool finished_ = false;
 };
 

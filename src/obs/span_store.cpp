@@ -1,0 +1,124 @@
+#include "obs/span_store.hpp"
+
+#include <chrono>
+#include <random>
+
+#include "util/hash.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+std::uint64_t span_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+// Decorrelates the sampling roll from the shard hash: both remix the trace
+// id, but through different constants.
+constexpr std::uint64_t kSampleSalt = 0x9e3779b97f4a7c15ULL;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t next_span_id() noexcept {
+  static const std::uint64_t seed = span_seed();
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::uint64_t id = util::mix64(
+      seed ^ ~sequence.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+std::uint64_t steady_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool sample_trace(std::uint64_t trace_id, double probability) noexcept {
+  if (trace_id == 0 || probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // mix64 output is uniform over 2^64; scale into [0, 1).
+  const double unit =
+      static_cast<double>(util::mix64(trace_id ^ kSampleSalt)) * 0x1p-64;
+  return unit < probability;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+SpanStore::SpanStore(SpanStoreConfig config)
+    : config_(config),
+      shard_mask_(round_up_pow2(config.shards == 0 ? 1 : config.shards) - 1),
+      shards_(shard_mask_ + 1) {
+  const std::size_t shard_count = shard_mask_ + 1;
+  per_shard_cap_ = config_.capacity / shard_count;
+  if (per_shard_cap_ == 0) per_shard_cap_ = 1;
+}
+
+SpanStore::Shard& SpanStore::shard_for(std::uint64_t trace_id) noexcept {
+  return shards_[util::mix64(trace_id) & shard_mask_];
+}
+
+void SpanStore::add(SpanRecord record) {
+  if (record.trace_id == 0) return;
+  const bool tail =
+      record.error ||
+      record.duration_us() >=
+          static_cast<std::uint64_t>(config_.slow_threshold_sec * 1e6);
+  Shard& shard = shard_for(record.trace_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::deque<SpanRecord>& ring = tail ? shard.retained : shard.recent;
+  if (ring.size() >= per_shard_cap_) {
+    ring.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.push_back(std::move(record));
+  added_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanStore::snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.recent.begin(), shard.recent.end());
+    out.insert(out.end(), shard.retained.begin(), shard.retained.end());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanStore::drain() {
+  std::vector<SpanRecord> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::deque<SpanRecord>* ring : {&shard.recent, &shard.retained}) {
+      out.insert(out.end(), std::make_move_iterator(ring->begin()),
+                 std::make_move_iterator(ring->end()));
+      ring->clear();
+    }
+  }
+  return out;
+}
+
+std::size_t SpanStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.recent.size() + shard.retained.size();
+  }
+  return n;
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,127 @@
+// Distributed trace collection: a per-node store of finished spans.
+//
+// Each node keeps a lock-sharded, bounded, in-memory SpanStore. Spans are
+// retained independent of the log level, so traces can be scraped over the
+// wire (TraceDumpReq) and stitched across nodes after the fact. Retention
+// is two-tier:
+//
+//   recent    head-sampled spans (the sampled bit travels in the frame
+//             header, so every hop of a trace agrees) — ring eviction
+//   retained  tail retention: slow (duration >= slow_threshold_sec) and
+//             errored/degraded spans are always kept, in their own ring,
+//             so a flood of fast sampled spans can never evict the
+//             interesting ones
+//
+// Each tier is bounded by `capacity` records across all shards, so a store
+// holds at most 2 * capacity spans. Shard choice hashes the trace id: the
+// spans of one trace colocate and concurrent requests spread across locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachecloud::obs {
+
+// A finished span, as shipped in TraceDumpResp and stitched by tracecat.
+// Timestamps are steady-clock microseconds since the clock's epoch:
+// CLOCK_MONOTONIC is system-wide, so spans from nodes on one host share a
+// timeline (the deployment model for tests, loadgen and the tools).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root
+  std::string node;                  // e.g. "cache-0", "origin"
+  std::string name;                  // e.g. "get", "LookupReq"
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  bool error = false;  // errored or degraded — tail-retained
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  [[nodiscard]] std::uint64_t duration_us() const noexcept {
+    return end_us >= start_us ? end_us - start_us : 0;
+  }
+};
+
+// Process-unique, well-mixed 64-bit span id (never 0; 0 means "no span").
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+// Steady-clock now, in microseconds since the clock's epoch.
+[[nodiscard]] std::uint64_t steady_now_us() noexcept;
+
+// Deterministic head-sampling decision: a pure function of the trace id,
+// so every node reaches the same verdict without coordination. probability
+// <= 0 samples nothing, >= 1 everything; trace id 0 is never sampled.
+[[nodiscard]] bool sample_trace(std::uint64_t trace_id,
+                                double probability) noexcept;
+
+// Lowercase 16-digit hex rendering shared by span logs, trace exports and
+// report JSON ("0" * padding, e.g. 5 -> "0000000000000005").
+[[nodiscard]] std::string hex64(std::uint64_t v);
+
+struct SpanStoreConfig {
+  std::size_t capacity = 4096;  // per tier, across all shards
+  std::size_t shards = 8;       // rounded up to a power of two
+  double slow_threshold_sec = 0.050;  // tail-retention latency threshold
+};
+
+// How a node participates in trace collection. `collect` allocates the
+// store; `sample_probability` drives the head-sampling decision for trace
+// ids the node mints itself (client-stamped frames carry their own sampled
+// bit).
+struct TraceConfig {
+  bool collect = false;
+  double sample_probability = 0.0;
+  SpanStoreConfig store;
+};
+
+class SpanStore {
+ public:
+  explicit SpanStore(SpanStoreConfig config = {});
+  SpanStore(const SpanStore&) = delete;
+  SpanStore& operator=(const SpanStore&) = delete;
+
+  // Retains `record` (trace id 0 is dropped). Slow/errored records go to
+  // the tail-retained ring, everything else to the recent ring; each ring
+  // evicts its oldest record once full.
+  void add(SpanRecord record);
+
+  // Every retained span, both tiers, in no particular order.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  // Like snapshot(), but removes the returned spans from the store.
+  std::vector<SpanRecord> drain();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] double slow_threshold_sec() const noexcept {
+    return config_.slow_threshold_sec;
+  }
+  // Lifetime counters: spans accepted, spans evicted by ring bounds.
+  [[nodiscard]] std::uint64_t added() const noexcept {
+    return added_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<SpanRecord> recent;
+    std::deque<SpanRecord> retained;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t trace_id) noexcept;
+
+  SpanStoreConfig config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_cap_ = 0;  // per tier
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> added_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+}  // namespace cachecloud::obs

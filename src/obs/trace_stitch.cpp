@@ -1,0 +1,204 @@
+#include "obs/trace_stitch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace cachecloud::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void breakdown_line(std::ostringstream& out, const TraceTree& tree,
+                    std::size_t index, int depth) {
+  const SpanRecord& span = tree.spans[index];
+  char dur[32];
+  std::snprintf(dur, sizeof(dur), "%10llu",
+                static_cast<unsigned long long>(span.duration_us()));
+  out << "  " << dur << "us  ";
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << span.name << "  [" << span.node << "]";
+  if (span.error) out << "  ERROR";
+  for (const auto& [key, value] : span.tags) {
+    out << "  " << key << "=" << value;
+  }
+  out << "\n";
+  for (const std::size_t child : tree.children[index]) {
+    breakdown_line(out, tree, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+bool TraceTree::has_error() const noexcept {
+  for (const SpanRecord& span : spans) {
+    if (span.error) return true;
+  }
+  return false;
+}
+
+std::uint64_t TraceTree::start_us() const noexcept {
+  std::uint64_t lo = 0;
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (first || span.start_us < lo) lo = span.start_us;
+    first = false;
+  }
+  return lo;
+}
+
+std::uint64_t TraceTree::end_us() const noexcept {
+  std::uint64_t hi = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.end_us > hi) hi = span.end_us;
+  }
+  return hi;
+}
+
+std::vector<TraceTree> stitch_traces(std::vector<SpanRecord> spans) {
+  std::unordered_map<std::uint64_t, std::vector<SpanRecord>> by_trace;
+  for (SpanRecord& span : spans) {
+    if (span.trace_id == 0) continue;
+    by_trace[span.trace_id].push_back(std::move(span));
+  }
+  std::vector<TraceTree> trees;
+  trees.reserve(by_trace.size());
+  for (auto& [trace_id, members] : by_trace) {
+    TraceTree tree;
+    tree.trace_id = trace_id;
+    tree.spans = std::move(members);
+    std::sort(tree.spans.begin(), tree.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.span_id < b.span_id;
+              });
+    std::unordered_map<std::uint64_t, std::size_t> by_span;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      by_span.emplace(tree.spans[i].span_id, i);
+    }
+    tree.parent.assign(tree.spans.size(), kNoSpan);
+    tree.children.assign(tree.spans.size(), {});
+    std::size_t root_count = 0;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      const std::uint64_t parent_id = tree.spans[i].parent_span_id;
+      const auto it =
+          parent_id != 0 ? by_span.find(parent_id) : by_span.end();
+      if (it == by_span.end() || it->second == i) {
+        // True root, or the parent hop was not scraped (sampled out,
+        // evicted, node unreachable) — treat as a root of its own.
+        ++root_count;
+        tree.root = i;
+      } else {
+        tree.parent[i] = it->second;
+        tree.children[it->second].push_back(i);
+      }
+    }
+    if (root_count != 1) tree.root = kNoSpan;
+    trees.push_back(std::move(tree));
+  }
+  std::sort(trees.begin(), trees.end(),
+            [](const TraceTree& a, const TraceTree& b) {
+              if (a.duration_us() != b.duration_us()) {
+                return a.duration_us() > b.duration_us();
+              }
+              return a.trace_id < b.trace_id;
+            });
+  return trees;
+}
+
+std::string to_chrome_trace(const std::vector<TraceTree>& traces) {
+  // Deterministic pid per node label (sorted), one tid row per trace so
+  // concurrent traces through one node do not interleave on a row.
+  std::map<std::string, int> pids;
+  for (const TraceTree& tree : traces) {
+    for (const SpanRecord& span : tree.spans) pids.emplace(span.node, 0);
+  }
+  int next_pid = 1;
+  for (auto& [node, pid] : pids) pid = next_pid++;
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [node, pid] : pids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(node) << "\"}}";
+  }
+  int tid = 0;
+  for (const TraceTree& tree : traces) {
+    ++tid;
+    for (const SpanRecord& span : tree.spans) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << json_escape(span.name)
+          << "\",\"cat\":\"cachecloud\",\"ph\":\"X\",\"pid\":"
+          << pids[span.node] << ",\"tid\":" << tid
+          << ",\"ts\":" << span.start_us << ",\"dur\":" << span.duration_us()
+          << ",\"args\":{\"trace_id\":\"" << hex64(span.trace_id)
+          << "\",\"span_id\":\"" << hex64(span.span_id)
+          << "\",\"parent_span_id\":\"" << hex64(span.parent_span_id)
+          << "\",\"node\":\"" << json_escape(span.node) << "\"";
+      if (span.error) out << ",\"error\":true";
+      for (const auto& [key, value] : span.tags) {
+        out << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+            << "\"";
+      }
+      out << "}}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string slowest_report(const std::vector<TraceTree>& traces,
+                           std::size_t k) {
+  std::size_t total_spans = 0;
+  for (const TraceTree& tree : traces) total_spans += tree.spans.size();
+  std::ostringstream out;
+  const std::size_t shown = std::min(k, traces.size());
+  out << "slowest " << shown << " of " << traces.size()
+      << " stitched traces (" << total_spans << " spans)\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const TraceTree& tree = traces[i];
+    out << "#" << (i + 1) << "  trace=" << hex64(tree.trace_id) << "  "
+        << tree.duration_us() << "us  " << tree.spans.size() << " spans";
+    if (!tree.rooted()) out << "  (unrooted)";
+    if (tree.has_error()) out << "  ERROR";
+    out << "\n";
+    if (tree.rooted()) {
+      breakdown_line(out, tree, tree.root, 0);
+    } else {
+      // No single root: print every parentless chain in start order.
+      for (std::size_t s = 0; s < tree.spans.size(); ++s) {
+        if (tree.parent[s] == kNoSpan) breakdown_line(out, tree, s, 0);
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,55 @@
+// Cross-node trace stitching and export.
+//
+// Pure data transforms over SpanRecord: group scraped spans by trace id,
+// link children to parents by span id, and render the result as Chrome
+// trace-viewer / Perfetto JSON ("traceEvents") or a ranked slowest-K text
+// report with per-hop breakdowns. No node or wire dependencies — the
+// scrape lives in src/node, the CLI in tools/cachecloud_tracecat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span_store.hpp"
+
+namespace cachecloud::obs {
+
+inline constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+// One stitched trace: its spans sorted by start time, plus parent/child
+// links as indices into `spans`.
+struct TraceTree {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+  std::vector<std::size_t> parent;  // kNoSpan = root or orphaned parent
+  std::vector<std::vector<std::size_t>> children;
+  std::size_t root = kNoSpan;  // unique parentless span; kNoSpan otherwise
+
+  [[nodiscard]] bool rooted() const noexcept { return root != kNoSpan; }
+  [[nodiscard]] bool has_error() const noexcept;
+  // Earliest span start / latest span end across the whole trace.
+  [[nodiscard]] std::uint64_t start_us() const noexcept;
+  [[nodiscard]] std::uint64_t end_us() const noexcept;
+  [[nodiscard]] std::uint64_t duration_us() const noexcept {
+    return end_us() - start_us();
+  }
+};
+
+// Groups spans by trace id and links each span to its parent (by span id,
+// within the same trace). Returns trees sorted slowest-first.
+[[nodiscard]] std::vector<TraceTree> stitch_traces(
+    std::vector<SpanRecord> spans);
+
+// Chrome trace-viewer / Perfetto JSON: one complete ("ph":"X") event per
+// span, processes named after nodes, one thread row per trace. Open the
+// output in ui.perfetto.dev or chrome://tracing. Valid JSON even for zero
+// traces.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TraceTree>& traces);
+
+// Ranked slowest-K text report: per trace, an indented per-hop breakdown
+// with durations, nodes and tags.
+[[nodiscard]] std::string slowest_report(const std::vector<TraceTree>& traces,
+                                         std::size_t k);
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,204 @@
+// End-to-end distributed tracing: client-stamped requests leave linked
+// spans at every hop, the TraceDump wire scrape collects them, and
+// stitching yields one rooted tree per request.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "node/cluster.hpp"
+#include "node/protocol.hpp"
+#include "node/trace_scrape.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
+#include "obs/trace_stitch.hpp"
+#include "util/json.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+NodeConfig traced_config() {
+  NodeConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.trace.collect = true;
+  // A generous slow threshold keeps tail retention out of these tests:
+  // only the explicit sampled bit (or an error) retains a span.
+  config.trace.store.slow_threshold_sec = 10.0;
+  return config;
+}
+
+[[nodiscard]] std::vector<std::uint16_t> all_ports(Cluster& cluster) {
+  std::vector<std::uint16_t> ports;
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    ports.push_back(cluster.cache(id).port());
+  }
+  ports.push_back(cluster.origin().port());
+  return ports;
+}
+
+// A URL whose beacon point is NOT `client`, so the traced get must cross
+// the wire for its lookup.
+[[nodiscard]] std::string remote_beacon_url(Cluster& cluster,
+                                            NodeId client) {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string url = "/trace/doc" + std::to_string(i);
+    if (cluster.cache(client).ring_view().resolve(url).beacon != client) {
+      return url;
+    }
+  }
+  ADD_FAILURE() << "no URL with a remote beacon found";
+  return "/trace/doc0";
+}
+
+TEST(NodeTraceTest, ClientGetThroughRemoteBeaconStitchesToOneRootedTree) {
+  Cluster cluster(traced_config());
+  const NodeId client = 0;
+  const std::string url = remote_beacon_url(cluster, client);
+  const NodeId beacon = cluster.cache(client).ring_view().resolve(url).beacon;
+  cluster.origin().add_document(url, 512);
+
+  // The wire client stamps its own trace context, sampled.
+  const std::uint64_t trace_id = obs::next_trace_id();
+  net::TcpClient wire(cluster.cache(client).port());
+  const net::Frame reply = wire.call(with_trace(
+      ClientGetReq{url}.encode(), obs::SpanContext{trace_id, 0, true}));
+  ASSERT_TRUE(ClientGetResp::decode(reply).ok);
+
+  // Scrape every node (caches and origin alike) and stitch.
+  const ScrapeResult scraped = scrape_traces(all_ports(cluster));
+  EXPECT_TRUE(scraped.errors.empty());
+  EXPECT_EQ(scraped.nodes_scraped, cluster.num_caches() + 1);
+  std::vector<obs::SpanRecord> ours;
+  for (const obs::SpanRecord& span : scraped.spans) {
+    if (span.trace_id == trace_id) ours.push_back(span);
+  }
+  const std::vector<obs::TraceTree> traces = obs::stitch_traces(ours);
+  ASSERT_EQ(traces.size(), 1u) << "one request must stitch to one trace";
+  const obs::TraceTree& tree = traces[0];
+
+  // Root: the client-facing get at the requesting cache.
+  ASSERT_TRUE(tree.rooted());
+  EXPECT_EQ(tree.spans[tree.root].name, "get");
+  EXPECT_EQ(tree.spans[tree.root].node,
+            "cache-" + std::to_string(client));
+  EXPECT_EQ(tree.spans[tree.root].parent_span_id, 0u);
+
+  // Children cover every hop: the lookup at the remote beacon and the
+  // body fetch at the origin (first access, so the cloud is empty).
+  bool saw_lookup = false;
+  bool saw_origin_fetch = false;
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    const obs::SpanRecord& span = tree.spans[i];
+    if (span.name == "LookupReq") {
+      saw_lookup = true;
+      EXPECT_EQ(span.node, "cache-" + std::to_string(beacon));
+      EXPECT_EQ(span.parent_span_id, tree.spans[tree.root].span_id);
+    }
+    if (span.name == "FetchReq" && span.node == "origin") {
+      saw_origin_fetch = true;
+      EXPECT_EQ(span.parent_span_id, tree.spans[tree.root].span_id);
+    }
+    if (i != tree.root) {
+      EXPECT_NE(tree.parent[i], obs::kNoSpan)
+          << span.name << " at " << span.node << " has a dangling parent";
+    }
+  }
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(saw_origin_fetch);
+  EXPECT_GE(tree.spans.size(), 3u);
+
+  // The Chrome-trace export of the full scrape parses as JSON.
+  const util::JsonValue doc =
+      util::JsonValue::parse(obs::to_chrome_trace(traces));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_GE(doc.at("traceEvents").as_array().size(), tree.spans.size());
+
+  cluster.stop_all();
+}
+
+TEST(NodeTraceTest, ClientPublishTracesUpdateFlowThroughBeacon) {
+  Cluster cluster(traced_config());
+  const std::string url = "/trace/update-doc";
+  cluster.origin().add_document(url, 256);
+  // Seed a holder so the update has somewhere to propagate.
+  (void)cluster.cache(1).get(url);
+
+  const std::uint64_t trace_id = obs::next_trace_id();
+  net::TcpClient wire(cluster.origin().port());
+  const net::Frame reply = wire.call(with_trace(
+      ClientPublishReq{url}.encode(), obs::SpanContext{trace_id, 0, true}));
+  ASSERT_TRUE(ClientPublishResp::decode(reply).ok);
+
+  const ScrapeResult scraped = scrape_traces(all_ports(cluster));
+  std::vector<obs::SpanRecord> ours;
+  for (const obs::SpanRecord& span : scraped.spans) {
+    if (span.trace_id == trace_id) ours.push_back(span);
+  }
+  const std::vector<obs::TraceTree> traces = obs::stitch_traces(ours);
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::TraceTree& tree = traces[0];
+  ASSERT_TRUE(tree.rooted());
+  EXPECT_EQ(tree.spans[tree.root].name, "publish_update");
+  EXPECT_EQ(tree.spans[tree.root].node, "origin");
+  bool saw_push = false;
+  for (const obs::SpanRecord& span : tree.spans) {
+    if (span.name == "UpdatePush") saw_push = true;
+  }
+  EXPECT_TRUE(saw_push) << "beacon's UpdatePush hop missing from the tree";
+
+  cluster.stop_all();
+}
+
+TEST(NodeTraceTest, UnsampledTrafficLeavesStoresEmpty) {
+  NodeConfig config = traced_config();
+  config.trace.sample_probability = 0.0;  // node-minted traces: never keep
+  Cluster cluster(config);
+  const std::string url = "/trace/unsampled";
+  cluster.origin().add_document(url, 128);
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    (void)cluster.cache(id).get(url);
+  }
+  const ScrapeResult scraped = scrape_traces(all_ports(cluster));
+  EXPECT_TRUE(scraped.errors.empty());
+  EXPECT_TRUE(scraped.spans.empty())
+      << "unsampled fast spans must not be retained";
+  cluster.stop_all();
+}
+
+TEST(NodeTraceTest, TraceDumpDrainEmptiesTheStores) {
+  Cluster cluster(traced_config());
+  const std::string url = "/trace/drain";
+  cluster.origin().add_document(url, 128);
+  net::TcpClient wire(cluster.cache(0).port());
+  (void)wire.call(with_trace(ClientGetReq{url}.encode(),
+                             obs::SpanContext{obs::next_trace_id(), 0, true}));
+
+  const ScrapeResult first =
+      scrape_traces(all_ports(cluster), /*drain=*/true);
+  EXPECT_FALSE(first.spans.empty());
+  const ScrapeResult second = scrape_traces(all_ports(cluster));
+  EXPECT_TRUE(second.spans.empty()) << "drain must clear the stores";
+  cluster.stop_all();
+}
+
+TEST(NodeTraceTest, CollectionOffAnswersEmptyTraceDump) {
+  NodeConfig config;
+  config.num_caches = 2;
+  config.ring_size = 2;
+  Cluster cluster(config);  // trace.collect defaults to off
+  const std::string url = "/trace/off";
+  cluster.origin().add_document(url, 128);
+  (void)cluster.cache(0).get(url);
+  const ScrapeResult scraped = scrape_traces(all_ports(cluster));
+  EXPECT_TRUE(scraped.errors.empty());
+  EXPECT_EQ(scraped.nodes_scraped, cluster.num_caches() + 1);
+  EXPECT_TRUE(scraped.spans.empty());
+  cluster.stop_all();
+}
+
+}  // namespace
+}  // namespace cachecloud::node

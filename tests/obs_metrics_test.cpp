@@ -214,6 +214,64 @@ TEST(LatencyHistogramTest, BatchQuantilesMatchIndividualQueries) {
   EXPECT_DOUBLE_EQ(h->percentile(99.9), reg_hist.percentile(99.9));
 }
 
+// -------------------------------------------------------------- exemplars
+
+TEST(ExemplarTest, WorstObservationPerBucketWinsAndSnapshots) {
+  LatencyHistogram hist({0.01, 0.1});
+  hist.observe(0.005, 71);
+  hist.observe(0.002, 72);  // smaller than 0.005: bucket keeps trace 71
+  hist.observe(0.008, 73);  // new per-bucket maximum: replaces it
+  hist.observe(0.05, 80);
+  hist.observe(5.0, 90);    // lands in the implicit +Inf bucket
+  hist.observe(0.06);       // exemplar-less observe never clobbers
+  hist.observe(9.0, 0);     // trace id 0 means "no exemplar"
+
+  const std::vector<Exemplar> exemplars = hist.exemplar_snapshot();
+  ASSERT_EQ(exemplars.size(), 3u);  // bounds + the +Inf bucket
+  EXPECT_EQ(exemplars[0].trace_id, 73u);
+  EXPECT_DOUBLE_EQ(exemplars[0].value, 0.008);
+  EXPECT_EQ(exemplars[1].trace_id, 80u);
+  EXPECT_EQ(exemplars[2].trace_id, 90u);
+  EXPECT_DOUBLE_EQ(exemplars[2].value, 5.0);
+}
+
+TEST(ExemplarTest, SnapshotLookupFindsTheTailTrace) {
+  Registry registry;
+  LatencyHistogram& hist =
+      registry.histogram("lat_seconds", "latency", {0.01, 0.1});
+  hist.observe(0.005, 71);
+  hist.observe(5.0, 90);
+
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("lat_seconds");
+  ASSERT_NE(h, nullptr);
+  // A tail estimate above every bound resolves to the +Inf exemplar; a
+  // low value resolves to the first bucket that has one.
+  EXPECT_EQ(h->exemplar_at_or_above(1.0).trace_id, 90u);
+  EXPECT_EQ(h->exemplar_at_or_above(0.0).trace_id, 71u);
+  // The middle bucket is empty, so lookups there skip up to +Inf.
+  EXPECT_EQ(h->exemplar_at_or_above(0.05).trace_id, 90u);
+}
+
+TEST(ExemplarTest, ExpositionCarriesTraceIds) {
+  Registry registry;
+  registry.histogram("lat_seconds", "latency", {0.01}).observe(0.005, 0xab);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# {trace_id=\"00000000000000ab\"} 0.005"),
+            std::string::npos);
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"trace_id\":\"00000000000000ab\""),
+            std::string::npos);
+
+  // Histograms without exemplars keep the legacy exposition: no
+  // trace_id markers anywhere.
+  Registry plain;
+  plain.histogram("lat_seconds", "latency", {0.01}).observe(0.005);
+  EXPECT_EQ(plain.prometheus_text().find("trace_id"), std::string::npos);
+  EXPECT_EQ(plain.json().find("exemplars"), std::string::npos);
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(SpanTest, TraceIdsAreUniqueAndNonZero) {

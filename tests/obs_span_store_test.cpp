@@ -1,0 +1,249 @@
+// SpanStore: bounded two-tier retention, deterministic sampling, shard
+// concurrency, and the Span -> store recording rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
+#include "obs/trace_stitch.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+[[nodiscard]] SpanRecord make_record(std::uint64_t trace_id,
+                                     std::uint64_t duration_us,
+                                     bool error = false) {
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.span_id = next_span_id();
+  record.node = "cache-0";
+  record.name = "get";
+  record.start_us = 1000;
+  record.end_us = 1000 + duration_us;
+  record.error = error;
+  return record;
+}
+
+TEST(SpanStoreTest, RetainsAndSnapshotsRecords) {
+  SpanStore store;
+  store.add(make_record(1, 10));
+  store.add(make_record(2, 20));
+  EXPECT_EQ(store.size(), 2u);
+  const std::vector<SpanRecord> spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(store.size(), 2u);  // snapshot is non-destructive
+  std::set<std::uint64_t> traces;
+  for (const SpanRecord& span : spans) traces.insert(span.trace_id);
+  EXPECT_EQ(traces, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST(SpanStoreTest, DropsTraceIdZero) {
+  SpanStore store;
+  store.add(make_record(0, 10));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.added(), 0u);
+}
+
+TEST(SpanStoreTest, BoundedRetentionEvictsOldestPerRing) {
+  SpanStoreConfig config;
+  config.capacity = 64;
+  config.shards = 4;
+  SpanStore store(config);
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    store.add(make_record(i, 10));
+  }
+  EXPECT_EQ(store.added(), 1000u);
+  EXPECT_LE(store.size(), 64u);
+  EXPECT_EQ(store.evicted(), 1000u - store.size());
+  // Survivors skew recent: the very first records are long gone.
+  for (const SpanRecord& span : store.snapshot()) {
+    EXPECT_GT(span.trace_id, 64u);
+  }
+}
+
+TEST(SpanStoreTest, TailRetainedSpansSurviveRecentFlood) {
+  SpanStoreConfig config;
+  config.capacity = 64;
+  config.shards = 1;  // single ring per tier makes the bound exact
+  config.slow_threshold_sec = 0.050;
+  SpanStore store(config);
+  // Two interesting spans: one errored, one slow (>= 50ms).
+  store.add(make_record(7, 10, /*error=*/true));
+  store.add(make_record(8, 60'000));
+  // A flood of fast, sampled spans fills the recent ring many times over.
+  for (std::uint64_t i = 100; i < 1100; ++i) {
+    store.add(make_record(i, 10));
+  }
+  bool saw_error = false;
+  bool saw_slow = false;
+  for (const SpanRecord& span : store.snapshot()) {
+    if (span.trace_id == 7) saw_error = true;
+    if (span.trace_id == 8) saw_slow = true;
+  }
+  EXPECT_TRUE(saw_error) << "errored span evicted by fast-span flood";
+  EXPECT_TRUE(saw_slow) << "slow span evicted by fast-span flood";
+}
+
+TEST(SpanStoreTest, DrainClearsTheStore) {
+  SpanStore store;
+  store.add(make_record(1, 10));
+  store.add(make_record(2, 10, /*error=*/true));
+  const std::vector<SpanRecord> drained = store.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.snapshot().empty());
+}
+
+TEST(SpanStoreTest, ConcurrentAddsAcrossShards) {
+  SpanStoreConfig config;
+  config.capacity = 1024;
+  config.shards = 8;
+  SpanStore store(config);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<std::uint64_t> next{1};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id = next.fetch_add(1);
+        store.add(make_record(id, i % 97 == 0 ? 60'000 : 10));
+      }
+      (void)store.snapshot();  // concurrent readers must be safe too
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(store.added(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(store.size(), 2u * config.capacity);
+  EXPECT_EQ(store.added() - store.evicted(), store.size());
+}
+
+TEST(SampleTraceTest, BoundaryProbabilities) {
+  for (std::uint64_t id : {1ull, 42ull, 0x9e3779b97f4a7c15ull}) {
+    EXPECT_FALSE(sample_trace(id, 0.0));
+    EXPECT_FALSE(sample_trace(id, -1.0));
+    EXPECT_TRUE(sample_trace(id, 1.0));
+    EXPECT_TRUE(sample_trace(id, 2.0));
+  }
+  EXPECT_FALSE(sample_trace(0, 1.0)) << "trace id 0 is never sampled";
+}
+
+TEST(SampleTraceTest, DeterministicAndRoughlyProportional) {
+  int sampled = 0;
+  for (std::uint64_t id = 1; id <= 10000; ++id) {
+    const bool first = sample_trace(id, 0.25);
+    EXPECT_EQ(first, sample_trace(id, 0.25)) << "verdict must be pure";
+    if (first) ++sampled;
+  }
+  EXPECT_GT(sampled, 2000);
+  EXPECT_LT(sampled, 3000);
+}
+
+// ---- Span -> store integration ------------------------------------------
+
+TEST(SpanRecordingTest, SampledSpanIsRecordedWithTagsAndLinks) {
+  SpanStore store;
+  const std::uint64_t trace_id = next_trace_id();
+  std::uint64_t parent_id = 0;
+  {
+    Span parent(SpanContext{trace_id, 0, true}, "get", &store, "cache-0");
+    parent.tag("url", "/doc1");
+    parent_id = parent.span_id();
+    ASSERT_NE(parent_id, 0u);
+    Span child(parent.child_context(), "LookupReq", &store, "cache-1");
+    EXPECT_TRUE(child.enabled());
+  }
+  const std::vector<SpanRecord> spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, trace_id);
+    if (span.name == "get") {
+      EXPECT_EQ(span.parent_span_id, 0u);
+      EXPECT_EQ(span.node, "cache-0");
+      ASSERT_EQ(span.tags.size(), 1u);
+      EXPECT_EQ(span.tags[0].first, "url");
+      EXPECT_EQ(span.tags[0].second, "/doc1");
+    } else {
+      EXPECT_EQ(span.name, "LookupReq");
+      EXPECT_EQ(span.parent_span_id, parent_id);
+      EXPECT_EQ(span.node, "cache-1");
+    }
+  }
+}
+
+TEST(SpanRecordingTest, UnsampledFastSpanIsDropped) {
+  SpanStore store;
+  { Span span(SpanContext{next_trace_id(), 0, false}, "get", &store, "n"); }
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SpanRecordingTest, UnsampledErroredSpanIsRetained) {
+  SpanStore store;
+  {
+    Span span(SpanContext{next_trace_id(), 0, false}, "get", &store, "n");
+    span.mark_error();
+  }
+  const std::vector<SpanRecord> spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].error);
+}
+
+TEST(SpanRecordingTest, UnsampledSlowSpanIsRetained) {
+  SpanStoreConfig config;
+  config.slow_threshold_sec = 0.0;  // every finished span counts as slow
+  SpanStore store(config);
+  { Span span(SpanContext{next_trace_id(), 0, false}, "get", &store, "n"); }
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SpanRecordingTest, UntracedSpanStaysDisabledAndUnrecorded) {
+  SpanStore store;
+  {
+    Span span(SpanContext{0, 0, false}, "get", &store, "n");
+    EXPECT_EQ(span.span_id(), 0u);
+    span.tag("k", "v");  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---- stitching ----------------------------------------------------------
+
+TEST(TraceStitchTest, BuildsRootedTreeFromSpans) {
+  const std::uint64_t trace_id = 77;
+  SpanRecord root = make_record(trace_id, 500);
+  root.name = "get";
+  SpanRecord child = make_record(trace_id, 100);
+  child.name = "LookupReq";
+  child.node = "cache-1";
+  child.parent_span_id = root.span_id;
+  child.start_us = root.start_us + 50;
+  child.end_us = child.start_us + 100;
+  SpanRecord other = make_record(99, 10);
+
+  const std::vector<TraceTree> traces =
+      stitch_traces({child, other, root});
+  ASSERT_EQ(traces.size(), 2u);
+  // Slowest-first: the 500us trace leads.
+  const TraceTree& tree = traces[0];
+  EXPECT_EQ(tree.trace_id, trace_id);
+  ASSERT_EQ(tree.spans.size(), 2u);
+  ASSERT_TRUE(tree.rooted());
+  EXPECT_EQ(tree.spans[tree.root].name, "get");
+  ASSERT_EQ(tree.children[tree.root].size(), 1u);
+  EXPECT_EQ(tree.spans[tree.children[tree.root][0]].name, "LookupReq");
+  EXPECT_EQ(tree.duration_us(), 500u);
+
+  const std::string chrome = to_chrome_trace(traces);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"LookupReq\""), std::string::npos);
+  const std::string report = slowest_report(traces, 10);
+  EXPECT_NE(report.find("get"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cachecloud::obs

@@ -1,10 +1,13 @@
-// Smoke tests of the CLI tools' underlying flows (generation, file IO,
-// resampling) — the same paths tools/tracegen.cpp and
-// tools/cachecloud_sim.cpp drive, exercised as a library to keep the test
-// hermetic.
+// Smoke tests of the CLI tools: library-level flows (generation, file IO,
+// resampling — the same paths tools/tracegen.cpp and
+// tools/cachecloud_sim.cpp drive) plus the cachecloud_tracecat binary
+// itself, invoked as a subprocess against no nodes at all.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "core/cloud.hpp"
 #include "sim/simulator.hpp"
@@ -13,6 +16,14 @@
 
 namespace cachecloud {
 namespace {
+
+// Exit code of `TRACECAT_BIN args`, or -1 if the shell-out itself failed.
+[[nodiscard]] int run_tracecat(const std::string& args) {
+  const std::string command =
+      std::string(TRACECAT_BIN) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return status < 0 ? -1 : WEXITSTATUS(status);
+}
 
 TEST(ToolsFlowTest, GenerateWriteReadResampleSimulate) {
   // tracegen --kind=zipf --out=...
@@ -51,6 +62,36 @@ TEST(ToolsFlowTest, GenerateWriteReadResampleSimulate) {
   const sim::SimResult result = sim::run_simulation(cloud, loaded);
   EXPECT_EQ(result.metrics.requests, loaded.request_count());
 
+  std::filesystem::remove(path);
+}
+
+TEST(TracecatSmokeTest, HelpExitsZero) {
+  EXPECT_EQ(run_tracecat("--help"), 0);
+}
+
+TEST(TracecatSmokeTest, UnknownFlagIsAUsageError) {
+  EXPECT_EQ(run_tracecat("--no-such-flag"), 2);
+}
+
+TEST(TracecatSmokeTest, ZeroNodesStillWritesAValidEmptyTrace) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "tracecat_empty.json").string();
+  // No --ports at all: nothing to scrape, but the artifact must still be
+  // a valid (empty) Chrome trace, and --validate must accept it.
+  ASSERT_EQ(run_tracecat("--out " + path), 0);
+  EXPECT_EQ(run_tracecat("--validate " + path), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(TracecatSmokeTest, ValidateRejectsMalformedArtifacts) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "tracecat_bad.json").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"not\": \"a trace\"}";
+  }
+  EXPECT_EQ(run_tracecat("--validate " + path), 1);
+  EXPECT_EQ(run_tracecat("--validate " + path + ".does-not-exist"), 1);
   std::filesystem::remove(path);
 }
 

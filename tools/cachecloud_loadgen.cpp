@@ -23,6 +23,9 @@
 #include "loadgen/report.hpp"
 #include "loadgen/runner.hpp"
 #include "node/cluster.hpp"
+#include "node/trace_scrape.hpp"
+#include "obs/span_store.hpp"
+#include "obs/trace_stitch.hpp"
 #include "util/flags.hpp"
 
 namespace cachecloud {
@@ -80,6 +83,15 @@ int run(const util::Flags& flags) {
   const std::string schedule_path = flags.get_string("dump-schedule", "");
   const std::string placement = flags.get_string("placement", "adhoc");
   std::string out_path = flags.get_string("out", "");
+  // Distributed tracing: --trace-sample stamps client-minted trace
+  // contexts on that fraction of ops, --trace-out scrapes every node's
+  // span store after the run and writes a Chrome-trace/Perfetto JSON,
+  // --trace-top bounds both the slowest-K lists and the printed report.
+  const double trace_sample = flags.get_double("trace-sample", 0.0);
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::size_t trace_top =
+      static_cast<std::size_t>(flags.get_int("trace-top", 10));
+  const bool tracing = trace_sample > 0.0 || !trace_out.empty();
 
   for (const std::string& name : flags.unused()) {
     std::fprintf(stderr, "cachecloud_loadgen: unknown flag --%s\n",
@@ -104,6 +116,9 @@ int run(const util::Flags& flags) {
   node::NodeConfig config;
   config.num_caches = workload.num_caches;
   config.placement = placement;
+  // Span stores only exist when tracing was asked for, so the default run
+  // stays inside the bench_diff perf gate.
+  config.trace.collect = tracing;
   node::Cluster cluster(config);
   for (std::size_t i = 0; i < plan.urls.size(); ++i) {
     cluster.origin().add_document(plan.urls[i],
@@ -116,6 +131,8 @@ int run(const util::Flags& flags) {
   }
   runner_config.origin_port = cluster.origin().port();
   runner_config.threads = threads;
+  runner_config.trace_sample = trace_sample;
+  runner_config.slowest_k = trace_top;
 
   loadgen::Runner runner(runner_config);
   const loadgen::RunResult result = runner.run(plan);
@@ -157,6 +174,43 @@ int run(const util::Flags& flags) {
     }
   }
   std::printf("report: %s\n", out_path.c_str());
+
+  // Trace export: scrape the in-process nodes' span stores before they go
+  // away, stitch, and leave a viewer-loadable artifact + a ranked digest.
+  if (tracing) {
+    for (const loadgen::PhaseResult& phase : result.phases) {
+      if (!phase.measured || phase.slowest.empty()) continue;
+      std::printf("  slowest sampled ops (%s):\n", phase.name.c_str());
+      for (const loadgen::SlowSample& sample : phase.slowest) {
+        std::printf("    %8.3fms  trace=%s %s doc=%u cache=%u\n",
+                    sample.latency_sec * 1e3,
+                    obs::hex64(sample.trace_id).c_str(),
+                    sample.publish ? "publish" : "get", sample.doc,
+                    sample.cache);
+      }
+    }
+    std::vector<std::uint16_t> ports = runner_config.cache_ports;
+    ports.push_back(runner_config.origin_port);
+    const node::ScrapeResult scraped = node::scrape_traces(ports);
+    for (const std::string& error : scraped.errors) {
+      std::fprintf(stderr, "loadgen: trace scrape: %s\n", error.c_str());
+    }
+    const std::vector<obs::TraceTree> traces =
+        obs::stitch_traces(scraped.spans);
+    std::printf("%s", obs::slowest_report(traces, trace_top).c_str());
+    if (!trace_out.empty()) {
+      std::ofstream trace_file(trace_out, std::ios::trunc);
+      if (!trace_file) {
+        std::fprintf(stderr, "loadgen: cannot write trace to %s\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      trace_file << obs::to_chrome_trace(traces);
+      std::printf("trace: %s (%zu traces, %zu spans from %zu nodes)\n",
+                  trace_out.c_str(), traces.size(), scraped.spans.size(),
+                  scraped.nodes_scraped);
+    }
+  }
 
   cluster.stop_all();
   return rec.consistent ? 0 : 1;

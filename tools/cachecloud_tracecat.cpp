@@ -1,0 +1,156 @@
+// Distributed trace collector/viewer for live cache-cloud nodes.
+//
+// Scrapes every node's span store over the wire (TraceDumpReq, the tracing
+// twin of the StatsReq metrics scrape), stitches the spans into
+// per-request trees by trace id, prints the slowest-K traces with their
+// per-hop breakdowns and optionally writes the whole set as Chrome
+// trace-viewer / Perfetto JSON (chrome://tracing, ui.perfetto.dev).
+//
+//   cachecloud_tracecat --ports 9001,9002,9003,9010 --top 10
+//   cachecloud_tracecat --ports 9001 --drain --out traces.json
+//   cachecloud_tracecat --validate traces.json   # CI artifact check
+//
+// Scraping is best-effort: unreachable nodes are reported on stderr and
+// skipped, and zero reachable nodes still yields a valid (empty) trace
+// file — the exit code only reflects usage errors and failed validation.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "node/trace_scrape.hpp"
+#include "obs/trace_stitch.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace cachecloud {
+namespace {
+
+void print_usage(const char* program) {
+  std::printf(
+      "usage: %s [--ports P1,P2,...] [options]\n"
+      "\n"
+      "Scrape live nodes' span stores, stitch request traces, report.\n"
+      "\n"
+      "  --ports P1,P2,...  node ports to scrape (cache and origin alike)\n"
+      "  --top K            print the K slowest stitched traces (default 10)\n"
+      "  --out FILE         write Chrome trace-viewer / Perfetto JSON\n"
+      "  --drain            remove scraped spans from the nodes' stores\n"
+      "  --timeout SEC      per-node connect/call timeout (default 5)\n"
+      "  --validate FILE    parse FILE as Chrome trace JSON and exit\n"
+      "                     (0 = valid, 1 = malformed); no scraping\n"
+      "  --help             this text\n",
+      program);
+}
+
+[[nodiscard]] std::vector<std::uint16_t> parse_ports(
+    const std::string& list) {
+  std::vector<std::uint16_t> ports;
+  for (const std::string_view item : util::split(list, ',')) {
+    const std::string trimmed(util::trim(item));
+    if (trimmed.empty()) continue;
+    const int port = std::stoi(trimmed);
+    if (port <= 0 || port > 65535) {
+      throw std::invalid_argument("port out of range: " + trimmed);
+    }
+    ports.push_back(static_cast<std::uint16_t>(port));
+  }
+  return ports;
+}
+
+// Validates a Chrome trace JSON artifact: top-level object, a
+// "traceEvents" array, and every event an object with a "ph" string.
+// Prints a one-line summary; returns the process exit code.
+int validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tracecat: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(buffer.str());
+    if (!doc.is_object()) {
+      throw std::invalid_argument("top level is not an object");
+    }
+    const util::JsonValue& events = doc.at("traceEvents");
+    if (!events.is_array()) {
+      throw std::invalid_argument("traceEvents is not an array");
+    }
+    std::size_t spans = 0;
+    for (const util::JsonValue& event : events.as_array()) {
+      if (!event.is_object()) {
+        throw std::invalid_argument("trace event is not an object");
+      }
+      if (event.at("ph").as_string() == "X") ++spans;
+    }
+    std::printf("tracecat: %s valid (%zu events, %zu spans)\n", path.c_str(),
+                events.as_array().size(), spans);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracecat: %s invalid: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  }
+}
+
+int run(const util::Flags& flags) {
+  if (flags.get_bool("help", false)) {
+    print_usage(flags.program().c_str());
+    return 0;
+  }
+  const std::string validate_path = flags.get_string("validate", "");
+  const std::string ports_list = flags.get_string("ports", "");
+  const std::size_t top =
+      static_cast<std::size_t>(flags.get_int("top", 10));
+  const std::string out_path = flags.get_string("out", "");
+  const bool drain = flags.get_bool("drain", false);
+  const double timeout = flags.get_double("timeout", 5.0);
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "tracecat: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+  if (!validate_path.empty()) return validate_file(validate_path);
+
+  const std::vector<std::uint16_t> ports = parse_ports(ports_list);
+  const node::ScrapeResult scraped =
+      node::scrape_traces(ports, drain, timeout);
+  for (const std::string& error : scraped.errors) {
+    std::fprintf(stderr, "tracecat: scrape failed: %s\n", error.c_str());
+  }
+
+  const std::vector<obs::TraceTree> traces =
+      obs::stitch_traces(scraped.spans);
+  std::printf("scraped %zu spans from %zu/%zu nodes\n",
+              scraped.spans.size(), scraped.nodes_scraped, ports.size());
+  std::printf("%s", obs::slowest_report(traces, top).c_str());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "tracecat: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << obs::to_chrome_trace(traces);
+    std::printf("wrote %s (%zu traces)\n", out_path.c_str(), traces.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cachecloud
+
+int main(int argc, char** argv) {
+  try {
+    const cachecloud::util::Flags flags(argc, argv);
+    return cachecloud::run(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracecat: %s\n", e.what());
+    return 2;
+  }
+}
