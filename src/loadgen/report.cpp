@@ -235,6 +235,54 @@ std::string render_report(const Plan& plan, const RunResult& result) {
     doc.close_object();
   }
 
+  // Profiling extras appear only when the run scraped an enabled profiler
+  // (--profile), so unprofiled reports stay byte-identical to the
+  // pre-profiling schema.
+  if (result.contention.enabled) {
+    const obs::ContentionSummary& cont = result.contention;
+    doc.open_object("contention");
+    doc.field("total_wait_sec", num(cont.total_wait_sec));
+    doc.open_array("locks");
+    for (const obs::LockSummary& lock : cont.locks) {
+      doc.open_array_element();
+      doc.str("node", lock.node);
+      doc.str("lock", lock.lock);
+      doc.field("acquisitions", num(lock.acquisitions));
+      doc.field("contended", num(lock.contended));
+      doc.field("wait_total_sec", num(lock.wait_total_sec));
+      doc.field("wait_share", num(lock.wait_share));
+      doc.field("wait_p99_sec", num(lock.wait_p99_sec));
+      doc.field("hold_total_sec", num(lock.hold_total_sec));
+      doc.field("hold_p99_sec", num(lock.hold_p99_sec));
+      doc.close_object();
+    }
+    doc.close_array();
+    doc.open_array("workers");
+    for (const obs::WorkerSummary& worker : cont.workers) {
+      doc.open_array_element();
+      doc.str("node", worker.node);
+      doc.field("busy_sec", num(worker.busy_sec));
+      doc.field("read_wait_sec", num(worker.read_wait_sec));
+      doc.field("utilization", num(worker.utilization));
+      doc.field("conn_threads", num(worker.conn_threads));
+      doc.field("conn_threads_peak", num(worker.conn_threads_peak));
+      doc.close_object();
+    }
+    doc.close_array();
+    doc.open_array("io");
+    for (const obs::IoSummary& io : cont.io) {
+      doc.open_array_element();
+      doc.str("node", io.node);
+      doc.field("recv_syscalls", num(io.recv_syscalls));
+      doc.field("send_syscalls", num(io.send_syscalls));
+      doc.field("recv_bytes", num(io.recv_bytes));
+      doc.field("send_bytes", num(io.send_bytes));
+      doc.close_object();
+    }
+    doc.close_array();
+    doc.close_object();
+  }
+
   doc.close_object();
   std::string out = doc.take();
   out += '\n';

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "loadgen/plan.hpp"
+#include "obs/profile.hpp"
 
 namespace cachecloud::loadgen {
 
@@ -133,6 +134,10 @@ struct RunResult {
   std::vector<NodeStats> nodes;
   Reconciliation reconciliation;
   RampSummary ramp;
+  // Contention profile, filled by the driver's --profile post-run scrape
+  // (ProfileDumpReq against every node); enabled=false leaves the report
+  // without a contention section.
+  obs::ContentionSummary contention;
 };
 
 class Runner {

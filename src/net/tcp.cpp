@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -43,13 +44,18 @@ std::size_t Frame::wire_bytes() const noexcept {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_), io_(other.io_) {
+  other.fd_ = -1;
+  other.io_ = nullptr;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    io_ = other.io_;
     other.fd_ = -1;
+    other.io_ = nullptr;
   }
   return *this;
 }
@@ -69,6 +75,7 @@ void Socket::send_all(const void* data, std::size_t len) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
+    if (io_) io_->on_send(static_cast<std::size_t>(n));
     p += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -87,6 +94,7 @@ bool Socket::recv_all(void* data, std::size_t len) {
       if (got == 0) return false;  // clean EOF at a boundary
       throw NetError("connection closed mid-message");
     }
+    if (io_) io_->on_recv(static_cast<std::size_t>(n));
     got += static_cast<std::size_t>(n);
   }
   return true;
@@ -293,12 +301,21 @@ Socket connect_local(std::uint16_t port, double timeout_sec,
 // ----------------------------------------------------------- TcpServer
 
 TcpServer::TcpServer(std::uint16_t port, Handler handler,
-                     FrameObserver* observer, FaultInjector* faults)
+                     FrameObserver* observer, FaultInjector* faults,
+                     obs::Registry* registry)
     : listener_(port),
       handler_(std::move(handler)),
       observer_(observer),
       faults_(faults) {
   if (!handler_) throw std::invalid_argument("TcpServer: null handler");
+  if (registry) {
+    // Bind before the accept thread starts so connection threads see fully
+    // constructed instruments without further synchronization.
+    worker_profile_.bind(*registry);
+    io_profile_.bind(*registry, "server");
+    workers_mutex_.bind(*registry, "workers_mutex_");
+    conns_mutex_.bind(*registry, "conns_mutex_");
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -311,12 +328,12 @@ void TcpServer::stop() {
   {
     // Kick connection threads out of blocking reads. fds are deregistered
     // before they are closed, so no recycled descriptor can appear here.
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const obs::TimedLock lock(conns_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    const obs::TimedLock lock(workers_mutex_);
     workers.swap(workers_);
   }
   for (auto& w : workers) {
@@ -333,7 +350,7 @@ void TcpServer::accept_loop() {
       break;
     }
     if (!socket.valid()) break;
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    const obs::TimedLock lock(workers_mutex_);
     workers_.emplace_back(
         [this, s = std::move(socket)]() mutable { serve(std::move(s)); });
   }
@@ -341,12 +358,27 @@ void TcpServer::accept_loop() {
 
 void TcpServer::serve(Socket socket) {
   {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const obs::TimedLock lock(conns_mutex_);
     conn_fds_.push_back(socket.fd());
   }
+  worker_profile_.conn_opened();
+  socket.set_io_profile(&io_profile_);
+  using ProfClock = std::chrono::steady_clock;
   try {
     while (!stopping_.load()) {
+      // Thread profiling splits each iteration into blocked-in-read (the
+      // wait for the next request) and busy (handle + reply write).
+      const bool timing =
+          worker_profile_.bound() && obs::profiling_enabled();
+      const auto read_start = timing ? ProfClock::now() : ProfClock::time_point{};
       std::optional<Frame> request = socket.read_frame();
+      const auto read_end = timing ? ProfClock::now() : ProfClock::time_point{};
+      if (timing) {
+        worker_profile_.add_read_wait_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(read_end -
+                                                                 read_start)
+                .count()));
+      }
       if (!request) break;  // peer closed
       if (observer_) observer_->on_frame(*request, /*inbound=*/true);
       Frame reply = handler_(*request);
@@ -365,12 +397,19 @@ void TcpServer::serve(Socket socket) {
       }
       if (observer_) observer_->on_frame(reply, /*inbound=*/false);
       socket.write_frame(reply);
+      if (timing) {
+        worker_profile_.add_busy_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                ProfClock::now() - read_end)
+                .count()));
+      }
     }
   } catch (const std::exception&) {
     // Connection-level failure (bad frame, handler error, reset): drop the
     // connection; the server keeps running.
   }
-  const std::lock_guard<std::mutex> lock(conns_mutex_);
+  worker_profile_.conn_closed();
+  const obs::TimedLock lock(conns_mutex_);
   std::erase(conn_fds_, socket.fd());
   // Socket closes after deregistration, so stop() never touches a
   // recycled descriptor.
@@ -379,11 +418,18 @@ void TcpServer::serve(Socket socket) {
 // ----------------------------------------------------------- TcpClient
 
 TcpClient::TcpClient(std::uint16_t port, double timeout_sec,
-                     FrameObserver* observer, FaultInjector* faults)
+                     FrameObserver* observer, FaultInjector* faults,
+                     obs::Registry* registry)
     : port_(port),
       socket_(connect_local(port, timeout_sec, faults)),
       observer_(observer),
-      faults_(faults) {}
+      faults_(faults) {
+  if (registry) {
+    mutex_.bind(*registry, "client_mutex_");
+    io_profile_.bind(*registry, "client");
+    socket_.set_io_profile(&io_profile_);
+  }
+}
 
 Frame TcpClient::call(const Frame& request) {
   Frame reply;
@@ -392,7 +438,7 @@ Frame TcpClient::call(const Frame& request) {
 }
 
 void TcpClient::call_into(const Frame& request, Frame& reply) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const obs::TimedLock lock(mutex_);
   if (faults_) {
     switch (faults_->on_frame(port_)) {
       case FaultInjector::Action::Deliver:

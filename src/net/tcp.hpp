@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace cachecloud::net {
 
 class FaultInjector;
@@ -94,6 +96,11 @@ class Socket {
   // Receive timeout for subsequent reads (0 = no timeout).
   void set_recv_timeout(double seconds);
 
+  // Resource profiling: every subsequent send/recv syscall is reported to
+  // `profile` (bytes moved, one call per syscall) while obs profiling is
+  // on. Not owned; must outlive the socket. nullptr detaches.
+  void set_io_profile(obs::IoProfile* profile) noexcept { io_ = profile; }
+
   void close() noexcept;
 
  private:
@@ -102,6 +109,7 @@ class Socket {
   bool recv_all(void* data, std::size_t len);
 
   int fd_ = -1;
+  obs::IoProfile* io_ = nullptr;
 };
 
 // Listening socket on 127.0.0.1. Port 0 picks an ephemeral port.
@@ -145,10 +153,16 @@ class TcpServer {
   // optional observer sees every request (inbound) and reply (outbound)
   // frame and must outlive the server. The optional fault injector rolls
   // against this server's listening port before each reply is written: an
-  // injected drop or reset closes the connection without replying.
+  // injected drop or reset closes the connection without replying. The
+  // optional registry (must outlive the server) attaches the contention &
+  // resource profiler: the internal mutexes, the worker busy/read-wait
+  // accounting, the connection-thread gauges and the per-syscall IO
+  // counters all register under it (samples accumulate only while
+  // obs::profiling_enabled(), except the connection gauges).
   TcpServer(std::uint16_t port, Handler handler,
             FrameObserver* observer = nullptr,
-            FaultInjector* faults = nullptr);
+            FaultInjector* faults = nullptr,
+            obs::Registry* registry = nullptr);
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -166,11 +180,15 @@ class TcpServer {
   Handler handler_;
   FrameObserver* observer_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  // Profiler state; bound to the optional registry before accept_thread_
+  // starts, inert (plain mutexes, no counters) otherwise.
+  obs::WorkerProfile worker_profile_;
+  obs::IoProfile io_profile_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
+  obs::TimedMutex workers_mutex_;
   std::vector<std::thread> workers_;
-  std::mutex conns_mutex_;
+  obs::TimedMutex conns_mutex_;
   std::vector<int> conn_fds_;  // live connection fds, for shutdown on stop
 };
 
@@ -181,10 +199,14 @@ class TcpClient {
   // The optional observer sees every request (outbound) and reply
   // (inbound) frame and must outlive the client. The optional fault
   // injector may refuse the connect, delay, drop or reset individual
-  // calls; every injected disruption surfaces as a NetError.
+  // calls; every injected disruption surfaces as a NetError. The optional
+  // registry (must outlive the client) attaches the contention profiler to
+  // the call mutex and the per-syscall IO counters; clients sharing a
+  // registry aggregate into the same instruments.
   explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0,
                      FrameObserver* observer = nullptr,
-                     FaultInjector* faults = nullptr);
+                     FaultInjector* faults = nullptr,
+                     obs::Registry* registry = nullptr);
 
   [[nodiscard]] Frame call(const Frame& request);
 
@@ -195,7 +217,8 @@ class TcpClient {
   void call_into(const Frame& request, Frame& reply);
 
  private:
-  std::mutex mutex_;
+  obs::TimedMutex mutex_;
+  obs::IoProfile io_profile_;
   std::uint16_t port_ = 0;
   Socket socket_;
   FrameObserver* observer_ = nullptr;

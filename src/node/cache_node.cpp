@@ -131,9 +131,14 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   retry_ = std::make_unique<RetryPolicy>(
       config_.retry, util::hash_combine(0xC0FFEEULL, id_));
 
+  // Attach the contention profiler before the server's threads exist, so
+  // every thread that can touch these mutexes sees bound instruments.
+  state_mutex_.bind(registry_, "state_mutex_");
+  peers_mutex_.bind(registry_, "peers_mutex_");
+
   server_ = std::make_unique<net::TcpServer>(
       0, [this](const net::Frame& f) { return handle(f); }, &wire_metrics_,
-      config_.fault_injector);
+      config_.fault_injector, &registry_);
 }
 
 CacheNode::~CacheNode() { stop(); }
@@ -143,7 +148,7 @@ void CacheNode::stop() {
 }
 
 void CacheNode::set_endpoints(const Endpoints& endpoints) {
-  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  const obs::TimedLock lock(peers_mutex_);
   if (endpoints.cache_ports.size() != config_.num_caches) {
     throw std::invalid_argument("CacheNode: endpoint table size mismatch");
   }
@@ -179,14 +184,14 @@ CacheNode::PeerState& CacheNode::peer_state_locked(NodeId peer) {
 }
 
 std::shared_ptr<CircuitBreaker> CacheNode::breaker_for(NodeId peer) {
-  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  const obs::TimedLock lock(peers_mutex_);
   return peer_state_locked(peer).breaker;
 }
 
 net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
   std::shared_ptr<net::TcpClient> client;
   {
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    const obs::TimedLock lock(peers_mutex_);
     if (!endpoints_set_) {
       throw net::NetError("CacheNode: endpoints not configured");
     }
@@ -197,7 +202,7 @@ net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
                                      : endpoints_.cache_ports.at(peer);
       state.client = std::make_shared<net::TcpClient>(
           port, config_.retry.attempt_timeout_sec, &wire_metrics_,
-          config_.fault_injector);
+          config_.fault_injector, &registry_);
     }
     client = state.client;
   }
@@ -207,7 +212,7 @@ net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
     // Drop the pooled connection so the next attempt reconnects; only if
     // it is still the one we used (a concurrent failure may already have
     // replaced it). In-flight calls hold their own shared_ptr.
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    const obs::TimedLock lock(peers_mutex_);
     const auto it = peers_.find(peer);
     if (it != peers_.end() && it->second.client == client) {
       it->second.client.reset();
@@ -217,7 +222,7 @@ net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
 }
 
 bool CacheNode::note_peer_failure(NodeId peer) {
-  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  const obs::TimedLock lock(peers_mutex_);
   PeerState& state = peer_state_locked(peer);
   state.state_gauge->set(breaker_state_value(state.breaker->state()));
   const std::uint64_t trips = state.breaker->trips();
@@ -321,7 +326,7 @@ bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
   std::vector<std::string> evicted_urls;
   bool stored = false;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     cache::PutResult put = store_.put(doc, body.size(), version, now());
     stored = put.stored;
     if (stored) bodies_[url] = body;
@@ -375,7 +380,7 @@ CacheNode::GetResult CacheNode::get_impl(const std::string& url,
   const RingView::Target target = rings_.resolve(url);
   trace::DocId doc;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     ++counters_.gets;
     doc = intern(url);
     access_monitors_
@@ -459,7 +464,7 @@ CacheNode::GetResult CacheNode::get_impl(const std::string& url,
   inst_.phase_fetch->observe(fetch_sec);
 
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     if (result.source == GetResult::Source::Cloud) {
       ++counters_.cloud_hits;
     } else {
@@ -473,7 +478,7 @@ CacheNode::GetResult CacheNode::get_impl(const std::string& url,
   // Placement decision for the fetched copy.
   bool want_store;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     const core::PlacementContext ctx =
         make_context(url, doc, copies, target.beacon == id_, at);
     want_store = placement_->store_at_requester(ctx);
@@ -556,6 +561,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
     case MsgType::ClientGetReq: return handle_client_get(request);
     case MsgType::StatsReq: return handle_stats(request);
     case MsgType::TraceDumpReq: return handle_trace_dump(request);
+    case MsgType::ProfileDumpReq: return handle_profile_dump(request);
     default: break;
   }
   // One span per hop, named after the message and linked to the sending
@@ -600,7 +606,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
 net::Frame CacheNode::handle_lookup(const net::Frame& request) {
   const LookupReq req = LookupReq::decode(request);
   const RingView::Target target = rings_.resolve(req.url);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   ++counters_.lookups_served;
   inst_.lookups_served->inc();
   record_beacon_load(target.ring, target.irh, 1.0);
@@ -617,7 +623,7 @@ net::Frame CacheNode::handle_lookup(const net::Frame& request) {
 
 net::Frame CacheNode::handle_register(const net::Frame& request) {
   const RegisterHolder req = RegisterHolder::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   DirectoryRecord& record = directory_[req.url];
   record.version = std::max(record.version, req.version);
   const auto it = std::lower_bound(record.holders.begin(),
@@ -630,7 +636,7 @@ net::Frame CacheNode::handle_register(const net::Frame& request) {
 
 net::Frame CacheNode::handle_deregister(const net::Frame& request) {
   const DeregisterHolder req = DeregisterHolder::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   const auto it = directory_.find(req.url);
   if (it != directory_.end()) {
     std::erase(it->second.holders, req.node);
@@ -641,7 +647,7 @@ net::Frame CacheNode::handle_deregister(const net::Frame& request) {
 
 net::Frame CacheNode::handle_fetch(const net::Frame& request) {
   const FetchReq req = FetchReq::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   FetchResp resp;
   const auto it = bodies_.find(req.url);
   if (it != bodies_.end()) {
@@ -664,7 +670,7 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request,
 
   std::vector<NodeId> holders;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     ++counters_.updates_served;
     inst_.updates_served->inc();
     const trace::DocId doc = intern(push.url);
@@ -701,7 +707,7 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request,
     }
   }
   if (!dropped.empty()) {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     const auto it = directory_.find(push.url);
     if (it != directory_.end()) {
       for (const NodeId node : dropped) std::erase(it->second.holders, node);
@@ -714,7 +720,7 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request,
 net::Frame CacheNode::handle_propagate(const net::Frame& request) {
   const UpdatePush push = UpdatePush::decode(request);
   const double at = now();
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   ++counters_.propagates_received;
   inst_.propagates_received->inc();
   const trace::DocId doc = intern(push.url);
@@ -766,7 +772,7 @@ net::Frame CacheNode::handle_propagate(const net::Frame& request) {
 
 net::Frame CacheNode::handle_load_query(const net::Frame& request) {
   (void)LoadQuery::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   LoadReport report;
   report.node = id_;
   report.capability = 1.0;
@@ -800,7 +806,7 @@ net::Frame CacheNode::handle_handoff_cmd(const net::Frame& request) {
 
   RecordHandoff handoff;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     for (auto it = directory_.begin(); it != directory_.end();) {
       const core::UrlHash hash = core::hash_url(it->first);
       const std::uint32_t ring = hash.ring(rings_.num_rings());
@@ -828,7 +834,7 @@ net::Frame CacheNode::handle_handoff_cmd(const net::Frame& request) {
 
 net::Frame CacheNode::handle_record_handoff(const net::Frame& request) {
   const RecordHandoff handoff = RecordHandoff::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   for (const HandoffRecord& record : handoff.records) {
     DirectoryRecord& mine = directory_[record.url];
     mine.version = std::max(mine.version, record.version);
@@ -845,7 +851,7 @@ net::Frame CacheNode::handle_record_handoff(const net::Frame& request) {
 
 net::Frame CacheNode::handle_replica_sync(const net::Frame& request) {
   const RecordHandoff sync = RecordHandoff::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   for (const HandoffRecord& record : sync.records) {
     DirectoryRecord replica;
     replica.version = record.version;
@@ -857,7 +863,7 @@ net::Frame CacheNode::handle_replica_sync(const net::Frame& request) {
 
 net::Frame CacheNode::handle_promote_replicas(const net::Frame& request) {
   const PromoteReplicas cmd = PromoteReplicas::decode(request);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   for (auto it = replica_directory_.begin();
        it != replica_directory_.end();) {
     const core::UrlHash hash = core::hash_url(it->first);
@@ -903,6 +909,15 @@ net::Frame CacheNode::handle_trace_dump(const net::Frame& request) {
   return resp.encode();
 }
 
+net::Frame CacheNode::handle_profile_dump(const net::Frame& request) {
+  (void)ProfileDumpReq::decode(request);
+  ProfileDumpResp resp;
+  resp.node = node_label_;
+  resp.enabled = obs::profiling_enabled();
+  resp.profile = obs::profile_snapshot(metrics_snapshot());
+  return resp.encode();
+}
+
 net::Frame CacheNode::handle_client_get(const net::Frame& request) {
   // The wire face of get(): external load drivers hit this instead of the
   // in-process API. Failures travel back as ClientGetResp{!ok} so a driver
@@ -941,7 +956,7 @@ void CacheNode::sync_replicas() {
   // Snapshot my records per ring under the lock, then ship without it.
   std::unordered_map<std::uint32_t, RecordHandoff> per_ring;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     for (const auto& [url, record] : directory_) {
       const core::UrlHash hash = core::hash_url(url);
       HandoffRecord entry;
@@ -974,41 +989,41 @@ void CacheNode::sync_replicas() {
 // ------------------------------------------------------- introspection
 
 std::size_t CacheNode::cached_docs() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return store_.doc_count();
 }
 
 bool CacheNode::has_cached(const std::string& url) const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return bodies_.count(url) > 0;
 }
 
 std::size_t CacheNode::directory_records() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return directory_.size();
 }
 
 std::size_t CacheNode::replica_records() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return replica_directory_.size();
 }
 
 CacheNode::Counters CacheNode::counters() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return counters_;
 }
 
 obs::Snapshot CacheNode::metrics_snapshot() const {
   // Gauges reflect the state at scrape time.
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     inst_.cached_docs->set(static_cast<double>(store_.doc_count()));
     inst_.directory_records->set(static_cast<double>(directory_.size()));
     inst_.replica_records->set(
         static_cast<double>(replica_directory_.size()));
   }
   {
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    const obs::TimedLock lock(peers_mutex_);
     for (const auto& [peer, state] : peers_) {
       state.state_gauge->set(breaker_state_value(state.breaker->state()));
     }

@@ -23,6 +23,7 @@
 #include "node/resilience.hpp"
 #include "node/ring_view.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 #include "util/rate.hpp"
@@ -155,6 +156,7 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_promote_replicas(const net::Frame& request);
   [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
   [[nodiscard]] net::Frame handle_trace_dump(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_profile_dump(const net::Frame& request);
   [[nodiscard]] net::Frame handle_client_get(const net::Frame& request);
   // The body of get() under an already-open root span.
   [[nodiscard]] GetResult get_impl(const std::string& url, obs::Span& span);
@@ -186,7 +188,12 @@ class CacheNode {
   const NodeConfig config_;
   const std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex state_mutex_;
+  // The node's one big lock: it guards the DocumentStore and everything
+  // else below down to counters_. Profiled (bound to registry_ as
+  // "state_mutex_" in the constructor) because it serializes the whole
+  // hot path — quantifying its wait time is what motivates the sharded
+  // rewrite (ROADMAP items 1-2).
+  mutable obs::TimedMutex state_mutex_;
   cache::DocumentStore store_;
   std::unordered_map<std::string, std::vector<std::uint8_t>> bodies_;
   std::unordered_map<std::string, DirectoryRecord> directory_;
@@ -263,7 +270,7 @@ class CacheNode {
   [[nodiscard]] bool note_peer_failure(NodeId peer);
   void report_suspect(NodeId peer);
 
-  mutable std::mutex peers_mutex_;
+  mutable obs::TimedMutex peers_mutex_;
   Endpoints endpoints_;
   bool endpoints_set_ = false;
   std::unordered_map<NodeId, PeerState> peers_;

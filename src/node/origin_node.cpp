@@ -54,9 +54,13 @@ OriginNode::OriginNode(const NodeConfig& config)
   inst_.documents = &registry_.gauge(
       "cachecloud_origin_documents",
       "Documents registered at the origin");
+  // Contention profiler: bound before the server threads start.
+  state_mutex_.bind(registry_, "state_mutex_");
+  failover_mutex_.bind(registry_, "failover_mutex_");
+  peers_mutex_.bind(registry_, "peers_mutex_");
   server_ = std::make_unique<net::TcpServer>(
       0, [this](const net::Frame& f) { return handle(f); },
-      &wire_metrics_, config_.fault_injector);
+      &wire_metrics_, config_.fault_injector, &registry_);
 }
 
 OriginNode::~OriginNode() { stop(); }
@@ -66,7 +70,7 @@ void OriginNode::stop() {
 }
 
 void OriginNode::set_endpoints(const Endpoints& endpoints) {
-  const std::lock_guard<std::mutex> lock(peers_mutex_);
+  const obs::TimedLock lock(peers_mutex_);
   if (endpoints.cache_ports.size() != config_.num_caches) {
     throw std::invalid_argument("OriginNode: endpoint table size mismatch");
   }
@@ -79,7 +83,7 @@ net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
   std::shared_ptr<net::TcpClient> client;
   try {
     {
-      const std::lock_guard<std::mutex> lock(peers_mutex_);
+      const obs::TimedLock lock(peers_mutex_);
       if (!endpoints_set_) {
         throw net::NetError("OriginNode: endpoints not configured");
       }
@@ -87,7 +91,7 @@ net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
       if (!slot) {
         slot = std::make_shared<net::TcpClient>(
             endpoints_.cache_ports.at(node), 5.0, &wire_metrics_,
-            config_.fault_injector);
+            config_.fault_injector, &registry_);
       }
       client = slot;
     }
@@ -96,7 +100,7 @@ net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
     inst_.peer_call_failures->inc();
     // Drop the pooled connection (only if still ours) so the next call
     // reconnects; in-flight users hold their own reference.
-    const std::lock_guard<std::mutex> lock(peers_mutex_);
+    const obs::TimedLock lock(peers_mutex_);
     const auto it = peers_.find(node);
     if (it != peers_.end() && it->second == client) peers_.erase(it);
     throw;
@@ -117,7 +121,7 @@ std::vector<std::uint8_t> OriginNode::make_body(const std::string& url,
 }
 
 void OriginNode::add_document(const std::string& url, std::size_t size) {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   Document doc;
   doc.version = 1;
   doc.size = size;
@@ -126,7 +130,7 @@ void OriginNode::add_document(const std::string& url, std::size_t size) {
 }
 
 std::uint64_t OriginNode::version_of(const std::string& url) const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   const auto it = documents_.find(url);
   if (it == documents_.end()) {
     throw std::invalid_argument("OriginNode: unknown document " + url);
@@ -146,7 +150,7 @@ std::uint64_t OriginNode::publish_update(const std::string& url,
   std::uint64_t version;
   std::size_t size;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const obs::TimedLock lock(state_mutex_);
     const auto it = documents_.find(url);
     if (it == documents_.end()) {
       throw std::invalid_argument("OriginNode: unknown document " + url);
@@ -311,7 +315,7 @@ void OriginNode::announce_to(NodeId node, const RangeAnnounce& announce) {
 }
 
 std::size_t OriginNode::retry_pending_announces() {
-  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  const obs::TimedLock lock(failover_mutex_);
   if (pending_announce_.empty()) return 0;
   const RangeAnnounce current = rings_.snapshot();
   const std::vector<NodeId> pending(pending_announce_.begin(),
@@ -326,12 +330,12 @@ std::size_t OriginNode::retry_pending_announces() {
 }
 
 bool OriginNode::node_failed(NodeId node) const {
-  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  const obs::TimedLock lock(failover_mutex_);
   return failed_nodes_.contains(node);
 }
 
 OriginNode::FailoverSummary OriginNode::handle_node_failure(NodeId failed) {
-  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  const obs::TimedLock lock(failover_mutex_);
   inst_.failovers_operator->inc();
   return handle_node_failure_locked(failed);
 }
@@ -405,14 +409,14 @@ OriginNode::FailoverSummary OriginNode::handle_node_failure_locked(
 }
 
 std::uint64_t OriginNode::origin_fetches() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const obs::TimedLock lock(state_mutex_);
   return origin_fetches_;
 }
 
 net::Frame OriginNode::handle_suspect(const net::Frame& request) {
   const SuspectNode report = SuspectNode::decode(request);
   inst_.suspects_received->inc();
-  const std::lock_guard<std::mutex> lock(failover_mutex_);
+  const obs::TimedLock lock(failover_mutex_);
   if (failed_nodes_.contains(report.node)) {
     return Ack{}.encode();  // already failed over — idempotent
   }
@@ -451,6 +455,14 @@ net::Frame OriginNode::handle(const net::Frame& request) {
       }
       return resp.encode();
     }
+    case MsgType::ProfileDumpReq: {
+      (void)ProfileDumpReq::decode(request);
+      ProfileDumpResp resp;
+      resp.node = "origin";
+      resp.enabled = obs::profiling_enabled();
+      resp.profile = obs::profile_snapshot(metrics_snapshot());
+      return resp.encode();
+    }
     case MsgType::ClientPublishReq: {
       // Wire face of publish_update() for external update drivers.
       // Failures (unknown document, unreachable beacon) travel back as
@@ -482,7 +494,7 @@ net::Frame OriginNode::handle(const net::Frame& request) {
     switch (static_cast<MsgType>(request.type)) {
       case MsgType::FetchReq: {
         const FetchReq req = FetchReq::decode(request);
-        const std::lock_guard<std::mutex> lock(state_mutex_);
+        const obs::TimedLock lock(state_mutex_);
         FetchResp resp;
         const auto it = documents_.find(req.url);
         if (it != documents_.end()) {

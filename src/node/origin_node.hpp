@@ -21,6 +21,7 @@
 #include "node/protocol.hpp"
 #include "node/ring_view.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 
@@ -117,7 +118,7 @@ class OriginNode {
   void announce_to(NodeId node, const RangeAnnounce& announce);
 
   const NodeConfig config_;
-  mutable std::mutex state_mutex_;
+  mutable obs::TimedMutex state_mutex_;
   std::unordered_map<std::string, Document> documents_;
   std::uint64_t origin_fetches_ = 0;
 
@@ -145,11 +146,11 @@ class OriginNode {
 
   // Serializes failovers (operator calls and concurrent SuspectNode
   // handler threads) and guards the failed/pending bookkeeping.
-  mutable std::mutex failover_mutex_;
+  mutable obs::TimedMutex failover_mutex_;
   std::unordered_set<NodeId> failed_nodes_;
   std::unordered_set<NodeId> pending_announce_;
 
-  std::mutex peers_mutex_;
+  obs::TimedMutex peers_mutex_;
   Endpoints endpoints_;
   bool endpoints_set_ = false;
   // shared_ptr: a call in flight survives a concurrent connection drop.

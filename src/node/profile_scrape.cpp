@@ -1,0 +1,43 @@
+#include "node/profile_scrape.hpp"
+
+#include <utility>
+
+#include "net/tcp.hpp"
+#include "node/protocol.hpp"
+
+namespace cachecloud::node {
+
+ProfileScrapeResult scrape_profiles(const std::vector<std::uint16_t>& ports,
+                                    double timeout_sec) {
+  ProfileScrapeResult result;
+  const net::Frame request = ProfileDumpReq{}.encode();
+  for (const std::uint16_t port : ports) {
+    try {
+      net::TcpClient client(port, timeout_sec);
+      ProfileDumpResp resp = ProfileDumpResp::decode(client.call(request));
+      ++result.nodes_scraped;
+      NodeProfile node;
+      node.node = std::move(resp.node);
+      node.enabled = resp.enabled;
+      node.profile = std::move(resp.profile);
+      result.nodes.push_back(std::move(node));
+    } catch (const std::exception& e) {
+      result.errors.push_back("port " + std::to_string(port) + ": " +
+                              e.what());
+    }
+  }
+  return result;
+}
+
+obs::ContentionSummary summarize_profiles(const ProfileScrapeResult& scrape,
+                                          std::size_t top_k) {
+  obs::ContentionSummary summary;
+  for (const NodeProfile& node : scrape.nodes) {
+    if (node.enabled) summary.enabled = true;
+    obs::append_contention(node.node, node.profile, summary);
+  }
+  obs::finalize_contention(summary, top_k);
+  return summary;
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,39 @@
+// Client side of the ProfileDump wire scrape: collect the contention &
+// resource profiles of a set of live nodes (cache and origin ports alike)
+// and fold them into one obs::ContentionSummary. Shared by
+// cachecloud_profcat and the load generator's --profile post-run report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace cachecloud::node {
+
+struct NodeProfile {
+  std::string node;       // the node's own label ("cache-3", "origin")
+  bool enabled = false;   // profiling switch state when scraped
+  obs::Snapshot profile;  // the profiler's slice of the registry
+};
+
+struct ProfileScrapeResult {
+  std::vector<NodeProfile> nodes;
+  // One human-readable line per node that could not be scraped (connect
+  // failure, timeout, decode error); the scrape itself never throws.
+  std::vector<std::string> errors;
+  std::size_t nodes_scraped = 0;
+};
+
+// Scrapes every port via ProfileDumpReq. `timeout_sec` bounds each
+// connection and call.
+[[nodiscard]] ProfileScrapeResult scrape_profiles(
+    const std::vector<std::uint16_t>& ports, double timeout_sec = 5.0);
+
+// Folds all scraped nodes into a finalized contention summary keeping the
+// top_k locks by total wait (0 = keep all).
+[[nodiscard]] obs::ContentionSummary summarize_profiles(
+    const ProfileScrapeResult& scrape, std::size_t top_k = 10);
+
+}  // namespace cachecloud::node

@@ -41,6 +41,8 @@ std::string_view msg_type_name(std::uint16_t type) noexcept {
     case MsgType::ClientPublishResp: return "ClientPublishResp";
     case MsgType::TraceDumpReq: return "TraceDumpReq";
     case MsgType::TraceDumpResp: return "TraceDumpResp";
+    case MsgType::ProfileDumpReq: return "ProfileDumpReq";
+    case MsgType::ProfileDumpResp: return "ProfileDumpResp";
   }
   return "Unknown";
 }
@@ -494,10 +496,9 @@ obs::Labels read_labels(net::BufferReader& r) {
   return labels;
 }
 
-}  // namespace
-
-net::Frame StatsResp::encode() const {
-  net::BufferWriter w;
+// Snapshot wire codec, shared by StatsResp (full registry) and
+// ProfileDumpResp (the profiler's slice of it).
+void write_snapshot(net::BufferWriter& w, const obs::Snapshot& snapshot) {
   w.u32(static_cast<std::uint32_t>(snapshot.samples.size()));
   for (const obs::SampleSnapshot& s : snapshot.samples) {
     w.str(s.name);
@@ -527,15 +528,12 @@ net::Frame StatsResp::encode() const {
     w.f64(h.sum);
     w.u64(h.count);
   }
-  return make_frame(MsgType::StatsResp, std::move(w));
 }
 
-StatsResp StatsResp::decode(const net::Frame& frame) {
-  expect_type(frame, MsgType::StatsResp);
-  net::BufferReader r(frame.payload);
-  StatsResp msg;
+obs::Snapshot read_snapshot(net::BufferReader& r) {
+  obs::Snapshot snapshot;
   const std::uint32_t nsamples = r.u32();
-  msg.snapshot.samples.reserve(nsamples);
+  snapshot.samples.reserve(nsamples);
   for (std::uint32_t i = 0; i < nsamples; ++i) {
     obs::SampleSnapshot s;
     s.name = r.str();
@@ -543,10 +541,10 @@ StatsResp StatsResp::decode(const net::Frame& frame) {
     s.kind = static_cast<obs::MetricKind>(r.u8());
     s.labels = read_labels(r);
     s.value = r.f64();
-    msg.snapshot.samples.push_back(std::move(s));
+    snapshot.samples.push_back(std::move(s));
   }
   const std::uint32_t nhists = r.u32();
-  msg.snapshot.histograms.reserve(nhists);
+  snapshot.histograms.reserve(nhists);
   for (std::uint32_t i = 0; i < nhists; ++i) {
     obs::HistogramSnapshot h;
     h.name = r.str();
@@ -568,8 +566,24 @@ StatsResp StatsResp::decode(const net::Frame& frame) {
     }
     h.sum = r.f64();
     h.count = r.u64();
-    msg.snapshot.histograms.push_back(std::move(h));
+    snapshot.histograms.push_back(std::move(h));
   }
+  return snapshot;
+}
+
+}  // namespace
+
+net::Frame StatsResp::encode() const {
+  net::BufferWriter w;
+  write_snapshot(w, snapshot);
+  return make_frame(MsgType::StatsResp, std::move(w));
+}
+
+StatsResp StatsResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::StatsResp);
+  net::BufferReader r(frame.payload);
+  StatsResp msg;
+  msg.snapshot = read_snapshot(r);
   r.expect_end();
   return msg;
 }
@@ -637,6 +651,36 @@ TraceDumpResp TraceDumpResp::decode(const net::Frame& frame) {
     }
     msg.spans.push_back(std::move(span));
   }
+  r.expect_end();
+  return msg;
+}
+
+net::Frame ProfileDumpReq::encode() const {
+  return make_frame(MsgType::ProfileDumpReq, net::BufferWriter{});
+}
+
+ProfileDumpReq ProfileDumpReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ProfileDumpReq);
+  net::BufferReader r(frame.payload);
+  r.expect_end();
+  return ProfileDumpReq{};
+}
+
+net::Frame ProfileDumpResp::encode() const {
+  net::BufferWriter w;
+  w.str(node);
+  w.u8(enabled ? 1 : 0);
+  write_snapshot(w, profile);
+  return make_frame(MsgType::ProfileDumpResp, std::move(w));
+}
+
+ProfileDumpResp ProfileDumpResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::ProfileDumpResp);
+  net::BufferReader r(frame.payload);
+  ProfileDumpResp msg;
+  msg.node = r.str();
+  msg.enabled = r.u8() != 0;
+  msg.profile = read_snapshot(r);
   r.expect_end();
   return msg;
 }

@@ -70,6 +70,9 @@ enum class MsgType : std::uint16_t {
   // Observability: scrape a live node's span store (distributed tracing).
   TraceDumpReq = 26,
   TraceDumpResp = 27,
+  // Observability: scrape a live node's contention/resource profile.
+  ProfileDumpReq = 28,
+  ProfileDumpResp = 29,
 };
 
 // Human-readable name of a wire message type ("LookupReq", ...); unknown
@@ -293,6 +296,24 @@ struct TraceDumpResp {
   static TraceDumpResp decode(const net::Frame& frame);
 };
 
+// Scrape a node's contention & resource profile (mirrors TraceDumpReq).
+struct ProfileDumpReq {
+  [[nodiscard]] net::Frame encode() const;
+  static ProfileDumpReq decode(const net::Frame& frame);
+};
+
+// The profiler's slice of the node's registry snapshot (lock wait/hold
+// histograms, worker time, IO counters) plus the node label and whether
+// profiling was enabled when scraped. Nodes with profiling off still
+// answer — enabled=false tells the scraper the counters are stale/empty.
+struct ProfileDumpResp {
+  std::string node;
+  bool enabled = false;
+  obs::Snapshot profile;
+  [[nodiscard]] net::Frame encode() const;
+  static ProfileDumpResp decode(const net::Frame& frame);
+};
+
 // net::FrameObserver that feeds per-MsgType message and byte counters:
 //
 //   cachecloud_net_messages_total{type="LookupReq",dir="rx"|"tx"}
@@ -313,7 +334,7 @@ class WireMetrics : public net::FrameObserver {
   };
   // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
   static constexpr std::size_t kMaxType =
-      static_cast<std::size_t>(MsgType::TraceDumpResp);
+      static_cast<std::size_t>(MsgType::ProfileDumpResp);
   std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 

@@ -254,11 +254,30 @@ std::string format_le(double bound) {
   return s;
 }
 
+// HELP text escaping per the Prometheus text format: backslash and line
+// feed only (unlike label values, double quotes stay literal). An
+// unescaped newline in help text would split the comment mid-line and
+// corrupt the whole scrape.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void header(std::ostringstream& out, std::string& last_name,
             const std::string& name, const std::string& help,
             MetricKind kind) {
   if (name == last_name) return;
-  out << "# HELP " << name << " " << help << "\n";
+  out << "# HELP " << name << " " << escape_help(help) << "\n";
   out << "# TYPE " << name << " " << kind_name(kind) << "\n";
   last_name = name;
 }

@@ -1,0 +1,371 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace cachecloud::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+constexpr const char* kLockAcquire = "cachecloud_lock_acquire_total";
+constexpr const char* kLockContended = "cachecloud_lock_contended_total";
+constexpr const char* kLockWait = "cachecloud_lock_wait_seconds";
+constexpr const char* kLockHold = "cachecloud_lock_hold_seconds";
+constexpr const char* kWorkerTime = "cachecloud_worker_time_ns_total";
+constexpr const char* kConnThreads = "cachecloud_conn_threads";
+constexpr const char* kConnThreadsPeak = "cachecloud_conn_threads_peak";
+constexpr const char* kIoSyscalls = "cachecloud_io_syscalls_total";
+constexpr const char* kIoBytes = "cachecloud_io_bytes_total";
+
+[[nodiscard]] double seconds_since(
+    std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end) noexcept {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+[[nodiscard]] const std::string* label_value(const Labels& labels,
+                                             const char* key) noexcept {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void set_profiling_enabled(bool on) noexcept {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() noexcept {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+std::vector<double> profile_time_bounds() {
+  // 100ns .. 1s, 5 buckets per decade: fine enough for a meaningful p99
+  // over lock waits, small enough to ship for every profiled lock.
+  return log_spaced_bounds(1e-7, 1.0, 5);
+}
+
+bool is_profile_metric(const std::string& name) noexcept {
+  return name == kLockAcquire || name == kLockContended ||
+         name == kLockWait || name == kLockHold || name == kWorkerTime ||
+         name == kConnThreads || name == kConnThreadsPeak ||
+         name == kIoSyscalls || name == kIoBytes;
+}
+
+Snapshot profile_snapshot(const Snapshot& full) {
+  Snapshot out;
+  for (const SampleSnapshot& s : full.samples) {
+    if (is_profile_metric(s.name)) out.samples.push_back(s);
+  }
+  for (const HistogramSnapshot& h : full.histograms) {
+    if (is_profile_metric(h.name)) out.histograms.push_back(h);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ TimedMutex
+
+void TimedMutex::bind(Registry& registry, const std::string& name) {
+  name_ = name;
+  const Labels labels{{"lock", name}};
+  acquisitions_ = &registry.counter(
+      kLockAcquire,
+      "Profiled-mutex acquisitions (counted while profiling is on)", labels);
+  contended_ = &registry.counter(
+      kLockContended,
+      "Profiled-mutex acquisitions that had to wait (try_lock failed)",
+      labels);
+  wait_ = &registry.histogram(
+      kLockWait, "Time blocked acquiring a profiled mutex (contended only)",
+      profile_time_bounds(), labels);
+  hold_ = &registry.histogram(
+      kLockHold, "Time a profiled mutex was held, per acquisition",
+      profile_time_bounds(), labels);
+}
+
+void TimedMutex::lock() {
+  // Dormant (or unbound) fast path: no clock reads, no counters.
+  if (!profiling_enabled() || acquisitions_ == nullptr) {
+    mu_.lock();
+    return;
+  }
+  if (mu_.try_lock()) {
+    acquisitions_->inc();
+    locked_at_ = Clock::now();
+    timing_hold_ = true;
+    return;
+  }
+  contended_->inc();
+  const Clock::time_point wait_start = Clock::now();
+  mu_.lock();
+  const Clock::time_point acquired = Clock::now();
+  wait_->observe(seconds_since(wait_start, acquired));
+  acquisitions_->inc();
+  locked_at_ = acquired;
+  timing_hold_ = true;
+}
+
+bool TimedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  if (profiling_enabled() && acquisitions_ != nullptr) {
+    acquisitions_->inc();
+    locked_at_ = Clock::now();
+    timing_hold_ = true;
+  }
+  return true;
+}
+
+void TimedMutex::unlock() {
+  // timing_hold_ is false whenever the acquisition went through the
+  // dormant path, so toggling profiling mid-hold never records a torn
+  // sample.
+  if (timing_hold_) {
+    timing_hold_ = false;
+    hold_->observe(seconds_since(locked_at_, Clock::now()));
+  }
+  mu_.unlock();
+}
+
+// --------------------------------------------------------- WorkerProfile
+
+void WorkerProfile::bind(Registry& registry) {
+  busy_ns_ = &registry.counter(
+      kWorkerTime,
+      "Connection-worker wall time by state: busy (decode + handler + "
+      "reply write) vs read_wait (blocked reading the next request)",
+      {{"state", "busy"}});
+  read_wait_ns_ = &registry.counter(
+      kWorkerTime,
+      "Connection-worker wall time by state: busy (decode + handler + "
+      "reply write) vs read_wait (blocked reading the next request)",
+      {{"state", "read_wait"}});
+  live_ = &registry.gauge(kConnThreads,
+                          "Live connection-worker threads right now");
+  peak_ = &registry.gauge(kConnThreadsPeak,
+                          "Peak simultaneous connection-worker threads");
+}
+
+void WorkerProfile::add_busy_ns(std::uint64_t ns) noexcept {
+  if (busy_ns_ != nullptr) busy_ns_->inc(ns);
+}
+
+void WorkerProfile::add_read_wait_ns(std::uint64_t ns) noexcept {
+  if (read_wait_ns_ != nullptr) read_wait_ns_->inc(ns);
+}
+
+void WorkerProfile::conn_opened() noexcept {
+  if (live_ == nullptr) return;
+  const std::int64_t live =
+      live_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::int64_t peak = peak_count_.load(std::memory_order_relaxed);
+  while (live > peak && !peak_count_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  live_->set(static_cast<double>(live));
+  peak_->set(
+      static_cast<double>(peak_count_.load(std::memory_order_relaxed)));
+}
+
+void WorkerProfile::conn_closed() noexcept {
+  if (live_ == nullptr) return;
+  const std::int64_t live =
+      live_count_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  live_->set(static_cast<double>(live));
+}
+
+// ------------------------------------------------------------- IoProfile
+
+void IoProfile::bind(Registry& registry, const std::string& role) {
+  const auto counter = [&](const char* name, const char* help,
+                           const char* op) {
+    return &registry.counter(name, help, {{"op", op}, {"role", role}});
+  };
+  recv_syscalls_ = counter(kIoSyscalls,
+                           "Transport syscalls issued while profiling, by "
+                           "operation and endpoint role",
+                           "recv");
+  send_syscalls_ = counter(kIoSyscalls,
+                           "Transport syscalls issued while profiling, by "
+                           "operation and endpoint role",
+                           "send");
+  recv_bytes_ = counter(kIoBytes,
+                        "Bytes copied across the user/kernel boundary "
+                        "while profiling, by operation and endpoint role",
+                        "recv");
+  send_bytes_ = counter(kIoBytes,
+                        "Bytes copied across the user/kernel boundary "
+                        "while profiling, by operation and endpoint role",
+                        "send");
+}
+
+void IoProfile::on_recv(std::size_t bytes) noexcept {
+  if (recv_syscalls_ == nullptr || !profiling_enabled()) return;
+  recv_syscalls_->inc();
+  recv_bytes_->inc(bytes);
+}
+
+void IoProfile::on_send(std::size_t bytes) noexcept {
+  if (send_syscalls_ == nullptr || !profiling_enabled()) return;
+  send_syscalls_->inc();
+  send_bytes_->inc(bytes);
+}
+
+// ------------------------------------------------------------ summaries
+
+void append_contention(const std::string& node, const Snapshot& snapshot,
+                       ContentionSummary& out) {
+  // Locks: one LockSummary per distinct lock label in this snapshot.
+  const auto lock_entry = [&](const std::string& lock) -> LockSummary& {
+    for (LockSummary& entry : out.locks) {
+      if (entry.node == node && entry.lock == lock) return entry;
+    }
+    LockSummary entry;
+    entry.node = node;
+    entry.lock = lock;
+    out.locks.push_back(std::move(entry));
+    return out.locks.back();
+  };
+  for (const SampleSnapshot& s : snapshot.samples) {
+    if (s.name != kLockAcquire && s.name != kLockContended) continue;
+    const std::string* lock = label_value(s.labels, "lock");
+    if (lock == nullptr) continue;
+    LockSummary& entry = lock_entry(*lock);
+    if (s.name == kLockAcquire) {
+      entry.acquisitions += static_cast<std::uint64_t>(s.value);
+    } else {
+      entry.contended += static_cast<std::uint64_t>(s.value);
+    }
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name != kLockWait && h.name != kLockHold) continue;
+    const std::string* lock = label_value(h.labels, "lock");
+    if (lock == nullptr) continue;
+    LockSummary& entry = lock_entry(*lock);
+    if (h.name == kLockWait) {
+      entry.wait_total_sec += h.sum;
+      if (h.count > 0) entry.wait_p99_sec = h.percentile(99.0);
+    } else {
+      entry.hold_total_sec += h.sum;
+      if (h.count > 0) entry.hold_p99_sec = h.percentile(99.0);
+    }
+  }
+
+  // Workers: one row per node that exported worker counters.
+  const SampleSnapshot* busy =
+      snapshot.find(kWorkerTime, {{"state", "busy"}});
+  const SampleSnapshot* read_wait =
+      snapshot.find(kWorkerTime, {{"state", "read_wait"}});
+  if (busy != nullptr || read_wait != nullptr) {
+    WorkerSummary worker;
+    worker.node = node;
+    worker.busy_sec = (busy != nullptr ? busy->value : 0.0) * 1e-9;
+    worker.read_wait_sec =
+        (read_wait != nullptr ? read_wait->value : 0.0) * 1e-9;
+    const double total = worker.busy_sec + worker.read_wait_sec;
+    worker.utilization = total > 0.0 ? worker.busy_sec / total : 0.0;
+    if (const SampleSnapshot* live = snapshot.find(kConnThreads)) {
+      worker.conn_threads = live->value;
+    }
+    if (const SampleSnapshot* peak = snapshot.find(kConnThreadsPeak)) {
+      worker.conn_threads_peak = peak->value;
+    }
+    out.workers.push_back(std::move(worker));
+  }
+
+  // IO: sum across roles per node.
+  IoSummary io;
+  io.node = node;
+  bool any_io = false;
+  for (const SampleSnapshot& s : snapshot.samples) {
+    if (s.name != kIoSyscalls && s.name != kIoBytes) continue;
+    const std::string* op = label_value(s.labels, "op");
+    if (op == nullptr) continue;
+    any_io = true;
+    const auto value = static_cast<std::uint64_t>(s.value);
+    if (s.name == kIoSyscalls) {
+      (*op == "recv" ? io.recv_syscalls : io.send_syscalls) += value;
+    } else {
+      (*op == "recv" ? io.recv_bytes : io.send_bytes) += value;
+    }
+  }
+  if (any_io) out.io.push_back(std::move(io));
+}
+
+void finalize_contention(ContentionSummary& out, std::size_t top_k) {
+  out.total_wait_sec = 0.0;
+  for (const LockSummary& lock : out.locks) {
+    out.total_wait_sec += lock.wait_total_sec;
+  }
+  for (LockSummary& lock : out.locks) {
+    lock.wait_share = out.total_wait_sec > 0.0
+                          ? lock.wait_total_sec / out.total_wait_sec
+                          : 0.0;
+  }
+  std::stable_sort(out.locks.begin(), out.locks.end(),
+                   [](const LockSummary& a, const LockSummary& b) {
+                     return a.wait_total_sec > b.wait_total_sec;
+                   });
+  if (top_k > 0 && out.locks.size() > top_k) out.locks.resize(top_k);
+}
+
+std::string contention_table(const ContentionSummary& summary) {
+  std::string out;
+  char line[256];
+  if (!summary.enabled) {
+    return "profile: profiling was off on every scraped node\n";
+  }
+  out += "where the time goes (locks, by total wait):\n";
+  std::snprintf(line, sizeof(line), "  %-26s %10s %10s %12s %10s %12s %10s %7s\n",
+                "lock", "acquire", "contended", "wait_tot", "wait_p99",
+                "hold_tot", "hold_p99", "share");
+  out += line;
+  for (const LockSummary& lock : summary.locks) {
+    const std::string name = lock.node + "/" + lock.lock;
+    std::snprintf(line, sizeof(line),
+                  "  %-26s %10llu %10llu %10.3fms %8.3fms %10.3fms %8.3fms %6.1f%%\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(lock.acquisitions),
+                  static_cast<unsigned long long>(lock.contended),
+                  lock.wait_total_sec * 1e3, lock.wait_p99_sec * 1e3,
+                  lock.hold_total_sec * 1e3, lock.hold_p99_sec * 1e3,
+                  lock.wait_share * 100.0);
+    out += line;
+  }
+  if (!summary.workers.empty()) {
+    out += "workers:\n";
+    for (const WorkerSummary& worker : summary.workers) {
+      std::snprintf(line, sizeof(line),
+                    "  %-26s busy %8.3fs  read-wait %8.3fs  util %5.1f%%  "
+                    "conns %.0f (peak %.0f)\n",
+                    worker.node.c_str(), worker.busy_sec,
+                    worker.read_wait_sec, worker.utilization * 100.0,
+                    worker.conn_threads, worker.conn_threads_peak);
+      out += line;
+    }
+  }
+  if (!summary.io.empty()) {
+    out += "io:\n";
+    for (const IoSummary& io : summary.io) {
+      std::snprintf(line, sizeof(line),
+                    "  %-26s recv %llu calls / %.1f KiB  send %llu calls / "
+                    "%.1f KiB\n",
+                    io.node.c_str(),
+                    static_cast<unsigned long long>(io.recv_syscalls),
+                    static_cast<double>(io.recv_bytes) / 1024.0,
+                    static_cast<unsigned long long>(io.send_syscalls),
+                    static_cast<double>(io.send_bytes) / 1024.0);
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "total lock wait: %.3fms\n",
+                summary.total_wait_sec * 1e3);
+  out += line;
+  return out;
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,216 @@
+// In-process contention & resource profiler.
+//
+// Always compiled in, off by default: a process-wide switch
+// (set_profiling_enabled) gates every measurement, so dormant
+// instrumentation costs at most one relaxed atomic load per operation and
+// zero clock reads. Three collectors, all exporting through the ordinary
+// obs::Registry (Prometheus + JSON + StatsReq/ProfileDumpReq scrapes):
+//
+//   TimedMutex    drop-in std::mutex replacement with a lock name and
+//                 registry-backed wait/hold-time log-bucket histograms.
+//                 Contention is detected on a try_lock-first fast path:
+//                 an uncontended acquisition is one counter bump plus the
+//                 hold-time clock reads; a contended one additionally
+//                 times the wait.
+//   WorkerProfile per-worker busy / blocked-in-read nanosecond accounting
+//                 for thread-per-connection servers, plus live/peak
+//                 connection-thread gauges (the gauges are maintained even
+//                 while profiling is off — they are O(connection), not
+//                 O(request)).
+//   IoProfile     per-syscall and bytes-copied counters for the transport
+//                 read/write paths, labelled by endpoint role.
+//
+// The summarize/report half turns scraped snapshots into the "where the
+// time goes" view: top-K locks by total wait with wait/hold p99, worker
+// utilization, and syscall/byte totals per node.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cachecloud::obs {
+
+// Process-wide profiling switch. Off by default. Flip before traffic
+// starts (loadgen --profile does) or at any point mid-run: collectors
+// observe it with relaxed loads, so enabling is race-free, and samples
+// simply start/stop accumulating.
+void set_profiling_enabled(bool on) noexcept;
+[[nodiscard]] bool profiling_enabled() noexcept;
+
+// Log-spaced bucket bounds for lock wait/hold times: 100ns .. 1s.
+[[nodiscard]] std::vector<double> profile_time_bounds();
+
+// Metric families the profiler emits; profile_snapshot() selects them out
+// of a full registry snapshot for the ProfileDump wire scrape.
+[[nodiscard]] bool is_profile_metric(const std::string& name) noexcept;
+[[nodiscard]] Snapshot profile_snapshot(const Snapshot& full);
+
+// ---------------------------------------------------------------- locks
+
+// Drop-in replacement for std::mutex on profiled paths. Meets the C++
+// Lockable requirements, so std::lock_guard / std::unique_lock work
+// unchanged. An unbound TimedMutex behaves exactly like std::mutex;
+// bind() attaches it to a registry under a lock name:
+//
+//   cachecloud_lock_acquire_total{lock=...}    acquisitions (profiling on)
+//   cachecloud_lock_contended_total{lock=...}  acquisitions that waited
+//   cachecloud_lock_wait_seconds{lock=...}     time blocked (contended only)
+//   cachecloud_lock_hold_seconds{lock=...}     time held, every acquisition
+//
+// bind() must happen before the mutex is shared between threads (node and
+// server constructors bind before their threads start). While profiling is
+// off, lock() is a plain try_lock/lock with no clock reads.
+class TimedMutex {
+ public:
+  TimedMutex() = default;
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  void bind(Registry& registry, const std::string& name);
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void lock();
+  [[nodiscard]] bool try_lock();
+  void unlock();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::mutex mu_;
+  std::string name_;
+  Counter* acquisitions_ = nullptr;
+  Counter* contended_ = nullptr;
+  LatencyHistogram* wait_ = nullptr;
+  LatencyHistogram* hold_ = nullptr;
+  // Hold-time bookkeeping for the current owner; only ever accessed while
+  // mu_ is held, so plain (non-atomic) members are race-free.
+  Clock::time_point locked_at_{};
+  bool timing_hold_ = false;
+};
+
+// The profiled twin of std::lock_guard<std::mutex> on node hot paths.
+using TimedLock = std::lock_guard<TimedMutex>;
+
+// -------------------------------------------------------------- workers
+
+// Per-server worker-thread accounting for thread-per-connection servers:
+//
+//   cachecloud_worker_time_ns_total{state="busy"|"read_wait"}
+//   cachecloud_conn_threads        live connection threads (gauge)
+//   cachecloud_conn_threads_peak   high-water mark (gauge)
+//
+// The ns counters are fed by the serve loop only while profiling is on;
+// the connection gauges track every open/close once bound.
+class WorkerProfile {
+ public:
+  WorkerProfile() = default;
+  WorkerProfile(const WorkerProfile&) = delete;
+  WorkerProfile& operator=(const WorkerProfile&) = delete;
+
+  void bind(Registry& registry);
+  [[nodiscard]] bool bound() const noexcept { return busy_ns_ != nullptr; }
+
+  void add_busy_ns(std::uint64_t ns) noexcept;
+  void add_read_wait_ns(std::uint64_t ns) noexcept;
+  void conn_opened() noexcept;
+  void conn_closed() noexcept;
+
+ private:
+  Counter* busy_ns_ = nullptr;
+  Counter* read_wait_ns_ = nullptr;
+  Gauge* live_ = nullptr;
+  Gauge* peak_ = nullptr;
+  std::atomic<std::int64_t> live_count_{0};
+  std::atomic<std::int64_t> peak_count_{0};
+};
+
+// ------------------------------------------------------------- resources
+
+// Transport resource accounting, one instance per endpoint (a server or a
+// client), labelled by role:
+//
+//   cachecloud_io_syscalls_total{op="recv"|"send",role=...}
+//   cachecloud_io_bytes_total{op="recv"|"send",role=...}
+//
+// on_recv/on_send are called once per successful syscall with the bytes it
+// moved; both are no-ops while profiling is off or the profile is unbound.
+class IoProfile {
+ public:
+  IoProfile() = default;
+  IoProfile(const IoProfile&) = delete;
+  IoProfile& operator=(const IoProfile&) = delete;
+
+  void bind(Registry& registry, const std::string& role);
+  [[nodiscard]] bool bound() const noexcept { return recv_syscalls_ != nullptr; }
+
+  void on_recv(std::size_t bytes) noexcept;
+  void on_send(std::size_t bytes) noexcept;
+
+ private:
+  Counter* recv_syscalls_ = nullptr;
+  Counter* send_syscalls_ = nullptr;
+  Counter* recv_bytes_ = nullptr;
+  Counter* send_bytes_ = nullptr;
+};
+
+// ------------------------------------------------------------ summaries
+
+// One profiled lock as seen in a node's snapshot.
+struct LockSummary {
+  std::string node;
+  std::string lock;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  double wait_total_sec = 0.0;
+  double wait_p99_sec = 0.0;
+  double hold_total_sec = 0.0;
+  double hold_p99_sec = 0.0;
+  // This lock's share of the cluster-wide total wait (finalize fills it).
+  double wait_share = 0.0;
+};
+
+struct WorkerSummary {
+  std::string node;
+  double busy_sec = 0.0;
+  double read_wait_sec = 0.0;
+  // busy / (busy + read_wait); 0 when nothing was recorded.
+  double utilization = 0.0;
+  double conn_threads = 0.0;
+  double conn_threads_peak = 0.0;
+};
+
+struct IoSummary {
+  std::string node;
+  std::uint64_t recv_syscalls = 0;
+  std::uint64_t send_syscalls = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t send_bytes = 0;
+};
+
+// Cluster-wide contention report, assembled from per-node profile
+// snapshots: append every node, then finalize once.
+struct ContentionSummary {
+  bool enabled = false;  // any scraped node had profiling on
+  double total_wait_sec = 0.0;
+  std::vector<LockSummary> locks;      // finalize: sorted by wait desc
+  std::vector<WorkerSummary> workers;
+  std::vector<IoSummary> io;
+};
+
+// Folds one node's (profile or full) snapshot into the summary.
+void append_contention(const std::string& node, const Snapshot& snapshot,
+                       ContentionSummary& out);
+
+// Computes total/shares, sorts locks by total wait descending and keeps
+// the top_k worst (0 = keep all).
+void finalize_contention(ContentionSummary& out, std::size_t top_k);
+
+// Human-readable ranked "where the time goes" table (profcat, loadgen).
+[[nodiscard]] std::string contention_table(const ContentionSummary& summary);
+
+}  // namespace cachecloud::obs

@@ -42,6 +42,17 @@ std::optional<double> parse_number(const std::string& s) {
 
 Flags::Flags(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  // Each flag name may appear at most once: a repeated flag is almost
+  // always a script bug (a template variable expanded twice, a copy-pasted
+  // line), and silently letting the last spelling win hides it.
+  const auto set_once = [this](std::string name, std::string value) {
+    const auto [it, inserted] =
+        values_.emplace(std::move(name), std::move(value));
+    if (!inserted) {
+      throw std::invalid_argument("flag --" + it->first +
+                                  " given more than once");
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!starts_with(arg, "--")) {
@@ -55,18 +66,18 @@ Flags::Flags(int argc, const char* const* argv) {
     }
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      set_once(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     if (starts_with(arg, "no-")) {
-      values_[arg.substr(3)] = "false";
+      set_once(arg.substr(3), "false");
       continue;
     }
     // `--name value` if the next token is not a flag; else boolean true.
     if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
-      values_[arg] = argv[++i];
+      set_once(std::move(arg), argv[++i]);
     } else {
-      values_[arg] = "true";
+      set_once(std::move(arg), "true");
     }
   }
 }

@@ -1,7 +1,9 @@
 // Minimal command-line flag parsing for examples and bench harnesses.
 //
 // Supports `--name=value`, `--name value` and boolean `--name` /
-// `--no-name`. Unknown flags are an error so experiment scripts fail loudly.
+// `--no-name`. Unknown flags are an error so experiment scripts fail
+// loudly, and a flag given more than once (in any spelling — `--x 1 --x=2`,
+// `--x --no-x`) is rejected at parse time instead of silently shadowed.
 // Numeric flags share one grammar across get_int and get_double: sign,
 // decimals and scientific notation all parse (`--rate -250`, `--rate=2e3`,
 // `--ramp-step -0.5`); get_int additionally requires an integral value.

@@ -1,0 +1,142 @@
+// End-to-end profiler tests: a live cluster under traffic, scraped over
+// TCP via ProfileDumpReq, must attribute lock contention and IO to the
+// right nodes — and report cleanly when profiling was never enabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "node/cluster.hpp"
+#include "node/profile_scrape.hpp"
+#include "obs/profile.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+class ProfilingGuard {
+ public:
+  explicit ProfilingGuard(bool on) { obs::set_profiling_enabled(on); }
+  ~ProfilingGuard() { obs::set_profiling_enabled(false); }
+};
+
+NodeConfig small_config() {
+  NodeConfig config;
+  config.num_caches = 4;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.placement = "adhoc";
+  return config;
+}
+
+// Every cache port plus the origin: the same set loadgen --profile scrapes.
+std::vector<std::uint16_t> all_ports(Cluster& cluster) {
+  std::vector<std::uint16_t> ports;
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    ports.push_back(cluster.cache(id).port());
+  }
+  ports.push_back(cluster.origin().port());
+  return ports;
+}
+
+void drive_traffic(Cluster& cluster) {
+  const std::vector<std::string> urls = {"/a", "/b", "/c", "/d", "/e"};
+  for (const std::string& url : urls) {
+    cluster.origin().add_document(url, 256);
+  }
+  // Two rounds from every node: misses, cloud fetches, then local hits —
+  // every class of request crosses the profiled node mutexes.
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+      for (const std::string& url : urls) {
+        (void)cluster.cache(id).get(url);
+      }
+    }
+  }
+}
+
+TEST(NodeProfileTest, ScrapeAttributesStateMutexPerNode) {
+  const ProfilingGuard guard(true);
+  Cluster cluster(small_config());
+  drive_traffic(cluster);
+
+  const ProfileScrapeResult scrape = scrape_profiles(all_ports(cluster));
+  EXPECT_TRUE(scrape.errors.empty())
+      << (scrape.errors.empty() ? "" : scrape.errors.front());
+  ASSERT_EQ(scrape.nodes_scraped, cluster.num_caches() + 1u);
+
+  std::set<std::string> node_labels;
+  for (const NodeProfile& node : scrape.nodes) {
+    EXPECT_TRUE(node.enabled) << node.node;
+    node_labels.insert(node.node);
+    // The wire scrape carries only profiler families, never app metrics.
+    EXPECT_EQ(node.profile.find("cachecloud_gets_total"), nullptr);
+  }
+  EXPECT_EQ(node_labels.size(), cluster.num_caches() + 1u);
+  EXPECT_TRUE(node_labels.count("cache-0"));
+  EXPECT_TRUE(node_labels.count("origin"));
+
+  const obs::ContentionSummary summary = summarize_profiles(scrape, 0);
+  EXPECT_TRUE(summary.enabled);
+  // Every cache node took its state_mutex_ for each get it served.
+  std::set<std::string> state_mutex_nodes;
+  for (const obs::LockSummary& lock : summary.locks) {
+    EXPECT_GE(lock.acquisitions, lock.contended);
+    if (lock.lock == "state_mutex_" && lock.acquisitions > 0) {
+      state_mutex_nodes.insert(lock.node);
+    }
+  }
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    EXPECT_TRUE(state_mutex_nodes.count("cache-" + std::to_string(id)))
+        << "no state_mutex_ acquisitions attributed to cache-" << id;
+  }
+
+  // The servers really moved bytes, and their worker threads are live.
+  EXPECT_FALSE(summary.io.empty());
+  std::uint64_t recv_bytes = 0;
+  for (const obs::IoSummary& io : summary.io) recv_bytes += io.recv_bytes;
+  EXPECT_GT(recv_bytes, 0u);
+  EXPECT_FALSE(summary.workers.empty());
+}
+
+TEST(NodeProfileTest, DisabledProfilingScrapesAsOff) {
+  const ProfilingGuard guard(false);
+  Cluster cluster(small_config());
+  drive_traffic(cluster);
+
+  const ProfileScrapeResult scrape = scrape_profiles(all_ports(cluster));
+  ASSERT_EQ(scrape.nodes_scraped, cluster.num_caches() + 1u);
+  for (const NodeProfile& node : scrape.nodes) {
+    EXPECT_FALSE(node.enabled) << node.node;
+  }
+
+  const obs::ContentionSummary summary = summarize_profiles(scrape);
+  EXPECT_FALSE(summary.enabled);
+  // Dormant mutexes recorded nothing, and the report says why.
+  for (const obs::LockSummary& lock : summary.locks) {
+    EXPECT_EQ(lock.acquisitions, 0u) << lock.node << "/" << lock.lock;
+  }
+  EXPECT_NE(obs::contention_table(summary).find("profiling was off"),
+            std::string::npos);
+}
+
+TEST(NodeProfileTest, UnreachableNodesBecomeErrorsNotThrows) {
+  const ProfilingGuard guard(true);
+  Cluster cluster(small_config());
+  const std::uint16_t dead_port = cluster.cache(0).port();
+  const std::uint16_t live_port = cluster.cache(1).port();
+  cluster.crash(0);
+
+  const ProfileScrapeResult scrape =
+      scrape_profiles({dead_port, live_port}, 2.0);
+  EXPECT_EQ(scrape.nodes_scraped, 1u);
+  ASSERT_EQ(scrape.nodes.size(), 1u);
+  EXPECT_EQ(scrape.nodes[0].node, "cache-1");
+  ASSERT_EQ(scrape.errors.size(), 1u);
+  EXPECT_NE(scrape.errors[0].find(std::to_string(dead_port)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cachecloud::node

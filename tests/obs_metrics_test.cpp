@@ -140,6 +140,34 @@ TEST(ExpositionTest, PrometheusTextRoundTrip) {
   EXPECT_EQ(to_prometheus(snap), text);
 }
 
+TEST(ExpositionTest, HelpTextAndLabelValuesEscapePerSpec) {
+  Registry registry;
+  // HELP escaping: backslash and newline only; double quotes stay
+  // literal (the HELP line is not a quoted string, unlike label values).
+  registry
+      .counter("esc_total", "line one\nline two with \\ and \"quotes\"",
+               {{"path", "a\\b"}, {"msg", "say \"hi\"\nbye"}})
+      .inc();
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# HELP esc_total line one\\nline two with \\\\ "
+                      "and \"quotes\""),
+            std::string::npos);
+  // Label values escape backslash, quote and newline.
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("msg=\"say \\\"hi\\\"\\nbye\""), std::string::npos);
+  // No raw newline may survive inside any line: every '\n' in the output
+  // must terminate a well-formed line starting with '#' or the name.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // output ends with a newline
+    const std::string line = text.substr(start, end - start);
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 || line.rfind("esc_total", 0) == 0)
+        << "corrupt exposition line: " << line;
+    start = end + 1;
+  }
+}
+
 TEST(ExpositionTest, JsonDumpContainsEveryMetric) {
   Registry registry;
   registry.counter("a_total", "A", {{"k", "v"}}).inc(4);

@@ -1,0 +1,374 @@
+// Unit tests for the contention & resource profiler: the TimedMutex
+// collectors (dormant, uncontended, contended and mid-hold-toggle paths),
+// worker/IO accounting, the profile-metric snapshot filter and the
+// summarize/report pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+// Every test that flips the process-wide switch restores it, so test order
+// never leaks profiling state.
+class ProfilingGuard {
+ public:
+  explicit ProfilingGuard(bool on) { set_profiling_enabled(on); }
+  ~ProfilingGuard() { set_profiling_enabled(false); }
+};
+
+// The registry handles a bound TimedMutex writes through; same instrument
+// lookup the mutex itself performed in bind().
+struct LockInstruments {
+  Counter& acquisitions;
+  Counter& contended;
+  LatencyHistogram& wait;
+  LatencyHistogram& hold;
+};
+
+LockInstruments lock_instruments(Registry& registry, const std::string& name) {
+  const Labels labels{{"lock", name}};
+  return {
+      registry.counter("cachecloud_lock_acquire_total", "", labels),
+      registry.counter("cachecloud_lock_contended_total", "", labels),
+      registry.histogram("cachecloud_lock_wait_seconds", "",
+                         profile_time_bounds(), labels),
+      registry.histogram("cachecloud_lock_hold_seconds", "",
+                         profile_time_bounds(), labels),
+  };
+}
+
+// ------------------------------------------------------------- TimedMutex
+
+TEST(TimedMutexTest, UnboundBehavesLikePlainMutex) {
+  const ProfilingGuard guard(true);  // even with profiling on
+  TimedMutex mu;
+  EXPECT_TRUE(mu.name().empty());
+  {
+    const TimedLock lock(mu);
+    EXPECT_FALSE(mu.try_lock());
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+  // Mutual exclusion still holds: concurrent increments land exactly.
+  int shared = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        const TimedLock lock(mu);
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(shared, 40'000);
+}
+
+TEST(TimedMutexTest, DormantWhileProfilingOff) {
+  const ProfilingGuard guard(false);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  EXPECT_EQ(mu.name(), "m");
+  for (int i = 0; i < 100; ++i) {
+    const TimedLock lock(mu);
+  }
+  const LockInstruments ins = lock_instruments(registry, "m");
+  EXPECT_EQ(ins.acquisitions.value(), 0u);
+  EXPECT_EQ(ins.contended.value(), 0u);
+  EXPECT_EQ(ins.wait.count(), 0u);
+  EXPECT_EQ(ins.hold.count(), 0u);
+}
+
+TEST(TimedMutexTest, UncontendedAcquisitionsRecordHoldTimes) {
+  const ProfilingGuard guard(true);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  constexpr std::uint64_t kAcquisitions = 50;
+  for (std::uint64_t i = 0; i < kAcquisitions; ++i) {
+    const TimedLock lock(mu);
+  }
+  const LockInstruments ins = lock_instruments(registry, "m");
+  EXPECT_EQ(ins.acquisitions.value(), kAcquisitions);
+  EXPECT_EQ(ins.contended.value(), 0u);  // single thread never waits
+  EXPECT_EQ(ins.wait.count(), 0u);
+  EXPECT_EQ(ins.hold.count(), kAcquisitions);
+  EXPECT_GE(ins.hold.sum(), 0.0);
+}
+
+TEST(TimedMutexTest, TryLockCountsSuccessOnly) {
+  const ProfilingGuard guard(true);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());  // failed attempt: no counters, no wait
+  mu.unlock();
+  const LockInstruments ins = lock_instruments(registry, "m");
+  EXPECT_EQ(ins.acquisitions.value(), 1u);
+  EXPECT_EQ(ins.contended.value(), 0u);
+  EXPECT_EQ(ins.hold.count(), 1u);
+}
+
+TEST(TimedMutexTest, ContendedAcquisitionTimesTheWait) {
+  const ProfilingGuard guard(true);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  const LockInstruments ins = lock_instruments(registry, "m");
+
+  // The holder keeps the lock until it can see the main thread blocked:
+  // lock() bumps the contended counter *before* parking on the mutex, so
+  // waiting for it makes the contention deterministic, not timing-luck.
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    const TimedLock lock(mu);
+    held.store(true);
+    while (ins.contended.value() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    const TimedLock lock(mu);  // must wait for the holder
+  }
+  holder.join();
+
+  EXPECT_EQ(ins.acquisitions.value(), 2u);
+  EXPECT_EQ(ins.contended.value(), 1u);
+  EXPECT_EQ(ins.wait.count(), 1u);
+  EXPECT_GT(ins.wait.sum(), 0.0);
+  EXPECT_EQ(ins.hold.count(), 2u);
+  EXPECT_GT(ins.hold.sum(), 0.0);  // holder held for >= 500us
+}
+
+TEST(TimedMutexTest, EnablingMidHoldRecordsNoTornSample) {
+  const ProfilingGuard guard(false);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  mu.lock();  // dormant acquisition: no timestamp taken
+  set_profiling_enabled(true);
+  mu.unlock();  // must not observe a hold with a garbage start time
+  const LockInstruments ins = lock_instruments(registry, "m");
+  EXPECT_EQ(ins.hold.count(), 0u);
+  // The next full acquisition records normally.
+  {
+    const TimedLock lock(mu);
+  }
+  EXPECT_EQ(ins.hold.count(), 1u);
+}
+
+// ---------------------------------------------------------- WorkerProfile
+
+TEST(WorkerProfileTest, ConnGaugesTrackLiveAndPeak) {
+  const ProfilingGuard guard(false);  // gauges run even with profiling off
+  Registry registry;
+  WorkerProfile worker;
+  EXPECT_FALSE(worker.bound());
+  worker.conn_opened();  // unbound: safe no-op
+  worker.bind(registry);
+  ASSERT_TRUE(worker.bound());
+
+  worker.conn_opened();
+  worker.conn_opened();
+  worker.conn_opened();
+  worker.conn_closed();
+  const Snapshot snap = registry.snapshot();
+  const SampleSnapshot* live = snap.find("cachecloud_conn_threads");
+  const SampleSnapshot* peak = snap.find("cachecloud_conn_threads_peak");
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(peak, nullptr);
+  EXPECT_DOUBLE_EQ(live->value, 2.0);
+  EXPECT_DOUBLE_EQ(peak->value, 3.0);  // high-water mark survives closes
+}
+
+TEST(WorkerProfileTest, TimeCountersAccumulatePerState) {
+  Registry registry;
+  WorkerProfile worker;
+  worker.add_busy_ns(1);  // unbound: safe no-op
+  worker.bind(registry);
+  worker.add_busy_ns(1'000);
+  worker.add_busy_ns(500);
+  worker.add_read_wait_ns(2'000);
+  const Snapshot snap = registry.snapshot();
+  const SampleSnapshot* busy =
+      snap.find("cachecloud_worker_time_ns_total", {{"state", "busy"}});
+  const SampleSnapshot* read_wait =
+      snap.find("cachecloud_worker_time_ns_total", {{"state", "read_wait"}});
+  ASSERT_NE(busy, nullptr);
+  ASSERT_NE(read_wait, nullptr);
+  EXPECT_DOUBLE_EQ(busy->value, 1'500.0);
+  EXPECT_DOUBLE_EQ(read_wait->value, 2'000.0);
+}
+
+// -------------------------------------------------------------- IoProfile
+
+TEST(IoProfileTest, CountersAreGatedOnTheProfilingSwitch) {
+  const ProfilingGuard guard(false);
+  Registry registry;
+  IoProfile io;
+  io.on_recv(100);  // unbound: safe no-op
+  io.bind(registry, "server");
+  ASSERT_TRUE(io.bound());
+
+  io.on_recv(100);  // profiling off: dropped
+  io.on_send(200);
+  set_profiling_enabled(true);
+  io.on_recv(10);
+  io.on_recv(20);
+  io.on_send(30);
+
+  const Snapshot snap = registry.snapshot();
+  const Labels recv{{"op", "recv"}, {"role", "server"}};
+  const Labels send{{"op", "send"}, {"role", "server"}};
+  EXPECT_DOUBLE_EQ(snap.find("cachecloud_io_syscalls_total", recv)->value,
+                   2.0);
+  EXPECT_DOUBLE_EQ(snap.find("cachecloud_io_bytes_total", recv)->value, 30.0);
+  EXPECT_DOUBLE_EQ(snap.find("cachecloud_io_syscalls_total", send)->value,
+                   1.0);
+  EXPECT_DOUBLE_EQ(snap.find("cachecloud_io_bytes_total", send)->value, 30.0);
+}
+
+// ------------------------------------------------------- snapshot filter
+
+TEST(ProfileSnapshotTest, FilterKeepsOnlyProfilerFamilies) {
+  EXPECT_TRUE(is_profile_metric("cachecloud_lock_wait_seconds"));
+  EXPECT_TRUE(is_profile_metric("cachecloud_conn_threads"));
+  EXPECT_FALSE(is_profile_metric("cachecloud_gets_total"));
+
+  const ProfilingGuard guard(true);
+  Registry registry;
+  TimedMutex mu;
+  mu.bind(registry, "m");
+  {
+    const TimedLock lock(mu);
+  }
+  registry.counter("cachecloud_gets_total", "app metric").inc(7);
+  registry.histogram("cachecloud_latency_seconds", "app hist", {0.1})
+      .observe(0.05);
+
+  const Snapshot filtered = profile_snapshot(registry.snapshot());
+  EXPECT_EQ(filtered.find("cachecloud_gets_total"), nullptr);
+  EXPECT_EQ(filtered.find_histogram("cachecloud_latency_seconds"), nullptr);
+  ASSERT_NE(filtered.find("cachecloud_lock_acquire_total", {{"lock", "m"}}),
+            nullptr);
+  ASSERT_NE(
+      filtered.find_histogram("cachecloud_lock_hold_seconds", {{"lock", "m"}}),
+      nullptr);
+}
+
+// ------------------------------------------------------------- summaries
+
+// Builds a node snapshot with two locks of known wait totals plus worker
+// and IO activity, through the real collectors.
+Snapshot synthetic_node_snapshot(Registry& registry, double hot_wait_sec,
+                                 double cold_wait_sec) {
+  lock_instruments(registry, "hot").acquisitions.inc(100);
+  lock_instruments(registry, "hot").contended.inc(40);
+  lock_instruments(registry, "hot").wait.observe(hot_wait_sec);
+  lock_instruments(registry, "hot").hold.observe(0.002);
+  lock_instruments(registry, "cold").acquisitions.inc(10);
+  lock_instruments(registry, "cold").contended.inc(1);
+  lock_instruments(registry, "cold").wait.observe(cold_wait_sec);
+  lock_instruments(registry, "cold").hold.observe(0.001);
+
+  WorkerProfile worker;
+  worker.bind(registry);
+  worker.add_busy_ns(3'000'000'000);       // 3s busy
+  worker.add_read_wait_ns(1'000'000'000);  // 1s waiting
+  worker.conn_opened();
+
+  const ProfilingGuard guard(true);
+  IoProfile io;
+  io.bind(registry, "server");
+  io.on_recv(1024);
+  io.on_send(2048);
+  return registry.snapshot();
+}
+
+TEST(ContentionSummaryTest, AppendAndFinalizeRankLocksByWait) {
+  Registry registry;
+  const Snapshot snap = synthetic_node_snapshot(registry, 0.030, 0.010);
+
+  ContentionSummary summary;
+  summary.enabled = true;
+  append_contention("cache-0", snap, summary);
+  finalize_contention(summary, 10);
+
+  ASSERT_EQ(summary.locks.size(), 2u);
+  EXPECT_EQ(summary.locks[0].lock, "hot");  // sorted by wait desc
+  EXPECT_EQ(summary.locks[0].node, "cache-0");
+  EXPECT_EQ(summary.locks[0].acquisitions, 100u);
+  EXPECT_EQ(summary.locks[0].contended, 40u);
+  EXPECT_NEAR(summary.total_wait_sec, 0.040, 1e-9);
+  EXPECT_NEAR(summary.locks[0].wait_share, 0.75, 1e-9);
+  EXPECT_NEAR(summary.locks[1].wait_share, 0.25, 1e-9);
+  EXPECT_GT(summary.locks[0].wait_p99_sec, 0.0);
+  EXPECT_GT(summary.locks[0].hold_total_sec, 0.0);
+
+  ASSERT_EQ(summary.workers.size(), 1u);
+  EXPECT_NEAR(summary.workers[0].busy_sec, 3.0, 1e-9);
+  EXPECT_NEAR(summary.workers[0].read_wait_sec, 1.0, 1e-9);
+  EXPECT_NEAR(summary.workers[0].utilization, 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.workers[0].conn_threads, 1.0);
+
+  ASSERT_EQ(summary.io.size(), 1u);
+  EXPECT_EQ(summary.io[0].recv_syscalls, 1u);
+  EXPECT_EQ(summary.io[0].recv_bytes, 1024u);
+  EXPECT_EQ(summary.io[0].send_bytes, 2048u);
+}
+
+TEST(ContentionSummaryTest, TopKTruncatesAfterSorting) {
+  Registry a;
+  Registry b;
+  ContentionSummary summary;
+  summary.enabled = true;
+  append_contention("cache-0", synthetic_node_snapshot(a, 0.030, 0.010),
+                    summary);
+  append_contention("cache-1", synthetic_node_snapshot(b, 0.100, 0.005),
+                    summary);
+  finalize_contention(summary, 2);
+
+  ASSERT_EQ(summary.locks.size(), 2u);  // 4 locks folded, 2 kept
+  EXPECT_EQ(summary.locks[0].node, "cache-1");
+  EXPECT_EQ(summary.locks[0].lock, "hot");
+  EXPECT_EQ(summary.locks[1].node, "cache-0");
+  EXPECT_EQ(summary.locks[1].lock, "hot");
+  // Shares are of the *total* wait, including truncated locks.
+  EXPECT_NEAR(summary.total_wait_sec, 0.145, 1e-9);
+  EXPECT_NEAR(summary.locks[0].wait_share, 0.100 / 0.145, 1e-9);
+}
+
+TEST(ContentionSummaryTest, TableReportsDisabledProfilingExplicitly) {
+  ContentionSummary off;
+  off.enabled = false;
+  const std::string off_table = contention_table(off);
+  EXPECT_NE(off_table.find("profiling was off"), std::string::npos);
+
+  Registry registry;
+  ContentionSummary on;
+  on.enabled = true;
+  append_contention("cache-0", synthetic_node_snapshot(registry, 0.030, 0.010),
+                    on);
+  finalize_contention(on, 10);
+  const std::string table = contention_table(on);
+  EXPECT_NE(table.find("cache-0/hot"), std::string::npos);
+  EXPECT_NE(table.find("total lock wait"), std::string::npos);
+  EXPECT_NE(table.find("workers:"), std::string::npos);
+  EXPECT_NE(table.find("io:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cachecloud::obs

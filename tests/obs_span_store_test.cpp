@@ -245,5 +245,94 @@ TEST(TraceStitchTest, BuildsRootedTreeFromSpans) {
   EXPECT_NE(report.find("get"), std::string::npos);
 }
 
+// ---- orphan handling ----------------------------------------------------
+//
+// A span whose parent hop was never scraped (sampled out, evicted from the
+// ring, node unreachable) must still appear in every export — dropping it
+// would silently hide the very hop a post-mortem is looking for.
+
+TEST(TraceStitchTest, LoneOrphanBecomesItsOwnRoot) {
+  SpanRecord orphan = make_record(42, 120);
+  orphan.name = "LookupReq";
+  orphan.parent_span_id = next_span_id();  // parent never scraped
+
+  const std::vector<TraceTree> traces = stitch_traces({orphan});
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceTree& tree = traces[0];
+  ASSERT_EQ(tree.spans.size(), 1u);
+  ASSERT_TRUE(tree.rooted());  // sole span: orphan is promoted to root
+  EXPECT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.parent[0], kNoSpan);
+  EXPECT_EQ(tree.duration_us(), 120u);
+  EXPECT_NE(to_chrome_trace(traces).find("\"LookupReq\""),
+            std::string::npos);
+  EXPECT_NE(slowest_report(traces, 10).find("LookupReq"), std::string::npos);
+}
+
+TEST(TraceStitchTest, OrphanBesideRealRootIsKeptNotDropped) {
+  SpanRecord root = make_record(42, 500);
+  root.name = "get";
+  SpanRecord orphan = make_record(42, 80);
+  orphan.name = "FetchReq";
+  orphan.node = "cache-2";
+  orphan.parent_span_id = next_span_id();  // missing middle hop
+  orphan.start_us = root.start_us + 100;
+  orphan.end_us = orphan.start_us + 80;
+
+  const std::vector<TraceTree> traces = stitch_traces({orphan, root});
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceTree& tree = traces[0];
+  ASSERT_EQ(tree.spans.size(), 2u);  // the orphan survives stitching
+  // Two parentless spans: the tree reports itself unrooted rather than
+  // guessing which one owns the trace.
+  EXPECT_FALSE(tree.rooted());
+  EXPECT_EQ(tree.parent[0], kNoSpan);
+  EXPECT_EQ(tree.parent[1], kNoSpan);
+  EXPECT_TRUE(tree.children[0].empty());
+  // Duration still spans the union of both fragments.
+  EXPECT_EQ(tree.duration_us(), 500u);
+  // Both fragments are visible in the exports.
+  const std::string chrome = to_chrome_trace(traces);
+  EXPECT_NE(chrome.find("\"get\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"FetchReq\""), std::string::npos);
+  const std::string report = slowest_report(traces, 10);
+  EXPECT_NE(report.find("get"), std::string::npos);
+  EXPECT_NE(report.find("FetchReq"), std::string::npos);
+}
+
+TEST(TraceStitchTest, OrphanKeepsItsOwnScrapedChildren) {
+  // grandparent (never scraped) -> orphan -> child: the child must still
+  // hang off the orphan so the surviving subtree keeps its shape.
+  SpanRecord orphan = make_record(7, 200);
+  orphan.name = "LookupReq";
+  orphan.parent_span_id = next_span_id();
+  SpanRecord child = make_record(7, 50);
+  child.name = "FetchReq";
+  child.parent_span_id = orphan.span_id;
+  child.start_us = orphan.start_us + 20;
+  child.end_us = child.start_us + 50;
+
+  const std::vector<TraceTree> traces = stitch_traces({child, orphan});
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceTree& tree = traces[0];
+  ASSERT_EQ(tree.spans.size(), 2u);
+  ASSERT_TRUE(tree.rooted());  // exactly one parentless span remains
+  EXPECT_EQ(tree.spans[tree.root].name, "LookupReq");
+  ASSERT_EQ(tree.children[tree.root].size(), 1u);
+  EXPECT_EQ(tree.spans[tree.children[tree.root][0]].name, "FetchReq");
+}
+
+TEST(TraceStitchTest, SelfParentingSpanIsTreatedAsRoot) {
+  // A corrupt record claiming itself as parent must not create a cycle.
+  SpanRecord span = make_record(9, 30);
+  span.parent_span_id = span.span_id;
+
+  const std::vector<TraceTree> traces = stitch_traces({span});
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_TRUE(traces[0].rooted());
+  EXPECT_EQ(traces[0].parent[0], kNoSpan);
+  EXPECT_TRUE(traces[0].children[0].empty());
+}
+
 }  // namespace
 }  // namespace cachecloud::obs

@@ -68,6 +68,25 @@ TEST(FlagsTest, GetIntStillRejectsNonIntegralValues) {
   EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
 }
 
+TEST(FlagsTest, DuplicateFlagsAreRejectedAtParseTime) {
+  // A repeated flag is a script bug; the last spelling must never win
+  // silently, whatever mix of spellings repeats it.
+  EXPECT_THROW(parse({"--x", "1", "--x=2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--x=1", "--x=1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--color", "--no-color"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--no-v", "--v=true"}), std::invalid_argument);
+  try {
+    parse({"--rate=1", "--rate=2"});
+    FAIL() << "duplicate --rate accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos);
+  }
+  // Distinct names, and flag-like positionals after "--", stay fine.
+  const Flags flags = parse({"--x=1", "--y=1", "--", "--x=2"});
+  EXPECT_EQ(flags.get_int("x", 0), 1);
+  ASSERT_EQ(flags.positional().size(), 1u);
+}
+
 TEST(FlagsTest, UnusedDetection) {
   const Flags flags = parse({"--used=1", "--typo=2"});
   (void)flags.get_int("used", 0);

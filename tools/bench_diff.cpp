@@ -166,6 +166,41 @@ int run(const util::Flags& flags) {
     }
   }
 
+  // Per-metric delta table, printed on success as well as failure so CI
+  // logs show the perf trajectory even when the gate passes.
+  std::printf("\n  %-14s %-12s %14s %14s %9s\n", "phase", "metric",
+              "baseline", "candidate", "change");
+  const auto delta_pct = [](double base, double cand) {
+    if (base == 0.0) return cand == 0.0 ? 0.0 : 100.0;
+    return (cand - base) / base * 100.0;
+  };
+  for (const JsonValue& base_phase : baseline.at("phases").as_array()) {
+    if (!base_phase.at("measured").as_bool()) continue;
+    const std::string name = base_phase.at("name").as_string();
+    const JsonValue* cand_phase = find_phase(candidate, name);
+    if (cand_phase == nullptr) continue;
+    struct Row {
+      const char* metric;
+      const char* unit;
+      double scale;  // applied before printing (e.g. sec -> ms)
+    };
+    static constexpr Row kRows[] = {
+        {"throughput", "/s", 1.0}, {"p50", "ms", 1e3}, {"p90", "ms", 1e3},
+        {"p99", "ms", 1e3},        {"p999", "ms", 1e3}, {"mean", "ms", 1e3},
+        {"ok", "", 1.0},           {"errors", "", 1.0},
+    };
+    for (const Row& row : kRows) {
+      const double base = base_phase.number_at(row.metric);
+      const double cand = cand_phase->number_at(row.metric);
+      std::snprintf(line, sizeof(line),
+                    "  %-14s %-12s %12.3f%-2s %12.3f%-2s %+8.1f%%",
+                    name.c_str(), row.metric, base * row.scale, row.unit,
+                    cand * row.scale, row.unit, delta_pct(base, cand));
+      std::printf("%s\n", line);
+    }
+  }
+  std::printf("\n");
+
   if (gate.failures > 0) {
     std::printf("bench_diff: FAIL (%d check%s)\n", gate.failures,
                 gate.failures == 1 ? "" : "s");

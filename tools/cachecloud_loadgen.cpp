@@ -23,7 +23,9 @@
 #include "loadgen/report.hpp"
 #include "loadgen/runner.hpp"
 #include "node/cluster.hpp"
+#include "node/profile_scrape.hpp"
 #include "node/trace_scrape.hpp"
+#include "obs/profile.hpp"
 #include "obs/span_store.hpp"
 #include "obs/trace_stitch.hpp"
 #include "util/flags.hpp"
@@ -92,6 +94,13 @@ int run(const util::Flags& flags) {
   const std::size_t trace_top =
       static_cast<std::size_t>(flags.get_int("trace-top", 10));
   const bool tracing = trace_sample > 0.0 || !trace_out.empty();
+  // Contention profiling: --profile turns on the in-process profiler for
+  // the whole run, scrapes every node (ProfileDumpReq) at run end and adds
+  // a "contention" section to the report; --profile-top bounds the ranked
+  // lock table.
+  const bool profiling = flags.get_bool("profile", false);
+  const std::size_t profile_top =
+      static_cast<std::size_t>(flags.get_int("profile-top", 10));
 
   for (const std::string& name : flags.unused()) {
     std::fprintf(stderr, "cachecloud_loadgen: unknown flag --%s\n",
@@ -111,6 +120,10 @@ int run(const util::Flags& flags) {
       loadgen::arrival_name(plan.schedule.arrival),
       static_cast<unsigned long long>(seed), plan.ops.size(),
       plan.urls.size(), workload.num_caches, threads, plan.total_seconds());
+
+  // Flip the process-wide profiler switch before the cluster boots, so the
+  // nodes' servers and peer clients profile from the first frame.
+  obs::set_profiling_enabled(profiling);
 
   // Boot the cluster and register the catalog at the origin.
   node::NodeConfig config;
@@ -135,7 +148,22 @@ int run(const util::Flags& flags) {
   runner_config.slowest_k = trace_top;
 
   loadgen::Runner runner(runner_config);
-  const loadgen::RunResult result = runner.run(plan);
+  loadgen::RunResult result = runner.run(plan);
+
+  // Contention profile: scrape every node while the cluster is still up,
+  // fold into the report's "contention" section and print the ranked
+  // where-the-time-goes table.
+  if (profiling) {
+    std::vector<std::uint16_t> profile_ports = runner_config.cache_ports;
+    profile_ports.push_back(runner_config.origin_port);
+    const node::ProfileScrapeResult scraped =
+        node::scrape_profiles(profile_ports);
+    for (const std::string& error : scraped.errors) {
+      std::fprintf(stderr, "loadgen: profile scrape: %s\n", error.c_str());
+    }
+    result.contention = node::summarize_profiles(scraped, profile_top);
+  }
+
   loadgen::write_report(out_path, plan, result);
 
   for (const loadgen::PhaseResult& phase : result.phases) {
@@ -174,6 +202,9 @@ int run(const util::Flags& flags) {
     }
   }
   std::printf("report: %s\n", out_path.c_str());
+  if (profiling) {
+    std::printf("%s", obs::contention_table(result.contention).c_str());
+  }
 
   // Trace export: scrape the in-process nodes' span stores before they go
   // away, stitch, and leave a viewer-loadable artifact + a ranked digest.
