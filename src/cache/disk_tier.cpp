@@ -1,0 +1,742 @@
+#include "cache/disk_tier.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::cache {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// Thrown instead of IoError when a body file is simply absent (a rename
+// lost to a crash, or an eviction racing a read): a normal artifact, not a
+// disk-health signal, so it must not feed the breaker.
+struct FileGone {};
+
+[[nodiscard]] std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return std::string(buf);
+}
+
+// Parses "obj-<seq>.dat"; returns 0 if the name does not match.
+[[nodiscard]] std::uint64_t file_seq(const std::string& file) {
+  std::uint64_t seq = 0;
+  if (std::sscanf(file.c_str(), "obj-%" SCNu64 ".dat", &seq) != 1) return 0;
+  return seq;
+}
+
+}  // namespace
+
+DiskTier::DiskTier(const DiskTierConfig& config, obs::Registry* registry)
+    : config_(config) {
+  if (registry) {
+    register_instruments(registry);
+    mutex_.bind(*registry, "disk_mutex_");
+  }
+  recover();
+  if (!degraded()) {
+    // Open the (freshly compacted) manifest for appending; from here on
+    // only the writer thread touches the fd.
+    const std::string mpath = path_of("manifest");
+    manifest_fd_ = ::open(mpath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (manifest_fd_ < 0) {
+      note_io_error("open", "manifest open: " + std::string(strerror(errno)));
+      degrade("cannot open manifest for append");
+    }
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+DiskTier::~DiskTier() {
+  {
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (manifest_fd_ >= 0) {
+    ::close(manifest_fd_);
+    manifest_fd_ = -1;
+  }
+}
+
+void DiskTier::register_instruments(obs::Registry* registry) {
+  inst_.spills = &registry->counter(
+      "cachecloud_disk_spills_total",
+      "Documents accepted by the write-behind disk tier");
+  inst_.spill_bytes = &registry->counter(
+      "cachecloud_disk_spill_bytes_total",
+      "Body bytes accepted by the write-behind disk tier");
+  inst_.hits = &registry->counter(
+      "cachecloud_disk_hits_total",
+      "Reads served from the disk tier (queued copy or file)");
+  inst_.evictions = &registry->counter(
+      "cachecloud_disk_evictions_total",
+      "Documents evicted from the disk tier by last-use order");
+  inst_.io_errors = &registry->counter(
+      "cachecloud_disk_io_errors_total",
+      "Hard disk I/O failures (real or injected EIO on read/write/fsync)");
+  inst_.dropped = &registry->counter(
+      "cachecloud_disk_dropped_records_total",
+      "Manifest or body records discarded as corrupt, torn or stale");
+  inst_.docs = &registry->gauge(
+      "cachecloud_disk_docs", "Documents currently held by the disk tier");
+  inst_.bytes = &registry->gauge(
+      "cachecloud_disk_used_bytes", "Body bytes currently on disk");
+  inst_.degraded = &registry->gauge(
+      "cachecloud_disk_degraded",
+      "1 when persistent disk failure degraded this node to memory-only");
+}
+
+// ------------------------------------------------------------ recovery
+
+void DiskTier::recover() {
+  std::error_code ec;
+  stdfs::create_directories(config_.directory, ec);
+  if (ec) {
+    note_io_error("mkdir", "create " + config_.directory + ": " + ec.message());
+    degrade("cache directory unavailable");
+    return;
+  }
+
+  // Replay the manifest: CRC-valid prefix only. A record torn by a crash
+  // (or bit-flipped on media) invalidates itself and everything after it —
+  // appends after a torn tail share its line and are unparseable anyway.
+  struct ParsedRec {
+    std::string file;
+    std::uint64_t version = 0;
+    std::uint64_t size = 0;
+    std::uint32_t body_crc = 0;
+    std::uint64_t rec_seq = 0;  // manifest order, for last-use recency
+  };
+  std::unordered_map<std::string, ParsedRec> live;
+  const std::string mpath = path_of("manifest");
+  std::string text;
+  if (stdfs::exists(mpath, ec)) {
+    try {
+      if (config_.io_faults) config_.io_faults->on_read();
+      const int fd = ::open(mpath.c_str(), O_RDONLY);
+      if (fd < 0) throw IoError("manifest open: " + std::string(strerror(errno)));
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          ::close(fd);
+          throw IoError("manifest read: " + std::string(strerror(errno)));
+        }
+        if (n == 0) break;
+        text.append(buf, static_cast<std::size_t>(n));
+      }
+      ::close(fd);
+    } catch (const IoError& e) {
+      // A manifest we know exists but cannot read is the strongest
+      // possible persistent-failure signal at startup: degrade
+      // immediately (Traffic Server's "mark disk bad" on open failure).
+      note_io_error("read", e.what());
+      degrade("manifest unreadable");
+      return;
+    }
+  }
+
+  std::uint64_t rec_seq = 0;
+  std::uint64_t parsed_records = 0;
+  std::uint64_t torn_at_line = 0;
+  std::size_t pos = 0;
+  std::uint64_t total_lines = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      // Trailing bytes with no newline: a torn final append.
+      ++total_lines;
+      torn_at_line = total_lines;
+      break;
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++total_lines;
+    const std::size_t sp = line.find(' ');
+    bool ok = sp == 8;
+    std::uint32_t want_crc = 0;
+    if (ok) {
+      ok = std::sscanf(line.c_str(), "%8x", &want_crc) == 1 &&
+           util::crc32(std::string_view(line).substr(sp + 1)) == want_crc;
+    }
+    if (ok) {
+      const std::string body = line.substr(sp + 1);
+      if (body.size() > 2 && body[0] == 'p') {
+        ParsedRec rec;
+        char bodycrc_hex[9] = {0};
+        char file_buf[64] = {0};
+        int consumed = 0;
+        if (std::sscanf(body.c_str(), "p %" SCNu64 " %" SCNu64 " %8s %63s %n",
+                        &rec.version, &rec.size, bodycrc_hex, file_buf,
+                        &consumed) == 4 &&
+            consumed > 0 && static_cast<std::size_t>(consumed) < body.size() &&
+            std::sscanf(bodycrc_hex, "%8x", &rec.body_crc) == 1) {
+          rec.file = file_buf;
+          rec.rec_seq = ++rec_seq;
+          live[body.substr(static_cast<std::size_t>(consumed))] = rec;
+          next_file_seq_ = std::max(next_file_seq_, file_seq(rec.file) + 1);
+          ++parsed_records;
+        } else {
+          ok = false;
+        }
+      } else if (body.size() > 2 && body[0] == 'd') {
+        live.erase(body.substr(2));
+        ++parsed_records;
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      torn_at_line = total_lines;
+      break;
+    }
+  }
+  if (torn_at_line != 0) {
+    // Everything from the first invalid record on is discarded: count the
+    // bad record plus the unreplayed tail.
+    std::uint64_t remaining = 1;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+      ++remaining;
+    }
+    dropped_records_.fetch_add(remaining, std::memory_order_relaxed);
+    if (inst_.dropped) inst_.dropped->inc(remaining);
+    CC_LOG(Warn) << "disk tier " << config_.directory
+                 << ": manifest corrupt at record " << torn_at_line
+                 << ", recovering the valid prefix (" << parsed_records
+                 << " records), discarding " << remaining;
+  }
+
+  // Verify each surviving record's body file, most recent last so use_seq
+  // ends up in manifest (≈ last-use) order.
+  std::vector<std::pair<std::uint64_t, std::string>> order;
+  order.reserve(live.size());
+  for (const auto& [url, rec] : live) order.emplace_back(rec.rec_seq, url);
+  std::sort(order.begin(), order.end());
+  for (const auto& [seq, url] : order) {
+    const ParsedRec& rec = live.at(url);
+    bool valid = false;
+    try {
+      const std::vector<std::uint8_t> body =
+          read_file_checked(rec.file, rec.size);
+      valid = util::crc32(body) == rec.body_crc;
+    } catch (const FileGone&) {
+      // A rename lost to the crash: the record is stale, the disk is fine.
+      valid = false;
+    } catch (const IoError& e) {
+      // Real EIO: drop the record and feed the breaker — enough of these
+      // and recovery itself degrades the tier.
+      valid = false;
+      note_io_error("read", e.what());
+      CC_LOG(Warn) << "disk tier: recovery read of " << rec.file
+                   << " failed: " << e.what();
+      if (degraded()) return;
+    }
+    if (!valid) {
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      if (inst_.dropped) inst_.dropped->inc();
+      std::error_code unlink_ec;
+      stdfs::remove(path_of(rec.file), unlink_ec);
+      continue;
+    }
+    Entry entry;
+    entry.file = rec.file;
+    entry.version = rec.version;
+    entry.size = rec.size;
+    entry.body_crc = rec.body_crc;
+    entry.use_seq = next_use_seq_++;
+    lru_.emplace(entry.use_seq, url);
+    used_ += entry.size;
+    index_.emplace(url, std::move(entry));
+    recovered_.push_back(RecoveredDoc{url, rec.version, rec.size});
+  }
+
+  // Delete strays: tmp leftovers and body files no surviving record names.
+  for (const auto& dirent : stdfs::directory_iterator(config_.directory, ec)) {
+    const std::string name = dirent.path().filename().string();
+    if (name == "manifest" || name == "manifest.tmp") continue;
+    bool referenced = false;
+    for (const auto& [url, entry] : index_) {
+      if (entry.file == name) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      std::error_code unlink_ec;
+      stdfs::remove(dirent.path(), unlink_ec);
+    }
+  }
+
+  // Compact: the manifest now describes exactly the surviving set.
+  std::string compacted;
+  for (const auto& [seq, url] : order) {
+    const auto it = index_.find(url);
+    if (it == index_.end()) continue;
+    const Entry& e = it->second;
+    std::string body = "p " + std::to_string(e.version) + " " +
+                       std::to_string(e.size) + " " + crc_hex(e.body_crc) +
+                       " " + e.file + " " + url;
+    compacted += crc_hex(util::crc32(body)) + " " + body + "\n";
+  }
+  try {
+    util::atomic_write_file(mpath, compacted);
+  } catch (const std::exception& e) {
+    // Non-fatal: the uncompacted manifest still replays to the same state.
+    CC_LOG(Warn) << "disk tier: manifest compaction failed: " << e.what();
+  }
+  refresh_gauges_locked();
+  if (!recovered_.empty()) {
+    CC_LOG(Info) << "disk tier " << config_.directory << ": recovered "
+                 << recovered_.size() << " documents (" << used_ << " bytes)";
+  }
+}
+
+// ------------------------------------------------------------- data path
+
+DiskTier::PutResult DiskTier::put(const std::string& url,
+                                  std::uint64_t version,
+                                  const std::vector<std::uint8_t>& body) {
+  PutResult result;
+  if (degraded()) return result;
+  const std::uint64_t size = body.size();
+  if (config_.capacity_bytes != 0 && size > config_.capacity_bytes) {
+    return result;
+  }
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
+  if (degraded()) return result;
+
+  const auto existing = index_.find(url);
+  if (existing != index_.end() && existing->second.version == version &&
+      !existing->second.queued) {
+    // Same version already durable (e.g. a recovered doc cycling back out
+    // of memory): refresh recency, skip the rewrite.
+    touch_locked(url, existing->second);
+    result.accepted = true;
+    return result;
+  }
+  if (existing != index_.end()) {
+    // Replace: retire the old file. A still-queued predecessor is simply
+    // superseded (its write op will see the index changed and skip).
+    if (!existing->second.queued) {
+      Op erase_op;
+      erase_op.type = Op::Type::Erase;
+      erase_op.url = url;
+      erase_op.file = existing->second.file;
+      queue_.push_back(std::move(erase_op));
+    }
+    used_ -= existing->second.size;
+    lru_.erase(existing->second.use_seq);
+    index_.erase(existing);
+  }
+  if (config_.capacity_bytes != 0) {
+    make_room_locked(size, result.evicted);
+  }
+
+  Entry entry;
+  entry.file = "obj-" + std::to_string(next_file_seq_++) + ".dat";
+  entry.version = version;
+  entry.size = size;
+  entry.body_crc = util::crc32(body);
+  entry.use_seq = next_use_seq_++;
+  entry.queued = std::make_shared<const std::vector<std::uint8_t>>(body);
+  lru_.emplace(entry.use_seq, url);
+  used_ += size;
+
+  Op op;
+  op.type = Op::Type::Write;
+  op.url = url;
+  op.file = entry.file;
+  op.version = version;
+  op.body_crc = entry.body_crc;
+  op.body = entry.queued;
+  index_.emplace(url, std::move(entry));
+  queue_.push_back(std::move(op));
+  refresh_gauges_locked();
+  if (inst_.spills) inst_.spills->inc();
+  if (inst_.spill_bytes) inst_.spill_bytes->inc(size);
+  lock.unlock();
+  cv_.notify_one();
+  result.accepted = true;
+  return result;
+}
+
+std::optional<DiskTier::DiskDoc> DiskTier::get(const std::string& url) {
+  if (degraded()) return std::nullopt;
+  std::string file;
+  std::uint64_t version = 0;
+  std::uint64_t size = 0;
+  std::uint32_t body_crc = 0;
+  {
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    const auto it = index_.find(url);
+    if (it == index_.end()) return std::nullopt;
+    touch_locked(url, it->second);
+    if (it->second.queued) {
+      // Still in the write-behind queue: serve the in-flight copy.
+      if (inst_.hits) inst_.hits->inc();
+      return DiskDoc{it->second.version, *it->second.queued};
+    }
+    file = it->second.file;
+    version = it->second.version;
+    size = it->second.size;
+    body_crc = it->second.body_crc;
+  }
+  std::vector<std::uint8_t> body;
+  try {
+    body = read_file_checked(file, size);
+  } catch (const FileGone&) {
+    return std::nullopt;  // evicted between unlock and read: a plain miss
+  } catch (const IoError& e) {
+    note_io_error("read", e.what());
+    return std::nullopt;
+  }
+  if (body.size() != size || util::crc32(body) != body_crc) {
+    // Corrupt on media: eradicate the copy (slccd) and miss.
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    if (inst_.dropped) inst_.dropped->inc();
+    CC_LOG(Warn) << "disk tier: body CRC mismatch for " << url
+                 << " (" << file << "), dropping the copy";
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    const auto it = index_.find(url);
+    if (it != index_.end() && it->second.file == file) {
+      drop_entry_locked(url, /*log_delete=*/true);
+      refresh_gauges_locked();
+      lock.unlock();
+      cv_.notify_one();
+    }
+    return std::nullopt;
+  }
+  note_io_success();
+  if (inst_.hits) inst_.hits->inc();
+  return DiskDoc{version, std::move(body)};
+}
+
+bool DiskTier::contains(const std::string& url) const {
+  if (degraded()) return false;
+  const obs::TimedLock lock(mutex_);
+  return index_.count(url) > 0;
+}
+
+std::uint64_t DiskTier::version_of(const std::string& url) const {
+  if (degraded()) return 0;
+  const obs::TimedLock lock(mutex_);
+  const auto it = index_.find(url);
+  return it == index_.end() ? 0 : it->second.version;
+}
+
+bool DiskTier::erase(const std::string& url) {
+  if (degraded()) return false;
+  bool found = false;
+  {
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    const auto it = index_.find(url);
+    if (it != index_.end()) {
+      found = true;
+      drop_entry_locked(url, /*log_delete=*/true);
+      refresh_gauges_locked();
+    }
+  }
+  if (found) cv_.notify_one();
+  return found;
+}
+
+void DiskTier::flush() {
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return degraded() || (queue_.empty() && !writer_busy_);
+  });
+}
+
+void DiskTier::hard_stop() {
+  {
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    stop_ = true;
+    abandon_queue_ = true;
+    queue_.clear();
+    idle_cv_.notify_all();
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+std::size_t DiskTier::doc_count() const {
+  const obs::TimedLock lock(mutex_);
+  return index_.size();
+}
+
+std::uint64_t DiskTier::used_bytes() const {
+  const obs::TimedLock lock(mutex_);
+  return used_;
+}
+
+// --------------------------------------------------------- writer thread
+
+void DiskTier::writer_loop() {
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (abandon_queue_) break;
+    if (queue_.empty()) {
+      if (stop_) break;
+      continue;
+    }
+    Op op = std::move(queue_.front());
+    queue_.pop_front();
+    writer_busy_ = true;
+    lock.unlock();
+    perform(op);
+    lock.lock();
+    writer_busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void DiskTier::perform(const Op& op) {
+  if (degraded()) return;
+  if (op.type == Op::Type::Erase) {
+    std::error_code ec;
+    stdfs::remove(path_of(op.file), ec);  // ENOENT is fine (never written)
+    try {
+      append_manifest("d " + op.url);
+      note_io_success();
+    } catch (const IoError& e) {
+      note_io_error("write", e.what());
+    }
+    return;
+  }
+  {
+    // Superseded while queued (replaced or evicted)? Skip the whole op.
+    const obs::TimedLock lock(mutex_);
+    const auto it = index_.find(op.url);
+    if (it == index_.end() || it->second.file != op.file ||
+        !it->second.queued) {
+      return;
+    }
+  }
+  try {
+    write_body_file(op);
+    append_manifest("p " + std::to_string(op.version) + " " +
+                    std::to_string(op.body->size()) + " " +
+                    crc_hex(op.body_crc) + " " + op.file + " " + op.url);
+    note_io_success();
+    const obs::TimedLock lock(mutex_);
+    const auto it = index_.find(op.url);
+    if (it != index_.end() && it->second.file == op.file) {
+      it->second.queued.reset();  // committed: serve from the file now
+    }
+  } catch (const IoError& e) {
+    note_io_error("write", e.what());
+    // The spill never became durable; forget it so gets don't read a
+    // half-written file. The memory tier is unaffected.
+    std::unique_lock<obs::TimedMutex> lock(mutex_);
+    const auto it = index_.find(op.url);
+    if (it != index_.end() && it->second.file == op.file) {
+      used_ -= it->second.size;
+      lru_.erase(it->second.use_seq);
+      index_.erase(it);
+      refresh_gauges_locked();
+    }
+  }
+}
+
+void DiskTier::write_body_file(const Op& op) {
+  const std::string path = path_of(op.file);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw IoError("open " + tmp + ": " + std::strerror(errno));
+  const auto* data = reinterpret_cast<const char*>(op.body->data());
+  std::size_t remaining = op.body->size();
+  std::size_t off = 0;
+  try {
+    while (remaining > 0) {
+      std::size_t allowed = remaining;
+      if (config_.io_faults) allowed = config_.io_faults->on_write(remaining);
+      const ssize_t n = ::write(fd, data + off, allowed);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw IoError("write " + tmp + ": " + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+      remaining -= static_cast<std::size_t>(n);
+      if (allowed < remaining + static_cast<std::size_t>(n)) {
+        // Injected short write: the tail of the body silently never lands
+        // (a torn write). The size/CRC check catches it on read.
+        break;
+      }
+    }
+    if (config_.io_faults) config_.io_faults->on_fsync();
+    if (::fsync(fd) != 0) {
+      throw IoError("fsync " + tmp + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw IoError("rename " + path + ": " + std::strerror(err));
+  }
+}
+
+void DiskTier::append_manifest(const std::string& record_body) {
+  if (manifest_fd_ < 0) throw IoError("manifest closed");
+  std::string line = crc_hex(util::crc32(record_body)) + " " + record_body +
+                     "\n";
+  if (config_.io_faults && config_.io_faults->corrupt_append()) {
+    line[line.size() / 2] ^= 0x01;  // latent media bit-flip
+  }
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  std::size_t off = 0;
+  while (remaining > 0) {
+    std::size_t allowed = remaining;
+    if (config_.io_faults) allowed = config_.io_faults->on_write(remaining);
+    const ssize_t n = ::write(manifest_fd_, data + off, allowed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("manifest write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+    if (allowed < remaining + static_cast<std::size_t>(n)) {
+      return;  // torn manifest append; recovery drops the tail
+    }
+  }
+  if (config_.io_faults) config_.io_faults->on_fsync();
+  if (::fsync(manifest_fd_) != 0) {
+    throw IoError("manifest fsync: " + std::string(std::strerror(errno)));
+  }
+}
+
+std::vector<std::uint8_t> DiskTier::read_file_checked(const std::string& file,
+                                                      std::uint64_t size) {
+  if (config_.io_faults) config_.io_faults->on_read();
+  const std::string path = path_of(file);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) throw FileGone{};
+    throw IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> body;
+  body.reserve(size);
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw IoError("read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    body.insert(body.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return body;
+}
+
+// ------------------------------------------------------------ breaker
+
+void DiskTier::note_io_error(const char* op, const std::string& what) {
+  if (inst_.io_errors) inst_.io_errors->inc();
+  CC_LOG(Warn) << "disk tier " << config_.directory << ": " << op
+               << " failed: " << what;
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (config_.breaker_failures > 0 &&
+      consecutive_failures_ >= config_.breaker_failures && !degraded()) {
+    degraded_.store(true, std::memory_order_relaxed);
+    queue_.clear();
+    index_.clear();
+    lru_.clear();
+    used_ = 0;
+    refresh_gauges_locked();
+    if (inst_.degraded) inst_.degraded->set(1.0);
+    idle_cv_.notify_all();
+    CC_LOG(Warn) << "disk tier " << config_.directory << ": breaker tripped ("
+                 << consecutive_failures_
+                 << " consecutive I/O failures), degrading to memory-only";
+  }
+}
+
+void DiskTier::note_io_success() {
+  const obs::TimedLock lock(mutex_);
+  consecutive_failures_ = 0;
+}
+
+void DiskTier::degrade(const std::string& why) {
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
+  if (degraded()) return;
+  degraded_.store(true, std::memory_order_relaxed);
+  queue_.clear();
+  index_.clear();
+  lru_.clear();
+  used_ = 0;
+  refresh_gauges_locked();
+  if (inst_.degraded) inst_.degraded->set(1.0);
+  idle_cv_.notify_all();
+  CC_LOG(Warn) << "disk tier " << config_.directory << ": degraded (" << why
+               << ")";
+}
+
+// ------------------------------------------------------------ internals
+
+void DiskTier::touch_locked(const std::string& url, Entry& entry) {
+  lru_.erase(entry.use_seq);
+  entry.use_seq = next_use_seq_++;
+  lru_.emplace(entry.use_seq, url);
+}
+
+void DiskTier::make_room_locked(std::uint64_t needed,
+                                std::vector<std::string>& evicted) {
+  while (used_ + needed > config_.capacity_bytes && !lru_.empty()) {
+    const auto victim = lru_.begin();
+    const std::string url = victim->second;
+    drop_entry_locked(url, /*log_delete=*/false);
+    if (inst_.evictions) inst_.evictions->inc();
+    evicted.push_back(url);
+  }
+}
+
+void DiskTier::drop_entry_locked(const std::string& url, bool log_delete) {
+  (void)log_delete;
+  const auto it = index_.find(url);
+  if (it == index_.end()) return;
+  if (!it->second.queued) {
+    Op op;
+    op.type = Op::Type::Erase;
+    op.url = url;
+    op.file = it->second.file;
+    queue_.push_back(std::move(op));
+  }
+  used_ -= it->second.size;
+  lru_.erase(it->second.use_seq);
+  index_.erase(it);
+}
+
+void DiskTier::refresh_gauges_locked() {
+  if (inst_.docs) inst_.docs->set(static_cast<double>(index_.size()));
+  if (inst_.bytes) inst_.bytes->set(static_cast<double>(used_));
+}
+
+}  // namespace cachecloud::cache

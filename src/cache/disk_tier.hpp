@@ -1,0 +1,213 @@
+// Write-behind disk tier under the in-memory DocumentStore.
+//
+// Modeled on slash2's slccd last-use disk cache and Traffic Server's object
+// store: documents evicted from (or written through) the memory tier are
+// spilled to a per-node cache directory by a background writer thread, and
+// survive a process crash so a restarted node rejoins the cloud warm.
+//
+// Layout of the cache directory:
+//
+//   obj-<seq>.dat    one document body per file, written as
+//                    obj-<seq>.dat.tmp + fsync + rename (crash-consistent:
+//                    a body file either exists complete or not at all);
+//   manifest         fsync'd append-only log of put/del records, one per
+//                    line, each protected by its own CRC32:
+//
+//      <crc32hex> p <seq> <version> <size> <bodycrc32hex> <file> <url>
+//      <crc32hex> d <url>
+//
+//    The CRC covers everything after the first space. The body file is
+//    renamed into place *before* its manifest record is appended, so a
+//    record implies a complete body.
+//
+// Recovery (run in the constructor) replays the manifest, stops at the
+// first CRC-invalid record (valid-prefix semantics: an append torn by a
+// crash invalidates only the tail), drops records whose body file is
+// missing, truncated or fails its body CRC, deletes stray files, compacts
+// the manifest via util::atomic_write_file and reports what survived.
+//
+// Every syscall-shaped operation routes through an IoFaultInjector hook.
+// `breaker_failures` consecutive hard I/O errors trip a breaker that
+// degrades the tier to a black hole (puts rejected, gets miss, nothing
+// crashes) and raises the cachecloud_disk_degraded gauge — the Traffic
+// Server "all disks bad -> proxy-only mode" behavior.
+//
+// Thread safety: fully internally synchronized. Index mutations are
+// synchronous under disk_mutex_ (an accepted put is immediately visible to
+// get(), served from the queued copy until the writer commits it); only
+// file I/O happens on the writer thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/io_fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace cachecloud::cache {
+
+struct DiskTierConfig {
+  std::string directory;            // required; created if missing
+  std::uint64_t capacity_bytes = 0;  // 0 = unlimited
+  // Consecutive hard I/O errors before the tier degrades to memory-only.
+  std::uint32_t breaker_failures = 3;
+  // Seeded I/O chaos hook. Not owned; must outlive the tier. nullptr = off.
+  IoFaultInjector* io_faults = nullptr;
+};
+
+class DiskTier {
+ public:
+  struct PutResult {
+    bool accepted = false;
+    // Documents evicted from *disk* to make room (last-use order). The
+    // caller owns deregistering them from the cloud directory.
+    std::vector<std::string> evicted;
+  };
+  struct DiskDoc {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> body;
+  };
+  struct RecoveredDoc {
+    std::string url;
+    std::uint64_t version = 0;
+    std::uint64_t size = 0;
+  };
+
+  // Creates the directory and runs recovery; never throws on I/O failure
+  // (the tier starts degraded instead). `registry` may be null (no metrics).
+  DiskTier(const DiskTierConfig& config, obs::Registry* registry);
+  ~DiskTier();
+  DiskTier(const DiskTier&) = delete;
+  DiskTier& operator=(const DiskTier&) = delete;
+
+  // What recovery salvaged, most-recently-used last.
+  [[nodiscard]] const std::vector<RecoveredDoc>& recovered() const noexcept {
+    return recovered_;
+  }
+
+  // Write-behind spill. Accepted puts are readable immediately; the body
+  // reaches disk asynchronously. Re-putting the version already on disk
+  // just refreshes last-use (no rewrite).
+  PutResult put(const std::string& url, std::uint64_t version,
+                const std::vector<std::uint8_t>& body);
+
+  // Reads a document (queued copy or file), verifying the body CRC; a
+  // corrupt file is eradicated (slccd-style) and reported as a miss.
+  // Bumps last-use.
+  std::optional<DiskDoc> get(const std::string& url);
+
+  [[nodiscard]] bool contains(const std::string& url) const;
+  // Version on disk, 0 if absent.
+  [[nodiscard]] std::uint64_t version_of(const std::string& url) const;
+
+  bool erase(const std::string& url);
+
+  // Blocks until the write-behind queue is fully committed (tests).
+  void flush();
+  // Crash emulation: abandon the queue without flushing and stop the
+  // writer. Queued-but-uncommitted spills are lost, as in a real crash.
+  void hard_stop();
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t doc_count() const;
+  [[nodiscard]] std::uint64_t used_bytes() const;
+  [[nodiscard]] std::uint64_t dropped_records() const noexcept {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::string file;
+    std::uint64_t version = 0;
+    std::uint64_t size = 0;
+    std::uint32_t body_crc = 0;
+    std::uint64_t use_seq = 0;
+    // Set while the body sits in the write-behind queue; get() serves it
+    // from here until the writer commits the file.
+    std::shared_ptr<const std::vector<std::uint8_t>> queued;
+  };
+  struct Op {
+    enum class Type { Write, Erase } type = Type::Write;
+    std::string url;
+    std::string file;
+    std::uint64_t version = 0;
+    std::uint32_t body_crc = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> body;
+  };
+
+  void register_instruments(obs::Registry* registry);
+  void recover();
+  void writer_loop();
+  void perform(const Op& op);
+  // Body file write: tmp + fsync + rename, all through the fault hooks.
+  void write_body_file(const Op& op);
+  void append_manifest(const std::string& record_body);
+  [[nodiscard]] std::vector<std::uint8_t> read_file_checked(
+      const std::string& file, std::uint64_t size);
+
+  void note_io_error(const char* op, const std::string& what);
+  void note_io_success();
+  // Trips the breaker: drops queue + index, closes the manifest, raises
+  // the gauge. Idempotent.
+  void degrade(const std::string& why);
+
+  // Under mutex_: moves `entry`'s recency to the tail of the LRU order.
+  void touch_locked(const std::string& url, Entry& entry);
+  // Under mutex_: evicts last-used entries until `needed` more bytes fit.
+  void make_room_locked(std::uint64_t needed,
+                        std::vector<std::string>& evicted);
+  void drop_entry_locked(const std::string& url, bool log_delete);
+  void refresh_gauges_locked();
+
+  [[nodiscard]] std::string path_of(const std::string& file) const {
+    return config_.directory + "/" + file;
+  }
+
+  const DiskTierConfig config_;
+
+  mutable obs::TimedMutex mutex_;  // bound as "disk_mutex_" when registered
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
+  std::unordered_map<std::string, Entry> index_;
+  std::map<std::uint64_t, std::string> lru_;  // use_seq -> url
+  std::deque<Op> queue_;
+  bool writer_busy_ = false;
+  bool stop_ = false;
+  bool abandon_queue_ = false;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_file_seq_ = 1;
+  std::uint64_t next_use_seq_ = 1;
+  std::uint32_t consecutive_failures_ = 0;
+  int manifest_fd_ = -1;
+
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> dropped_records_{0};
+  std::vector<RecoveredDoc> recovered_;
+  std::thread writer_;
+
+  struct Instruments {
+    obs::Counter* spills = nullptr;
+    obs::Counter* spill_bytes = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* io_errors = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Gauge* docs = nullptr;
+    obs::Gauge* bytes = nullptr;
+    obs::Gauge* degraded = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace cachecloud::cache

@@ -1,0 +1,69 @@
+#include "cache/io_fault.hpp"
+
+namespace cachecloud::cache {
+
+void IoFaultInjector::set_profile(const IoFaultProfile& profile) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  profile_ = profile;
+}
+
+void IoFaultInjector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  profile_ = IoFaultProfile{};
+}
+
+void IoFaultInjector::on_read() {
+  bool fire;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fire = rng_.next_bool(profile_.read_error);
+  }
+  if (fire) {
+    bump(Kind::ReadError);
+    throw IoError("injected: EIO on read");
+  }
+}
+
+std::size_t IoFaultInjector::on_write(std::size_t n) {
+  // Fixed roll order (error, then short) so the sequence is reproducible.
+  bool error;
+  bool torn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    error = rng_.next_bool(profile_.write_error);
+    torn = rng_.next_bool(profile_.short_write);
+  }
+  if (error) {
+    bump(Kind::WriteError);
+    throw IoError("injected: EIO on write");
+  }
+  if (torn && n > 1) {
+    bump(Kind::ShortWrite);
+    return n / 2;
+  }
+  return n;
+}
+
+void IoFaultInjector::on_fsync() {
+  bool fire;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fire = rng_.next_bool(profile_.fsync_error);
+  }
+  if (fire) {
+    bump(Kind::FsyncError);
+    throw IoError("injected: EIO on fsync");
+  }
+}
+
+bool IoFaultInjector::corrupt_append() {
+  bool fire;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fire = rng_.next_bool(profile_.corrupt_append);
+  }
+  if (fire) bump(Kind::CorruptAppend);
+  return fire;
+}
+
+}  // namespace cachecloud::cache

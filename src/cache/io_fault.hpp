@@ -1,0 +1,105 @@
+// Deterministic fault injection for disk I/O — the storage-layer sibling of
+// net::FaultInjector.
+//
+// The DiskTier routes every syscall-shaped operation through one of these
+// hooks:
+//
+//   on_read()        before reading a body or manifest byte range — may
+//                    throw an injected EIO;
+//   on_write(n)      before writing n bytes — may throw an injected EIO, or
+//                    return a smaller count (a torn/short write: the caller
+//                    writes only that many bytes and stops, so the file ends
+//                    up truncated and the CRC catches it later);
+//   on_fsync()       before an fsync — may throw an injected EIO;
+//   corrupt_append() once per manifest record appended — true means the tier
+//                    flips one byte of the record as written, modeling a
+//                    latent media bit-flip that recovery must detect.
+//
+// Like the transport injector, all randomness comes from one seeded
+// util::Rng behind a mutex with a fixed roll order per hook, so a
+// single-threaded driver replays the same fault sequence run to run.
+// Counters are atomics; tests reconcile them against the disk tier's
+// error/degrade metrics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cachecloud::cache {
+
+// Probabilities of each fault per hook invocation; default is "no faults".
+struct IoFaultProfile {
+  double read_error = 0.0;    // P(read fails with injected EIO)
+  double write_error = 0.0;   // P(write fails with injected EIO)
+  double fsync_error = 0.0;   // P(fsync fails with injected EIO)
+  double short_write = 0.0;   // P(write is torn: only half the bytes land)
+  double corrupt_append = 0.0;  // P(appended manifest record gets a bit flip)
+};
+
+// Thrown by the hooks; the DiskTier treats it exactly like a real EIO.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class IoFaultInjector {
+ public:
+  enum class Kind : std::size_t {
+    ReadError = 0,
+    WriteError = 1,
+    FsyncError = 2,
+    ShortWrite = 3,
+    CorruptAppend = 4,
+  };
+  static constexpr std::size_t kKinds = 5;
+
+  explicit IoFaultInjector(std::uint64_t seed) : rng_(seed) {}
+  IoFaultInjector(const IoFaultInjector&) = delete;
+  IoFaultInjector& operator=(const IoFaultInjector&) = delete;
+
+  void set_profile(const IoFaultProfile& profile);
+  void clear();
+
+  // ---- disk-tier hooks --------------------------------------------
+  void on_read();
+  // Returns how many of the n requested bytes the caller may write; n when
+  // no fault fires, a truncated count on an injected short write.
+  [[nodiscard]] std::size_t on_write(std::size_t n);
+  void on_fsync();
+  [[nodiscard]] bool corrupt_append();
+
+  // ---- accounting --------------------------------------------------
+  [[nodiscard]] std::uint64_t count(Kind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  // Faults that surface as a failed disk operation (short writes and
+  // bit-flips corrupt silently instead).
+  [[nodiscard]] std::uint64_t hard_errors() const noexcept {
+    return count(Kind::ReadError) + count(Kind::WriteError) +
+           count(Kind::FsyncError);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return hard_errors() + count(Kind::ShortWrite) +
+           count(Kind::CorruptAppend);
+  }
+
+ private:
+  void bump(Kind kind) noexcept {
+    counts_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  IoFaultProfile profile_;
+  std::array<std::atomic<std::uint64_t>, kKinds> counts_{};
+};
+
+}  // namespace cachecloud::cache

@@ -1,0 +1,152 @@
+#include "cache/tiered_store.hpp"
+
+#include <utility>
+
+namespace cachecloud::cache {
+
+TieredStore::TieredStore(std::uint64_t mem_capacity_bytes,
+                         std::unique_ptr<ReplacementPolicy> policy,
+                         std::unique_ptr<DiskTier> disk, bool write_through)
+    : mem_(mem_capacity_bytes, std::move(policy)),
+      disk_(std::move(disk)),
+      write_through_(write_through && disk_ != nullptr) {}
+
+void TieredStore::note_disk_evictions(std::vector<std::string>&& evicted,
+                                      TieredPutResult& result) {
+  for (std::string& url : evicted) {
+    // Still memory-resident copies remain held (and registered); only
+    // documents that just left their last tier must be deregistered.
+    if (mem_urls_.count(url) == 0) {
+      result.dropped_urls.push_back(std::move(url));
+    }
+  }
+}
+
+void TieredStore::spill(Body&& body, TieredPutResult& result) {
+  bool kept = false;
+  if (disk_) {
+    DiskTier::PutResult dp = disk_->put(body.url, body.version, body.bytes);
+    kept = dp.accepted;
+    note_disk_evictions(std::move(dp.evicted), result);
+  }
+  if (kept) {
+    ++result.spilled;
+  } else {
+    result.dropped_urls.push_back(std::move(body.url));
+  }
+}
+
+TieredPutResult TieredStore::put(DocId id, const std::string& url,
+                                 const std::vector<std::uint8_t>& body,
+                                 std::uint64_t version, double now) {
+  TieredPutResult result;
+  const PutResult mem = mem_.put(id, body.size(), version, now);
+  result.stored = mem.stored;
+  if (mem.stored) {
+    const std::uint64_t stored_version = mem_.peek(id)->version;
+    bodies_[id] = Body{url, body, stored_version};
+    mem_urls_[url] = id;
+    if (write_through_) {
+      DiskTier::PutResult dp = disk_->put(url, stored_version, body);
+      note_disk_evictions(std::move(dp.evicted), result);
+    }
+  }
+  for (const DocId victim : mem.evicted) {
+    auto node = bodies_.extract(victim);
+    if (node.empty()) continue;
+    mem_urls_.erase(node.mapped().url);
+    spill(std::move(node.mapped()), result);
+  }
+  return result;
+}
+
+TieredStore::ReadResult TieredStore::get(DocId id, const std::string& url,
+                                         double now) {
+  ReadResult result;
+  if (const auto doc = mem_.get(id, now)) {
+    const auto it = bodies_.find(id);
+    if (it != bodies_.end()) {
+      result.found = true;
+      result.version = doc->version;
+      result.body = it->second.bytes;
+      return result;
+    }
+  }
+  if (disk_) {
+    if (auto hit = disk_->get(url)) {
+      result.found = true;
+      result.from_disk = true;
+      result.version = hit->version;
+      result.body = std::move(hit->body);
+    }
+  }
+  return result;
+}
+
+bool TieredStore::apply_update(DocId id, const std::string& url,
+                               const std::vector<std::uint8_t>& body,
+                               std::uint64_t version, double now,
+                               TieredPutResult* side) {
+  TieredPutResult local;
+  TieredPutResult& result = side ? *side : local;
+  const bool in_mem = mem_.contains(id);
+  const bool on_disk = disk_ && disk_->contains(url);
+  if (!in_mem && !on_disk) return false;
+
+  if (in_mem) {
+    std::vector<DocId> evicted;
+    mem_.apply_update(id, version, body.size(), now, &evicted);
+    if (mem_.contains(id)) {
+      bodies_[id] = Body{url, body, mem_.peek(id)->version};
+    } else {
+      // The grown document could never fit and was dropped from memory;
+      // offer the fresh copy to the disk tier like any other eviction.
+      auto node = bodies_.extract(id);
+      mem_urls_.erase(url);
+      if (!node.empty()) {
+        node.mapped().bytes = body;
+        node.mapped().version = version;
+        spill(std::move(node.mapped()), result);
+      }
+    }
+    for (const DocId victim : evicted) {
+      auto node = bodies_.extract(victim);
+      if (node.empty()) continue;
+      mem_urls_.erase(node.mapped().url);
+      spill(std::move(node.mapped()), result);
+    }
+  }
+  if (on_disk && disk_->version_of(url) < version) {
+    // Refresh the durable copy so a restart never resurrects a stale
+    // version.
+    DiskTier::PutResult dp = disk_->put(url, version, body);
+    note_disk_evictions(std::move(dp.evicted), result);
+  }
+  return true;
+}
+
+bool TieredStore::erase(DocId id, const std::string& url) {
+  const bool had_mem = mem_.erase(id);
+  bodies_.erase(id);
+  mem_urls_.erase(url);
+  const bool had_disk = disk_ && disk_->erase(url);
+  return had_mem || had_disk;
+}
+
+bool TieredStore::load_recovered(DocId id, const std::string& url,
+                                 double now) {
+  if (!disk_ || mem_.contains(id)) return false;
+  auto hit = disk_->get(url);
+  if (!hit) return false;
+  if (!mem_.unlimited() &&
+      mem_.used_bytes() + hit->body.size() > mem_.capacity_bytes()) {
+    return false;  // preload must not evict what is already warm
+  }
+  const PutResult mem = mem_.put(id, hit->body.size(), hit->version, now);
+  if (!mem.stored) return false;
+  bodies_[id] = Body{url, std::move(hit->body), mem_.peek(id)->version};
+  mem_urls_[url] = id;
+  return true;
+}
+
+}  // namespace cachecloud::cache

@@ -1,0 +1,121 @@
+// Two-tier document store: byte-accounted in-memory DocumentStore (metadata)
+// + owned bodies, over an optional write-behind DiskTier.
+//
+// This is the storage engine a CacheNode mounts behind its state mutex. It
+// owns what used to be the node's separate `store_` and `bodies_` members
+// and adds the spill/reload choreography between them and the disk:
+//
+//   put        memory insert; every memory eviction is offered to the disk
+//              tier ("spilled") before being dropped. With write_through
+//              the inserted copy is also persisted immediately, so a crash
+//              loses nothing that was ever stored.
+//   get        memory first (bumps the replacement policy), then disk. Disk
+//              hits are served in place, not promoted — after a warm
+//              restart the hot set is preloaded by load_recovered instead.
+//   apply_update
+//              refreshes whichever tiers hold the document so a stale
+//              version is never served after a restart.
+//
+// Eviction outcomes split in two: `spilled` documents remain available
+// locally (they stay registered at their beacon point), `dropped_urls` left
+// the node entirely and must be deregistered by the caller.
+//
+// Not internally synchronized (except the DiskTier's own write-behind
+// machinery): the owning node serializes access, exactly as it did for the
+// raw DocumentStore. With no DiskTier configured, behavior is identical to
+// the pre-tiered store+bodies pair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/disk_tier.hpp"
+#include "cache/document_store.hpp"
+#include "cache/replacement.hpp"
+
+namespace cachecloud::cache {
+
+struct TieredPutResult {
+  bool stored = false;
+  // Evicted from memory and spilled to (or already durable on) disk: the
+  // node still holds these and they stay registered.
+  std::size_t spilled = 0;
+  // Gone from every tier — the caller must deregister them.
+  std::vector<std::string> dropped_urls;
+};
+
+class TieredStore {
+ public:
+  // `disk` may be null (memory-only). `write_through` persists every
+  // accepted memory put immediately instead of only on eviction.
+  TieredStore(std::uint64_t mem_capacity_bytes,
+              std::unique_ptr<ReplacementPolicy> policy,
+              std::unique_ptr<DiskTier> disk, bool write_through = false);
+
+  struct ReadResult {
+    bool found = false;
+    bool from_disk = false;
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> body;
+  };
+
+  TieredPutResult put(DocId id, const std::string& url,
+                      const std::vector<std::uint8_t>& body,
+                      std::uint64_t version, double now);
+
+  // Memory first (policy bump), then disk (last-use bump).
+  ReadResult get(DocId id, const std::string& url, double now);
+
+  // Applies a pushed update to every tier holding the document. Returns
+  // false if no tier holds it. Eviction side effects land in `side`.
+  bool apply_update(DocId id, const std::string& url,
+                    const std::vector<std::uint8_t>& body,
+                    std::uint64_t version, double now, TieredPutResult* side);
+
+  // Removes the document from every tier. True if any tier had it.
+  bool erase(DocId id, const std::string& url);
+
+  // Warm-restart preload: copy a recovered document from disk into memory
+  // if it fits without evicting anything. The disk copy stays durable.
+  bool load_recovered(DocId id, const std::string& url, double now);
+
+  [[nodiscard]] bool in_memory(DocId id) const { return mem_.contains(id); }
+  [[nodiscard]] bool holds(DocId id, const std::string& url) const {
+    return mem_.contains(id) || (disk_ && disk_->contains(url));
+  }
+  [[nodiscard]] bool holds_url(const std::string& url) const {
+    return mem_urls_.count(url) > 0 || (disk_ && disk_->contains(url));
+  }
+
+  // The memory tier's metadata view (doc_count, used_bytes, residence,
+  // mean_access_count ... ) for placement contexts and stats gauges.
+  [[nodiscard]] const DocumentStore& memory() const noexcept { return mem_; }
+  [[nodiscard]] DiskTier* disk() noexcept { return disk_.get(); }
+  [[nodiscard]] const DiskTier* disk() const noexcept { return disk_.get(); }
+
+ private:
+  struct Body {
+    std::string url;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t version = 0;
+  };
+
+  // Offers an evicted memory body to the disk tier; classifies the outcome
+  // into `result` and folds in any disk-side evictions.
+  void spill(Body&& body, TieredPutResult& result);
+  void note_disk_evictions(std::vector<std::string>&& evicted,
+                           TieredPutResult& result);
+
+  DocumentStore mem_;
+  std::unordered_map<DocId, Body> bodies_;
+  // Reverse map for memory-resident urls: a disk eviction of a url still
+  // held in memory is not a "dropped" document.
+  std::unordered_map<std::string, DocId> mem_urls_;
+  std::unique_ptr<DiskTier> disk_;
+  const bool write_through_;
+};
+
+}  // namespace cachecloud::cache

@@ -1,10 +1,10 @@
 #include "loadgen/report.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <stdexcept>
 
 #include "obs/span_store.hpp"
+#include "util/fs.hpp"
 
 namespace cachecloud::loadgen {
 
@@ -226,6 +226,23 @@ std::string render_report(const Plan& plan, const RunResult& result) {
   doc.boolean("consistent", rec.consistent);
   doc.close_object();
 
+  // The lifecycle section appears only when the driver ran a kill–restart
+  // phase, so plain runs stay byte-identical to the pre-disk schema.
+  if (result.lifecycle.ran) {
+    const LifecycleSummary& life = result.lifecycle;
+    doc.open_object("lifecycle");
+    doc.field("node", num(static_cast<std::uint64_t>(life.node)));
+    doc.field("kill_at_sec", num(life.kill_at_sec));
+    doc.field("restart_at_sec", num(life.restart_at_sec));
+    doc.field("recovered_docs", num(life.recovered_docs));
+    doc.field("announced", num(life.announced));
+    doc.field("post_gets", num(life.post_gets));
+    doc.field("post_local", num(life.post_local));
+    doc.field("post_disk", num(life.post_disk));
+    doc.field("post_local_hit_rate", num(life.post_local_hit_rate));
+    doc.close_object();
+  }
+
   if (result.ramp.ran) {
     doc.open_object("ramp");
     doc.boolean("saturated", result.ramp.saturated);
@@ -296,13 +313,14 @@ std::string default_report_name(const Plan& plan) {
 
 void write_report(const std::string& path, const Plan& plan,
                   const RunResult& result) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("loadgen: cannot write report to " + path);
-  }
-  out << render_report(plan, result);
-  if (!out) {
-    throw std::runtime_error("loadgen: failed writing report to " + path);
+  // Atomic (tmp + fsync + rename): a report that doubles as a bench_diff
+  // baseline must never be observable half-written, even if the driver
+  // dies mid-flush.
+  try {
+    util::atomic_write_file(path, render_report(plan, result));
+  } catch (const std::exception& e) {
+    throw std::runtime_error("loadgen: cannot write report to " + path +
+                             ": " + e.what());
   }
 }
 

@@ -112,6 +112,26 @@ struct Reconciliation {
   bool consistent = false;
 };
 
+// Kill–restart lifecycle outcome, filled by the driver when it ran a
+// --kill-node phase (the runner itself only drives traffic). `ran=false`
+// leaves the report without a lifecycle section.
+struct LifecycleSummary {
+  bool ran = false;
+  std::uint32_t node = 0;
+  double kill_at_sec = 0.0;
+  double restart_at_sec = 0.0;
+  // Documents replayed from the disk manifest at restart (0 on a cold
+  // restart) and how many of those were re-announced at beacon points.
+  std::uint64_t recovered_docs = 0;
+  std::uint64_t announced = 0;
+  // The restarted node's counters are all post-restart (its registry was
+  // reborn with it), so these measure warm-restart quality directly.
+  std::uint64_t post_gets = 0;
+  std::uint64_t post_local = 0;  // memory hits
+  std::uint64_t post_disk = 0;   // disk-tier hits
+  double post_local_hit_rate = 0.0;  // (local + disk) / gets
+};
+
 struct RampSummary {
   bool ran = false;
   bool saturated = false;
@@ -134,6 +154,10 @@ struct RunResult {
   std::vector<NodeStats> nodes;
   Reconciliation reconciliation;
   RampSummary ramp;
+  // Kill–restart outcome, filled by the driver's lifecycle thread;
+  // ran=false (the default) keeps the report byte-identical to a run
+  // without one.
+  LifecycleSummary lifecycle;
   // Contention profile, filled by the driver's --profile post-run scrape
   // (ProfileDumpReq against every node); enabled=false leaves the report
   // without a contention section.

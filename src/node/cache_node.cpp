@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
@@ -23,17 +24,34 @@ const char* source_name(CacheNode::GetResult::Source source) {
   return "?";
 }
 
+// Builds this node's disk tier, rooted at `<disk.directory>/node-<id>` so
+// cluster nodes sharing one cache directory never collide. Empty directory
+// (the default) means memory-only. Recovery runs inside the DiskTier
+// constructor, before the node's server exists.
+std::unique_ptr<cache::DiskTier> make_disk_tier(const NodeConfig& config,
+                                                NodeId id,
+                                                obs::Registry& registry) {
+  if (config.disk.directory.empty()) return nullptr;
+  cache::DiskTierConfig cfg = config.disk;
+  cfg.directory = (std::filesystem::path(config.disk.directory) /
+                   ("node-" + std::to_string(id)))
+                      .string();
+  return std::make_unique<cache::DiskTier>(cfg, &registry);
+}
+
 }  // namespace
 
 CacheNode::CacheNode(NodeId id, const NodeConfig& config)
     : id_(id),
       config_(config),
       start_(std::chrono::steady_clock::now()),
-      store_(config.capacity_bytes, cache::make_policy(config.replacement)),
       request_monitor_(config.monitor_half_life_sec),
       rings_(config.num_caches, config.ring_size, config.irh_gen),
       placement_(core::make_placement(config.placement, config.utility)),
-      node_label_("cache-" + std::to_string(id)) {
+      node_label_("cache-" + std::to_string(id)),
+      store_(config.capacity_bytes, cache::make_policy(config.replacement),
+             make_disk_tier(config, id, registry_),
+             config.disk_write_through) {
   if (id_ >= config_.num_caches) {
     throw std::invalid_argument("CacheNode: id outside cluster");
   }
@@ -47,6 +65,7 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
                               {{"class", hit_class}});
   };
   inst_.get_local = hit_counter("local");
+  inst_.get_disk = hit_counter("disk");
   inst_.get_cloud = hit_counter("cloud");
   inst_.get_origin = hit_counter("origin");
   inst_.placement_accept = &registry_.counter(
@@ -105,6 +124,9 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   inst_.suspects_reported = &registry_.counter(
       "cachecloud_suspects_reported_total",
       "SuspectNode reports sent to the coordinator");
+  inst_.recovery_announced = &registry_.counter(
+      "cachecloud_recovery_announced_total",
+      "Disk-recovered documents re-registered at their beacon points");
   inst_.get_latency = &registry_.histogram(
       "cachecloud_get_latency_seconds",
       "End-to-end client get() latency", obs::default_latency_bounds());
@@ -126,6 +148,9 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   inst_.replica_records = &registry_.gauge(
       "cachecloud_replica_records",
       "Lazily-replicated lookup records held for ring peers");
+  inst_.recovered_docs = &registry_.gauge(
+      "cachecloud_recovered_docs",
+      "Documents replayed from the disk manifest at the last startup");
 
   // Per-node retry jitter seed: deterministic, distinct per node.
   retry_ = std::make_unique<RetryPolicy>(
@@ -136,15 +161,79 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   state_mutex_.bind(registry_, "state_mutex_");
   peers_mutex_.bind(registry_, "peers_mutex_");
 
+  // Replay whatever the disk tier recovered into the node's url table and
+  // memory tier before the server can see traffic.
+  recover_from_disk();
+
   server_ = std::make_unique<net::TcpServer>(
-      0, [this](const net::Frame& f) { return handle(f); }, &wire_metrics_,
-      config_.fault_injector, &registry_);
+      config_.listen_port, [this](const net::Frame& f) { return handle(f); },
+      &wire_metrics_, config_.fault_injector, &registry_);
+}
+
+void CacheNode::recover_from_disk() {
+  cache::DiskTier* disk = store_.disk();
+  if (!disk) return;
+  const obs::TimedLock lock(state_mutex_);
+  const auto& recovered = disk->recovered();
+  // Most-recently-used last in the manifest: preload from the back so the
+  // warm end of the LRU wins the memory budget.
+  for (auto it = recovered.rbegin(); it != recovered.rend(); ++it) {
+    const trace::DocId doc = intern(it->url);
+    (void)store_.load_recovered(doc, it->url, now());
+    recovery_announce_.emplace_back(it->url, it->version);
+  }
+  inst_.recovered_docs->set(static_cast<double>(recovered.size()));
+  if (!recovered.empty()) {
+    CC_LOG(Info) << "node " << id_ << ": warm restart recovered "
+                 << recovered.size() << " documents from disk ("
+                 << disk->dropped_records() << " records dropped)";
+  }
+}
+
+std::size_t CacheNode::announce_recovered() {
+  std::vector<std::pair<std::string, std::uint64_t>> pending;
+  {
+    const obs::TimedLock lock(state_mutex_);
+    pending.swap(recovery_announce_);
+  }
+  std::size_t announced = 0;
+  for (const auto& [url, version] : pending) {
+    const RingView::Target target = rings_.resolve(url);
+    RegisterHolder reg;
+    reg.url = url;
+    reg.node = id_;
+    reg.version = version;
+    try {
+      (void)peer_call(target.beacon, reg.encode());
+      ++announced;
+      inst_.recovery_announced->inc();
+    } catch (const std::exception& e) {
+      CC_LOG(Warn) << "node " << id_ << ": recovery announce of " << url
+                   << " at beacon " << target.beacon << " failed: "
+                   << e.what();
+    }
+  }
+  return announced;
+}
+
+std::size_t CacheNode::recovered_docs() const {
+  const cache::DiskTier* disk = store_.disk();
+  return disk ? disk->recovered().size() : 0;
 }
 
 CacheNode::~CacheNode() { stop(); }
 
 void CacheNode::stop() {
   if (server_) server_->stop();
+}
+
+void CacheNode::hard_kill() {
+  if (server_) server_->stop();
+  if (cache::DiskTier* disk = store_.disk()) disk->hard_stop();
+}
+
+void CacheNode::flush_disk() {
+  if (cache::DiskTier* disk = store_.disk()) disk->flush();
 }
 
 void CacheNode::set_endpoints(const Endpoints& endpoints) {
@@ -311,34 +400,33 @@ core::PlacementContext CacheNode::make_context(const std::string& url,
   ctx.update_rate = update == update_monitors_.end()
                         ? 0.0
                         : update->second.rate(at);
+  const cache::DocumentStore& mem = store_.memory();
   ctx.mean_access_rate_at_cache =
-      store_.doc_count() > 0
-          ? request_monitor_.rate(at) / static_cast<double>(store_.doc_count())
+      mem.doc_count() > 0
+          ? request_monitor_.rate(at) / static_cast<double>(mem.doc_count())
           : 0.0;
   ctx.cloud_copies = cloud_copies;
-  ctx.residence_sec = store_.expected_residence_sec(at);
+  ctx.residence_sec = mem.expected_residence_sec(at);
   return ctx;
 }
 
 bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
                            const std::vector<std::uint8_t>& body,
                            std::uint64_t version) {
-  std::vector<std::string> evicted_urls;
-  bool stored = false;
+  cache::TieredPutResult put;
   {
     const obs::TimedLock lock(state_mutex_);
-    cache::PutResult put = store_.put(doc, body.size(), version, now());
-    stored = put.stored;
-    if (stored) bodies_[url] = body;
-    for (const trace::DocId victim : put.evicted) {
-      const std::string& victim_url = doc_to_url_.at(victim);
-      bodies_.erase(victim_url);
-      evicted_urls.push_back(victim_url);
-    }
+    put = store_.put(doc, url, body, version, now());
   }
-  inst_.evictions->inc(evicted_urls.size());
-  // Deregister evicted documents at their beacon points (outside the lock).
-  for (const std::string& victim_url : evicted_urls) {
+  // Memory evictions: spilled copies stay registered (still served from
+  // disk); only documents gone from every tier are deregistered.
+  inst_.evictions->inc(put.spilled + put.dropped_urls.size());
+  deregister_urls(put.dropped_urls);
+  return put.stored;
+}
+
+void CacheNode::deregister_urls(const std::vector<std::string>& urls) {
+  for (const std::string& victim_url : urls) {
     const RingView::Target target = rings_.resolve(victim_url);
     DeregisterHolder dereg;
     dereg.url = victim_url;
@@ -350,7 +438,6 @@ bool CacheNode::store_copy(const std::string& url, trace::DocId doc,
                    << " at beacon " << target.beacon << " failed: " << e.what();
     }
   }
-  return stored;
 }
 
 // --------------------------------------------------------------- get
@@ -388,16 +475,18 @@ CacheNode::GetResult CacheNode::get_impl(const std::string& url,
         .first->second.record(at);
     request_monitor_.record(at);
 
-    if (store_.get(doc, at).has_value()) {
+    cache::TieredStore::ReadResult local = store_.get(doc, url, at);
+    if (local.found) {
       ++counters_.local_hits;
+      if (local.from_disk) ++counters_.disk_hits;
       GetResult result;
-      result.body = bodies_.at(url);
-      result.version = store_.peek(doc)->version;
+      result.body = std::move(local.body);
+      result.version = local.version;
       result.source = GetResult::Source::Local;
-      inst_.get_local->inc();
+      (local.from_disk ? inst_.get_disk : inst_.get_local)->inc();
       inst_.get_latency->observe(span.elapsed_sec(),
                                  span_store_ ? span.trace_id() : 0);
-      span.tag("class", "local");
+      span.tag("class", local.from_disk ? "disk" : "local");
       return result;
     }
   }
@@ -649,15 +738,14 @@ net::Frame CacheNode::handle_fetch(const net::Frame& request) {
   const FetchReq req = FetchReq::decode(request);
   const obs::TimedLock lock(state_mutex_);
   FetchResp resp;
-  const auto it = bodies_.find(req.url);
-  if (it != bodies_.end()) {
-    const auto doc_it = url_to_doc_.find(req.url);
-    if (doc_it != url_to_doc_.end()) {
-      if (const auto doc = store_.get(doc_it->second, now())) {
-        resp.found = true;
-        resp.version = doc->version;
-        resp.body = it->second;
-      }
+  const auto doc_it = url_to_doc_.find(req.url);
+  if (doc_it != url_to_doc_.end()) {
+    cache::TieredStore::ReadResult doc =
+        store_.get(doc_it->second, req.url, now());
+    if (doc.found) {
+      resp.found = true;
+      resp.version = doc.version;
+      resp.body = std::move(doc.body);
     }
   }
   return resp.encode();
@@ -720,53 +808,51 @@ net::Frame CacheNode::handle_update_push(const net::Frame& request,
 net::Frame CacheNode::handle_propagate(const net::Frame& request) {
   const UpdatePush push = UpdatePush::decode(request);
   const double at = now();
-  const obs::TimedLock lock(state_mutex_);
-  ++counters_.propagates_received;
-  inst_.propagates_received->inc();
-  const trace::DocId doc = intern(push.url);
-  update_monitors_
-      .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
-      .first->second.record(at);
-
   PropagateResp resp;
-  if (!store_.contains(doc)) {
-    // Not a holder (e.g. beacon-placement push of a fresh copy): the
-    // placement policy decides whether to adopt it.
-    const RingView::Target target = rings_.resolve(push.url);
-    const core::PlacementContext ctx =
-        make_context(push.url, doc, 0, target.beacon == id_, at);
-    if (placement_->replicate_to_beacon_on_group_miss() &&
-        target.beacon == id_) {
-      // Accept unconditionally: we are the designated single holder. A put
-      // into an unlimited store cannot fail; bounded stores may still
-      // reject an oversized body.
-      if (store_.put(doc, push.body.size(), push.version, at).stored) {
-        bodies_[push.url] = push.body;
-        resp.kept = true;
+  cache::TieredPutResult side;
+  {
+    const obs::TimedLock lock(state_mutex_);
+    ++counters_.propagates_received;
+    inst_.propagates_received->inc();
+    const trace::DocId doc = intern(push.url);
+    update_monitors_
+        .try_emplace(doc, util::RateEstimator(config_.monitor_half_life_sec))
+        .first->second.record(at);
+
+    if (!store_.holds(doc, push.url)) {
+      // Not a holder (e.g. beacon-placement push of a fresh copy): the
+      // placement policy decides whether to adopt it. As the designated
+      // beacon-placement holder we accept unconditionally (a put into an
+      // unlimited store cannot fail; bounded stores may still reject an
+      // oversized body).
+      const RingView::Target target = rings_.resolve(push.url);
+      const core::PlacementContext ctx =
+          make_context(push.url, doc, 0, target.beacon == id_, at);
+      const bool adopt = (placement_->replicate_to_beacon_on_group_miss() &&
+                          target.beacon == id_) ||
+                         placement_->store_at_requester(ctx);
+      if (adopt) {
+        side = store_.put(doc, push.url, push.body, push.version, at);
+        resp.kept = side.stored;
       }
-    } else if (placement_->store_at_requester(ctx)) {
-      if (store_.put(doc, push.body.size(), push.version, at).stored) {
-        bodies_[push.url] = push.body;
-        resp.kept = true;
+    } else {
+      const core::PlacementContext ctx =
+          make_context(push.url, doc, 1,
+                       rings_.resolve(push.url).beacon == id_, at);
+      if (placement_->keep_on_update(ctx)) {
+        resp.kept = store_.apply_update(doc, push.url, push.body,
+                                        push.version, at, &side);
+      } else {
+        (void)store_.erase(doc, push.url);
+        ++counters_.drops_on_update;
+        inst_.drops_on_update->inc();
+        resp.kept = false;
       }
     }
-    return resp.encode();
   }
-
-  const core::PlacementContext ctx =
-      make_context(push.url, doc, 1,
-                   rings_.resolve(push.url).beacon == id_, at);
-  if (placement_->keep_on_update(ctx)) {
-    store_.apply_update(doc, push.version, push.body.size(), at);
-    bodies_[push.url] = push.body;
-    resp.kept = true;
-  } else {
-    store_.erase(doc);
-    bodies_.erase(push.url);
-    ++counters_.drops_on_update;
-    inst_.drops_on_update->inc();
-    resp.kept = false;
-  }
+  // Tier side effects settle outside the lock, exactly like store_copy.
+  inst_.evictions->inc(side.spilled + side.dropped_urls.size());
+  deregister_urls(side.dropped_urls);
   return resp.encode();
 }
 
@@ -990,12 +1076,12 @@ void CacheNode::sync_replicas() {
 
 std::size_t CacheNode::cached_docs() const {
   const obs::TimedLock lock(state_mutex_);
-  return store_.doc_count();
+  return store_.memory().doc_count();
 }
 
 bool CacheNode::has_cached(const std::string& url) const {
   const obs::TimedLock lock(state_mutex_);
-  return bodies_.count(url) > 0;
+  return store_.holds_url(url);
 }
 
 std::size_t CacheNode::directory_records() const {
@@ -1017,7 +1103,7 @@ obs::Snapshot CacheNode::metrics_snapshot() const {
   // Gauges reflect the state at scrape time.
   {
     const obs::TimedLock lock(state_mutex_);
-    inst_.cached_docs->set(static_cast<double>(store_.doc_count()));
+    inst_.cached_docs->set(static_cast<double>(store_.memory().doc_count()));
     inst_.directory_records->set(static_cast<double>(directory_.size()));
     inst_.replica_records->set(
         static_cast<double>(replica_directory_.size()));

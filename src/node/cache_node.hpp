@@ -16,7 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cache/document_store.hpp"
+#include "cache/tiered_store.hpp"
 #include "core/placement.hpp"
 #include "net/tcp.hpp"
 #include "node/protocol.hpp"
@@ -54,6 +54,18 @@ struct NodeConfig {
   // Deterministic chaos hook, threaded into every client and server this
   // node creates. Not owned; must outlive the node. nullptr = no faults.
   net::FaultInjector* fault_injector = nullptr;
+  // ---- persistence -------------------------------------------------
+  // Write-behind disk tier. `disk.directory` empty (the default) keeps the
+  // node memory-only and byte-identical to the pre-disk behavior. When
+  // set, each node uses `<directory>/node-<id>`: memory evictions spill to
+  // disk, misses consult disk before peers, and a restart replays the
+  // manifest (warm restart). `disk.io_faults` injects seeded I/O errors.
+  cache::DiskTierConfig disk;
+  // Persist every accepted memory put immediately, not only on eviction.
+  bool disk_write_through = false;
+  // Fixed listen port (0 = ephemeral). A restarted node must come back on
+  // the port its peers already have in their endpoint tables.
+  std::uint16_t listen_port = 0;
 };
 
 // Endpoint table distributed to every node before traffic starts.
@@ -101,6 +113,11 @@ class CacheNode {
   // cycle boundaries; the coordinator's failover relies on it.
   void sync_replicas();
 
+  // Re-registers documents recovered from the disk tier at their beacon
+  // points, so a warm-restarted node's copies count as cloud copies again.
+  // Call once after set_endpoints(); returns how many were announced.
+  std::size_t announce_recovered();
+
   // ---- introspection ----------------------------------------------
   [[nodiscard]] std::size_t cached_docs() const;
   [[nodiscard]] std::size_t replica_records() const;
@@ -110,6 +127,8 @@ class CacheNode {
   struct Counters {
     std::uint64_t gets = 0;
     std::uint64_t local_hits = 0;
+    // Subset of local_hits served from the disk tier.
+    std::uint64_t disk_hits = 0;
     std::uint64_t cloud_hits = 0;
     std::uint64_t origin_fetches = 0;
     std::uint64_t lookups_served = 0;
@@ -133,6 +152,16 @@ class CacheNode {
   }
 
   void stop();
+  // Crash emulation: stops the server and abandons the disk tier's queued
+  // spills without flushing — only what the write-behind writer already
+  // committed survives, exactly like a kill -9.
+  void hard_kill();
+  // Blocks until the write-behind disk queue is committed (no-op without a
+  // disk tier). Tests use it to draw the crash-consistency line exactly.
+  void flush_disk();
+
+  // Documents replayed from the disk manifest at startup (0 = cold start).
+  [[nodiscard]] std::size_t recovered_docs() const;
 
  private:
   struct DirectoryRecord {
@@ -183,6 +212,12 @@ class CacheNode {
   bool store_copy(const std::string& url, trace::DocId doc,
                   const std::vector<std::uint8_t>& body,
                   std::uint64_t version);
+  // Deregisters dropped documents at their beacon points (best-effort).
+  // Callers must NOT hold state_mutex_.
+  void deregister_urls(const std::vector<std::string>& urls);
+  // Warm restart: intern manifest-recovered urls, preload what fits into
+  // memory and queue the re-announcements. Runs before the server starts.
+  void recover_from_disk();
 
   const NodeId id_;
   const NodeConfig config_;
@@ -194,8 +229,8 @@ class CacheNode {
   // hot path — quantifying its wait time is what motivates the sharded
   // rewrite (ROADMAP items 1-2).
   mutable obs::TimedMutex state_mutex_;
-  cache::DocumentStore store_;
-  std::unordered_map<std::string, std::vector<std::uint8_t>> bodies_;
+  // store_ itself lives below, after registry_: its disk tier registers
+  // instruments, so it must construct after (and die before) the registry.
   std::unordered_map<std::string, DirectoryRecord> directory_;
   // Lazily replicated copies of ring peers' lookup records; promoted to
   // `directory_` entries when a failed peer's sub-range is inherited.
@@ -219,9 +254,15 @@ class CacheNode {
   obs::Registry registry_;
   WireMetrics wire_metrics_{registry_};
   const std::string node_label_;  // span/trace node label, "cache-<id>"
+  // The tiered document store (memory + optional write-behind disk),
+  // guarded by state_mutex_ like the rest of the node state.
+  cache::TieredStore store_;
+  // Recovered (url, version) pairs awaiting announce_recovered().
+  std::vector<std::pair<std::string, std::uint64_t>> recovery_announce_;
   std::unique_ptr<obs::SpanStore> span_store_;  // null = collection off
   struct Instruments {
     obs::Counter* get_local = nullptr;
+    obs::Counter* get_disk = nullptr;
     obs::Counter* get_cloud = nullptr;
     obs::Counter* get_origin = nullptr;
     obs::Counter* placement_accept = nullptr;
@@ -241,6 +282,7 @@ class CacheNode {
     obs::Counter* degraded_register = nullptr;
     obs::Counter* degraded_beacon_push = nullptr;
     obs::Counter* suspects_reported = nullptr;
+    obs::Counter* recovery_announced = nullptr;
     obs::LatencyHistogram* get_latency = nullptr;
     obs::LatencyHistogram* phase_lookup = nullptr;
     obs::LatencyHistogram* phase_fetch = nullptr;
@@ -248,6 +290,7 @@ class CacheNode {
     obs::Gauge* cached_docs = nullptr;
     obs::Gauge* directory_records = nullptr;
     obs::Gauge* replica_records = nullptr;
+    obs::Gauge* recovered_docs = nullptr;
   };
   Instruments inst_;
 

@@ -1,5 +1,9 @@
 #include "node/cluster.hpp"
 
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 namespace cachecloud::node {
 
 Cluster::Cluster(const NodeConfig& config)
@@ -27,6 +31,45 @@ Cluster::~Cluster() { stop_all(); }
 void Cluster::crash(NodeId id) {
   caches_.at(id)->stop();
   crashed_.at(id) = true;
+}
+
+void Cluster::hard_kill(NodeId id) {
+  caches_.at(id)->hard_kill();
+  crashed_.at(id) = true;
+}
+
+std::size_t Cluster::restart(NodeId id) {
+  const std::uint16_t port = caches_.at(id)->port();
+  caches_.at(id).reset();  // joins the server and the disk writer
+
+  // Reincarnate on the same port so every peer's endpoint table (and any
+  // pooled-but-broken connections, which reconnect lazily) stays valid.
+  NodeConfig config = config_;
+  config.listen_port = port;
+  std::unique_ptr<CacheNode> node;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      node = std::make_unique<CacheNode>(id, config);
+      break;
+    } catch (const std::exception&) {
+      // The old listener can linger in TIME_WAIT for a moment even with
+      // SO_REUSEADDR; a short retry covers it.
+      if (attempt >= 50) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  Endpoints endpoints;
+  endpoints.origin_port = origin_->port();
+  endpoints.cache_ports.reserve(caches_.size());
+  for (NodeId peer = 0; peer < caches_.size(); ++peer) {
+    endpoints.cache_ports.push_back(peer == id ? node->port()
+                                               : caches_.at(peer)->port());
+  }
+  node->set_endpoints(endpoints);
+  caches_.at(id) = std::move(node);
+  crashed_.at(id) = false;
+  return caches_.at(id)->announce_recovered();
 }
 
 std::size_t Cluster::live_caches() const {

@@ -30,6 +30,15 @@ class Cluster {
   // Stops a cache node's server (simulated crash). Peers will see
   // connection failures when they talk to it.
   void crash(NodeId id);
+  // Crash emulation for the persistence path: stops the server AND
+  // abandons the disk tier's uncommitted write-behind queue, like kill -9.
+  // Only what the writer already made durable survives a later restart().
+  void hard_kill(NodeId id);
+  // Tears the node down and reconstructs it on the same port (its peers'
+  // endpoint tables stay valid). With a disk tier configured this is a
+  // warm restart: the manifest is replayed and recovered copies are
+  // re-announced at their beacon points. Returns how many were announced.
+  std::size_t restart(NodeId id);
   [[nodiscard]] bool crashed(NodeId id) const {
     return crashed_.at(id);
   }

@@ -1,0 +1,40 @@
+// Small durable-file helpers shared by the disk tier and report writers.
+//
+// crc32            IEEE CRC-32 (reflected 0xEDB88320), table-driven. Used as
+//                  the per-record checksum of the disk-tier manifest and for
+//                  document-body integrity on spill/reload.
+// atomic_write_file
+//                  Whole-file replace with crash consistency: write to
+//                  `<path>.tmp`, fsync, rename over `path`, fsync the parent
+//                  directory. After a crash the file holds either the old or
+//                  the new content, never a torn mix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cachecloud::util {
+
+// Incremental form: pass the previous return value as `state` to continue a
+// running checksum. Starting state is 0.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t state = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view s,
+                                         std::uint32_t state = 0) noexcept {
+  return crc32(s.data(), s.size(), state);
+}
+
+[[nodiscard]] inline std::uint32_t crc32(const std::vector<std::uint8_t>& v,
+                                         std::uint32_t state = 0) noexcept {
+  return crc32(v.data(), v.size(), state);
+}
+
+// Throws std::runtime_error (with errno text) on any failure; the target is
+// untouched in that case apart from a possibly leftover `<path>.tmp`.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace cachecloud::util

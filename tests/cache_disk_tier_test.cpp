@@ -1,0 +1,538 @@
+#include "cache/disk_tier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "cache/tiered_store.hpp"
+#include "util/fs.hpp"
+
+namespace cachecloud::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] std::vector<std::uint8_t> make_body(std::size_t n,
+                                                  std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+class DiskTierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cc_disk_tier_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] DiskTierConfig config(std::uint64_t capacity = 0,
+                                      IoFaultInjector* faults = nullptr) {
+    DiskTierConfig cfg;
+    cfg.directory = dir_;
+    cfg.capacity_bytes = capacity;
+    cfg.io_faults = faults;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DiskTierTest, PutThenGetRoundTripsThroughQueueAndFile) {
+  DiskTier tier(config(), nullptr);
+  const auto body = make_body(512, 0xAB);
+  EXPECT_TRUE(tier.put("/doc/1", 3, body).accepted);
+
+  // Served from the write-behind queue immediately.
+  auto hit = tier.get("/doc/1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 3u);
+  EXPECT_EQ(hit->body, body);
+
+  // And from the committed file after the queue drains.
+  tier.flush();
+  hit = tier.get("/doc/1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, body);
+  EXPECT_EQ(tier.doc_count(), 1u);
+  EXPECT_EQ(tier.used_bytes(), 512u);
+}
+
+TEST_F(DiskTierTest, FlushedDocumentsSurviveReincarnation) {
+  {
+    DiskTier tier(config(), nullptr);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(tier
+                      .put("/doc/" + std::to_string(i),
+                           static_cast<std::uint64_t>(i + 1),
+                           make_body(100 + i, static_cast<std::uint8_t>(i)))
+                      .accepted);
+    }
+    tier.flush();
+  }  // graceful shutdown
+  DiskTier reborn(config(), nullptr);
+  EXPECT_EQ(reborn.recovered().size(), 10u);
+  EXPECT_EQ(reborn.doc_count(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto hit = reborn.get("/doc/" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->version, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(hit->body, make_body(100 + i, static_cast<std::uint8_t>(i)));
+  }
+}
+
+TEST_F(DiskTierTest, HardStopLosesOnlyTheUncommittedQueue) {
+  {
+    DiskTier tier(config(), nullptr);
+    ASSERT_TRUE(tier.put("/committed", 1, make_body(64, 1)).accepted);
+    tier.flush();
+    // hard_stop abandons whatever is still queued, like a crash would.
+    ASSERT_TRUE(tier.put("/queued-1", 1, make_body(64, 2)).accepted);
+    ASSERT_TRUE(tier.put("/queued-2", 1, make_body(64, 3)).accepted);
+    tier.hard_stop();
+  }
+  DiskTier reborn(config(), nullptr);
+  // Only the flushed document is guaranteed back. (The queued ones may or
+  // may not have been committed depending on writer timing — but
+  // /committed must always survive.)
+  EXPECT_TRUE(reborn.contains("/committed"));
+  auto hit = reborn.get("/committed");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, make_body(64, 1));
+}
+
+TEST_F(DiskTierTest, RecoveryStopsAtFirstCorruptManifestRecord) {
+  {
+    DiskTier tier(config(), nullptr);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          tier.put("/doc/" + std::to_string(i), 1, make_body(50, 5)).accepted);
+    }
+    tier.flush();
+  }
+  // Flip one byte in the middle of the manifest: the prefix before the
+  // damaged record must recover, the rest must be discarded.
+  const std::string mpath = dir_ + "/manifest";
+  std::string text;
+  {
+    std::ifstream in(mpath, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_FALSE(text.empty());
+  // Find the start of the 4th line and corrupt its CRC field.
+  std::size_t pos = 0;
+  for (int line = 0; line < 3; ++line) pos = text.find('\n', pos) + 1;
+  text[pos] = text[pos] == 'f' ? '0' : 'f';
+  {
+    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  DiskTier reborn(config(), nullptr);
+  EXPECT_EQ(reborn.recovered().size(), 3u);
+  EXPECT_GE(reborn.dropped_records(), 3u);
+  EXPECT_FALSE(reborn.degraded());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(reborn.contains("/doc/" + std::to_string(i))) << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_FALSE(reborn.contains("/doc/" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(DiskTierTest, TruncatedManifestTailIsDiscarded) {
+  {
+    DiskTier tier(config(), nullptr);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          tier.put("/doc/" + std::to_string(i), 1, make_body(40, 9)).accepted);
+    }
+    tier.flush();
+  }
+  const std::string mpath = dir_ + "/manifest";
+  std::string text;
+  {
+    std::ifstream in(mpath, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Chop the file mid-way through the last record (torn final append).
+  {
+    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() - 10);
+  }
+  DiskTier reborn(config(), nullptr);
+  EXPECT_EQ(reborn.recovered().size(), 3u);
+  EXPECT_FALSE(reborn.degraded());
+}
+
+TEST_F(DiskTierTest, CorruptBodyFileIsDroppedAtRecovery) {
+  std::string victim_file;
+  {
+    DiskTier tier(config(), nullptr);
+    ASSERT_TRUE(tier.put("/good", 1, make_body(128, 7)).accepted);
+    ASSERT_TRUE(tier.put("/bad", 1, make_body(128, 8)).accepted);
+    tier.flush();
+  }
+  // Corrupt one body on "media": flip a byte in whichever obj file does
+  // not match /good's fill.
+  for (const auto& ent : fs::directory_iterator(dir_)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("obj-", 0) != 0) continue;
+    std::ifstream in(ent.path(), std::ios::binary);
+    std::string content(std::istreambuf_iterator<char>(in), {});
+    if (!content.empty() && static_cast<std::uint8_t>(content[0]) == 8) {
+      content[64] ^= 0xFF;
+      std::ofstream out(ent.path(), std::ios::binary | std::ios::trunc);
+      out << content;
+      victim_file = name;
+    }
+  }
+  ASSERT_FALSE(victim_file.empty());
+  DiskTier reborn(config(), nullptr);
+  EXPECT_EQ(reborn.recovered().size(), 1u);
+  EXPECT_TRUE(reborn.contains("/good"));
+  EXPECT_FALSE(reborn.contains("/bad"));
+  EXPECT_GE(reborn.dropped_records(), 1u);
+}
+
+TEST_F(DiskTierTest, CorruptBodyReadIsEradicatedLikeSlccd) {
+  DiskTier tier(config(), nullptr);
+  ASSERT_TRUE(tier.put("/doc", 1, make_body(256, 4)).accepted);
+  tier.flush();
+  // Corrupt the committed file behind the tier's back.
+  for (const auto& ent : fs::directory_iterator(dir_)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("obj-", 0) != 0) continue;
+    std::fstream f(ent.path(), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.put('\x7F');
+  }
+  EXPECT_FALSE(tier.get("/doc").has_value());  // CRC mismatch -> miss
+  EXPECT_FALSE(tier.contains("/doc"));         // and the copy is eradicated
+  EXPECT_GE(tier.dropped_records(), 1u);
+  EXPECT_FALSE(tier.degraded());  // corruption is not an I/O breaker event
+}
+
+TEST_F(DiskTierTest, LastUseEvictionUnderCapacity) {
+  DiskTier tier(config(/*capacity=*/300), nullptr);
+  ASSERT_TRUE(tier.put("/a", 1, make_body(100, 1)).accepted);
+  ASSERT_TRUE(tier.put("/b", 1, make_body(100, 2)).accepted);
+  ASSERT_TRUE(tier.put("/c", 1, make_body(100, 3)).accepted);
+  tier.flush();
+  // Touch /a so /b is the least-recently-used.
+  ASSERT_TRUE(tier.get("/a").has_value());
+  const auto put = tier.put("/d", 1, make_body(100, 4));
+  ASSERT_TRUE(put.accepted);
+  ASSERT_EQ(put.evicted.size(), 1u);
+  EXPECT_EQ(put.evicted[0], "/b");
+  tier.flush();
+  EXPECT_TRUE(tier.contains("/a"));
+  EXPECT_FALSE(tier.contains("/b"));
+  EXPECT_TRUE(tier.contains("/c"));
+  EXPECT_TRUE(tier.contains("/d"));
+  EXPECT_LE(tier.used_bytes(), 300u);
+}
+
+TEST_F(DiskTierTest, OversizedBodyIsRejected) {
+  DiskTier tier(config(/*capacity=*/100), nullptr);
+  EXPECT_FALSE(tier.put("/big", 1, make_body(101, 1)).accepted);
+  EXPECT_EQ(tier.doc_count(), 0u);
+}
+
+TEST_F(DiskTierTest, SameVersionRePutSkipsRewrite) {
+  DiskTier tier(config(), nullptr);
+  ASSERT_TRUE(tier.put("/doc", 5, make_body(64, 1)).accepted);
+  tier.flush();
+  const auto spills_before = tier.used_bytes();
+  ASSERT_TRUE(tier.put("/doc", 5, make_body(64, 1)).accepted);
+  tier.flush();
+  EXPECT_EQ(tier.doc_count(), 1u);
+  EXPECT_EQ(tier.used_bytes(), spills_before);
+  // Only one object file on disk.
+  int obj_files = 0;
+  for (const auto& ent : fs::directory_iterator(dir_)) {
+    if (ent.path().filename().string().rfind("obj-", 0) == 0) ++obj_files;
+  }
+  EXPECT_EQ(obj_files, 1);
+}
+
+TEST_F(DiskTierTest, NewVersionReplacesOldFile) {
+  DiskTier tier(config(), nullptr);
+  ASSERT_TRUE(tier.put("/doc", 1, make_body(64, 1)).accepted);
+  tier.flush();
+  ASSERT_TRUE(tier.put("/doc", 2, make_body(80, 2)).accepted);
+  tier.flush();
+  auto hit = tier.get("/doc");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 2u);
+  EXPECT_EQ(hit->body, make_body(80, 2));
+  EXPECT_EQ(tier.used_bytes(), 80u);
+  // Survives restart at the new version.
+  DiskTier reborn(config(), nullptr);
+  hit = reborn.get("/doc");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 2u);
+}
+
+TEST_F(DiskTierTest, EraseRemovesDurably) {
+  {
+    DiskTier tier(config(), nullptr);
+    ASSERT_TRUE(tier.put("/doc", 1, make_body(64, 1)).accepted);
+    tier.flush();
+    EXPECT_TRUE(tier.erase("/doc"));
+    tier.flush();
+    EXPECT_FALSE(tier.contains("/doc"));
+  }
+  DiskTier reborn(config(), nullptr);
+  EXPECT_TRUE(reborn.recovered().empty());
+  EXPECT_FALSE(reborn.contains("/doc"));
+}
+
+// ----------------------------------------------------------- I/O faults
+
+TEST_F(DiskTierTest, PersistentWriteFailureTripsBreakerToMemoryOnly) {
+  IoFaultInjector faults(/*seed=*/7);
+  IoFaultProfile profile;
+  profile.write_error = 1.0;  // every write EIOs
+  faults.set_profile(profile);
+  DiskTierConfig cfg = config(0, &faults);
+  cfg.breaker_failures = 3;
+  DiskTier tier(cfg, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    (void)tier.put("/doc/" + std::to_string(i), 1, make_body(64, 1));
+    tier.flush();
+  }
+  EXPECT_TRUE(tier.degraded());
+  EXPECT_EQ(tier.doc_count(), 0u);
+  // Degraded tier is a harmless black hole: no crash, puts rejected,
+  // gets miss.
+  EXPECT_FALSE(tier.put("/after", 1, make_body(10, 1)).accepted);
+  EXPECT_FALSE(tier.get("/after").has_value());
+  EXPECT_GE(faults.count(IoFaultInjector::Kind::WriteError), 3u);
+}
+
+TEST_F(DiskTierTest, UnreadableManifestDegradesAtStartup) {
+  // Populate cleanly first so a manifest exists on disk.
+  {
+    DiskTier tier(config(), nullptr);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          tier.put("/doc/" + std::to_string(i), 1, make_body(64, 1)).accepted);
+    }
+    tier.flush();
+  }
+  IoFaultInjector faults(/*seed=*/7);
+  IoFaultProfile profile;
+  profile.read_error = 1.0;
+  faults.set_profile(profile);
+  DiskTierConfig cfg = config(0, &faults);
+  cfg.breaker_failures = 3;
+  // A manifest we know exists but cannot read is a persistent-failure
+  // signal: the tier degrades immediately — but construction must not
+  // throw, and every operation stays safe afterwards.
+  DiskTier tier(cfg, nullptr);
+  EXPECT_TRUE(tier.degraded());
+  EXPECT_TRUE(tier.recovered().empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tier.get("/doc/" + std::to_string(i)).has_value());
+  }
+  EXPECT_FALSE(tier.put("/after", 1, make_body(8, 1)).accepted);
+}
+
+TEST_F(DiskTierTest, PersistentReadFailureTripsBreaker) {
+  IoFaultInjector faults(/*seed=*/7);
+  DiskTierConfig cfg = config(0, &faults);
+  cfg.breaker_failures = 3;
+  DiskTier tier(cfg, nullptr);  // recovery runs with a clean profile
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        tier.put("/doc/" + std::to_string(i), 1, make_body(64, 1)).accepted);
+  }
+  tier.flush();
+  IoFaultProfile profile;
+  profile.read_error = 1.0;
+  faults.set_profile(profile);
+  // Each get reaches the disk read, takes an injected EIO, and feeds the
+  // breaker; after breaker_failures of them the tier is memory-only.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tier.get("/doc/" + std::to_string(i)).has_value());
+  }
+  EXPECT_TRUE(tier.degraded());
+  EXPECT_GE(faults.count(IoFaultInjector::Kind::ReadError), 3u);
+}
+
+TEST_F(DiskTierTest, ShortWritesAreCaughtByBodyCrc) {
+  IoFaultInjector faults(/*seed=*/11);
+  IoFaultProfile profile;
+  profile.short_write = 1.0;  // every write torn in half
+  faults.set_profile(profile);
+  DiskTier tier(config(0, &faults), nullptr);
+  ASSERT_TRUE(tier.put("/doc", 1, make_body(256, 6)).accepted);
+  tier.flush();
+  faults.clear();  // reads are clean; the damage is already on disk
+  // The torn body fails its size/CRC check and is eradicated, not served.
+  EXPECT_FALSE(tier.get("/doc").has_value());
+  EXPECT_FALSE(tier.degraded());
+  EXPECT_GE(faults.count(IoFaultInjector::Kind::ShortWrite), 1u);
+}
+
+TEST_F(DiskTierTest, ManifestBitFlipsAreDroppedAtRecovery) {
+  IoFaultInjector faults(/*seed=*/13);
+  {
+    DiskTier tier(config(0, &faults), nullptr);
+    ASSERT_TRUE(tier.put("/clean", 1, make_body(64, 1)).accepted);
+    tier.flush();
+    IoFaultProfile profile;
+    profile.corrupt_append = 1.0;  // every further manifest record flipped
+    faults.set_profile(profile);
+    ASSERT_TRUE(tier.put("/flipped", 1, make_body(64, 2)).accepted);
+    tier.flush();
+    faults.clear();
+  }
+  DiskTier reborn(config(), nullptr);
+  EXPECT_TRUE(reborn.contains("/clean"));
+  EXPECT_FALSE(reborn.contains("/flipped"));
+  EXPECT_GE(faults.count(IoFaultInjector::Kind::CorruptAppend), 1u);
+}
+
+// ---------------------------------------------------------- TieredStore
+
+TEST(TieredStoreTest, MemoryOnlyBehavesLikeDocumentStore) {
+  TieredStore store(/*mem=*/0, make_policy("lru"), nullptr);
+  const auto body = make_body(100, 1);
+  const auto put = store.put(1, "/doc", body, 3, 0.0);
+  EXPECT_TRUE(put.stored);
+  EXPECT_TRUE(put.dropped_urls.empty());
+  EXPECT_EQ(put.spilled, 0u);
+  auto hit = store.get(1, "/doc", 1.0);
+  ASSERT_TRUE(hit.found);
+  EXPECT_FALSE(hit.from_disk);
+  EXPECT_EQ(hit.version, 3u);
+  EXPECT_EQ(hit.body, body);
+  EXPECT_FALSE(store.get(2, "/other", 1.0).found);
+}
+
+class TieredStoreDiskTest : public DiskTierTest {
+ protected:
+  [[nodiscard]] std::unique_ptr<TieredStore> make_store(
+      std::uint64_t mem_capacity, std::uint64_t disk_capacity = 0,
+      bool write_through = false) {
+    return std::make_unique<TieredStore>(
+        mem_capacity, make_policy("lru"),
+        std::make_unique<DiskTier>(config(disk_capacity), nullptr),
+        write_through);
+  }
+};
+
+TEST_F(TieredStoreDiskTest, MemoryEvictionSpillsToDiskAndStaysReadable) {
+  auto store = make_store(/*mem=*/250);
+  ASSERT_TRUE(store->put(1, "/a", make_body(100, 1), 1, 0.0).stored);
+  ASSERT_TRUE(store->put(2, "/b", make_body(100, 2), 1, 1.0).stored);
+  // /a is LRU; storing /c evicts it from memory -> spilled, not dropped.
+  const auto put = store->put(3, "/c", make_body(100, 3), 1, 2.0);
+  ASSERT_TRUE(put.stored);
+  EXPECT_EQ(put.spilled, 1u);
+  EXPECT_TRUE(put.dropped_urls.empty());
+  EXPECT_FALSE(store->in_memory(1));
+  EXPECT_TRUE(store->holds(1, "/a"));
+  auto hit = store->get(1, "/a", 3.0);
+  ASSERT_TRUE(hit.found);
+  EXPECT_TRUE(hit.from_disk);
+  EXPECT_EQ(hit.body, make_body(100, 1));
+}
+
+TEST_F(TieredStoreDiskTest, DiskEvictionReportsDroppedUrls) {
+  auto store = make_store(/*mem=*/150, /*disk=*/150);
+  ASSERT_TRUE(store->put(1, "/a", make_body(100, 1), 1, 0.0).stored);
+  // /b evicts /a from memory -> spilled to disk.
+  auto put = store->put(2, "/b", make_body(100, 2), 1, 1.0);
+  EXPECT_EQ(put.spilled, 1u);
+  // /c evicts /b from memory; spilling /b to the 150-byte disk evicts /a
+  // from disk too — /a has now left the node entirely.
+  put = store->put(3, "/c", make_body(100, 3), 1, 2.0);
+  ASSERT_TRUE(put.stored);
+  EXPECT_EQ(put.spilled, 1u);
+  ASSERT_EQ(put.dropped_urls.size(), 1u);
+  EXPECT_EQ(put.dropped_urls[0], "/a");
+  EXPECT_FALSE(store->holds(1, "/a"));
+  EXPECT_TRUE(store->holds(2, "/b"));
+}
+
+TEST_F(TieredStoreDiskTest, WriteThroughPersistsWithoutEviction) {
+  auto store = make_store(/*mem=*/0, /*disk=*/0, /*write_through=*/true);
+  ASSERT_TRUE(store->put(1, "/doc", make_body(64, 5), 2, 0.0).stored);
+  store->disk()->flush();
+  EXPECT_TRUE(store->disk()->contains("/doc"));
+  EXPECT_EQ(store->disk()->version_of("/doc"), 2u);
+}
+
+TEST_F(TieredStoreDiskTest, ApplyUpdateRefreshesTheDiskCopy) {
+  auto store = make_store(/*mem=*/250);
+  ASSERT_TRUE(store->put(1, "/a", make_body(100, 1), 1, 0.0).stored);
+  ASSERT_TRUE(store->put(2, "/b", make_body(100, 2), 1, 1.0).stored);
+  ASSERT_TRUE(store->put(3, "/c", make_body(100, 3), 1, 2.0).stored);
+  ASSERT_FALSE(store->in_memory(1));  // /a spilled
+  // Update the disk-resident /a: version must advance durably.
+  TieredPutResult side;
+  EXPECT_TRUE(store->apply_update(1, "/a", make_body(100, 9), 7, 3.0, &side));
+  auto hit = store->get(1, "/a", 4.0);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.version, 7u);
+  EXPECT_EQ(hit.body, make_body(100, 9));
+  EXPECT_FALSE(store->apply_update(99, "/none", make_body(1, 0), 1, 5.0,
+                                   &side));
+}
+
+TEST_F(TieredStoreDiskTest, EraseClearsEveryTier) {
+  auto store = make_store(/*mem=*/0, 0, /*write_through=*/true);
+  ASSERT_TRUE(store->put(1, "/doc", make_body(64, 1), 1, 0.0).stored);
+  store->disk()->flush();
+  EXPECT_TRUE(store->erase(1, "/doc"));
+  EXPECT_FALSE(store->holds(1, "/doc"));
+  EXPECT_FALSE(store->get(1, "/doc", 1.0).found);
+  EXPECT_FALSE(store->erase(1, "/doc"));
+}
+
+TEST_F(TieredStoreDiskTest, LoadRecoveredPreloadsOnlyWhatFits) {
+  {
+    auto store = make_store(/*mem=*/0, 0, /*write_through=*/true);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store
+                      ->put(static_cast<DocId>(i), "/doc/" + std::to_string(i),
+                            make_body(100, static_cast<std::uint8_t>(i)),
+                            1, static_cast<double>(i))
+                      .stored);
+    }
+    store->disk()->flush();
+  }
+  // Reincarnate with a 250-byte memory tier: only two docs preload.
+  auto store = std::make_unique<TieredStore>(
+      250, make_policy("lru"),
+      std::make_unique<DiskTier>(config(), nullptr), false);
+  const auto& recovered = store->disk()->recovered();
+  ASSERT_EQ(recovered.size(), 5u);
+  std::size_t loaded = 0;
+  for (auto it = recovered.rbegin(); it != recovered.rend(); ++it) {
+    if (store->load_recovered(static_cast<DocId>(it->url.back() - '0'),
+                              it->url, 0.0)) {
+      ++loaded;
+    }
+  }
+  EXPECT_EQ(loaded, 2u);
+  EXPECT_EQ(store->memory().doc_count(), 2u);
+  EXPECT_LE(store->memory().used_bytes(), 250u);
+  // Everything is still on disk regardless.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store->holds(static_cast<DocId>(i),
+                             "/doc/" + std::to_string(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cachecloud::cache

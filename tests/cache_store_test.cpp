@@ -1,12 +1,16 @@
 #include "cache/document_store.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <filesystem>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cache/replacement.hpp"
+#include "cache/tiered_store.hpp"
 
 namespace cachecloud::cache {
 namespace {
@@ -240,6 +244,176 @@ TEST_P(PolicySweep, CapacityInvariantUnderRandomWorkload) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
                          ::testing::Values("lru", "lfu", "gdsf"));
+
+// ---- tiered byte accounting -----------------------------------------
+//
+// The memory tier's used_bytes must stay the exact sum of resident bodies
+// through every spill/reload choreography: evictions that spill to disk,
+// disk hits served in place, warm-restart preloads and updates that touch
+// both tiers.
+
+class TieredAccountingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    namespace fs = std::filesystem;
+    dir_ = (fs::temp_directory_path() /
+            ("cc_tiered_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::unique_ptr<DiskTier> make_disk() {
+    DiskTierConfig cfg;
+    cfg.directory = dir_;
+    return std::make_unique<DiskTier>(cfg, nullptr);
+  }
+
+  static std::string url_of(int i) { return "/acct" + std::to_string(i); }
+  static std::vector<std::uint8_t> body_of(int i) {
+    return std::vector<std::uint8_t>(100, static_cast<std::uint8_t>(i));
+  }
+
+  // The invariant: used_bytes is exactly the sum over resident metadata,
+  // and never exceeds capacity.
+  static void check_accounting(const TieredStore& store,
+                               std::uint64_t capacity) {
+    std::uint64_t total = 0;
+    std::size_t count = 0;
+    store.memory().for_each([&](const StoredDoc& d) {
+      total += d.size_bytes;
+      ++count;
+    });
+    EXPECT_EQ(total, store.memory().used_bytes());
+    EXPECT_EQ(count, store.memory().doc_count());
+    if (capacity > 0) EXPECT_LE(store.memory().used_bytes(), capacity);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TieredAccountingTest, SpillKeepsBytesExactAndClassifiesEvictions) {
+  constexpr std::uint64_t kCapacity = 300;
+  TieredStore store(kCapacity, make_policy("lru"), make_disk());
+
+  std::size_t spilled = 0;
+  for (int i = 0; i < 8; ++i) {
+    const TieredPutResult put = store.put(static_cast<DocId>(i), url_of(i),
+                                          body_of(i), 1, double(i));
+    EXPECT_TRUE(put.stored);
+    // Every memory eviction lands on disk: nothing is ever dropped.
+    EXPECT_TRUE(put.dropped_urls.empty()) << "put " << i;
+    spilled += put.spilled;
+    check_accounting(store, kCapacity);
+  }
+  EXPECT_EQ(store.memory().doc_count(), 3u);
+  EXPECT_EQ(store.memory().used_bytes(), 300u);
+  EXPECT_EQ(spilled, 5u);
+
+  // The spilled documents are durable and byte-accounted on disk.
+  store.disk()->flush();
+  EXPECT_EQ(store.disk()->doc_count(), 5u);
+  EXPECT_EQ(store.disk()->used_bytes(), 500u);
+
+  // A disk hit serves in place: memory accounting must not move.
+  const TieredStore::ReadResult read =
+      store.get(0, url_of(0), /*now=*/10.0);
+  ASSERT_TRUE(read.found);
+  EXPECT_TRUE(read.from_disk);
+  EXPECT_EQ(read.body, body_of(0));
+  EXPECT_EQ(store.memory().used_bytes(), 300u);
+  check_accounting(store, kCapacity);
+}
+
+TEST_F(TieredAccountingTest, ReloadRoundTripRestoresExactBytes) {
+  constexpr std::uint64_t kCapacity = 300;
+  {
+    TieredStore store(kCapacity, make_policy("lru"), make_disk());
+    for (int i = 0; i < 6; ++i) {
+      (void)store.put(static_cast<DocId>(i), url_of(i), body_of(i), 1,
+                      double(i));
+    }
+    store.disk()->flush();
+  }  // graceful shutdown: writer joined, manifest durable
+
+  // Reincarnate over the same directory: recovery replays the manifest and
+  // load_recovered preloads only what fits without evicting.
+  auto disk = make_disk();
+  const auto recovered = disk->recovered();
+  ASSERT_EQ(recovered.size(), 3u);  // docs 0..2 were evicted and spilled
+  TieredStore store(kCapacity, make_policy("lru"), std::move(disk));
+
+  std::size_t loaded = 0;
+  for (const auto& doc : recovered) {
+    const int i = std::stoi(doc.url.substr(5));
+    if (store.load_recovered(static_cast<DocId>(i), doc.url, 0.0)) ++loaded;
+    check_accounting(store, kCapacity);
+  }
+  EXPECT_EQ(loaded, 3u);
+  EXPECT_EQ(store.memory().used_bytes(), 300u);
+
+  // Every recovered document round-trips with identical bytes and version.
+  for (const auto& doc : recovered) {
+    const int i = std::stoi(doc.url.substr(5));
+    const TieredStore::ReadResult read =
+        store.get(static_cast<DocId>(i), doc.url, 1.0);
+    ASSERT_TRUE(read.found) << doc.url;
+    EXPECT_EQ(read.body, body_of(i)) << doc.url;
+    EXPECT_EQ(read.version, 1u);
+  }
+}
+
+TEST_F(TieredAccountingTest, UpdateAndEraseTouchBothTiersConsistently) {
+  TieredStore store(/*mem=*/300, make_policy("lru"), make_disk());
+  for (int i = 0; i < 5; ++i) {
+    (void)store.put(static_cast<DocId>(i), url_of(i), body_of(i), 1,
+                    double(i));
+  }
+  // Docs 0-1 spilled to disk; 2-4 in memory.
+  ASSERT_FALSE(store.in_memory(0));
+  ASSERT_TRUE(store.in_memory(4));
+
+  // An update to a disk-resident doc refreshes the durable copy.
+  TieredPutResult side;
+  const std::vector<std::uint8_t> fresh(100, 0xEE);
+  ASSERT_TRUE(store.apply_update(0, url_of(0), fresh, 2, 10.0, &side));
+  store.disk()->flush();
+  const TieredStore::ReadResult read = store.get(0, url_of(0), 11.0);
+  ASSERT_TRUE(read.found);
+  EXPECT_EQ(read.version, 2u);
+  EXPECT_EQ(read.body, fresh);
+  check_accounting(store, 300);
+
+  // Erase removes from whichever tier holds the doc; accounting follows.
+  const std::uint64_t before = store.memory().used_bytes();
+  EXPECT_TRUE(store.erase(4, url_of(4)));
+  EXPECT_EQ(store.memory().used_bytes(), before - 100);
+  EXPECT_TRUE(store.erase(0, url_of(0)));
+  EXPECT_FALSE(store.holds_url(url_of(0)));
+  EXPECT_FALSE(store.get(0, url_of(0), 12.0).found);
+  check_accounting(store, 300);
+}
+
+TEST_F(TieredAccountingTest, MemoryOnlyDropsInsteadOfSpills) {
+  // Without a disk tier every eviction is a drop the caller must
+  // deregister — the pre-tiered contract, byte for byte.
+  TieredStore store(/*mem=*/300, make_policy("lru"), nullptr);
+  std::vector<std::string> dropped;
+  for (int i = 0; i < 5; ++i) {
+    TieredPutResult put = store.put(static_cast<DocId>(i), url_of(i),
+                                    body_of(i), 1, double(i));
+    EXPECT_TRUE(put.stored);
+    EXPECT_EQ(put.spilled, 0u);
+    for (std::string& url : put.dropped_urls) dropped.push_back(std::move(url));
+    check_accounting(store, 300);
+  }
+  EXPECT_EQ(store.memory().used_bytes(), 300u);
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(dropped[0], url_of(0));
+  EXPECT_EQ(dropped[1], url_of(1));
+  EXPECT_FALSE(store.holds_url(url_of(0)));
+}
 
 }  // namespace
 }  // namespace cachecloud::cache

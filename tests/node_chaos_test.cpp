@@ -7,7 +7,9 @@
 // the suspicion path promotes the heir without any external
 // handle_node_failure call.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -207,6 +209,100 @@ TEST(NodeChaosTest, SuspicionPromotesHeirWithoutOperatorFailover) {
   // Degraded serves were recorded while the dead node was still a beacon.
   EXPECT_GE(cache_metric_sum(cluster, "cachecloud_degraded_serves_total"),
             0.0);
+}
+
+// ---- hard-kill + restart lifecycle ----------------------------------
+//
+// The same scenario twice — once with the disk tier mounted, once without —
+// so the warm-restart claim is differential: a warm node serves recovered
+// documents locally where a cold node must refetch every one.
+
+class NodeLifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    namespace fs = std::filesystem;
+    dir_ = (fs::temp_directory_path() /
+            ("cc_lifecycle_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Warm node 1 with every doc, flush the write-behind queue, kill it
+  // hard, prove the survivors keep serving, restart, and replay every url
+  // through the reborn node. Fills the node's post-restart counters.
+  void run_lifecycle(const NodeConfig& config, int docs,
+                     std::size_t* recovered, std::size_t* announced,
+                     CacheNode::Counters* counters) {
+    Cluster cluster(config);
+    for (int i = 0; i < docs; ++i) {
+      cluster.origin().add_document(doc_url(i), 96);
+      (void)cluster.cache(1).get(doc_url(i));
+    }
+    cluster.cache(1).flush_disk();  // draw the crash line after the spills
+    cluster.hard_kill(1);
+
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_NO_THROW((void)cluster.cache(0).get(doc_url(i)))
+          << "survivor request " << i;
+    }
+
+    *announced = cluster.restart(1);
+    *recovered = cluster.cache(1).recovered_docs();
+
+    for (int i = 0; i < docs; ++i) {
+      ASSERT_NO_THROW({
+        const auto result = cluster.cache(1).get(doc_url(i));
+        EXPECT_FALSE(result.body.empty()) << doc_url(i);
+      }) << "post-restart request " << i;
+    }
+    *counters = cluster.cache(1).counters();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(NodeLifecycleTest, HardKillRestartRecoversWarmWithDiskTier) {
+  NodeConfig config = chaos_config(nullptr);
+  // A memory tier far smaller than the working set (40 docs x 96 bytes),
+  // so most documents are evicted — and therefore spilled — before the
+  // kill.
+  config.capacity_bytes = 1024;
+  config.disk.directory = dir_;
+  std::size_t recovered = 0;
+  std::size_t announced = 0;
+  CacheNode::Counters counters;
+  run_lifecycle(config, /*docs=*/40, &recovered, &announced, &counters);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // The manifest replay found the spilled documents and re-registered them.
+  EXPECT_GT(recovered, 0u);
+  EXPECT_GT(announced, 0u);
+  // Warm restart: recovered copies serve locally (memory preload or disk
+  // hit) instead of being refetched from peers/origin.
+  EXPECT_GT(counters.local_hits, 0u);
+  EXPECT_GT(counters.disk_hits + counters.local_hits, 0u);
+}
+
+TEST_F(NodeLifecycleTest, HardKillRestartColdWithoutDiskTier) {
+  NodeConfig config = chaos_config(nullptr);
+  config.capacity_bytes = 4096;
+  // No disk directory: the tier is absent and the restart must come back
+  // empty-handed but fully serving.
+  std::size_t recovered = 0;
+  std::size_t announced = 0;
+  CacheNode::Counters counters;
+  run_lifecycle(config, /*docs=*/40, &recovered, &announced, &counters);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  EXPECT_EQ(recovered, 0u);
+  EXPECT_EQ(announced, 0u);
+  // Cold restart: every post-restart request is a first touch — zero local
+  // hits, everything refetched from the cloud or the origin.
+  EXPECT_EQ(counters.local_hits, 0u);
+  EXPECT_EQ(counters.disk_hits, 0u);
+  EXPECT_GT(counters.cloud_hits + counters.origin_fetches, 0u);
 }
 
 }  // namespace

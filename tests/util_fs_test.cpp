@@ -1,0 +1,111 @@
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace cachecloud::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- crc32
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(std::string_view("")), 0x00000000u);
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("The quick brown fox jumps over the lazy "
+                                   "dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "manifest line: put 42 obj-7.dat /doc/7";
+  const std::uint32_t whole = crc32(data);
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < data.size(); i += 5) {
+    state = crc32(data.data() + i, std::min<std::size_t>(5, data.size() - i),
+                  state);
+  }
+  EXPECT_EQ(state, whole);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data(64, 'a');
+  const std::uint32_t clean = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(Crc32Test, VectorOverloadMatchesStringView) {
+  const std::string s = "payload bytes";
+  const std::vector<std::uint8_t> v(s.begin(), s.end());
+  EXPECT_EQ(crc32(v), crc32(std::string_view(s)));
+}
+
+// --------------------------------------------------- atomic_write_file
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cc_fs_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string read_all(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicWriteTest, CreatesNewFile) {
+  const std::string path = (dir_ / "out.json").string();
+  atomic_write_file(path, "{\"a\":1}\n");
+  EXPECT_EQ(read_all(path), "{\"a\":1}\n");
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, ReplacesExistingContentCompletely) {
+  const std::string path = (dir_ / "out.txt").string();
+  atomic_write_file(path, std::string(4096, 'x'));
+  atomic_write_file(path, "short");
+  EXPECT_EQ(read_all(path), "short");
+}
+
+TEST_F(AtomicWriteTest, EmptyContentIsValid) {
+  const std::string path = (dir_ / "empty").string();
+  atomic_write_file(path, "");
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST_F(AtomicWriteTest, ThrowsOnUnwritableDirectoryAndLeavesTargetAlone) {
+  const std::string path = (dir_ / "no" / "such" / "dir" / "f").string();
+  EXPECT_THROW(atomic_write_file(path, "x"), std::runtime_error);
+  const std::string existing = (dir_ / "keep.txt").string();
+  atomic_write_file(existing, "original");
+  // A failed write elsewhere must not disturb unrelated files.
+  EXPECT_EQ(read_all(existing), "original");
+}
+
+TEST_F(AtomicWriteTest, BinaryContentRoundTrips) {
+  std::string blob;
+  for (int i = 0; i < 256; ++i) blob.push_back(static_cast<char>(i));
+  const std::string path = (dir_ / "blob.bin").string();
+  atomic_write_file(path, blob);
+  EXPECT_EQ(read_all(path), blob);
+}
+
+}  // namespace
+}  // namespace cachecloud::util

@@ -30,12 +30,36 @@ namespace {
 
 using util::JsonValue;
 
-[[nodiscard]] std::string read_file(const std::string& path) {
+// Loads one report, failing with an actionable message: a missing or
+// corrupt baseline should tell the operator where the file was expected
+// and exactly how to regenerate it, not just "cannot read".
+[[nodiscard]] JsonValue load_report(const std::string& path,
+                                    const char* role) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read " + path);
+  if (!in) {
+    throw std::runtime_error(
+        std::string(role) + " report not found: " + path +
+        "\n  The CI baseline is checked in at bench/baselines/ (see "
+        "docs/BENCHMARKING.md).\n"
+        "  Regenerate with the matching workload and seed, e.g.:\n"
+        "    ./build/tools/cachecloud_loadgen --workload zipf --rate 200 "
+        "--duration 3 --warmup 1 --seed 7 --docs 300 --caches 4 --out " +
+        path);
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return buffer.str();
+  try {
+    return JsonValue::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(
+        std::string(role) + " report " + path +
+        " is not parsable bench JSON: " + e.what() +
+        "\n  Expected a cachecloud.bench_live.v1 document written by "
+        "cachecloud_loadgen.\n"
+        "  If the file was truncated by a crashed run, delete it and "
+        "regenerate:\n"
+        "    ./build/tools/cachecloud_loadgen ... --out " + path);
+  }
 }
 
 struct Gate {
@@ -79,8 +103,8 @@ int run(const util::Flags& flags) {
     return 2;
   }
 
-  const JsonValue baseline = JsonValue::parse(read_file(baseline_path));
-  const JsonValue candidate = JsonValue::parse(read_file(candidate_path));
+  const JsonValue baseline = load_report(baseline_path, "baseline");
+  const JsonValue candidate = load_report(candidate_path, "candidate");
   std::printf("bench_diff: %s vs %s\n", baseline_path.c_str(),
               candidate_path.c_str());
 

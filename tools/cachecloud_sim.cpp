@@ -37,11 +37,17 @@
 //   --chaos-refuse=0       P(connect refused)  --chaos-reset=0  P(reset)
 //   --chaos-latency-ms=1   injected delay      --chaos-latency-prob=0.25
 //   --chaos-crash=1        node crashed a third of the way in (-1 = none)
+//   --chaos-cache-dir=DIR  mount the write-behind disk tier at DIR
+//   --chaos-disk-fault=0   P(EIO) injected on disk read/write/fsync; at 1.0
+//                          every node must trip into memory-only degrade
+//                          with zero client-visible errors
+//   --chaos-mem-bytes=32768  memory tier size when the disk tier is mounted
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cache/io_fault.hpp"
 #include "core/cloud.hpp"
 #include "net/fault_injector.hpp"
 #include "node/cluster.hpp"
@@ -82,6 +88,30 @@ int run_chaos(const util::Flags& flags) {
   const int docs = flags.get_int("chaos-docs", 40);
   const int requests = flags.get_int("chaos-requests", 400);
   const int crash_node = flags.get_int("chaos-crash", 1);
+
+  // Disk chaos: --chaos-cache-dir mounts the write-behind disk tier
+  // (write-through + a small memory tier so every request touches disk),
+  // --chaos-disk-fault injects seeded EIO on that tier's read/write/fsync
+  // syscalls. At 100% the harness requires every node to trip its breaker
+  // into memory-only degrade while still serving every request.
+  const std::string cache_dir = flags.get_string("chaos-cache-dir", "");
+  const double disk_fault = flags.get_double("chaos-disk-fault", 0.0);
+  cache::IoFaultInjector io_faults(
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed", 42)));
+  if (!cache_dir.empty()) {
+    config.disk.directory = cache_dir;
+    config.disk.io_faults = &io_faults;
+    config.disk_write_through = true;
+    config.capacity_bytes = static_cast<std::uint64_t>(
+        flags.get_int("chaos-mem-bytes", 32768));
+    if (disk_fault > 0.0) {
+      cache::IoFaultProfile io_profile;
+      io_profile.read_error = disk_fault;
+      io_profile.write_error = disk_fault;
+      io_profile.fsync_error = disk_fault;
+      io_faults.set_profile(io_profile);
+    }
+  }
   net::FaultProfile profile;
   profile.frame_drop = flags.get_double("chaos-drop", 0.05);
   profile.connect_refused = flags.get_double("chaos-refuse", 0.0);
@@ -164,6 +194,9 @@ int run_chaos(const util::Flags& flags) {
   double short_circuits = 0.0;
   double degraded = 0.0;
   double suspects = 0.0;
+  double disk_degraded_nodes = 0.0;
+  double disk_io_errors = 0.0;
+  double disk_spills = 0.0;
   for (node::NodeId id = 0; id < config.num_caches; ++id) {
     const obs::Snapshot snap = cluster.cache(id).metrics_snapshot();
     peer_failures += snap.sum_of("cachecloud_peer_call_failures_total");
@@ -172,6 +205,9 @@ int run_chaos(const util::Flags& flags) {
     short_circuits += snap.sum_of("cachecloud_breaker_short_circuits_total");
     degraded += snap.sum_of("cachecloud_degraded_serves_total");
     suspects += snap.sum_of("cachecloud_suspects_reported_total");
+    disk_degraded_nodes += snap.sum_of("cachecloud_disk_degraded");
+    disk_io_errors += snap.sum_of("cachecloud_disk_io_errors_total");
+    disk_spills += snap.sum_of("cachecloud_disk_spills_total");
   }
   const obs::Snapshot origin_snap = cluster.origin().metrics_snapshot();
   const double origin_failures =
@@ -212,6 +248,26 @@ int run_chaos(const util::Flags& flags) {
   std::printf("  degraded serves         %.0f\n", degraded);
   std::printf("  suspects reported       %.0f (failovers run %.0f)\n",
               suspects, suspicion_failovers);
+  if (!cache_dir.empty()) {
+    std::printf(
+        "  disk tier               spills=%.0f io-errors=%.0f (injected "
+        "eio=%llu) degraded nodes=%.0f/%u\n",
+        disk_spills, disk_io_errors,
+        static_cast<unsigned long long>(io_faults.hard_errors()),
+        disk_degraded_nodes, config.num_caches);
+  }
+
+  // Total disk failure must degrade every node to memory-only — the gauge
+  // is the operator's signal — while the client sees zero errors: the
+  // cooperative protocol keeps serving without the tier.
+  if (!cache_dir.empty() && disk_fault >= 1.0) {
+    const bool all_degraded =
+        disk_degraded_nodes >= static_cast<double>(config.num_caches);
+    std::printf("  disk degrade            %s\n",
+                all_degraded ? "every node memory-only, requests unharmed"
+                             : "MISSING DEGRADE");
+    if (!all_degraded) return 1;
+  }
 
   // Every injected disruption surfaces as exactly one failed attempt at
   // some caller; a crashed node only adds real failures on top.
