@@ -69,6 +69,12 @@ class Doc {
     indent();
     out_ += quoted(key) + ": " + raw;
   }
+  // Bare scalar element inside an open array.
+  void element(const std::string& raw) {
+    comma();
+    indent();
+    out_ += raw;
+  }
   void str(const std::string& key, const std::string& value) {
     field(key, quoted(value));
   }
@@ -297,6 +303,37 @@ std::string render_report(const Plan& plan, const RunResult& result) {
       doc.close_object();
     }
     doc.close_array();
+    doc.close_object();
+  }
+
+  // Per-interval series appear only when the run sampled timelines
+  // (--timeline-out), so untimed reports stay byte-identical to the
+  // pre-timeline schema. bench_diff gates on the steady-state medians
+  // when both sides carry this section.
+  if (result.timeline.ran) {
+    const TimelineSummary& tl = result.timeline;
+    doc.open_object("timeline");
+    doc.field("interval_sec", num(tl.interval_sec));
+    doc.field("nodes", num(static_cast<std::uint64_t>(tl.nodes)));
+    doc.field("ticks", num(static_cast<std::uint64_t>(tl.t_sec.size())));
+    doc.open_array("t_sec");
+    for (double t : tl.t_sec) {
+      doc.element(num(t));
+    }
+    doc.close_array();
+    doc.open_array("qps");
+    for (double v : tl.qps) {
+      doc.element(num(v));
+    }
+    doc.close_array();
+    doc.open_array("p99");
+    for (double v : tl.p99) {
+      doc.element(num(v));
+    }
+    doc.close_array();
+    doc.field("median_qps", num(tl.median_qps));
+    doc.field("peak_qps", num(tl.peak_qps));
+    doc.field("median_p99", num(tl.median_p99));
     doc.close_object();
   }
 

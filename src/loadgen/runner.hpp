@@ -132,6 +132,24 @@ struct LifecycleSummary {
   double post_local_hit_rate = 0.0;  // (local + disk) / gets
 };
 
+// Per-interval cluster series, filled by the driver's --timeline-out
+// sampling thread (StatsReq sweeps folded through client-side
+// obs::Timeline objects, restart-safe via counter-reset rates).
+// ran=false (the default) keeps the report byte-identical to an
+// untimed run. Tick 0 has no predecessor, so the steady-state stats
+// cover ticks 1..n-1.
+struct TimelineSummary {
+  bool ran = false;
+  double interval_sec = 0.0;
+  std::size_t nodes = 0;    // ports sampled per tick
+  std::vector<double> t_sec;  // tick times, seconds since sampling start
+  std::vector<double> qps;    // cluster get rate per interval (all classes)
+  std::vector<double> p99;    // worst per-node get p99 per interval, sec
+  double median_qps = 0.0;
+  double peak_qps = 0.0;
+  double median_p99 = 0.0;
+};
+
 struct RampSummary {
   bool ran = false;
   bool saturated = false;
@@ -162,6 +180,9 @@ struct RunResult {
   // (ProfileDumpReq against every node); enabled=false leaves the report
   // without a contention section.
   obs::ContentionSummary contention;
+  // Per-interval cluster series, filled by the driver's --timeline-out
+  // sampling thread; ran=false leaves the report without one.
+  TimelineSummary timeline;
 };
 
 class Runner {

@@ -8,6 +8,7 @@
 
 #include "cache/replacement.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/build_info.hpp"
 #include "obs/span.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
@@ -161,13 +162,37 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
   state_mutex_.bind(registry_, "state_mutex_");
   peers_mutex_.bind(registry_, "peers_mutex_");
 
+  obs::register_build_info(registry_);
+
   // Replay whatever the disk tier recovered into the node's url table and
   // memory tier before the server can see traffic.
   recover_from_disk();
 
+  if (config_.timeline.enabled) {
+    timeline_ = std::make_unique<obs::Timeline>(config_.timeline);
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        node_label_, timeline_.get(), span_store_.get(), config_.flight,
+        [this] { return now(); });
+    sampler_ = std::make_unique<obs::TimelineSampler>(
+        *timeline_, config_.timeline.interval_sec,
+        [this] { return metrics_snapshot(); }, [this] { return now(); },
+        [this] { sample_tick(); });
+  }
+
   server_ = std::make_unique<net::TcpServer>(
       config_.listen_port, [this](const net::Frame& f) { return handle(f); },
       &wire_metrics_, config_.fault_injector, &registry_);
+}
+
+void CacheNode::sample_tick() {
+  const cache::DiskTier* disk = store_.disk();
+  if (disk == nullptr || flight_ == nullptr) return;
+  const bool degraded = disk->degraded();
+  if (degraded && !disk_was_degraded_) {
+    flight_->trigger("disk_degrade",
+                     "disk tier degraded to memory-only operation");
+  }
+  disk_was_degraded_ = degraded;
 }
 
 void CacheNode::recover_from_disk() {
@@ -224,10 +249,12 @@ std::size_t CacheNode::recovered_docs() const {
 CacheNode::~CacheNode() { stop(); }
 
 void CacheNode::stop() {
+  if (sampler_) sampler_->stop();
   if (server_) server_->stop();
 }
 
 void CacheNode::hard_kill() {
+  if (sampler_) sampler_->stop();
   if (server_) server_->stop();
   if (cache::DiskTier* disk = store_.disk()) disk->hard_stop();
 }
@@ -318,6 +345,15 @@ bool CacheNode::note_peer_failure(NodeId peer) {
   if (trips > state.reported_trips) {
     inst_.breaker_trips->inc(trips - state.reported_trips);
     state.reported_trips = trips;
+    // Rare by construction (a trip, not every failure), so the dump's cost
+    // under peers_mutex_ is acceptable; trigger() takes no node locks.
+    if (flight_) {
+      flight_->trigger("breaker_trip",
+                       "breaker for peer " +
+                           (peer == kOriginId ? std::string("origin")
+                                              : std::to_string(peer)) +
+                           " opened (trip " + std::to_string(trips) + ")");
+    }
   }
   const std::uint32_t suspect_after = config_.breaker.suspect_after_trips;
   if (config_.auto_failover && suspect_after > 0 && peer != kOriginId &&
@@ -651,6 +687,7 @@ net::Frame CacheNode::handle(const net::Frame& request) {
     case MsgType::StatsReq: return handle_stats(request);
     case MsgType::TraceDumpReq: return handle_trace_dump(request);
     case MsgType::ProfileDumpReq: return handle_profile_dump(request);
+    case MsgType::TimelineDumpReq: return handle_timeline_dump(request);
     default: break;
   }
   // One span per hop, named after the message and linked to the sending
@@ -1001,6 +1038,17 @@ net::Frame CacheNode::handle_profile_dump(const net::Frame& request) {
   resp.node = node_label_;
   resp.enabled = obs::profiling_enabled();
   resp.profile = obs::profile_snapshot(metrics_snapshot());
+  return resp.encode();
+}
+
+net::Frame CacheNode::handle_timeline_dump(const net::Frame& request) {
+  const TimelineDumpReq req = TimelineDumpReq::decode(request);
+  if (req.trigger && flight_) flight_->trigger("manual", "TimelineDumpReq");
+  TimelineDumpResp resp;
+  resp.node = node_label_;
+  resp.enabled = timeline_ != nullptr;
+  if (timeline_) resp.window = timeline_->window();
+  if (req.include_flight && flight_) resp.flights = flight_->dumps();
   return resp.encode();
 }
 

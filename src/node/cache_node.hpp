@@ -26,6 +26,7 @@
 #include "obs/profile.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
+#include "obs/timeline.hpp"
 #include "util/rate.hpp"
 
 namespace cachecloud::node {
@@ -45,6 +46,13 @@ struct NodeConfig {
   // trace ids this node mints. Off by default — untraced requests pay
   // only a clock read per span.
   obs::TraceConfig trace;
+  // Timeline sampler + flight recorder: `timeline.enabled` starts a
+  // background thread snapshotting the registry every interval into ring
+  // series (scrapeable via TimelineDumpReq) and arms the flight recorder
+  // (breaker-trip, disk-degrade, signal and manual triggers). Off by
+  // default — untimed nodes pay one pointer check per trigger site.
+  obs::TimelineConfig timeline;
+  obs::FlightRecorderConfig flight;
   // ---- resilience --------------------------------------------------
   RetryConfig retry;
   BreakerConfig breaker;
@@ -186,6 +194,10 @@ class CacheNode {
   [[nodiscard]] net::Frame handle_stats(const net::Frame& request);
   [[nodiscard]] net::Frame handle_trace_dump(const net::Frame& request);
   [[nodiscard]] net::Frame handle_profile_dump(const net::Frame& request);
+  [[nodiscard]] net::Frame handle_timeline_dump(const net::Frame& request);
+  // Runs after every sampler tick: edge-detects conditions that should
+  // trip the flight recorder (currently the disk tier degrading).
+  void sample_tick();
   [[nodiscard]] net::Frame handle_client_get(const net::Frame& request);
   // The body of get() under an already-open root span.
   [[nodiscard]] GetResult get_impl(const std::string& url, obs::Span& span);
@@ -318,6 +330,14 @@ class CacheNode {
   bool endpoints_set_ = false;
   std::unordered_map<NodeId, PeerState> peers_;
   std::unique_ptr<RetryPolicy> retry_;
+
+  // Timeline sampler + flight recorder (null unless config.timeline
+  // .enabled). The sampler thread is declared after what it samples and
+  // stopped in stop()/hard_kill() before the server goes down.
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  bool disk_was_degraded_ = false;  // sample_tick() edge detection
+  std::unique_ptr<obs::TimelineSampler> sampler_;
 
   std::unique_ptr<net::TcpServer> server_;
 };

@@ -1,7 +1,9 @@
 #include "node/origin_node.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/build_info.hpp"
 #include "obs/span.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
@@ -54,10 +56,20 @@ OriginNode::OriginNode(const NodeConfig& config)
   inst_.documents = &registry_.gauge(
       "cachecloud_origin_documents",
       "Documents registered at the origin");
+  obs::register_build_info(registry_);
   // Contention profiler: bound before the server threads start.
   state_mutex_.bind(registry_, "state_mutex_");
   failover_mutex_.bind(registry_, "failover_mutex_");
   peers_mutex_.bind(registry_, "peers_mutex_");
+  if (config_.timeline.enabled) {
+    timeline_ = std::make_unique<obs::Timeline>(config_.timeline);
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        "origin", timeline_.get(), span_store_.get(), config_.flight,
+        [this] { return now(); });
+    sampler_ = std::make_unique<obs::TimelineSampler>(
+        *timeline_, config_.timeline.interval_sec,
+        [this] { return metrics_snapshot(); }, [this] { return now(); });
+  }
   server_ = std::make_unique<net::TcpServer>(
       0, [this](const net::Frame& f) { return handle(f); },
       &wire_metrics_, config_.fault_injector, &registry_);
@@ -65,7 +77,14 @@ OriginNode::OriginNode(const NodeConfig& config)
 
 OriginNode::~OriginNode() { stop(); }
 
+double OriginNode::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
 void OriginNode::stop() {
+  if (sampler_) sampler_->stop();
   if (server_) server_->stop();
 }
 
@@ -461,6 +480,16 @@ net::Frame OriginNode::handle(const net::Frame& request) {
       resp.node = "origin";
       resp.enabled = obs::profiling_enabled();
       resp.profile = obs::profile_snapshot(metrics_snapshot());
+      return resp.encode();
+    }
+    case MsgType::TimelineDumpReq: {
+      const TimelineDumpReq req = TimelineDumpReq::decode(request);
+      if (req.trigger && flight_) flight_->trigger("manual", "TimelineDumpReq");
+      TimelineDumpResp resp;
+      resp.node = "origin";
+      resp.enabled = timeline_ != nullptr;
+      if (timeline_) resp.window = timeline_->window();
+      if (req.include_flight && flight_) resp.flights = flight_->dumps();
       return resp.encode();
     }
     case MsgType::ClientPublishReq: {

@@ -8,6 +8,7 @@
 // lookup-record hand-offs.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include "obs/profile.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
+#include "obs/timeline.hpp"
 
 namespace cachecloud::node {
 
@@ -117,7 +119,11 @@ class OriginNode {
   // Announce `announce` to `node`, tracking pending catch-up on failure.
   void announce_to(NodeId node, const RangeAnnounce& announce);
 
+  [[nodiscard]] double now() const;
+
   const NodeConfig config_;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
   mutable obs::TimedMutex state_mutex_;
   std::unordered_map<std::string, Document> documents_;
   std::uint64_t origin_fetches_ = 0;
@@ -155,6 +161,12 @@ class OriginNode {
   bool endpoints_set_ = false;
   // shared_ptr: a call in flight survives a concurrent connection drop.
   std::unordered_map<NodeId, std::shared_ptr<net::TcpClient>> peers_;
+
+  // Timeline sampler + flight recorder (null unless config.timeline
+  // .enabled); the sampler is stopped in stop() before the server.
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::TimelineSampler> sampler_;
 
   std::unique_ptr<net::TcpServer> server_;
 };

@@ -2,19 +2,26 @@
 
 #include <utility>
 
-#include "net/tcp.hpp"
 #include "node/protocol.hpp"
+#include "node/scrape.hpp"
 
 namespace cachecloud::node {
 
 ProfileScrapeResult scrape_profiles(const std::vector<std::uint16_t>& ports,
                                     double timeout_sec) {
   ProfileScrapeResult result;
-  const net::Frame request = ProfileDumpReq{}.encode();
-  for (const std::uint16_t port : ports) {
+  // Concurrent fan-out with a per-node timeout: one dead node costs its
+  // own timeout and an error line, never the other nodes' profiles.
+  const std::vector<PortReply> replies =
+      scrape_ports(ports, ProfileDumpReq{}.encode(), timeout_sec);
+  for (const PortReply& reply : replies) {
+    if (reply.unreachable) {
+      result.errors.push_back("port " + std::to_string(reply.port) + ": " +
+                              reply.error);
+      continue;
+    }
     try {
-      net::TcpClient client(port, timeout_sec);
-      ProfileDumpResp resp = ProfileDumpResp::decode(client.call(request));
+      ProfileDumpResp resp = ProfileDumpResp::decode(reply.reply);
       ++result.nodes_scraped;
       NodeProfile node;
       node.node = std::move(resp.node);
@@ -22,7 +29,7 @@ ProfileScrapeResult scrape_profiles(const std::vector<std::uint16_t>& ports,
       node.profile = std::move(resp.profile);
       result.nodes.push_back(std::move(node));
     } catch (const std::exception& e) {
-      result.errors.push_back("port " + std::to_string(port) + ": " +
+      result.errors.push_back("port " + std::to_string(reply.port) + ": " +
                               e.what());
     }
   }

@@ -43,6 +43,8 @@ std::string_view msg_type_name(std::uint16_t type) noexcept {
     case MsgType::TraceDumpResp: return "TraceDumpResp";
     case MsgType::ProfileDumpReq: return "ProfileDumpReq";
     case MsgType::ProfileDumpResp: return "ProfileDumpResp";
+    case MsgType::TimelineDumpReq: return "TimelineDumpReq";
+    case MsgType::TimelineDumpResp: return "TimelineDumpResp";
   }
   return "Unknown";
 }
@@ -571,6 +573,79 @@ obs::Snapshot read_snapshot(net::BufferReader& r) {
   return snapshot;
 }
 
+// Span codec, shared by TraceDumpResp and the flight dumps inside
+// TimelineDumpResp.
+void write_span(net::BufferWriter& w, const obs::SpanRecord& span) {
+  w.u64(span.trace_id);
+  w.u64(span.span_id);
+  w.u64(span.parent_span_id);
+  w.str(span.node);
+  w.str(span.name);
+  w.u64(span.start_us);
+  w.u64(span.end_us);
+  w.u8(span.error ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(span.tags.size()));
+  for (const auto& [key, value] : span.tags) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+obs::SpanRecord read_span(net::BufferReader& r) {
+  obs::SpanRecord span;
+  span.trace_id = r.u64();
+  span.span_id = r.u64();
+  span.parent_span_id = r.u64();
+  span.node = r.str();
+  span.name = r.str();
+  span.start_us = r.u64();
+  span.end_us = r.u64();
+  span.error = r.u8() != 0;
+  const std::uint32_t ntags = r.u32();
+  span.tags.reserve(ntags);
+  for (std::uint32_t k = 0; k < ntags; ++k) {
+    std::string key = r.str();
+    std::string value = r.str();
+    span.tags.emplace_back(std::move(key), std::move(value));
+  }
+  return span;
+}
+
+// Timeline window codec (TimelineDumpResp and its flight dumps). NaN
+// values (uncovered ticks) ride the f64 encoding unchanged.
+void write_window(net::BufferWriter& w, const obs::TimelineWindow& window) {
+  w.f64(window.interval_sec);
+  w.u32(static_cast<std::uint32_t>(window.t_sec.size()));
+  for (const double t : window.t_sec) w.f64(t);
+  w.u32(static_cast<std::uint32_t>(window.series.size()));
+  for (const obs::SeriesSnapshot& s : window.series) {
+    w.str(s.name);
+    write_labels(w, s.labels);
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    for (const double v : s.values) w.f64(v);
+  }
+}
+
+obs::TimelineWindow read_window(net::BufferReader& r) {
+  obs::TimelineWindow window;
+  window.interval_sec = r.f64();
+  const std::uint32_t nticks = r.u32();
+  window.t_sec.reserve(nticks);
+  for (std::uint32_t i = 0; i < nticks; ++i) window.t_sec.push_back(r.f64());
+  const std::uint32_t nseries = r.u32();
+  window.series.reserve(nseries);
+  for (std::uint32_t i = 0; i < nseries; ++i) {
+    obs::SeriesSnapshot s;
+    s.name = r.str();
+    s.labels = read_labels(r);
+    s.kind = static_cast<obs::SeriesKind>(r.u8());
+    s.values.reserve(nticks);
+    for (std::uint32_t k = 0; k < nticks; ++k) s.values.push_back(r.f64());
+    window.series.push_back(std::move(s));
+  }
+  return window;
+}
+
 }  // namespace
 
 net::Frame StatsResp::encode() const {
@@ -607,21 +682,7 @@ net::Frame TraceDumpResp::encode() const {
   net::BufferWriter w;
   w.str(node);
   w.u32(static_cast<std::uint32_t>(spans.size()));
-  for (const obs::SpanRecord& span : spans) {
-    w.u64(span.trace_id);
-    w.u64(span.span_id);
-    w.u64(span.parent_span_id);
-    w.str(span.node);
-    w.str(span.name);
-    w.u64(span.start_us);
-    w.u64(span.end_us);
-    w.u8(span.error ? 1 : 0);
-    w.u32(static_cast<std::uint32_t>(span.tags.size()));
-    for (const auto& [key, value] : span.tags) {
-      w.str(key);
-      w.str(value);
-    }
-  }
+  for (const obs::SpanRecord& span : spans) write_span(w, span);
   return make_frame(MsgType::TraceDumpResp, std::move(w));
 }
 
@@ -632,25 +693,7 @@ TraceDumpResp TraceDumpResp::decode(const net::Frame& frame) {
   msg.node = r.str();
   const std::uint32_t n = r.u32();
   msg.spans.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    obs::SpanRecord span;
-    span.trace_id = r.u64();
-    span.span_id = r.u64();
-    span.parent_span_id = r.u64();
-    span.node = r.str();
-    span.name = r.str();
-    span.start_us = r.u64();
-    span.end_us = r.u64();
-    span.error = r.u8() != 0;
-    const std::uint32_t ntags = r.u32();
-    span.tags.reserve(ntags);
-    for (std::uint32_t k = 0; k < ntags; ++k) {
-      std::string key = r.str();
-      std::string value = r.str();
-      span.tags.emplace_back(std::move(key), std::move(value));
-    }
-    msg.spans.push_back(std::move(span));
-  }
+  for (std::uint32_t i = 0; i < n; ++i) msg.spans.push_back(read_span(r));
   r.expect_end();
   return msg;
 }
@@ -681,6 +724,77 @@ ProfileDumpResp ProfileDumpResp::decode(const net::Frame& frame) {
   msg.node = r.str();
   msg.enabled = r.u8() != 0;
   msg.profile = read_snapshot(r);
+  r.expect_end();
+  return msg;
+}
+
+net::Frame TimelineDumpReq::encode() const {
+  net::BufferWriter w;
+  w.u8(include_flight ? 1 : 0);
+  w.u8(trigger ? 1 : 0);
+  return make_frame(MsgType::TimelineDumpReq, std::move(w));
+}
+
+TimelineDumpReq TimelineDumpReq::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::TimelineDumpReq);
+  net::BufferReader r(frame.payload);
+  TimelineDumpReq msg;
+  msg.include_flight = r.u8() != 0;
+  msg.trigger = r.u8() != 0;
+  r.expect_end();
+  return msg;
+}
+
+net::Frame TimelineDumpResp::encode() const {
+  net::BufferWriter w;
+  w.str(node);
+  w.u8(enabled ? 1 : 0);
+  write_window(w, window);
+  w.u32(static_cast<std::uint32_t>(flights.size()));
+  for (const obs::FlightDump& flight : flights) {
+    w.str(flight.node);
+    w.str(flight.reason);
+    w.str(flight.detail);
+    w.f64(flight.t_sec);
+    w.u64(flight.seq);
+    write_window(w, flight.window);
+    w.u32(static_cast<std::uint32_t>(flight.spans.size()));
+    for (const obs::SpanRecord& span : flight.spans) write_span(w, span);
+    w.u32(static_cast<std::uint32_t>(flight.log_tail.size()));
+    for (const std::string& line : flight.log_tail) w.str(line);
+  }
+  return make_frame(MsgType::TimelineDumpResp, std::move(w));
+}
+
+TimelineDumpResp TimelineDumpResp::decode(const net::Frame& frame) {
+  expect_type(frame, MsgType::TimelineDumpResp);
+  net::BufferReader r(frame.payload);
+  TimelineDumpResp msg;
+  msg.node = r.str();
+  msg.enabled = r.u8() != 0;
+  msg.window = read_window(r);
+  const std::uint32_t nflights = r.u32();
+  msg.flights.reserve(nflights);
+  for (std::uint32_t i = 0; i < nflights; ++i) {
+    obs::FlightDump flight;
+    flight.node = r.str();
+    flight.reason = r.str();
+    flight.detail = r.str();
+    flight.t_sec = r.f64();
+    flight.seq = r.u64();
+    flight.window = read_window(r);
+    const std::uint32_t nspans = r.u32();
+    flight.spans.reserve(nspans);
+    for (std::uint32_t k = 0; k < nspans; ++k) {
+      flight.spans.push_back(read_span(r));
+    }
+    const std::uint32_t nlines = r.u32();
+    flight.log_tail.reserve(nlines);
+    for (std::uint32_t k = 0; k < nlines; ++k) {
+      flight.log_tail.push_back(r.str());
+    }
+    msg.flights.push_back(std::move(flight));
+  }
   r.expect_end();
   return msg;
 }

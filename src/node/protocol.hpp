@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
+#include "obs/timeline.hpp"
 
 namespace cachecloud::node {
 
@@ -73,6 +74,9 @@ enum class MsgType : std::uint16_t {
   // Observability: scrape a live node's contention/resource profile.
   ProfileDumpReq = 28,
   ProfileDumpResp = 29,
+  // Observability: scrape a live node's timeline ring and flight dumps.
+  TimelineDumpReq = 30,
+  TimelineDumpResp = 31,
 };
 
 // Human-readable name of a wire message type ("LookupReq", ...); unknown
@@ -314,6 +318,28 @@ struct ProfileDumpResp {
   static ProfileDumpResp decode(const net::Frame& frame);
 };
 
+// Scrape a node's timeline ring (mirrors ProfileDumpReq). `include_flight`
+// also ships the node's retained flight-recorder dumps; `trigger` makes
+// the node capture a fresh dump (reason "manual") before answering — the
+// wire form of the recorder's explicit-request trigger.
+struct TimelineDumpReq {
+  bool include_flight = false;
+  bool trigger = false;
+  [[nodiscard]] net::Frame encode() const;
+  static TimelineDumpReq decode(const net::Frame& frame);
+};
+
+// The node's timeline window plus (optionally) its flight dumps. Nodes
+// with the sampler off answer enabled=false and an empty window.
+struct TimelineDumpResp {
+  std::string node;
+  bool enabled = false;
+  obs::TimelineWindow window;
+  std::vector<obs::FlightDump> flights;
+  [[nodiscard]] net::Frame encode() const;
+  static TimelineDumpResp decode(const net::Frame& frame);
+};
+
 // net::FrameObserver that feeds per-MsgType message and byte counters:
 //
 //   cachecloud_net_messages_total{type="LookupReq",dir="rx"|"tx"}
@@ -334,7 +360,7 @@ class WireMetrics : public net::FrameObserver {
   };
   // Indexed [type][dir]; slot 0 catches unknown types. dir 0 = rx, 1 = tx.
   static constexpr std::size_t kMaxType =
-      static_cast<std::size_t>(MsgType::ProfileDumpResp);
+      static_cast<std::size_t>(MsgType::TimelineDumpResp);
   std::array<std::array<Pair, 2>, kMaxType + 1> slots_{};
 };
 

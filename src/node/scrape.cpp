@@ -1,0 +1,29 @@
+#include "node/scrape.hpp"
+
+#include <thread>
+
+namespace cachecloud::node {
+
+std::vector<PortReply> scrape_ports(const std::vector<std::uint16_t>& ports,
+                                    const net::Frame& request,
+                                    double timeout_sec) {
+  std::vector<PortReply> replies(ports.size());
+  std::vector<std::thread> threads;
+  threads.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    replies[i].port = ports[i];
+    threads.emplace_back([&, i] {
+      try {
+        net::TcpClient client(ports[i], timeout_sec);
+        replies[i].reply = client.call(request);
+      } catch (const std::exception& e) {
+        replies[i].unreachable = true;
+        replies[i].error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return replies;
+}
+
+}  // namespace cachecloud::node

@@ -1,0 +1,34 @@
+// Shared fan-out engine for the node::scrape_* families (traces, profiles,
+// stats, timelines): send one request frame to every port CONCURRENTLY,
+// each over its own connection with its own timeout, and collect per-port
+// outcomes in port order.
+//
+// Partial-scrape semantics: one dead or slow node costs its own timeout,
+// never the whole scrape — its entry comes back `unreachable` with the
+// error text, and every other node's reply is unaffected. Consumers that
+// render live (cachecloud_top) keep rendering through a kill/restart;
+// batch consumers fold the errors into their reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+
+namespace cachecloud::node {
+
+struct PortReply {
+  std::uint16_t port = 0;
+  bool unreachable = false;  // connect/call/decode failed; see `error`
+  std::string error;         // empty when reachable
+  net::Frame reply;          // valid only when !unreachable
+};
+
+// One thread per port; blocks until every port answered or timed out, so
+// the whole scrape takes one slowest-node timeout, not the sum.
+[[nodiscard]] std::vector<PortReply> scrape_ports(
+    const std::vector<std::uint16_t>& ports, const net::Frame& request,
+    double timeout_sec);
+
+}  // namespace cachecloud::node

@@ -1,0 +1,73 @@
+#include "node/timeline_scrape.hpp"
+
+#include <utility>
+
+#include "node/protocol.hpp"
+#include "node/scrape.hpp"
+
+namespace cachecloud::node {
+
+TimelineScrapeResult scrape_timelines(const std::vector<std::uint16_t>& ports,
+                                      bool include_flight, bool trigger,
+                                      double timeout_sec) {
+  TimelineScrapeResult result;
+  TimelineDumpReq req;
+  req.include_flight = include_flight;
+  req.trigger = trigger;
+  const std::vector<PortReply> replies =
+      scrape_ports(ports, req.encode(), timeout_sec);
+  result.nodes.reserve(replies.size());
+  for (const PortReply& reply : replies) {
+    NodeTimeline node;
+    node.port = reply.port;
+    if (reply.unreachable) {
+      node.unreachable = true;
+      node.error = reply.error;
+      result.errors.push_back("port " + std::to_string(reply.port) + ": " +
+                              reply.error);
+    } else {
+      try {
+        TimelineDumpResp resp = TimelineDumpResp::decode(reply.reply);
+        node.node = std::move(resp.node);
+        node.enabled = resp.enabled;
+        node.window = std::move(resp.window);
+        node.flights = std::move(resp.flights);
+        ++result.nodes_scraped;
+      } catch (const std::exception& e) {
+        node.unreachable = true;
+        node.error = e.what();
+        result.errors.push_back("port " + std::to_string(reply.port) + ": " +
+                                e.what());
+      }
+    }
+    result.nodes.push_back(std::move(node));
+  }
+  return result;
+}
+
+std::vector<NodeStatsScrape> scrape_stats(
+    const std::vector<std::uint16_t>& ports, double timeout_sec) {
+  std::vector<NodeStatsScrape> result;
+  const std::vector<PortReply> replies =
+      scrape_ports(ports, StatsReq{}.encode(), timeout_sec);
+  result.reserve(replies.size());
+  for (const PortReply& reply : replies) {
+    NodeStatsScrape node;
+    node.port = reply.port;
+    if (reply.unreachable) {
+      node.unreachable = true;
+      node.error = reply.error;
+    } else {
+      try {
+        node.snapshot = StatsResp::decode(reply.reply).snapshot;
+      } catch (const std::exception& e) {
+        node.unreachable = true;
+        node.error = e.what();
+      }
+    }
+    result.push_back(std::move(node));
+  }
+  return result;
+}
+
+}  // namespace cachecloud::node

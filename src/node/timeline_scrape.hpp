@@ -1,0 +1,53 @@
+// Client side of the TimelineDump and Stats wire scrapes, built on the
+// partial-scrape fan-out (node/scrape.hpp): one entry per port, in port
+// order, dead nodes marked `unreachable` instead of failing the sweep.
+// Shared by cachecloud_top (live rendering must survive a kill/restart)
+// and the load generator's --timeline-out sampling thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace cachecloud::node {
+
+struct NodeTimeline {
+  std::uint16_t port = 0;
+  bool unreachable = false;
+  std::string error;  // set when unreachable
+  std::string node;   // the node's own label ("cache-3", "origin")
+  bool enabled = false;  // sampler switch state when scraped
+  obs::TimelineWindow window;
+  std::vector<obs::FlightDump> flights;  // only when include_flight
+};
+
+struct TimelineScrapeResult {
+  std::vector<NodeTimeline> nodes;  // one per port, port order
+  // One human-readable line per unreachable node; the scrape never throws.
+  std::vector<std::string> errors;
+  std::size_t nodes_scraped = 0;
+};
+
+// Scrapes every port via TimelineDumpReq, concurrently with a per-node
+// timeout. `trigger` asks each node for a fresh "manual" flight dump.
+[[nodiscard]] TimelineScrapeResult scrape_timelines(
+    const std::vector<std::uint16_t>& ports, bool include_flight = false,
+    bool trigger = false, double timeout_sec = 5.0);
+
+// One StatsReq sweep with the same partial-scrape semantics, for callers
+// that maintain their own client-side obs::Timeline per node (an
+// unreachable node's snapshot is empty — feed it anyway so ticks align).
+struct NodeStatsScrape {
+  std::uint16_t port = 0;
+  bool unreachable = false;
+  std::string error;
+  obs::Snapshot snapshot;
+};
+
+[[nodiscard]] std::vector<NodeStatsScrape> scrape_stats(
+    const std::vector<std::uint16_t>& ports, double timeout_sec = 5.0);
+
+}  // namespace cachecloud::node

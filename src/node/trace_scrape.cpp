@@ -2,8 +2,8 @@
 
 #include <utility>
 
-#include "net/tcp.hpp"
 #include "node/protocol.hpp"
+#include "node/scrape.hpp"
 
 namespace cachecloud::node {
 
@@ -12,17 +12,24 @@ ScrapeResult scrape_traces(const std::vector<std::uint16_t>& ports,
   ScrapeResult result;
   TraceDumpReq req;
   req.drain = drain;
-  const net::Frame request = req.encode();
-  for (const std::uint16_t port : ports) {
+  // Concurrent fan-out with a per-node timeout: one dead node costs its
+  // own timeout and an error line, never the other nodes' spans.
+  const std::vector<PortReply> replies =
+      scrape_ports(ports, req.encode(), timeout_sec);
+  for (const PortReply& reply : replies) {
+    if (reply.unreachable) {
+      result.errors.push_back("port " + std::to_string(reply.port) + ": " +
+                              reply.error);
+      continue;
+    }
     try {
-      net::TcpClient client(port, timeout_sec);
-      TraceDumpResp resp = TraceDumpResp::decode(client.call(request));
+      TraceDumpResp resp = TraceDumpResp::decode(reply.reply);
       ++result.nodes_scraped;
       for (obs::SpanRecord& span : resp.spans) {
         result.spans.push_back(std::move(span));
       }
     } catch (const std::exception& e) {
-      result.errors.push_back("port " + std::to_string(port) + ": " +
+      result.errors.push_back("port " + std::to_string(reply.port) + ": " +
                               e.what());
     }
   }

@@ -1,0 +1,35 @@
+#include "obs/build_info.hpp"
+
+#include <ctime>
+
+#ifndef CACHECLOUD_GIT_VERSION
+#define CACHECLOUD_GIT_VERSION "unknown"
+#endif
+#ifndef CACHECLOUD_COMPILER
+#define CACHECLOUD_COMPILER "unknown"
+#endif
+
+namespace cachecloud::obs {
+
+std::string build_version() { return CACHECLOUD_GIT_VERSION; }
+
+std::string build_compiler() { return CACHECLOUD_COMPILER; }
+
+void register_build_info(Registry& registry) {
+  registry
+      .gauge("cachecloud_build_info",
+             "Build identity; the value is always 1, the labels carry it",
+             {{"version", build_version()}, {"compiler", build_compiler()}})
+      .set(1.0);
+  Gauge& start = registry.gauge(
+      "cachecloud_start_time_seconds",
+      "Unix time the registry registered build info (process start for "
+      "nodes)");
+  // get-or-create: only stamp the first registration, so a re-scrape does
+  // not move a node's start time.
+  if (start.value() == 0.0) {
+    start.set(static_cast<double>(std::time(nullptr)));
+  }
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,25 @@
+// Build/identity metrics every scrapeable registry carries:
+//
+//   cachecloud_build_info{version="...",compiler="..."} 1
+//   cachecloud_start_time_seconds <unix epoch at registration>
+//
+// so scrapes, timelines and flight dumps are attributable to a binary and
+// an uptime. The version string is `git describe --always --dirty` and the
+// compiler id/version, both baked in at configure time (see
+// src/obs/CMakeLists.txt); "unknown" when built outside a git checkout.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cachecloud::obs {
+
+[[nodiscard]] std::string build_version();
+[[nodiscard]] std::string build_compiler();
+
+// Registers both metrics in `registry`. Idempotent (get-or-create), cheap
+// enough for every node constructor.
+void register_build_info(Registry& registry);
+
+}  // namespace cachecloud::obs

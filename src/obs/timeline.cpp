@@ -1,0 +1,474 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+// Matches the report writer's shortest-round-trippable rendering.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void append_series_json(std::string& out, const SeriesSnapshot& s) {
+  out += "{\"name\":\"" + json_escape(s.name) + "\",\"labels\":{";
+  for (std::size_t i = 0; i < s.labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(s.labels[i].first) + "\":\"" +
+           json_escape(s.labels[i].second) + "\"";
+  }
+  out += "},\"kind\":\"";
+  out += series_kind_name(s.kind);
+  out += "\",\"values\":[";
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += json_num(s.values[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string_view series_kind_name(SeriesKind kind) noexcept {
+  switch (kind) {
+    case SeriesKind::Rate: return "rate";
+    case SeriesKind::Level: return "level";
+    case SeriesKind::Quantile: return "quantile";
+  }
+  return "?";
+}
+
+std::string quantile_suffix(double q) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", q * 100.0);
+  std::string digits;
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if (*p != '.') digits.push_back(*p);
+  }
+  return "p" + digits;
+}
+
+// ------------------------------------------------------------------ window
+
+const SeriesSnapshot* TimelineWindow::find(const std::string& name,
+                                           const Labels& labels) const {
+  for (const SeriesSnapshot& s : series) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double TimelineWindow::sum_at(const std::string& name,
+                              std::size_t tick) const {
+  double total = 0.0;
+  bool any = false;
+  for (const SeriesSnapshot& s : series) {
+    if (s.name != name || tick >= s.values.size()) continue;
+    any = true;
+    if (std::isfinite(s.values[tick])) total += s.values[tick];
+  }
+  return any ? total : std::nan("");
+}
+
+double TimelineWindow::last(const std::string& name,
+                            const Labels& labels) const {
+  const SeriesSnapshot* s = find(name, labels);
+  if (s == nullptr || s->values.empty()) return std::nan("");
+  return s->values.back();
+}
+
+double TimelineWindow::last_sum(const std::string& name) const {
+  if (t_sec.empty()) return std::nan("");
+  return sum_at(name, t_sec.size() - 1);
+}
+
+std::string timeline_window_json(const TimelineWindow& window) {
+  std::string out = "{\"interval_sec\":" + json_num(window.interval_sec) +
+                    ",\"t_sec\":[";
+  for (std::size_t i = 0; i < window.t_sec.size(); ++i) {
+    if (i != 0) out += ",";
+    out += json_num(window.t_sec[i]);
+  }
+  out += "],\"series\":[";
+  for (std::size_t i = 0; i < window.series.size(); ++i) {
+    if (i != 0) out += ",";
+    append_series_json(out, window.series[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------- timeline
+
+Timeline::Timeline(TimelineConfig config) : config_(std::move(config)) {}
+
+Timeline::Series& Timeline::series_locked(const std::string& name,
+                                          const Labels& labels,
+                                          SeriesKind kind,
+                                          std::size_t ticks_before) {
+  const std::string key = name + render_labels(labels);
+  for (const auto& [k, idx] : series_index_) {
+    if (k == key) return *series_[idx];
+  }
+  auto s = std::make_unique<Series>();
+  s->name = name;
+  s->labels = labels;
+  s->kind = kind;
+  s->values.assign(ticks_before, std::nan(""));
+  series_index_.emplace_back(key, series_.size());
+  series_.push_back(std::move(s));
+  return *series_.back();
+}
+
+void Timeline::push_locked(Series& series, double value) {
+  series.values.push_back(value);
+  series.touched = true;
+}
+
+void Timeline::observe(const Snapshot& snapshot, double t_sec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool first_tick = ticks_observed_ == 0;
+  const double dt = first_tick ? 0.0 : t_sec - last_t_;
+  const std::size_t before = ticks_.size();
+  // A rate needs a predecessor tick and forward-moving time.
+  const bool can_rate = !first_tick && dt > 0.0;
+
+  for (auto& s : series_) s->touched = false;
+
+  for (const SampleSnapshot& sample : snapshot.samples) {
+    if (sample.kind == MetricKind::Counter) {
+      Series& s = series_locked(sample.name, sample.labels, SeriesKind::Rate,
+                                before);
+      double rate = std::nan("");
+      if (can_rate) {
+        // A fresh series was zero before it existed (registry counters are
+        // born at zero); a raw value below the previous one means the
+        // counter was reborn (node restart) and the new value IS the delta.
+        const double prev = s.has_raw ? s.last_raw : 0.0;
+        const double delta =
+            sample.value >= prev ? sample.value - prev : sample.value;
+        rate = delta / dt;
+      }
+      s.last_raw = sample.value;
+      s.has_raw = true;
+      push_locked(s, rate);
+    } else if (sample.kind == MetricKind::Gauge) {
+      Series& s = series_locked(sample.name, sample.labels, SeriesKind::Level,
+                                before);
+      push_locked(s, sample.value);
+    }
+  }
+
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string key = h.name + render_labels(h.labels);
+    HistogramState* state = nullptr;
+    for (auto& [k, st] : histogram_state_) {
+      if (k == key) {
+        state = &st;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      histogram_state_.emplace_back(key, HistogramState{});
+      state = &histogram_state_.back().second;
+    }
+    // Per-interval bucket deltas; a shrinking cumulative count means the
+    // histogram was reborn, so the new counts are the interval's own.
+    const bool reset =
+        h.count < state->last_count || h.counts.size() != state->last_counts.size();
+    HistogramSnapshot delta;
+    delta.bounds = h.bounds;
+    delta.counts.resize(h.counts.size());
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      delta.counts[i] =
+          reset ? h.counts[i] : h.counts[i] - state->last_counts[i];
+    }
+    delta.sum = reset ? h.sum : h.sum - state->last_sum;
+    delta.count = reset ? h.count : h.count - state->last_count;
+    state->last_counts = h.counts;
+    state->last_sum = h.sum;
+    state->last_count = h.count;
+
+    Series& count_s = series_locked(h.name + "_count", h.labels,
+                                    SeriesKind::Rate, before);
+    Series& sum_s =
+        series_locked(h.name + "_sum", h.labels, SeriesKind::Rate, before);
+    push_locked(count_s, can_rate ? static_cast<double>(delta.count) / dt
+                                  : std::nan(""));
+    push_locked(sum_s, can_rate ? delta.sum / dt : std::nan(""));
+    for (const double q : config_.quantiles) {
+      Series& q_s = series_locked(h.name + "_" + quantile_suffix(q),
+                                  h.labels, SeriesKind::Quantile, before);
+      const bool have = can_rate && delta.count > 0;
+      push_locked(q_s, have ? delta.quantile(q) : std::nan(""));
+    }
+  }
+
+  ticks_.push_back(t_sec);
+  for (auto& s : series_) {
+    if (!s->touched) s->values.push_back(std::nan(""));
+  }
+  while (ticks_.size() > config_.capacity) {
+    ticks_.pop_front();
+    for (auto& s : series_) {
+      if (!s->values.empty()) s->values.pop_front();
+    }
+  }
+  last_t_ = t_sec;
+  ++ticks_observed_;
+}
+
+TimelineWindow Timeline::window() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TimelineWindow out;
+  out.interval_sec = config_.interval_sec;
+  out.t_sec.assign(ticks_.begin(), ticks_.end());
+  out.series.reserve(series_.size());
+  for (const auto& s : series_) {
+    SeriesSnapshot snap;
+    snap.name = s->name;
+    snap.labels = s->labels;
+    snap.kind = s->kind;
+    snap.values.assign(s->values.begin(), s->values.end());
+    out.series.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::uint64_t Timeline::ticks_observed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_observed_;
+}
+
+// ----------------------------------------------------------------- sampler
+
+TimelineSampler::TimelineSampler(Timeline& timeline, double interval_sec,
+                                 std::function<Snapshot()> source,
+                                 std::function<double()> now,
+                                 std::function<void()> after_tick)
+    : timeline_(timeline),
+      interval_sec_(interval_sec > 0.0 ? interval_sec : 1.0),
+      source_(std::move(source)),
+      now_(std::move(now)),
+      after_tick_(std::move(after_tick)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+TimelineSampler::~TimelineSampler() { stop(); }
+
+void TimelineSampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimelineSampler::run() {
+  const auto period = std::chrono::duration<double>(interval_sec_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    lock.unlock();
+    timeline_.observe(source_(), now_());
+    if (after_tick_) after_tick_();
+    lock.lock();
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) return;
+  }
+}
+
+// ---------------------------------------------------------------- recorder
+
+std::string flight_dump_json(const FlightDump& dump) {
+  std::string out = "{\"schema\":\"cachecloud.flight.v1\"";
+  out += ",\"node\":\"" + json_escape(dump.node) + "\"";
+  out += ",\"seq\":" + std::to_string(dump.seq);
+  out += ",\"trigger\":{\"reason\":\"" + json_escape(dump.reason) +
+         "\",\"detail\":\"" + json_escape(dump.detail) +
+         "\",\"t_sec\":" + json_num(dump.t_sec) + "}";
+  out += ",\"timeline\":" + timeline_window_json(dump.window);
+  out += ",\"spans\":[";
+  for (std::size_t i = 0; i < dump.spans.size(); ++i) {
+    const SpanRecord& s = dump.spans[i];
+    if (i != 0) out += ",";
+    out += "{\"trace_id\":\"" + hex64(s.trace_id) + "\",\"span_id\":\"" +
+           hex64(s.span_id) + "\",\"parent_span_id\":\"" +
+           hex64(s.parent_span_id) + "\",\"node\":\"" + json_escape(s.node) +
+           "\",\"name\":\"" + json_escape(s.name) +
+           "\",\"start_us\":" + std::to_string(s.start_us) +
+           ",\"end_us\":" + std::to_string(s.end_us) +
+           ",\"error\":" + (s.error ? "true" : "false") + "}";
+  }
+  out += "],\"log_tail\":[";
+  for (std::size_t i = 0; i < dump.log_tail.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(dump.log_tail[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::string node, const Timeline* timeline,
+                               const SpanStore* span_store,
+                               FlightRecorderConfig config,
+                               std::function<double()> now)
+    : node_(std::move(node)),
+      timeline_(timeline),
+      span_store_(span_store),
+      config_(std::move(config)),
+      now_(std::move(now)) {
+  if (config_.log_lines > 0) util::grow_log_capture(config_.log_lines);
+}
+
+void FlightRecorder::trigger(const std::string& reason,
+                             const std::string& detail) {
+  FlightDump dump;
+  dump.node = node_;
+  dump.reason = reason;
+  dump.detail = detail;
+  dump.t_sec = now_ ? now_() : 0.0;
+  if (timeline_ != nullptr) dump.window = timeline_->window();
+  if (span_store_ != nullptr) {
+    std::vector<SpanRecord> spans = span_store_->snapshot();
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.end_us < b.end_us;
+              });
+    if (spans.size() > config_.span_tail) {
+      spans.erase(spans.begin(),
+                  spans.end() - static_cast<std::ptrdiff_t>(config_.span_tail));
+    }
+    dump.spans = std::move(spans);
+  }
+  dump.log_tail = util::log_tail(config_.log_lines);
+
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    dump.seq = seq_++;
+    if (!config_.dump_directory.empty()) {
+      path = config_.dump_directory + "/flight-" + node_ + "-" +
+             std::to_string(dump.seq) + ".json";
+    }
+    dumps_.push_back(dump);
+    while (dumps_.size() > config_.max_dumps) dumps_.pop_front();
+  }
+  if (!path.empty()) {
+    try {
+      std::error_code ec;
+      std::filesystem::create_directories(config_.dump_directory, ec);
+      util::atomic_write_file(path, flight_dump_json(dump));
+    } catch (const std::exception& e) {
+      CC_LOG(Warn) << "flight dump write failed (" << path << "): "
+                   << e.what();
+    }
+  }
+}
+
+std::vector<FlightDump> FlightRecorder::dumps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<FlightDump>(dumps_.begin(), dumps_.end());
+}
+
+std::uint64_t FlightRecorder::triggers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+// ----------------------------------------------------------------- signals
+
+namespace {
+
+struct SignalHook {
+  int signo = 0;
+  FlightRecorder* recorder = nullptr;
+  bool fatal = false;
+};
+
+std::mutex g_signal_mutex;
+std::vector<SignalHook>& signal_hooks() {
+  static std::vector<SignalHook> hooks;
+  return hooks;
+}
+
+// Not async-signal-safe (it allocates and locks); acceptable here because
+// the dump is the process's dying act anyway — a hang instead of a dump is
+// the worst case, and the common test path (raise() on a live thread) is
+// effectively a normal call.
+void flight_signal_handler(int signo) {
+  bool fatal = false;
+  std::vector<FlightRecorder*> targets;
+  {
+    const std::lock_guard<std::mutex> lock(g_signal_mutex);
+    for (const SignalHook& hook : signal_hooks()) {
+      if (hook.signo != signo) continue;
+      targets.push_back(hook.recorder);
+      fatal = fatal || hook.fatal;
+    }
+  }
+  for (FlightRecorder* recorder : targets) {
+    recorder->trigger("signal", "signal " + std::to_string(signo));
+  }
+  if (fatal) {
+    std::signal(signo, SIG_DFL);
+    std::raise(signo);
+  }
+}
+
+}  // namespace
+
+void flight_on_signal(int signo, FlightRecorder* recorder, bool fatal) {
+  const std::lock_guard<std::mutex> lock(g_signal_mutex);
+  signal_hooks().push_back(SignalHook{signo, recorder, fatal});
+  std::signal(signo, &flight_signal_handler);
+}
+
+void flight_signal_detach(FlightRecorder* recorder) {
+  const std::lock_guard<std::mutex> lock(g_signal_mutex);
+  auto& hooks = signal_hooks();
+  hooks.erase(std::remove_if(hooks.begin(), hooks.end(),
+                             [recorder](const SignalHook& hook) {
+                               return hook.recorder == recorder;
+                             }),
+              hooks.end());
+}
+
+}  // namespace cachecloud::obs

@@ -1,0 +1,244 @@
+// Time-series telemetry: bounded ring-buffer series sampled from a metric
+// registry, plus a flight recorder for post-mortem dumps.
+//
+// A Timeline turns a sequence of registry Snapshots into aligned per-metric
+// series, one value per tick:
+//
+//   counters   -> Rate      delta / dt, counter-reset aware: a raw value
+//                           below the previous one (node restart — the
+//                           registry was reborn at zero) counts the new
+//                           value as the delta instead of going negative
+//   gauges     -> Level     the sampled value
+//   histograms -> Rate      <name>_count and <name>_sum deltas / dt, plus
+//                 Quantile  <name>_p50/_p99/... interpolated over THIS
+//                           tick's bucket-count deltas, so a quantile is
+//                           the interval's latency, not the lifetime's
+//
+// Ticks the ring has dropped are gone; series that appear late or miss a
+// tick carry NaN for the ticks they did not cover, so every series in a
+// window is index-aligned with window.t_sec. The very first tick has no
+// predecessor and therefore no rates (NaN); a series first seen on a later
+// tick is treated as having been zero before (registry metrics are born at
+// zero), so its first rate is already meaningful.
+//
+// The same core serves four consumers: the per-node background sampler
+// (NodeConfig::timeline), cachecloud_top (feeds StatsResp snapshots from
+// live nodes), cachecloud_sim --stats-every (ticks at simulated time) and
+// loadgen --timeline-out (per-interval qps/p99 series in the BENCH report).
+//
+// The FlightRecorder freezes the recent timeline window, a SpanStore tail
+// and the last K log lines into one JSON dump when triggered — by a fatal
+// signal, a circuit-breaker trip, a disk-tier degrade or an explicit
+// request — so "what was the node doing just before it died" survives the
+// node.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span_store.hpp"
+
+namespace cachecloud::obs {
+
+struct TimelineConfig {
+  // Per-node background sampler switch. Off (the default) allocates
+  // nothing and costs a node one pointer check per trigger site.
+  bool enabled = false;
+  double interval_sec = 1.0;   // sampler period
+  std::size_t capacity = 120;  // ring of ticks retained per series
+  // Per-interval histogram quantiles to derive (series <name>_p50, ...).
+  std::vector<double> quantiles{0.5, 0.99};
+};
+
+enum class SeriesKind : std::uint8_t { Rate = 0, Level = 1, Quantile = 2 };
+
+[[nodiscard]] std::string_view series_kind_name(SeriesKind kind) noexcept;
+
+// One derived series, index-aligned with TimelineWindow::t_sec. NaN marks
+// ticks the series did not cover (not yet born, absent from the snapshot,
+// or a rate with no predecessor tick).
+struct SeriesSnapshot {
+  std::string name;
+  Labels labels;
+  SeriesKind kind = SeriesKind::Rate;
+  std::vector<double> values;
+};
+
+// Plain-data copy of the ring, shipped in TimelineDumpResp and rendered to
+// JSON; all lookups treat NaN as "no data".
+struct TimelineWindow {
+  double interval_sec = 0.0;
+  std::vector<double> t_sec;  // tick timestamps, oldest first
+  std::vector<SeriesSnapshot> series;
+
+  [[nodiscard]] const SeriesSnapshot* find(const std::string& name,
+                                           const Labels& labels = {}) const;
+  // Sum over every series with this name (any labels) at tick index
+  // `tick`; NaN entries count as zero. Returns NaN when no series matches.
+  [[nodiscard]] double sum_at(const std::string& name, std::size_t tick) const;
+  // Value of (name, labels) at the last tick; NaN when absent/uncovered.
+  [[nodiscard]] double last(const std::string& name,
+                            const Labels& labels = {}) const;
+  // sum_at() over the last tick; NaN when no series matches or empty.
+  [[nodiscard]] double last_sum(const std::string& name) const;
+  [[nodiscard]] std::size_t ticks() const noexcept { return t_sec.size(); }
+};
+
+// "p50", "p99", "p999" for q = 0.5, 0.99, 0.999 — matches the report's
+// percentile field names.
+[[nodiscard]] std::string quantile_suffix(double q);
+
+// {"interval_sec":..,"t_sec":[...],"series":[{name,labels,kind,values}]}
+// with NaN rendered as null, so util::json can parse it back.
+[[nodiscard]] std::string timeline_window_json(const TimelineWindow& window);
+
+class Timeline {
+ public:
+  explicit Timeline(TimelineConfig config = {});
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  // Record one tick at time `t_sec` (monotone across calls). Safe to call
+  // concurrently with window(); one mutex guards the ring.
+  void observe(const Snapshot& snapshot, double t_sec);
+
+  [[nodiscard]] TimelineWindow window() const;
+  // Total ticks ever observed (not bounded by the ring).
+  [[nodiscard]] std::uint64_t ticks_observed() const;
+  [[nodiscard]] const TimelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    SeriesKind kind = SeriesKind::Rate;
+    std::deque<double> values;  // aligned with ticks_
+    double last_raw = 0.0;      // counters: previous raw value
+    bool has_raw = false;
+    bool touched = false;  // scratch: updated during the current tick
+  };
+  struct HistogramState {
+    std::vector<std::uint64_t> last_counts;
+    double last_sum = 0.0;
+    std::uint64_t last_count = 0;
+  };
+
+  // Get-or-create, back-filling NaN so the series aligns with ticks_.
+  // `ticks_before` is the ring length before this tick's push.
+  Series& series_locked(const std::string& name, const Labels& labels,
+                        SeriesKind kind, std::size_t ticks_before);
+  void push_locked(Series& series, double value);
+
+  const TimelineConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<double> ticks_;
+  std::vector<std::unique_ptr<Series>> series_;
+  std::vector<std::pair<std::string, std::size_t>> series_index_;  // key->idx
+  std::vector<std::pair<std::string, HistogramState>> histogram_state_;
+  double last_t_ = 0.0;
+  std::uint64_t ticks_observed_ = 0;
+};
+
+// Background sampler thread: feeds `timeline` one observation per interval
+// from `source` (e.g. a node's metrics_snapshot), stamping ticks with
+// `now`. `after_tick`, when set, runs after every observation — nodes hang
+// trigger-edge detection (disk degrade) off it. The first tick fires
+// immediately on construction, so rates start flowing one interval later.
+class TimelineSampler {
+ public:
+  TimelineSampler(Timeline& timeline, double interval_sec,
+                  std::function<Snapshot()> source,
+                  std::function<double()> now,
+                  std::function<void()> after_tick = {});
+  ~TimelineSampler();
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  // Idempotent; joins the thread. Call before tearing down the source.
+  void stop();
+
+ private:
+  void run();
+
+  Timeline& timeline_;
+  const double interval_sec_;
+  const std::function<Snapshot()> source_;
+  const std::function<double()> now_;
+  const std::function<void()> after_tick_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+// ------------------------------------------------------------ flight data
+
+struct FlightRecorderConfig {
+  std::size_t log_lines = 64;   // tail log lines captured per dump
+  std::size_t span_tail = 128;  // most recent spans kept per dump
+  std::size_t max_dumps = 4;    // dumps retained in memory
+  // When non-empty, every dump is also written to
+  // <dump_directory>/flight-<node>-<seq>.json (best effort).
+  std::string dump_directory;
+};
+
+struct FlightDump {
+  std::string node;
+  std::string reason;  // "manual" | "signal" | "breaker_trip" | "disk_degrade"
+  std::string detail;  // free-form trigger context ("peer 2 tripped", ...)
+  double t_sec = 0.0;  // node-relative trigger time
+  std::uint64_t seq = 0;
+  TimelineWindow window;
+  std::vector<SpanRecord> spans;  // most recent last
+  std::vector<std::string> log_tail;
+};
+
+[[nodiscard]] std::string flight_dump_json(const FlightDump& dump);
+
+// Freezes state on trigger(). The timeline and span store are borrowed and
+// must outlive the recorder; span_store may be null (no tracing).
+class FlightRecorder {
+ public:
+  FlightRecorder(std::string node, const Timeline* timeline,
+                 const SpanStore* span_store, FlightRecorderConfig config,
+                 std::function<double()> now);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Captures a dump. Cheap enough for rare events; called from trigger
+  // sites that may hold node locks, so it takes only its own mutex, the
+  // timeline's and the span store's shard locks.
+  void trigger(const std::string& reason, const std::string& detail);
+
+  [[nodiscard]] std::vector<FlightDump> dumps() const;
+  [[nodiscard]] std::uint64_t triggers() const;
+
+ private:
+  const std::string node_;
+  const Timeline* timeline_;
+  const SpanStore* span_store_;
+  const FlightRecorderConfig config_;
+  const std::function<double()> now_;
+  mutable std::mutex mutex_;
+  std::deque<FlightDump> dumps_;
+  std::uint64_t seq_ = 0;
+};
+
+// Installs a process-wide signal handler that triggers every registered
+// recorder with reason "signal" (detail = signal name/number). `fatal`
+// restores the default disposition and re-raises after dumping, so a
+// SIGSEGV still dies — with a flight dump on disk. Handlers registered
+// once per signal; recorders deregister themselves on destruction.
+void flight_on_signal(int signo, FlightRecorder* recorder, bool fatal = false);
+void flight_signal_detach(FlightRecorder* recorder);
+
+}  // namespace cachecloud::obs

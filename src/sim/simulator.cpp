@@ -15,8 +15,10 @@ SimResult run_simulation(core::CacheCloud& cloud, const trace::Trace& trace,
 
   for (const trace::Event& event : trace.events()) {
     while (ticks && event.time >= next_stats) {
-      if (config.stats_sink) config.stats_sink(next_stats, accounting.metrics());
+      // Export before the sink runs, so a sink that samples the registry
+      // (e.g. the CLI's timeline-backed --stats-every) sees this tick.
       if (config.registry) accounting.metrics().export_to(*config.registry);
+      if (config.stats_sink) config.stats_sink(next_stats, accounting.metrics());
       next_stats += config.stats_every_sec;
     }
     if (const auto cycle = cloud.maybe_end_cycle(event.time)) {

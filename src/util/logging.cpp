@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <deque>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,15 @@ LogLevel level_from_env() noexcept {
 
 std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_emit_mutex;
+
+// Flight-recorder capture ring, guarded by g_emit_mutex (the emit path
+// already takes it). Capacity is read with a relaxed atomic so the
+// disabled fast path is one load.
+std::atomic<std::size_t> g_capture_capacity{0};
+std::deque<std::string>& capture_ring() {
+  static std::deque<std::string> ring;
+  return ring;
+}
 
 const char* basename_of(const char* path) noexcept {
   const char* slash = std::strrchr(path, '/');
@@ -83,6 +93,38 @@ unsigned log_thread_id() noexcept {
   return id;
 }
 
+void set_log_capture(std::size_t lines) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_capture_capacity.store(lines, std::memory_order_relaxed);
+  auto& ring = capture_ring();
+  if (lines == 0) {
+    ring.clear();
+  } else {
+    while (ring.size() > lines) ring.pop_front();
+  }
+}
+
+void grow_log_capture(std::size_t at_least) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const std::size_t cur = g_capture_capacity.load(std::memory_order_relaxed);
+  if (at_least > cur) {
+    g_capture_capacity.store(at_least, std::memory_order_relaxed);
+  }
+}
+
+std::size_t log_capture_capacity() noexcept {
+  return g_capture_capacity.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> log_tail(std::size_t max_lines) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const auto& ring = capture_ring();
+  std::size_t n = ring.size();
+  if (max_lines != 0 && max_lines < n) n = max_lines;
+  return std::vector<std::string>(ring.end() - static_cast<std::ptrdiff_t>(n),
+                                  ring.end());
+}
+
 namespace detail {
 
 bool log_enabled(LogLevel level) noexcept {
@@ -104,6 +146,12 @@ LogMessage::~LogMessage() {
   const std::string line = stream_.str();
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
+  const std::size_t cap = g_capture_capacity.load(std::memory_order_relaxed);
+  if (cap > 0) {
+    auto& ring = capture_ring();
+    ring.emplace_back(line.data(), line.size() - 1);  // strip the newline
+    while (ring.size() > cap) ring.pop_front();
+  }
   (void)level_;
 }
 

@@ -15,7 +15,9 @@
 
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace cachecloud::util {
 
@@ -30,6 +32,18 @@ void set_log_level(LogLevel level) noexcept;
                                            LogLevel fallback) noexcept;
 // Small sequential id of the calling thread, unique within the process.
 [[nodiscard]] unsigned log_thread_id() noexcept;
+
+// Bounded in-process capture of emitted log lines, feeding the flight
+// recorder's "last K lines before the trigger". Off (capacity 0) by
+// default — the emit path then pays one branch. grow_log_capture() never
+// shrinks, so several recorders can each demand their own K;
+// set_log_capture(0) disables and drops the buffer (tests).
+void set_log_capture(std::size_t lines);
+void grow_log_capture(std::size_t at_least);
+[[nodiscard]] std::size_t log_capture_capacity() noexcept;
+// The most recent captured lines, oldest first, at most `max_lines`
+// (0 = all retained). Lines are stored without the trailing newline.
+[[nodiscard]] std::vector<std::string> log_tail(std::size_t max_lines = 0);
 
 namespace detail {
 

@@ -1,0 +1,243 @@
+// End-to-end timeline tests: per-node background samplers scraped over
+// TCP (TimelineDumpReq), flight-recorder triggers on live nodes (manual
+// via the wire, breaker trip on a crashed peer), partial scrapes with a
+// dead node, and the wire codec's NaN round-trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "node/cluster.hpp"
+#include "node/protocol.hpp"
+#include "node/timeline_scrape.hpp"
+#include "obs/timeline.hpp"
+
+namespace cachecloud::node {
+namespace {
+
+NodeConfig timed_config() {
+  NodeConfig config;
+  config.num_caches = 3;
+  config.ring_size = 2;
+  config.irh_gen = 100;
+  config.placement = "adhoc";
+  config.timeline.enabled = true;
+  config.timeline.interval_sec = 0.02;  // fast ticks so tests don't wait
+  return config;
+}
+
+std::vector<std::uint16_t> all_ports(Cluster& cluster) {
+  std::vector<std::uint16_t> ports;
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    ports.push_back(cluster.cache(id).port());
+  }
+  ports.push_back(cluster.origin().port());
+  return ports;
+}
+
+// Polls until `predicate` holds or ~5s pass — sampler threads tick on
+// their own schedule, so tests wait for state instead of sleeping blind.
+template <typename Predicate>
+bool wait_for(Predicate predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+TEST(NodeTimelineTest, SamplersProduceScrapableWindows) {
+  Cluster cluster(timed_config());
+  cluster.origin().add_document("/a", 256);
+  for (int i = 0; i < 5; ++i) (void)cluster.cache(0).get("/a");
+
+  const std::vector<std::uint16_t> ports = all_ports(cluster);
+  ASSERT_TRUE(wait_for([&] {
+    const TimelineScrapeResult scrape = scrape_timelines(ports);
+    if (scrape.nodes_scraped != ports.size()) return false;
+    for (const NodeTimeline& node : scrape.nodes) {
+      if (!node.enabled || node.window.ticks() < 2) return false;
+    }
+    return true;
+  }));
+
+  const TimelineScrapeResult scrape = scrape_timelines(ports);
+  EXPECT_TRUE(scrape.errors.empty());
+  // Cache nodes expose per-class get rates; all of them carry the uptime
+  // gauge and build info from satellite registration.
+  const NodeTimeline& cache0 = scrape.nodes[0];
+  EXPECT_EQ(cache0.node, "cache-0");
+  EXPECT_NE(cache0.window.find("cachecloud_gets_total",
+                               {{"class", "local"}}),
+            nullptr);
+  EXPECT_NE(cache0.window.find("cachecloud_start_time_seconds"), nullptr);
+  const NodeTimeline& origin = scrape.nodes.back();
+  EXPECT_EQ(origin.node, "origin");
+  EXPECT_NE(origin.window.find("cachecloud_start_time_seconds"), nullptr);
+  // The get counters actually moved: summed across classes, the last
+  // cumulative value folded through rates must be visible in some tick.
+  const obs::SeriesSnapshot* local = cache0.window.find(
+      "cachecloud_gets_total", {{"class", "local"}});
+  ASSERT_NE(local, nullptr);
+  bool any_finite = false;
+  for (double v : local->values) {
+    if (std::isfinite(v)) any_finite = true;
+  }
+  EXPECT_TRUE(any_finite);
+}
+
+TEST(NodeTimelineTest, WireTriggerProducesManualFlightDump) {
+  Cluster cluster(timed_config());
+  const std::uint16_t port = cluster.cache(1).port();
+
+  TimelineDumpReq req;
+  req.include_flight = true;
+  req.trigger = true;
+  net::TcpClient client(port);
+  const net::Frame reply = client.call(req.encode());
+  ASSERT_EQ(reply.type,
+            static_cast<std::uint16_t>(MsgType::TimelineDumpResp));
+  const TimelineDumpResp resp = TimelineDumpResp::decode(reply);
+  EXPECT_EQ(resp.node, "cache-1");
+  EXPECT_TRUE(resp.enabled);
+  ASSERT_EQ(resp.flights.size(), 1u);
+  EXPECT_EQ(resp.flights[0].reason, "manual");
+  EXPECT_EQ(resp.flights[0].node, "cache-1");
+}
+
+TEST(NodeTimelineTest, UntimedNodeAnswersScrapeAsDisabled) {
+  NodeConfig config = timed_config();
+  config.timeline.enabled = false;
+  Cluster cluster(config);
+  const TimelineScrapeResult scrape =
+      scrape_timelines({cluster.cache(0).port()});
+  ASSERT_EQ(scrape.nodes_scraped, 1u);
+  EXPECT_FALSE(scrape.nodes[0].enabled);
+  EXPECT_EQ(scrape.nodes[0].window.ticks(), 0u);
+  EXPECT_EQ(scrape.nodes[0].node, "cache-0");
+}
+
+TEST(NodeTimelineTest, BreakerTripTriggersFlightDumpWithSpans) {
+  NodeConfig config = timed_config();
+  config.auto_failover = false;  // keep the crashed node in the ring
+  config.breaker.failure_threshold = 2;
+  config.retry.backoff_base_sec = 0.001;
+  config.retry.backoff_cap_sec = 0.002;
+  config.trace.collect = true;
+  config.trace.sample_probability = 1.0;
+  Cluster cluster(config);
+  for (int i = 0; i < 20; ++i) {
+    cluster.origin().add_document("/d" + std::to_string(i), 128);
+  }
+  // Warm the directory so node 0 knows which documents live on node 1.
+  for (int i = 0; i < 20; ++i) {
+    (void)cluster.cache(1).get("/d" + std::to_string(i));
+  }
+  for (NodeId id = 0; id < cluster.num_caches(); ++id) {
+    cluster.cache(id).sync_replicas();
+  }
+
+  cluster.crash(1);
+  // Enough lookups that node 0 retries the dead peer past the breaker
+  // threshold; each degrades to an origin fetch, so the gets succeed.
+  for (int i = 0; i < 20; ++i) {
+    (void)cluster.cache(0).get("/d" + std::to_string(i));
+  }
+
+  const TimelineScrapeResult scrape = scrape_timelines(
+      {cluster.cache(0).port()}, /*include_flight=*/true);
+  ASSERT_EQ(scrape.nodes_scraped, 1u);
+  const std::vector<obs::FlightDump>& flights = scrape.nodes[0].flights;
+  ASSERT_FALSE(flights.empty());
+  const obs::FlightDump& dump = flights.front();
+  EXPECT_EQ(dump.reason, "breaker_trip");
+  EXPECT_NE(dump.detail.find("peer 1"), std::string::npos);
+  // Tracing was on, so the dump carries the span tail leading up to the
+  // trip — the post-mortem shows what the node was doing.
+  EXPECT_FALSE(dump.spans.empty());
+}
+
+TEST(NodeTimelineTest, ScrapesTolerateDeadNode) {
+  Cluster cluster(timed_config());
+  cluster.origin().add_document("/a", 256);
+  (void)cluster.cache(0).get("/a");
+  const std::vector<std::uint16_t> ports = all_ports(cluster);
+  cluster.crash(1);
+
+  const TimelineScrapeResult timelines = scrape_timelines(ports);
+  ASSERT_EQ(timelines.nodes.size(), ports.size());
+  EXPECT_EQ(timelines.nodes_scraped, ports.size() - 1);
+  EXPECT_TRUE(timelines.nodes[1].unreachable);
+  EXPECT_FALSE(timelines.nodes[1].error.empty());
+  EXPECT_FALSE(timelines.nodes[0].unreachable);
+  EXPECT_FALSE(timelines.nodes.back().unreachable);
+  ASSERT_EQ(timelines.errors.size(), 1u);
+
+  const std::vector<NodeStatsScrape> stats = scrape_stats(ports);
+  ASSERT_EQ(stats.size(), ports.size());
+  EXPECT_TRUE(stats[1].unreachable);
+  EXPECT_TRUE(stats[1].snapshot.samples.empty());
+  EXPECT_FALSE(stats[0].unreachable);
+  EXPECT_FALSE(stats[0].snapshot.samples.empty());
+}
+
+TEST(NodeTimelineTest, WireCodecRoundTripsWindowsAndNaN) {
+  TimelineDumpResp resp;
+  resp.node = "cache-2";
+  resp.enabled = true;
+  resp.window.interval_sec = 0.5;
+  resp.window.t_sec = {1.0, 1.5};
+  obs::SeriesSnapshot series;
+  series.name = "cachecloud_gets_total";
+  series.labels = {{"class", "local"}};
+  series.kind = obs::SeriesKind::Rate;
+  series.values = {std::nan(""), 42.0};
+  resp.window.series.push_back(series);
+  obs::FlightDump flight;
+  flight.node = "cache-2";
+  flight.reason = "disk_degrade";
+  flight.detail = "because";
+  flight.t_sec = 3.25;
+  flight.seq = 7;
+  obs::SpanRecord span;
+  span.trace_id = 9;
+  span.span_id = 10;
+  span.node = "cache-2";
+  span.name = "get";
+  span.start_us = 100;
+  span.end_us = 200;
+  span.error = true;
+  span.tags = {{"doc", "/a"}};
+  flight.spans.push_back(span);
+  flight.log_tail = {"line one", "line two"};
+  resp.flights.push_back(flight);
+
+  const TimelineDumpResp decoded =
+      TimelineDumpResp::decode(resp.encode());
+  EXPECT_EQ(decoded.node, "cache-2");
+  EXPECT_TRUE(decoded.enabled);
+  ASSERT_EQ(decoded.window.series.size(), 1u);
+  const obs::SeriesSnapshot& got = decoded.window.series[0];
+  EXPECT_EQ(got.labels, series.labels);
+  EXPECT_EQ(got.kind, obs::SeriesKind::Rate);
+  ASSERT_EQ(got.values.size(), 2u);
+  EXPECT_TRUE(std::isnan(got.values[0]));  // NaN rides f64 unchanged
+  EXPECT_DOUBLE_EQ(got.values[1], 42.0);
+  ASSERT_EQ(decoded.flights.size(), 1u);
+  const obs::FlightDump& dump = decoded.flights[0];
+  EXPECT_EQ(dump.reason, "disk_degrade");
+  EXPECT_EQ(dump.seq, 7u);
+  ASSERT_EQ(dump.spans.size(), 1u);
+  EXPECT_EQ(dump.spans[0].tags, span.tags);
+  EXPECT_TRUE(dump.spans[0].error);
+  EXPECT_EQ(dump.log_tail,
+            (std::vector<std::string>{"line one", "line two"}));
+}
+
+}  // namespace
+}  // namespace cachecloud::node

@@ -1,0 +1,326 @@
+// Timeline core semantics: ring wraparound, counter-reset rates,
+// per-interval histogram quantiles, NaN alignment for late series, JSON
+// rendering, and the flight recorder's freeze-on-trigger behaviour
+// (manual, signal, log-tail capture).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span_store.hpp"
+#include "obs/timeline.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace cachecloud::obs {
+namespace {
+
+// Hand-built snapshot with one unlabeled counter.
+Snapshot counter_snapshot(const std::string& name, double value) {
+  Snapshot snapshot;
+  SampleSnapshot sample;
+  sample.name = name;
+  sample.kind = MetricKind::Counter;
+  sample.value = value;
+  snapshot.samples.push_back(sample);
+  return snapshot;
+}
+
+TimelineConfig small_config(std::size_t capacity = 120) {
+  TimelineConfig config;
+  config.enabled = true;
+  config.interval_sec = 1.0;
+  config.capacity = capacity;
+  return config;
+}
+
+TEST(TimelineTest, CounterBecomesRateAndFirstTickIsNaN) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 100.0), 0.0);
+  timeline.observe(counter_snapshot("reqs_total", 150.0), 1.0);
+  timeline.observe(counter_snapshot("reqs_total", 250.0), 3.0);
+
+  const TimelineWindow window = timeline.window();
+  ASSERT_EQ(window.ticks(), 3u);
+  const SeriesSnapshot* series = window.find("reqs_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind, SeriesKind::Rate);
+  EXPECT_TRUE(std::isnan(series->values[0]));  // no predecessor tick
+  EXPECT_DOUBLE_EQ(series->values[1], 50.0);   // 50 / 1s
+  EXPECT_DOUBLE_EQ(series->values[2], 50.0);   // 100 / 2s
+}
+
+TEST(TimelineTest, RingEvictsOldestTicksButRatesStayCorrect) {
+  Timeline timeline(small_config(/*capacity=*/4));
+  for (int i = 0; i < 10; ++i) {
+    timeline.observe(counter_snapshot("reqs_total", 10.0 * i),
+                     static_cast<double>(i));
+  }
+  const TimelineWindow window = timeline.window();
+  ASSERT_EQ(window.ticks(), 4u);  // only the last 4 survive
+  EXPECT_DOUBLE_EQ(window.t_sec.front(), 6.0);
+  EXPECT_DOUBLE_EQ(window.t_sec.back(), 9.0);
+  EXPECT_EQ(timeline.ticks_observed(), 10u);
+  const SeriesSnapshot* series = window.find("reqs_total");
+  ASSERT_NE(series, nullptr);
+  // Raw counter state survives ring eviction: every retained tick rates
+  // against its true predecessor, not against the ring edge.
+  for (double v : series->values) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(TimelineTest, CounterResetRatesAsRestartNotNegative) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 100.0), 0.0);
+  // Node restarted: the registry was reborn at zero and counted 40 since.
+  timeline.observe(counter_snapshot("reqs_total", 40.0), 1.0);
+  const TimelineWindow window = timeline.window();
+  const SeriesSnapshot* series = window.find("reqs_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_DOUBLE_EQ(series->values[1], 40.0);  // new value IS the delta
+}
+
+TEST(TimelineTest, LateSeriesBackfillsNaNAndRatesFromZero) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("a_total", 1.0), 0.0);
+  timeline.observe(counter_snapshot("a_total", 2.0), 1.0);
+  Snapshot both = counter_snapshot("a_total", 3.0);
+  SampleSnapshot late;
+  late.name = "b_total";
+  late.kind = MetricKind::Counter;
+  late.value = 30.0;
+  both.samples.push_back(late);
+  timeline.observe(both, 2.0);
+
+  const TimelineWindow window = timeline.window();
+  const SeriesSnapshot* series = window.find("b_total");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->values.size(), 3u);
+  EXPECT_TRUE(std::isnan(series->values[0]));
+  EXPECT_TRUE(std::isnan(series->values[1]));
+  // Registry metrics are born at zero, so the first sighting already has a
+  // meaningful rate.
+  EXPECT_DOUBLE_EQ(series->values[2], 30.0);
+
+  // A series absent from a later snapshot carries NaN for that tick.
+  timeline.observe(counter_snapshot("a_total", 4.0), 3.0);
+  const TimelineWindow later = timeline.window();
+  const SeriesSnapshot* gone = later.find("b_total");
+  ASSERT_NE(gone, nullptr);
+  EXPECT_TRUE(std::isnan(gone->values[3]));
+}
+
+TEST(TimelineTest, GaugeIsLevelNotRate) {
+  Timeline timeline(small_config());
+  Snapshot snapshot;
+  SampleSnapshot gauge;
+  gauge.name = "threads";
+  gauge.kind = MetricKind::Gauge;
+  gauge.value = 7.0;
+  snapshot.samples.push_back(gauge);
+  timeline.observe(snapshot, 0.0);
+  const TimelineWindow window = timeline.window();
+  const SeriesSnapshot* series = window.find("threads");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind, SeriesKind::Level);
+  EXPECT_DOUBLE_EQ(series->values[0], 7.0);  // levels exist from tick 0
+}
+
+TEST(TimelineTest, HistogramEmitsPerIntervalQuantilesAndRates) {
+  Registry registry;
+  LatencyHistogram& histogram =
+      registry.histogram("lat_seconds", "h", {0.001, 0.01, 0.1});
+  Timeline timeline(small_config());
+  timeline.observe(registry.snapshot(), 0.0);
+
+  // Interval 1: 100 fast observations.
+  for (int i = 0; i < 100; ++i) histogram.observe(0.0005);
+  timeline.observe(registry.snapshot(), 1.0);
+  // Interval 2: 100 slow observations — the cumulative histogram now holds
+  // both, but the per-interval p99 must reflect only the slow batch.
+  for (int i = 0; i < 100; ++i) histogram.observe(0.05);
+  timeline.observe(registry.snapshot(), 2.0);
+
+  const TimelineWindow window = timeline.window();
+  const SeriesSnapshot* count = window.find("lat_seconds_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->kind, SeriesKind::Rate);
+  EXPECT_DOUBLE_EQ(count->values[1], 100.0);
+  EXPECT_DOUBLE_EQ(count->values[2], 100.0);
+
+  const SeriesSnapshot* p99 = window.find("lat_seconds_p99");
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(p99->kind, SeriesKind::Quantile);
+  EXPECT_LE(p99->values[1], 0.001);  // fast interval
+  EXPECT_GT(p99->values[2], 0.01);   // slow interval, despite fast history
+
+  // Interval 3: no observations — quantile has no data, count rate is 0.
+  timeline.observe(registry.snapshot(), 3.0);
+  const TimelineWindow after = timeline.window();
+  EXPECT_TRUE(std::isnan(after.find("lat_seconds_p99")->values[3]));
+  EXPECT_DOUBLE_EQ(after.find("lat_seconds_count")->values[3], 0.0);
+}
+
+TEST(TimelineTest, SumAtAndLastSumAcrossLabelSets) {
+  Timeline timeline(small_config());
+  Snapshot snapshot;
+  for (const char* cls : {"local", "cloud"}) {
+    SampleSnapshot sample;
+    sample.name = "gets_total";
+    sample.kind = MetricKind::Counter;
+    sample.labels = {{"class", cls}};
+    sample.value = 10.0;
+    snapshot.samples.push_back(sample);
+  }
+  timeline.observe(snapshot, 0.0);
+  for (auto& sample : snapshot.samples) sample.value = 30.0;
+  timeline.observe(snapshot, 1.0);
+
+  const TimelineWindow window = timeline.window();
+  EXPECT_DOUBLE_EQ(window.sum_at("gets_total", 1), 40.0);  // 20 + 20
+  EXPECT_DOUBLE_EQ(window.last_sum("gets_total"), 40.0);
+  EXPECT_DOUBLE_EQ(window.sum_at("gets_total", 0), 0.0);  // NaNs count as 0
+  EXPECT_TRUE(std::isnan(window.sum_at("absent_total", 1)));
+  const SeriesSnapshot* local =
+      window.find("gets_total", {{"class", "local"}});
+  ASSERT_NE(local, nullptr);
+  EXPECT_DOUBLE_EQ(local->values[1], 20.0);
+}
+
+TEST(TimelineTest, QuantileSuffixMatchesReportNames) {
+  EXPECT_EQ(quantile_suffix(0.5), "p50");
+  EXPECT_EQ(quantile_suffix(0.99), "p99");
+  EXPECT_EQ(quantile_suffix(0.999), "p999");
+}
+
+TEST(TimelineTest, WindowJsonParsesWithNaNAsNull) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 5.0), 0.0);
+  timeline.observe(counter_snapshot("reqs_total", 9.0), 1.0);
+  const std::string json = timeline_window_json(timeline.window());
+  const util::JsonValue doc = util::JsonValue::parse(json);
+  EXPECT_DOUBLE_EQ(doc.number_at("interval_sec"), 1.0);
+  ASSERT_EQ(doc.at("t_sec").as_array().size(), 2u);
+  const auto& series = doc.at("series").as_array();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].at("name").as_string(), "reqs_total");
+  EXPECT_EQ(series[0].at("kind").as_string(), "rate");
+  const auto& values = series[0].at("values").as_array();
+  EXPECT_TRUE(values[0].is_null());  // NaN -> null
+  EXPECT_DOUBLE_EQ(values[1].as_number(), 4.0);
+}
+
+// ------------------------------------------------------------------ flight
+
+TEST(FlightRecorderTest, ManualTriggerFreezesWindowSpansAndLogs) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 5.0), 0.0);
+  timeline.observe(counter_snapshot("reqs_total", 9.0), 1.0);
+
+  SpanStore spans{SpanStoreConfig{}};
+  SpanRecord record;
+  record.trace_id = 1;
+  record.span_id = 2;
+  record.node = "node-1";
+  record.name = "get";
+  record.start_us = 100;
+  record.end_us = 250;
+  spans.add(record);
+
+  util::set_log_capture(8);
+  CC_LOG(Info) << "something happened before the trigger";
+
+  FlightRecorderConfig config;
+  config.log_lines = 8;
+  FlightRecorder recorder("node-1", &timeline, &spans, config,
+                          [] { return 2.0; });
+  recorder.trigger("manual", "test trigger");
+
+  const std::vector<FlightDump> dumps = recorder.dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  const FlightDump& dump = dumps[0];
+  EXPECT_EQ(dump.node, "node-1");
+  EXPECT_EQ(dump.reason, "manual");
+  EXPECT_EQ(dump.detail, "test trigger");
+  EXPECT_DOUBLE_EQ(dump.t_sec, 2.0);
+  EXPECT_EQ(dump.window.ticks(), 2u);
+  ASSERT_EQ(dump.spans.size(), 1u);
+  EXPECT_EQ(dump.spans[0].name, "get");
+  bool found_log = false;
+  for (const std::string& line : dump.log_tail) {
+    if (line.find("something happened") != std::string::npos) {
+      found_log = true;
+    }
+  }
+  EXPECT_TRUE(found_log);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  util::set_log_capture(0);
+}
+
+TEST(FlightRecorderTest, DumpJsonParsesAndKeepsOnlyMaxDumps) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 1.0), 0.0);
+  FlightRecorderConfig config;
+  config.max_dumps = 2;
+  config.log_lines = 0;  // no log capture needed here
+  FlightRecorder recorder("n", &timeline, nullptr, config, [] { return 0.0; });
+  recorder.trigger("manual", "one");
+  recorder.trigger("manual", "two");
+  recorder.trigger("breaker_trip", "three");
+  const std::vector<FlightDump> dumps = recorder.dumps();
+  ASSERT_EQ(dumps.size(), 2u);  // oldest dropped
+  EXPECT_EQ(dumps[0].detail, "two");
+  EXPECT_EQ(dumps[1].reason, "breaker_trip");
+  EXPECT_EQ(recorder.triggers(), 3u);
+
+  const util::JsonValue doc =
+      util::JsonValue::parse(flight_dump_json(dumps[1]));
+  EXPECT_EQ(doc.at("schema").as_string(), "cachecloud.flight.v1");
+  EXPECT_EQ(doc.at("trigger").at("reason").as_string(), "breaker_trip");
+  EXPECT_EQ(doc.at("node").as_string(), "n");
+  EXPECT_TRUE(doc.at("timeline").at("series").as_array().size() >= 1u);
+}
+
+TEST(FlightRecorderTest, SignalHookTriggersDumpSynchronously) {
+  Timeline timeline(small_config());
+  timeline.observe(counter_snapshot("reqs_total", 1.0), 0.0);
+  FlightRecorderConfig config;
+  config.log_lines = 0;
+  FlightRecorder recorder("sig", &timeline, nullptr, config,
+                          [] { return 1.0; });
+  flight_on_signal(SIGUSR2, &recorder, /*fatal=*/false);
+  std::raise(SIGUSR2);  // delivered synchronously on this thread
+  flight_signal_detach(&recorder);
+
+  const std::vector<FlightDump> dumps = recorder.dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].reason, "signal");
+  EXPECT_NE(dumps[0].detail.find(std::to_string(SIGUSR2)),
+            std::string::npos);
+
+  // Detached: a second raise must not trigger.
+  std::raise(SIGUSR2);
+  EXPECT_EQ(recorder.triggers(), 1u);
+}
+
+TEST(LogCaptureTest, RingKeepsLastLinesOldestFirst) {
+  util::set_log_capture(3);
+  for (int i = 0; i < 6; ++i) {
+    CC_LOG(Info) << "capture line " << i;
+  }
+  const std::vector<std::string> tail = util::log_tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_NE(tail[0].find("line 3"), std::string::npos);
+  EXPECT_NE(tail[2].find("line 5"), std::string::npos);
+  // Bounded fetch returns the most recent lines.
+  const std::vector<std::string> last = util::log_tail(1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_NE(last[0].find("line 5"), std::string::npos);
+  util::set_log_capture(0);
+  EXPECT_TRUE(util::log_tail().empty());
+}
+
+}  // namespace
+}  // namespace cachecloud::obs

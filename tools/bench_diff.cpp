@@ -190,6 +190,33 @@ int run(const util::Flags& flags) {
     }
   }
 
+  // Steady-state timeline gate: when BOTH reports carry a "timeline"
+  // section (runs with --timeline-out), compare the per-interval medians —
+  // these exclude warmup/drain edges and catch regressions a whole-run
+  // aggregate washes out. A report without the section is simply not
+  // gated, so timeline-less baselines keep working.
+  const JsonValue* base_tl = baseline.find("timeline");
+  const JsonValue* cand_tl = candidate.find("timeline");
+  if (base_tl != nullptr && cand_tl != nullptr) {
+    const double base_med_qps = base_tl->number_at("median_qps");
+    const double cand_med_qps = cand_tl->number_at("median_qps");
+    std::snprintf(line, sizeof(line),
+                  "timeline: median qps %.1f/s >= %.2f * baseline %.1f/s",
+                  cand_med_qps, min_throughput_ratio, base_med_qps);
+    gate.check(cand_med_qps >= min_throughput_ratio * base_med_qps, line);
+
+    const double base_med_p99 = base_tl->number_at("median_p99");
+    const double cand_med_p99 = cand_tl->number_at("median_p99");
+    std::snprintf(line, sizeof(line),
+                  "timeline: median p99 %.3fms <= %.2f * baseline %.3fms",
+                  cand_med_p99 * 1e3, max_p99_factor, base_med_p99 * 1e3);
+    gate.check(cand_med_p99 <= max_p99_factor * base_med_p99, line);
+  } else if (cand_tl != nullptr || base_tl != nullptr) {
+    std::printf("  [--] timeline section only in %s; steady-state gate "
+                "skipped\n",
+                cand_tl != nullptr ? "candidate" : "baseline");
+  }
+
   // Per-metric delta table, printed on success as well as failure so CI
   // logs show the perf trajectory even when the gate passes.
   std::printf("\n  %-14s %-12s %14s %14s %9s\n", "phase", "metric",

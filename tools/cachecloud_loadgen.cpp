@@ -14,26 +14,121 @@
 // Determinism: the full request schedule (arrival times, op kinds,
 // documents, target caches) is a pure function of (workload, schedule,
 // seed); --dump-schedule writes it out so two runs can be diffed.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "loadgen/plan.hpp"
 #include "loadgen/report.hpp"
 #include "loadgen/runner.hpp"
 #include "node/cluster.hpp"
 #include "node/profile_scrape.hpp"
+#include "node/timeline_scrape.hpp"
 #include "node/trace_scrape.hpp"
 #include "obs/profile.hpp"
 #include "obs/span_store.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_stitch.hpp"
 #include "util/flags.hpp"
+#include "util/fs.hpp"
 
 namespace cachecloud {
 namespace {
+
+[[nodiscard]] std::string fmt_num(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+[[nodiscard]] double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Folds the per-port client-side timelines into cluster per-interval
+// series: qps sums cachecloud_gets_total rates over every node and hit
+// class, p99 takes the worst per-node interval quantile. Tick 0 has no
+// predecessor (rates are NaN), so the series cover ticks 1..n-1.
+[[nodiscard]] loadgen::TimelineSummary summarize_timelines(
+    const std::vector<obs::TimelineWindow>& windows, double interval_sec) {
+  loadgen::TimelineSummary tl;
+  tl.ran = true;
+  tl.interval_sec = interval_sec;
+  tl.nodes = windows.size();
+  std::size_t ticks = 0;
+  for (const auto& window : windows) {
+    ticks = std::max(ticks, window.ticks());
+  }
+  for (std::size_t i = 1; i < ticks; ++i) {
+    double qps = 0.0;
+    double p99 = 0.0;
+    for (const auto& window : windows) {
+      if (i >= window.ticks()) continue;
+      const double rate = window.sum_at("cachecloud_gets_total", i);
+      if (std::isfinite(rate)) qps += rate;
+      const obs::SeriesSnapshot* series =
+          window.find("cachecloud_get_latency_seconds_p99");
+      if (series != nullptr && std::isfinite(series->values[i])) {
+        p99 = std::max(p99, series->values[i]);
+      }
+    }
+    tl.t_sec.push_back(windows.empty() ? 0.0 : windows[0].t_sec[i]);
+    tl.qps.push_back(qps);
+    tl.p99.push_back(p99);
+  }
+  tl.median_qps = median_of(tl.qps);
+  tl.peak_qps =
+      tl.qps.empty() ? 0.0 : *std::max_element(tl.qps.begin(), tl.qps.end());
+  tl.median_p99 = median_of(tl.p99);
+  return tl;
+}
+
+// Standalone series artifact: the cluster arrays bench_diff gates on plus
+// every node's full window, parseable with util::json (NaN -> null).
+[[nodiscard]] std::string timeline_json(
+    const loadgen::TimelineSummary& tl,
+    const std::vector<obs::TimelineWindow>& windows,
+    const std::vector<std::uint16_t>& ports, std::size_t num_caches) {
+  std::string out = "{\"schema\": \"cachecloud.timeline.v1\"";
+  out += ", \"interval_sec\": " + fmt_num(tl.interval_sec);
+  const auto array = [&out](const char* key,
+                            const std::vector<double>& values) {
+    out += std::string(", \"") + key + "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fmt_num(values[i]);
+    }
+    out += "]";
+  };
+  array("t_sec", tl.t_sec);
+  array("qps", tl.qps);
+  array("p99", tl.p99);
+  out += ", \"median_qps\": " + fmt_num(tl.median_qps);
+  out += ", \"peak_qps\": " + fmt_num(tl.peak_qps);
+  out += ", \"median_p99\": " + fmt_num(tl.median_p99);
+  out += ", \"nodes\": [";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"role\": \"";
+    out += i < num_caches ? "cache" : "origin";
+    out += "\", \"port\": " + std::to_string(ports[i]);
+    out += ", \"window\": " + obs::timeline_window_json(windows[i]);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
 
 void dump_schedule(const std::string& path, const loadgen::Plan& plan) {
   std::ofstream out(path, std::ios::trunc);
@@ -103,6 +198,16 @@ int run(const util::Flags& flags) {
   const bool profiling = flags.get_bool("profile", false);
   const std::size_t profile_top =
       static_cast<std::size_t>(flags.get_int("profile-top", 10));
+  // Timeline sampling: --timeline-out runs a driver-side sampling thread
+  // (StatsReq sweeps folded through client-side obs::Timelines) and writes
+  // a standalone series JSON plus a "timeline" report section bench_diff
+  // can gate on; --timeline turns on the nodes' own background samplers;
+  // --flight-dir does that too and points their flight recorders at a dump
+  // directory. All off by default so the report stays byte-identical.
+  const std::string timeline_out = flags.get_string("timeline-out", "");
+  const double timeline_interval = flags.get_double("timeline-interval", 1.0);
+  const bool node_timelines = flags.get_bool("timeline", false);
+  const std::string flight_dir = flags.get_string("flight-dir", "");
   // Tiered persistence + kill–restart lifecycle: --cache-dir mounts a
   // write-behind disk tier under every node (empty = memory-only, the
   // byte-identical default); --mem-bytes bounds the memory tier so spills
@@ -124,6 +229,12 @@ int run(const util::Flags& flags) {
   for (const std::string& name : flags.unused()) {
     std::fprintf(stderr, "cachecloud_loadgen: unknown flag --%s\n",
                  name.c_str());
+    return 2;
+  }
+
+  if (timeline_interval <= 0.0) {
+    std::fprintf(stderr,
+                 "cachecloud_loadgen: --timeline-interval must be > 0\n");
     return 2;
   }
 
@@ -176,6 +287,13 @@ int run(const util::Flags& flags) {
   // A deliberately-killed node must not trigger coordinator failover —
   // the experiment is about the node coming back, not being replaced.
   if (lifecycle) config.auto_failover = false;
+  // Node-side background samplers (and, with --flight-dir, on-disk flight
+  // dumps for breaker trips / disk degrades / signals).
+  if (node_timelines || !flight_dir.empty()) {
+    config.timeline.enabled = true;
+    config.timeline.interval_sec = timeline_interval;
+    config.flight.dump_directory = flight_dir;
+  }
   node::Cluster cluster(config);
   for (std::size_t i = 0; i < plan.urls.size(); ++i) {
     cluster.origin().add_document(plan.urls[i],
@@ -222,8 +340,82 @@ int run(const util::Flags& flags) {
     });
   }
 
+  // --timeline-out: sample every node's registry from the driver side at a
+  // fixed interval for the whole run. Unreachable nodes feed an empty
+  // snapshot so ticks stay aligned across the cluster, and the timelines'
+  // counter-reset rate logic keeps series sane across a kill-restart.
+  const bool timelines = !timeline_out.empty();
+  std::vector<std::uint16_t> all_ports = runner_config.cache_ports;
+  all_ports.push_back(runner_config.origin_port);
+  std::vector<std::unique_ptr<obs::Timeline>> port_timelines;
+  std::thread timeline_thread;
+  std::mutex timeline_mutex;
+  std::condition_variable timeline_cv;
+  bool timeline_stop = false;
+  if (timelines) {
+    obs::TimelineConfig tl_config;
+    tl_config.enabled = true;
+    tl_config.interval_sec = timeline_interval;
+    // Ring big enough that no tick of this run is ever evicted.
+    tl_config.capacity =
+        static_cast<std::size_t>(plan.total_seconds() / timeline_interval) +
+        64;
+    for (std::size_t i = 0; i < all_ports.size(); ++i) {
+      port_timelines.push_back(std::make_unique<obs::Timeline>(tl_config));
+    }
+    timeline_thread = std::thread([&] {
+      const auto start = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(timeline_mutex);
+      for (std::uint64_t tick = 0; !timeline_stop; ++tick) {
+        lock.unlock();
+        const double t =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        const std::vector<node::NodeStatsScrape> sweep =
+            node::scrape_stats(all_ports, timeline_interval);
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+          port_timelines[i]->observe(sweep[i].snapshot, t);
+        }
+        lock.lock();
+        timeline_cv.wait_until(
+            lock,
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(tick + 1) *
+                            timeline_interval)),
+            [&] { return timeline_stop; });
+      }
+    });
+  }
+
   loadgen::RunResult result = runner.run(plan);
   if (lifecycle_thread.joinable()) lifecycle_thread.join();
+
+  if (timelines) {
+    {
+      std::lock_guard<std::mutex> lock(timeline_mutex);
+      timeline_stop = true;
+    }
+    timeline_cv.notify_all();
+    timeline_thread.join();
+    std::vector<obs::TimelineWindow> windows;
+    windows.reserve(port_timelines.size());
+    for (const auto& timeline : port_timelines) {
+      windows.push_back(timeline->window());
+    }
+    result.timeline = summarize_timelines(windows, timeline_interval);
+    try {
+      util::atomic_write_file(
+          timeline_out, timeline_json(result.timeline, windows, all_ports,
+                                      runner_config.cache_ports.size()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen: cannot write timeline to %s: %s\n",
+                   timeline_out.c_str(), e.what());
+      return 2;
+    }
+  }
 
   if (lifecycle) {
     // The restarted node's registry was reborn with it, so its absolute
@@ -311,6 +503,26 @@ int run(const util::Flags& flags) {
         result.lifecycle.post_local_hit_rate);
   }
   std::printf("report: %s\n", out_path.c_str());
+  if (timelines) {
+    std::printf(
+        "timeline: %s (%zu ticks @ %.2fs, median=%.1f/s peak=%.1f/s "
+        "median-p99=%.3fms)\n",
+        timeline_out.c_str(), result.timeline.t_sec.size(), timeline_interval,
+        result.timeline.median_qps, result.timeline.peak_qps,
+        result.timeline.median_p99 * 1e3);
+  }
+  // Surface any flight dumps the nodes recorded (breaker trips, disk
+  // degrades) so a CI log shows where to look.
+  if (!flight_dir.empty()) {
+    const node::TimelineScrapeResult scraped = node::scrape_timelines(
+        runner_config.cache_ports, /*include_flight=*/true);
+    std::size_t flights = 0;
+    for (const node::NodeTimeline& nt : scraped.nodes) {
+      flights += nt.flights.size();
+    }
+    std::printf("flight: %zu dump(s) under %s\n", flights,
+                flight_dir.c_str());
+  }
   if (profiling) {
     std::printf("%s", obs::contention_table(result.contention).c_str());
   }

@@ -21,8 +21,10 @@
 //   --warmup-sec=0         exclude the first part from metrics
 //
 // Observability options:
-//   --stats-every=N        print a one-line running summary every N seconds
-//                          of simulated time (0 = off)
+//   --stats-every=N        print a per-interval rate line (req/s, hit mix,
+//                          evict/s, net MB/min) every N seconds of simulated
+//                          time, derived via the shared timeline sampler
+//                          (0 = off)
 //   --prometheus           dump the final metrics in Prometheus text format
 //                          (same metric names live nodes expose via StatsReq)
 //
@@ -42,6 +44,7 @@
 //                          every node must trip into memory-only degrade
 //                          with zero client-visible errors
 //   --chaos-mem-bytes=32768  memory tier size when the disk tier is mounted
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -52,6 +55,7 @@
 #include "net/fault_injector.hpp"
 #include "node/cluster.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
@@ -374,25 +378,50 @@ int run(int argc, char** argv) {
   const double stats_every = flags.get_double("stats-every", 0.0);
   const bool prometheus = flags.get_bool("prometheus", false);
   if (prometheus || stats_every > 0.0) sim_config.registry = &registry;
+  // --stats-every rides on the shared timeline core: every tick the
+  // registry snapshot goes through an obs::Timeline, whose counter-delta
+  // rates replace the ad-hoc cumulative bookkeeping this tool used to
+  // duplicate — the printed line is now *this interval's* behaviour, the
+  // same math the live nodes' samplers and cachecloud_top use.
+  obs::TimelineConfig stats_tl_config;
+  stats_tl_config.enabled = true;
+  stats_tl_config.interval_sec = stats_every;
+  stats_tl_config.capacity = 4;  // only the last tick pair is ever read
+  obs::Timeline stats_timeline(stats_tl_config);
   if (stats_every > 0.0) {
     sim_config.stats_every_sec = stats_every;
-    sim_config.stats_sink = [](double now, const sim::CloudMetrics& m) {
-      // measured_sec is only finalised at the end of the run, so compute
-      // the running network rate against the simulated clock directly.
+    // Tick 0 at t=0 on the still-empty registry: counters first seen on a
+    // later tick rate from a zero baseline, so the first printed interval
+    // already has meaningful rates.
+    stats_timeline.observe(registry.snapshot(), 0.0);
+    sim_config.stats_sink = [&registry, &stats_timeline](
+                                double now, const sim::CloudMetrics& m) {
+      stats_timeline.observe(registry.snapshot(), now);
+      const obs::TimelineWindow window = stats_timeline.window();
+      const double qps = window.last_sum("cachecloud_gets_total");
+      const auto class_rate = [&window](const char* cls) {
+        const double v = window.last("cachecloud_gets_total",
+                                     {{"class", cls}});
+        return std::isfinite(v) ? v : 0.0;
+      };
+      const double mix_div = qps > 0.0 ? qps : 1.0;
+      const double evictions =
+          window.last("cachecloud_evictions_total");
       const double mb_per_min =
-          now > 0.0
-              ? static_cast<double>(m.total_network_bytes()) / 1e6 /
-                    (now / 60.0)
-              : 0.0;
+          window.last_sum("cachecloud_sim_bytes_total") * 60.0 / 1e6;
       std::printf(
-          "[t=%8.0fs] requests=%llu local=%s%% cloud=%s%% misses=%llu "
-          "evictions=%llu net=%s MB/min\n",
-          now, static_cast<unsigned long long>(m.requests),
-          util::format_double(100.0 * m.local_hit_rate(), 1).c_str(),
-          util::format_double(100.0 * m.cloud_hit_rate(), 1).c_str(),
-          static_cast<unsigned long long>(m.group_misses),
-          static_cast<unsigned long long>(m.evictions),
-          util::format_double(mb_per_min, 2).c_str());
+          "[t=%8.0fs] req/s=%s local=%s%% cloud=%s%% evict/s=%s net=%s "
+          "MB/min (total %llu)\n",
+          now, util::format_double(std::isfinite(qps) ? qps : 0.0, 1).c_str(),
+          util::format_double(100.0 * class_rate("local") / mix_div, 1)
+              .c_str(),
+          util::format_double(100.0 * class_rate("cloud") / mix_div, 1)
+              .c_str(),
+          util::format_double(std::isfinite(evictions) ? evictions : 0.0, 2)
+              .c_str(),
+          util::format_double(std::isfinite(mb_per_min) ? mb_per_min : 0.0, 2)
+              .c_str(),
+          static_cast<unsigned long long>(m.requests));
     };
   }
 

@@ -1,0 +1,209 @@
+// Live cluster monitor — top(1) for a cache cloud.
+//
+// Polls every node's StatsReq endpoint once per interval, folds the
+// snapshots through client-side obs::Timelines (so rates, per-interval
+// quantiles and counter-reset handling match the nodes' own samplers) and
+// renders a refreshing per-node table: qps, hit-class mix, interval p99,
+// connection threads, lock wait. Nodes that die mid-session stay in the
+// table marked `unreachable` and come back when they restart — the
+// partial-scrape fan-out never lets one dead node stall the sweep.
+//
+//   cachecloud_top --ports 9001,9002,9003,9000
+//   cachecloud_top --ports 9001,9002 --interval 2 --frames 10
+//   cachecloud_top --ports 9001 --once        # single frame, no clearing
+//
+// Intended against nodes booted with timelines on or off — this tool keeps
+// its own timelines, so the nodes pay nothing extra for being watched.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "node/timeline_scrape.hpp"
+#include "obs/timeline.hpp"
+#include "util/flags.hpp"
+
+namespace cachecloud {
+namespace {
+
+[[nodiscard]] std::vector<std::uint16_t> parse_ports(const std::string& arg) {
+  std::vector<std::uint16_t> ports;
+  std::string token;
+  for (std::size_t i = 0; i <= arg.size(); ++i) {
+    if (i == arg.size() || arg[i] == ',') {
+      if (!token.empty()) {
+        const int port = std::stoi(token);
+        if (port <= 0 || port > 65535) {
+          throw std::invalid_argument("port out of range: " + token);
+        }
+        ports.push_back(static_cast<std::uint16_t>(port));
+        token.clear();
+      }
+    } else {
+      token += arg[i];
+    }
+  }
+  return ports;
+}
+
+// "--" for no-data ticks (NaN), else a fixed-width number.
+[[nodiscard]] std::string cell(double value, const char* format) {
+  if (!std::isfinite(value)) return "--";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+struct NodeView {
+  std::uint16_t port = 0;
+  std::string label;  // last known node label; "?" before first contact
+  bool up = false;
+  obs::Timeline timeline;
+
+  explicit NodeView(const obs::TimelineConfig& config)
+      : label("?"), timeline(config) {}
+};
+
+void render(const std::vector<std::unique_ptr<NodeView>>& views,
+            std::uint64_t frame, double interval_sec, bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  std::printf("cachecloud_top  frame=%llu  interval=%.1fs  nodes=%zu\n",
+              static_cast<unsigned long long>(frame), interval_sec,
+              views.size());
+  std::printf(
+      "%-10s %6s %9s %7s %7s %7s %7s %6s %10s %-11s\n", "NODE", "PORT",
+      "QPS", "LOCAL%", "CLOUD%", "ORIGIN%", "P99ms", "CONN", "LOCKW/s",
+      "STATUS");
+  for (const auto& view : views) {
+    const obs::TimelineWindow window = view->timeline.window();
+    // qps sums every hit class; the mix splits it (disk-tier hits are
+    // local hits that happened to live on disk).
+    const double qps = window.last_sum("cachecloud_gets_total");
+    const auto class_rate = [&window](const char* cls) {
+      const obs::SeriesSnapshot* series =
+          window.find("cachecloud_gets_total", {{"class", cls}});
+      if (series == nullptr || series->values.empty()) return 0.0;
+      const double v = series->values.back();
+      return std::isfinite(v) ? v : 0.0;
+    };
+    const double local = class_rate("local") + class_rate("disk");
+    const double cloud = class_rate("cloud");
+    const double origin = class_rate("origin");
+    const double mix_div = qps > 0.0 ? qps : 1.0;
+    const double p99 = window.last("cachecloud_get_latency_seconds_p99");
+    const double conn = window.last("cachecloud_conn_threads");
+    // Total lock wait per second: sum of every lock's _sum rate.
+    const double lock_wait =
+        window.last_sum("cachecloud_lock_wait_seconds_sum");
+    std::printf(
+        "%-10s %6u %9s %7s %7s %7s %7s %6s %10s %-11s\n",
+        view->label.c_str(), view->port, cell(qps, "%.1f").c_str(),
+        std::isfinite(qps)
+            ? cell(100.0 * local / mix_div, "%.1f").c_str()
+            : "--",
+        std::isfinite(qps)
+            ? cell(100.0 * cloud / mix_div, "%.1f").c_str()
+            : "--",
+        std::isfinite(qps)
+            ? cell(100.0 * origin / mix_div, "%.1f").c_str()
+            : "--",
+        cell(p99 * 1e3, "%.3f").c_str(), cell(conn, "%.0f").c_str(),
+        cell(lock_wait, "%.4f").c_str(),
+        view->up ? "up" : "unreachable");
+  }
+  std::fflush(stdout);
+}
+
+int run(const util::Flags& flags) {
+  const std::string ports_arg = flags.get_string("ports", "");
+  const double interval_sec = flags.get_double("interval", 1.0);
+  const long long frames = flags.get_int("frames", 0);  // 0 = forever
+  const bool once = flags.get_bool("once", false);
+  // util::Flags spells boolean negation `--no-X`, so `--no-clear` is the
+  // user-facing flag for this.
+  const bool clear_flag = flags.get_bool("clear", true);
+  const double timeout_sec = flags.get_double("timeout", 0.0);
+
+  for (const std::string& name : flags.unused()) {
+    std::fprintf(stderr, "cachecloud_top: unknown flag --%s\n", name.c_str());
+    return 2;
+  }
+  if (ports_arg.empty()) {
+    std::fprintf(stderr,
+                 "usage: cachecloud_top --ports P1,P2,... [--interval S] "
+                 "[--frames N] [--once] [--no-clear]\n");
+    return 2;
+  }
+  if (interval_sec <= 0.0) {
+    std::fprintf(stderr, "cachecloud_top: --interval must be > 0\n");
+    return 2;
+  }
+  const std::vector<std::uint16_t> ports = parse_ports(ports_arg);
+  // One dead node must cost at most its own timeout, never a frame.
+  const double scrape_timeout =
+      timeout_sec > 0.0 ? timeout_sec : interval_sec;
+
+  obs::TimelineConfig config;
+  config.enabled = true;
+  config.interval_sec = interval_sec;
+  std::vector<std::unique_ptr<NodeView>> views;
+  views.reserve(ports.size());
+  for (std::uint16_t port : ports) {
+    views.push_back(std::make_unique<NodeView>(config));
+    views.back()->port = port;
+  }
+
+  const bool clear = clear_flag && !once;
+  const std::uint64_t max_frames =
+      once ? 1 : static_cast<std::uint64_t>(frames > 0 ? frames : 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t frame = 0;; ++frame) {
+    const double t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const std::vector<node::NodeStatsScrape> sweep =
+        node::scrape_stats(ports, scrape_timeout);
+    bool missing_label = false;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      views[i]->up = !sweep[i].unreachable;
+      // Unreachable nodes feed an empty snapshot: their series go NaN for
+      // this tick (rendered "--") but stay aligned for when they return.
+      views[i]->timeline.observe(sweep[i].snapshot, t);
+      if (views[i]->up && views[i]->label == "?") missing_label = true;
+    }
+    if (missing_label) {
+      // TimelineDumpResp carries the node's own label ("cache-3",
+      // "origin") whether or not its sampler is on; one sweep fills the
+      // NODE column for every node we can reach.
+      const node::TimelineScrapeResult labels =
+          node::scrape_timelines(ports, false, false, scrape_timeout);
+      for (std::size_t i = 0; i < labels.nodes.size(); ++i) {
+        if (!labels.nodes[i].unreachable && !labels.nodes[i].node.empty()) {
+          views[i]->label = labels.nodes[i].node;
+        }
+      }
+    }
+    render(views, frame, interval_sec, clear);
+    if (max_frames != 0 && frame + 1 >= max_frames) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_sec));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cachecloud
+
+int main(int argc, char** argv) {
+  try {
+    const cachecloud::util::Flags flags(argc, argv);
+    return cachecloud::run(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachecloud_top: %s\n", e.what());
+    return 2;
+  }
+}
