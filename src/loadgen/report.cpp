@@ -232,6 +232,15 @@ std::string render_report(const Plan& plan, const RunResult& result) {
   doc.boolean("consistent", rec.consistent);
   doc.close_object();
 
+  // Pipelining evidence from the shared multiplexed clients: peak
+  // in-flight requests on one connection > 1 proves requests overlapped
+  // on the wire instead of serializing behind a per-connection lock.
+  doc.open_object("transport");
+  doc.field("endpoints", num(result.transport.endpoints));
+  doc.field("reconnects", num(result.transport.reconnects));
+  doc.field("peak_outstanding", num(result.transport.peak_outstanding));
+  doc.close_object();
+
   // The lifecycle section appears only when the driver ran a kill–restart
   // phase, so plain runs stay byte-identical to the pre-disk schema.
   if (result.lifecycle.ran) {
@@ -300,6 +309,7 @@ std::string render_report(const Plan& plan, const RunResult& result) {
       doc.field("send_syscalls", num(io.send_syscalls));
       doc.field("recv_bytes", num(io.recv_bytes));
       doc.field("send_bytes", num(io.send_bytes));
+      doc.field("nodelay_sockets", num(io.nodelay_sockets));
       doc.close_object();
     }
     doc.close_array();

@@ -1,11 +1,15 @@
 #include "loadgen/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/protocol.hpp"
 #include "obs/metrics.hpp"
@@ -73,36 +77,111 @@ void note_slow(std::vector<SlowSample>& slowest, std::size_t k,
   return 0;
 }
 
-// One worker's lazily-connected client per endpoint; a failed call drops
-// the connection so the next op reconnects fresh.
-class Endpoint {
+// One lazily-connected pipelined connection, shared by several worker
+// threads: the workers overlap their requests on one multiplexed
+// connection instead of opening one serial connection each — which is
+// exactly the pattern the nodes' peer fan-out uses, so the load test
+// exercises it. A failed call drops the connection (if nobody replaced
+// it yet) and the next op reconnects fresh.
+class Stripe {
  public:
-  Endpoint(std::uint16_t port, double timeout) : port_(port),
-                                                 timeout_(timeout) {}
+  Stripe(std::uint16_t port, double timeout) : port_(port),
+                                               timeout_(timeout) {}
 
   // Returns false (and resets the connection) on any network error.
   bool call(const net::Frame& request, net::Frame& reply) {
-    try {
+    std::shared_ptr<net::MuxClient> client;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
       if (!client_) {
-        client_ = std::make_unique<net::TcpClient>(port_, timeout_);
+        try {
+          client_ = std::make_shared<net::MuxClient>(port_, timeout_);
+          ++connects_;
+        } catch (const net::NetError&) {
+          return false;
+        }
       }
-      client_->call_into(request, reply);
+      client = client_;
+    }
+    try {
+      client->call_into(request, reply);
+      note_peak(client->peak_outstanding());
       return true;
     } catch (const net::NetError&) {
-      client_.reset();
+      note_peak(client->peak_outstanding());
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (client_ == client) client_.reset();
       return false;
     }
   }
 
+  // High-water mark of in-flight requests across this endpoint's
+  // connections (reconnects included).
+  [[nodiscard]] std::uint64_t peak_outstanding() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reconnects() const {
+    const std::uint64_t connects = connects_.load(std::memory_order_relaxed);
+    return connects > 0 ? connects - 1 : 0;
+  }
+
  private:
+  void note_peak(std::uint64_t seen) {
+    std::uint64_t cur = peak_.load(std::memory_order_relaxed);
+    while (seen > cur && !peak_.compare_exchange_weak(
+                             cur, seen, std::memory_order_relaxed)) {
+    }
+  }
+
   std::uint16_t port_;
   double timeout_;
-  std::unique_ptr<net::TcpClient> client_;
+  std::mutex mu_;
+  std::shared_ptr<net::MuxClient> client_;
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> peak_{0};
 };
+
+// A small pool of multiplexed connections to one endpoint. One shared
+// connection keeps every request in one pipeline but serializes the whole
+// worker pool through a single socket at saturation; one connection per
+// worker never pipelines at all. A few stripes with several workers each
+// gets both: deep pipelines AND no single-socket bottleneck.
+class Endpoint {
+ public:
+  Endpoint(std::uint16_t port, double timeout, std::size_t stripes) {
+    for (std::size_t i = 0; i < stripes; ++i) {
+      stripes_.emplace_back(port, timeout);
+    }
+  }
+
+  bool call(const net::Frame& request, net::Frame& reply, std::size_t hint) {
+    return stripes_[hint % stripes_.size()].call(request, reply);
+  }
+
+  [[nodiscard]] std::uint64_t peak_outstanding() const {
+    std::uint64_t peak = 0;
+    for (const Stripe& s : stripes_) {
+      peak = std::max(peak, s.peak_outstanding());
+    }
+    return peak;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) total += s.reconnects();
+    return total;
+  }
+
+ private:
+  std::deque<Stripe> stripes_;  // deque: Stripe holds a mutex, not movable
+};
+
+// Workers per pipelined connection. Four blocking workers keep a stripe's
+// pipeline 2-4 deep at load without funnelling the whole pool through it.
+constexpr std::size_t kWorkersPerStripe = 4;
 
 // Scrapes one node's full metrics snapshot.
 [[nodiscard]] obs::Snapshot scrape(std::uint16_t port, double timeout) {
-  net::TcpClient client(port, timeout);
+  net::MuxClient client(port, timeout);
   const net::Frame reply = client.call(node::StatsReq{}.encode());
   return node::StatsResp::decode(reply).snapshot;
 }
@@ -176,18 +255,23 @@ RunResult Runner::run(const Plan& plan) {
   std::vector<std::vector<PhaseTally>> tallies(
       static_cast<std::size_t>(threads), std::vector<PhaseTally>(num_phases));
 
+  // A few pipelined connections per endpoint, several workers each: the
+  // server sees a handful of deep pipelines instead of threads-many
+  // serial connections.
+  const std::size_t stripes = std::max<std::size_t>(
+      1, (static_cast<std::size_t>(threads) + kWorkersPerStripe - 1) /
+             kWorkersPerStripe);
+  std::deque<Endpoint> caches;
+  for (std::uint16_t port : config_.cache_ports) {
+    caches.emplace_back(port, config_.call_timeout_sec, stripes);
+  }
+  Endpoint origin(config_.origin_port, config_.call_timeout_sec, stripes);
+
   const Clock::time_point base = Clock::now();
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     pool.emplace_back([&, w] {
-      std::vector<Endpoint> caches;
-      caches.reserve(config_.cache_ports.size());
-      for (std::uint16_t port : config_.cache_ports) {
-        caches.emplace_back(port, config_.call_timeout_sec);
-      }
-      Endpoint origin(config_.origin_port, config_.call_timeout_sec);
-
       std::vector<PhaseTally>& mine = tallies[static_cast<std::size_t>(w)];
       net::Frame reply;  // payload capacity reused across every call
 
@@ -225,7 +309,8 @@ RunResult Runner::run(const Plan& plan) {
           ++tally.gets;
           const net::Frame request = node::with_trace(
               node::ClientGetReq{plan.urls[op.doc]}.encode(), ctx);
-          if (caches[op.cache].call(request, reply)) {
+          if (caches[op.cache].call(request, reply,
+                                     static_cast<std::size_t>(w))) {
             try {
               const node::ClientGetResp resp =
                   node::ClientGetResp::decode(reply);
@@ -252,7 +337,7 @@ RunResult Runner::run(const Plan& plan) {
           ++tally.publishes;
           const net::Frame request = node::with_trace(
               node::ClientPublishReq{plan.urls[op.doc]}.encode(), ctx);
-          if (origin.call(request, reply)) {
+          if (origin.call(request, reply, static_cast<std::size_t>(w))) {
             try {
               ok = node::ClientPublishResp::decode(reply).ok;
             } catch (const std::exception&) {
@@ -293,6 +378,20 @@ RunResult Runner::run(const Plan& plan) {
 
   RunResult result;
   result.wall_seconds = wall;
+
+  // ---- transport summary --------------------------------------------
+  result.transport.endpoints = caches.size() +
+                               (config_.origin_port != 0 ? 1 : 0);
+  for (const Endpoint& cache : caches) {
+    result.transport.reconnects += cache.reconnects();
+    result.transport.peak_outstanding = std::max(
+        result.transport.peak_outstanding, cache.peak_outstanding());
+  }
+  if (config_.origin_port != 0) {
+    result.transport.reconnects += origin.reconnects();
+    result.transport.peak_outstanding = std::max(
+        result.transport.peak_outstanding, origin.peak_outstanding());
+  }
 
   // ---- merge phase tallies ------------------------------------------
   std::vector<std::uint64_t> planned(num_phases, 0);

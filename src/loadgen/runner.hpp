@@ -150,6 +150,15 @@ struct TimelineSummary {
   double median_p99 = 0.0;
 };
 
+// Pipelining evidence from the shared multiplexed clients: every worker
+// thread funnels through one MuxClient per endpoint, so outstanding > 1
+// means requests genuinely overlapped on a single connection.
+struct TransportSummary {
+  std::uint64_t endpoints = 0;         // shared connections (caches + origin)
+  std::uint64_t reconnects = 0;        // clients re-dialed after an error
+  std::uint64_t peak_outstanding = 0;  // max in-flight on one connection
+};
+
 struct RampSummary {
   bool ran = false;
   bool saturated = false;
@@ -171,6 +180,7 @@ struct RunResult {
   double wall_seconds = 0.0;
   std::vector<NodeStats> nodes;
   Reconciliation reconciliation;
+  TransportSummary transport;
   RampSummary ramp;
   // Kill–restart outcome, filled by the driver's lifecycle thread;
   // ran=false (the default) keeps the report byte-identical to a run

@@ -1,0 +1,762 @@
+#include "net/event_loop.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/fault_injector.hpp"
+
+namespace cachecloud::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+using ProfClock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(ProfClock::time_point a,
+                         ProfClock::time_point b) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+// ------------------------------------------------------ EventLoop::Conn
+
+EventLoop::Conn::~Conn() = default;
+
+std::size_t EventLoop::Conn::backlog_bytes() const {
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  return outq_bytes_;
+}
+
+bool EventLoop::Conn::send(const Frame& frame, std::uint64_t mux_id) {
+  if (frame.payload.size() > kMaxFrameBytes) {
+    close();
+    return false;
+  }
+  bool need_flush = false;
+  {
+    std::unique_lock<std::mutex> lock(out_mutex_);
+    if (write_closed_) return false;
+    if (outq_.empty()) {
+      // Fast path: no backlog, so frame ordering cannot be violated by
+      // writing straight from this thread — one scatter-gather syscall,
+      // zero loop handoff.
+      std::uint8_t prefix[kWireHeaderMax];
+      const std::size_t prefix_len = encode_wire_header(prefix, frame, mux_id);
+      const std::size_t total = prefix_len + frame.payload.size();
+      std::size_t sent = 0;
+      for (;;) {
+        iovec iov[2];
+        int cnt = 0;
+        if (sent < prefix_len) {
+          iov[cnt++] = {prefix + sent, prefix_len - sent};
+        }
+        const std::size_t pay_off = sent > prefix_len ? sent - prefix_len : 0;
+        if (pay_off < frame.payload.size()) {
+          iov[cnt++] = {
+              const_cast<std::uint8_t*>(frame.payload.data()) + pay_off,
+              frame.payload.size() - pay_off};
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<std::size_t>(cnt);
+        const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          write_closed_ = true;
+          lock.unlock();
+          close();
+          return false;
+        }
+        if (loop_->io_) loop_->io_->on_send(static_cast<std::size_t>(n));
+        sent += static_cast<std::size_t>(n);
+        if (sent == total) return true;
+      }
+      // Kernel buffer full mid-frame: spill the remainder to the queue and
+      // let the loop finish it under EPOLLOUT.
+      OutEntry entry;
+      std::memcpy(entry.prefix.data(), prefix, prefix_len);
+      entry.prefix_len = prefix_len;
+      entry.prefix_off = sent < prefix_len ? sent : prefix_len;
+      entry.payload = frame.payload;
+      entry.payload_off = sent > prefix_len ? sent - prefix_len : 0;
+      outq_bytes_ += entry.remaining();
+      outq_.push_back(std::move(entry));
+    } else {
+      if (outq_bytes_ > loop_->limits_.max_output_bytes) {
+        // Consumer stalled past the hard cap: cut it off rather than
+        // buffer without bound.
+        lock.unlock();
+        close();
+        return false;
+      }
+      OutEntry entry;
+      entry.prefix_len = encode_wire_header(entry.prefix.data(), frame, mux_id);
+      entry.payload = frame.payload;
+      outq_bytes_ += entry.remaining();
+      outq_.push_back(std::move(entry));
+    }
+    need_flush = !flush_posted_.exchange(true, std::memory_order_acq_rel);
+  }
+  if (need_flush) {
+    auto self = shared_from_this();
+    if (!loop_->post([self] {
+          self->flush_posted_.store(false, std::memory_order_release);
+          self->loop_->handle_writable(self);
+        })) {
+      flush_posted_.store(false, std::memory_order_release);
+    }
+  }
+  return true;
+}
+
+void EventLoop::Conn::close() {
+  if (close_requested_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    const std::lock_guard<std::mutex> lock(out_mutex_);
+    write_closed_ = true;
+  }
+  auto self = shared_from_this();
+  loop_->post([self] { self->loop_->detach(self); });
+}
+
+// ------------------------------------------------------------ EventLoop
+
+EventLoop::EventLoop(ConnLimits limits, obs::IoProfile* io)
+    : limits_(limits), io_(io) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (joined_.exchange(true, std::memory_order_acq_rel)) return;
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    if (!accepting_posts_) return false;
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+  return true;
+}
+
+EventLoop::ConnPtr EventLoop::adopt(int fd, FrameFn on_frame,
+                                    CloseFn on_close) {
+  auto conn = std::make_shared<Conn>(this, fd);
+  conn->on_frame_ = std::move(on_frame);
+  conn->on_close_ = std::move(on_close);
+  if (stopping_.load(std::memory_order_acquire) ||
+      !post([this, conn] { register_conn(conn); })) {
+    // Loop already winding down: the fd never reaches the epoll set, so
+    // tear it down here and honor the close callback contract.
+    conn->detached_ = true;
+    {
+      const std::lock_guard<std::mutex> lock(conn->out_mutex_);
+      conn->write_closed_ = true;
+      ::close(fd);
+    }
+    if (conn->on_close_) conn->on_close_(conn);
+    conn->on_frame_ = nullptr;
+    conn->on_close_ = nullptr;
+    return nullptr;
+  }
+  return conn;
+}
+
+void EventLoop::add_listener(int fd, std::function<void()> cb) {
+  post([this, fd, cb = std::move(cb)]() mutable {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+      listeners_[fd] = std::move(cb);
+    }
+  });
+}
+
+void EventLoop::register_conn(const ConnPtr& conn) {
+  if (conn->close_requested_.load(std::memory_order_acquire)) {
+    detach(conn);
+    return;
+  }
+  conn->events_ = EPOLLIN;
+  epoll_event ev{};
+  ev.events = conn->events_;
+  ev.data.fd = conn->fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd_, &ev) != 0) {
+    detach(conn);
+    return;
+  }
+  conns_[conn->fd_] = conn;
+}
+
+void EventLoop::detach(const ConnPtr& conn) {
+  if (conn->detached_) return;
+  conn->detached_ = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd_, nullptr);
+  conns_.erase(conn->fd_);
+  {
+    // write_closed_ before ::close under the same lock: no sender can be
+    // mid-sendmsg on a recycled descriptor.
+    const std::lock_guard<std::mutex> lock(conn->out_mutex_);
+    conn->write_closed_ = true;
+    conn->outq_.clear();
+    conn->outq_bytes_ = 0;
+    ::close(conn->fd_);
+  }
+  if (conn->on_close_) conn->on_close_(conn);
+  // Break callback capture cycles (they typically hold endpoint state).
+  conn->on_frame_ = nullptr;
+  conn->on_close_ = nullptr;
+}
+
+void EventLoop::detach_all() {
+  while (!conns_.empty()) {
+    // Copy out first: detach() erases the map node the reference would
+    // otherwise point into.
+    const ConnPtr conn = conns_.begin()->second;
+    detach(conn);
+  }
+  for (const auto& [fd, cb] : listeners_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  listeners_.clear();
+}
+
+void EventLoop::update_interest(const ConnPtr& conn, std::uint32_t events) {
+  conn->events_ = events;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn->fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd_, &ev);
+}
+
+void EventLoop::maybe_pause_reads(const ConnPtr& conn) {
+  std::size_t backlog;
+  {
+    const std::lock_guard<std::mutex> lock(conn->out_mutex_);
+    backlog = conn->outq_bytes_;
+  }
+  if (!conn->read_paused_ && backlog > limits_.high_watermark_bytes) {
+    conn->read_paused_ = true;
+    update_interest(conn, conn->events_ & ~static_cast<std::uint32_t>(EPOLLIN));
+  }
+}
+
+void EventLoop::deliver_frame(const ConnPtr& conn) {
+  Frame frame = std::move(conn->rframe_);
+  conn->rframe_ = Frame{};
+  frame.type = conn->rheader_.type;
+  frame.trace_id = conn->rheader_.trace_id;
+  frame.parent_span_id = conn->rheader_.parent_span_id;
+  frame.flags = conn->rheader_.flags &
+                static_cast<std::uint8_t>(~Frame::kFlagMuxTagged);
+  if (conn->on_frame_) conn->on_frame_(conn, std::move(frame), conn->rmux_);
+}
+
+void EventLoop::handle_readable(const ConnPtr& conn) {
+  int delivered = 0;
+  while (!conn->detached_) {
+    std::size_t need = 0;
+    std::uint8_t* dst = nullptr;
+    switch (conn->rstate_) {
+      case Conn::ReadState::Header:
+        need = kFrameHeaderBytes - conn->rbuf_got_;
+        dst = conn->rbuf_.data() + conn->rbuf_got_;
+        break;
+      case Conn::ReadState::Tag:
+        need = kMuxTagBytes - conn->rbuf_got_;
+        dst = conn->rbuf_.data() + conn->rbuf_got_;
+        break;
+      case Conn::ReadState::Payload:
+        need = conn->rframe_.payload.size() - conn->rpayload_got_;
+        dst = conn->rframe_.payload.data() + conn->rpayload_got_;
+        break;
+    }
+    if (need > 0) {
+      const ssize_t n = ::recv(conn->fd_, dst, need, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        detach(conn);
+        return;
+      }
+      if (n == 0) {
+        // EOF: clean at a frame boundary or not, the connection is done.
+        detach(conn);
+        return;
+      }
+      if (io_) io_->on_recv(static_cast<std::size_t>(n));
+      if (conn->rstate_ == Conn::ReadState::Payload) {
+        conn->rpayload_got_ += static_cast<std::size_t>(n);
+      } else {
+        conn->rbuf_got_ += static_cast<std::size_t>(n);
+      }
+      if (static_cast<std::size_t>(n) < need) continue;
+    }
+    // Section complete — advance the state machine.
+    switch (conn->rstate_) {
+      case Conn::ReadState::Header: {
+        conn->rheader_ = decode_wire_header(conn->rbuf_.data());
+        try {
+          check_wire_header(conn->rheader_);
+        } catch (const NetError&) {
+          // Malformed header (oversized length, zero-length type-0): the
+          // stream is unusable; drop the peer.
+          detach(conn);
+          return;
+        }
+        conn->rbuf_got_ = 0;
+        conn->rmux_ = 0;
+        conn->rpayload_got_ = 0;
+        if (conn->rheader_.mux_tagged()) {
+          conn->rstate_ = Conn::ReadState::Tag;
+        } else {
+          conn->rframe_.payload.resize(conn->rheader_.len);
+          conn->rstate_ = Conn::ReadState::Payload;
+        }
+        break;
+      }
+      case Conn::ReadState::Tag:
+        conn->rmux_ = decode_mux_tag(conn->rbuf_.data());
+        conn->rbuf_got_ = 0;
+        conn->rframe_.payload.resize(conn->rheader_.len - kMuxTagBytes);
+        conn->rstate_ = Conn::ReadState::Payload;
+        break;
+      case Conn::ReadState::Payload:
+        deliver_frame(conn);
+        conn->rstate_ = Conn::ReadState::Header;
+        conn->rbuf_got_ = 0;
+        conn->rpayload_got_ = 0;
+        ++delivered;
+        maybe_pause_reads(conn);
+        if (conn->read_paused_) return;
+        // Level-triggered epoll re-reports leftover data; yield so one
+        // chatty peer cannot monopolize the loop.
+        if (delivered >= 32) return;
+        break;
+    }
+  }
+}
+
+void EventLoop::handle_writable(const ConnPtr& conn) {
+  if (conn->detached_) return;
+  bool error = false;
+  bool empty = false;
+  std::size_t backlog = 0;
+  {
+    const std::lock_guard<std::mutex> lock(conn->out_mutex_);
+    while (!conn->outq_.empty()) {
+      // Batch several queued frames into one scatter-gather syscall.
+      constexpr int kMaxIov = 16;
+      iovec iov[kMaxIov];
+      int cnt = 0;
+      for (auto it = conn->outq_.begin();
+           it != conn->outq_.end() && cnt + 2 <= kMaxIov; ++it) {
+        if (it->prefix_off < it->prefix_len) {
+          iov[cnt++] = {it->prefix.data() + it->prefix_off,
+                        it->prefix_len - it->prefix_off};
+        }
+        if (it->payload_off < it->payload.size()) {
+          iov[cnt++] = {it->payload.data() + it->payload_off,
+                        it->payload.size() - it->payload_off};
+        }
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(cnt);
+      const ssize_t n = ::sendmsg(conn->fd_, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) error = true;
+        break;
+      }
+      if (io_) io_->on_send(static_cast<std::size_t>(n));
+      std::size_t left = static_cast<std::size_t>(n);
+      conn->outq_bytes_ -= left;
+      while (left > 0) {
+        auto& front = conn->outq_.front();
+        std::size_t take =
+            std::min(left, front.prefix_len - front.prefix_off);
+        front.prefix_off += take;
+        left -= take;
+        take = std::min(left, front.payload.size() - front.payload_off);
+        front.payload_off += take;
+        left -= take;
+        if (front.remaining() == 0) {
+          conn->outq_.pop_front();
+        }
+      }
+      while (!conn->outq_.empty() && conn->outq_.front().remaining() == 0) {
+        conn->outq_.pop_front();
+      }
+    }
+    empty = conn->outq_.empty();
+    backlog = conn->outq_bytes_;
+  }
+  if (error) {
+    detach(conn);
+    return;
+  }
+  std::uint32_t events = conn->events_;
+  if (empty) {
+    events &= ~static_cast<std::uint32_t>(EPOLLOUT);
+  } else {
+    events |= EPOLLOUT;
+  }
+  if (conn->read_paused_ && backlog < limits_.low_watermark_bytes) {
+    conn->read_paused_ = false;
+    events |= EPOLLIN;
+  }
+  if (events != conn->events_) update_interest(conn, events);
+}
+
+void EventLoop::run() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t buf;
+        while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (const auto it = conns_.find(fd); it != conns_.end()) {
+        const ConnPtr conn = it->second;  // keep alive across detach
+        if ((ev & EPOLLERR) != 0) {
+          detach(conn);
+          continue;
+        }
+        if ((ev & EPOLLOUT) != 0) handle_writable(conn);
+        if (!conn->detached_ && (ev & (EPOLLIN | EPOLLHUP)) != 0) {
+          handle_readable(conn);
+        }
+        continue;
+      }
+      if (const auto it = listeners_.find(fd); it != listeners_.end()) {
+        it->second();
+      }
+    }
+    // Cross-thread work: registrations, EPOLLOUT arming, closes.
+    std::vector<std::function<void()>> batch;
+    {
+      const std::lock_guard<std::mutex> lock(post_mutex_);
+      batch.swap(posted_);
+    }
+    for (auto& fn : batch) fn();
+  }
+  // Drain what was posted before the stop flag, then tear the rest down.
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+  detach_all();
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    accepting_posts_ = false;
+    posted_.clear();
+  }
+}
+
+// ------------------------------------------------------------ WorkerPool
+
+WorkerPool::WorkerPool(int core, int max, obs::WorkerProfile* profile)
+    : core_(core < 1 ? 1 : core),
+      max_(max < core_ ? core_ : max),
+      profile_(profile) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  threads_.reserve(static_cast<std::size_t>(core_));
+  for (int i = 0; i < core_; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+int WorkerPool::threads() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    tasks_.push_back(std::move(task));
+    // Grow whenever the queue outnumbers the idle workers — every other
+    // worker is busy, possibly blocked in a nested peer call, so without
+    // a new thread this task could wait behind a cycle that never breaks
+    // (distributed deadlock). idle_ only moves under mutex_, so queued
+    // tasks beyond the idle count are guaranteed a thread each.
+    if (static_cast<int>(tasks_.size()) > idle_ &&
+        static_cast<int>(threads_.size()) < max_) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::stop() {
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    threads.swap(threads_);
+  }
+  cv_.notify_all();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.clear();
+}
+
+void WorkerPool::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Idle time is the event-driven analogue of the old serve loop's
+    // blocked-in-read span: waiting for the next request to arrive.
+    const bool timing =
+        profile_ && profile_->bound() && obs::profiling_enabled();
+    ++idle_;
+    const auto wait_start = timing ? ProfClock::now() : ProfClock::time_point{};
+    cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+    if (timing) {
+      profile_->add_read_wait_ns(ns_between(wait_start, ProfClock::now()));
+    }
+    --idle_;
+    if (stopping_) return;
+    auto task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    const bool busy_timing =
+        profile_ && profile_->bound() && obs::profiling_enabled();
+    const auto busy_start =
+        busy_timing ? ProfClock::now() : ProfClock::time_point{};
+    try {
+      task();
+    } catch (...) {
+      // A task must never take the pool down; handler errors are handled
+      // at the connection level before they get here.
+    }
+    if (busy_timing) {
+      profile_->add_busy_ns(ns_between(busy_start, ProfClock::now()));
+    }
+    lock.lock();
+  }
+}
+
+// ----------------------------------------------------------- EventServer
+
+struct EventServer::ConnCtx {
+  std::mutex mu;
+  std::deque<Frame> fifo;
+  bool running = false;
+};
+
+EventServer::EventServer(std::uint16_t port, Handler handler,
+                         FrameObserver* observer, FaultInjector* faults,
+                         obs::Registry* registry, EventServerConfig config)
+    : listener_(port),
+      handler_(std::move(handler)),
+      observer_(observer),
+      faults_(faults),
+      config_(config) {
+  if (!handler_) throw std::invalid_argument("EventServer: null handler");
+  if (registry) {
+    // Bind before the loops start so their threads see fully constructed
+    // instruments without further synchronization.
+    worker_profile_.bind(*registry);
+    io_profile_.bind(*registry, "server");
+  }
+  listener_.set_nonblocking();
+  const int nloops = config_.event_threads < 1 ? 1 : config_.event_threads;
+  loops_.reserve(static_cast<std::size_t>(nloops));
+  for (int i = 0; i < nloops; ++i) {
+    loops_.push_back(
+        std::make_unique<EventLoop>(config_.limits, &io_profile_));
+  }
+  workers_ = std::make_unique<WorkerPool>(
+      config_.core_workers, config_.max_workers, &worker_profile_);
+  for (auto& loop : loops_) loop->start();
+  loops_[0]->add_listener(listener_.fd(), [this] { on_accept(); });
+}
+
+EventServer::~EventServer() { stop(); }
+
+void EventServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  // Loops first (connections close; no new dispatches), then the workers
+  // (running handlers finish; their sends hit closed connections and
+  // fail silently, exactly like the old per-connection threads did).
+  for (auto& loop : loops_) loop->stop();
+  workers_->stop();
+}
+
+void EventServer::on_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listener was shut down
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    io_profile_.on_nodelay();
+    auto& loop =
+        *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                loops_.size()];
+    worker_profile_.conn_opened();
+    const auto conn = loop.adopt(
+        fd,
+        [this](const EventLoop::ConnPtr& c, Frame&& f, std::uint64_t id) {
+          dispatch(c, std::move(f), id);
+        },
+        [this](const EventLoop::ConnPtr&) { worker_profile_.conn_closed(); });
+    (void)conn;
+  }
+}
+
+void EventServer::dispatch(const EventLoop::ConnPtr& conn, Frame&& request,
+                           std::uint64_t mux_id) {
+  if (stopping_.load()) return;
+  if (mux_id != 0) {
+    // Tagged requests pipeline: each runs as its own worker task, replies
+    // carry the tag back and may complete out of order.
+    workers_->submit(
+        [this, conn, request = std::move(request), mux_id]() mutable {
+          handle_one(conn, request, mux_id);
+        });
+    return;
+  }
+  // Untagged requests keep the legacy contract: one in flight per
+  // connection, replies in request order. `user` is only touched from
+  // this connection's loop thread, so lazy init needs no lock.
+  if (!conn->user) conn->user = std::make_shared<ConnCtx>();
+  auto ctx = std::static_pointer_cast<ConnCtx>(conn->user);
+  bool start = false;
+  {
+    const std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->fifo.push_back(std::move(request));
+    if (!ctx->running) {
+      ctx->running = true;
+      start = true;
+    }
+  }
+  if (start) {
+    workers_->submit([this, conn, ctx] { drain_fifo(conn, ctx); });
+  }
+}
+
+void EventServer::drain_fifo(const EventLoop::ConnPtr& conn,
+                             const std::shared_ptr<ConnCtx>& ctx) {
+  for (;;) {
+    Frame request;
+    {
+      const std::lock_guard<std::mutex> lock(ctx->mu);
+      if (ctx->fifo.empty()) {
+        ctx->running = false;
+        return;
+      }
+      request = std::move(ctx->fifo.front());
+      ctx->fifo.pop_front();
+    }
+    handle_one(conn, request, 0);
+  }
+}
+
+void EventServer::handle_one(const EventLoop::ConnPtr& conn, Frame& request,
+                             std::uint64_t mux_id) {
+  if (observer_) observer_->on_frame(request, /*inbound=*/true);
+  Frame reply;
+  try {
+    reply = handler_(request);
+  } catch (const std::exception&) {
+    // Handler failure drops the connection; the server keeps running.
+    conn->close();
+    return;
+  }
+  // Propagate the request's trace context unless the handler set its own.
+  if (reply.trace_id == 0) {
+    reply.trace_id = request.trace_id;
+    reply.parent_span_id = request.parent_span_id;
+    reply.flags = request.flags;
+  }
+  if (faults_ &&
+      faults_->on_frame(port()) != FaultInjector::Action::Deliver) {
+    // Injected reply drop/reset: close without answering; the client sees
+    // the connection die and treats it like any peer failure.
+    conn->close();
+    return;
+  }
+  if (observer_) observer_->on_frame(reply, /*inbound=*/false);
+  conn->send(reply, mux_id);
+}
+
+}  // namespace cachecloud::net

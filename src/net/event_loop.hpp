@@ -1,0 +1,301 @@
+// Event-driven server transport: a small pool of epoll loops multiplexes
+// every connection instead of one blocked thread per socket.
+//
+//   EventLoop    one epoll instance + one thread. Owns the read side of
+//                its connections (per-connection header/tag/payload state
+//                machine over non-blocking reads) and the draining of
+//                their bounded output queues (scatter-gather writev,
+//                EPOLLOUT only while a backlog exists). An eventfd wakes
+//                the loop for cross-thread work (post()).
+//   Conn         one multiplexed connection. send() is callable from any
+//                thread: it writev()s straight from the caller when the
+//                queue is empty (common case — zero handoff latency) and
+//                spills the remainder into the queue under backpressure.
+//                When the queue crosses the high watermark the loop stops
+//                reading from that peer until it drains below the low
+//                watermark — a slow consumer throttles itself, not the
+//                server.
+//   WorkerPool   elastic handler pool (core threads always alive, grows
+//                toward max when every worker is busy) so handlers may
+//                block — disk tiers, nested peer_call fan-out — without
+//                stalling the event threads.
+//   EventServer  drop-in replacement for the old thread-per-connection
+//                TcpServer: same constructor shape, same Handler contract,
+//                same FrameObserver / FaultInjector / trace-propagation /
+//                profiling semantics. Mux-tagged requests dispatch
+//                concurrently and reply out of order; untagged requests
+//                keep the legacy one-at-a-time-per-connection ordering.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "obs/profile.hpp"
+
+namespace cachecloud::net {
+
+class FaultInjector;
+class EventLoop;
+
+// Output-queue bounds, per connection.
+struct ConnLimits {
+  // Stop reading from the peer while its output backlog exceeds this.
+  std::size_t high_watermark_bytes = 8u * 1024 * 1024;
+  // Resume reading once the backlog drains below this.
+  std::size_t low_watermark_bytes = 1u * 1024 * 1024;
+  // Hard cap: a connection whose backlog still grows past this (consumer
+  // stalled while handlers were already in flight) is closed.
+  std::size_t max_output_bytes = 256u * 1024 * 1024;
+};
+
+class EventLoop {
+ public:
+  class Conn;
+  using ConnPtr = std::shared_ptr<Conn>;
+  // Delivered on the loop thread for every complete frame; the mux tag
+  // (0 = untagged) has been stripped from the frame already.
+  using FrameFn = std::function<void(const ConnPtr&, Frame&&, std::uint64_t)>;
+  using CloseFn = std::function<void(const ConnPtr&)>;
+
+  // One multiplexed connection, owned by exactly one loop. Thread-safe
+  // surface: send() and close() from anywhere; everything else is loop
+  // internals.
+  class Conn : public std::enable_shared_from_this<Conn> {
+   public:
+    Conn(EventLoop* loop, int fd) noexcept : loop_(loop), fd_(fd) {}
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+    ~Conn();
+
+    // Queues a frame for writing (mux_id != 0 stamps the tag). Writes
+    // directly from the calling thread when there is no backlog. Returns
+    // false if the connection is (being) closed; never blocks and never
+    // throws on peer failure — a dead peer turns into on_close.
+    bool send(const Frame& frame, std::uint64_t mux_id);
+    // Asynchronously tears the connection down; on_close fires once, on
+    // the loop thread. Idempotent, callable from any thread.
+    void close();
+
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    // Bytes currently queued for write (diagnostic).
+    [[nodiscard]] std::size_t backlog_bytes() const;
+
+    // Endpoint-owner context (the server parks its per-connection dispatch
+    // state here); shared_ptr so late-running handler tasks can outlive
+    // the connection safely.
+    std::shared_ptr<void> user;
+
+   private:
+    friend class EventLoop;
+
+    struct OutEntry {
+      std::array<std::uint8_t, kWireHeaderMax> prefix;
+      std::size_t prefix_len = 0;
+      std::size_t prefix_off = 0;
+      std::vector<std::uint8_t> payload;
+      std::size_t payload_off = 0;
+
+      [[nodiscard]] std::size_t remaining() const noexcept {
+        return (prefix_len - prefix_off) + (payload.size() - payload_off);
+      }
+    };
+
+    enum class ReadState { Header, Tag, Payload };
+
+    EventLoop* loop_;
+    const int fd_;
+
+    // ---- write side (out_mutex_) ----------------------------------
+    mutable std::mutex out_mutex_;
+    bool write_closed_ = false;  // sends rejected; fd closing or closed
+    std::deque<OutEntry> outq_;
+    std::size_t outq_bytes_ = 0;
+    std::atomic<bool> flush_posted_{false};
+    std::atomic<bool> close_requested_{false};
+
+    // ---- read side (loop thread only) -----------------------------
+    ReadState rstate_ = ReadState::Header;
+    std::array<std::uint8_t, kWireHeaderMax> rbuf_{};
+    std::size_t rbuf_got_ = 0;
+    WireHeader rheader_{};
+    Frame rframe_;
+    std::size_t rpayload_got_ = 0;
+    std::uint64_t rmux_ = 0;
+
+    // ---- loop bookkeeping (loop thread only) ----------------------
+    std::uint32_t events_ = 0;   // current epoll interest mask
+    bool read_paused_ = false;   // EPOLLIN off for backpressure
+    bool detached_ = false;      // removed from the loop; fd closed
+    FrameFn on_frame_;
+    CloseFn on_close_;
+  };
+
+  EventLoop(ConnLimits limits, obs::IoProfile* io);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void start();
+  // Detaches every connection (their on_close callbacks fire), runs the
+  // remaining posted work and joins the loop thread. Idempotent.
+  void stop();
+
+  // Runs fn on the loop thread (soon); from the loop thread itself fn is
+  // still deferred, never run inline. Returns false (fn dropped) once the
+  // loop has stopped accepting work.
+  bool post(std::function<void()> fn);
+
+  // Registers a connected fd (must already be non-blocking). Callbacks run
+  // on the loop thread. Thread-safe. Returns the connection handle; if the
+  // loop is stopping the fd is closed and nullptr returned.
+  ConnPtr adopt(int fd, FrameFn on_frame, CloseFn on_close);
+
+  // Watches an auxiliary readable fd (listener); cb runs on the loop
+  // thread each time it is readable. Not owned: the fd is deregistered at
+  // stop but never closed here.
+  void add_listener(int fd, std::function<void()> cb);
+
+ private:
+  void run();
+  void wake();
+  void register_conn(const ConnPtr& conn);
+  void detach(const ConnPtr& conn);
+  void detach_all();
+  void handle_readable(const ConnPtr& conn);
+  void handle_writable(const ConnPtr& conn);
+  void deliver_frame(const ConnPtr& conn);
+  void update_interest(const ConnPtr& conn, std::uint32_t events);
+  void maybe_pause_reads(const ConnPtr& conn);
+
+  const ConnLimits limits_;
+  obs::IoProfile* io_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool accepting_posts_ = true;  // post_mutex_
+
+  // Loop-thread-only maps from epoll data.fd.
+  std::unordered_map<int, ConnPtr> conns_;
+  std::unordered_map<int, std::function<void()>> listeners_;
+};
+
+// Elastic handler pool: `core` threads live for the pool's lifetime; when
+// a task arrives and no worker is idle, a new thread is spawned up to
+// `max`. Handlers may therefore block (nested peer calls, disk) without
+// deadlocking the dispatch path, while steady-state stays at a few
+// threads. Busy/idle time feeds the WorkerProfile: busy = handler
+// execution, read_wait = idle waiting for the next request (the same
+// split the thread-per-connection server reported).
+class WorkerPool {
+ public:
+  WorkerPool(int core, int max, obs::WorkerProfile* profile);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(std::function<void()> task);
+  // Finishes running tasks, discards queued ones, joins all threads.
+  void stop();
+
+  [[nodiscard]] int threads() const;
+
+ private:
+  void worker_main();
+
+  const int core_;
+  const int max_;
+  obs::WorkerProfile* profile_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  int idle_ = 0;
+  bool stopping_ = false;
+};
+
+// Transport tuning for EventServer; the defaults suit tests and
+// single-host clusters.
+struct EventServerConfig {
+  int event_threads = 2;
+  int core_workers = 4;
+  int max_workers = 256;
+  ConnLimits limits;
+};
+
+// Request/response server over the event loops: for every inbound frame
+// the handler produces the reply frame. Handlers run on the worker pool;
+// mux-tagged requests from one connection run concurrently and their
+// replies are matched by tag on the client side, so they may complete out
+// of order. Untagged requests keep the legacy serve-loop ordering: one at
+// a time per connection, replies in request order.
+class EventServer {
+ public:
+  using Handler = std::function<Frame(const Frame&)>;
+
+  // port 0 = ephemeral. The handler must be thread-safe. A handler
+  // exception closes that connection only. The optional observer sees
+  // every request (inbound) and reply (outbound) frame and must outlive
+  // the server. The optional fault injector rolls against this server's
+  // listening port before each reply is written: an injected drop or reset
+  // closes the connection without replying. The optional registry (must
+  // outlive the server) attaches the contention & resource profiler:
+  // worker busy/read-wait accounting, live/peak connection gauges, the
+  // per-syscall IO counters and the NODELAY socket counter all register
+  // under it (samples accumulate only while obs::profiling_enabled(),
+  // except the connection gauges and socket counters).
+  EventServer(std::uint16_t port, Handler handler,
+              FrameObserver* observer = nullptr,
+              FaultInjector* faults = nullptr,
+              obs::Registry* registry = nullptr,
+              EventServerConfig config = {});
+  ~EventServer();
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  void stop();
+
+ private:
+  struct ConnCtx;
+
+  void on_accept();
+  void dispatch(const EventLoop::ConnPtr& conn, Frame&& request,
+                std::uint64_t mux_id);
+  void drain_fifo(const EventLoop::ConnPtr& conn,
+                  const std::shared_ptr<ConnCtx>& ctx);
+  void handle_one(const EventLoop::ConnPtr& conn, Frame& request,
+                  std::uint64_t mux_id);
+
+  TcpListener listener_;
+  Handler handler_;
+  FrameObserver* observer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  EventServerConfig config_;
+  // Profiler state; bound to the optional registry before the loops start,
+  // inert otherwise.
+  obs::WorkerProfile worker_profile_;
+  obs::IoProfile io_profile_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> next_loop_{0};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::unique_ptr<WorkerPool> workers_;
+};
+
+}  // namespace cachecloud::net

@@ -1,7 +1,7 @@
 // Deterministic in-process fault injection for the TCP transport.
 //
-// A FaultInjector is installed on TcpClient / TcpServer (via NodeConfig in
-// the node layer) and consulted at two points:
+// A FaultInjector is installed on MuxClient / EventServer (via NodeConfig
+// in the node layer) and consulted at two points:
 //
 //   on_connect(port)  before a client connect — may throw an injected
 //                     connection refusal;

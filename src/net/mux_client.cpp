@@ -1,0 +1,236 @@
+#include "net/mux_client.hpp"
+
+#include "net/fault_injector.hpp"
+
+namespace cachecloud::net {
+
+MuxClient::MuxClient(std::uint16_t port, double timeout_sec,
+                     FrameObserver* observer, FaultInjector* faults,
+                     obs::Registry* registry, std::size_t max_outstanding)
+    : port_(port),
+      timeout_sec_(timeout_sec),
+      max_outstanding_(max_outstanding < 1 ? 1 : max_outstanding),
+      observer_(observer),
+      faults_(faults),
+      socket_(connect_local(port, timeout_sec, faults)) {
+  // connect_local's SO_RCVTIMEO stays armed: the reading caller waits
+  // between frames in wait_readable (bounded by its own deadline), so the
+  // recv timeout can only fire mid-frame — a genuinely stalled peer,
+  // which correctly fails the connection.
+  if (registry) {
+    send_mutex_.bind(*registry, "client_mutex_");
+    io_profile_.bind(*registry, "client");
+    socket_.set_io_profile(&io_profile_);
+    io_profile_.on_nodelay();  // connect_local set TCP_NODELAY
+  }
+}
+
+MuxClient::~MuxClient() { close(); }
+
+void MuxClient::close() { fail_connection("client closed"); }
+
+Frame MuxClient::call(const Frame& request) {
+  Frame reply;
+  call_into(request, reply);
+  return reply;
+}
+
+void MuxClient::call_into(const Frame& request, Frame& reply) {
+  finish(begin(request), reply);
+}
+
+std::size_t MuxClient::outstanding() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return pending_.size();
+}
+
+std::size_t MuxClient::peak_outstanding() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return peak_outstanding_;
+}
+
+void MuxClient::set_next_request_id(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  next_id_ = id == 0 ? 1 : id;
+}
+
+std::uint64_t MuxClient::begin(const Frame& request) {
+  if (faults_) {
+    switch (faults_->on_frame(port_)) {
+      case FaultInjector::Action::Deliver:
+        break;
+      case FaultInjector::Action::Drop:
+        // The request never reaches the wire; surface it immediately
+        // rather than stalling for the deadline a real drop causes.
+        throw NetError("injected: request frame dropped");
+      case FaultInjector::Action::Reset:
+        fail_connection("injected: connection reset");
+        throw NetError("injected: connection reset");
+    }
+  }
+  auto slot = std::make_shared<Pending>();
+  if (timeout_sec_ > 0.0) {
+    slot->deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(timeout_sec_));
+  }
+  std::uint64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (dead_) throw NetError(dead_reason_);
+    if (pending_.size() >= max_outstanding_) {
+      const auto have_slot = [this] {
+        return dead_ || pending_.size() < max_outstanding_;
+      };
+      if (timeout_sec_ > 0.0) {
+        if (!cv_.wait_until(lock, slot->deadline, have_slot)) {
+          throw NetError("mux window full: " +
+                         std::to_string(max_outstanding_) +
+                         " requests outstanding");
+        }
+      } else {
+        cv_.wait(lock, have_slot);
+      }
+      if (dead_) throw NetError(dead_reason_);
+    }
+    // Ids increase monotonically and wrap; 0 is reserved for "untagged"
+    // and a still-outstanding id is skipped, so reuse cannot collide.
+    do {
+      id = next_id_++;
+      if (next_id_ == 0) next_id_ = 1;
+    } while (id == 0 || pending_.count(id) != 0);
+    pending_.emplace(id, slot);
+    if (pending_.size() > peak_outstanding_) {
+      peak_outstanding_ = pending_.size();
+    }
+  }
+  if (observer_) observer_->on_frame(request, /*inbound=*/false);
+  try {
+    const obs::TimedLock send_lock(send_mutex_);
+    socket_.write_frame_tagged(request, id);
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      pending_.erase(id);
+    }
+    cv_.notify_all();
+    // A failed send may have left a partial frame on the wire; nothing
+    // after it can be framed correctly.
+    fail_connection(e.what());
+    throw;
+  }
+  return id;
+}
+
+void MuxClient::finish(std::uint64_t ticket, Frame& reply) {
+  std::shared_ptr<Pending> slot;
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    {
+      const auto it = pending_.find(ticket);
+      if (it == pending_.end()) {
+        throw NetError("unknown or already-finished mux ticket " +
+                       std::to_string(ticket));
+      }
+      slot = it->second;
+    }
+    // Leader/follower: whoever needs a reply while nobody is reading
+    // takes the reader role and pumps the socket; everyone else waits for
+    // their slot to settle or for the role to free up.
+    for (;;) {
+      if (slot->state != SlotState::Waiting) break;
+      if (timeout_sec_ > 0.0 &&
+          std::chrono::steady_clock::now() >= slot->deadline) {
+        timed_out = true;
+        break;
+      }
+      if (!reader_active_) {
+        reader_active_ = true;
+        lock.unlock();
+        read_one(slot->deadline);
+        lock.lock();
+        reader_active_ = false;
+        // Wake followers: one takes the role if we are done, the rest
+        // see their settled slots.
+        cv_.notify_all();
+        continue;
+      }
+      const auto ready = [&] {
+        return slot->state != SlotState::Waiting || !reader_active_;
+      };
+      if (timeout_sec_ > 0.0) {
+        cv_.wait_until(lock, slot->deadline, ready);
+      } else {
+        cv_.wait(lock, ready);
+      }
+    }
+    // Success, failure or abandonment: the slot is spent either way. A
+    // late reply for an abandoned ticket finds no entry and is discarded
+    // by whoever reads it — the connection survives the timeout.
+    pending_.erase(ticket);
+  }
+  cv_.notify_all();  // a window slot freed up
+  if (timed_out) {
+    throw NetError("call timed out after " + std::to_string(timeout_sec_) +
+                   "s (ticket " + std::to_string(ticket) + ")");
+  }
+  if (slot->state == SlotState::Failed) throw NetError(slot->error);
+  reply = std::move(slot->reply);
+}
+
+void MuxClient::read_one(std::chrono::steady_clock::time_point deadline) {
+  try {
+    double wait_sec = -1.0;  // no timeout: park until a frame or failure
+    if (timeout_sec_ > 0.0) {
+      wait_sec = std::chrono::duration<double>(
+                     deadline - std::chrono::steady_clock::now())
+                     .count();
+      if (wait_sec < 0.0) wait_sec = 0.0;
+    }
+    // Wait for readability separately from the frame read: a quiet wire
+    // at the deadline is a caller timeout, not a connection failure.
+    if (!socket_.wait_readable(wait_sec)) return;
+    std::uint64_t id = 0;
+    if (!socket_.read_frame_into(read_buf_, &id)) {
+      fail_connection("server closed connection before replying");
+      return;
+    }
+    if (id == 0) {
+      fail_connection("untagged reply on multiplexed connection");
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // abandoned (timed-out) call
+    if (observer_) observer_->on_frame(read_buf_, /*inbound=*/true);
+    it->second->reply = std::move(read_buf_);
+    read_buf_ = Frame{};
+    it->second->state = SlotState::Done;
+  } catch (const std::exception& e) {
+    fail_connection(e.what());
+  }
+}
+
+void MuxClient::fail_connection(const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!dead_) {
+      dead_ = true;
+      dead_reason_ = reason;
+      for (auto& [id, slot] : pending_) {
+        if (slot->state == SlotState::Waiting) {
+          slot->state = SlotState::Failed;
+          slot->error = reason;
+        }
+      }
+    }
+  }
+  cv_.notify_all();
+  // Unblock a caller holding the reader role, parked in poll or recv
+  // (no-op if that caller raised this).
+  socket_.shutdown();
+}
+
+}  // namespace cachecloud::net

@@ -1,0 +1,139 @@
+// Pipelined multiplexed RPC client: one connection, many outstanding
+// requests, responses matched out of order by request id.
+//
+// Each request frame is stamped with an 8-byte mux tag (see tcp.hpp); the
+// server's reply carries the tag back and is routed to the waiting
+// caller. The send lock is held only for the scatter-gather write of one
+// frame — not across the round trip — so N threads sharing a client
+// overlap their requests on the wire instead of queueing on
+// `client_mutex_` for a full RTT each, which the profiled flash-crowd
+// baseline showed as ~96% of all lock wait.
+//
+// Replies are read leader/follower style: there is no dedicated reader
+// thread. The first caller to need its reply takes the reader role and
+// pumps the socket, delivering whatever arrives (its own reply or other
+// callers'); everyone else waits on a condvar for their slot to settle or
+// for the role to free up. A solo caller therefore reads its reply on its
+// own thread with zero handoffs — exactly the old blocking TcpClient hot
+// path — while concurrent callers still pipeline.
+//
+// call()/call_into() keep the old TcpClient's blocking signatures; the
+// begin()/finish() split exposes the pipeline directly (issue many, then
+// collect). A timed-out call abandons its slot — the late reply, if it
+// ever arrives, is discarded by the reader and the connection stays
+// healthy. Any transport failure (peer EOF, reset, send error) fails every
+// outstanding call with the same reason and marks the client dead; callers
+// are expected to throw it away and reconnect, which is exactly what the
+// node layer's pooled-client handling already does.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/tcp.hpp"
+#include "obs/profile.hpp"
+
+namespace cachecloud::net {
+
+class FaultInjector;
+
+class MuxClient {
+ public:
+  // The optional observer sees every request (outbound, caller thread)
+  // and matched reply (inbound, reading caller's thread) and must outlive the
+  // client. The optional fault injector may refuse the connect, delay,
+  // drop or reset individual calls; every injected disruption surfaces as
+  // a NetError (a reset kills the connection, failing all outstanding
+  // calls). The optional registry (must outlive the client) attaches the
+  // contention profiler to the send lock ("client_mutex_"), the
+  // per-syscall IO counters and the NODELAY socket counter; clients
+  // sharing a registry aggregate into the same instruments.
+  // timeout_sec bounds the connect and each call (measured from begin);
+  // 0 = no timeout. max_outstanding callers may wait in flight at once;
+  // further begin()s block (up to the timeout) for a slot.
+  explicit MuxClient(std::uint16_t port, double timeout_sec = 5.0,
+                     FrameObserver* observer = nullptr,
+                     FaultInjector* faults = nullptr,
+                     obs::Registry* registry = nullptr,
+                     std::size_t max_outstanding = 1024);
+  ~MuxClient();
+  MuxClient(const MuxClient&) = delete;
+  MuxClient& operator=(const MuxClient&) = delete;
+
+  [[nodiscard]] Frame call(const Frame& request);
+  // Zero-copy-out variant: the reply is decoded into `reply`, whose
+  // payload capacity is reused across calls.
+  void call_into(const Frame& request, Frame& reply);
+
+  // Pipelined interface. begin() sends the request and returns a ticket;
+  // finish() blocks until that reply arrives (or the deadline passes —
+  // the slot is then abandoned and the ticket dead). Tickets are
+  // single-use. Both are callable from any thread.
+  [[nodiscard]] std::uint64_t begin(const Frame& request);
+  void finish(std::uint64_t ticket, Frame& reply);
+
+  // Calls currently awaiting a reply, and the high-water mark — the
+  // direct measure of how much pipelining the connection actually saw.
+  [[nodiscard]] std::size_t outstanding() const;
+  [[nodiscard]] std::size_t peak_outstanding() const;
+
+  // Fails all outstanding calls and unblocks any caller pumping the
+  // socket. Idempotent; the destructor calls it.
+  void close();
+
+  // Test hook: plants the next request id so wraparound paths can be
+  // exercised without 2^64 calls. id 0 is reserved (treated as 1).
+  void set_next_request_id(std::uint64_t id);
+
+ private:
+  enum class SlotState { Waiting, Done, Failed };
+  struct Pending {
+    SlotState state = SlotState::Waiting;
+    Frame reply;
+    std::string error;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  // Pumps at most one reply frame off the socket and settles its slot.
+  // Runs with the reader role held and state_mutex_ NOT held; returns at
+  // `deadline` (ignored when the client has no timeout) if nothing
+  // arrived. Any transport failure fails the connection.
+  void read_one(std::chrono::steady_clock::time_point deadline);
+  // Marks the client dead (first reason wins), fails every outstanding
+  // call and unblocks a caller parked in the reader role. Safe from any
+  // thread.
+  void fail_connection(const std::string& reason);
+
+  const std::uint16_t port_;
+  const double timeout_sec_;
+  const std::size_t max_outstanding_;
+  FrameObserver* observer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  obs::IoProfile io_profile_;
+
+  // Held for the duration of one frame write only.
+  obs::TimedMutex send_mutex_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::uint64_t next_id_ = 1;
+  std::size_t peak_outstanding_ = 0;
+  bool dead_ = false;
+  // True while some caller holds the reader role (is inside read_one).
+  bool reader_active_ = false;
+  std::string dead_reason_;
+
+  Socket socket_;
+  // Reply scratch buffer, reused across reads. Only the caller holding
+  // the reader role touches it — the role is exclusive by construction.
+  Frame read_buf_;
+};
+
+}  // namespace cachecloud::net

@@ -6,10 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -30,14 +30,83 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
-// Wire header: [u32 len][u16 type][u64 trace_id][u64 parent_span_id]
-// [u8 flags], little-endian.
-constexpr std::size_t kFrameHeaderBytes = 23;
-
 }  // namespace
 
 std::size_t Frame::wire_bytes() const noexcept {
   return kFrameHeaderBytes + payload.size();
+}
+
+// -------------------------------------------------------- header codec
+
+std::size_t encode_wire_header(std::uint8_t* out, const Frame& frame,
+                               std::uint64_t mux_id) {
+  const bool tagged = mux_id != 0;
+  const auto len = static_cast<std::uint32_t>(
+      frame.payload.size() + (tagged ? kMuxTagBytes : 0));
+  out[0] = static_cast<std::uint8_t>(len);
+  out[1] = static_cast<std::uint8_t>(len >> 8);
+  out[2] = static_cast<std::uint8_t>(len >> 16);
+  out[3] = static_cast<std::uint8_t>(len >> 24);
+  out[4] = static_cast<std::uint8_t>(frame.type);
+  out[5] = static_cast<std::uint8_t>(frame.type >> 8);
+  for (int i = 0; i < 8; ++i) {
+    out[6 + i] = static_cast<std::uint8_t>(frame.trace_id >> (8 * i));
+    out[14 + i] = static_cast<std::uint8_t>(frame.parent_span_id >> (8 * i));
+  }
+  std::uint8_t flags = frame.flags;
+  if (tagged) {
+    flags |= Frame::kFlagMuxTagged;
+  } else {
+    flags &= static_cast<std::uint8_t>(~Frame::kFlagMuxTagged);
+  }
+  out[22] = flags;
+  if (!tagged) return kFrameHeaderBytes;
+  for (int i = 0; i < 8; ++i) {
+    out[kFrameHeaderBytes + i] = static_cast<std::uint8_t>(mux_id >> (8 * i));
+  }
+  return kWireHeaderMax;
+}
+
+WireHeader decode_wire_header(
+    const std::uint8_t header[kFrameHeaderBytes]) noexcept {
+  WireHeader out;
+  out.len = static_cast<std::uint32_t>(header[0]) |
+            (static_cast<std::uint32_t>(header[1]) << 8) |
+            (static_cast<std::uint32_t>(header[2]) << 16) |
+            (static_cast<std::uint32_t>(header[3]) << 24);
+  out.type = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(header[4]) |
+      static_cast<std::uint16_t>(header[5] << 8));
+  for (int i = 0; i < 8; ++i) {
+    out.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
+    out.parent_span_id |= static_cast<std::uint64_t>(header[14 + i])
+                          << (8 * i);
+  }
+  out.flags = header[22];
+  return out;
+}
+
+std::uint64_t decode_mux_tag(const std::uint8_t tag[kMuxTagBytes]) noexcept {
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<std::uint64_t>(tag[i]) << (8 * i);
+  }
+  return id;
+}
+
+void check_wire_header(const WireHeader& header) {
+  const std::uint64_t limit =
+      kMaxFrameBytes + (header.mux_tagged() ? kMuxTagBytes : 0);
+  if (header.len > limit) throw FrameTooLargeError(header.len, limit);
+  if (header.len == 0 && header.type == 0) {
+    // A zero-length type-0 frame is no legal message — it is what an
+    // all-zero garbage stream decodes to. Reject instead of delivering.
+    throw NetError("rejected zero-length type-0 frame");
+  }
+  if (header.mux_tagged() && header.len < kMuxTagBytes) {
+    throw NetError("mux-tagged frame shorter than its tag (len " +
+                   std::to_string(header.len) + ")");
+  }
 }
 
 // ------------------------------------------------------------- Socket
@@ -60,6 +129,10 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void Socket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -67,17 +140,37 @@ void Socket::close() noexcept {
   }
 }
 
-void Socket::send_all(const void* data, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (len > 0) {
-    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+void Socket::sendv_all(const Frame& frame, std::uint64_t mux_id) {
+  // Scatter-gather write: the stack-assembled header prefix and the
+  // payload go out in one sendmsg, no contiguous assembly copy. Partial
+  // sends advance the iovec cursor.
+  std::uint8_t prefix[kWireHeaderMax];
+  const std::size_t prefix_len = encode_wire_header(prefix, frame, mux_id);
+  iovec iov[2];
+  iov[0] = {prefix, prefix_len};
+  iov[1] = {const_cast<std::uint8_t*>(frame.payload.data()),
+            frame.payload.size()};
+  int idx = 0;
+  const int count = frame.payload.empty() ? 1 : 2;
+  while (idx < count) {
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = static_cast<std::size_t>(count - idx);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("send");
+      throw_errno("sendmsg");
     }
     if (io_) io_->on_send(static_cast<std::size_t>(n));
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    auto left = static_cast<std::size_t>(n);
+    while (idx < count && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count && left > 0) {
+      iov[idx].iov_base = static_cast<std::uint8_t*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
   }
 }
 
@@ -100,75 +193,51 @@ bool Socket::recv_all(void* data, std::size_t len) {
   return true;
 }
 
-namespace {
-
-void encode_header(std::uint8_t* header, const Frame& frame) {
-  const auto len = static_cast<std::uint32_t>(frame.payload.size());
-  header[0] = static_cast<std::uint8_t>(len);
-  header[1] = static_cast<std::uint8_t>(len >> 8);
-  header[2] = static_cast<std::uint8_t>(len >> 16);
-  header[3] = static_cast<std::uint8_t>(len >> 24);
-  header[4] = static_cast<std::uint8_t>(frame.type);
-  header[5] = static_cast<std::uint8_t>(frame.type >> 8);
-  for (int i = 0; i < 8; ++i) {
-    header[6 + i] = static_cast<std::uint8_t>(frame.trace_id >> (8 * i));
-    header[14 + i] =
-        static_cast<std::uint8_t>(frame.parent_span_id >> (8 * i));
-  }
-  header[22] = frame.flags;
-}
-
-}  // namespace
-
 void Socket::write_frame(const Frame& frame) {
   if (!valid()) throw NetError("write on closed socket");
   if (frame.payload.size() > kMaxFrameBytes) {
     throw NetError("frame too large to send");
   }
-  std::uint8_t header[kFrameHeaderBytes];
-  encode_header(header, frame);
-  send_all(header, sizeof(header));
-  if (!frame.payload.empty()) {
-    send_all(frame.payload.data(), frame.payload.size());
-  }
+  sendv_all(frame, 0);
 }
 
-void Socket::write_frame(const Frame& frame,
-                         std::vector<std::uint8_t>& scratch) {
+void Socket::write_frame_tagged(const Frame& frame, std::uint64_t mux_id) {
   if (!valid()) throw NetError("write on closed socket");
+  if (mux_id == 0) throw NetError("mux tag 0 is reserved");
   if (frame.payload.size() > kMaxFrameBytes) {
     throw NetError("frame too large to send");
   }
-  // Header + payload in one contiguous buffer: one send() instead of two,
-  // and the buffer's capacity is the caller's to reuse across frames.
-  scratch.resize(kFrameHeaderBytes + frame.payload.size());
-  encode_header(scratch.data(), frame);
-  if (!frame.payload.empty()) {
-    std::memcpy(scratch.data() + kFrameHeaderBytes, frame.payload.data(),
-                frame.payload.size());
-  }
-  send_all(scratch.data(), scratch.size());
+  sendv_all(frame, mux_id);
 }
 
-bool Socket::read_frame_into(Frame& out) {
+bool Socket::read_frame_into(Frame& out, std::uint64_t* mux_id) {
   if (!valid()) throw NetError("read on closed socket");
+  if (mux_id) *mux_id = 0;
   std::uint8_t header[kFrameHeaderBytes];
   if (!recv_all(header, sizeof(header))) return false;
-  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                            (static_cast<std::uint32_t>(header[1]) << 8) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > kMaxFrameBytes) throw NetError("oversized frame");
-  out.type = static_cast<std::uint16_t>(header[4]) |
-             static_cast<std::uint16_t>(header[5] << 8);
-  out.trace_id = 0;
-  out.parent_span_id = 0;
-  for (int i = 0; i < 8; ++i) {
-    out.trace_id |= static_cast<std::uint64_t>(header[6 + i]) << (8 * i);
-    out.parent_span_id |= static_cast<std::uint64_t>(header[14 + i])
-                          << (8 * i);
+  const WireHeader wire = decode_wire_header(header);
+  try {
+    check_wire_header(wire);
+  } catch (const NetError&) {
+    // The stream position after a malformed header is unusable: close
+    // before surfacing the typed error so no caller can read on.
+    close();
+    throw;
   }
-  out.flags = header[22];
+  std::uint32_t len = wire.len;
+  if (wire.mux_tagged()) {
+    std::uint8_t tag[kMuxTagBytes];
+    if (!recv_all(tag, sizeof(tag))) {
+      throw NetError("connection closed mid-message");
+    }
+    if (mux_id) *mux_id = decode_mux_tag(tag);
+    len -= kMuxTagBytes;
+  }
+  out.type = wire.type;
+  out.trace_id = wire.trace_id;
+  out.parent_span_id = wire.parent_span_id;
+  out.flags =
+      wire.flags & static_cast<std::uint8_t>(~Frame::kFlagMuxTagged);
   out.payload.resize(len);
   if (len > 0 && !recv_all(out.payload.data(), len)) {
     throw NetError("connection closed mid-message");
@@ -192,6 +261,21 @@ void Socket::set_recv_timeout(double seconds) {
   }
 }
 
+bool Socket::wait_readable(double timeout_sec) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ms = timeout_sec < 0.0
+                     ? -1
+                     : static_cast<int>(std::ceil(timeout_sec * 1e3));
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll(read)");
+  return rc > 0;
+}
+
 // --------------------------------------------------------- TcpListener
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -206,7 +290,7 @@ TcpListener::TcpListener(std::uint16_t port) {
     errno = err;
     throw_errno("bind");
   }
-  if (::listen(fd_, 64) != 0) {
+  if (::listen(fd_, 256) != 0) {
     const int err = errno;
     ::close(fd_);
     errno = err;
@@ -240,6 +324,14 @@ Socket TcpListener::accept() {
     throw_errno("accept");
   }
   return Socket();
+}
+
+void TcpListener::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
 }
 
 void TcpListener::shutdown() noexcept {
@@ -296,168 +388,6 @@ Socket connect_local(std::uint16_t port, double timeout_sec,
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (timeout_sec > 0.0) socket.set_recv_timeout(timeout_sec);
   return socket;
-}
-
-// ----------------------------------------------------------- TcpServer
-
-TcpServer::TcpServer(std::uint16_t port, Handler handler,
-                     FrameObserver* observer, FaultInjector* faults,
-                     obs::Registry* registry)
-    : listener_(port),
-      handler_(std::move(handler)),
-      observer_(observer),
-      faults_(faults) {
-  if (!handler_) throw std::invalid_argument("TcpServer: null handler");
-  if (registry) {
-    // Bind before the accept thread starts so connection threads see fully
-    // constructed instruments without further synchronization.
-    worker_profile_.bind(*registry);
-    io_profile_.bind(*registry, "server");
-    workers_mutex_.bind(*registry, "workers_mutex_");
-    conns_mutex_.bind(*registry, "conns_mutex_");
-  }
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
-
-TcpServer::~TcpServer() { stop(); }
-
-void TcpServer::stop() {
-  if (stopping_.exchange(true)) return;
-  listener_.shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Kick connection threads out of blocking reads. fds are deregistered
-    // before they are closed, so no recycled descriptor can appear here.
-    const obs::TimedLock lock(conns_mutex_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::vector<std::thread> workers;
-  {
-    const obs::TimedLock lock(workers_mutex_);
-    workers.swap(workers_);
-  }
-  for (auto& w : workers) {
-    if (w.joinable()) w.join();
-  }
-}
-
-void TcpServer::accept_loop() {
-  while (!stopping_.load()) {
-    Socket socket;
-    try {
-      socket = listener_.accept();
-    } catch (const NetError&) {
-      break;
-    }
-    if (!socket.valid()) break;
-    const obs::TimedLock lock(workers_mutex_);
-    workers_.emplace_back(
-        [this, s = std::move(socket)]() mutable { serve(std::move(s)); });
-  }
-}
-
-void TcpServer::serve(Socket socket) {
-  {
-    const obs::TimedLock lock(conns_mutex_);
-    conn_fds_.push_back(socket.fd());
-  }
-  worker_profile_.conn_opened();
-  socket.set_io_profile(&io_profile_);
-  using ProfClock = std::chrono::steady_clock;
-  try {
-    while (!stopping_.load()) {
-      // Thread profiling splits each iteration into blocked-in-read (the
-      // wait for the next request) and busy (handle + reply write).
-      const bool timing =
-          worker_profile_.bound() && obs::profiling_enabled();
-      const auto read_start = timing ? ProfClock::now() : ProfClock::time_point{};
-      std::optional<Frame> request = socket.read_frame();
-      const auto read_end = timing ? ProfClock::now() : ProfClock::time_point{};
-      if (timing) {
-        worker_profile_.add_read_wait_ns(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(read_end -
-                                                                 read_start)
-                .count()));
-      }
-      if (!request) break;  // peer closed
-      if (observer_) observer_->on_frame(*request, /*inbound=*/true);
-      Frame reply = handler_(*request);
-      // Propagate the request's trace context unless the handler set its
-      // own.
-      if (reply.trace_id == 0) {
-        reply.trace_id = request->trace_id;
-        reply.parent_span_id = request->parent_span_id;
-        reply.flags = request->flags;
-      }
-      if (faults_ &&
-          faults_->on_frame(port()) != FaultInjector::Action::Deliver) {
-        // Injected reply drop/reset: close without answering; the client
-        // sees EOF mid-call and treats it like any peer failure.
-        break;
-      }
-      if (observer_) observer_->on_frame(reply, /*inbound=*/false);
-      socket.write_frame(reply);
-      if (timing) {
-        worker_profile_.add_busy_ns(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                ProfClock::now() - read_end)
-                .count()));
-      }
-    }
-  } catch (const std::exception&) {
-    // Connection-level failure (bad frame, handler error, reset): drop the
-    // connection; the server keeps running.
-  }
-  worker_profile_.conn_closed();
-  const obs::TimedLock lock(conns_mutex_);
-  std::erase(conn_fds_, socket.fd());
-  // Socket closes after deregistration, so stop() never touches a
-  // recycled descriptor.
-}
-
-// ----------------------------------------------------------- TcpClient
-
-TcpClient::TcpClient(std::uint16_t port, double timeout_sec,
-                     FrameObserver* observer, FaultInjector* faults,
-                     obs::Registry* registry)
-    : port_(port),
-      socket_(connect_local(port, timeout_sec, faults)),
-      observer_(observer),
-      faults_(faults) {
-  if (registry) {
-    mutex_.bind(*registry, "client_mutex_");
-    io_profile_.bind(*registry, "client");
-    socket_.set_io_profile(&io_profile_);
-  }
-}
-
-Frame TcpClient::call(const Frame& request) {
-  Frame reply;
-  call_into(request, reply);
-  return reply;
-}
-
-void TcpClient::call_into(const Frame& request, Frame& reply) {
-  const obs::TimedLock lock(mutex_);
-  if (faults_) {
-    switch (faults_->on_frame(port_)) {
-      case FaultInjector::Action::Deliver:
-        break;
-      case FaultInjector::Action::Drop:
-        // The request never reaches the wire; surface it immediately
-        // rather than stalling for the recv timeout a real drop causes.
-        throw NetError("injected: request frame dropped");
-      case FaultInjector::Action::Reset:
-        socket_.close();
-        throw NetError("injected: connection reset");
-    }
-  }
-  if (observer_) observer_->on_frame(request, /*inbound=*/false);
-  socket_.write_frame(request, send_scratch_);
-  if (!socket_.read_frame_into(reply)) {
-    throw NetError("server closed connection before replying");
-  }
-  if (observer_) observer_->on_frame(reply, /*inbound=*/true);
 }
 
 }  // namespace cachecloud::net

@@ -1,25 +1,31 @@
-// Framed TCP transport: blocking sockets, one frame =
+// Framed TCP wire layer: one frame =
 // [u32 len][u16 type][u64 trace_id][u64 parent_span_id][u8 flags][payload].
 //
-// Deliberately simple ("standard sockets"): RAII socket wrapper, a
-// listener, a threaded request/response server and a blocking client. The
-// node layer builds the cache-cloud wire protocol on top. The trace
-// fields are observability-only (trace_id 0 = untraced): the node layer
-// stamps one context per client get() and every hop propagates it —
-// parent_span_id links the receiving hop's span to the sender's, and the
-// sampled flag carries the head-sampling verdict — so request paths can
-// be stitched across nodes from TraceDump scrapes or Debug span logs.
+// This file owns the wire format and the blocking building blocks (RAII
+// socket, listener, connect helper). The live endpoints sit on top:
+// net::EventServer (event_loop.hpp) serves frames from a non-blocking
+// epoll loop, net::MuxClient (mux_client.hpp) pipelines many outstanding
+// requests over one connection. The trace fields are observability-only
+// (trace_id 0 = untraced): the node layer stamps one context per client
+// get() and every hop propagates it — parent_span_id links the receiving
+// hop's span to the sender's, and the sampled flag carries the
+// head-sampling verdict — so request paths can be stitched across nodes
+// from TraceDump scrapes or Debug span logs.
+//
+// Multiplexing rides on the same 23-byte header: a frame whose flags carry
+// kFlagMuxTagged holds an 8-byte little-endian request id as the first
+// bytes of its length-counted body, before the payload proper. The tag is
+// a transport detail — read paths strip it (and the flag) before anyone
+// above the transport sees the frame, so handlers, observers and the
+// payload codecs are byte-identical with or without pipelining. Untagged
+// frames are the pre-mux wire format, unchanged.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/profile.hpp"
@@ -33,10 +39,31 @@ class NetError : public std::runtime_error {
   explicit NetError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// A peer announced a frame longer than the transport accepts. The
+// connection is closed before this is thrown — the stream position after
+// an oversized announcement is unusable.
+class FrameTooLargeError : public NetError {
+ public:
+  FrameTooLargeError(std::uint64_t announced, std::uint64_t limit)
+      : NetError("oversized frame: announced " + std::to_string(announced) +
+                 " bytes, limit " + std::to_string(limit)),
+        announced_(announced) {}
+
+  [[nodiscard]] std::uint64_t announced_bytes() const noexcept {
+    return announced_;
+  }
+
+ private:
+  std::uint64_t announced_;
+};
+
 struct Frame {
   // flags bit 0: the trace's head-sampling verdict travels with it so
   // every hop reaches the same keep/drop decision without coordination.
   static constexpr std::uint8_t kFlagSampled = 0x01;
+  // flags bit 1: the frame body starts with an 8-byte request id (mux
+  // tag). Set and consumed by the transport; never visible above it.
+  static constexpr std::uint8_t kFlagMuxTagged = 0x02;
 
   std::uint16_t type = 0;
   // Request-path trace id, propagated hop to hop; 0 means untraced.
@@ -50,12 +77,13 @@ struct Frame {
     return (flags & kFlagSampled) != 0;
   }
 
-  // Bytes this frame occupies on the wire (header + payload).
+  // Bytes this frame occupies on the wire (header + payload, untagged).
   [[nodiscard]] std::size_t wire_bytes() const noexcept;
 };
 
 // Per-frame accounting hook for the transport. Implementations must be
-// thread-safe: the server invokes it from every connection thread.
+// thread-safe: servers invoke it from event-loop and worker threads,
+// clients from any calling thread.
 class FrameObserver {
  public:
   virtual ~FrameObserver() = default;
@@ -67,7 +95,44 @@ class FrameObserver {
 // Frames larger than this are rejected on read (malformed/hostile peer).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
 
-// RAII wrapper over a connected stream socket.
+// Fixed wire header and the optional mux tag that may follow it.
+inline constexpr std::size_t kFrameHeaderBytes = 23;
+inline constexpr std::size_t kMuxTagBytes = 8;
+// Largest header+tag prefix a writer assembles contiguously.
+inline constexpr std::size_t kWireHeaderMax = kFrameHeaderBytes + kMuxTagBytes;
+
+// Decoded fixed header. len counts the body: mux tag (if flagged) + payload.
+struct WireHeader {
+  std::uint32_t len = 0;
+  std::uint16_t type = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool mux_tagged() const noexcept {
+    return (flags & Frame::kFlagMuxTagged) != 0;
+  }
+};
+
+// Header codec, shared by the blocking Socket paths and the event loop's
+// per-connection state machines. encode writes the 23-byte header plus the
+// 8-byte tag when mux_id != 0 (setting kFlagMuxTagged and growing len) and
+// returns the prefix length; `out` must hold kWireHeaderMax bytes.
+std::size_t encode_wire_header(std::uint8_t* out, const Frame& frame,
+                               std::uint64_t mux_id);
+[[nodiscard]] WireHeader decode_wire_header(
+    const std::uint8_t header[kFrameHeaderBytes]) noexcept;
+[[nodiscard]] std::uint64_t decode_mux_tag(
+    const std::uint8_t tag[kMuxTagBytes]) noexcept;
+
+// Validates a decoded header: throws FrameTooLargeError when len exceeds
+// the frame limit (plus tag allowance), NetError for a zero-length type-0
+// frame (never a legal message; classic garbage-stream signature) or a
+// tagged frame too short to hold its tag. Callers close the connection
+// before throwing — the stream is unusable after a malformed header.
+void check_wire_header(const WireHeader& header);
+
+// RAII wrapper over a connected stream socket (blocking I/O paths).
 class Socket {
  public:
   Socket() = default;
@@ -81,30 +146,44 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
-  // Blocking frame I/O. read_frame returns nullopt on clean EOF at a frame
-  // boundary; throws NetError on mid-frame EOF or I/O failure.
+  // Blocking frame I/O. Writes are scatter-gather (one writev over header
+  // + payload, no assembly copy). write_frame_tagged stamps the mux tag;
+  // mux_id must be non-zero. read_frame returns nullopt on clean EOF at a
+  // frame boundary; throws NetError on mid-frame EOF or I/O failure.
   void write_frame(const Frame& frame);
+  void write_frame_tagged(const Frame& frame, std::uint64_t mux_id);
   [[nodiscard]] std::optional<Frame> read_frame();
 
-  // Allocation-light variants for hot callers. The write overload
-  // assembles header + payload into `scratch` (capacity is reused across
-  // calls) and ships one send; read_frame_into reuses `out.payload`'s
-  // capacity and returns false on clean EOF at a frame boundary.
-  void write_frame(const Frame& frame, std::vector<std::uint8_t>& scratch);
-  [[nodiscard]] bool read_frame_into(Frame& out);
+  // Allocation-light read for hot callers: reuses out.payload's capacity,
+  // returns false on clean EOF at a frame boundary. A tagged frame has its
+  // tag stripped (stored to *mux_id when given, else discarded) and the
+  // flag cleared; *mux_id is 0 for untagged frames. A malformed header
+  // (oversized length — typed FrameTooLargeError naming it — zero-length
+  // type-0, or a tag that doesn't fit its length) closes the socket before
+  // throwing.
+  [[nodiscard]] bool read_frame_into(Frame& out,
+                                     std::uint64_t* mux_id = nullptr);
 
   // Receive timeout for subsequent reads (0 = no timeout).
   void set_recv_timeout(double seconds);
+
+  // Blocks until the socket has something to read (data, EOF and errors
+  // all count). timeout_sec < 0 waits forever; returns false if the
+  // timeout passed with nothing pending.
+  [[nodiscard]] bool wait_readable(double timeout_sec);
 
   // Resource profiling: every subsequent send/recv syscall is reported to
   // `profile` (bytes moved, one call per syscall) while obs profiling is
   // on. Not owned; must outlive the socket. nullptr detaches.
   void set_io_profile(obs::IoProfile* profile) noexcept { io_ = profile; }
 
+  // Half-closes both directions (unblocks a peer thread parked in recv on
+  // this fd) without releasing the descriptor.
+  void shutdown() noexcept;
   void close() noexcept;
 
  private:
-  void send_all(const void* data, std::size_t len);
+  void sendv_all(const Frame& frame, std::uint64_t mux_id);
   // Returns false on EOF before any byte; throws on partial reads.
   bool recv_all(void* data, std::size_t len);
 
@@ -121,9 +200,12 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
   // Blocks until a connection arrives; returns an invalid Socket if the
   // listener has been shut down.
   [[nodiscard]] Socket accept();
+  // Switches the listening fd to non-blocking accepts (event-loop use).
+  void set_nonblocking();
   // Unblocks pending/future accept() calls.
   void shutdown() noexcept;
 
@@ -136,95 +218,11 @@ class TcpListener {
 // Connects to 127.0.0.1:port. timeout_sec bounds both the connect itself
 // (non-blocking connect + poll, so a black-holed peer cannot stall the
 // caller for the kernel default) and subsequent reads; 0 = no timeout. The
-// optional injector may refuse the connect (deterministic chaos).
+// optional injector may refuse the connect (deterministic chaos). Every
+// transport socket leaves here with TCP_NODELAY set — pipelined small
+// frames must not eat Nagle delay.
 [[nodiscard]] Socket connect_local(std::uint16_t port,
                                    double timeout_sec = 5.0,
                                    FaultInjector* faults = nullptr);
-
-// Request/response server: for every inbound frame the handler produces the
-// reply frame. One thread per connection; connections are served until the
-// peer closes or the server stops.
-class TcpServer {
- public:
-  using Handler = std::function<Frame(const Frame&)>;
-
-  // port 0 = ephemeral. The handler runs on connection threads and must be
-  // thread-safe. A handler exception closes that connection only. The
-  // optional observer sees every request (inbound) and reply (outbound)
-  // frame and must outlive the server. The optional fault injector rolls
-  // against this server's listening port before each reply is written: an
-  // injected drop or reset closes the connection without replying. The
-  // optional registry (must outlive the server) attaches the contention &
-  // resource profiler: the internal mutexes, the worker busy/read-wait
-  // accounting, the connection-thread gauges and the per-syscall IO
-  // counters all register under it (samples accumulate only while
-  // obs::profiling_enabled(), except the connection gauges).
-  TcpServer(std::uint16_t port, Handler handler,
-            FrameObserver* observer = nullptr,
-            FaultInjector* faults = nullptr,
-            obs::Registry* registry = nullptr);
-  ~TcpServer();
-  TcpServer(const TcpServer&) = delete;
-  TcpServer& operator=(const TcpServer&) = delete;
-
-  [[nodiscard]] std::uint16_t port() const noexcept {
-    return listener_.port();
-  }
-  void stop();
-
- private:
-  void accept_loop();
-  void serve(Socket socket);
-
-  TcpListener listener_;
-  Handler handler_;
-  FrameObserver* observer_ = nullptr;
-  FaultInjector* faults_ = nullptr;
-  // Profiler state; bound to the optional registry before accept_thread_
-  // starts, inert (plain mutexes, no counters) otherwise.
-  obs::WorkerProfile worker_profile_;
-  obs::IoProfile io_profile_;
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  obs::TimedMutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  obs::TimedMutex conns_mutex_;
-  std::vector<int> conn_fds_;  // live connection fds, for shutdown on stop
-};
-
-// Blocking RPC client with a single connection; call() is serialized so the
-// client can be shared across threads.
-class TcpClient {
- public:
-  // The optional observer sees every request (outbound) and reply
-  // (inbound) frame and must outlive the client. The optional fault
-  // injector may refuse the connect, delay, drop or reset individual
-  // calls; every injected disruption surfaces as a NetError. The optional
-  // registry (must outlive the client) attaches the contention profiler to
-  // the call mutex and the per-syscall IO counters; clients sharing a
-  // registry aggregate into the same instruments.
-  explicit TcpClient(std::uint16_t port, double timeout_sec = 5.0,
-                     FrameObserver* observer = nullptr,
-                     FaultInjector* faults = nullptr,
-                     obs::Registry* registry = nullptr);
-
-  [[nodiscard]] Frame call(const Frame& request);
-
-  // Zero-copy-out variant: the reply is decoded into `reply`, whose
-  // payload capacity is reused across calls. Combined with the per-client
-  // scratch send buffer, a steady-state call makes no allocations — this
-  // is what keeps the load generator's client threads off the allocator.
-  void call_into(const Frame& request, Frame& reply);
-
- private:
-  obs::TimedMutex mutex_;
-  obs::IoProfile io_profile_;
-  std::uint16_t port_ = 0;
-  Socket socket_;
-  FrameObserver* observer_ = nullptr;
-  FaultInjector* faults_ = nullptr;
-  // Send-side assembly buffer, reused by every call (guarded by mutex_).
-  std::vector<std::uint8_t> send_scratch_;
-};
 
 }  // namespace cachecloud::net

@@ -179,7 +179,7 @@ CacheNode::CacheNode(NodeId id, const NodeConfig& config)
         [this] { sample_tick(); });
   }
 
-  server_ = std::make_unique<net::TcpServer>(
+  server_ = std::make_unique<net::EventServer>(
       config_.listen_port, [this](const net::Frame& f) { return handle(f); },
       &wire_metrics_, config_.fault_injector, &registry_);
 }
@@ -305,7 +305,7 @@ std::shared_ptr<CircuitBreaker> CacheNode::breaker_for(NodeId peer) {
 }
 
 net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
-  std::shared_ptr<net::TcpClient> client;
+  std::shared_ptr<net::MuxClient> client;
   {
     const obs::TimedLock lock(peers_mutex_);
     if (!endpoints_set_) {
@@ -316,7 +316,7 @@ net::Frame CacheNode::peer_call_once(NodeId peer, const net::Frame& request) {
       const std::uint16_t port = peer == kOriginId
                                      ? endpoints_.origin_port
                                      : endpoints_.cache_ports.at(peer);
-      state.client = std::make_shared<net::TcpClient>(
+      state.client = std::make_shared<net::MuxClient>(
           port, config_.retry.attempt_timeout_sec, &wire_metrics_,
           config_.fault_injector, &registry_);
     }

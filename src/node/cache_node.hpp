@@ -18,7 +18,8 @@
 
 #include "cache/tiered_store.hpp"
 #include "core/placement.hpp"
-#include "net/tcp.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "node/protocol.hpp"
 #include "node/resilience.hpp"
 #include "node/ring_view.hpp"
@@ -311,7 +312,7 @@ class CacheNode {
   // connection after a failure (use-after-erase race). Breakers persist
   // across reconnects; `suspected` latches the one SuspectNode report.
   struct PeerState {
-    std::shared_ptr<net::TcpClient> client;
+    std::shared_ptr<net::MuxClient> client;
     std::shared_ptr<CircuitBreaker> breaker;
     obs::Gauge* state_gauge = nullptr;
     std::uint64_t reported_trips = 0;
@@ -339,7 +340,7 @@ class CacheNode {
   bool disk_was_degraded_ = false;  // sample_tick() edge detection
   std::unique_ptr<obs::TimelineSampler> sampler_;
 
-  std::unique_ptr<net::TcpServer> server_;
+  std::unique_ptr<net::EventServer> server_;
 };
 
 }  // namespace cachecloud::node

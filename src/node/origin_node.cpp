@@ -70,7 +70,7 @@ OriginNode::OriginNode(const NodeConfig& config)
         *timeline_, config_.timeline.interval_sec,
         [this] { return metrics_snapshot(); }, [this] { return now(); });
   }
-  server_ = std::make_unique<net::TcpServer>(
+  server_ = std::make_unique<net::EventServer>(
       0, [this](const net::Frame& f) { return handle(f); },
       &wire_metrics_, config_.fault_injector, &registry_);
 }
@@ -99,7 +99,7 @@ void OriginNode::set_endpoints(const Endpoints& endpoints) {
 }
 
 net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
-  std::shared_ptr<net::TcpClient> client;
+  std::shared_ptr<net::MuxClient> client;
   try {
     {
       const obs::TimedLock lock(peers_mutex_);
@@ -108,7 +108,7 @@ net::Frame OriginNode::call_cache(NodeId node, const net::Frame& request) {
       }
       auto& slot = peers_[node];
       if (!slot) {
-        slot = std::make_shared<net::TcpClient>(
+        slot = std::make_shared<net::MuxClient>(
             endpoints_.cache_ports.at(node), 5.0, &wire_metrics_,
             config_.fault_injector, &registry_);
       }

@@ -17,7 +17,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "net/tcp.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "node/cache_node.hpp"  // NodeConfig, Endpoints
 #include "node/protocol.hpp"
 #include "node/ring_view.hpp"
@@ -160,7 +161,7 @@ class OriginNode {
   Endpoints endpoints_;
   bool endpoints_set_ = false;
   // shared_ptr: a call in flight survives a concurrent connection drop.
-  std::unordered_map<NodeId, std::shared_ptr<net::TcpClient>> peers_;
+  std::unordered_map<NodeId, std::shared_ptr<net::MuxClient>> peers_;
 
   // Timeline sampler + flight recorder (null unless config.timeline
   // .enabled); the sampler is stopped in stop() before the server.
@@ -168,7 +169,7 @@ class OriginNode {
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::TimelineSampler> sampler_;
 
-  std::unique_ptr<net::TcpServer> server_;
+  std::unique_ptr<net::EventServer> server_;
 };
 
 }  // namespace cachecloud::node

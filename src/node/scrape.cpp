@@ -1,5 +1,7 @@
 #include "node/scrape.hpp"
 
+#include "net/mux_client.hpp"
+
 #include <thread>
 
 namespace cachecloud::node {
@@ -14,7 +16,7 @@ std::vector<PortReply> scrape_ports(const std::vector<std::uint16_t>& ports,
     replies[i].port = ports[i];
     threads.emplace_back([&, i] {
       try {
-        net::TcpClient client(ports[i], timeout_sec);
+        net::MuxClient client(ports[i], timeout_sec);
         replies[i].reply = client.call(request);
       } catch (const std::exception& e) {
         replies[i].unreachable = true;

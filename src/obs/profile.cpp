@@ -19,6 +19,7 @@ constexpr const char* kConnThreads = "cachecloud_conn_threads";
 constexpr const char* kConnThreadsPeak = "cachecloud_conn_threads_peak";
 constexpr const char* kIoSyscalls = "cachecloud_io_syscalls_total";
 constexpr const char* kIoBytes = "cachecloud_io_bytes_total";
+constexpr const char* kIoNodelay = "cachecloud_io_nodelay_sockets_total";
 
 [[nodiscard]] double seconds_since(
     std::chrono::steady_clock::time_point start,
@@ -54,7 +55,7 @@ bool is_profile_metric(const std::string& name) noexcept {
   return name == kLockAcquire || name == kLockContended ||
          name == kLockWait || name == kLockHold || name == kWorkerTime ||
          name == kConnThreads || name == kConnThreadsPeak ||
-         name == kIoSyscalls || name == kIoBytes;
+         name == kIoSyscalls || name == kIoBytes || name == kIoNodelay;
 }
 
 Snapshot profile_snapshot(const Snapshot& full) {
@@ -201,6 +202,10 @@ void IoProfile::bind(Registry& registry, const std::string& role) {
                         "Bytes copied across the user/kernel boundary "
                         "while profiling, by operation and endpoint role",
                         "send");
+  nodelay_sockets_ = &registry.counter(
+      kIoNodelay,
+      "Transport sockets opened with TCP_NODELAY set, by endpoint role",
+      {{"role", role}});
 }
 
 void IoProfile::on_recv(std::size_t bytes) noexcept {
@@ -213,6 +218,12 @@ void IoProfile::on_send(std::size_t bytes) noexcept {
   if (send_syscalls_ == nullptr || !profiling_enabled()) return;
   send_syscalls_->inc();
   send_bytes_->inc(bytes);
+}
+
+void IoProfile::on_nodelay() noexcept {
+  // Counted whenever bound: sockets are O(connection), and the point is
+  // to prove every transport socket opted out of Nagle, profiled or not.
+  if (nodelay_sockets_ != nullptr) nodelay_sockets_->inc();
 }
 
 // ------------------------------------------------------------ summaries
@@ -282,6 +293,11 @@ void append_contention(const std::string& node, const Snapshot& snapshot,
   io.node = node;
   bool any_io = false;
   for (const SampleSnapshot& s : snapshot.samples) {
+    if (s.name == kIoNodelay) {
+      any_io = true;
+      io.nodelay_sockets += static_cast<std::uint64_t>(s.value);
+      continue;
+    }
     if (s.name != kIoSyscalls && s.name != kIoBytes) continue;
     const std::string* op = label_value(s.labels, "op");
     if (op == nullptr) continue;
@@ -353,12 +369,13 @@ std::string contention_table(const ContentionSummary& summary) {
     for (const IoSummary& io : summary.io) {
       std::snprintf(line, sizeof(line),
                     "  %-26s recv %llu calls / %.1f KiB  send %llu calls / "
-                    "%.1f KiB\n",
+                    "%.1f KiB  nodelay %llu\n",
                     io.node.c_str(),
                     static_cast<unsigned long long>(io.recv_syscalls),
                     static_cast<double>(io.recv_bytes) / 1024.0,
                     static_cast<unsigned long long>(io.send_syscalls),
-                    static_cast<double>(io.send_bytes) / 1024.0);
+                    static_cast<double>(io.send_bytes) / 1024.0,
+                    static_cast<unsigned long long>(io.nodelay_sockets));
       out += line;
     }
   }

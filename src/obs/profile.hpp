@@ -136,9 +136,13 @@ class WorkerProfile {
 //
 //   cachecloud_io_syscalls_total{op="recv"|"send",role=...}
 //   cachecloud_io_bytes_total{op="recv"|"send",role=...}
+//   cachecloud_io_nodelay_sockets_total{role=...}
 //
 // on_recv/on_send are called once per successful syscall with the bytes it
 // moved; both are no-ops while profiling is off or the profile is unbound.
+// on_nodelay is called once per transport socket that had TCP_NODELAY set
+// and counts whenever bound (it is O(connection), like the conn gauges),
+// so a profile scrape can assert every socket opted out of Nagle.
 class IoProfile {
  public:
   IoProfile() = default;
@@ -150,12 +154,14 @@ class IoProfile {
 
   void on_recv(std::size_t bytes) noexcept;
   void on_send(std::size_t bytes) noexcept;
+  void on_nodelay() noexcept;
 
  private:
   Counter* recv_syscalls_ = nullptr;
   Counter* send_syscalls_ = nullptr;
   Counter* recv_bytes_ = nullptr;
   Counter* send_bytes_ = nullptr;
+  Counter* nodelay_sockets_ = nullptr;
 };
 
 // ------------------------------------------------------------ summaries
@@ -190,6 +196,8 @@ struct IoSummary {
   std::uint64_t send_syscalls = 0;
   std::uint64_t recv_bytes = 0;
   std::uint64_t send_bytes = 0;
+  // Transport sockets opened with TCP_NODELAY (all of them, by design).
+  std::uint64_t nodelay_sockets = 0;
 };
 
 // Cluster-wide contention report, assembled from per-node profile

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "net/buffer.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 
 namespace cachecloud::net {
@@ -63,13 +68,119 @@ TEST(BufferTest, MalformedLengthPrefixThrows) {
   EXPECT_THROW((void)r.str(), DecodeError);
 }
 
+// ------------------------------------------------------------ wire header
+
+TEST(WireHeaderTest, RoundTripUntagged) {
+  Frame frame;
+  frame.type = 42;
+  frame.trace_id = 0x1122334455667788ull;
+  frame.parent_span_id = 0x99AABBCCDDEEFF00ull;
+  frame.flags = 0x01;
+  frame.payload = {9, 8, 7};
+
+  std::uint8_t buffer[kWireHeaderMax];
+  const std::size_t n = encode_wire_header(buffer, frame, 0);
+  EXPECT_EQ(n, kFrameHeaderBytes);
+
+  const WireHeader header = decode_wire_header(buffer);
+  EXPECT_EQ(header.len, 3u);
+  EXPECT_EQ(header.type, 42);
+  EXPECT_EQ(header.trace_id, frame.trace_id);
+  EXPECT_EQ(header.parent_span_id, frame.parent_span_id);
+  EXPECT_EQ(header.flags, 0x01);
+  EXPECT_FALSE(header.mux_tagged());
+  EXPECT_NO_THROW(check_wire_header(header));
+}
+
+TEST(WireHeaderTest, RoundTripMuxTagged) {
+  Frame frame;
+  frame.type = 7;
+  frame.payload = {1, 2};
+
+  std::uint8_t buffer[kWireHeaderMax];
+  const std::size_t n =
+      encode_wire_header(buffer, frame, 0xCAFEBABEDEADBEEFull);
+  EXPECT_EQ(n, kFrameHeaderBytes + kMuxTagBytes);
+
+  const WireHeader header = decode_wire_header(buffer);
+  EXPECT_TRUE(header.mux_tagged());
+  // The tag counts toward the announced body length.
+  EXPECT_EQ(header.len, 2u + kMuxTagBytes);
+  EXPECT_NO_THROW(check_wire_header(header));
+  EXPECT_EQ(decode_mux_tag(buffer + kFrameHeaderBytes),
+            0xCAFEBABEDEADBEEFull);
+}
+
+TEST(WireHeaderTest, OversizedLengthThrowsTypedErrorNamingLength) {
+  WireHeader header;
+  header.len = static_cast<std::uint32_t>(kMaxFrameBytes) + 1;
+  header.type = 1;
+  try {
+    check_wire_header(header);
+    FAIL() << "expected FrameTooLargeError";
+  } catch (const FrameTooLargeError& e) {
+    EXPECT_EQ(e.announced_bytes(), kMaxFrameBytes + 1);
+    EXPECT_NE(std::string(e.what()).find(
+                  std::to_string(kMaxFrameBytes + 1)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WireHeaderTest, ZeroLengthTypeZeroRejected) {
+  // All-zero bytes (a half-open or garbage peer) must not parse as a
+  // legitimate frame.
+  WireHeader header;  // len=0, type=0
+  EXPECT_THROW(check_wire_header(header), NetError);
+}
+
+TEST(WireHeaderTest, TaggedFrameShorterThanTagRejected) {
+  WireHeader header;
+  header.type = 3;
+  header.flags = Frame::kFlagMuxTagged;
+  header.len = kMuxTagBytes - 1;  // cannot even hold the tag
+  EXPECT_THROW(check_wire_header(header), NetError);
+}
+
+TEST(WireHeaderTest, ReadFrameClosesSocketOnOversizedHeader) {
+  TcpListener listener(0);
+  std::thread peer([&] {
+    Socket accepted = listener.accept();
+    // Hand-craft a header announcing an impossible body length.
+    Frame bogus;
+    bogus.type = 9;
+    std::uint8_t header[kWireHeaderMax];
+    (void)encode_wire_header(header, bogus, 0);
+    const std::uint32_t huge =
+        static_cast<std::uint32_t>(kMaxFrameBytes) + 17;
+    std::memcpy(header, &huge, sizeof(huge));
+    (void)::send(accepted.fd(), header, kFrameHeaderBytes, MSG_NOSIGNAL);
+    // Keep the socket open so a (wrong) drain attempt would hang; the
+    // reader must close instead of draining 64 MiB that never comes.
+    Frame sink;
+    try {
+      (void)accepted.read_frame_into(sink);
+    } catch (const NetError&) {
+    }
+  });
+
+  Socket client = connect_local(listener.port());
+  Frame reply;
+  EXPECT_THROW((void)client.read_frame_into(reply), FrameTooLargeError);
+  // The stream is poisoned: the socket must have been closed.
+  EXPECT_THROW(client.write_frame(reply), NetError);
+  peer.join();
+}
+
+// --------------------------------------------------------------- transport
+
 TEST(TcpTest, EchoRoundTrip) {
-  TcpServer server(0, [](const Frame& f) {
+  EventServer server(0, [](const Frame& f) {
     Frame reply = f;
     reply.type = static_cast<std::uint16_t>(f.type + 1);
     return reply;
   });
-  TcpClient client(server.port());
+  MuxClient client(server.port());
 
   Frame request;
   request.type = 7;
@@ -80,8 +191,8 @@ TEST(TcpTest, EchoRoundTrip) {
 }
 
 TEST(TcpTest, LargePayload) {
-  TcpServer server(0, [](const Frame& f) { return f; });
-  TcpClient client(server.port());
+  EventServer server(0, [](const Frame& f) { return f; });
+  MuxClient client(server.port());
   Frame request;
   request.type = 1;
   request.payload.assign(2 * 1024 * 1024, 0x5A);
@@ -92,11 +203,11 @@ TEST(TcpTest, LargePayload) {
 
 TEST(TcpTest, ManySequentialCallsOneConnection) {
   std::atomic<int> served{0};
-  TcpServer server(0, [&](const Frame& f) {
+  EventServer server(0, [&](const Frame& f) {
     ++served;
     return f;
   });
-  TcpClient client(server.port());
+  MuxClient client(server.port());
   for (int i = 0; i < 200; ++i) {
     Frame request;
     request.type = static_cast<std::uint16_t>(i);
@@ -106,13 +217,13 @@ TEST(TcpTest, ManySequentialCallsOneConnection) {
 }
 
 TEST(TcpTest, ConcurrentClients) {
-  TcpServer server(0, [](const Frame& f) { return f; });
+  EventServer server(0, [](const Frame& f) { return f; });
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&, t] {
       try {
-        TcpClient client(server.port());
+        MuxClient client(server.port());
         for (int i = 0; i < 50; ++i) {
           Frame request;
           request.type = static_cast<std::uint16_t>(t * 100 + i);
@@ -132,9 +243,39 @@ TEST(TcpTest, ConcurrentClients) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(TcpTest, ManyThreadsSharingOneClient) {
+  // The whole point of the mux client: N threads overlap on one
+  // connection instead of serializing a round trip each.
+  EventServer server(0, [](const Frame& f) { return f; });
+  MuxClient client(server.port());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        Frame request;
+        request.type = static_cast<std::uint16_t>(t * 64 + (i % 50));
+        request.payload.assign(static_cast<std::size_t>(i), 0xAA);
+        try {
+          const Frame reply = client.call(request);
+          if (reply.type != request.type ||
+              reply.payload != request.payload) {
+            ++failures;
+          }
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(TcpTest, ServerStopUnblocksEverything) {
-  auto server = std::make_unique<TcpServer>(0, [](const Frame& f) { return f; });
-  TcpClient client(server->port());
+  auto server =
+      std::make_unique<EventServer>(0, [](const Frame& f) { return f; });
+  MuxClient client(server->port());
   Frame request;
   request.type = 1;
   (void)client.call(request);
@@ -152,37 +293,37 @@ TEST(TcpTest, ConnectToDeadPortFails) {
 }
 
 TEST(TcpTest, HandlerExceptionDropsConnectionNotServer) {
-  TcpServer server(0, [](const Frame& f) -> Frame {
+  EventServer server(0, [](const Frame& f) -> Frame {
     if (f.type == 13) throw std::runtime_error("boom");
     return f;
   });
   {
-    TcpClient bad(server.port());
+    MuxClient bad(server.port());
     Frame request;
     request.type = 13;
     EXPECT_THROW((void)bad.call(request), NetError);
   }
   // The server survives and accepts new connections.
-  TcpClient good(server.port());
+  MuxClient good(server.port());
   Frame request;
   request.type = 1;
   EXPECT_EQ(good.call(request).type, 1);
 }
 
 TEST(TcpTest, EphemeralPortsAreDistinct) {
-  TcpServer a(0, [](const Frame& f) { return f; });
-  TcpServer b(0, [](const Frame& f) { return f; });
+  EventServer a(0, [](const Frame& f) { return f; });
+  EventServer b(0, [](const Frame& f) { return f; });
   EXPECT_NE(a.port(), b.port());
   EXPECT_GT(a.port(), 0);
 }
 
-TEST(TcpTest, CallIntoReusesReplyBufferAcrossCalls) {
-  TcpServer server(0, [](const Frame& f) {
+TEST(TcpTest, CallIntoDecodesIntoCallerFrame) {
+  EventServer server(0, [](const Frame& f) {
     Frame reply = f;
     reply.type = static_cast<std::uint16_t>(f.type + 1);
     return reply;
   });
-  TcpClient client(server.port());
+  MuxClient client(server.port());
 
   Frame request;
   request.type = 7;
@@ -192,22 +333,39 @@ TEST(TcpTest, CallIntoReusesReplyBufferAcrossCalls) {
   EXPECT_EQ(reply.type, 8);
   EXPECT_EQ(reply.payload, request.payload);
 
-  // A smaller reply must not keep stale bytes and must reuse the existing
-  // allocation instead of grabbing a new one.
-  const std::uint8_t* const buffer = reply.payload.data();
+  // A smaller reply must not keep stale bytes from the previous call.
   request.type = 20;
   request.payload.assign(16, 0xCD);
   client.call_into(request, reply);
   EXPECT_EQ(reply.type, 21);
   EXPECT_EQ(reply.payload.size(), 16u);
   EXPECT_EQ(reply.payload, request.payload);
-  EXPECT_EQ(reply.payload.data(), buffer);
 
-  // call() still round-trips identically through the scratch send path.
+  // call() still round-trips identically.
   request.type = 40;
   const Frame copied = client.call(request);
   EXPECT_EQ(copied.type, 41);
   EXPECT_EQ(copied.payload, request.payload);
+}
+
+TEST(TcpTest, UntaggedRequestsKeepFifoOrder) {
+  // Raw (untagged) frames over one connection must be answered one at a
+  // time, in request order — the legacy serve-loop contract that raw
+  // Socket users still rely on.
+  EventServer server(0, [](const Frame& f) { return f; });
+  Socket raw = connect_local(server.port());
+  for (std::uint16_t i = 1; i <= 32; ++i) {
+    Frame request;
+    request.type = i;
+    request.payload.assign(i, static_cast<std::uint8_t>(i));
+    raw.write_frame(request);
+  }
+  for (std::uint16_t i = 1; i <= 32; ++i) {
+    Frame reply;
+    ASSERT_TRUE(raw.read_frame_into(reply));
+    EXPECT_EQ(reply.type, i);
+    EXPECT_EQ(reply.payload.size(), static_cast<std::size_t>(i));
+  }
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <cstring>
 
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/cluster.hpp"
 #include "node/protocol.hpp"
@@ -23,7 +25,7 @@ NodeConfig tiny_config() {
 
 TEST(NodeFaultTest, UnknownMessageTypeGetsNack) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   net::Frame junk;
   junk.type = 999;
   junk.payload = {1, 2, 3};
@@ -34,7 +36,7 @@ TEST(NodeFaultTest, UnknownMessageTypeGetsNack) {
 
 TEST(NodeFaultTest, TruncatedPayloadGetsNackNotCrash) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   // A LookupReq frame whose string length prefix lies.
   net::Frame bad;
   bad.type = static_cast<std::uint16_t>(MsgType::LookupReq);
@@ -70,7 +72,7 @@ TEST(NodeFaultTest, RawGarbageBytesDropConnectionOnly) {
 
 TEST(NodeFaultTest, StaleRangeAnnounceRejected) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   // Announce with a gap in the partition: must be rejected.
   RangeAnnounce bad;
   bad.rings = {{RangeEntry{{0, 10}, 0}, RangeEntry{{20, 49}, 1}}};
@@ -82,7 +84,7 @@ TEST(NodeFaultTest, StaleRangeAnnounceRejected) {
 
 TEST(NodeFaultTest, WrongRingCountAnnounceRejected) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   RangeAnnounce bad;
   bad.rings = {{RangeEntry{{0, 49}, 0}},
                {RangeEntry{{0, 49}, 1}}};  // two rings, cluster has one
@@ -92,7 +94,7 @@ TEST(NodeFaultTest, WrongRingCountAnnounceRejected) {
 
 TEST(NodeFaultTest, FetchForUnknownUrlSaysNotFound) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   FetchReq req;
   req.url = "/never-heard-of-it";
   const FetchResp resp = FetchResp::decode(client.call(req.encode()));
@@ -101,7 +103,7 @@ TEST(NodeFaultTest, FetchForUnknownUrlSaysNotFound) {
 
 TEST(NodeFaultTest, OriginRejectsCacheOnlyMessages) {
   Cluster cluster(tiny_config());
-  net::TcpClient client(cluster.origin().port());
+  net::MuxClient client(cluster.origin().port());
   LookupReq req;
   req.url = "/x";
   const Ack ack = Ack::decode(client.call(req.encode()));

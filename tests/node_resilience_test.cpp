@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "net/fault_injector.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/resilience.hpp"
 
@@ -186,9 +188,9 @@ TEST(TransportFaultTest, ConnectFailureIsFastNotKernelDefault) {
 }
 
 TEST(TransportFaultTest, InjectedDropFailsCallAndClientRecovers) {
-  net::TcpServer server(0, [](const net::Frame& f) { return f; });
+  net::EventServer server(0, [](const net::Frame& f) { return f; });
   FaultInjector faults(/*seed=*/11);
-  net::TcpClient client(server.port(), 2.0, nullptr, &faults);
+  net::MuxClient client(server.port(), 2.0, nullptr, &faults);
 
   net::Frame ping;
   ping.type = 1;

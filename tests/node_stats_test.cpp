@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/cluster.hpp"
 #include "node/protocol.hpp"
@@ -26,7 +28,7 @@ NodeConfig small_config(const std::string& placement = "adhoc") {
 // Scrapes a live node's metrics exactly like an external monitoring agent:
 // a raw TCP client and a StatsReq frame.
 obs::Snapshot scrape(std::uint16_t port) {
-  net::TcpClient client(port);
+  net::MuxClient client(port);
   const net::Frame reply = client.call(StatsReq{}.encode());
   EXPECT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::StatsResp));
   return StatsResp::decode(reply).snapshot;
@@ -194,7 +196,7 @@ TEST(NodeStatsTest, TraceIdsPropagateThroughReplies) {
 
   // A traced request frame gets its trace id copied onto the reply, so a
   // client can correlate request/response pairs without payload changes.
-  net::TcpClient client(cluster.cache(0).port());
+  net::MuxClient client(cluster.cache(0).port());
   net::Frame request = StatsReq{}.encode();
   request.trace_id = 0xDEADBEEFCAFEF00Dull;
   const net::Frame reply = client.call(request);

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/cluster.hpp"
 #include "node/protocol.hpp"
@@ -98,7 +100,7 @@ TEST(NodeTimelineTest, WireTriggerProducesManualFlightDump) {
   TimelineDumpReq req;
   req.include_flight = true;
   req.trigger = true;
-  net::TcpClient client(port);
+  net::MuxClient client(port);
   const net::Frame reply = client.call(req.encode());
   ASSERT_EQ(reply.type,
             static_cast<std::uint16_t>(MsgType::TimelineDumpResp));

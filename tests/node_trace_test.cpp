@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "net/event_loop.hpp"
+#include "net/mux_client.hpp"
 #include "net/tcp.hpp"
 #include "node/cluster.hpp"
 #include "node/protocol.hpp"
@@ -63,7 +65,7 @@ TEST(NodeTraceTest, ClientGetThroughRemoteBeaconStitchesToOneRootedTree) {
 
   // The wire client stamps its own trace context, sampled.
   const std::uint64_t trace_id = obs::next_trace_id();
-  net::TcpClient wire(cluster.cache(client).port());
+  net::MuxClient wire(cluster.cache(client).port());
   const net::Frame reply = wire.call(with_trace(
       ClientGetReq{url}.encode(), obs::SpanContext{trace_id, 0, true}));
   ASSERT_TRUE(ClientGetResp::decode(reply).ok);
@@ -128,7 +130,7 @@ TEST(NodeTraceTest, ClientPublishTracesUpdateFlowThroughBeacon) {
   (void)cluster.cache(1).get(url);
 
   const std::uint64_t trace_id = obs::next_trace_id();
-  net::TcpClient wire(cluster.origin().port());
+  net::MuxClient wire(cluster.origin().port());
   const net::Frame reply = wire.call(with_trace(
       ClientPublishReq{url}.encode(), obs::SpanContext{trace_id, 0, true}));
   ASSERT_TRUE(ClientPublishResp::decode(reply).ok);
@@ -173,7 +175,7 @@ TEST(NodeTraceTest, TraceDumpDrainEmptiesTheStores) {
   Cluster cluster(traced_config());
   const std::string url = "/trace/drain";
   cluster.origin().add_document(url, 128);
-  net::TcpClient wire(cluster.cache(0).port());
+  net::MuxClient wire(cluster.cache(0).port());
   (void)wire.call(with_trace(ClientGetReq{url}.encode(),
                              obs::SpanContext{obs::next_trace_id(), 0, true}));
 
